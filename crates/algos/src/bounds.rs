@@ -1,0 +1,141 @@
+//! Lower bounds on `E[T_OPT]` for approximation-ratio reporting.
+//!
+//! At experiment scale the exact optimum is out of reach (NP-hard), so
+//! ratios are reported against provable lower bounds:
+//!
+//! * **Lemma-1 bound**: `E[T_OPT] ≥ t_LP1(J, 1/2) / 2`. The paper's proof:
+//!   with probability 1/2 each, a job's hidden draw demands mass ≥ 1/2, and
+//!   averaging over the uniformly random subset `U` shows OPT embeds a
+//!   feasible `LP1(U, 1/2)` solution.
+//! * **Lemma-5-style chain bound**: the same subset argument applied to
+//!   (LP2) with mass target 1/2 (loads, chain spans and unit lengths are
+//!   all schedule-valid), giving `E[T_OPT] ≥ t_LP2(1/2) / 2`.
+//! * **Dilation**: every job takes ≥ 1 step, so the longest precedence
+//!   path lower-bounds any schedule.
+//! * **Gang rate**: job `j` cannot finish faster than a geometric with
+//!   success `1 − 2^(−Σ_i ℓ_ij)` (all machines helping every step), so
+//!   `E[T_OPT] ≥ max_j 1/(1 − ∏_i q_ij)`.
+
+use crate::lp1::solve_lp1;
+use crate::lp2::solve_lp2;
+use crate::AlgoError;
+use suu_core::{JobId, Precedence, SuuInstance};
+
+/// The Lemma-1 LP bound: `t_LP1(J, 1/2) / 2`.
+pub fn lp1_half_bound(inst: &SuuInstance) -> Result<f64, AlgoError> {
+    let jobs: Vec<u32> = (0..inst.num_jobs() as u32).collect();
+    Ok(solve_lp1(inst, &jobs, 0.5)?.t_star / 2.0)
+}
+
+/// The chain LP bound: `t_LP2(chains, 1/2) / 2`.
+pub fn lp2_half_bound(inst: &SuuInstance, chains: &[Vec<u32>]) -> Result<f64, AlgoError> {
+    Ok(solve_lp2(inst, chains, 0.5)?.t_star / 2.0)
+}
+
+/// Longest precedence path (number of jobs), a dilation bound.
+pub fn dilation_bound(inst: &SuuInstance) -> f64 {
+    inst.precedence().to_dag(inst.num_jobs()).longest_path_len() as f64
+}
+
+/// `max_j 1/(1 − ∏_i q_ij)`: even ganging every machine on `j` each step,
+/// its completion is geometric at that rate.
+pub fn gang_rate_bound(inst: &SuuInstance) -> f64 {
+    (0..inst.num_jobs() as u32)
+        .map(|j| {
+            let mass = inst.gang_mass(JobId(j));
+            let fail = (-mass).exp2();
+            1.0 / (1.0 - fail)
+        })
+        .fold(1.0f64, f64::max)
+}
+
+/// Best available lower bound for an instance (uses the chain LP when the
+/// precedence is chains; always includes the independent-jobs LP bound,
+/// the dilation bound, and the gang-rate bound).
+pub fn lower_bound(inst: &SuuInstance) -> Result<f64, AlgoError> {
+    let mut lb = lp1_half_bound(inst)?;
+    lb = lb.max(dilation_bound(inst));
+    lb = lb.max(gang_rate_bound(inst));
+    if let Precedence::Chains(cs) = inst.precedence() {
+        lb = lb.max(lp2_half_bound(inst, cs.chains())?);
+    }
+    Ok(lb.max(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opt::{exact_opt, OptLimits};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use suu_core::{workload, Precedence};
+    use suu_dag::{generators, ChainSet};
+
+    #[test]
+    fn bounds_are_at_most_exact_opt_independent() {
+        for seed in 0..12u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let n = 2 + (seed % 4) as usize;
+            let m = 1 + (seed % 3) as usize;
+            let inst =
+                workload::uniform_unrelated(m, n, 0.2, 0.95, Precedence::Independent, &mut rng);
+            let lb = lower_bound(&inst).unwrap();
+            let opt = exact_opt(&inst, OptLimits::default()).unwrap();
+            assert!(
+                lb <= opt + 1e-6,
+                "seed {seed}: LB {lb} exceeds OPT {opt} (n={n}, m={m})"
+            );
+        }
+    }
+
+    #[test]
+    fn bounds_are_at_most_exact_opt_chains() {
+        for seed in 0..10u64 {
+            let mut rng = SmallRng::seed_from_u64(1000 + seed);
+            let n = 3 + (seed % 3) as usize;
+            let cs = generators::random_chain_set(n, 1 + (seed as usize % 2), &mut rng);
+            let inst = workload::uniform_unrelated(
+                2,
+                n,
+                0.3,
+                0.9,
+                Precedence::Chains(cs),
+                &mut rng,
+            );
+            let lb = lower_bound(&inst).unwrap();
+            let opt = exact_opt(&inst, OptLimits::default()).unwrap();
+            assert!(
+                lb <= opt + 1e-6,
+                "seed {seed}: LB {lb} exceeds OPT {opt}"
+            );
+        }
+    }
+
+    #[test]
+    fn dilation_bound_for_chain() {
+        let cs = ChainSet::new(5, vec![vec![0, 1, 2, 3, 4]]).unwrap();
+        let inst = workload::homogeneous(3, 5, 0.5, Precedence::Chains(cs));
+        assert_eq!(dilation_bound(&inst), 5.0);
+    }
+
+    #[test]
+    fn gang_rate_bound_single_job() {
+        // 2 machines with q = 0.5: fail = 0.25, bound = 4/3.
+        let inst = workload::homogeneous(2, 1, 0.5, Precedence::Independent);
+        assert!((gang_rate_bound(&inst) - 4.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lower_bound_at_least_one() {
+        let inst = workload::deterministic(4, 2, Precedence::Independent);
+        assert!(lower_bound(&inst).unwrap() >= 1.0);
+    }
+
+    #[test]
+    fn lp_bound_grows_with_load() {
+        // One machine, growing job count: LP bound must grow linearly-ish.
+        let small = workload::homogeneous(1, 2, 0.5, Precedence::Independent);
+        let large = workload::homogeneous(1, 8, 0.5, Precedence::Independent);
+        assert!(lp1_half_bound(&large).unwrap() > 2.0 * lp1_half_bound(&small).unwrap());
+    }
+}

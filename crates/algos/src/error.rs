@@ -1,0 +1,45 @@
+//! Error type shared by the algorithm constructors.
+
+use suu_lp::LpError;
+
+/// Errors raised while constructing a schedule.
+#[derive(Debug, Clone)]
+pub enum AlgoError {
+    /// The LP solver failed (iteration limit or malformed model).
+    Lp(LpError),
+    /// The LP was reported infeasible/unbounded — impossible for valid SUU
+    /// instances, so it indicates a modelling bug and is surfaced loudly.
+    UnexpectedLpStatus(&'static str),
+    /// The rounding flow failed to saturate the source, violating the
+    /// Lemma 2/6 feasibility argument.
+    RoundingUnsaturated {
+        /// Flow demanded by the group capacities.
+        demanded: u64,
+        /// Flow actually routed.
+        routed: u64,
+    },
+    /// Input shape unsupported by this algorithm (e.g. chains policy given
+    /// a job in no chain).
+    BadInput(String),
+}
+
+impl From<LpError> for AlgoError {
+    fn from(e: LpError) -> Self {
+        AlgoError::Lp(e)
+    }
+}
+
+impl std::fmt::Display for AlgoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AlgoError::Lp(e) => write!(f, "LP solve failed: {e}"),
+            AlgoError::UnexpectedLpStatus(s) => write!(f, "unexpected LP status: {s}"),
+            AlgoError::RoundingUnsaturated { demanded, routed } => {
+                write!(f, "rounding flow unsaturated: routed {routed} of {demanded}")
+            }
+            AlgoError::BadInput(msg) => write!(f, "bad input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AlgoError {}

@@ -1,0 +1,44 @@
+//! # suu-algos — the SPAA'08 approximation algorithms for SUU
+//!
+//! This crate implements the paper's contribution
+//! (Crutchfield, Dzunic, Fineman, Karger, Scott: *Improved Approximations
+//! for Multiprocessor Scheduling Under Uncertainty*, SPAA 2008), on top of
+//! the `suu-lp` / `suu-flow` / `suu-dag` / `suu-sim` substrates:
+//!
+//! | Paper artifact | Module |
+//! |---|---|
+//! | (LP1) relaxation, §3 | [`lp1`] |
+//! | Lemma 2 rounding (grouping + integral flow) | [`rounding`] |
+//! | `SUU-I-OBL`, the oblivious `O(log n)` schedule (Theorem 3) | [`suu_i_obl`] |
+//! | `SUU-I-SEM`, the semioblivious `O(log log min(m,n))` schedule (Theorem 4) | [`suu_i_sem`] |
+//! | (LP2) relaxation, §4 | [`lp2`] |
+//! | Lemma 6 rounding (length-capped flow) | [`rounding`] |
+//! | `SUU-C` for disjoint chains (Theorems 7 & 9: random delays, flattening, long-job segments) | [`suu_c`] |
+//! | `SUU-T` for directed forests (Theorem 12, via rank decomposition) | [`suu_t`] |
+//! | Baselines incl. the prior-art-style greedy and the `O(n)` sequential fallback | [`baselines`] |
+//! | Exact `E[T_OPT]` for tiny instances (MDP subset DP) | [`opt`] |
+//! | LP-based lower bounds (Lemma 1 / Lemma 5 style) | [`bounds`] |
+//!
+//! All schedule implementations are [`suu_sim::Policy`]s, so a single
+//! engine executes and compares everything.
+
+pub mod baselines;
+pub mod bounds;
+mod error;
+pub mod lp1;
+pub mod lp2;
+pub mod opt;
+pub mod rounding;
+pub mod suu_c;
+pub mod suu_i_obl;
+pub mod suu_i_sem;
+pub mod suu_t;
+
+pub use error::AlgoError;
+pub use suu_c::{ChainConfig, ChainPolicy};
+pub use suu_i_obl::OblPolicy;
+pub use suu_i_sem::SemPolicy;
+pub use suu_t::ForestPolicy;
+
+#[cfg(test)]
+mod tests;

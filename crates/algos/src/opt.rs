@@ -1,0 +1,407 @@
+//! Exact expected-makespan optimum for tiny instances.
+//!
+//! SUU is NP-hard in general (Malewicz), but for tiny `n`/`m` the optimal
+//! adaptive schedule can be computed exactly: the problem is a Markov
+//! decision process whose states are the *down-closed* sets of remaining
+//! jobs (completed jobs are closed under predecessors) and whose actions
+//! assign each machine to an eligible job. Because transitions only remove
+//! jobs, the Bellman recursion solves in one pass over states by
+//! increasing cardinality:
+//!
+//! ```text
+//! V(S) = min_a  (1 + Σ_{∅ ≠ C ⊆ touched(a)} P_a(C) · V(S \ C)) / (1 − P_a(∅))
+//! ```
+//!
+//! where `P_a(C)` is the probability exactly the jobs in `C` complete.
+//! `V(J)` is `E[T_OPT]` — the denominator every approximation-ratio
+//! experiment (`fig_opt_small`) divides by.
+
+use suu_core::{JobId, MachineId, SuuInstance};
+
+/// Resource limits for the exact solver.
+#[derive(Debug, Clone, Copy)]
+pub struct OptLimits {
+    /// Maximum number of jobs (state space `2^n`).
+    pub max_jobs: usize,
+    /// Abort if the total work estimate (state-action-outcome triples)
+    /// exceeds this.
+    pub max_ops: u64,
+}
+
+impl Default for OptLimits {
+    fn default() -> Self {
+        OptLimits {
+            max_jobs: 14,
+            max_ops: 400_000_000,
+        }
+    }
+}
+
+/// Exact `E[T_OPT]`, or `None` if the instance exceeds `limits`.
+pub fn exact_opt(inst: &SuuInstance, limits: OptLimits) -> Option<f64> {
+    let n = inst.num_jobs();
+    let m = inst.num_machines();
+    if n == 0 {
+        return Some(0.0);
+    }
+    if n > limits.max_jobs || n > 24 {
+        return None;
+    }
+    let dag = inst.precedence().to_dag(n);
+
+    // Bit masks of predecessors/successors per job.
+    let mut preds = vec![0u32; n];
+    let mut succs = vec![0u32; n];
+    for v in 0..n as u32 {
+        for &u in dag.predecessors(v) {
+            preds[v as usize] |= 1 << u;
+        }
+        for &w in dag.successors(v) {
+            succs[v as usize] |= 1 << w;
+        }
+    }
+
+    // Per (machine, job): success probability when that machine alone runs
+    // the job for one step.
+    let q = |i: usize, j: usize| inst.q(MachineId(i as u32), JobId(j as u32));
+
+    let full: u32 = if n == 32 { u32::MAX } else { (1 << n) - 1 };
+    let mut value = vec![f64::INFINITY; (full as usize) + 1];
+    value[0] = 0.0;
+
+    // States sorted by popcount so dependencies are ready.
+    let mut states: Vec<u32> = (1..=full)
+        .filter(|&mask| {
+            // Valid iff remaining set is successor-closed: j remaining ⇒
+            // all successors remaining.
+            (0..n).all(|j| mask >> j & 1 == 0 || (succs[j] & !mask) == 0)
+        })
+        .collect();
+    states.sort_by_key(|s| s.count_ones());
+
+    let mut ops: u64 = 0;
+
+    for &mask in &states {
+        // Eligible jobs: remaining with all predecessors done.
+        let eligible: Vec<usize> = (0..n)
+            .filter(|&j| mask >> j & 1 == 1 && (preds[j] & mask) == 0)
+            .collect();
+        debug_assert!(!eligible.is_empty(), "nonempty valid state has a source");
+
+        // Per machine: the eligible jobs it can actually help (q < 1).
+        let choices: Vec<Vec<usize>> = (0..m)
+            .map(|i| {
+                eligible
+                    .iter()
+                    .copied()
+                    .filter(|&j| q(i, j) < 1.0)
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        // A machine with no useful job idles; drop it from enumeration.
+        let active: Vec<usize> = (0..m).filter(|&i| !choices[i].is_empty()).collect();
+        if active.is_empty() {
+            return None; // cannot make progress — malformed instance
+        }
+
+        let num_actions: u64 = active
+            .iter()
+            .map(|&i| choices[i].len() as u64)
+            .try_fold(1u64, |a, b| a.checked_mul(b))?;
+        ops = ops.checked_add(num_actions.checked_mul(1 << active.len().min(20))?)?;
+        if ops > limits.max_ops {
+            return None;
+        }
+
+        // Mixed-radix enumeration of actions.
+        let mut counter = vec![0usize; active.len()];
+        let mut best = f64::INFINITY;
+        loop {
+            // Failure probability per touched job under this action.
+            let mut fail: Vec<(usize, f64)> = Vec::with_capacity(active.len());
+            for (slot, &i) in active.iter().enumerate() {
+                let j = choices[i][counter[slot]];
+                match fail.iter_mut().find(|(jj, _)| *jj == j) {
+                    Some((_, f)) => *f *= q(i, j),
+                    None => fail.push((j, q(i, j))),
+                }
+            }
+            // Expected value: enumerate completion subsets of touched jobs.
+            let t = fail.len();
+            let mut expectation = 0.0f64; // Σ_{C≠∅} P(C) V(S\C)
+            let mut p_nothing = 0.0f64;
+            for sub in 0u32..(1 << t) {
+                let mut p = 1.0f64;
+                let mut removed = 0u32;
+                for (b, &(j, f)) in fail.iter().enumerate() {
+                    if sub >> b & 1 == 1 {
+                        p *= 1.0 - f;
+                        removed |= 1 << j;
+                    } else {
+                        p *= f;
+                    }
+                }
+                if p == 0.0 {
+                    continue;
+                }
+                if sub == 0 {
+                    p_nothing = p;
+                } else {
+                    expectation += p * value[(mask & !removed) as usize];
+                }
+            }
+            if p_nothing < 1.0 {
+                let v = (1.0 + expectation) / (1.0 - p_nothing);
+                best = best.min(v);
+            }
+
+            // Increment counter.
+            let mut carry = 0;
+            loop {
+                if carry == active.len() {
+                    break;
+                }
+                counter[carry] += 1;
+                if counter[carry] < choices[active[carry]].len() {
+                    break;
+                }
+                counter[carry] = 0;
+                carry += 1;
+            }
+            if carry == active.len() {
+                break;
+            }
+        }
+        value[mask as usize] = best;
+    }
+
+    Some(value[full as usize])
+}
+
+/// Exact expected makespan of a **stationary** policy: one whose machine
+/// assignment depends only on the set of remaining jobs (gang-sequential,
+/// best-machine and the greedy baselines qualify; time-varying policies
+/// like round-robin or the round-based schedules do not).
+///
+/// `assign` receives the remaining-set bitmask and the eligible job list
+/// and returns one job choice per machine (indices into `0..n`). Returns
+/// `None` if the instance exceeds `limits` or if the policy stalls (zero
+/// progress probability in a reachable state — e.g. only `q = 1` pairs
+/// assigned).
+pub fn evaluate_stationary<F>(inst: &SuuInstance, limits: OptLimits, mut assign: F) -> Option<f64>
+where
+    F: FnMut(u32, &[usize]) -> Vec<Option<usize>>,
+{
+    let n = inst.num_jobs();
+    let m = inst.num_machines();
+    if n == 0 {
+        return Some(0.0);
+    }
+    if n > limits.max_jobs || n > 24 {
+        return None;
+    }
+    let dag = inst.precedence().to_dag(n);
+    let mut preds = vec![0u32; n];
+    let mut succs = vec![0u32; n];
+    for v in 0..n as u32 {
+        for &u in dag.predecessors(v) {
+            preds[v as usize] |= 1 << u;
+        }
+        for &w in dag.successors(v) {
+            succs[v as usize] |= 1 << w;
+        }
+    }
+    let q = |i: usize, j: usize| inst.q(MachineId(i as u32), JobId(j as u32));
+
+    let full: u32 = if n == 32 { u32::MAX } else { (1 << n) - 1 };
+    let mut value = vec![f64::INFINITY; (full as usize) + 1];
+    value[0] = 0.0;
+
+    let mut states: Vec<u32> = (1..=full)
+        .filter(|&mask| (0..n).all(|j| mask >> j & 1 == 0 || (succs[j] & !mask) == 0))
+        .collect();
+    states.sort_by_key(|s| s.count_ones());
+
+    for &mask in &states {
+        let eligible: Vec<usize> = (0..n)
+            .filter(|&j| mask >> j & 1 == 1 && (preds[j] & mask) == 0)
+            .collect();
+        let choice = assign(mask, &eligible);
+        assert_eq!(choice.len(), m, "policy returned wrong row width");
+
+        // Per touched job: failure probability under this assignment.
+        let mut fail: Vec<(usize, f64)> = Vec::new();
+        for (i, slot) in choice.iter().enumerate() {
+            let Some(j) = *slot else { continue };
+            if mask >> j & 1 == 0 || (preds[j] & mask) != 0 {
+                continue; // completed or ineligible: machine idles
+            }
+            match fail.iter_mut().find(|(jj, _)| *jj == j) {
+                Some((_, f)) => *f *= q(i, j),
+                None => fail.push((j, q(i, j))),
+            }
+        }
+        let t = fail.len();
+        let mut expectation = 0.0f64;
+        let mut p_nothing = 0.0f64;
+        for sub in 0u32..(1 << t) {
+            let mut p = 1.0f64;
+            let mut removed = 0u32;
+            for (b, &(j, f)) in fail.iter().enumerate() {
+                if sub >> b & 1 == 1 {
+                    p *= 1.0 - f;
+                    removed |= 1 << j;
+                } else {
+                    p *= f;
+                }
+            }
+            if p == 0.0 {
+                continue;
+            }
+            if sub == 0 {
+                p_nothing = p;
+            } else {
+                expectation += p * value[(mask & !removed) as usize];
+            }
+        }
+        if p_nothing >= 1.0 {
+            return None; // policy makes no progress from this state
+        }
+        value[mask as usize] = (1.0 + expectation) / (1.0 - p_nothing);
+    }
+
+    Some(value[full as usize])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use suu_core::{workload, Precedence, SuuInstance};
+    use suu_dag::ChainSet;
+
+    fn opt(inst: &SuuInstance) -> f64 {
+        exact_opt(inst, OptLimits::default()).expect("within limits")
+    }
+
+    #[test]
+    fn single_job_single_machine_geometric() {
+        // E[T] = 1 / (1 - q).
+        for q in [0.0, 0.5, 0.9] {
+            let inst = workload::homogeneous(1, 1, q, Precedence::Independent);
+            assert!((opt(&inst) - 1.0 / (1.0 - q)).abs() < 1e-9, "q = {q}");
+        }
+    }
+
+    #[test]
+    fn one_job_two_machines_gang() {
+        // Optimal: both machines on the job; success 1 - q^2.
+        let inst = workload::homogeneous(2, 1, 0.5, Precedence::Independent);
+        assert!((opt(&inst) - 1.0 / (1.0 - 0.25)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_chain_is_its_length() {
+        let cs = ChainSet::new(4, vec![vec![0, 1, 2, 3]]).unwrap();
+        let inst = workload::deterministic(2, 4, Precedence::Chains(cs));
+        assert!((opt(&inst) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_independent_load_balance() {
+        // 4 jobs, 2 machines, q = 0: two steps (2 jobs per step).
+        let inst = workload::deterministic(2, 4, Precedence::Independent);
+        assert!((opt(&inst) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_jobs_one_machine_known_value() {
+        // q = 1/2 each, one machine. Serve one job until done, then the
+        // other: E = 2 + 2 = 4. (No better policy exists with one machine.)
+        let inst = workload::homogeneous(1, 2, 0.5, Precedence::Independent);
+        assert!((opt(&inst) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn opt_monotone_in_machine_quality() {
+        let worse = workload::homogeneous(2, 3, 0.8, Precedence::Independent);
+        let better = workload::homogeneous(2, 3, 0.4, Precedence::Independent);
+        assert!(opt(&better) < opt(&worse));
+    }
+
+    #[test]
+    fn respects_limits() {
+        let inst = workload::homogeneous(2, 10, 0.5, Precedence::Independent);
+        let tiny = OptLimits {
+            max_jobs: 4,
+            max_ops: 1000,
+        };
+        assert_eq!(exact_opt(&inst, tiny), None);
+    }
+
+    #[test]
+    fn useless_machine_is_ignored() {
+        // Machine 1 never helps (q = 1); OPT must equal the single-machine
+        // value.
+        let inst =
+            SuuInstance::new(2, 1, vec![0.5, 1.0], Precedence::Independent).unwrap();
+        assert!((opt(&inst) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn evaluate_gang_matches_closed_form() {
+        // Gang on identical machines: jobs sequential, each
+        // Geometric(1 - q^m): E = n / (1 - q^m).
+        let (m, n, q) = (3usize, 4usize, 0.6f64);
+        let inst = workload::homogeneous(m, n, q, Precedence::Independent);
+        let v = evaluate_stationary(&inst, OptLimits::default(), |_, eligible| {
+            vec![eligible.first().copied(); m]
+        })
+        .unwrap();
+        let expected = n as f64 / (1.0 - q.powi(m as i32));
+        assert!((v - expected).abs() < 1e-9, "{v} vs {expected}");
+    }
+
+    #[test]
+    fn evaluate_optimal_policy_equals_opt() {
+        // Feed the DP's own optimal action back in: values must agree.
+        // Here the obviously optimal stationary policy for 2 identical
+        // jobs on 2 identical machines is one machine per job.
+        let inst = workload::homogeneous(2, 2, 0.5, Precedence::Independent);
+        let v = evaluate_stationary(&inst, OptLimits::default(), |_, eligible| {
+            (0..2).map(|i| eligible.get(i % eligible.len().max(1)).copied()).collect()
+        })
+        .unwrap();
+        let opt = exact_opt(&inst, OptLimits::default()).unwrap();
+        assert!(v >= opt - 1e-9, "policy value {v} below OPT {opt}");
+        assert!((v - opt).abs() < 1e-9, "split policy is optimal here");
+    }
+
+    #[test]
+    fn evaluate_detects_stalling_policy() {
+        let inst = workload::homogeneous(1, 1, 0.5, Precedence::Independent);
+        // Policy that always idles: zero progress.
+        let v = evaluate_stationary(&inst, OptLimits::default(), |_, _| vec![None]);
+        assert_eq!(v, None);
+    }
+
+    #[test]
+    fn evaluate_dominated_policy_is_worse() {
+        // Using only one machine when two exist must not beat OPT.
+        let inst = workload::homogeneous(2, 3, 0.5, Precedence::Independent);
+        let lazy = evaluate_stationary(&inst, OptLimits::default(), |_, eligible| {
+            vec![eligible.first().copied(), None]
+        })
+        .unwrap();
+        let opt = exact_opt(&inst, OptLimits::default()).unwrap();
+        assert!(lazy > opt + 0.5, "lazy {lazy} vs opt {opt}");
+    }
+
+    #[test]
+    fn diamond_dag_orders_correctly() {
+        // 0 -> {1,2} -> 3, q = 0, 2 machines: step1 job0, step2 jobs 1+2,
+        // step3 job3 => 3 steps.
+        let dag = suu_dag::Dag::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let inst = workload::deterministic(2, 4, Precedence::Dag(dag));
+        assert!((opt(&inst) - 3.0).abs() < 1e-9);
+    }
+}

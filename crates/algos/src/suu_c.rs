@@ -1,0 +1,589 @@
+//! `SUU-C`: the `O(log(n+m) · log log min(m,n))`-approximation for
+//! disjoint-chain precedence (paper §4, Theorems 7 & 9).
+//!
+//! Construction pipeline:
+//!
+//! 1. **(LP2) + Lemma 6 rounding** give an integral assignment `{x̂_ij}`
+//!    with per-job mass ≥ 1, load = `O(t_LP2)` and chain lengths
+//!    `O(t_LP2)`.
+//! 2. **Per-chain adaptive schedules `Σ_k`**: each chain works through its
+//!    jobs in order; job `j` occupies a *block* of `d_j = max_i x̂_ij`
+//!    supersteps during which machine `i` serves `j` for the first `x̂_ij`
+//!    of them. Each block grants mass ≥ 1, i.e. constant success
+//!    probability; failed jobs replay their block.
+//! 3. **Pseudoschedule + random delay** (Theorem 7): all `Σ_k` run "in
+//!    parallel" over supersteps; each chain's start is delayed by
+//!    `δ_k ~ U{0..H}` (`H` = assignment load), which drops the maximum
+//!    per-machine *congestion* to `O(log(n+m)/log log(n+m))` w.h.p.
+//! 4. **Flattening**: a superstep with congestion `c` expands into `c`
+//!    real timesteps, each machine serving its queued jobs one per step.
+//! 5. **Long jobs** (`d_j > γ = t_LP2 / log₂(n+m)`): replaced in their
+//!    chain by a γ-superstep *pause*; at the end of each γ-superstep
+//!    *segment*, all long jobs whose pauses started in that segment run to
+//!    completion under [`SemPolicy`] while the chains suspend.
+//! 6. **Fallback**: if the execution blows past its high-probability
+//!    budget (the paper's "bad event"), switch to the `O(n)` sequential
+//!    gang schedule.
+//!
+//! The optional **coarsening** step (paper's "extending to nonpolynomial
+//! `t_LP2`") rounds every `x̂_ij` down to a multiple of `t_LP2/(nm)` and
+//! compensates by topping up each job's mass on its best machine —
+//! bounding the number of distinct block offsets when `t_LP2` is huge.
+
+use crate::lp2::{round_lp2, solve_lp2};
+use crate::suu_i_sem::SemPolicy;
+use crate::AlgoError;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use std::sync::Arc;
+use suu_core::{Assignment, JobId, MachineId, SuuInstance};
+use suu_sim::{Policy, StateView};
+
+/// Tuning knobs for [`ChainPolicy`] (defaults follow the paper).
+#[derive(Debug, Clone, Copy)]
+pub struct ChainConfig {
+    /// Apply the Theorem-7 random start delays. Disabling them is only
+    /// useful for the congestion experiment (`fig_congestion`).
+    pub use_random_delay: bool,
+    /// Apply the nonpolynomial-`t_LP2` coarsening of §4.
+    pub coarsen: bool,
+    /// Seed for the policy's internal randomness (delays). Distinct from
+    /// the engine's job-outcome randomness; the RNG persists across
+    /// `reset` so every trial draws fresh delays deterministically.
+    pub seed: u64,
+    /// Multiplier for the bad-event fallback budget (real steps allowed
+    /// before switching to the sequential gang schedule).
+    pub fallback_factor: u64,
+}
+
+impl Default for ChainConfig {
+    fn default() -> Self {
+        ChainConfig {
+            use_random_delay: true,
+            coarsen: false,
+            seed: 0xC4A1,
+            fallback_factor: 64,
+        }
+    }
+}
+
+/// Observables from the most recent execution (Theorem 7 experiment).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChainStats {
+    /// Supersteps executed.
+    pub supersteps: u64,
+    /// Maximum congestion (jobs per machine per superstep) observed.
+    pub max_congestion: u64,
+    /// Number of long-job [`SemPolicy`] phases run.
+    pub long_job_phases: u64,
+    /// Whether the bad-event fallback engaged.
+    pub fallback_triggered: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Supersteps,
+    LongJobs,
+    Fallback,
+}
+
+/// The `SUU-C` policy.
+pub struct ChainPolicy {
+    inst: Arc<SuuInstance>,
+    /// Chains in precedence order (over original job ids; not necessarily
+    /// covering every job of the instance — `SUU-T` runs one block at a
+    /// time).
+    chains: Vec<Vec<u32>>,
+    assignment: Assignment,
+    /// `d̂_j` per original job id (0 for jobs outside the chains).
+    d: Vec<u64>,
+    /// Long-job cutoff γ in supersteps.
+    gamma: u64,
+    /// Delay range `H` (assignment load).
+    h_range: u64,
+    long_job: Vec<bool>,
+    cfg: ChainConfig,
+    rng: SmallRng,
+    fallback_budget: u64,
+    name: String,
+
+    // --- per-execution state ---
+    mode: Mode,
+    delays: Vec<u64>,
+    /// Per chain: index of the current job.
+    pos: Vec<usize>,
+    /// Per chain: supersteps spent in the current block/pause.
+    offset: Vec<u64>,
+    superstep: u64,
+    /// Long jobs whose pause started in the current segment.
+    seg_long_jobs: Vec<u32>,
+    long_sub: Option<SemPolicy>,
+    /// Flattened real-step rows of the in-flight superstep.
+    plan: Vec<Vec<Option<JobId>>>,
+    plan_pos: usize,
+    in_flight: bool,
+    real_steps: u64,
+    stats: ChainStats,
+}
+
+impl ChainPolicy {
+    /// Build `SUU-C` for the given chains (each a job-id list in precedence
+    /// order). Jobs of the instance outside every chain are ignored.
+    pub fn build(
+        inst: Arc<SuuInstance>,
+        chains: Vec<Vec<u32>>,
+        cfg: ChainConfig,
+    ) -> Result<Self, AlgoError> {
+        let sol = solve_lp2(&inst, &chains, 1.0)?;
+        let (assignment, _report) = round_lp2(&inst, &sol)?;
+        Self::from_parts(inst, chains, assignment, sol.t_star, cfg)
+    }
+
+    /// Build from a precomputed rounded assignment and its fractional LP
+    /// value, skipping the (expensive) LP2 solve. Lets callers amortize
+    /// one LP solve across many Monte-Carlo policy instances.
+    pub fn from_parts(
+        inst: Arc<SuuInstance>,
+        chains: Vec<Vec<u32>>,
+        mut assignment: Assignment,
+        t_star: f64,
+        cfg: ChainConfig,
+    ) -> Result<Self, AlgoError> {
+        let n = inst.num_jobs();
+        let m = inst.num_machines();
+        for chain in &chains {
+            for &j in chain {
+                if j as usize >= n {
+                    return Err(AlgoError::BadInput(format!("chain job {j} out of range")));
+                }
+            }
+        }
+
+        let nm_log = ((n + m).max(2) as f64).log2();
+        let gamma = ((t_star / nm_log).floor() as u64).max(1);
+
+        if cfg.coarsen {
+            coarsen_assignment(&inst, &mut assignment, t_star);
+        }
+
+        let mut d = vec![0u64; n];
+        let mut long_job = vec![false; n];
+        for chain in &chains {
+            for &j in chain {
+                d[j as usize] = assignment.length(JobId(j)).max(1);
+                long_job[j as usize] = d[j as usize] > gamma;
+            }
+        }
+
+        let h_range = assignment.max_load();
+        let fallback_budget =
+            1_000 + cfg.fallback_factor * (t_star.ceil() as u64 + gamma + h_range + 1) * (nm_log.ceil() as u64 + 1);
+
+        let num_chains = chains.len();
+        Ok(ChainPolicy {
+            inst,
+            chains,
+            assignment,
+            d,
+            gamma,
+            h_range,
+            long_job,
+            cfg,
+            rng: SmallRng::seed_from_u64(cfg.seed),
+            fallback_budget,
+            name: "SUU-C".to_string(),
+            mode: Mode::Supersteps,
+            delays: vec![0; num_chains],
+            pos: vec![0; num_chains],
+            offset: vec![0; num_chains],
+            superstep: 0,
+            seg_long_jobs: Vec::new(),
+            long_sub: None,
+            plan: Vec::new(),
+            plan_pos: 0,
+            in_flight: false,
+            real_steps: 0,
+            stats: ChainStats::default(),
+        })
+    }
+
+    /// Long-job cutoff γ (supersteps).
+    pub fn gamma(&self) -> u64 {
+        self.gamma
+    }
+
+    /// Stats from the most recent execution.
+    pub fn stats(&self) -> ChainStats {
+        self.stats
+    }
+
+    /// Is chain `k` started (past its delay) and not exhausted?
+    fn chain_active(&self, k: usize) -> bool {
+        self.superstep >= self.delays[k] && self.pos[k] < self.chains[k].len()
+    }
+
+    /// Advance per-chain state at the end of a finished superstep.
+    fn advance_chains(&mut self, remaining: &suu_core::BitSet) {
+        for k in 0..self.chains.len() {
+            if !self.chain_active(k) {
+                continue;
+            }
+            // Skip any jobs that are already complete (long jobs finish
+            // during their pause via the SemPolicy phase).
+            let j = self.chains[k][self.pos[k]] as usize;
+            self.offset[k] += 1;
+            if self.long_job[j] {
+                if self.offset[k] >= self.gamma && !remaining.contains(j as u32) {
+                    self.pos[k] += 1;
+                    self.offset[k] = 0;
+                }
+                // else: still pausing (or job unexpectedly incomplete —
+                // keep pausing; the next segment boundary will run it).
+            } else if self.offset[k] >= self.d[j] {
+                if remaining.contains(j as u32) {
+                    self.offset[k] = 0; // block failed: replay
+                } else {
+                    self.pos[k] += 1;
+                    self.offset[k] = 0;
+                }
+            }
+        }
+        self.superstep += 1;
+        self.stats.supersteps = self.superstep;
+    }
+
+    /// Build the flattened plan for the next superstep.
+    fn plan_superstep(&mut self, remaining: &suu_core::BitSet) {
+        let m = self.inst.num_machines();
+        let mut machine_jobs: Vec<Vec<JobId>> = vec![Vec::new(); m];
+
+        for k in 0..self.chains.len() {
+            if !self.chain_active(k) {
+                continue;
+            }
+            // Fast-forward past already-completed jobs at block start.
+            while self.pos[k] < self.chains[k].len()
+                && self.offset[k] == 0
+                && !remaining.contains(self.chains[k][self.pos[k]])
+            {
+                self.pos[k] += 1;
+            }
+            if self.pos[k] >= self.chains[k].len() {
+                continue;
+            }
+            let j = self.chains[k][self.pos[k]];
+            if self.long_job[j as usize] {
+                if self.offset[k] == 0 {
+                    // Pause starts now: queue the long job for this
+                    // segment's SemPolicy phase.
+                    self.seg_long_jobs.push(j);
+                }
+                continue; // pauses occupy no machines
+            }
+            for &(i, x) in self.assignment.machines_for(JobId(j)) {
+                if self.offset[k] < x {
+                    machine_jobs[i as usize].push(JobId(j));
+                }
+            }
+        }
+
+        let congestion = machine_jobs.iter().map(Vec::len).max().unwrap_or(0) as u64;
+        self.stats.max_congestion = self.stats.max_congestion.max(congestion);
+        let rows = congestion.max(1) as usize;
+        self.plan = (0..rows)
+            .map(|r| {
+                (0..m)
+                    .map(|i| machine_jobs[i].get(r).copied())
+                    .collect::<Vec<Option<JobId>>>()
+            })
+            .collect();
+        self.plan_pos = 0;
+        self.in_flight = true;
+    }
+
+    /// Gang-sequential fallback row: all machines on the first eligible
+    /// remaining job.
+    fn fallback_row(&self, view: &StateView<'_>) -> Vec<Option<JobId>> {
+        let target = self
+            .chains
+            .iter()
+            .flatten()
+            .copied()
+            .find(|&j| view.remaining.contains(j) && view.eligible.contains(j));
+        match target {
+            Some(j) => vec![Some(JobId(j)); view.m],
+            None => vec![None; view.m],
+        }
+    }
+
+    fn my_jobs_done(&self, remaining: &suu_core::BitSet) -> bool {
+        self.chains.iter().flatten().all(|&j| !remaining.contains(j))
+    }
+}
+
+/// Coarsen: round each `x̂_ij` down to a multiple of `t*/(nm)` and restore
+/// any lost mass with extra steps on the job's best machine (the paper's
+/// "reinserted steps", folded into the job's own block).
+fn coarsen_assignment(inst: &SuuInstance, assignment: &mut Assignment, t_star: f64) {
+    let n = inst.num_jobs();
+    let m = inst.num_machines();
+    let mult = ((t_star / (n * m) as f64).floor() as u64).max(1);
+    if mult == 1 {
+        return; // t_LP2 already polynomial in n, m: nothing to do
+    }
+    let mut replacement = Assignment::new(m, n);
+    for j in 0..n as u32 {
+        let job = JobId(j);
+        let mut lost = 0.0f64;
+        for &(i, x) in assignment.machines_for(job) {
+            let floored = x / mult * mult;
+            if floored > 0 {
+                replacement.add(MachineId(i), job, floored);
+            }
+            lost += (x - floored) as f64 * inst.ell(MachineId(i), job);
+        }
+        if lost > 0.0 {
+            let best = inst.best_machine(job);
+            let per_step = inst.ell(best, job);
+            let extra = (lost / per_step).ceil() as u64;
+            replacement.add(best, job, extra.max(1));
+        }
+    }
+    *assignment = replacement;
+}
+
+impl Policy for ChainPolicy {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn reset(&mut self) {
+        self.mode = Mode::Supersteps;
+        self.delays = (0..self.chains.len())
+            .map(|_| {
+                if self.cfg.use_random_delay && self.h_range > 0 {
+                    self.rng.random_range(0..=self.h_range)
+                } else {
+                    0
+                }
+            })
+            .collect();
+        self.pos.iter_mut().for_each(|p| *p = 0);
+        self.offset.iter_mut().for_each(|o| *o = 0);
+        self.superstep = 0;
+        self.seg_long_jobs.clear();
+        self.long_sub = None;
+        self.plan.clear();
+        self.plan_pos = 0;
+        self.in_flight = false;
+        self.real_steps = 0;
+        self.stats = ChainStats::default();
+    }
+
+    fn assign(&mut self, view: &StateView<'_>) -> Vec<Option<JobId>> {
+        self.real_steps += 1;
+        if self.my_jobs_done(view.remaining) {
+            return vec![None; view.m];
+        }
+        if self.mode != Mode::Fallback && self.real_steps > self.fallback_budget {
+            self.mode = Mode::Fallback;
+            self.stats.fallback_triggered = true;
+        }
+
+        loop {
+            match self.mode {
+                Mode::Fallback => return self.fallback_row(view),
+                Mode::LongJobs => {
+                    let done = self
+                        .long_sub
+                        .as_ref()
+                        .is_none_or(|s| s.is_done(view.remaining));
+                    if done {
+                        self.long_sub = None;
+                        self.mode = Mode::Supersteps;
+                        continue;
+                    }
+                    return self.long_sub.as_mut().expect("sub-policy present").assign(view);
+                }
+                Mode::Supersteps => {
+                    if self.plan_pos < self.plan.len() {
+                        let row = self.plan[self.plan_pos].clone();
+                        self.plan_pos += 1;
+                        return row;
+                    }
+                    // Superstep boundary.
+                    if self.in_flight {
+                        self.in_flight = false;
+                        self.advance_chains(view.remaining);
+                    }
+                    // Segment boundary: run this segment's long jobs.
+                    if self.superstep > 0
+                        && self.superstep % self.gamma == 0
+                        && !self.seg_long_jobs.is_empty()
+                    {
+                        let batch: Vec<u32> = std::mem::take(&mut self.seg_long_jobs)
+                            .into_iter()
+                            .filter(|&j| view.remaining.contains(j))
+                            .collect();
+                        if !batch.is_empty() {
+                            let mut sub = SemPolicy::for_jobs(self.inst.clone(), Some(batch))
+                                .expect("sub-policy construction is infallible");
+                            sub.reset();
+                            self.long_sub = Some(sub);
+                            self.stats.long_job_phases += 1;
+                            self.mode = Mode::LongJobs;
+                            continue;
+                        }
+                    }
+                    self.plan_superstep(view.remaining);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use suu_core::{workload, Precedence};
+    use suu_dag::{generators, ChainSet};
+    use suu_sim::{execute, ExecConfig};
+
+    fn chain_instance(seed: u64, m: usize, n: usize, num_chains: usize) -> (Arc<SuuInstance>, Vec<Vec<u32>>) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let cs = generators::random_chain_set(n, num_chains, &mut rng);
+        let chains = cs.chains().to_vec();
+        let inst = workload::uniform_unrelated(m, n, 0.2, 0.95, Precedence::Chains(cs), &mut rng);
+        (Arc::new(inst), chains)
+    }
+
+    #[test]
+    fn completes_random_chain_instances() {
+        for seed in 0..5u64 {
+            let (inst, chains) = chain_instance(seed, 3, 10, 3);
+            let mut policy = ChainPolicy::build(inst.clone(), chains, ChainConfig::default()).unwrap();
+            let mut erng = StdRng::seed_from_u64(seed + 100);
+            let out = execute(&inst, &mut policy, &ExecConfig::default(), &mut erng);
+            assert!(out.completed, "seed {seed}");
+            assert_eq!(out.ineligible_assignments, 0, "seed {seed}");
+            assert!(policy.stats().supersteps > 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_chain_completes_quickly() {
+        // q = 0: each block succeeds first try.
+        let cs = ChainSet::new(6, vec![vec![0, 1, 2], vec![3, 4, 5]]).unwrap();
+        let chains = cs.chains().to_vec();
+        let inst = Arc::new(workload::deterministic(2, 6, Precedence::Chains(cs)));
+        let cfg = ChainConfig {
+            use_random_delay: false,
+            ..ChainConfig::default()
+        };
+        let mut policy = ChainPolicy::build(inst.clone(), chains, cfg).unwrap();
+        let mut erng = StdRng::seed_from_u64(1);
+        let out = execute(&inst, &mut policy, &ExecConfig::default(), &mut erng);
+        assert!(out.completed);
+        assert!(!policy.stats().fallback_triggered);
+    }
+
+    #[test]
+    fn random_delay_reduces_congestion_on_many_chains() {
+        // Many parallel chains hammering few machines: delays must not
+        // *increase* worst congestion, and typically decrease it.
+        let (inst, chains) = chain_instance(77, 2, 40, 20);
+        let run = |use_delay: bool| {
+            let cfg = ChainConfig {
+                use_random_delay: use_delay,
+                seed: 5,
+                ..ChainConfig::default()
+            };
+            let mut policy = ChainPolicy::build(inst.clone(), chains.clone(), cfg).unwrap();
+            let mut erng = StdRng::seed_from_u64(9);
+            let out = execute(&inst, &mut policy, &ExecConfig::default(), &mut erng);
+            assert!(out.completed);
+            policy.stats().max_congestion
+        };
+        let with_delay = run(true);
+        let without_delay = run(false);
+        assert!(
+            with_delay <= without_delay,
+            "delays should not worsen congestion: {with_delay} vs {without_delay}"
+        );
+    }
+
+    #[test]
+    fn long_jobs_trigger_sem_phases() {
+        // One job far harder than the rest forces a long block.
+        let n = 8;
+        let m = 2;
+        let mut q = vec![0.5; m * n];
+        // Job 0 is nearly impossible per step: q = 0.999 on every machine
+        // (ell ≈ 0.00144, so it needs ~700 steps of mass for target 1).
+        for i in 0..m {
+            q[i * n] = 0.999;
+        }
+        let cs = ChainSet::new(n, vec![(0..n as u32).collect()]).unwrap();
+        let chains = cs.chains().to_vec();
+        let inst = Arc::new(SuuInstance::new(m, n, q, Precedence::Chains(cs)).unwrap());
+        let mut policy = ChainPolicy::build(inst.clone(), chains, ChainConfig::default()).unwrap();
+        assert!(policy.gamma() >= 1);
+        let mut erng = StdRng::seed_from_u64(3);
+        let out = execute(&inst, &mut policy, &ExecConfig::default(), &mut erng);
+        assert!(out.completed);
+        assert!(
+            policy.stats().long_job_phases > 0,
+            "expected at least one long-job phase (gamma = {})",
+            policy.gamma()
+        );
+    }
+
+    #[test]
+    fn coarsening_preserves_completion() {
+        let (inst, chains) = chain_instance(5, 3, 8, 2);
+        let cfg = ChainConfig {
+            coarsen: true,
+            ..ChainConfig::default()
+        };
+        let mut policy = ChainPolicy::build(inst.clone(), chains, cfg).unwrap();
+        let mut erng = StdRng::seed_from_u64(4);
+        let out = execute(&inst, &mut policy, &ExecConfig::default(), &mut erng);
+        assert!(out.completed);
+    }
+
+    #[test]
+    fn subset_chains_leave_other_jobs_alone() {
+        // Chains cover only jobs 0..4 of 6; jobs 4,5 are never scheduled.
+        let inst = Arc::new(workload::homogeneous(2, 6, 0.5, Precedence::Independent));
+        let chains = vec![vec![0u32, 1], vec![2, 3]];
+        let mut policy = ChainPolicy::build(inst.clone(), chains, ChainConfig::default()).unwrap();
+        policy.reset();
+        let remaining = suu_core::BitSet::full(6);
+        let eligible = suu_core::BitSet::full(6);
+        for t in 0..200 {
+            let view = StateView {
+                time: t,
+                remaining: &remaining,
+                eligible: &eligible,
+                n: 6,
+                m: 2,
+            };
+            for j in policy.assign(&view).into_iter().flatten() {
+                assert!(j.0 < 4, "scheduled job outside chains: {j:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn stats_reset_between_runs() {
+        let (inst, chains) = chain_instance(2, 2, 6, 2);
+        let mut policy = ChainPolicy::build(inst.clone(), chains, ChainConfig::default()).unwrap();
+        let mut erng = StdRng::seed_from_u64(8);
+        let _ = execute(&inst, &mut policy, &ExecConfig::default(), &mut erng);
+        let first = policy.stats().supersteps;
+        assert!(first > 0);
+        policy.reset();
+        assert_eq!(policy.stats().supersteps, 0);
+    }
+}

@@ -1,0 +1,177 @@
+//! `SUU-T`: directed-forest precedence via chain-block decomposition
+//! (Theorem 12 / Appendix B).
+//!
+//! The forest is decomposed into at most `⌊log₂ n⌋ + 1` *blocks* of
+//! vertex-disjoint chains (`suu_dag::Forest::rank_decomposition`, after
+//! Kumar et al. \[7\]); executing the blocks in order respects every
+//! precedence edge. Each block is scheduled by [`ChainPolicy`] (`SUU-C`),
+//! giving the paper's
+//! `O(log n · log(n+m) · log log min(m,n))`-approximation.
+
+use crate::suu_c::{ChainConfig, ChainPolicy, ChainStats};
+use crate::AlgoError;
+use std::sync::Arc;
+use suu_core::{JobId, SuuInstance};
+use suu_dag::Forest;
+use suu_sim::{Policy, StateView};
+
+/// The block-sequential forest policy.
+pub struct ForestPolicy {
+    blocks: Vec<ChainPolicy>,
+    /// Jobs per block (for completion detection).
+    block_jobs: Vec<Vec<u32>>,
+    current: usize,
+    name: String,
+}
+
+impl ForestPolicy {
+    /// Build `SUU-T` for an instance whose precedence is the given forest.
+    pub fn build(inst: Arc<SuuInstance>, forest: &Forest, cfg: ChainConfig) -> Result<Self, AlgoError> {
+        if forest.num_vertices() != inst.num_jobs() {
+            return Err(AlgoError::BadInput(format!(
+                "forest covers {} vertices, instance has {} jobs",
+                forest.num_vertices(),
+                inst.num_jobs()
+            )));
+        }
+        let decomposition = forest.rank_decomposition();
+        let mut blocks = Vec::with_capacity(decomposition.len());
+        let mut block_jobs = Vec::with_capacity(decomposition.len());
+        for (b, chains) in decomposition.into_iter().enumerate() {
+            let jobs: Vec<u32> = chains.iter().flatten().copied().collect();
+            let block_cfg = ChainConfig {
+                seed: cfg.seed.wrapping_add(b as u64 + 1),
+                ..cfg
+            };
+            blocks.push(ChainPolicy::build(inst.clone(), chains, block_cfg)?);
+            block_jobs.push(jobs);
+        }
+        Ok(ForestPolicy {
+            blocks,
+            block_jobs,
+            current: 0,
+            name: "SUU-T".to_string(),
+        })
+    }
+
+    /// Number of decomposition blocks (`≤ ⌊log₂ n⌋ + 1`).
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Stats of each block's `SUU-C` run so far.
+    pub fn block_stats(&self) -> Vec<ChainStats> {
+        self.blocks.iter().map(|b| b.stats()).collect()
+    }
+
+    fn block_done(&self, b: usize, remaining: &suu_core::BitSet) -> bool {
+        self.block_jobs[b].iter().all(|&j| !remaining.contains(j))
+    }
+}
+
+impl Policy for ForestPolicy {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn reset(&mut self) {
+        self.current = 0;
+        for b in &mut self.blocks {
+            b.reset();
+        }
+    }
+
+    fn assign(&mut self, view: &StateView<'_>) -> Vec<Option<JobId>> {
+        while self.current < self.blocks.len() && self.block_done(self.current, view.remaining) {
+            self.current += 1;
+        }
+        if self.current >= self.blocks.len() {
+            return vec![None; view.m];
+        }
+        self.blocks[self.current].assign(view)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::{SmallRng, StdRng};
+    use rand::SeedableRng;
+    use suu_core::{workload, Precedence};
+    use suu_dag::generators;
+    use suu_sim::{execute, ExecConfig};
+
+    fn forest_instance(seed: u64, m: usize, n: usize, in_forest: bool) -> (Arc<SuuInstance>, Forest) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let forest = if in_forest {
+            generators::random_in_forest(n, 2.min(n), &mut rng)
+        } else {
+            generators::random_out_forest(n, 2.min(n), &mut rng)
+        };
+        let inst = workload::uniform_unrelated(
+            m,
+            n,
+            0.2,
+            0.95,
+            Precedence::Forest(forest.clone()),
+            &mut rng,
+        );
+        (Arc::new(inst), forest)
+    }
+
+    #[test]
+    fn completes_out_forests() {
+        for seed in 0..4u64 {
+            let (inst, forest) = forest_instance(seed, 3, 12, false);
+            let mut policy = ForestPolicy::build(inst.clone(), &forest, ChainConfig::default()).unwrap();
+            assert!(policy.num_blocks() <= 5); // log2(12)+1
+            let mut erng = StdRng::seed_from_u64(seed + 50);
+            let out = execute(&inst, &mut policy, &ExecConfig::default(), &mut erng);
+            assert!(out.completed, "seed {seed}");
+            assert_eq!(out.ineligible_assignments, 0, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn completes_in_forests() {
+        for seed in 0..4u64 {
+            let (inst, forest) = forest_instance(seed, 3, 12, true);
+            let mut policy = ForestPolicy::build(inst.clone(), &forest, ChainConfig::default()).unwrap();
+            let mut erng = StdRng::seed_from_u64(seed + 70);
+            let out = execute(&inst, &mut policy, &ExecConfig::default(), &mut erng);
+            assert!(out.completed, "seed {seed}");
+            assert_eq!(out.ineligible_assignments, 0, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn binary_tree_block_count_logarithmic() {
+        let forest = generators::binary_out_tree(6); // 63 vertices
+        let inst = Arc::new(workload::homogeneous(
+            4,
+            63,
+            0.5,
+            Precedence::Forest(forest.clone()),
+        ));
+        let policy = ForestPolicy::build(inst, &forest, ChainConfig::default()).unwrap();
+        assert_eq!(policy.num_blocks(), 6); // ranks 0..=5
+    }
+
+    #[test]
+    fn size_mismatch_rejected() {
+        let forest = generators::binary_out_tree(3); // 7 vertices
+        let inst = Arc::new(workload::homogeneous(2, 9, 0.5, Precedence::Independent));
+        assert!(ForestPolicy::build(inst, &forest, ChainConfig::default()).is_err());
+    }
+
+    #[test]
+    fn reset_replays_from_first_block() {
+        let (inst, forest) = forest_instance(9, 2, 8, false);
+        let mut policy = ForestPolicy::build(inst.clone(), &forest, ChainConfig::default()).unwrap();
+        for seed in 0..3 {
+            let mut erng = StdRng::seed_from_u64(seed);
+            let out = execute(&inst, &mut policy, &ExecConfig::default(), &mut erng);
+            assert!(out.completed);
+        }
+    }
+}

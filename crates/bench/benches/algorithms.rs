@@ -1,0 +1,90 @@
+//! Criterion bench: end-to-end schedule construction cost (LP + rounding +
+//! timetable) for each algorithm family.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::sync::Arc;
+use suu_algos::{ChainConfig, ChainPolicy, ForestPolicy, OblPolicy, SemPolicy};
+use suu_core::{workload, Precedence};
+use suu_dag::generators::{random_chain_set, random_out_forest};
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedule_construction");
+    group.sample_size(10);
+    for &(n, m) in &[(32usize, 8usize), (64, 8)] {
+        let mut rng = SmallRng::seed_from_u64(n as u64);
+        let ind = Arc::new(workload::uniform_unrelated(
+            m,
+            n,
+            0.1,
+            0.95,
+            Precedence::Independent,
+            &mut rng,
+        ));
+        group.bench_with_input(
+            BenchmarkId::new("suu_i_obl", format!("n{n}_m{m}")),
+            &ind,
+            |b, inst| b.iter(|| black_box(OblPolicy::build(inst).unwrap().period())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("suu_i_sem", format!("n{n}_m{m}")),
+            &ind,
+            |b, inst| b.iter(|| black_box(SemPolicy::build(inst.clone()).unwrap().k_max())),
+        );
+
+        let mut rng = SmallRng::seed_from_u64(n as u64 + 1);
+        let cs = random_chain_set(n, n / 4, &mut rng);
+        let chains = cs.chains().to_vec();
+        let chained = Arc::new(workload::uniform_unrelated(
+            m,
+            n,
+            0.1,
+            0.95,
+            Precedence::Chains(cs),
+            &mut rng,
+        ));
+        group.bench_with_input(
+            BenchmarkId::new("suu_c", format!("n{n}_m{m}")),
+            &(chained, chains),
+            |b, (inst, chains)| {
+                b.iter(|| {
+                    black_box(
+                        ChainPolicy::build(inst.clone(), chains.clone(), ChainConfig::default())
+                            .unwrap()
+                            .gamma(),
+                    )
+                })
+            },
+        );
+
+        let mut rng = SmallRng::seed_from_u64(n as u64 + 2);
+        let forest = random_out_forest(n, 2, &mut rng);
+        let forested = Arc::new(workload::uniform_unrelated(
+            m,
+            n,
+            0.1,
+            0.95,
+            Precedence::Forest(forest.clone()),
+            &mut rng,
+        ));
+        group.bench_with_input(
+            BenchmarkId::new("suu_t", format!("n{n}_m{m}")),
+            &(forested, forest),
+            |b, (inst, forest)| {
+                b.iter(|| {
+                    black_box(
+                        ForestPolicy::build(inst.clone(), forest, ChainConfig::default())
+                            .unwrap()
+                            .num_blocks(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion bench: Dinic max-flow and Hopcroft–Karp matching.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+use suu_flow::{BipartiteMatcher, FlowNetwork};
+
+fn layered_network(layers: usize, width: usize, seed: u64) -> (FlowNetwork, usize, usize) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = layers * width + 2;
+    let (s, t) = (n - 2, n - 1);
+    let mut net = FlowNetwork::new(n);
+    for w in 0..width {
+        net.add_edge(s, w, rng.random_range(1..50));
+        net.add_edge((layers - 1) * width + w, t, rng.random_range(1..50));
+    }
+    for l in 0..layers - 1 {
+        for a in 0..width {
+            for b in 0..width {
+                if rng.random_bool(0.4) {
+                    net.add_edge(l * width + a, (l + 1) * width + b, rng.random_range(1..25));
+                }
+            }
+        }
+    }
+    (net, s, t)
+}
+
+fn bench_dinic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dinic_max_flow");
+    for &(layers, width) in &[(4usize, 8usize), (6, 16), (8, 32)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{layers}x{width}")),
+            &(layers, width),
+            |b, &(layers, width)| {
+                b.iter_batched(
+                    || layered_network(layers, width, 42),
+                    |(mut net, s, t)| black_box(net.max_flow(s, t)),
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hopcroft_karp");
+    for &n in &[32usize, 128, 512] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter_batched(
+                || {
+                    let mut rng = SmallRng::seed_from_u64(7);
+                    let mut m = BipartiteMatcher::new(n, n);
+                    for u in 0..n {
+                        for _ in 0..4 {
+                            m.add_edge(u, rng.random_range(0..n));
+                        }
+                    }
+                    m
+                },
+                |mut m| black_box(m.solve()),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dinic, bench_matching);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion bench: Lawler–Labetoulle LP + Birkhoff timetable pipeline and
+//! whole STC-I executions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::{SmallRng, StdRng};
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+use suu_stoch::{solve_ll, StcI, StochInstance};
+
+fn random_instance(seed: u64, m: usize, n: usize) -> StochInstance {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let lambda: Vec<f64> = (0..n).map(|_| rng.random_range(0.25..4.0)).collect();
+    let v: Vec<f64> = (0..m * n).map(|_| rng.random_range(0.3..3.0)).collect();
+    StochInstance::new(m, n, lambda, v).expect("valid")
+}
+
+fn bench_ll(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lawler_labetoulle");
+    group.sample_size(10);
+    for &(n, m) in &[(8usize, 3usize), (24, 6), (48, 8)] {
+        let inst = random_instance(n as u64, m, n);
+        let jobs: Vec<u32> = (0..n as u32).collect();
+        let p: Vec<f64> = (0..n).map(|j| 1.0 + (j % 5) as f64 * 0.5).collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_m{m}")),
+            &(&inst, &jobs, &p),
+            |b, (inst, jobs, p)| {
+                b.iter(|| black_box(solve_ll(inst, jobs, p).unwrap().slices.len()))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_stc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stc_i_execution");
+    group.sample_size(10);
+    for &(n, m) in &[(8usize, 3usize), (16, 4)] {
+        let inst = random_instance(100 + n as u64, m, n);
+        let stc = StcI::new(&inst);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_m{m}")),
+            &(&inst, &stc),
+            |b, (inst, stc)| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    black_box(stc.run(inst, &mut rng).unwrap().makespan)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ll, bench_stc);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! **F-STOCH — Appendix C, Theorem 13**: `STC-I` competitive ratio
+//! against the clairvoyant Lawler–Labetoulle bound.
+//!
+//! For each realization of the exponential lengths, `T_LL({p_j})` is the
+//! *exact offline optimum* for `R|pmtn|Cmax` — no schedule can beat it —
+//! so the measured ratio upper-bounds the true approximation factor.
+//!
+//! ```sh
+//! cargo run --release -p suu-bench --bin fig_stoch
+//! ```
+
+use rand::rngs::{SmallRng, StdRng};
+use rand::{RngExt, SeedableRng};
+use suu_bench::{print_header, Stopwatch};
+use suu_stoch::{StcI, StochInstance};
+
+fn random_instance(seed: u64, m: usize, n: usize) -> StochInstance {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let lambda: Vec<f64> = (0..n).map(|_| rng.random_range(0.25..4.0)).collect();
+    let v: Vec<f64> = (0..m * n).map(|_| rng.random_range(0.3..3.0)).collect();
+    StochInstance::new(m, n, lambda, v).expect("valid instance")
+}
+
+fn main() {
+    let watch = Stopwatch::start();
+    println!("== F-STOCH: STC-I vs clairvoyant LL bound (Theorem 13) ==\n");
+    println!("unrelated speeds ~ U[0.3,3), rates ~ U[0.25,4), 120 trials/point\n");
+    print_header(&[
+        ("n", 5),
+        ("m", 4),
+        ("K", 4),
+        ("mean ratio", 11),
+        ("p95 ratio", 10),
+        ("mean rounds", 12),
+        ("fallback%", 10),
+    ]);
+
+    for &(n, m) in &[(8usize, 3usize), (16, 4), (32, 8), (64, 8)] {
+        let inst = random_instance(8000 + n as u64, m, n);
+        let stc = StcI::new(&inst);
+        let trials = 120u64;
+        let mut ratios = Vec::with_capacity(trials as usize);
+        let mut rounds = 0.0f64;
+        let mut fallbacks = 0u32;
+        for seed in 0..trials {
+            let out = stc
+                .run(&inst, &mut StdRng::seed_from_u64(seed))
+                .expect("STC-I run");
+            ratios.push(out.makespan / out.clairvoyant_lb.max(1e-12));
+            rounds += out.rounds_used as f64;
+            fallbacks += out.fallback_used as u32;
+        }
+        ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+        let mean = ratios.iter().sum::<f64>() / trials as f64;
+        let p95 = ratios[(trials as usize * 95) / 100];
+        println!(
+            "{n:>5} {m:>4} {:>4} {mean:>11.2} {p95:>10.2} {:>12.2} {:>9.1}%",
+            stc.k_max(),
+            rounds / trials as f64,
+            100.0 * fallbacks as f64 / trials as f64,
+        );
+    }
+
+    println!("\nexpected: mean competitive ratio a small constant, flat in n");
+    println!("(Theorem 13's O(log log min(m,n)) with tiny constants); rounds");
+    println!("track K; the sequential fallback almost never fires.");
+    println!("[{:.1}s]", watch.secs());
+}

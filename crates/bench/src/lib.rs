@@ -1,0 +1,80 @@
+//! # suu-bench — experiment harness
+//!
+//! Shared plumbing for the experiment binaries that regenerate the paper's
+//! evaluation artifacts (see `DESIGN.md` §5 for the experiment index and
+//! `EXPERIMENTS.md` for recorded results):
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `table1_independent` | Table 1, "Independent" row |
+//! | `table1_chains` | Table 1, "Disjoint Chains" row |
+//! | `table1_forests` | Table 1, "Directed Forests" row |
+//! | `fig_opt_small` | §2 α-approximation vs exact optimum |
+//! | `fig_rounds` | Theorem 4 round counts |
+//! | `fig_lp_quality` | Lemmas 2 & 6 rounding guarantees |
+//! | `fig_congestion` | Theorem 7 random-delay congestion |
+//! | `fig_concentration` | Lemma 8 tail bound |
+//! | `fig_equivalence` | Theorem 10 SUU ≡ SUU* |
+//! | `fig_stoch` | Appendix C, Theorem 13 |
+//! | `fig_restart` | Appendix C "other results" (`R|restart|`) |
+//! | `ablation_rounding` | adaptive vs paper-exact rounding scale |
+//!
+//! Criterion micro-benches (`cargo bench`) cover the substrate costs:
+//! simplex, max-flow, rounding, engine throughput, end-to-end schedule
+//! construction, and the stochastic timetable pipeline.
+
+use std::time::Instant;
+use suu_sim::engine::ExecOutcome;
+
+/// Measure mean makespan over completed trials; panics if any trial hit
+/// the step cap (experiments must be sized to always complete).
+pub fn mean_makespan(outcomes: &[ExecOutcome]) -> f64 {
+    assert!(
+        outcomes.iter().all(|o| o.completed),
+        "an experiment trial hit the step cap"
+    );
+    outcomes.iter().map(|o| o.makespan as f64).sum::<f64>() / outcomes.len() as f64
+}
+
+/// Standard error of the mean makespan.
+pub fn sem_makespan(outcomes: &[ExecOutcome]) -> f64 {
+    let mean = mean_makespan(outcomes);
+    let n = outcomes.len() as f64;
+    let var = outcomes
+        .iter()
+        .map(|o| (o.makespan as f64 - mean).powi(2))
+        .sum::<f64>()
+        / (n - 1.0).max(1.0);
+    (var / n).sqrt()
+}
+
+/// Print a header row followed by a separator sized to the given widths.
+pub fn print_header(cols: &[(&str, usize)]) {
+    let mut line = String::new();
+    for (name, w) in cols {
+        line.push_str(&format!("{name:>w$} ", w = w));
+    }
+    println!("{line}");
+    println!("{:-<width$}", "", width = line.len());
+}
+
+/// Simple wall-clock scope timer for harness progress lines.
+pub struct Stopwatch(Instant);
+
+impl Stopwatch {
+    /// Start timing.
+    pub fn start() -> Self {
+        Stopwatch(Instant::now())
+    }
+
+    /// Elapsed seconds.
+    pub fn secs(&self) -> f64 {
+        self.0.elapsed().as_secs_f64()
+    }
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self::start()
+    }
+}

@@ -1,0 +1,59 @@
+//! Strongly typed job and machine identifiers.
+//!
+//! Index-like newtypes prevent the classic `i`/`j` mix-up in the `q_ij`
+//! matrix — the paper indexes machines by `i` and jobs by `j`, and so do we.
+
+/// Identifier of a job (`0..n`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct JobId(pub u32);
+
+/// Identifier of a machine (`0..m`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct MachineId(pub u32);
+
+impl JobId {
+    /// The job index as a `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl MachineId {
+    /// The machine index as a `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "j{}", self.0)
+    }
+}
+
+impl std::fmt::Display for MachineId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(JobId(3).to_string(), "j3");
+        assert_eq!(MachineId(7).to_string(), "m7");
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        assert_eq!(JobId(42).index(), 42);
+        assert_eq!(MachineId(0).index(), 0);
+    }
+}

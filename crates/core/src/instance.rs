@@ -1,0 +1,324 @@
+//! SUU problem instances.
+
+use crate::logmass::log_failure;
+use crate::{JobId, MachineId, Precedence};
+
+/// Errors constructing a [`SuuInstance`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum InstanceError {
+    /// `q` matrix dimensions don't match `m * n`.
+    BadDimensions { expected: usize, got: usize },
+    /// Some `q_ij` was outside `[0, 1]` (or NaN).
+    BadProbability { machine: u32, job: u32, q: f64 },
+    /// A job has `q_ij = 1` on every machine, so it can never complete
+    /// (the paper assumes this away WLOG).
+    UnservableJob(u32),
+    /// The precedence structure disagrees with `n` or is cyclic.
+    BadPrecedence(String),
+}
+
+impl std::fmt::Display for InstanceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InstanceError::BadDimensions { expected, got } => {
+                write!(f, "q matrix has {got} entries, expected {expected}")
+            }
+            InstanceError::BadProbability { machine, job, q } => {
+                write!(f, "q[{machine},{job}] = {q} outside [0,1]")
+            }
+            InstanceError::UnservableJob(j) => {
+                write!(f, "job {j} fails with probability 1 on every machine")
+            }
+            InstanceError::BadPrecedence(msg) => write!(f, "bad precedence: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for InstanceError {}
+
+/// An SUU instance `(J, M, {q_ij}, G)` (paper §2).
+///
+/// `q[i*n + j]` is the probability that job `j` does **not** complete when
+/// machine `i` runs it for one unit step. The log failures
+/// `ℓ_ij = −log₂ q_ij` are precomputed since every algorithm works in
+/// log-mass space.
+#[derive(Debug, Clone)]
+pub struct SuuInstance {
+    n: usize,
+    m: usize,
+    q: Vec<f64>,
+    ell: Vec<f64>,
+    precedence: Precedence,
+}
+
+impl SuuInstance {
+    /// Build and validate an instance. `q` is machine-major: `q[i*n + j]`.
+    pub fn new(m: usize, n: usize, q: Vec<f64>, precedence: Precedence) -> Result<Self, InstanceError> {
+        if q.len() != m * n {
+            return Err(InstanceError::BadDimensions {
+                expected: m * n,
+                got: q.len(),
+            });
+        }
+        for i in 0..m {
+            for j in 0..n {
+                let v = q[i * n + j];
+                if !(0.0..=1.0).contains(&v) || v.is_nan() {
+                    return Err(InstanceError::BadProbability {
+                        machine: i as u32,
+                        job: j as u32,
+                        q: v,
+                    });
+                }
+            }
+        }
+        for j in 0..n {
+            if (0..m).all(|i| q[i * n + j] >= 1.0) {
+                return Err(InstanceError::UnservableJob(j as u32));
+            }
+        }
+        if let Some(pn) = precedence.num_jobs() {
+            if pn != n {
+                return Err(InstanceError::BadPrecedence(format!(
+                    "structure covers {pn} jobs, instance has {n}"
+                )));
+            }
+        }
+        if !precedence.to_dag(n).is_acyclic() {
+            return Err(InstanceError::BadPrecedence("cyclic".into()));
+        }
+        let ell = q.iter().map(|&v| log_failure(v)).collect();
+        Ok(SuuInstance {
+            n,
+            m,
+            q,
+            ell,
+            precedence,
+        })
+    }
+
+    /// Number of jobs `n`.
+    #[inline]
+    pub fn num_jobs(&self) -> usize {
+        self.n
+    }
+
+    /// Number of machines `m`.
+    #[inline]
+    pub fn num_machines(&self) -> usize {
+        self.m
+    }
+
+    /// Failure probability `q_ij`.
+    #[inline]
+    pub fn q(&self, i: MachineId, j: JobId) -> f64 {
+        self.q[i.index() * self.n + j.index()]
+    }
+
+    /// Log failure `ℓ_ij = −log₂ q_ij` (clamped, see [`crate::logmass`]).
+    #[inline]
+    pub fn ell(&self, i: MachineId, j: JobId) -> f64 {
+        self.ell[i.index() * self.n + j.index()]
+    }
+
+    /// Raw log-failure row for machine `i` (one entry per job).
+    #[inline]
+    pub fn ell_row(&self, i: MachineId) -> &[f64] {
+        &self.ell[i.index() * self.n..(i.index() + 1) * self.n]
+    }
+
+    /// The precedence structure.
+    #[inline]
+    pub fn precedence(&self) -> &Precedence {
+        &self.precedence
+    }
+
+    /// Replace the precedence structure (used when algorithms re-cast the
+    /// same `q` matrix over a sub-structure). Validates consistency.
+    pub fn with_precedence(&self, precedence: Precedence) -> Result<Self, InstanceError> {
+        SuuInstance::new(self.m, self.n, self.q.clone(), precedence)
+    }
+
+    /// Restrict to a subset of jobs (given by old job ids, in the new
+    /// order), producing an instance over `old_ids.len()` jobs with the
+    /// provided precedence.
+    pub fn restrict_jobs(&self, old_ids: &[u32], precedence: Precedence) -> Result<Self, InstanceError> {
+        let n2 = old_ids.len();
+        let mut q = Vec::with_capacity(self.m * n2);
+        for i in 0..self.m {
+            for &j in old_ids {
+                q.push(self.q[i * self.n + j as usize]);
+            }
+        }
+        SuuInstance::new(self.m, n2, q, precedence)
+    }
+
+    /// The best (largest) log failure available for job `j` on any machine.
+    pub fn best_ell(&self, j: JobId) -> f64 {
+        (0..self.m)
+            .map(|i| self.ell[i * self.n + j.index()])
+            .fold(0.0, f64::max)
+    }
+
+    /// The machine with the largest `ℓ_ij` for job `j`.
+    pub fn best_machine(&self, j: JobId) -> MachineId {
+        let mut best = (0usize, f64::NEG_INFINITY);
+        for i in 0..self.m {
+            let e = self.ell[i * self.n + j.index()];
+            if e > best.1 {
+                best = (i, e);
+            }
+        }
+        MachineId(best.0 as u32)
+    }
+
+    /// Total log mass per step if *all* machines gang up on job `j` —
+    /// the rate used by the "one job at a time" fallback policies.
+    pub fn gang_mass(&self, j: JobId) -> f64 {
+        (0..self.m).map(|i| self.ell[i * self.n + j.index()]).sum()
+    }
+}
+
+/// Serde support (feature `serde`): instances serialize as
+/// `{ m, n, q, edges }`, with the precedence structure canonicalized to
+/// its DAG edge list — chain/forest shape tags are not preserved across a
+/// round-trip (the edges are, so scheduling semantics are identical; only
+/// the shape-specialized algorithms need re-deriving the structure).
+#[cfg(feature = "serde")]
+mod serde_impl {
+    use super::*;
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    #[derive(Serialize, Deserialize)]
+    struct Wire {
+        m: usize,
+        n: usize,
+        q: Vec<f64>,
+        edges: Vec<(u32, u32)>,
+    }
+
+    impl Serialize for SuuInstance {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            let dag = self.precedence.to_dag(self.n);
+            let mut edges = Vec::new();
+            for u in 0..self.n as u32 {
+                for &v in dag.successors(u) {
+                    edges.push((u, v));
+                }
+            }
+            Wire {
+                m: self.m,
+                n: self.n,
+                q: self.q.clone(),
+                edges,
+            }
+            .serialize(s)
+        }
+    }
+
+    impl<'de> Deserialize<'de> for SuuInstance {
+        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            let wire = Wire::deserialize(d)?;
+            let precedence = if wire.edges.is_empty() {
+                Precedence::Independent
+            } else {
+                Precedence::Dag(suu_dag::Dag::from_edges(wire.n, &wire.edges))
+            };
+            SuuInstance::new(wire.m, wire.n, wire.q, precedence)
+                .map_err(serde::de::Error::custom)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q2x2() -> Vec<f64> {
+        // machine 0: [0.5, 0.25]; machine 1: [1.0, 0.5]
+        vec![0.5, 0.25, 1.0, 0.5]
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let inst = SuuInstance::new(2, 2, q2x2(), Precedence::Independent).unwrap();
+        assert_eq!(inst.num_jobs(), 2);
+        assert_eq!(inst.num_machines(), 2);
+        assert_eq!(inst.q(MachineId(0), JobId(1)), 0.25);
+        assert!((inst.ell(MachineId(0), JobId(1)) - 2.0).abs() < 1e-12);
+        assert_eq!(inst.ell(MachineId(1), JobId(0)), 0.0); // q = 1
+        assert!((inst.best_ell(JobId(0)) - 1.0).abs() < 1e-12);
+        assert_eq!(inst.best_machine(JobId(1)).index(), 0);
+        assert!((inst.gang_mass(JobId(1)) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let err = SuuInstance::new(2, 2, vec![0.5; 3], Precedence::Independent).unwrap_err();
+        assert!(matches!(err, InstanceError::BadDimensions { .. }));
+    }
+
+    #[test]
+    fn bad_probability_rejected() {
+        let err = SuuInstance::new(1, 1, vec![1.5], Precedence::Independent).unwrap_err();
+        assert!(matches!(err, InstanceError::BadProbability { .. }));
+        let err = SuuInstance::new(1, 1, vec![f64::NAN], Precedence::Independent).unwrap_err();
+        assert!(matches!(err, InstanceError::BadProbability { .. }));
+    }
+
+    #[test]
+    fn unservable_job_rejected() {
+        let err = SuuInstance::new(2, 2, vec![0.5, 1.0, 0.5, 1.0], Precedence::Independent).unwrap_err();
+        assert_eq!(err, InstanceError::UnservableJob(1));
+    }
+
+    #[test]
+    fn precedence_size_mismatch_rejected() {
+        let cs = suu_dag::ChainSet::singletons(3);
+        let err = SuuInstance::new(1, 2, vec![0.5, 0.5], Precedence::Chains(cs)).unwrap_err();
+        assert!(matches!(err, InstanceError::BadPrecedence(_)));
+    }
+
+    #[cfg(feature = "serde")]
+    #[test]
+    fn serde_wire_form_preserves_semantics() {
+        // No serialization format crate is available offline, so the test
+        // checks (a) the trait impls exist and (b) the wire-form logic —
+        // precedence canonicalized to a DAG edge list — rebuilds an
+        // instance with identical scheduling semantics.
+        fn assert_impls<T: for<'de> serde::Deserialize<'de> + serde::Serialize>() {}
+        assert_impls::<SuuInstance>();
+
+        use suu_dag::ChainSet;
+        let cs = ChainSet::new(2, vec![vec![0, 1]]).unwrap();
+        let inst = SuuInstance::new(2, 2, q2x2(), Precedence::Chains(cs)).unwrap();
+        let dag = inst.precedence().to_dag(2);
+        let mut edges = Vec::new();
+        for u in 0..2u32 {
+            for &v in dag.successors(u) {
+                edges.push((u, v));
+            }
+        }
+        let rebuilt = SuuInstance::new(
+            2,
+            2,
+            q2x2(),
+            Precedence::Dag(suu_dag::Dag::from_edges(2, &edges)),
+        )
+        .unwrap();
+        assert_eq!(rebuilt.q(MachineId(0), JobId(1)), inst.q(MachineId(0), JobId(1)));
+        assert_eq!(
+            rebuilt.precedence().to_dag(2).num_edges(),
+            inst.precedence().to_dag(2).num_edges()
+        );
+    }
+
+    #[test]
+    fn restrict_jobs_reindexes() {
+        let inst = SuuInstance::new(2, 2, q2x2(), Precedence::Independent).unwrap();
+        let sub = inst.restrict_jobs(&[1], Precedence::Independent).unwrap();
+        assert_eq!(sub.num_jobs(), 1);
+        assert_eq!(sub.q(MachineId(0), JobId(0)), 0.25);
+        assert_eq!(sub.q(MachineId(1), JobId(0)), 0.5);
+    }
+}

@@ -1,0 +1,42 @@
+//! # suu-core — the SUU problem model
+//!
+//! Core vocabulary for *multiprocessor scheduling under uncertainty*
+//! (Crutchfield, Dzunic, Fineman, Karger, Scott — SPAA 2008):
+//!
+//! * [`SuuInstance`] — `n` unit-step jobs, `m` machines, failure
+//!   probabilities `q_ij`, and a precedence structure.
+//! * [`logmass`] — the paper's log-failure transform `ℓ_ij = −log₂ q_ij`,
+//!   under which per-step failure probabilities multiply as masses add.
+//! * [`Precedence`] + [`EligibilityTracker`] — which jobs may run, updated
+//!   as jobs complete.
+//! * [`Assignment`] — integral machine-step assignments `{x_ij}` (the
+//!   output shape of the paper's LP roundings) with their *load*, *length*
+//!   (`d_j`) and per-job *log mass*.
+//! * [`Timetable`] — finite oblivious schedules: an explicit
+//!   machine-per-step job table, built from an [`Assignment`] by stacking.
+//! * [`workload`] — seeded random instance generators (uniform unrelated
+//!   machines, reliability×difficulty products, bimodal volunteer grids,
+//!   power-law difficulties).
+//! * [`BitSet`] — a small fixed-capacity bitset used for remaining/eligible
+//!   job sets in simulation hot loops.
+//!
+//! Everything is deterministic given the generator seeds, which keeps
+//! experiments reproducible.
+
+mod assignment;
+mod bitset;
+mod ids;
+mod instance;
+pub mod logmass;
+mod precedence;
+#[cfg(test)]
+mod proptests;
+mod schedule;
+pub mod workload;
+
+pub use assignment::Assignment;
+pub use bitset::BitSet;
+pub use ids::{JobId, MachineId};
+pub use instance::{InstanceError, SuuInstance};
+pub use precedence::{EligibilityTracker, Precedence};
+pub use schedule::Timetable;

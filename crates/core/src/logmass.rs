@@ -1,0 +1,92 @@
+//! The log-failure transform (paper §2).
+//!
+//! Failure probabilities multiply across machines and timesteps, which is
+//! awkward; the paper instead works with `ℓ_ij = −log₂ q_ij` ("log
+//! failure"), under which the probability that job `j` survives an
+//! assignment equals `2^(−Σ ℓ)`. A job assigned total log mass `L` fails
+//! with probability `2^(−L)`.
+//!
+//! Two boundary cases need care:
+//! * `q = 0` (machine always succeeds) gives `ℓ = ∞`; we clamp to
+//!   [`L_MAX`], i.e. a success probability of `1 − 2⁻⁶⁴`, which is exact
+//!   for every practical purpose and keeps the LP coefficients finite.
+//! * `q = 1` (machine never helps this job) gives `ℓ = 0`, and such pairs
+//!   are excluded from assignments entirely.
+
+/// Upper clamp for log failures: `q = 0` maps to this.
+pub const L_MAX: f64 = 64.0;
+
+/// `ℓ = −log₂ q`, clamped to `[0, L_MAX]`.
+///
+/// Panics (debug) if `q` is outside `[0, 1]`.
+#[inline]
+pub fn log_failure(q: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&q), "q out of range: {q}");
+    if q <= 0.0 {
+        L_MAX
+    } else {
+        (-q.log2()).clamp(0.0, L_MAX)
+    }
+}
+
+/// Inverse transform: failure probability from accumulated log mass,
+/// `q = 2^(−mass)`.
+#[inline]
+pub fn failure_prob(mass: f64) -> f64 {
+    debug_assert!(mass >= 0.0, "negative log mass: {mass}");
+    (-mass).exp2()
+}
+
+/// The paper's clamped coefficient `ℓ′ = min(ℓ, L)` used inside (LP1)/(LP2)
+/// so that no single machine-step counts for more than the target.
+#[inline]
+pub fn clamped(ell: f64, target: f64) -> f64 {
+    ell.min(target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn half_is_one() {
+        assert!((log_failure(0.5) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quarter_is_two() {
+        assert!((log_failure(0.25) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_is_zero() {
+        assert_eq!(log_failure(1.0), 0.0);
+    }
+
+    #[test]
+    fn zero_clamps_to_lmax() {
+        assert_eq!(log_failure(0.0), L_MAX);
+        assert_eq!(log_failure(1e-300), L_MAX);
+    }
+
+    #[test]
+    fn roundtrip() {
+        for q in [0.9, 0.5, 0.1, 0.013] {
+            let ell = log_failure(q);
+            assert!((failure_prob(ell) - q).abs() < 1e-12, "q={q}");
+        }
+    }
+
+    #[test]
+    fn masses_add_as_probs_multiply() {
+        let (q1, q2) = (0.5, 0.125);
+        let combined = failure_prob(log_failure(q1) + log_failure(q2));
+        assert!((combined - q1 * q2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamp_behaviour() {
+        assert_eq!(clamped(5.0, 0.5), 0.5);
+        assert_eq!(clamped(0.25, 0.5), 0.25);
+    }
+}

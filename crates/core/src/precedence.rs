@@ -1,0 +1,193 @@
+//! Precedence structures and eligibility tracking.
+
+use crate::BitSet;
+use suu_dag::{ChainSet, Dag, Forest};
+
+/// The precedence constraints of an SUU instance.
+///
+/// The paper's algorithm families target specific shapes, so the shape is
+/// kept explicit rather than collapsed into a generic DAG; `to_dag` gives
+/// the uniform view when needed (e.g. by the execution engine).
+#[derive(Debug, Clone)]
+pub enum Precedence {
+    /// No constraints (SUU-I).
+    Independent,
+    /// Disjoint chains (SUU-C).
+    Chains(ChainSet),
+    /// A directed forest of in- or out-trees (SUU-T).
+    Forest(Forest),
+    /// An arbitrary DAG (no approximation algorithm in the paper; supported
+    /// by the engine, the exact-OPT baseline and the naive policies).
+    Dag(Dag),
+}
+
+impl Precedence {
+    /// Materialize as a [`Dag`] over `n` jobs.
+    pub fn to_dag(&self, n: usize) -> Dag {
+        match self {
+            Precedence::Independent => Dag::new(n),
+            Precedence::Chains(cs) => cs.to_dag(),
+            Precedence::Forest(f) => f.to_dag(),
+            Precedence::Dag(d) => d.clone(),
+        }
+    }
+
+    /// Number of jobs implied by the structure, if it pins one down.
+    pub fn num_jobs(&self) -> Option<usize> {
+        match self {
+            Precedence::Independent => None,
+            Precedence::Chains(cs) => Some(cs.num_jobs()),
+            Precedence::Forest(f) => Some(f.num_vertices()),
+            Precedence::Dag(d) => Some(d.num_vertices()),
+        }
+    }
+
+    /// `true` if there are no precedence edges.
+    pub fn is_independent(&self) -> bool {
+        match self {
+            Precedence::Independent => true,
+            Precedence::Chains(cs) => cs.max_chain_len() <= 1,
+            Precedence::Forest(f) => f.to_dag().num_edges() == 0,
+            Precedence::Dag(d) => d.num_edges() == 0,
+        }
+    }
+}
+
+/// Incremental eligibility: a job is *eligible* when all its predecessors
+/// have completed (paper §2). `O(1)` amortized per completion event.
+#[derive(Debug, Clone)]
+pub struct EligibilityTracker {
+    /// Remaining (uncompleted) jobs.
+    remaining: BitSet,
+    /// Eligible and uncompleted jobs.
+    eligible: BitSet,
+    /// Outstanding predecessor count per job.
+    pending_preds: Vec<u32>,
+    /// Successor lists.
+    succ: Vec<Vec<u32>>,
+}
+
+impl EligibilityTracker {
+    /// Tracker with every job uncompleted. Panics if `dag` is cyclic.
+    pub fn new(dag: &Dag) -> Self {
+        assert!(dag.is_acyclic(), "precedence graph has a cycle");
+        let n = dag.num_vertices();
+        let pending_preds = dag.indegrees();
+        let mut eligible = BitSet::new(n);
+        for j in 0..n as u32 {
+            if pending_preds[j as usize] == 0 {
+                eligible.insert(j);
+            }
+        }
+        let succ = (0..n as u32).map(|v| dag.successors(v).to_vec()).collect();
+        EligibilityTracker {
+            remaining: BitSet::full(n),
+            eligible,
+            pending_preds,
+            succ,
+        }
+    }
+
+    /// Jobs not yet completed.
+    #[inline]
+    pub fn remaining(&self) -> &BitSet {
+        &self.remaining
+    }
+
+    /// Jobs eligible to run right now.
+    #[inline]
+    pub fn eligible(&self) -> &BitSet {
+        &self.eligible
+    }
+
+    /// `true` once every job has completed.
+    #[inline]
+    pub fn all_done(&self) -> bool {
+        self.remaining.is_empty()
+    }
+
+    /// Number of uncompleted jobs.
+    #[inline]
+    pub fn num_remaining(&self) -> usize {
+        self.remaining.len()
+    }
+
+    /// Mark job `j` complete, unlocking any successors whose predecessors
+    /// are now all done. Returns the newly eligible jobs.
+    ///
+    /// Panics (debug) if `j` was already complete or not eligible — the
+    /// engine never completes an ineligible job.
+    pub fn complete(&mut self, j: u32) -> Vec<u32> {
+        debug_assert!(self.remaining.contains(j), "job {j} completed twice");
+        debug_assert!(self.eligible.contains(j), "ineligible job {j} completed");
+        self.remaining.remove(j);
+        self.eligible.remove(j);
+        let mut unlocked = Vec::new();
+        for k in 0..self.succ[j as usize].len() {
+            let v = self.succ[j as usize][k];
+            self.pending_preds[v as usize] -= 1;
+            if self.pending_preds[v as usize] == 0 {
+                self.eligible.insert(v);
+                unlocked.push(v);
+            }
+        }
+        unlocked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn independent_all_eligible() {
+        let t = EligibilityTracker::new(&Dag::new(4));
+        assert_eq!(t.eligible().len(), 4);
+        assert!(!t.all_done());
+    }
+
+    #[test]
+    fn chain_unlocks_in_order() {
+        let dag = Dag::from_edges(3, &[(0, 1), (1, 2)]);
+        let mut t = EligibilityTracker::new(&dag);
+        assert_eq!(t.eligible().iter().collect::<Vec<_>>(), vec![0]);
+        assert_eq!(t.complete(0), vec![1]);
+        assert_eq!(t.complete(1), vec![2]);
+        assert_eq!(t.complete(2), Vec::<u32>::new());
+        assert!(t.all_done());
+    }
+
+    #[test]
+    fn diamond_needs_both_parents() {
+        let dag = Dag::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let mut t = EligibilityTracker::new(&dag);
+        t.complete(0);
+        assert!(t.eligible().contains(1) && t.eligible().contains(2));
+        assert!(!t.eligible().contains(3));
+        t.complete(1);
+        assert!(!t.eligible().contains(3), "3 still blocked by 2");
+        assert_eq!(t.complete(2), vec![3]);
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn double_complete_panics() {
+        let mut t = EligibilityTracker::new(&Dag::new(2));
+        t.complete(0);
+        t.complete(0);
+    }
+
+    #[test]
+    fn precedence_to_dag_shapes() {
+        assert_eq!(Precedence::Independent.to_dag(5).num_edges(), 0);
+        assert!(Precedence::Independent.is_independent());
+        let cs = ChainSet::new(3, vec![vec![0, 1], vec![2]]).unwrap();
+        let p = Precedence::Chains(cs);
+        assert_eq!(p.to_dag(3).num_edges(), 1);
+        assert_eq!(p.num_jobs(), Some(3));
+        assert!(!p.is_independent());
+        let singles = Precedence::Chains(ChainSet::singletons(3));
+        assert!(singles.is_independent());
+    }
+}

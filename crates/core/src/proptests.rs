@@ -1,0 +1,109 @@
+//! Property-based tests for the core data structures.
+
+use crate::{workload, Assignment, BitSet, JobId, MachineId, Precedence};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// BitSet agrees with a reference HashSet under arbitrary operation
+    /// sequences.
+    #[test]
+    fn bitset_matches_reference(ops in proptest::collection::vec((0u32..200, any::<bool>()), 0..150)) {
+        let mut bs = BitSet::new(200);
+        let mut reference = std::collections::HashSet::new();
+        for (v, insert) in ops {
+            if insert {
+                prop_assert_eq!(bs.insert(v), reference.insert(v));
+            } else {
+                prop_assert_eq!(bs.remove(v), reference.remove(&v));
+            }
+        }
+        prop_assert_eq!(bs.len(), reference.len());
+        let mut from_iter: Vec<u32> = bs.iter().collect();
+        let mut from_ref: Vec<u32> = reference.into_iter().collect();
+        from_iter.sort_unstable();
+        from_ref.sort_unstable();
+        prop_assert_eq!(from_iter, from_ref);
+    }
+
+    /// Stacking an assignment into a timetable preserves every
+    /// machine-step: the number of cells assigned to (i, j) equals x_ij,
+    /// and the table length equals the max load.
+    #[test]
+    fn timetable_stacking_preserves_steps(
+        entries in proptest::collection::vec((0u32..5, 0u32..8, 1u64..6), 0..30)
+    ) {
+        let (m, n) = (5usize, 8usize);
+        let mut asg = Assignment::new(m, n);
+        for &(i, j, s) in &entries {
+            asg.add(MachineId(i), JobId(j), s);
+        }
+        let table = asg.to_timetable();
+        prop_assert_eq!(table.len() as u64, asg.max_load());
+        for i in 0..m as u32 {
+            for j in 0..n as u32 {
+                let cells = (0..table.len())
+                    .filter(|&t| table.get(t, MachineId(i)) == Some(JobId(j)))
+                    .count() as u64;
+                prop_assert_eq!(cells, asg.steps(MachineId(i), JobId(j)));
+            }
+        }
+        // busy_steps equals the total assigned steps.
+        let total: u64 = (0..m as u32).map(|i| asg.load(MachineId(i))).sum();
+        prop_assert_eq!(table.busy_steps(), total);
+    }
+
+    /// Assignment invariants: load/length/mass are consistent under
+    /// arbitrary accumulation.
+    #[test]
+    fn assignment_aggregates_consistent(
+        entries in proptest::collection::vec((0u32..4, 0u32..6, 1u64..9), 1..25),
+        seed in 0u64..1_000,
+    ) {
+        let (m, n) = (4usize, 6usize);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let inst = workload::uniform_unrelated(m, n, 0.1, 0.9, Precedence::Independent, &mut rng);
+        let mut asg = Assignment::new(m, n);
+        for &(i, j, s) in &entries {
+            asg.add(MachineId(i), JobId(j), s);
+        }
+        // Loads computed two ways agree.
+        let loads = asg.loads();
+        for i in 0..m as u32 {
+            prop_assert_eq!(loads[i as usize], asg.load(MachineId(i)));
+        }
+        prop_assert_eq!(asg.max_load(), loads.iter().copied().max().unwrap());
+        for j in 0..n as u32 {
+            // Length is the max over per-machine steps.
+            let max_steps = (0..m as u32).map(|i| asg.steps(MachineId(i), JobId(j))).max().unwrap();
+            prop_assert_eq!(asg.length(JobId(j)), max_steps);
+            // Mass is non-negative and zero iff no steps.
+            let mass = asg.mass(JobId(j), &inst);
+            if asg.machines_for(JobId(j)).is_empty() {
+                prop_assert_eq!(mass, 0.0);
+            } else {
+                prop_assert!(mass >= 0.0);
+            }
+        }
+    }
+
+    /// Every workload generator yields valid instances (validation is in
+    /// the constructor; this asserts the generators never trip it).
+    #[test]
+    fn generators_always_valid(seed in 0u64..2_000, m in 1usize..6, n in 1usize..10) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let a = workload::uniform_unrelated(m, n, 0.05, 0.95, Precedence::Independent, &mut rng);
+        prop_assert_eq!(a.num_jobs(), n);
+        let b = workload::volunteer_grid(m, n, 0.5, 0.1, 0.9, Precedence::Independent, &mut rng);
+        prop_assert_eq!(b.num_machines(), m);
+        let c = workload::reliability_difficulty(m, n, (0.3, 0.9), (0.05, 0.7), Precedence::Independent, &mut rng);
+        let d = workload::power_law_difficulty(m, n, 0.5, 1.5, Precedence::Independent, &mut rng);
+        for j in 0..n as u32 {
+            prop_assert!(c.best_ell(JobId(j)) > 0.0);
+            prop_assert!(d.best_ell(JobId(j)) > 0.0);
+        }
+    }
+}

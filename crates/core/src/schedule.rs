@@ -1,0 +1,122 @@
+//! Finite oblivious schedules (timetables).
+//!
+//! An *oblivious* schedule (paper §2) assigns machines to jobs based only
+//! on the timestep, not on completion history. A [`Timetable`] is the
+//! explicit table: `table[t][i]` is the job machine `i` works on at step
+//! `t` (or idle). The engine skips entries whose job has already completed,
+//! exactly as the paper's schedules map completed jobs to `⊥`.
+
+use crate::{JobId, MachineId};
+
+/// A finite oblivious schedule: one row per timestep, one column per
+/// machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Timetable {
+    m: usize,
+    steps: Vec<Vec<Option<JobId>>>,
+}
+
+impl Timetable {
+    /// All-idle timetable with `len` steps.
+    pub fn idle(m: usize, len: usize) -> Self {
+        Timetable {
+            m,
+            steps: vec![vec![None; m]; len],
+        }
+    }
+
+    /// Number of machines.
+    pub fn num_machines(&self) -> usize {
+        self.m
+    }
+
+    /// Number of timesteps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// `true` if the timetable has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Assignment of machine `i` at step `t`.
+    pub fn get(&self, t: usize, i: MachineId) -> Option<JobId> {
+        self.steps[t][i.index()]
+    }
+
+    /// Set the assignment of machine `i` at step `t`.
+    pub fn set(&mut self, t: usize, i: MachineId, j: Option<JobId>) {
+        self.steps[t][i.index()] = j;
+    }
+
+    /// The whole machine row at step `t`.
+    pub fn row(&self, t: usize) -> &[Option<JobId>] {
+        &self.steps[t]
+    }
+
+    /// Append another timetable's steps after this one (same `m`).
+    pub fn extend(&mut self, other: &Timetable) {
+        assert_eq!(self.m, other.m, "machine count mismatch");
+        self.steps.extend(other.steps.iter().cloned());
+    }
+
+    /// Append a single fully specified step.
+    pub fn push_step(&mut self, row: Vec<Option<JobId>>) {
+        assert_eq!(row.len(), self.m, "row width mismatch");
+        self.steps.push(row);
+    }
+
+    /// Total non-idle machine-steps.
+    pub fn busy_steps(&self) -> u64 {
+        self.steps
+            .iter()
+            .map(|row| row.iter().filter(|s| s.is_some()).count() as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_table() {
+        let t = Timetable::idle(3, 2);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.num_machines(), 3);
+        assert_eq!(t.get(1, MachineId(2)), None);
+        assert_eq!(t.busy_steps(), 0);
+        assert!(!t.is_empty());
+        assert!(Timetable::idle(3, 0).is_empty());
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut t = Timetable::idle(2, 1);
+        t.set(0, MachineId(1), Some(JobId(5)));
+        assert_eq!(t.get(0, MachineId(1)), Some(JobId(5)));
+        assert_eq!(t.row(0), &[None, Some(JobId(5))]);
+        assert_eq!(t.busy_steps(), 1);
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let mut a = Timetable::idle(1, 1);
+        a.set(0, MachineId(0), Some(JobId(0)));
+        let mut b = Timetable::idle(1, 2);
+        b.set(1, MachineId(0), Some(JobId(1)));
+        a.extend(&b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.get(0, MachineId(0)), Some(JobId(0)));
+        assert_eq!(a.get(2, MachineId(0)), Some(JobId(1)));
+    }
+
+    #[test]
+    fn push_step_appends() {
+        let mut t = Timetable::idle(2, 0);
+        t.push_step(vec![Some(JobId(1)), None]);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(0, MachineId(0)), Some(JobId(1)));
+    }
+}

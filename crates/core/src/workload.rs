@@ -1,0 +1,188 @@
+//! Seeded random SUU instance generators.
+//!
+//! These model the environments the paper's introduction motivates:
+//! volunteer computing (SETI@home-style unreliable machines), MapReduce
+//! phases, and generic unrelated-machine settings. Every generator takes an
+//! explicit RNG so experiments are reproducible.
+
+use crate::{Precedence, SuuInstance};
+use rand::prelude::*;
+
+/// Uniform unrelated machines: each `q_ij` drawn i.i.d. from
+/// `[q_min, q_max)`.
+pub fn uniform_unrelated<R: Rng>(
+    m: usize,
+    n: usize,
+    q_min: f64,
+    q_max: f64,
+    precedence: Precedence,
+    rng: &mut R,
+) -> SuuInstance {
+    assert!((0.0..=1.0).contains(&q_min) && q_min <= q_max && q_max <= 1.0);
+    let q = (0..m * n).map(|_| rng.random_range(q_min..q_max)).collect();
+    SuuInstance::new(m, n, q, precedence).expect("generated instance valid")
+}
+
+/// Related machines: machine `i` has a reliability `r_i ∈ [r_min, r_max)`
+/// and job `j` a difficulty `d_j ∈ [d_min, d_max)`;
+/// `q_ij = 1 - r_i * (1 - d_j)`, clamped into `(0, 1)`.
+///
+/// High-reliability machines help every job; difficult jobs resist every
+/// machine. This is the "machines differ in speed" regime where the LP
+/// should concentrate work on good machines.
+pub fn reliability_difficulty<R: Rng>(
+    m: usize,
+    n: usize,
+    (r_min, r_max): (f64, f64),
+    (d_min, d_max): (f64, f64),
+    precedence: Precedence,
+    rng: &mut R,
+) -> SuuInstance {
+    let rel: Vec<f64> = (0..m).map(|_| rng.random_range(r_min..r_max)).collect();
+    let diff: Vec<f64> = (0..n).map(|_| rng.random_range(d_min..d_max)).collect();
+    let mut q = Vec::with_capacity(m * n);
+    for &r in &rel {
+        for &d in &diff {
+            q.push((1.0 - r * (1.0 - d)).clamp(1e-9, 1.0 - 1e-9));
+        }
+    }
+    SuuInstance::new(m, n, q, precedence).expect("generated instance valid")
+}
+
+/// Volunteer grid: a fraction `frac_good` of machines are "good"
+/// (`q ≈ q_good`), the rest "flaky" (`q ≈ q_bad`), with small per-pair
+/// jitter. Models the SETI@home-style setting of the paper's introduction.
+pub fn volunteer_grid<R: Rng>(
+    m: usize,
+    n: usize,
+    frac_good: f64,
+    q_good: f64,
+    q_bad: f64,
+    precedence: Precedence,
+    rng: &mut R,
+) -> SuuInstance {
+    assert!((0.0..=1.0).contains(&frac_good));
+    let mut q = Vec::with_capacity(m * n);
+    for i in 0..m {
+        let base = if (i as f64) < frac_good * m as f64 {
+            q_good
+        } else {
+            q_bad
+        };
+        for _ in 0..n {
+            let jitter = rng.random_range(-0.02..0.02);
+            q.push((base + jitter).clamp(1e-9, 1.0 - 1e-9));
+        }
+    }
+    SuuInstance::new(m, n, q, precedence).expect("generated instance valid")
+}
+
+/// Power-law job difficulty: job `j`'s per-machine failure probability is
+/// `q_ij = q_base^(1/w_j)` where weights `w_j ~ Pareto(alpha)` — a few jobs
+/// are far harder than the rest, stressing the semioblivious rounds.
+pub fn power_law_difficulty<R: Rng>(
+    m: usize,
+    n: usize,
+    q_base: f64,
+    alpha: f64,
+    precedence: Precedence,
+    rng: &mut R,
+) -> SuuInstance {
+    assert!(alpha > 0.0 && (0.0..1.0).contains(&q_base));
+    let mut q = Vec::with_capacity(m * n);
+    let weights: Vec<f64> = (0..n)
+        .map(|_| {
+            let u: f64 = rng.random_range(1e-9..1.0);
+            u.powf(-1.0 / alpha) // Pareto(1, alpha)
+        })
+        .collect();
+    for _ in 0..m {
+        for &w in &weights {
+            let jitter: f64 = rng.random_range(0.9..1.1);
+            q.push(q_base.powf(1.0 / (w * jitter)).clamp(1e-9, 1.0 - 1e-9));
+        }
+    }
+    SuuInstance::new(m, n, q, precedence).expect("generated instance valid")
+}
+
+/// The fully deterministic instance: every machine completes every job
+/// surely (`q = 0`). Useful for tests where the makespan is combinatorial.
+pub fn deterministic(m: usize, n: usize, precedence: Precedence) -> SuuInstance {
+    SuuInstance::new(m, n, vec![0.0; m * n], precedence).expect("valid")
+}
+
+/// Identical machines with a single failure probability everywhere.
+pub fn homogeneous(m: usize, n: usize, q: f64, precedence: Precedence) -> SuuInstance {
+    SuuInstance::new(m, n, vec![q; m * n], precedence).expect("valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+
+    #[test]
+    fn uniform_in_range() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let inst = uniform_unrelated(3, 4, 0.2, 0.8, Precedence::Independent, &mut rng);
+        for i in 0..3 {
+            for j in 0..4 {
+                let q = inst.q(crate::MachineId(i), crate::JobId(j));
+                assert!((0.2..0.8).contains(&q));
+            }
+        }
+    }
+
+    #[test]
+    fn generators_are_seed_deterministic() {
+        let a = uniform_unrelated(
+            4,
+            5,
+            0.1,
+            0.9,
+            Precedence::Independent,
+            &mut SmallRng::seed_from_u64(42),
+        );
+        let b = uniform_unrelated(
+            4,
+            5,
+            0.1,
+            0.9,
+            Precedence::Independent,
+            &mut SmallRng::seed_from_u64(42),
+        );
+        for i in 0..4 {
+            for j in 0..5 {
+                assert_eq!(
+                    a.q(crate::MachineId(i), crate::JobId(j)),
+                    b.q(crate::MachineId(i), crate::JobId(j))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn volunteer_grid_has_two_modes() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let inst = volunteer_grid(10, 3, 0.5, 0.1, 0.9, Precedence::Independent, &mut rng);
+        let q_first = inst.q(crate::MachineId(0), crate::JobId(0));
+        let q_last = inst.q(crate::MachineId(9), crate::JobId(0));
+        assert!(q_first < 0.2 && q_last > 0.8);
+    }
+
+    #[test]
+    fn deterministic_is_all_zero() {
+        let inst = deterministic(2, 2, Precedence::Independent);
+        assert_eq!(inst.q(crate::MachineId(1), crate::JobId(1)), 0.0);
+        assert_eq!(inst.ell(crate::MachineId(0), crate::JobId(0)), crate::logmass::L_MAX);
+    }
+
+    #[test]
+    fn power_law_all_valid() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let inst = power_law_difficulty(4, 20, 0.5, 1.2, Precedence::Independent, &mut rng);
+        for j in 0..20 {
+            assert!(inst.best_ell(crate::JobId(j)) > 0.0);
+        }
+    }
+}

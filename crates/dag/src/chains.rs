@@ -1,0 +1,174 @@
+//! Disjoint chains: the SUU-C precedence structure.
+
+use crate::Dag;
+
+/// A partition of the job set `0..n` into disjoint chains.
+///
+/// Every job appears in exactly one chain (singletons are fine — an
+/// independent job is a length-1 chain). Within a chain, each job precedes
+/// the next; there are no cross-chain constraints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainSet {
+    n: usize,
+    chains: Vec<Vec<u32>>,
+    /// `position[j] = (chain index, index within chain)`.
+    position: Vec<(u32, u32)>,
+}
+
+/// Errors constructing a [`ChainSet`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChainSetError {
+    /// A job id `>= n` appeared in a chain.
+    JobOutOfRange(u32),
+    /// A job appeared twice (possibly in different chains).
+    DuplicateJob(u32),
+    /// Some job in `0..n` appeared in no chain.
+    MissingJob(u32),
+}
+
+impl std::fmt::Display for ChainSetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChainSetError::JobOutOfRange(j) => write!(f, "job {j} out of range"),
+            ChainSetError::DuplicateJob(j) => write!(f, "job {j} appears twice"),
+            ChainSetError::MissingJob(j) => write!(f, "job {j} missing from all chains"),
+        }
+    }
+}
+
+impl std::error::Error for ChainSetError {}
+
+impl ChainSet {
+    /// Build a chain set over jobs `0..n`, validating that `chains` is a
+    /// partition. Empty chains are dropped.
+    pub fn new(n: usize, chains: Vec<Vec<u32>>) -> Result<Self, ChainSetError> {
+        let mut position = vec![(u32::MAX, u32::MAX); n];
+        let mut seen = vec![false; n];
+        let chains: Vec<Vec<u32>> = chains.into_iter().filter(|c| !c.is_empty()).collect();
+        for (ci, chain) in chains.iter().enumerate() {
+            for (pi, &j) in chain.iter().enumerate() {
+                if j as usize >= n {
+                    return Err(ChainSetError::JobOutOfRange(j));
+                }
+                if seen[j as usize] {
+                    return Err(ChainSetError::DuplicateJob(j));
+                }
+                seen[j as usize] = true;
+                position[j as usize] = (ci as u32, pi as u32);
+            }
+        }
+        if let Some(j) = seen.iter().position(|&s| !s) {
+            return Err(ChainSetError::MissingJob(j as u32));
+        }
+        Ok(ChainSet { n, chains, position })
+    }
+
+    /// `n` singleton chains — the independent-jobs special case.
+    pub fn singletons(n: usize) -> Self {
+        ChainSet::new(n, (0..n as u32).map(|j| vec![j]).collect()).expect("valid by construction")
+    }
+
+    /// Number of jobs.
+    pub fn num_jobs(&self) -> usize {
+        self.n
+    }
+
+    /// Number of (non-empty) chains.
+    pub fn num_chains(&self) -> usize {
+        self.chains.len()
+    }
+
+    /// The chains, each in precedence order.
+    pub fn chains(&self) -> &[Vec<u32>] {
+        &self.chains
+    }
+
+    /// Length of the longest chain (the paper's `Z`).
+    pub fn max_chain_len(&self) -> usize {
+        self.chains.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// `(chain index, position within chain)` of job `j`.
+    pub fn position_of(&self, j: u32) -> (usize, usize) {
+        let (c, p) = self.position[j as usize];
+        (c as usize, p as usize)
+    }
+
+    /// The job immediately preceding `j` in its chain, if any.
+    pub fn predecessor_of(&self, j: u32) -> Option<u32> {
+        let (c, p) = self.position_of(j);
+        (p > 0).then(|| self.chains[c][p - 1])
+    }
+
+    /// Precedence DAG equivalent to this chain set.
+    pub fn to_dag(&self) -> Dag {
+        let mut dag = Dag::new(self.n);
+        for chain in &self.chains {
+            for w in chain.windows(2) {
+                dag.add_edge(w[0], w[1]);
+            }
+        }
+        dag
+    }
+}
+
+#[cfg(test)]
+mod chain_tests {
+    use super::*;
+
+    #[test]
+    fn valid_partition() {
+        let cs = ChainSet::new(5, vec![vec![0, 2, 4], vec![1], vec![3]]).unwrap();
+        assert_eq!(cs.num_chains(), 3);
+        assert_eq!(cs.max_chain_len(), 3);
+        assert_eq!(cs.position_of(4), (0, 2));
+        assert_eq!(cs.predecessor_of(4), Some(2));
+        assert_eq!(cs.predecessor_of(0), None);
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        assert_eq!(
+            ChainSet::new(3, vec![vec![0, 1], vec![1, 2]]).unwrap_err(),
+            ChainSetError::DuplicateJob(1)
+        );
+    }
+
+    #[test]
+    fn missing_rejected() {
+        assert_eq!(
+            ChainSet::new(3, vec![vec![0, 1]]).unwrap_err(),
+            ChainSetError::MissingJob(2)
+        );
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert_eq!(
+            ChainSet::new(2, vec![vec![0, 5], vec![1]]).unwrap_err(),
+            ChainSetError::JobOutOfRange(5)
+        );
+    }
+
+    #[test]
+    fn empty_chains_dropped() {
+        let cs = ChainSet::new(2, vec![vec![], vec![0], vec![], vec![1]]).unwrap();
+        assert_eq!(cs.num_chains(), 2);
+    }
+
+    #[test]
+    fn to_dag_has_chain_edges() {
+        let cs = ChainSet::new(4, vec![vec![0, 1, 2], vec![3]]).unwrap();
+        let dag = cs.to_dag();
+        assert_eq!(dag.num_edges(), 2);
+        assert_eq!(dag.longest_path_len(), 3);
+        assert!(dag.is_acyclic());
+    }
+
+    #[test]
+    fn singletons_are_independent() {
+        let cs = ChainSet::singletons(4);
+        assert_eq!(cs.num_chains(), 4);
+        assert_eq!(cs.to_dag().num_edges(), 0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Seeded random precedence-structure generators.
+//!
+//! These produce the workload shapes used throughout the paper's
+//! motivation and our experiments: disjoint chains (SUU-C), random forests
+//! (SUU-T), layered DAGs, and the complete-bipartite dependency pattern of
+//! a two-phase MapReduce computation (Section 1 of the paper).
+
+use crate::{ChainSet, Dag, Forest};
+use rand::prelude::*;
+
+/// Partition jobs `0..n` into exactly `num_chains` non-empty chains with
+/// random sizes (uniform composition), random job placement.
+///
+/// Panics if `num_chains == 0` or `num_chains > n` (with `n > 0`).
+pub fn random_chain_set<R: Rng>(n: usize, num_chains: usize, rng: &mut R) -> ChainSet {
+    assert!(num_chains >= 1 && num_chains <= n.max(1), "bad chain count");
+    if n == 0 {
+        return ChainSet::new(0, vec![]).unwrap();
+    }
+    let mut jobs: Vec<u32> = (0..n as u32).collect();
+    jobs.shuffle(rng);
+    // Random composition of n into num_chains positive parts: choose
+    // num_chains-1 distinct cut points in 1..n.
+    let mut cuts: Vec<usize> = (1..n).collect();
+    cuts.shuffle(rng);
+    let mut cuts: Vec<usize> = cuts.into_iter().take(num_chains - 1).collect();
+    cuts.sort_unstable();
+    cuts.push(n);
+    let mut chains = Vec::with_capacity(num_chains);
+    let mut start = 0;
+    for &end in &cuts {
+        chains.push(jobs[start..end].to_vec());
+        start = end;
+    }
+    ChainSet::new(n, chains).expect("partition by construction")
+}
+
+/// Chains of (approximately) equal length `len`; the final chain absorbs
+/// the remainder.
+pub fn equal_chains(n: usize, len: usize) -> ChainSet {
+    assert!(len >= 1);
+    let mut chains = Vec::new();
+    let mut chain = Vec::new();
+    for j in 0..n as u32 {
+        chain.push(j);
+        if chain.len() == len {
+            chains.push(std::mem::take(&mut chain));
+        }
+    }
+    if !chain.is_empty() {
+        chains.push(chain);
+    }
+    ChainSet::new(n, chains).expect("partition by construction")
+}
+
+/// Random out-forest via preferential-free random attachment: vertices
+/// `0..num_roots` are roots; every other vertex picks a uniformly random
+/// parent among lower-numbered vertices.
+pub fn random_out_forest<R: Rng>(n: usize, num_roots: usize, rng: &mut R) -> Forest {
+    assert!(num_roots >= 1 || n == 0, "need at least one root");
+    let mut parent = vec![None; n];
+    for v in num_roots.min(n)..n {
+        parent[v] = Some(rng.random_range(0..v) as u32);
+    }
+    Forest::out_forest(parent).expect("acyclic by construction")
+}
+
+/// Random in-forest: mirror of [`random_out_forest`] (leaves execute
+/// first, roots last).
+pub fn random_in_forest<R: Rng>(n: usize, num_roots: usize, rng: &mut R) -> Forest {
+    assert!(num_roots >= 1 || n == 0, "need at least one root");
+    let mut parent = vec![None; n];
+    for v in num_roots.min(n)..n {
+        parent[v] = Some(rng.random_range(0..v) as u32);
+    }
+    Forest::in_forest(parent).expect("acyclic by construction")
+}
+
+/// Complete binary out-tree with `depth` levels (`2^depth - 1` vertices).
+pub fn binary_out_tree(depth: u32) -> Forest {
+    let n = (1usize << depth) - 1;
+    let parent = (0..n)
+        .map(|v| if v == 0 { None } else { Some(((v - 1) / 2) as u32) })
+        .collect();
+    Forest::out_forest(parent).expect("valid binary tree")
+}
+
+/// A "caterpillar" chain-with-leaves out-tree: a spine of length `spine`,
+/// each spine vertex sprouting `leaves` leaf children. Exercises the rank
+/// decomposition's unbalanced case.
+pub fn caterpillar(spine: usize, leaves: usize) -> Forest {
+    let n = spine + spine * leaves;
+    let mut parent = vec![None; n];
+    for s in 1..spine {
+        parent[s] = Some((s - 1) as u32);
+    }
+    for s in 0..spine {
+        for l in 0..leaves {
+            parent[spine + s * leaves + l] = Some(s as u32);
+        }
+    }
+    Forest::out_forest(parent).expect("valid caterpillar")
+}
+
+/// Layered random DAG: `layers` layers of roughly equal size; each vertex
+/// in layer `k > 0` receives an edge from each vertex of layer `k-1`
+/// independently with probability `density`, plus one guaranteed parent to
+/// keep layers meaningful.
+pub fn layered_dag<R: Rng>(n: usize, layers: usize, density: f64, rng: &mut R) -> Dag {
+    assert!(layers >= 1);
+    let mut dag = Dag::new(n);
+    if n == 0 {
+        return dag;
+    }
+    let per = n.div_ceil(layers);
+    let layer_of = |v: usize| (v / per).min(layers - 1);
+    for v in 0..n {
+        let lv = layer_of(v);
+        if lv == 0 {
+            continue;
+        }
+        let prev: Vec<u32> = (0..n as u32).filter(|&u| layer_of(u as usize) == lv - 1).collect();
+        if prev.is_empty() {
+            continue;
+        }
+        let mut got_parent = false;
+        for &u in &prev {
+            if rng.random_bool(density) {
+                dag.add_edge(u, v as u32);
+                got_parent = true;
+            }
+        }
+        if !got_parent {
+            let u = prev[rng.random_range(0..prev.len())];
+            dag.add_edge(u, v as u32);
+        }
+    }
+    dag
+}
+
+/// The two-phase MapReduce dependency pattern from the paper's
+/// introduction: `maps` independent map jobs, `reduces` reduce jobs, and a
+/// complete bipartite constraint set (every reduce depends on every map).
+pub fn mapreduce_bipartite(maps: usize, reduces: usize) -> Dag {
+    let n = maps + reduces;
+    let mut dag = Dag::new(n);
+    for m in 0..maps as u32 {
+        for r in 0..reduces as u32 {
+            dag.add_edge(m, maps as u32 + r);
+        }
+    }
+    dag
+}

@@ -1,0 +1,33 @@
+//! # suu-dag — precedence-graph machinery for SUU
+//!
+//! The SUU problem (Crutchfield et al., SPAA 2008) models precedence
+//! constraints as a DAG over jobs; the paper's algorithms specialize to
+//! **independent jobs**, **disjoint chains** (SUU-C) and **directed
+//! forests** (SUU-T). This crate provides:
+//!
+//! * [`Dag`] — general DAG: topological order, cycle detection, longest
+//!   path, width (maximum antichain, via Dilworth's theorem and bipartite
+//!   matching on the transitive closure).
+//! * [`ChainSet`] — a partition of jobs into totally ordered chains, the
+//!   input shape for SUU-C.
+//! * [`Forest`] — collections of in-trees or out-trees with the **rank
+//!   decomposition** of Kumar et al. used by Appendix B: split a forest
+//!   into at most `⌊log₂ n⌋ + 1` *blocks*, each a set of vertex-disjoint
+//!   chains, such that executing blocks in order respects all precedence
+//!   constraints.
+//! * [`generators`] — seeded random chains, forests, layered DAGs, and the
+//!   complete-bipartite "MapReduce" shape the paper's introduction cites.
+//!
+//! All vertex ids are `u32` job indices `0..n`.
+
+mod chains;
+mod dag;
+mod forest;
+pub mod generators;
+
+pub use chains::ChainSet;
+pub use dag::Dag;
+pub use forest::{ChainBlock, Forest, ForestKind};
+
+#[cfg(test)]
+mod tests;

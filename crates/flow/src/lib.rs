@@ -1,0 +1,42 @@
+//! # suu-flow — network-flow substrate
+//!
+//! The SPAA'08 SUU rounding lemmas (Lemma 2 and Lemma 6) convert fractional
+//! LP solutions into integral machine-to-job assignments by routing an
+//! integral maximum flow through a three-layer network, relying on the
+//! Ford–Fulkerson integrality theorem. The stochastic-scheduling appendix
+//! additionally needs repeated perfect matchings to decompose a preemptive
+//! timetable into machine-disjoint slices.
+//!
+//! This crate provides both primitives, built from scratch:
+//!
+//! * [`FlowNetwork`] — integer-capacity max-flow via **Dinic's algorithm**
+//!   (BFS level graph + blocking-flow DFS), with per-edge flow extraction.
+//! * [`BipartiteMatcher`] — maximum bipartite matching via
+//!   **Hopcroft–Karp**.
+//!
+//! Capacities are `u64`; `CAP_INF` models the paper's "infinite capacity"
+//! edges without overflow.
+//!
+//! ## Example
+//!
+//! ```
+//! use suu_flow::FlowNetwork;
+//!
+//! let mut net = FlowNetwork::new(4);
+//! let (s, a, b, t) = (0, 1, 2, 3);
+//! net.add_edge(s, a, 3);
+//! net.add_edge(s, b, 2);
+//! net.add_edge(a, t, 2);
+//! net.add_edge(b, t, 3);
+//! net.add_edge(a, b, 5);
+//! assert_eq!(net.max_flow(s, t), 5);
+//! ```
+
+mod dinic;
+mod matching;
+
+pub use dinic::{EdgeId, FlowNetwork, CAP_INF};
+pub use matching::BipartiteMatcher;
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,122 @@
+//! Hopcroft–Karp maximum bipartite matching.
+//!
+//! Used by the stochastic-scheduling timetable construction (Appendix C):
+//! the Birkhoff-style decomposition repeatedly extracts a perfect matching
+//! on the bipartite support graph of the remaining fractional assignment.
+//! `O(E sqrt(V))`.
+
+use std::collections::VecDeque;
+
+const NIL: usize = usize::MAX;
+const INF: u32 = u32::MAX;
+
+/// Maximum-cardinality matching on a bipartite graph with `nl` left and
+/// `nr` right vertices.
+#[derive(Debug, Clone)]
+pub struct BipartiteMatcher {
+    nl: usize,
+    nr: usize,
+    adj: Vec<Vec<usize>>,
+    /// `match_l[u]` = right partner of left `u`, or `NIL`.
+    match_l: Vec<usize>,
+    /// `match_r[v]` = left partner of right `v`, or `NIL`.
+    match_r: Vec<usize>,
+    dist: Vec<u32>,
+}
+
+impl BipartiteMatcher {
+    /// Empty graph with the given side sizes.
+    pub fn new(nl: usize, nr: usize) -> Self {
+        BipartiteMatcher {
+            nl,
+            nr,
+            adj: vec![Vec::new(); nl],
+            match_l: vec![NIL; nl],
+            match_r: vec![NIL; nr],
+            dist: vec![INF; nl],
+        }
+    }
+
+    /// Add an edge between left vertex `u` and right vertex `v`.
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        assert!(u < self.nl && v < self.nr, "vertex out of range");
+        self.adj[u].push(v);
+    }
+
+    fn bfs(&mut self) -> bool {
+        let mut queue = VecDeque::new();
+        for u in 0..self.nl {
+            if self.match_l[u] == NIL {
+                self.dist[u] = 0;
+                queue.push_back(u);
+            } else {
+                self.dist[u] = INF;
+            }
+        }
+        let mut found = false;
+        while let Some(u) = queue.pop_front() {
+            for &v in &self.adj[u] {
+                let w = self.match_r[v];
+                if w == NIL {
+                    found = true;
+                } else if self.dist[w] == INF {
+                    self.dist[w] = self.dist[u] + 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        found
+    }
+
+    fn dfs(&mut self, u: usize) -> bool {
+        for k in 0..self.adj[u].len() {
+            let v = self.adj[u][k];
+            let w = self.match_r[v];
+            if w == NIL || (self.dist[w] == self.dist[u] + 1 && self.dfs(w)) {
+                self.match_l[u] = v;
+                self.match_r[v] = u;
+                return true;
+            }
+        }
+        self.dist[u] = INF;
+        false
+    }
+
+    /// Compute a maximum matching; returns its cardinality.
+    pub fn solve(&mut self) -> usize {
+        let mut matched = 0;
+        while self.bfs() {
+            for u in 0..self.nl {
+                if self.match_l[u] == NIL && self.dfs(u) {
+                    matched += 1;
+                }
+            }
+        }
+        matched
+    }
+
+    /// Right partner of left vertex `u` after [`Self::solve`].
+    pub fn partner_of_left(&self, u: usize) -> Option<usize> {
+        match self.match_l[u] {
+            NIL => None,
+            v => Some(v),
+        }
+    }
+
+    /// Left partner of right vertex `v` after [`Self::solve`].
+    pub fn partner_of_right(&self, v: usize) -> Option<usize> {
+        match self.match_r[v] {
+            NIL => None,
+            u => Some(u),
+        }
+    }
+
+    /// Pairs `(left, right)` of the current matching.
+    pub fn pairs(&self) -> Vec<(usize, usize)> {
+        self.match_l
+            .iter()
+            .enumerate()
+            .filter_map(|(u, &v)| (v != NIL).then_some((u, v)))
+            .collect()
+    }
+}

@@ -1,0 +1,44 @@
+//! # suu-lp — a dense two-phase primal simplex solver
+//!
+//! Linear-programming substrate for the SUU reproduction. The paper's
+//! algorithms rely on solving the relaxations (LP1) and (LP2) (Sections 3
+//! and 4 of Crutchfield et al., SPAA 2008) and the Lawler–Labetoulle LP for
+//! `R|pmtn|Cmax` (Appendix C). No third-party LP solver is available in this
+//! environment, so this crate implements one from scratch:
+//!
+//! * [`LpBuilder`] — a small modelling API: non-negative variables, linear
+//!   constraints (`<=`, `>=`, `=`), and a linear objective to minimize or
+//!   maximize.
+//! * A classic **two-phase tableau simplex** with Dantzig pricing and a
+//!   Bland's-rule fallback for anti-cycling, suitable for the dense,
+//!   moderately sized LPs produced by the scheduling relaxations
+//!   (thousands of variables, hundreds to a few thousand rows).
+//!
+//! The solver is deterministic: the same model always produces the same
+//! solution, which keeps the scheduling experiments reproducible.
+//!
+//! ## Example
+//!
+//! ```
+//! use suu_lp::{LpBuilder, Cmp, LpStatus};
+//!
+//! // min  x + 2y   s.t.  x + y >= 4,  y <= 3,  x,y >= 0
+//! let mut lp = LpBuilder::minimize();
+//! let x = lp.add_var(1.0);
+//! let y = lp.add_var(2.0);
+//! lp.add_constraint(&[(x, 1.0), (y, 1.0)], Cmp::Ge, 4.0);
+//! lp.add_constraint(&[(y, 1.0)], Cmp::Le, 3.0);
+//! let sol = lp.solve().unwrap();
+//! assert_eq!(sol.status, LpStatus::Optimal);
+//! assert!((sol.objective - 4.0).abs() < 1e-7); // x=4, y=0
+//! ```
+
+mod model;
+mod simplex;
+pub mod verify;
+
+pub use model::{Cmp, LpBuilder, LpError, LpSolution, LpStatus, Sense, VarId};
+pub(crate) use simplex::solve_standard_form;
+
+#[cfg(test)]
+mod tests;

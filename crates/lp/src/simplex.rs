@@ -1,0 +1,368 @@
+//! Two-phase dense tableau simplex.
+//!
+//! Implementation notes:
+//!
+//! * Rows are normalized so every right-hand side is non-negative; `<=` rows
+//!   get a slack column, `>=` and `=` rows get an *artificial* basic
+//!   variable (plus a surplus column for `>=`).
+//! * Artificial columns are never materialized. They can only ever sit in
+//!   the basis (identified by a sentinel id `>= ncols`); once one leaves it
+//!   never re-enters, so its tableau column is never needed for pivoting.
+//! * Phase 1 minimizes the sum of artificials. Any artificial still basic at
+//!   a (zero) optimum is pivoted out if possible; if its row has no nonzero
+//!   real entry the row is redundant and provably inert for the rest of the
+//!   solve (every future pivot scales other rows by that row's zero entry).
+//! * Pricing is Dantzig (most negative reduced cost) with a stability-aware
+//!   ratio test; after a pivot budget it degrades to Bland's rule, which
+//!   guarantees termination.
+//!
+//! The tableau is a single row-major `Vec<f64>` with the rhs stored as the
+//! last column, which keeps the pivot inner loop a contiguous axpy.
+
+use crate::model::{Cmp, LpError, LpSolution, LpStatus, Row};
+
+/// Pricing tolerance: reduced costs above `-EPS` count as non-negative.
+const EPS: f64 = 1e-9;
+/// Minimum acceptable magnitude for a pivot element.
+const PIVOT_EPS: f64 = 1e-9;
+/// Phase-1 optimum above this is declared infeasible.
+const FEAS_EPS: f64 = 1e-7;
+
+struct Tableau {
+    /// Row-major `(rows) x (ncols + 1)`; last column is the rhs.
+    a: Vec<f64>,
+    rows: usize,
+    /// Number of materialized (real) columns: structural + slack/surplus.
+    ncols: usize,
+    /// Basic variable per row; `>= ncols` means "artificial for this row".
+    basis: Vec<usize>,
+    /// Reduced-cost row over real columns.
+    red: Vec<f64>,
+    /// Current objective value of the phase.
+    objval: f64,
+    pivots: usize,
+}
+
+impl Tableau {
+    #[inline]
+    fn rhs(&self, r: usize) -> f64 {
+        self.a[r * (self.ncols + 1) + self.ncols]
+    }
+
+    /// Pivot on `(prow, pcol)`: make `pcol` basic in row `prow`.
+    fn pivot(&mut self, prow: usize, pcol: usize) {
+        let w = self.ncols + 1;
+        let piv = self.a[prow * w + pcol];
+        debug_assert!(piv.abs() > PIVOT_EPS, "pivot element too small: {piv}");
+
+        // Normalize pivot row.
+        let inv = 1.0 / piv;
+        {
+            let row = &mut self.a[prow * w..(prow + 1) * w];
+            for v in row.iter_mut() {
+                *v *= inv;
+            }
+            // Exact 1.0 avoids drift on the pivot column.
+            row[pcol] = 1.0;
+        }
+
+        // Eliminate pivot column from all other rows.
+        for r in 0..self.rows {
+            if r == prow {
+                continue;
+            }
+            let factor = self.a[r * w + pcol];
+            if factor == 0.0 {
+                continue;
+            }
+            // Split borrows: pivot row is read-only, row r is mutated.
+            let (lo, hi) = if r < prow {
+                let (a, b) = self.a.split_at_mut(prow * w);
+                (&mut a[r * w..(r + 1) * w], &b[..w])
+            } else {
+                let (a, b) = self.a.split_at_mut(r * w);
+                (&mut b[..w], &a[prow * w..prow * w + w])
+            };
+            for (x, &p) in lo.iter_mut().zip(hi.iter()) {
+                *x -= factor * p;
+            }
+            lo[pcol] = 0.0;
+        }
+
+        // Update reduced costs and objective value.
+        let rc = self.red[pcol];
+        if rc != 0.0 {
+            let prow_slice = &self.a[prow * w..(prow + 1) * w];
+            for (c, rv) in self.red.iter_mut().enumerate() {
+                *rv -= rc * prow_slice[c];
+            }
+            self.red[pcol] = 0.0;
+            self.objval += rc * prow_slice[self.ncols];
+        }
+
+        self.basis[prow] = pcol;
+        self.pivots += 1;
+    }
+
+    /// One phase of the simplex: pivot until optimal/unbounded.
+    ///
+    /// `allow: fn(col) -> bool` filters entering candidates (used to ban
+    /// columns in special situations). Returns `Ok(true)` on optimality,
+    /// `Ok(false)` on unboundedness.
+    fn optimize(
+        &mut self,
+        phase: u8,
+        bland_after: usize,
+        max_pivots: usize,
+    ) -> Result<bool, LpError> {
+        let start = self.pivots;
+        loop {
+            let iters = self.pivots - start;
+            if iters > max_pivots {
+                return Err(LpError::IterationLimit {
+                    phase,
+                    iterations: iters,
+                });
+            }
+            let bland = iters >= bland_after;
+
+            // --- Pricing: choose entering column.
+            let mut entering: Option<usize> = None;
+            if bland {
+                for (c, &rv) in self.red.iter().enumerate() {
+                    if rv < -EPS {
+                        entering = Some(c);
+                        break;
+                    }
+                }
+            } else {
+                let mut best = -EPS;
+                for (c, &rv) in self.red.iter().enumerate() {
+                    if rv < best {
+                        best = rv;
+                        entering = Some(c);
+                    }
+                }
+            }
+            let Some(pcol) = entering else {
+                return Ok(true); // optimal
+            };
+
+            // --- Ratio test: choose leaving row.
+            let w = self.ncols + 1;
+            let mut prow: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            let mut best_piv = 0.0_f64;
+            for r in 0..self.rows {
+                let coef = self.a[r * w + pcol];
+                if coef <= PIVOT_EPS {
+                    continue;
+                }
+                let ratio = self.a[r * w + self.ncols] / coef;
+                let better = if bland {
+                    // Bland: strict min ratio, ties by smallest basis id.
+                    ratio < best_ratio - 1e-12
+                        || (ratio <= best_ratio + 1e-12
+                            && prow.is_some_and(|p| self.basis[r] < self.basis[p]))
+                } else {
+                    // Stability: ties resolved toward the largest pivot.
+                    ratio < best_ratio - 1e-12
+                        || (ratio <= best_ratio + 1e-12 && coef.abs() > best_piv)
+                };
+                if better {
+                    best_ratio = ratio.max(0.0);
+                    best_piv = coef.abs();
+                    prow = Some(r);
+                }
+            }
+            let Some(prow) = prow else {
+                return Ok(false); // unbounded direction
+            };
+            self.pivot(prow, pcol);
+        }
+    }
+}
+
+/// Solve `min obj·x` subject to `rows`, `x >= 0`.
+pub(crate) fn solve_standard_form(obj: &[f64], rows: &[Row]) -> Result<LpSolution, LpError> {
+    let nv = obj.len();
+    let m = rows.len();
+
+    // Column layout: [structural 0..nv | slack/surplus nv..nv+nslack].
+    // First pass: count slack columns and normalize rhs signs.
+    let mut norm: Vec<(Vec<(usize, f64)>, Cmp, f64)> = Vec::with_capacity(m);
+    let mut nslack = 0usize;
+    for row in rows {
+        let mut terms: Vec<(usize, f64)> = row.terms.clone();
+        let mut cmp = row.cmp;
+        let mut rhs = row.rhs;
+        if rhs < 0.0 {
+            rhs = -rhs;
+            for t in &mut terms {
+                t.1 = -t.1;
+            }
+            cmp = match cmp {
+                Cmp::Le => Cmp::Ge,
+                Cmp::Ge => Cmp::Le,
+                Cmp::Eq => Cmp::Eq,
+            };
+        }
+        if !matches!(cmp, Cmp::Eq) {
+            nslack += 1;
+        }
+        norm.push((terms, cmp, rhs));
+    }
+
+    let ncols = nv + nslack;
+    let w = ncols + 1;
+    let mut a = vec![0.0f64; m * w];
+    let mut basis = vec![0usize; m];
+    let mut artificial_rows: Vec<usize> = Vec::new();
+
+    let mut next_slack = nv;
+    for (r, (terms, cmp, rhs)) in norm.iter().enumerate() {
+        for &(v, c) in terms {
+            a[r * w + v] += c;
+        }
+        a[r * w + ncols] = *rhs;
+        match cmp {
+            Cmp::Le => {
+                a[r * w + next_slack] = 1.0;
+                basis[r] = next_slack;
+                next_slack += 1;
+            }
+            Cmp::Ge => {
+                a[r * w + next_slack] = -1.0; // surplus
+                next_slack += 1;
+                basis[r] = ncols + r; // artificial sentinel
+                artificial_rows.push(r);
+            }
+            Cmp::Eq => {
+                basis[r] = ncols + r;
+                artificial_rows.push(r);
+            }
+        }
+    }
+    debug_assert_eq!(next_slack, ncols);
+
+    let mut t = Tableau {
+        a,
+        rows: m,
+        ncols,
+        basis,
+        red: vec![0.0; ncols],
+        objval: 0.0,
+        pivots: 0,
+    };
+
+    let bland_after = 20 * (m + ncols) + 2_000;
+    let max_pivots = 200 * (m + ncols) + 20_000;
+
+    // ---- Phase 1: minimize sum of artificials.
+    if !artificial_rows.is_empty() {
+        // Reduced costs: c_j - sum over artificial rows of a[r][j]
+        // (artificial cost 1, everything else 0; basis cost contribution is
+        // exactly the artificial rows).
+        for c in 0..ncols {
+            let mut s = 0.0;
+            for &r in &artificial_rows {
+                s += t.a[r * w + c];
+            }
+            t.red[c] = -s;
+        }
+        let mut v0 = 0.0;
+        for &r in &artificial_rows {
+            v0 += t.a[r * w + ncols];
+        }
+        t.objval = v0;
+
+        let optimal = t.optimize(1, bland_after, max_pivots)?;
+        // Phase 1 is bounded below by 0, so "unbounded" cannot occur.
+        debug_assert!(optimal, "phase-1 LP cannot be unbounded");
+        if t.objval > FEAS_EPS {
+            return Ok(LpSolution {
+                status: LpStatus::Infeasible,
+                objective: f64::NAN,
+                x: vec![f64::NAN; nv],
+                pivots: t.pivots,
+            });
+        }
+
+        // Drive out artificial basics where possible (degenerate pivots).
+        for r in 0..m {
+            if t.basis[r] >= ncols {
+                // Clamp the (theoretically zero) rhs.
+                t.a[r * w + ncols] = 0.0;
+                let mut col = None;
+                for c in 0..ncols {
+                    if t.a[r * w + c].abs() > 1e-7 {
+                        col = Some(c);
+                        break;
+                    }
+                }
+                if let Some(c) = col {
+                    t.pivot(r, c);
+                }
+                // else: redundant row; inert for the rest of the solve.
+            }
+        }
+    }
+
+    // ---- Phase 2: original objective.
+    // Reduced costs r = c - c_B^T * T; basic columns get 0 by construction.
+    let cost_of = |var: usize| -> f64 {
+        if var < nv {
+            obj[var]
+        } else {
+            0.0 // slacks and (inert) artificials
+        }
+    };
+    for c in 0..ncols {
+        t.red[c] = cost_of(c);
+    }
+    let mut v = 0.0;
+    for r in 0..m {
+        let cb = if t.basis[r] < ncols {
+            cost_of(t.basis[r])
+        } else {
+            0.0
+        };
+        if cb != 0.0 {
+            for c in 0..ncols {
+                t.red[c] -= cb * t.a[r * w + c];
+            }
+            v += cb * t.a[r * w + ncols];
+        }
+    }
+    // Zero out reduced costs of basic columns exactly.
+    for r in 0..m {
+        if t.basis[r] < ncols {
+            t.red[t.basis[r]] = 0.0;
+        }
+    }
+    t.objval = v;
+
+    let optimal = t.optimize(2, bland_after, max_pivots)?;
+    if !optimal {
+        return Ok(LpSolution {
+            status: LpStatus::Unbounded,
+            objective: f64::NEG_INFINITY,
+            x: vec![f64::NAN; nv],
+            pivots: t.pivots,
+        });
+    }
+
+    let mut x = vec![0.0f64; nv];
+    for r in 0..m {
+        let b = t.basis[r];
+        if b < nv {
+            x[b] = t.rhs(r).max(0.0);
+        }
+    }
+    Ok(LpSolution {
+        status: LpStatus::Optimal,
+        objective: t.objval,
+        x,
+        pivots: t.pivots,
+    })
+}

@@ -1,0 +1,68 @@
+//! Solution verification helpers used by tests and by downstream crates'
+//! debug assertions.
+//!
+//! These operate on the *model* (not the solver internals), so they give an
+//! independent check that a claimed solution actually satisfies the
+//! constraint system.
+
+use crate::{Cmp, LpBuilder, LpSolution};
+
+/// Maximum constraint violation of `x` under the model, i.e.
+/// `max(0, lhs - rhs)` for `<=`, `max(0, rhs - lhs)` for `>=`, `|lhs - rhs|`
+/// for `=`, and `max(0, -x_j)` over variables.
+pub fn max_violation(lp: &LpBuilder, x: &[f64]) -> f64 {
+    let mut worst = 0.0f64;
+    for &v in x {
+        worst = worst.max(-v);
+    }
+    for row in &lp.rows {
+        let lhs: f64 = row.terms.iter().map(|&(v, c)| c * x[v]).sum();
+        let viol = match row.cmp {
+            Cmp::Le => lhs - row.rhs,
+            Cmp::Ge => row.rhs - lhs,
+            Cmp::Eq => (lhs - row.rhs).abs(),
+        };
+        worst = worst.max(viol);
+    }
+    worst
+}
+
+/// `true` if `x` is feasible within tolerance `tol`.
+pub fn is_feasible(lp: &LpBuilder, x: &[f64], tol: f64) -> bool {
+    max_violation(lp, x) <= tol
+}
+
+/// Objective value of an arbitrary point under the model's original sense.
+pub fn objective_of(lp: &LpBuilder, x: &[f64]) -> f64 {
+    lp.obj.iter().zip(x).map(|(c, v)| c * v).sum()
+}
+
+/// Assert (in tests) that `sol` is feasible and at least as good as the
+/// provided reference feasible point. Panics with diagnostics otherwise.
+pub fn assert_optimal_vs(lp: &LpBuilder, sol: &LpSolution, reference: &[f64], tol: f64) {
+    assert!(
+        is_feasible(lp, &sol.x, tol),
+        "solution infeasible: violation {}",
+        max_violation(lp, &sol.x)
+    );
+    assert!(
+        is_feasible(lp, reference, tol),
+        "reference point infeasible: violation {}",
+        max_violation(lp, reference)
+    );
+    let ref_obj = objective_of(lp, reference);
+    match lp.sense {
+        crate::Sense::Minimize => assert!(
+            sol.objective <= ref_obj + tol,
+            "claimed optimum {} worse than feasible reference {}",
+            sol.objective,
+            ref_obj
+        ),
+        crate::Sense::Maximize => assert!(
+            sol.objective >= ref_obj - tol,
+            "claimed optimum {} worse than feasible reference {}",
+            sol.objective,
+            ref_obj
+        ),
+    }
+}

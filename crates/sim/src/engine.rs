@@ -1,0 +1,193 @@
+//! The step-by-step execution loop.
+
+use crate::policy::{Policy, StateView};
+use rand::{Rng, RngExt};
+use suu_core::{EligibilityTracker, JobId, MachineId, SuuInstance};
+
+/// Which formulation's randomness to simulate.
+///
+/// Both are faithful to the paper; Theorem 10 proves they induce the same
+/// distribution over execution histories. `SuuStar` is cheaper (one uniform
+/// draw per job) and is the default for experiments; `Suu` draws a coin per
+/// job-step and exists to validate the equivalence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Semantics {
+    /// Per-step Bernoulli failures with probability `∏ q_ij`.
+    Suu,
+    /// Deferred decisions: hidden threshold `−log₂ r_j` per job, job
+    /// completes when accrued log mass crosses it.
+    SuuStar,
+}
+
+/// Execution parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecConfig {
+    /// Randomness model.
+    pub semantics: Semantics,
+    /// Hard step cap: executions that exceed it return
+    /// `completed = false`. Guards against non-terminating policies.
+    pub max_steps: u64,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            semantics: Semantics::SuuStar,
+            max_steps: 10_000_000,
+        }
+    }
+}
+
+/// What happened during one execution.
+#[derive(Debug, Clone)]
+pub struct ExecOutcome {
+    /// Steps until the last job completed (valid when `completed`).
+    pub makespan: u64,
+    /// `false` if `max_steps` was hit first.
+    pub completed: bool,
+    /// Machine-steps spent on eligible, uncompleted jobs.
+    pub busy_steps: u64,
+    /// Machine-steps the policy pointed at completed jobs (allowed; the
+    /// machine idles) or left idle.
+    pub idle_steps: u64,
+    /// Machine-steps the policy pointed at *ineligible* jobs (a schedule
+    /// bug: the paper forbids this; the engine idles the machine and
+    /// counts it here).
+    pub ineligible_assignments: u64,
+    /// Completion step per job (`u64::MAX` if never completed).
+    pub completion_time: Vec<u64>,
+}
+
+impl ExecOutcome {
+    /// Convenience: completion time of job `j`.
+    pub fn completed_at(&self, j: JobId) -> Option<u64> {
+        let t = self.completion_time[j.index()];
+        (t != u64::MAX).then_some(t)
+    }
+}
+
+/// Execute `policy` on `inst`, drawing randomness from `rng`.
+///
+/// One call = one sample of the schedule's makespan distribution.
+pub fn execute<R: Rng>(
+    inst: &SuuInstance,
+    policy: &mut dyn Policy,
+    cfg: &ExecConfig,
+    rng: &mut R,
+) -> ExecOutcome {
+    let n = inst.num_jobs();
+    let m = inst.num_machines();
+    policy.reset();
+
+    let dag = inst.precedence().to_dag(n);
+    let mut tracker = EligibilityTracker::new(&dag);
+
+    // SUU*: thresholds −log₂ r_j; SUU: per-step coins (thresholds unused).
+    let thresholds: Vec<f64> = match cfg.semantics {
+        Semantics::SuuStar => (0..n)
+            .map(|_| {
+                let r: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+                -r.log2()
+            })
+            .collect(),
+        Semantics::Suu => Vec::new(),
+    };
+    let mut accrued = vec![0.0f64; n];
+    let mut completion_time = vec![u64::MAX; n];
+
+    let mut busy_steps = 0u64;
+    let mut idle_steps = 0u64;
+    let mut ineligible = 0u64;
+
+    // Scratch: per-job mass collected this step (SUU*) or survival
+    // probability (SUU), plus the set of jobs touched.
+    let mut step_mass = vec![0.0f64; n];
+    let mut touched: Vec<u32> = Vec::with_capacity(m);
+
+    let mut t = 0u64;
+    while !tracker.all_done() {
+        if t >= cfg.max_steps {
+            return ExecOutcome {
+                makespan: cfg.max_steps,
+                completed: false,
+                busy_steps,
+                idle_steps,
+                ineligible_assignments: ineligible,
+                completion_time,
+            };
+        }
+
+        let assignment = {
+            let view = StateView {
+                time: t,
+                remaining: tracker.remaining(),
+                eligible: tracker.eligible(),
+                n,
+                m,
+            };
+            policy.assign(&view)
+        };
+        debug_assert_eq!(assignment.len(), m, "policy returned wrong row width");
+
+        touched.clear();
+        for (i, slot) in assignment.iter().enumerate() {
+            match slot {
+                None => idle_steps += 1,
+                Some(j) => {
+                    let ji = j.index();
+                    debug_assert!(ji < n, "policy assigned out-of-range job");
+                    if !tracker.remaining().contains(j.0) {
+                        // Completed job: machine rests (allowed).
+                        idle_steps += 1;
+                    } else if !tracker.eligible().contains(j.0) {
+                        ineligible += 1;
+                        idle_steps += 1;
+                    } else {
+                        let ell = inst.ell(MachineId(i as u32), *j);
+                        if step_mass[ji] == 0.0 {
+                            touched.push(j.0);
+                        }
+                        step_mass[ji] += ell;
+                        busy_steps += 1;
+                    }
+                }
+            }
+        }
+
+        // Resolve completions for this step.
+        for &j in &touched {
+            let ji = j as usize;
+            let mass = step_mass[ji];
+            step_mass[ji] = 0.0;
+            if mass <= 0.0 {
+                continue; // only q=1 machines worked on it: no progress
+            }
+            let completes = match cfg.semantics {
+                Semantics::Suu => {
+                    // Fails with probability ∏ q = 2^(−mass).
+                    let fail_prob = (-mass).exp2();
+                    rng.random_range(0.0..1.0) >= fail_prob
+                }
+                Semantics::SuuStar => {
+                    accrued[ji] += mass;
+                    accrued[ji] >= thresholds[ji]
+                }
+            };
+            if completes {
+                completion_time[ji] = t + 1;
+                tracker.complete(j);
+            }
+        }
+
+        t += 1;
+    }
+
+    ExecOutcome {
+        makespan: t,
+        completed: true,
+        busy_steps,
+        idle_steps,
+        ineligible_assignments: ineligible,
+        completion_time,
+    }
+}

@@ -1,0 +1,67 @@
+//! The `Policy` trait: schedules as algorithms.
+//!
+//! The paper defines a schedule as a function `Σ : (history, t) → (M → J ∪
+//! {⊥})`. Policies here are the executable form: each step the engine
+//! hands the policy a [`StateView`] (time plus the remaining/eligible job
+//! sets — i.e. the history summary the paper's schedules may depend on)
+//! and receives one job choice per machine.
+//!
+//! Crucially, a policy never sees the hidden `r_j` draws or accrued
+//! masses: schedules must be oblivious to them (Appendix A), and the type
+//! system enforces that here.
+
+use suu_core::{BitSet, JobId};
+
+/// What a policy may observe at each step.
+#[derive(Debug)]
+pub struct StateView<'a> {
+    /// Current timestep (0-based; the assignment returned executes during
+    /// this step).
+    pub time: u64,
+    /// Jobs not yet completed.
+    pub remaining: &'a BitSet,
+    /// Jobs eligible to run (all predecessors complete, not themselves
+    /// complete).
+    pub eligible: &'a BitSet,
+    /// Number of jobs.
+    pub n: usize,
+    /// Number of machines.
+    pub m: usize,
+}
+
+/// A schedule, in executable form.
+///
+/// Implementations may keep internal state across steps (semioblivious
+/// rounds, chain pointers, …); [`Policy::reset`] is called once before each
+/// execution so a single policy value can be reused across trials.
+pub trait Policy: Send {
+    /// Human-readable name (used in experiment tables).
+    fn name(&self) -> &str;
+
+    /// Re-initialize internal state for a fresh execution.
+    fn reset(&mut self);
+
+    /// Choose a job (or idle) for every machine at this step.
+    ///
+    /// The returned vector must have length `view.m`. Entries pointing at
+    /// completed jobs are treated as idle (the paper allows schedules to
+    /// assign completed jobs; the machine simply rests). Entries pointing
+    /// at ineligible jobs are also idled but counted as violations in the
+    /// execution outcome, since the paper forbids running ineligible jobs.
+    fn assign(&mut self, view: &StateView<'_>) -> Vec<Option<JobId>>;
+}
+
+/// Blanket impl so `Box<dyn Policy>` is itself a policy.
+impl Policy for Box<dyn Policy> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn reset(&mut self) {
+        (**self).reset()
+    }
+
+    fn assign(&mut self, view: &StateView<'_>) -> Vec<Option<JobId>> {
+        (**self).assign(view)
+    }
+}

@@ -1,0 +1,213 @@
+//! Summary statistics and a two-sample chi-square test.
+//!
+//! Just enough statistics for the experiment harness: mean/variance with a
+//! normal-approximation confidence interval, quantiles, and a chi-square
+//! homogeneity test used to check the SUU ≡ SUU* equivalence (Theorem 10)
+//! empirically.
+
+/// Summary of a sample of makespans (or any non-negative metric).
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// Sample size.
+    pub count: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (unbiased).
+    pub std_dev: f64,
+    /// Standard error of the mean.
+    pub std_err: f64,
+    /// 95% CI half-width (normal approximation).
+    pub ci95: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median.
+    pub median: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+/// Summarize a sample. Panics on an empty sample.
+pub fn summarize(values: &[f64]) -> Summary {
+    assert!(!values.is_empty(), "empty sample");
+    let count = values.len();
+    let mean = values.iter().sum::<f64>() / count as f64;
+    let var = if count > 1 {
+        values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (count - 1) as f64
+    } else {
+        0.0
+    };
+    let std_dev = var.sqrt();
+    let std_err = std_dev / (count as f64).sqrt();
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in sample"));
+    Summary {
+        count,
+        mean,
+        std_dev,
+        std_err,
+        ci95: 1.96 * std_err,
+        min: sorted[0],
+        median: quantile_sorted(&sorted, 0.5),
+        p95: quantile_sorted(&sorted, 0.95),
+        max: sorted[count - 1],
+    }
+}
+
+/// Quantile of an already-sorted sample (linear interpolation).
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty() && (0.0..=1.0).contains(&q));
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Chi-square homogeneity statistic for two samples of counts over shared
+/// bins, plus its degrees of freedom. Bins where both samples are empty are
+/// dropped; remaining bins with tiny expected counts are pooled into their
+/// neighbor to keep the approximation sane.
+pub fn chi_square_two_sample(a: &[u64], b: &[u64]) -> (f64, usize) {
+    assert_eq!(a.len(), b.len(), "bin count mismatch");
+    // Pool bins until every pooled bin has a combined count >= 5.
+    let mut pooled: Vec<(f64, f64)> = Vec::new();
+    let (mut acc_a, mut acc_b) = (0f64, 0f64);
+    for (&ca, &cb) in a.iter().zip(b) {
+        acc_a += ca as f64;
+        acc_b += cb as f64;
+        if acc_a + acc_b >= 5.0 {
+            pooled.push((acc_a, acc_b));
+            acc_a = 0.0;
+            acc_b = 0.0;
+        }
+    }
+    if acc_a + acc_b > 0.0 {
+        if let Some(last) = pooled.last_mut() {
+            last.0 += acc_a;
+            last.1 += acc_b;
+        } else {
+            pooled.push((acc_a, acc_b));
+        }
+    }
+    let total_a: f64 = pooled.iter().map(|p| p.0).sum();
+    let total_b: f64 = pooled.iter().map(|p| p.1).sum();
+    let total = total_a + total_b;
+    if total == 0.0 || pooled.len() < 2 {
+        return (0.0, 0);
+    }
+    let mut chi2 = 0.0;
+    for &(ca, cb) in &pooled {
+        let row = ca + cb;
+        let ea = row * total_a / total;
+        let eb = row * total_b / total;
+        if ea > 0.0 {
+            chi2 += (ca - ea).powi(2) / ea;
+        }
+        if eb > 0.0 {
+            chi2 += (cb - eb).powi(2) / eb;
+        }
+    }
+    (chi2, pooled.len() - 1)
+}
+
+/// Conservative chi-square critical value at significance ~0.001 for `dof`
+/// degrees of freedom (Wilson–Hilferty approximation). Used by equivalence
+/// tests: statistic above this ⇒ samples very likely differ.
+pub fn chi_square_critical_001(dof: usize) -> f64 {
+    if dof == 0 {
+        return 0.0;
+    }
+    let k = dof as f64;
+    // Wilson–Hilferty: chi2_q ≈ k * (1 - 2/(9k) + z_q * sqrt(2/(9k)))^3,
+    // z_{0.999} ≈ 3.09.
+    let z = 3.09;
+    k * (1.0 - 2.0 / (9.0 * k) + z * (2.0 / (9.0 * k)).sqrt()).powi(3)
+}
+
+/// Build histograms over `0..=max` for two u64 samples (shared binning).
+pub fn histogram_pair(a: &[u64], b: &[u64]) -> (Vec<u64>, Vec<u64>) {
+    let max = a.iter().chain(b).copied().max().unwrap_or(0) as usize;
+    let mut ha = vec![0u64; max + 1];
+    let mut hb = vec![0u64; max + 1];
+    for &v in a {
+        ha[v as usize] += 1;
+    }
+    for &v in b {
+        hb[v as usize] += 1;
+    }
+    (ha, hb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_constant_sample() {
+        let s = summarize(&[4.0; 10]);
+        assert_eq!(s.mean, 4.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.median, 4.0);
+        assert_eq!(s.min, 4.0);
+        assert_eq!(s.max, 4.0);
+    }
+
+    #[test]
+    fn summary_basic_moments() {
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert!((s.std_dev - (2.5f64).sqrt()).abs() < 1e-12);
+        assert_eq!(s.median, 3.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let sorted = [0.0, 10.0];
+        assert_eq!(quantile_sorted(&sorted, 0.5), 5.0);
+        assert_eq!(quantile_sorted(&sorted, 0.0), 0.0);
+        assert_eq!(quantile_sorted(&sorted, 1.0), 10.0);
+    }
+
+    #[test]
+    fn chi_square_identical_histograms_is_zero() {
+        let h = vec![10, 20, 30, 5];
+        let (chi2, _) = chi_square_two_sample(&h, &h);
+        assert!(chi2 < 1e-9);
+    }
+
+    #[test]
+    fn chi_square_detects_blatant_difference() {
+        let a = vec![100, 0, 0];
+        let b = vec![0, 0, 100];
+        let (chi2, dof) = chi_square_two_sample(&a, &b);
+        assert!(chi2 > chi_square_critical_001(dof));
+    }
+
+    #[test]
+    fn chi_square_pools_sparse_bins() {
+        let a = vec![3, 2, 1, 0, 50];
+        let b = vec![2, 3, 0, 1, 50];
+        let (chi2, dof) = chi_square_two_sample(&a, &b);
+        assert!(dof >= 1);
+        assert!(chi2 <= chi_square_critical_001(dof), "similar samples accepted");
+    }
+
+    #[test]
+    fn critical_values_reasonable() {
+        // Known chi-square 0.001 critical values: dof=1 ≈ 10.8, dof=10 ≈ 29.6.
+        assert!((chi_square_critical_001(1) - 10.8).abs() < 1.5);
+        assert!((chi_square_critical_001(10) - 29.6).abs() < 1.5);
+    }
+
+    #[test]
+    fn histogram_pair_shares_bins() {
+        let (ha, hb) = histogram_pair(&[0, 2, 2], &[1]);
+        assert_eq!(ha, vec![1, 0, 2]);
+        assert_eq!(hb, vec![0, 1, 0]);
+    }
+}

@@ -1,0 +1,278 @@
+//! Engine and harness tests, including the statistical SUU ≡ SUU* check.
+
+use crate::engine::{execute, ExecConfig, Semantics};
+use crate::montecarlo::{completion_rate, mean_makespan, run_trials, MonteCarloConfig};
+use crate::policy::{Policy, StateView};
+use crate::stats::{chi_square_critical_001, chi_square_two_sample, histogram_pair, summarize};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use suu_core::{workload, JobId, Precedence};
+use suu_dag::ChainSet;
+
+/// Every machine works on the lowest-id eligible remaining job plus
+/// round-robin spread: machine i takes the (i mod k)-th eligible job.
+#[derive(Clone)]
+struct SpreadPolicy;
+
+impl Policy for SpreadPolicy {
+    fn name(&self) -> &str {
+        "spread"
+    }
+    fn reset(&mut self) {}
+    fn assign(&mut self, view: &StateView<'_>) -> Vec<Option<JobId>> {
+        let eligible: Vec<u32> = view.eligible.iter().collect();
+        if eligible.is_empty() {
+            return vec![None; view.m];
+        }
+        (0..view.m)
+            .map(|i| Some(JobId(eligible[i % eligible.len()])))
+            .collect()
+    }
+}
+
+/// All machines gang on the single lowest eligible job.
+#[derive(Clone)]
+struct GangPolicy;
+
+impl Policy for GangPolicy {
+    fn name(&self) -> &str {
+        "gang"
+    }
+    fn reset(&mut self) {}
+    fn assign(&mut self, view: &StateView<'_>) -> Vec<Option<JobId>> {
+        match view.eligible.first() {
+            Some(j) => vec![Some(JobId(j)); view.m],
+            None => vec![None; view.m],
+        }
+    }
+}
+
+/// Never does anything. For step-cap tests.
+struct IdlePolicy;
+
+impl Policy for IdlePolicy {
+    fn name(&self) -> &str {
+        "idle"
+    }
+    fn reset(&mut self) {}
+    fn assign(&mut self, view: &StateView<'_>) -> Vec<Option<JobId>> {
+        vec![None; view.m]
+    }
+}
+
+/// Deliberately assigns an ineligible job (the chain's last job).
+struct CheatingPolicy;
+
+impl Policy for CheatingPolicy {
+    fn name(&self) -> &str {
+        "cheat"
+    }
+    fn reset(&mut self) {}
+    fn assign(&mut self, view: &StateView<'_>) -> Vec<Option<JobId>> {
+        vec![Some(JobId(view.n as u32 - 1)); view.m]
+    }
+}
+
+fn cfg(semantics: Semantics) -> ExecConfig {
+    ExecConfig {
+        semantics,
+        max_steps: 1_000_000,
+    }
+}
+
+#[test]
+fn deterministic_independent_one_step() {
+    // q = 0 everywhere, n = m: spread policy finishes everything in 1 step.
+    let inst = workload::deterministic(4, 4, Precedence::Independent);
+    let mut rng = StdRng::seed_from_u64(1);
+    let out = execute(&inst, &mut SpreadPolicy, &cfg(Semantics::SuuStar), &mut rng);
+    assert!(out.completed);
+    assert_eq!(out.makespan, 1);
+    assert_eq!(out.busy_steps, 4);
+    assert_eq!(out.ineligible_assignments, 0);
+}
+
+#[test]
+fn deterministic_chain_takes_n_steps() {
+    // Single chain of 5 jobs, q = 0: must take exactly 5 steps.
+    let cs = ChainSet::new(5, vec![vec![0, 1, 2, 3, 4]]).unwrap();
+    let inst = workload::deterministic(3, 5, Precedence::Chains(cs));
+    let mut rng = StdRng::seed_from_u64(2);
+    for semantics in [Semantics::Suu, Semantics::SuuStar] {
+        let out = execute(&inst, &mut GangPolicy, &cfg(semantics), &mut rng);
+        assert!(out.completed);
+        assert_eq!(out.makespan, 5);
+        // Completion times are 1..=5 in chain order.
+        for j in 0..5 {
+            assert_eq!(out.completed_at(JobId(j)), Some(j as u64 + 1));
+        }
+    }
+}
+
+#[test]
+fn geometric_single_job_mean_is_two() {
+    // One job, one machine, q = 1/2: makespan ~ Geometric(1/2), E = 2.
+    let inst = workload::homogeneous(1, 1, 0.5, Precedence::Independent);
+    for semantics in [Semantics::Suu, Semantics::SuuStar] {
+        let mc = MonteCarloConfig {
+            trials: 4000,
+            base_seed: 99,
+            threads: 2,
+            exec: cfg(semantics),
+        };
+        let outcomes = run_trials(&inst, || GangPolicy, &mc);
+        assert_eq!(completion_rate(&outcomes), 1.0);
+        let mean = mean_makespan(&outcomes);
+        assert!(
+            (mean - 2.0).abs() < 0.12,
+            "{semantics:?}: mean {mean} not ~2.0"
+        );
+    }
+}
+
+#[test]
+fn two_machines_gang_probability_combines() {
+    // One job, two machines with q = 1/2 each: combined failure 1/4,
+    // E[T] = 1/(3/4) = 4/3.
+    let inst = workload::homogeneous(2, 1, 0.5, Precedence::Independent);
+    let mc = MonteCarloConfig {
+        trials: 4000,
+        base_seed: 7,
+        threads: 2,
+        exec: cfg(Semantics::Suu),
+    };
+    let outcomes = run_trials(&inst, || GangPolicy, &mc);
+    let mean = mean_makespan(&outcomes);
+    assert!((mean - 4.0 / 3.0).abs() < 0.08, "mean {mean}");
+}
+
+#[test]
+fn suu_and_suustar_distributions_match() {
+    // Theorem 10: identical makespan distributions under both semantics.
+    // 3 jobs in a chain + 1 independent, heterogeneous machines.
+    let cs = ChainSet::new(4, vec![vec![0, 1, 2], vec![3]]).unwrap();
+    let mut grng = StdRng::seed_from_u64(5);
+    let inst = workload::uniform_unrelated(3, 4, 0.3, 0.9, Precedence::Chains(cs), &mut grng);
+
+    let trials = 6000;
+    let run = |semantics| {
+        let mc = MonteCarloConfig {
+            trials,
+            base_seed: 1234,
+            threads: 4,
+            exec: cfg(semantics),
+        };
+        run_trials(&inst, || SpreadPolicy, &mc)
+            .into_iter()
+            .map(|o| o.makespan)
+            .collect::<Vec<u64>>()
+    };
+    let a = run(Semantics::Suu);
+    let b = run(Semantics::SuuStar);
+    let (ha, hb) = histogram_pair(&a, &b);
+    let (chi2, dof) = chi_square_two_sample(&ha, &hb);
+    let crit = chi_square_critical_001(dof);
+    assert!(
+        chi2 <= crit,
+        "distributions differ: chi2 {chi2:.2} > critical {crit:.2} (dof {dof})"
+    );
+}
+
+#[test]
+fn step_cap_reports_incomplete() {
+    let inst = workload::homogeneous(1, 1, 0.5, Precedence::Independent);
+    let mut rng = StdRng::seed_from_u64(3);
+    let out = execute(
+        &inst,
+        &mut IdlePolicy,
+        &ExecConfig {
+            semantics: Semantics::SuuStar,
+            max_steps: 50,
+        },
+        &mut rng,
+    );
+    assert!(!out.completed);
+    assert_eq!(out.makespan, 50);
+    assert_eq!(out.completion_time[0], u64::MAX);
+}
+
+#[test]
+fn ineligible_assignments_are_counted_and_harmless() {
+    let cs = ChainSet::new(3, vec![vec![0, 1, 2]]).unwrap();
+    let inst = workload::deterministic(2, 3, Precedence::Chains(cs));
+    let mut rng = StdRng::seed_from_u64(4);
+    let out = execute(
+        &inst,
+        &mut CheatingPolicy,
+        &ExecConfig {
+            semantics: Semantics::SuuStar,
+            max_steps: 10,
+        },
+        &mut rng,
+    );
+    // Job 2 never becomes eligible because 0 and 1 never run.
+    assert!(!out.completed);
+    assert!(out.ineligible_assignments > 0);
+    assert_eq!(out.busy_steps, 0);
+}
+
+#[test]
+fn seeded_runs_are_deterministic() {
+    let mut grng = StdRng::seed_from_u64(11);
+    let inst = workload::uniform_unrelated(3, 5, 0.2, 0.95, Precedence::Independent, &mut grng);
+    let mc = MonteCarloConfig {
+        trials: 50,
+        base_seed: 777,
+        threads: 4,
+        exec: cfg(Semantics::SuuStar),
+    };
+    let a: Vec<u64> = run_trials(&inst, || SpreadPolicy, &mc).iter().map(|o| o.makespan).collect();
+    let b: Vec<u64> = run_trials(&inst, || SpreadPolicy, &mc).iter().map(|o| o.makespan).collect();
+    assert_eq!(a, b, "same seeds must give identical outcomes");
+}
+
+#[test]
+fn single_thread_matches_multi_thread() {
+    let inst = workload::homogeneous(2, 3, 0.6, Precedence::Independent);
+    let base = MonteCarloConfig {
+        trials: 64,
+        base_seed: 42,
+        threads: 1,
+        exec: cfg(Semantics::SuuStar),
+    };
+    let multi = MonteCarloConfig { threads: 8, ..base };
+    let a: Vec<u64> = run_trials(&inst, || SpreadPolicy, &base).iter().map(|o| o.makespan).collect();
+    let b: Vec<u64> = run_trials(&inst, || SpreadPolicy, &multi).iter().map(|o| o.makespan).collect();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn summary_of_makespans() {
+    let inst = workload::homogeneous(1, 1, 0.5, Precedence::Independent);
+    let mc = MonteCarloConfig {
+        trials: 500,
+        base_seed: 1,
+        threads: 2,
+        exec: cfg(Semantics::SuuStar),
+    };
+    let outcomes = run_trials(&inst, || GangPolicy, &mc);
+    let values: Vec<f64> = outcomes.iter().map(|o| o.makespan as f64).collect();
+    let s = summarize(&values);
+    assert_eq!(s.count, 500);
+    assert!(s.min >= 1.0);
+    assert!(s.mean > 1.0 && s.mean < 3.0);
+    assert!(s.p95 >= s.median);
+}
+
+#[test]
+fn busy_and_idle_steps_account_for_all_machine_time() {
+    let inst = workload::homogeneous(3, 2, 0.5, Precedence::Independent);
+    let mut rng = StdRng::seed_from_u64(12);
+    let out = execute(&inst, &mut SpreadPolicy, &cfg(Semantics::SuuStar), &mut rng);
+    assert!(out.completed);
+    assert_eq!(
+        out.busy_steps + out.idle_steps,
+        out.makespan * 3,
+        "every machine-step is either busy or idle"
+    );
+}

@@ -1,0 +1,147 @@
+//! Stochastic scheduling instances.
+
+/// Errors constructing a [`StochInstance`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum StochError {
+    /// Speed matrix has the wrong number of entries.
+    BadDimensions { expected: usize, got: usize },
+    /// A rate `λ_j` was non-positive or non-finite.
+    BadRate { job: u32, lambda: f64 },
+    /// A speed was negative or non-finite.
+    BadSpeed { machine: u32, job: u32, v: f64 },
+    /// A job no machine can process (`v_ij = 0` for all `i`).
+    UnservableJob(u32),
+}
+
+impl std::fmt::Display for StochError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StochError::BadDimensions { expected, got } => {
+                write!(f, "speed matrix has {got} entries, expected {expected}")
+            }
+            StochError::BadRate { job, lambda } => write!(f, "λ[{job}] = {lambda} invalid"),
+            StochError::BadSpeed { machine, job, v } => {
+                write!(f, "v[{machine},{job}] = {v} invalid")
+            }
+            StochError::UnservableJob(j) => write!(f, "job {j} has zero speed everywhere"),
+        }
+    }
+}
+
+impl std::error::Error for StochError {}
+
+/// An instance of `R|pmtn, p_j~Exp(λ_j)|E[Cmax]`.
+///
+/// `v[i*n + j]` is the speed at which machine `i` processes job `j`
+/// (work units per unit time); job `j` completes once its accrued work
+/// reaches its hidden length `p_j ~ Exp(λ_j)`.
+#[derive(Debug, Clone)]
+pub struct StochInstance {
+    n: usize,
+    m: usize,
+    lambda: Vec<f64>,
+    v: Vec<f64>,
+}
+
+impl StochInstance {
+    /// Build and validate.
+    pub fn new(m: usize, n: usize, lambda: Vec<f64>, v: Vec<f64>) -> Result<Self, StochError> {
+        if v.len() != m * n {
+            return Err(StochError::BadDimensions {
+                expected: m * n,
+                got: v.len(),
+            });
+        }
+        if lambda.len() != n {
+            return Err(StochError::BadDimensions {
+                expected: n,
+                got: lambda.len(),
+            });
+        }
+        for (j, &l) in lambda.iter().enumerate() {
+            if l.is_nan() || l <= 0.0 || !l.is_finite() {
+                return Err(StochError::BadRate {
+                    job: j as u32,
+                    lambda: l,
+                });
+            }
+        }
+        for i in 0..m {
+            for j in 0..n {
+                let s = v[i * n + j];
+                if s.is_nan() || s < 0.0 || !s.is_finite() {
+                    return Err(StochError::BadSpeed {
+                        machine: i as u32,
+                        job: j as u32,
+                        v: s,
+                    });
+                }
+            }
+        }
+        for j in 0..n {
+            if (0..m).all(|i| v[i * n + j] == 0.0) {
+                return Err(StochError::UnservableJob(j as u32));
+            }
+        }
+        Ok(StochInstance { n, m, lambda, v })
+    }
+
+    /// Number of jobs.
+    pub fn num_jobs(&self) -> usize {
+        self.n
+    }
+
+    /// Number of machines.
+    pub fn num_machines(&self) -> usize {
+        self.m
+    }
+
+    /// Rate `λ_j` (mean length `1/λ_j`).
+    pub fn lambda(&self, j: usize) -> f64 {
+        self.lambda[j]
+    }
+
+    /// Speed of machine `i` on job `j`.
+    pub fn speed(&self, i: usize, j: usize) -> f64 {
+        self.v[i * self.n + j]
+    }
+
+    /// The fastest machine for job `j` and its speed.
+    pub fn fastest_machine(&self, j: usize) -> (usize, f64) {
+        (0..self.m)
+            .map(|i| (i, self.speed(i, j)))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("speeds are finite"))
+            .expect("at least one machine")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_instance() {
+        let inst = StochInstance::new(2, 2, vec![1.0, 2.0], vec![1.0, 0.5, 0.0, 2.0]).unwrap();
+        assert_eq!(inst.num_jobs(), 2);
+        assert_eq!(inst.speed(1, 1), 2.0);
+        assert_eq!(inst.fastest_machine(1), (1, 2.0));
+    }
+
+    #[test]
+    fn rejects_bad_rate() {
+        let err = StochInstance::new(1, 1, vec![0.0], vec![1.0]).unwrap_err();
+        assert!(matches!(err, StochError::BadRate { .. }));
+    }
+
+    #[test]
+    fn rejects_unservable() {
+        let err = StochInstance::new(2, 2, vec![1.0, 1.0], vec![1.0, 0.0, 1.0, 0.0]).unwrap_err();
+        assert_eq!(err, StochError::UnservableJob(1));
+    }
+
+    #[test]
+    fn rejects_negative_speed() {
+        let err = StochInstance::new(1, 1, vec![1.0], vec![-0.5]).unwrap_err();
+        assert!(matches!(err, StochError::BadSpeed { .. }));
+    }
+}

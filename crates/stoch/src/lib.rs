@@ -1,0 +1,43 @@
+//! # suu-stoch — stochastic scheduling with exponential job lengths
+//! (Appendix C)
+//!
+//! The paper's Appendix C transfers the SUU machinery to classical
+//! *stochastic scheduling*: jobs with lengths `p_j ~ Exp(λ_j)` on unrelated
+//! machines with speeds `v_ij`, preemption allowed, one machine per job at
+//! a time, minimizing expected makespan
+//! (`R|pmtn, p_j~stoch|E[Cmax]`). This crate implements:
+//!
+//! * [`StochInstance`] — rates `λ_j` and speeds `v_ij`.
+//! * [`ll`] — the **Lawler–Labetoulle LP** for the deterministic analog
+//!   `R|pmtn|Cmax` plus the construction of an actual preemptive
+//!   timetable achieving the LP optimum: pad the fractional assignment to
+//!   a doubly-`T` square matrix and peel off **perfect matchings**
+//!   (Birkhoff–von Neumann, via `suu-flow`'s Hopcroft–Karp), each matching
+//!   becoming one time slice in which every machine serves at most one job
+//!   and every job is served by at most one machine.
+//! * [`stc_i`] — the paper's `STC-I` algorithm (Theorem 13):
+//!   `K = ⌈log₂ log₂ min(m,n)⌉ + 3` rounds, round `k` scheduling the
+//!   remaining jobs with deterministic lengths `2^{k−2}/λ_j` via the LL
+//!   timetable; stragglers after round `K` run sequentially on their
+//!   fastest machine.
+//! * [`sim`] — a continuous-time executor: hidden `Exp(λ_j)` draws, work
+//!   accrual through timetable slices, exact completion instants.
+//!
+//! The per-realization LL optimum `T_LL({p_j})` is a *clairvoyant lower
+//! bound* on any schedule's makespan for that realization, so measured
+//! ratios `E[T_STC-I] / E[T_LL]` bound the true approximation factor from
+//! above — this is the `fig_stoch` experiment.
+
+pub mod instance;
+pub mod ll;
+pub mod restart;
+pub mod sim;
+pub mod stc_i;
+
+pub use instance::{StochError, StochInstance};
+pub use ll::{solve_ll, PreemptiveTimetable, Slice};
+pub use restart::{solve_r_cmax, NonpreemptiveAssignment, RestartI, RestartOutcome};
+pub use stc_i::{StcOutcome, StcI};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,350 @@
+//! Lawler–Labetoulle preemptive scheduling of unrelated machines.
+//!
+//! For deterministic lengths `{p_j}` the makespan-optimal preemptive
+//! schedule on unrelated machines (`R|pmtn|Cmax`, Lawler & Labetoulle
+//! 1978) is given by the LP
+//!
+//! ```text
+//! min T   s.t.  Σ_i v_ij x_ij >= p_j   ∀j     (work)
+//!               Σ_j x_ij      <= T     ∀i     (machine busy time)
+//!               Σ_i x_ij      <= T     ∀j     (job elapsed time)
+//!               x_ij >= 0
+//! ```
+//!
+//! plus a constructive step turning `{x_ij}` into an actual timetable with
+//! no job on two machines at once. We realize that step with the classic
+//! Birkhoff–von Neumann peeling: pad `x` to an `(m+n)×(n+m)` matrix whose
+//! every row and column sums to exactly `T` (dummy rows/columns absorb
+//! idle time), then repeatedly extract a perfect matching on the positive
+//! entries — one exists at every step because a doubly stochastic matrix
+//! satisfies Hall's condition — and emit it as a time slice of duration
+//! equal to its minimum entry.
+
+use crate::instance::StochInstance;
+use suu_flow::BipartiteMatcher;
+use suu_lp::{Cmp, LpBuilder, LpStatus};
+
+/// One slice of a preemptive timetable: for `duration` time units, machine
+/// `i` processes `assignment[i]` (or idles on `None`).
+#[derive(Debug, Clone)]
+pub struct Slice {
+    /// Slice length (time units).
+    pub duration: f64,
+    /// Per machine: the job it processes during this slice.
+    pub assignment: Vec<Option<u32>>,
+}
+
+/// A preemptive schedule: consecutive [`Slice`]s.
+#[derive(Debug, Clone)]
+pub struct PreemptiveTimetable {
+    /// The LP optimum `T` (total schedule span).
+    pub makespan: f64,
+    /// Time slices, in order; durations sum to `makespan` (within fp
+    /// tolerance).
+    pub slices: Vec<Slice>,
+}
+
+impl PreemptiveTimetable {
+    /// Total time machine `i` spends on job `j` across slices.
+    pub fn work_time(&self, i: usize, j: u32) -> f64 {
+        self.slices
+            .iter()
+            .filter(|s| s.assignment[i] == Some(j))
+            .map(|s| s.duration)
+            .sum()
+    }
+
+    /// Check the defining feasibility property: within every slice, no job
+    /// appears on two machines. (Each machine trivially runs ≤ 1 job since
+    /// a slice stores one job per machine.) Returns the violating slice
+    /// index if any.
+    pub fn find_conflict(&self) -> Option<usize> {
+        for (idx, s) in self.slices.iter().enumerate() {
+            let mut seen = std::collections::HashSet::new();
+            for j in s.assignment.iter().flatten() {
+                if !seen.insert(*j) {
+                    return Some(idx);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Errors from the LL pipeline.
+#[derive(Debug, Clone)]
+pub enum LlError {
+    /// LP solver failure.
+    Lp(suu_lp::LpError),
+    /// Unexpected LP status (valid instances are always feasible/bounded).
+    UnexpectedStatus(&'static str),
+    /// The Birkhoff peeling failed to find a perfect matching — impossible
+    /// for a correctly padded matrix; indicates a numeric breakdown.
+    NoPerfectMatching,
+}
+
+impl std::fmt::Display for LlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LlError::Lp(e) => write!(f, "LL LP failed: {e}"),
+            LlError::UnexpectedStatus(s) => write!(f, "LL LP status: {s}"),
+            LlError::NoPerfectMatching => write!(f, "Birkhoff peeling: no perfect matching"),
+        }
+    }
+}
+
+impl std::error::Error for LlError {}
+
+impl From<suu_lp::LpError> for LlError {
+    fn from(e: suu_lp::LpError) -> Self {
+        LlError::Lp(e)
+    }
+}
+
+/// Entries below this are treated as zero during peeling.
+const PEEL_EPS: f64 = 1e-9;
+
+/// Solve `R|pmtn|Cmax` for deterministic lengths `p` over the instance's
+/// speeds, returning the optimal preemptive timetable.
+///
+/// `jobs` selects the (global) job indices to schedule; `p[k]` is the
+/// length of `jobs[k]`.
+pub fn solve_ll(
+    inst: &StochInstance,
+    jobs: &[u32],
+    p: &[f64],
+) -> Result<PreemptiveTimetable, LlError> {
+    assert_eq!(jobs.len(), p.len(), "length per selected job");
+    let m = inst.num_machines();
+    let k = jobs.len();
+    if k == 0 {
+        return Ok(PreemptiveTimetable {
+            makespan: 0.0,
+            slices: Vec::new(),
+        });
+    }
+
+    // --- LP ---
+    let mut lp = LpBuilder::minimize();
+    let t = lp.add_var(1.0);
+    // x[c][i]: time machine i spends on the c-th selected job.
+    let mut x = vec![Vec::with_capacity(m); k];
+    for (c, &j) in jobs.iter().enumerate() {
+        for i in 0..m {
+            let v = inst.speed(i, j as usize);
+            x[c].push(if v > 0.0 { Some(lp.add_var(0.0)) } else { None });
+        }
+    }
+    for (c, &j) in jobs.iter().enumerate() {
+        let terms: Vec<_> = (0..m)
+            .filter_map(|i| x[c][i].map(|var| (var, inst.speed(i, j as usize))))
+            .collect();
+        lp.add_constraint(&terms, Cmp::Ge, p[c].max(0.0));
+        // Job elapsed-time constraint.
+        let mut terms: Vec<_> = (0..m).filter_map(|i| x[c][i].map(|var| (var, 1.0))).collect();
+        terms.push((t, -1.0));
+        lp.add_constraint(&terms, Cmp::Le, 0.0);
+    }
+    for i in 0..m {
+        let mut terms: Vec<_> = (0..k).filter_map(|c| x[c][i].map(|var| (var, 1.0))).collect();
+        if terms.is_empty() {
+            continue;
+        }
+        terms.push((t, -1.0));
+        lp.add_constraint(&terms, Cmp::Le, 0.0);
+    }
+    let sol = lp.solve()?;
+    match sol.status {
+        LpStatus::Optimal => {}
+        LpStatus::Infeasible => return Err(LlError::UnexpectedStatus("infeasible")),
+        LpStatus::Unbounded => return Err(LlError::UnexpectedStatus("unbounded")),
+    }
+    let big_t = sol.objective;
+    if big_t <= PEEL_EPS {
+        return Ok(PreemptiveTimetable {
+            makespan: 0.0,
+            slices: Vec::new(),
+        });
+    }
+
+    // --- Pad to a doubly-T square matrix of size s = m + k ---
+    // Layout: rows = real machines (0..m) then dummy machines (m..m+k);
+    // cols = real jobs (0..k) then dummy jobs (k..k+m).
+    let s = m + k;
+    let mut y = vec![0.0f64; s * s];
+    let mut row_sum = vec![0.0f64; m];
+    let mut col_sum = vec![0.0f64; k];
+    for c in 0..k {
+        for i in 0..m {
+            if let Some(var) = x[c][i] {
+                let val = sol.value(var).max(0.0);
+                y[i * s + c] = val;
+                row_sum[i] += val;
+                col_sum[c] += val;
+            }
+        }
+    }
+    // Machine idle time -> dummy job k+i.
+    for i in 0..m {
+        y[i * s + (k + i)] = (big_t - row_sum[i]).max(0.0);
+    }
+    // Job idle time -> dummy machine m+c.
+    for c in 0..k {
+        y[(m + c) * s + c] = (big_t - col_sum[c]).max(0.0);
+    }
+    // Fill the dummy-dummy block so row m+c sums to T and column k+i sums
+    // to T: row m+c still needs col_sum[c]; column k+i still needs
+    // row_sum[i]; totals agree, so a northwest-corner fill works.
+    {
+        let mut need_row: Vec<f64> = col_sum.clone(); // per dummy machine m+c
+        let mut need_col: Vec<f64> = row_sum.clone(); // per dummy job k+i
+        let (mut r, mut c) = (0usize, 0usize);
+        while r < k && c < m {
+            let amount = need_row[r].min(need_col[c]);
+            if amount > PEEL_EPS {
+                y[(m + r) * s + (k + c)] = amount;
+            }
+            need_row[r] -= amount;
+            need_col[c] -= amount;
+            if need_row[r] <= PEEL_EPS {
+                r += 1;
+            } else {
+                c += 1;
+            }
+        }
+    }
+
+    // --- Birkhoff peeling ---
+    let mut slices = Vec::new();
+    let mut remaining = big_t;
+    let max_iters = s * s + s + 8;
+    for _ in 0..max_iters {
+        if remaining <= PEEL_EPS * (s as f64) {
+            break;
+        }
+        let mut matcher = BipartiteMatcher::new(s, s);
+        for r in 0..s {
+            for c in 0..s {
+                if y[r * s + c] > PEEL_EPS {
+                    matcher.add_edge(r, c);
+                }
+            }
+        }
+        if matcher.solve() != s {
+            return Err(LlError::NoPerfectMatching);
+        }
+        // Slice duration = min matched entry (capped by remaining time).
+        let mut delta = remaining;
+        for r in 0..s {
+            let c = matcher.partner_of_left(r).expect("perfect matching");
+            delta = delta.min(y[r * s + c]);
+        }
+        let mut assignment = vec![None; m];
+        for (r, slot) in assignment.iter_mut().enumerate() {
+            let c = matcher.partner_of_left(r).expect("perfect matching");
+            if c < k {
+                *slot = Some(jobs[c]);
+            }
+        }
+        for r in 0..s {
+            let c = matcher.partner_of_left(r).expect("perfect matching");
+            y[r * s + c] -= delta;
+        }
+        slices.push(Slice {
+            duration: delta,
+            assignment,
+        });
+        remaining -= delta;
+    }
+
+    Ok(PreemptiveTimetable {
+        makespan: big_t,
+        slices,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_inst(m: usize, n: usize, speed: f64) -> StochInstance {
+        StochInstance::new(m, n, vec![1.0; n], vec![speed; m * n]).unwrap()
+    }
+
+    #[test]
+    fn single_job_single_machine() {
+        let inst = uniform_inst(1, 1, 2.0);
+        let tt = solve_ll(&inst, &[0], &[4.0]).unwrap();
+        assert!((tt.makespan - 2.0).abs() < 1e-6); // 4 work / speed 2
+        assert!(tt.find_conflict().is_none());
+        assert!((tt.work_time(0, 0) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn one_job_cannot_parallelize() {
+        // 3 machines but a single job: elapsed-time constraint forces
+        // T = p / v_max, not p / (3v).
+        let inst = uniform_inst(3, 1, 1.0);
+        let tt = solve_ll(&inst, &[0], &[3.0]).unwrap();
+        assert!((tt.makespan - 3.0).abs() < 1e-6, "T = {}", tt.makespan);
+        assert!(tt.find_conflict().is_none());
+    }
+
+    #[test]
+    fn jobs_spread_across_machines() {
+        // 2 machines, 2 unit-length jobs, speed 1: T = 1.
+        let inst = uniform_inst(2, 2, 1.0);
+        let tt = solve_ll(&inst, &[0, 1], &[1.0, 1.0]).unwrap();
+        assert!((tt.makespan - 1.0).abs() < 1e-6);
+        assert!(tt.find_conflict().is_none());
+        // Each job receives its full work.
+        for j in 0..2u32 {
+            let total: f64 = (0..2).map(|i| tt.work_time(i, j)).sum();
+            assert!((total - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn preemption_beats_nonpreemptive_assignment() {
+        // Classic: 2 machines, 3 identical jobs of length 1, speed 1.
+        // Preemptive optimum T = 1.5.
+        let inst = uniform_inst(2, 3, 1.0);
+        let tt = solve_ll(&inst, &[0, 1, 2], &[1.0, 1.0, 1.0]).unwrap();
+        assert!((tt.makespan - 1.5).abs() < 1e-6, "T = {}", tt.makespan);
+        assert!(tt.find_conflict().is_none());
+    }
+
+    #[test]
+    fn heterogeneous_speeds_favor_fast_machines() {
+        // Machine 0 speed 10, machine 1 speed 1; 2 jobs length 10:
+        // optimal splits so T ≈ 20/11 · ... just verify feasibility + LP
+        // consistency: work delivered == p for each job.
+        let inst = StochInstance::new(2, 2, vec![1.0, 1.0], vec![10.0, 10.0, 1.0, 1.0]).unwrap();
+        let tt = solve_ll(&inst, &[0, 1], &[10.0, 10.0]).unwrap();
+        assert!(tt.find_conflict().is_none());
+        for (c, &j) in [0u32, 1].iter().enumerate() {
+            let _ = c;
+            let work: f64 =
+                (0..2).map(|i| tt.work_time(i, j) * inst.speed(i, j as usize)).sum();
+            assert!(work >= 10.0 - 1e-5, "job {j} got {work}");
+        }
+        // Durations sum to makespan.
+        let span: f64 = tt.slices.iter().map(|s| s.duration).sum();
+        assert!((span - tt.makespan).abs() < 1e-5);
+    }
+
+    #[test]
+    fn zero_speed_machine_never_assigned() {
+        let inst = StochInstance::new(2, 1, vec![1.0], vec![1.0, 0.0]).unwrap();
+        let tt = solve_ll(&inst, &[0], &[2.0]).unwrap();
+        assert_eq!(tt.work_time(1, 0), 0.0);
+    }
+
+    #[test]
+    fn empty_jobs() {
+        let inst = uniform_inst(2, 2, 1.0);
+        let tt = solve_ll(&inst, &[], &[]).unwrap();
+        assert_eq!(tt.makespan, 0.0);
+        assert!(tt.slices.is_empty());
+    }
+}

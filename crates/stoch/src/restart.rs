@@ -1,0 +1,433 @@
+//! `RESTART-I`: the Appendix C variant for `R|restart, p_j~stoch|E[Cmax]`.
+//!
+//! In the *restart* setting a job must run on a single machine at a time
+//! and accrues no credit when moved: restarting on a different machine
+//! loses all progress. The paper notes the `STC-I` construction carries
+//! over by substituting, in each round, a solution to the nonpreemptive
+//! `R||Cmax` for the preemptive `R|pmtn|Cmax`.
+//!
+//! The `R||Cmax` component here is the classic Lenstra–Shmoys–Tardos
+//! 2-approximation, built from this workspace's substrates:
+//!
+//! 1. **Bisection** over the makespan guess `T`; for each guess, an LP
+//!    feasibility check over the *filtered* pairs (`p_ij ≤ T`):
+//!    `Σ_i x_ij = 1`, `Σ_j p_ij x_ij ≤ λ`, minimizing `λ`.
+//! 2. **Slot rounding** (Shmoys–Tardos): machine `i` gets
+//!    `⌈Σ_j x_ij⌉` slots; its fractional jobs are poured into slots in
+//!    nonincreasing `p_ij` order; a perfect matching of jobs to slots on
+//!    the fractional support (Hopcroft–Karp) yields an integral
+//!    assignment with makespan `≤ 2T`.
+
+use crate::instance::StochInstance;
+use crate::ll::LlError;
+use rand::{Rng, RngExt};
+use suu_flow::BipartiteMatcher;
+use suu_lp::{Cmp, LpBuilder, LpStatus};
+
+/// A nonpreemptive assignment: for each machine, the jobs it runs (in
+/// order), plus the LP makespan guess it was rounded against.
+#[derive(Debug, Clone)]
+pub struct NonpreemptiveAssignment {
+    /// `per_machine[i]` lists global job ids machine `i` executes.
+    pub per_machine: Vec<Vec<u32>>,
+    /// The feasible LP makespan `T` (rounded schedule is ≤ `2T`).
+    pub t_guess: f64,
+}
+
+/// Solve `R||Cmax` approximately for lengths `p` over `jobs`
+/// (Lenstra–Shmoys–Tardos). Processing time of job `jobs[c]` on machine
+/// `i` is `p[c] / v_ij`; pairs with zero speed are excluded.
+pub fn solve_r_cmax(
+    inst: &StochInstance,
+    jobs: &[u32],
+    p: &[f64],
+) -> Result<NonpreemptiveAssignment, LlError> {
+    assert_eq!(jobs.len(), p.len());
+    let m = inst.num_machines();
+    let k = jobs.len();
+    if k == 0 {
+        return Ok(NonpreemptiveAssignment {
+            per_machine: vec![Vec::new(); m],
+            t_guess: 0.0,
+        });
+    }
+    // Processing times.
+    let proc = |i: usize, c: usize| -> Option<f64> {
+        let v = inst.speed(i, jobs[c] as usize);
+        (v > 0.0).then(|| p[c].max(0.0) / v)
+    };
+
+    // Bisection bounds: lower = max_j best processing time; upper = run
+    // everything on its best machine back-to-back.
+    let best: Vec<f64> = (0..k)
+        .map(|c| {
+            (0..m)
+                .filter_map(|i| proc(i, c))
+                .fold(f64::INFINITY, f64::min)
+        })
+        .collect();
+    let mut lo = best.iter().fold(0.0f64, |a, &b| a.max(b));
+    let mut hi: f64 = best.iter().sum::<f64>().max(lo);
+
+    // Feasibility: min λ over the filtered pair set; feasible iff λ* ≤ T.
+    let feasibility = |t: f64| -> Result<Option<Vec<Vec<(usize, f64)>>>, LlError> {
+        let mut lp = LpBuilder::minimize();
+        let lambda = lp.add_var(1.0);
+        let mut vars: Vec<Vec<(usize, suu_lp::VarId, f64)>> = Vec::with_capacity(k);
+        for c in 0..k {
+            let mut row = Vec::new();
+            for i in 0..m {
+                if let Some(pt) = proc(i, c) {
+                    if pt <= t + 1e-9 {
+                        row.push((i, lp.add_var(0.0), pt));
+                    }
+                }
+            }
+            if row.is_empty() {
+                return Ok(None); // some job has no machine under this T
+            }
+            vars.push(row);
+        }
+        for row in &vars {
+            let terms: Vec<_> = row.iter().map(|&(_, v, _)| (v, 1.0)).collect();
+            lp.add_constraint(&terms, Cmp::Eq, 1.0);
+        }
+        for i in 0..m {
+            let mut terms: Vec<_> = vars
+                .iter()
+                .flat_map(|row| row.iter().filter(|&&(mi, _, _)| mi == i))
+                .map(|&(_, v, pt)| (v, pt))
+                .collect();
+            if terms.is_empty() {
+                continue;
+            }
+            terms.push((lambda, -1.0));
+            lp.add_constraint(&terms, Cmp::Le, 0.0);
+        }
+        let sol = lp.solve()?;
+        if sol.status != LpStatus::Optimal || sol.objective > t + 1e-6 {
+            return Ok(None);
+        }
+        // Extract fractional assignment per job.
+        let x = vars
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .filter_map(|&(i, v, _)| {
+                        let val = sol.value(v);
+                        (val > 1e-9).then_some((i, val))
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        Ok(Some(x))
+    };
+
+    // Bisection (relative precision 1%, ~12 LP solves).
+    let mut best_x = feasibility(hi)?.ok_or(LlError::UnexpectedStatus("R||Cmax infeasible at upper bound"))?;
+    let mut best_t = hi;
+    for _ in 0..24 {
+        if hi - lo <= 0.01 * hi.max(1e-12) {
+            break;
+        }
+        let mid = 0.5 * (lo + hi);
+        match feasibility(mid)? {
+            Some(x) => {
+                best_x = x;
+                best_t = mid;
+                hi = mid;
+            }
+            None => lo = mid,
+        }
+    }
+
+    // --- Shmoys–Tardos slot rounding ---
+    // Machine i gets ceil(total fraction) slots; jobs poured in
+    // nonincreasing processing-time order.
+    let mut slots_of_machine: Vec<usize> = Vec::new(); // slot -> machine
+    let mut edges: Vec<(usize, usize)> = Vec::new(); // (job c, slot)
+    for i in 0..m {
+        let mut frac_jobs: Vec<(usize, f64, f64)> = Vec::new(); // (c, x, ptime)
+        for (c, row) in best_x.iter().enumerate() {
+            for &(mi, x) in row {
+                if mi == i {
+                    frac_jobs.push((c, x, proc(i, c).expect("pair in support")));
+                }
+            }
+        }
+        if frac_jobs.is_empty() {
+            continue;
+        }
+        frac_jobs.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite times"));
+        let total: f64 = frac_jobs.iter().map(|f| f.1).sum();
+        let num_slots = total.ceil().max(1.0) as usize;
+        let first_slot = slots_of_machine.len();
+        for _ in 0..num_slots {
+            slots_of_machine.push(i);
+        }
+        // Pour fractions into unit-capacity slots.
+        let mut slot = 0usize;
+        let mut room = 1.0f64;
+        for (c, mut x, _) in frac_jobs {
+            while x > 1e-12 {
+                debug_assert!(slot < num_slots, "slot overflow");
+                edges.push((c, first_slot + slot));
+                let poured = x.min(room);
+                x -= poured;
+                room -= poured;
+                if room <= 1e-12 {
+                    slot += 1;
+                    room = 1.0;
+                }
+            }
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+
+    let num_slots = slots_of_machine.len();
+    let mut matcher = BipartiteMatcher::new(k, num_slots);
+    for &(c, s) in &edges {
+        matcher.add_edge(c, s);
+    }
+    if matcher.solve() != k {
+        return Err(LlError::NoPerfectMatching);
+    }
+
+    let mut per_machine = vec![Vec::new(); m];
+    for c in 0..k {
+        let s = matcher.partner_of_left(c).expect("perfect on jobs");
+        per_machine[slots_of_machine[s]].push(jobs[c]);
+    }
+    Ok(NonpreemptiveAssignment {
+        per_machine,
+        t_guess: best_t,
+    })
+}
+
+/// Outcome of one `RESTART-I` execution.
+#[derive(Debug, Clone)]
+pub struct RestartOutcome {
+    /// Latest completion instant.
+    pub makespan: f64,
+    /// Rounds played.
+    pub rounds_used: u32,
+    /// Whether the sequential fallback ran.
+    pub fallback_used: bool,
+}
+
+/// The `RESTART-I` scheduler: `STC-I` with nonpreemptive rounds and
+/// restart semantics (no progress carries across rounds).
+#[derive(Debug, Clone)]
+pub struct RestartI {
+    k_max: u32,
+}
+
+impl RestartI {
+    /// New scheduler (same `K` as `STC-I`).
+    pub fn new(inst: &StochInstance) -> Self {
+        let v = inst.num_machines().min(inst.num_jobs()).max(4) as f64;
+        RestartI {
+            k_max: (v.log2().log2().ceil() as u32) + 3,
+        }
+    }
+
+    /// The round bound `K`.
+    pub fn k_max(&self) -> u32 {
+        self.k_max
+    }
+
+    /// Execute once with hidden `Exp(λ)` lengths drawn from `rng`.
+    pub fn run<R: Rng>(&self, inst: &StochInstance, rng: &mut R) -> Result<RestartOutcome, LlError> {
+        let n = inst.num_jobs();
+        let p: Vec<f64> = (0..n)
+            .map(|j| {
+                let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+                -u.ln() / inst.lambda(j)
+            })
+            .collect();
+        let mut done = vec![false; n];
+        let mut completion = vec![f64::INFINITY; n];
+        let mut now = 0.0f64;
+        let mut rounds_used = 0;
+
+        for k in 1..=self.k_max {
+            let remaining: Vec<u32> = (0..n as u32).filter(|&j| !done[j as usize]).collect();
+            if remaining.is_empty() {
+                break;
+            }
+            rounds_used = k;
+            let pretend: Vec<f64> = remaining
+                .iter()
+                .map(|&j| (2.0f64).powi(k as i32 - 2) / inst.lambda(j as usize))
+                .collect();
+            let asg = solve_r_cmax(inst, &remaining, &pretend)?;
+
+            // Execute: each machine runs its jobs back-to-back; a job
+            // completes iff its true length fits inside the pretend
+            // budget (restart semantics: unfinished work is discarded).
+            let mut round_end = 0.0f64;
+            for (i, job_list) in asg.per_machine.iter().enumerate() {
+                let mut cursor = now;
+                for &j in job_list {
+                    let ji = j as usize;
+                    let v = inst.speed(i, ji);
+                    debug_assert!(v > 0.0, "assigned to zero-speed machine");
+                    let c = remaining.iter().position(|&r| r == j).expect("assigned job remains");
+                    let budget = pretend[c] / v;
+                    if p[ji] <= pretend[c] {
+                        let finish = cursor + p[ji] / v;
+                        done[ji] = true;
+                        completion[ji] = finish;
+                        cursor = finish;
+                    } else {
+                        cursor += budget; // ran out; progress discarded
+                    }
+                }
+                round_end = round_end.max(cursor);
+            }
+            now = round_end.max(now);
+        }
+
+        let fallback_used = done.iter().any(|&d| !d);
+        if fallback_used {
+            // Stragglers: fastest machine, sequentially, to completion.
+            for j in 0..n {
+                if !done[j] {
+                    let (_, v) = inst.fastest_machine(j);
+                    now += p[j] / v;
+                    completion[j] = now;
+                    done[j] = true;
+                }
+            }
+        }
+
+        let makespan = completion.iter().fold(0.0f64, |a, &b| a.max(b));
+        Ok(RestartOutcome {
+            makespan,
+            rounds_used,
+            fallback_used,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn uniform(m: usize, n: usize) -> StochInstance {
+        StochInstance::new(m, n, vec![1.0; n], vec![1.0; m * n]).unwrap()
+    }
+
+    #[test]
+    fn r_cmax_single_machine_sums() {
+        let inst = uniform(1, 3);
+        let asg = solve_r_cmax(&inst, &[0, 1, 2], &[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(asg.per_machine[0].len(), 3);
+        // T >= total work / 1 machine = 6 (within bisection slack).
+        assert!(asg.t_guess >= 6.0 - 1e-6);
+    }
+
+    #[test]
+    fn r_cmax_balances_two_machines() {
+        let inst = uniform(2, 4);
+        let asg = solve_r_cmax(&inst, &[0, 1, 2, 3], &[1.0; 4]).unwrap();
+        // Every job assigned exactly once.
+        let total: usize = asg.per_machine.iter().map(Vec::len).sum();
+        assert_eq!(total, 4);
+        // 2-approx guarantee: per-machine load <= 2T.
+        for (i, list) in asg.per_machine.iter().enumerate() {
+            let _ = i;
+            let load = list.len() as f64; // unit times, speed 1
+            assert!(load <= 2.0 * asg.t_guess + 1e-6);
+        }
+    }
+
+    #[test]
+    fn r_cmax_respects_speeds() {
+        // Machine 1 is 10x faster: it should receive most of the work.
+        let inst = StochInstance::new(2, 4, vec![1.0; 4], vec![0.1, 0.1, 0.1, 0.1, 1.0, 1.0, 1.0, 1.0])
+            .unwrap();
+        let asg = solve_r_cmax(&inst, &[0, 1, 2, 3], &[1.0; 4]).unwrap();
+        assert!(asg.per_machine[1].len() >= 3, "{:?}", asg.per_machine);
+    }
+
+    #[test]
+    fn r_cmax_assignment_within_2t() {
+        // Load check under heterogeneous speeds.
+        let inst = StochInstance::new(
+            3,
+            6,
+            vec![1.0; 6],
+            vec![
+                1.0, 2.0, 0.5, 1.0, 0.7, 1.5, //
+                2.0, 0.5, 1.0, 0.6, 1.2, 0.8, //
+                0.4, 1.1, 2.0, 1.5, 0.9, 1.0,
+            ],
+        )
+        .unwrap();
+        let p = [2.0, 1.0, 3.0, 0.5, 1.5, 2.5];
+        let asg = solve_r_cmax(&inst, &[0, 1, 2, 3, 4, 5], &p).unwrap();
+        for (i, list) in asg.per_machine.iter().enumerate() {
+            let load: f64 = list
+                .iter()
+                .map(|&j| {
+                    let c = j as usize;
+                    p[c] / inst.speed(i, c)
+                })
+                .sum();
+            assert!(
+                load <= 2.0 * asg.t_guess + 1e-6,
+                "machine {i} load {load} vs 2T {}",
+                2.0 * asg.t_guess
+            );
+        }
+    }
+
+    #[test]
+    fn restart_completes_and_scales() {
+        let inst = uniform(3, 8);
+        let sched = RestartI::new(&inst);
+        for seed in 0..15u64 {
+            let out = sched.run(&inst, &mut StdRng::seed_from_u64(seed)).unwrap();
+            assert!(out.makespan.is_finite() && out.makespan > 0.0);
+            assert!(out.rounds_used >= 1 && out.rounds_used <= sched.k_max());
+        }
+    }
+
+    #[test]
+    fn restart_never_beats_preemptive_clairvoyant() {
+        use crate::ll::solve_ll;
+        use crate::stc_i::StcI;
+        let inst = uniform(2, 6);
+        let _ = StcI::new(&inst);
+        let sched = RestartI::new(&inst);
+        for seed in 0..10u64 {
+            // Reconstruct the same hidden draws the scheduler saw by
+            // comparing against the LL bound on an independent draw set —
+            // weaker but sufficient: makespan must exceed the *expected*
+            // minimum possible. Here: makespan >= max_j p_j / v_best and
+            // >= total work / m. We recompute with the same seed.
+            let mut rng = StdRng::seed_from_u64(seed);
+            let out = sched.run(&inst, &mut rng).unwrap();
+            // Re-draw identical lengths.
+            let mut rng2 = StdRng::seed_from_u64(seed);
+            let p: Vec<f64> = (0..6)
+                .map(|_| {
+                    use rand::RngExt;
+                    let u: f64 = rng2.random_range(f64::MIN_POSITIVE..1.0);
+                    -u.ln() / 1.0
+                })
+                .collect();
+            let jobs: Vec<u32> = (0..6).collect();
+            let lb = solve_ll(&inst, &jobs, &p).unwrap().makespan;
+            assert!(
+                out.makespan >= lb - 1e-6,
+                "seed {seed}: restart {} under preemptive LB {lb}",
+                out.makespan
+            );
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Continuous-time execution of preemptive timetables against hidden
+//! exponential job lengths.
+
+use crate::instance::StochInstance;
+use crate::ll::PreemptiveTimetable;
+use rand::{Rng, RngExt};
+
+/// Mutable execution state across rounds.
+#[derive(Debug, Clone)]
+pub struct ExecState {
+    /// Hidden lengths `p_j` (drawn once per execution).
+    pub p: Vec<f64>,
+    /// Work accrued per job so far.
+    pub progress: Vec<f64>,
+    /// Completion instants (absolute time), `f64::INFINITY` if pending.
+    pub completion: Vec<f64>,
+    /// Current absolute time.
+    pub now: f64,
+}
+
+impl ExecState {
+    /// Fresh state with lengths drawn `Exp(λ_j)` from `rng`.
+    pub fn draw<R: Rng>(inst: &StochInstance, rng: &mut R) -> Self {
+        let n = inst.num_jobs();
+        let p = (0..n)
+            .map(|j| {
+                let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+                -u.ln() / inst.lambda(j)
+            })
+            .collect();
+        ExecState {
+            p,
+            progress: vec![0.0; n],
+            completion: vec![f64::INFINITY; n],
+            now: 0.0,
+        }
+    }
+
+    /// Jobs not yet complete.
+    pub fn remaining(&self) -> Vec<u32> {
+        self.completion
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c.is_infinite())
+            .map(|(j, _)| j as u32)
+            .collect()
+    }
+
+    /// `true` once everything is done.
+    pub fn all_done(&self) -> bool {
+        self.completion.iter().all(|c| c.is_finite())
+    }
+
+    /// Latest completion instant (the makespan once `all_done`).
+    pub fn makespan(&self) -> f64 {
+        self.completion.iter().fold(0.0f64, |a, &b| a.max(b))
+    }
+}
+
+/// Execute one timetable obliviously: slices run to their full duration;
+/// completed jobs idle their machines. Advances `state.now` by the
+/// timetable's span and records exact completion instants.
+pub fn run_timetable(inst: &StochInstance, tt: &PreemptiveTimetable, state: &mut ExecState) {
+    for slice in &tt.slices {
+        for (i, slot) in slice.assignment.iter().enumerate() {
+            let Some(j) = *slot else { continue };
+            let j = j as usize;
+            if state.completion[j].is_finite() {
+                continue; // already done; machine idles
+            }
+            let v = inst.speed(i, j);
+            if v <= 0.0 {
+                continue;
+            }
+            let deficit = state.p[j] - state.progress[j];
+            let gained = v * slice.duration;
+            if gained >= deficit {
+                // Completes mid-slice at an exact instant.
+                state.completion[j] = state.now + deficit / v;
+                state.progress[j] = state.p[j];
+            } else {
+                state.progress[j] += gained;
+            }
+        }
+        state.now += slice.duration;
+    }
+}
+
+/// Run each remaining job to completion, one at a time, on its fastest
+/// machine (the post-K fallback of `STC-I`).
+pub fn run_sequential_fastest(inst: &StochInstance, state: &mut ExecState) {
+    for j in state.remaining() {
+        let j = j as usize;
+        let (_, v) = inst.fastest_machine(j);
+        debug_assert!(v > 0.0, "unservable job escaped validation");
+        let deficit = state.p[j] - state.progress[j];
+        state.now += deficit / v;
+        state.progress[j] = state.p[j];
+        state.completion[j] = state.now;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ll::{Slice, solve_ll};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn inst2() -> StochInstance {
+        StochInstance::new(2, 2, vec![1.0, 1.0], vec![1.0; 4]).unwrap()
+    }
+
+    #[test]
+    fn draw_is_positive_and_seeded() {
+        let inst = inst2();
+        let a = ExecState::draw(&inst, &mut StdRng::seed_from_u64(1));
+        let b = ExecState::draw(&inst, &mut StdRng::seed_from_u64(1));
+        assert_eq!(a.p, b.p);
+        assert!(a.p.iter().all(|&p| p > 0.0));
+    }
+
+    #[test]
+    fn timetable_completes_exactly_at_deficit() {
+        let inst = inst2();
+        let mut state = ExecState::draw(&inst, &mut StdRng::seed_from_u64(2));
+        state.p = vec![1.0, 2.0];
+        let tt = PreemptiveTimetable {
+            makespan: 3.0,
+            slices: vec![Slice {
+                duration: 3.0,
+                assignment: vec![Some(0), Some(1)],
+            }],
+        };
+        run_timetable(&inst, &tt, &mut state);
+        assert!((state.completion[0] - 1.0).abs() < 1e-12);
+        assert!((state.completion[1] - 2.0).abs() < 1e-12);
+        assert!((state.now - 3.0).abs() < 1e-12);
+        assert!(state.all_done());
+        assert!((state.makespan() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oblivious_slices_do_not_rescue_unfinished_jobs() {
+        let inst = inst2();
+        let mut state = ExecState::draw(&inst, &mut StdRng::seed_from_u64(3));
+        state.p = vec![5.0, 0.5];
+        let tt = solve_ll(&inst, &[0, 1], &[1.0, 1.0]).unwrap();
+        run_timetable(&inst, &tt, &mut state);
+        assert!(state.completion[1].is_finite());
+        assert!(state.completion[0].is_infinite(), "job 0 needs more rounds");
+        assert_eq!(state.remaining(), vec![0]);
+    }
+
+    #[test]
+    fn sequential_fallback_finishes_everything() {
+        let inst = inst2();
+        let mut state = ExecState::draw(&inst, &mut StdRng::seed_from_u64(4));
+        state.p = vec![2.0, 3.0];
+        run_sequential_fastest(&inst, &mut state);
+        assert!(state.all_done());
+        // Sequential on speed-1 machines: 2 + 3 = 5.
+        assert!((state.makespan() - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,167 @@
+//! `STC-I`: the `O(log log min(m,n))`-approximation for
+//! `R|pmtn, p_j~Exp(λ_j)|E[Cmax]` (Appendix C, Theorem 13).
+//!
+//! Mirror of `SUU-I-SEM` in the stochastic-lengths world: round `k`
+//! pretends every remaining job has deterministic length `2^{k−2}/λ_j`,
+//! solves the Lawler–Labetoulle LP for that `R|pmtn|Cmax` instance, and
+//! plays the resulting preemptive timetable obliviously. A job whose
+//! hidden `p_j` is at most its pretended length is guaranteed to finish in
+//! the round. After `K = ⌈log₂ log₂ min(m,n)⌉ + 3` rounds, stragglers run
+//! sequentially on their fastest machines (probability `≤ 1/n` territory,
+//! exactly as in the SUU analysis).
+
+use crate::instance::StochInstance;
+use crate::ll::{solve_ll, LlError};
+use crate::sim::{run_sequential_fastest, run_timetable, ExecState};
+use rand::Rng;
+
+/// Result of one `STC-I` execution.
+#[derive(Debug, Clone)]
+pub struct StcOutcome {
+    /// Latest job completion instant.
+    pub makespan: f64,
+    /// Rounds actually played (a round with no remaining jobs is skipped).
+    pub rounds_used: u32,
+    /// Whether the sequential fallback ran.
+    pub fallback_used: bool,
+    /// The clairvoyant lower bound for this realization: the LL optimum
+    /// for the *true* lengths. Any schedule needs at least this long.
+    pub clairvoyant_lb: f64,
+}
+
+/// The `STC-I` scheduler.
+#[derive(Debug, Clone)]
+pub struct StcI {
+    k_max: u32,
+}
+
+impl StcI {
+    /// New scheduler for the given instance size (computes `K`).
+    pub fn new(inst: &StochInstance) -> Self {
+        let v = inst.num_machines().min(inst.num_jobs()).max(4) as f64;
+        StcI {
+            k_max: (v.log2().log2().ceil() as u32) + 3,
+        }
+    }
+
+    /// The round bound `K`.
+    pub fn k_max(&self) -> u32 {
+        self.k_max
+    }
+
+    /// Execute once: draw hidden lengths from `rng`, play the rounds,
+    /// return the outcome (including the clairvoyant LL lower bound for
+    /// the same realization).
+    pub fn run<R: Rng>(&self, inst: &StochInstance, rng: &mut R) -> Result<StcOutcome, LlError> {
+        let mut state = ExecState::draw(inst, rng);
+
+        // Clairvoyant lower bound: LL optimum on the true lengths.
+        let all_jobs: Vec<u32> = (0..inst.num_jobs() as u32).collect();
+        let clairvoyant_lb = solve_ll(inst, &all_jobs, &state.p)?.makespan;
+
+        let mut rounds_used = 0;
+        for k in 1..=self.k_max {
+            let remaining = state.remaining();
+            if remaining.is_empty() {
+                break;
+            }
+            rounds_used = k;
+            let pretend: Vec<f64> = remaining
+                .iter()
+                .map(|&j| (2.0f64).powi(k as i32 - 2) / inst.lambda(j as usize))
+                .collect();
+            let tt = solve_ll(inst, &remaining, &pretend)?;
+            run_timetable(inst, &tt, &mut state);
+        }
+
+        let fallback_used = !state.all_done();
+        if fallback_used {
+            run_sequential_fastest(inst, &mut state);
+        }
+
+        Ok(StcOutcome {
+            makespan: state.makespan(),
+            rounds_used,
+            fallback_used,
+            clairvoyant_lb,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn uniform(m: usize, n: usize) -> StochInstance {
+        StochInstance::new(m, n, vec![1.0; n], vec![1.0; m * n]).unwrap()
+    }
+
+    #[test]
+    fn k_scales_with_min_dimension() {
+        assert_eq!(StcI::new(&uniform(4, 100)).k_max(), 4);
+        assert_eq!(StcI::new(&uniform(16, 100)).k_max(), 5);
+        assert_eq!(StcI::new(&uniform(100, 256)).k_max(), 6);
+    }
+
+    #[test]
+    fn completes_and_bounds_hold() {
+        let inst = uniform(3, 8);
+        let stc = StcI::new(&inst);
+        for seed in 0..20u64 {
+            let out = stc.run(&inst, &mut StdRng::seed_from_u64(seed)).unwrap();
+            assert!(out.makespan.is_finite() && out.makespan > 0.0);
+            assert!(
+                out.makespan >= out.clairvoyant_lb - 1e-6,
+                "seed {seed}: {} < LB {}",
+                out.makespan,
+                out.clairvoyant_lb
+            );
+            assert!(out.rounds_used >= 1 && out.rounds_used <= stc.k_max());
+        }
+    }
+
+    #[test]
+    fn mean_ratio_is_modest() {
+        // The measured competitive ratio vs the clairvoyant LB should be a
+        // small constant on benign instances (Theorem 13's content).
+        let inst = uniform(4, 12);
+        let stc = StcI::new(&inst);
+        let mut ratios = Vec::new();
+        for seed in 0..60u64 {
+            let out = stc.run(&inst, &mut StdRng::seed_from_u64(seed)).unwrap();
+            ratios.push(out.makespan / out.clairvoyant_lb.max(1e-9));
+        }
+        let mean: f64 = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        assert!(mean < 8.0, "mean competitive ratio {mean:.2} too large");
+    }
+
+    #[test]
+    fn heterogeneous_speeds_complete() {
+        let v = vec![
+            2.0, 0.1, 1.0, 0.5, //
+            0.1, 3.0, 0.2, 1.5, //
+        ];
+        let inst = StochInstance::new(2, 4, vec![0.5, 2.0, 1.0, 1.0], v).unwrap();
+        let stc = StcI::new(&inst);
+        let out = stc.run(&inst, &mut StdRng::seed_from_u64(7)).unwrap();
+        assert!(out.makespan.is_finite());
+        assert!(out.makespan >= out.clairvoyant_lb - 1e-6);
+    }
+
+    #[test]
+    fn rate_scaling_scales_makespan() {
+        // Exponential lengths are scale-free: multiplying every λ by c
+        // divides every realized length — and hence the makespan and the
+        // clairvoyant bound — by exactly c (same seed ⇒ same uniforms).
+        let slow = StochInstance::new(2, 4, vec![1.0; 4], vec![1.0; 8]).unwrap();
+        let fast = StochInstance::new(2, 4, vec![10.0; 4], vec![1.0; 8]).unwrap();
+        let stc = StcI::new(&slow);
+        let a = stc.run(&slow, &mut StdRng::seed_from_u64(1)).unwrap();
+        let b = stc.run(&fast, &mut StdRng::seed_from_u64(1)).unwrap();
+        assert!((a.makespan / b.makespan - 10.0).abs() < 1e-6);
+        assert!((a.clairvoyant_lb / b.clairvoyant_lb - 10.0).abs() < 1e-6);
+        assert_eq!(a.rounds_used, b.rounds_used);
+    }
+}

@@ -1,0 +1,119 @@
+//! Cross-module and property tests for the stochastic-scheduling stack.
+
+use crate::instance::StochInstance;
+use crate::ll::solve_ll;
+use crate::sim::{run_timetable, ExecState};
+use crate::stc_i::StcI;
+use proptest::prelude::*;
+use rand::rngs::{SmallRng, StdRng};
+use rand::{RngExt, SeedableRng};
+
+fn random_instance(seed: u64, m: usize, n: usize) -> StochInstance {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let lambda = (0..n).map(|_| rng.random_range(0.2..3.0)).collect();
+    let v = (0..m * n)
+        .map(|_| {
+            if rng.random_bool(0.15) {
+                0.0
+            } else {
+                rng.random_range(0.2..4.0)
+            }
+        })
+        .collect();
+    // Guarantee servability: bump column maxima if needed.
+    match StochInstance::new(m, n, lambda, v) {
+        Ok(i) => i,
+        Err(_) => {
+            // Regenerate with all-positive speeds.
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0xFFFF);
+            let lambda = (0..n).map(|_| rng.random_range(0.2..3.0)).collect();
+            let v = (0..m * n).map(|_| rng.random_range(0.2..4.0)).collect();
+            StochInstance::new(m, n, lambda, v).unwrap()
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn ll_timetables_are_always_feasible(seed in 0u64..10_000, m in 1usize..5, n in 1usize..7) {
+        let inst = random_instance(seed, m, n);
+        let jobs: Vec<u32> = (0..n as u32).collect();
+        let mut rng = SmallRng::seed_from_u64(seed + 1);
+        let p: Vec<f64> = (0..n).map(|_| rng.random_range(0.1..5.0)).collect();
+        let tt = solve_ll(&inst, &jobs, &p).unwrap();
+        // No job on two machines in any slice.
+        prop_assert!(tt.find_conflict().is_none());
+        // Slice durations are positive and sum to the makespan.
+        let span: f64 = tt.slices.iter().map(|s| s.duration).sum();
+        prop_assert!((span - tt.makespan).abs() < 1e-5);
+        for s in &tt.slices {
+            prop_assert!(s.duration > 0.0);
+        }
+        // Every job receives its demanded work.
+        for (c, &j) in jobs.iter().enumerate() {
+            let work: f64 = (0..m)
+                .map(|i| tt.work_time(i, j) * inst.speed(i, j as usize))
+                .sum();
+            prop_assert!(work >= p[c] - 1e-5, "job {j}: {work} < {}", p[c]);
+        }
+    }
+
+    #[test]
+    fn ll_optimum_meets_known_lower_bounds(seed in 0u64..10_000, m in 1usize..5, n in 1usize..7) {
+        let inst = random_instance(seed, m, n);
+        let jobs: Vec<u32> = (0..n as u32).collect();
+        let mut rng = SmallRng::seed_from_u64(seed + 2);
+        let p: Vec<f64> = (0..n).map(|_| rng.random_range(0.1..5.0)).collect();
+        let tt = solve_ll(&inst, &jobs, &p).unwrap();
+        // T >= each job's solo time on its fastest machine.
+        for (c, &j) in jobs.iter().enumerate() {
+            let (_, v) = inst.fastest_machine(j as usize);
+            prop_assert!(tt.makespan >= p[c] / v - 1e-6);
+        }
+    }
+
+    #[test]
+    fn stc_always_completes(seed in 0u64..5_000, m in 1usize..4, n in 1usize..6) {
+        let inst = random_instance(seed, m, n);
+        let stc = StcI::new(&inst);
+        let out = stc.run(&inst, &mut StdRng::seed_from_u64(seed)).unwrap();
+        prop_assert!(out.makespan.is_finite());
+        prop_assert!(out.makespan >= out.clairvoyant_lb - 1e-6);
+    }
+}
+
+#[test]
+fn execution_is_work_conserving_until_completion() {
+    // A job is never credited more work than its length.
+    let inst = random_instance(3, 2, 4);
+    let jobs: Vec<u32> = (0..4).collect();
+    let mut state = ExecState::draw(&inst, &mut StdRng::seed_from_u64(5));
+    let p = state.p.clone();
+    let tt = solve_ll(&inst, &jobs, &vec![1.0; 4]).unwrap();
+    run_timetable(&inst, &tt, &mut state);
+    for j in 0..4 {
+        assert!(state.progress[j] <= p[j] + 1e-9);
+    }
+}
+
+#[test]
+fn stc_mean_tracks_instance_scale() {
+    // Doubling all mean lengths should roughly double mean makespan.
+    let short = StochInstance::new(2, 6, vec![2.0; 6], vec![1.0; 12]).unwrap();
+    let long = StochInstance::new(2, 6, vec![0.5; 6], vec![1.0; 12]).unwrap();
+    let mean = |inst: &StochInstance| {
+        let stc = StcI::new(inst);
+        let total: f64 = (0..40u64)
+            .map(|s| stc.run(inst, &mut StdRng::seed_from_u64(s)).unwrap().makespan)
+            .sum();
+        total / 40.0
+    };
+    let ms = mean(&short);
+    let ml = mean(&long);
+    assert!(
+        ml > 2.5 * ms,
+        "4x mean lengths should scale makespan: short {ms:.2}, long {ml:.2}"
+    );
+}

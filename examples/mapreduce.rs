@@ -1,0 +1,106 @@
+//! MapReduce-style two-phase scheduling (paper §1's motivating example).
+//!
+//! ```sh
+//! cargo run --release --example mapreduce
+//! ```
+//!
+//! Google's MapReduce generates dependencies forming a complete bipartite
+//! graph — equivalent to two consecutive phases of independent jobs. This
+//! example schedules the map phase and the reduce phase with `SUU-I-SEM`
+//! (using its job-subset mode) and compares against naive scheduling of
+//! the full DAG.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use suu::algos::baselines::{BestMachinePolicy, RoundRobinPolicy};
+use suu::algos::SemPolicy;
+use suu::core::{JobId, Precedence, SuuInstance};
+use suu::dag::generators::mapreduce_bipartite;
+use suu::sim::{run_trials, MonteCarloConfig, Policy, StateView};
+
+/// Phase-aware schedule: `SUU-I-SEM` on the maps, then on the reduces.
+struct TwoPhaseSem {
+    maps: SemPolicy,
+    reduces: SemPolicy,
+}
+
+impl TwoPhaseSem {
+    fn build(inst: Arc<SuuInstance>, num_maps: usize) -> Self {
+        let n = inst.num_jobs();
+        let map_ids: Vec<u32> = (0..num_maps as u32).collect();
+        let reduce_ids: Vec<u32> = (num_maps as u32..n as u32).collect();
+        TwoPhaseSem {
+            maps: SemPolicy::for_jobs(inst.clone(), Some(map_ids)).expect("maps policy"),
+            reduces: SemPolicy::for_jobs(inst, Some(reduce_ids)).expect("reduces policy"),
+        }
+    }
+}
+
+impl Policy for TwoPhaseSem {
+    fn name(&self) -> &str {
+        "two-phase SUU-I-SEM"
+    }
+    fn reset(&mut self) {
+        self.maps.reset();
+        self.reduces.reset();
+    }
+    fn assign(&mut self, view: &StateView<'_>) -> Vec<Option<JobId>> {
+        if !self.maps.is_done(view.remaining) {
+            self.maps.assign(view)
+        } else {
+            self.reduces.assign(view)
+        }
+    }
+}
+
+fn mean(outcomes: &[suu::sim::engine::ExecOutcome]) -> f64 {
+    assert!(outcomes.iter().all(|o| o.completed));
+    outcomes.iter().map(|o| o.makespan as f64).sum::<f64>() / outcomes.len() as f64
+}
+
+fn main() {
+    let (maps, reduces, m) = (24, 8, 8);
+    let n = maps + reduces;
+    let dag = mapreduce_bipartite(maps, reduces);
+    let mut rng = SmallRng::seed_from_u64(99);
+
+    // Data locality: each machine holds a shard, so it is reliable only
+    // for "its" tasks (job j's shard lives on machine j mod m); off-shard
+    // execution mostly fails. Affinity-blind schedules suffer badly here.
+    let mut q = Vec::with_capacity(m * n);
+    for i in 0..m {
+        for j in 0..n {
+            use rand::RngExt;
+            let local = j % m == i;
+            let base: f64 = if local { 0.15 } else { 0.93 };
+            q.push((base + rng.random_range(-0.05..0.05)).clamp(0.01, 0.99));
+        }
+    }
+    let inst = Arc::new(SuuInstance::new(m, n, q, Precedence::Dag(dag)).expect("valid instance"));
+
+    println!("MapReduce workload: {maps} maps -> {reduces} reduces on {m} machines");
+    println!("(complete bipartite precedence; reducers are failure-prone)\n");
+
+    let mc = MonteCarloConfig {
+        trials: 150,
+        base_seed: 5,
+        ..Default::default()
+    };
+
+    let two_phase = mean(&run_trials(
+        &inst,
+        || TwoPhaseSem::build(inst.clone(), maps),
+        &mc,
+    ));
+    let rr = mean(&run_trials(&inst, RoundRobinPolicy::new, &mc));
+    let bm = mean(&run_trials(&inst, || BestMachinePolicy::new(inst.clone()), &mc));
+
+    println!("{:<26} {:>12}", "schedule", "E[T] (est)");
+    println!("{:-<40}", "");
+    println!("{:<26} {:>12.2}", "round-robin", rr);
+    println!("{:<26} {:>12.2}", "best-machine greedy", bm);
+    println!("{:<26} {:>12.2}", "two-phase SUU-I-SEM", two_phase);
+    println!("\nThe two-phase schedule applies Theorem 4 to each phase, which");
+    println!("is exactly how the paper treats MapReduce-shaped dependencies.");
+}

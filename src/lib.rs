@@ -1,0 +1,61 @@
+//! # suu — Multiprocessor Scheduling Under Uncertainty
+//!
+//! A from-scratch Rust implementation of
+//! *"Improved Approximations for Multiprocessor Scheduling Under
+//! Uncertainty"* (Crutchfield, Dzunic, Fineman, Karger, Scott — SPAA
+//! 2008), including every substrate the paper's algorithms rest on: an LP
+//! solver, network flow, DAG/chain machinery, a discrete-time stochastic
+//! execution engine, the prior-art-style baselines, and an exact optimum
+//! for tiny instances.
+//!
+//! ## The problem
+//!
+//! `n` unit-step jobs, `m` machines, and a probability `q_ij` that job `j`
+//! *fails* to complete when machine `i` runs it for one step. Precedence
+//! constraints form a DAG; several machines may gang on one job in the
+//! same step. Minimize the **expected makespan**.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use std::sync::Arc;
+//! use suu::core::{workload, Precedence};
+//! use suu::algos::SemPolicy;
+//! use suu::sim::{run_trials, MonteCarloConfig};
+//! use rand::rngs::SmallRng;
+//! use rand::SeedableRng;
+//!
+//! // 16 independent jobs on 4 unreliable machines.
+//! let mut rng = SmallRng::seed_from_u64(7);
+//! let inst = Arc::new(workload::uniform_unrelated(
+//!     4, 16, 0.2, 0.9, Precedence::Independent, &mut rng));
+//!
+//! // The paper's O(log log min(m,n)) semioblivious schedule.
+//! let outcomes = run_trials(
+//!     &inst,
+//!     || SemPolicy::build(inst.clone()).unwrap(),
+//!     &MonteCarloConfig { trials: 20, ..Default::default() },
+//! );
+//! let mean: f64 = outcomes.iter().map(|o| o.makespan as f64).sum::<f64>() / 20.0;
+//! assert!(mean >= 1.0);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Re-export | Crate | Contents |
+//! |---|---|---|
+//! | [`core`] | `suu-core` | instances, log-mass, assignments, timetables, workloads |
+//! | [`lp`] | `suu-lp` | two-phase simplex LP solver |
+//! | [`flow`] | `suu-flow` | Dinic max-flow, Hopcroft–Karp matching |
+//! | [`dag`] | `suu-dag` | chains, forests, rank decomposition, DAG queries |
+//! | [`sim`] | `suu-sim` | execution engine (SUU & SUU* semantics), Monte Carlo |
+//! | [`algos`] | `suu-algos` | `SUU-I-OBL`, `SUU-I-SEM`, `SUU-C`, `SUU-T`, baselines, exact OPT, bounds |
+//! | [`stoch`] | `suu-stoch` | Appendix C: Lawler–Labetoulle, `STC-I` |
+
+pub use suu_algos as algos;
+pub use suu_core as core;
+pub use suu_dag as dag;
+pub use suu_flow as flow;
+pub use suu_lp as lp;
+pub use suu_sim as sim;
+pub use suu_stoch as stoch;

@@ -1,0 +1,192 @@
+//! End-to-end integration: every algorithm family × workload family ×
+//! semantics completes, respects precedence, and never undercuts the
+//! instance's lower bound by more than sampling noise.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use suu::algos::baselines::{BestMachinePolicy, GangSequentialPolicy, LrGreedyPolicy, RoundRobinPolicy};
+use suu::algos::bounds::lower_bound;
+use suu::algos::{ChainConfig, ChainPolicy, ForestPolicy, OblPolicy, SemPolicy};
+use suu::core::{workload, Precedence, SuuInstance};
+use suu::dag::generators;
+use suu::sim::{run_trials, ExecConfig, MonteCarloConfig, Semantics};
+
+fn mc(trials: usize, semantics: Semantics) -> MonteCarloConfig {
+    MonteCarloConfig {
+        trials,
+        base_seed: 0xE2E,
+        threads: 0,
+        exec: ExecConfig {
+            semantics,
+            max_steps: 2_000_000,
+        },
+    }
+}
+
+fn mean(outcomes: &[suu::sim::engine::ExecOutcome]) -> f64 {
+    assert!(
+        outcomes.iter().all(|o| o.completed),
+        "a trial failed to complete"
+    );
+    assert!(
+        outcomes.iter().all(|o| o.ineligible_assignments == 0),
+        "a schedule violated precedence"
+    );
+    outcomes.iter().map(|o| o.makespan as f64).sum::<f64>() / outcomes.len() as f64
+}
+
+fn workloads(seed: u64, m: usize, n: usize, prec: Precedence) -> Vec<(&'static str, SuuInstance)> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    vec![
+        (
+            "uniform",
+            workload::uniform_unrelated(m, n, 0.2, 0.9, prec.clone(), &mut rng),
+        ),
+        (
+            "bimodal",
+            workload::volunteer_grid(m, n, 0.4, 0.15, 0.9, prec.clone(), &mut rng),
+        ),
+        (
+            "related",
+            workload::reliability_difficulty(m, n, (0.4, 0.95), (0.05, 0.6), prec, &mut rng),
+        ),
+    ]
+}
+
+#[test]
+fn independent_matrix_all_policies_all_semantics() {
+    for (name, inst) in workloads(1, 4, 10, Precedence::Independent) {
+        let inst = Arc::new(inst);
+        let lb = lower_bound(&inst).unwrap();
+        for semantics in [Semantics::Suu, Semantics::SuuStar] {
+            let cfg = mc(15, semantics);
+            let means = [
+                mean(&run_trials(&inst, GangSequentialPolicy::new, &cfg)),
+                mean(&run_trials(&inst, RoundRobinPolicy::new, &cfg)),
+                mean(&run_trials(&inst, || BestMachinePolicy::new(inst.clone()), &cfg)),
+                mean(&run_trials(&inst, || LrGreedyPolicy::new(inst.clone()), &cfg)),
+                mean(&run_trials(&inst, || OblPolicy::build(&inst).unwrap(), &cfg)),
+                mean(&run_trials(&inst, || SemPolicy::build(inst.clone()).unwrap(), &cfg)),
+            ];
+            for m in means {
+                assert!(
+                    m >= lb - 1.0,
+                    "{name}/{semantics:?}: mean {m:.2} under LB {lb:.2}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn chains_matrix() {
+    let mut rng = SmallRng::seed_from_u64(2);
+    let cs = generators::random_chain_set(12, 4, &mut rng);
+    let chains = cs.chains().to_vec();
+    for (name, inst) in workloads(3, 3, 12, Precedence::Chains(cs)) {
+        let inst = Arc::new(inst);
+        let lb = lower_bound(&inst).unwrap();
+        for semantics in [Semantics::Suu, Semantics::SuuStar] {
+            let cfg = mc(10, semantics);
+            let suu_c = mean(&run_trials(
+                &inst,
+                || ChainPolicy::build(inst.clone(), chains.clone(), ChainConfig::default()).unwrap(),
+                &cfg,
+            ));
+            let gang = mean(&run_trials(&inst, GangSequentialPolicy::new, &cfg));
+            assert!(suu_c >= lb - 1.0, "{name}: SUU-C {suu_c:.2} under LB {lb:.2}");
+            assert!(gang >= lb - 1.0);
+        }
+    }
+}
+
+#[test]
+fn forests_matrix() {
+    let mut rng = SmallRng::seed_from_u64(4);
+    for out in [true, false] {
+        let forest = if out {
+            generators::random_out_forest(14, 2, &mut rng)
+        } else {
+            generators::random_in_forest(14, 2, &mut rng)
+        };
+        for (name, inst) in workloads(5, 3, 14, Precedence::Forest(forest.clone())) {
+            let inst = Arc::new(inst);
+            let cfg = mc(8, Semantics::SuuStar);
+            let suu_t = mean(&run_trials(
+                &inst,
+                || ForestPolicy::build(inst.clone(), &forest, ChainConfig::default()).unwrap(),
+                &cfg,
+            ));
+            assert!(suu_t >= 1.0, "{name}: degenerate makespan");
+        }
+    }
+}
+
+#[test]
+fn general_dags_run_under_baselines() {
+    // No approximation algorithm covers general DAGs (paper's conclusion);
+    // the engine and baselines must still handle them.
+    let mut rng = SmallRng::seed_from_u64(6);
+    let dag = generators::layered_dag(15, 4, 0.3, &mut rng);
+    let inst = Arc::new(workload::uniform_unrelated(
+        3,
+        15,
+        0.2,
+        0.9,
+        Precedence::Dag(dag),
+        &mut rng,
+    ));
+    let cfg = mc(10, Semantics::SuuStar);
+    mean(&run_trials(&inst, GangSequentialPolicy::new, &cfg));
+    mean(&run_trials(&inst, RoundRobinPolicy::new, &cfg));
+    mean(&run_trials(&inst, || LrGreedyPolicy::new(inst.clone()), &cfg));
+}
+
+#[test]
+fn mapreduce_bipartite_via_two_phases() {
+    let (maps, reduces) = (8usize, 4usize);
+    let n = maps + reduces;
+    let dag = generators::mapreduce_bipartite(maps, reduces);
+    let mut rng = SmallRng::seed_from_u64(7);
+    let inst = Arc::new(workload::uniform_unrelated(
+        4,
+        n,
+        0.3,
+        0.85,
+        Precedence::Dag(dag),
+        &mut rng,
+    ));
+    // Phase policies via SemPolicy job subsets.
+    struct TwoPhase {
+        a: SemPolicy,
+        b: SemPolicy,
+    }
+    impl suu::sim::Policy for TwoPhase {
+        fn name(&self) -> &str {
+            "two-phase"
+        }
+        fn reset(&mut self) {
+            self.a.reset();
+            self.b.reset();
+        }
+        fn assign(&mut self, view: &suu::sim::StateView<'_>) -> Vec<Option<suu::core::JobId>> {
+            if !self.a.is_done(view.remaining) {
+                self.a.assign(view)
+            } else {
+                self.b.assign(view)
+            }
+        }
+    }
+    let cfg = mc(10, Semantics::SuuStar);
+    let outcomes = run_trials(
+        &inst,
+        || TwoPhase {
+            a: SemPolicy::for_jobs(inst.clone(), Some((0..maps as u32).collect())).unwrap(),
+            b: SemPolicy::for_jobs(inst.clone(), Some((maps as u32..n as u32).collect())).unwrap(),
+        },
+        &cfg,
+    );
+    let m = mean(&outcomes);
+    assert!(m >= 2.0, "two phases cannot finish in under 2 steps");
+}
