@@ -16,9 +16,9 @@
 //!   analysis interface (constant-factor mass coverage per step) and is
 //!   labeled accordingly in the harness output.
 
+use std::sync::Arc;
 use suu_core::{JobId, MachineId, SuuInstance};
 use suu_sim::{Policy, StateView};
-use std::sync::Arc;
 
 /// All machines gang on the first eligible job (by id), then the next.
 pub struct GangSequentialPolicy {
@@ -62,7 +62,9 @@ pub struct RoundRobinPolicy {
 impl RoundRobinPolicy {
     /// New round-robin baseline.
     pub fn new() -> Self {
-        RoundRobinPolicy { name: "round-robin" }
+        RoundRobinPolicy {
+            name: "round-robin",
+        }
     }
 }
 

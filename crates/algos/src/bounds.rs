@@ -94,20 +94,11 @@ mod tests {
             let mut rng = SmallRng::seed_from_u64(1000 + seed);
             let n = 3 + (seed % 3) as usize;
             let cs = generators::random_chain_set(n, 1 + (seed as usize % 2), &mut rng);
-            let inst = workload::uniform_unrelated(
-                2,
-                n,
-                0.3,
-                0.9,
-                Precedence::Chains(cs),
-                &mut rng,
-            );
+            let inst =
+                workload::uniform_unrelated(2, n, 0.3, 0.9, Precedence::Chains(cs), &mut rng);
             let lb = lower_bound(&inst).unwrap();
             let opt = exact_opt(&inst, OptLimits::default()).unwrap();
-            assert!(
-                lb <= opt + 1e-6,
-                "seed {seed}: LB {lb} exceeds OPT {opt}"
-            );
+            assert!(lb <= opt + 1e-6, "seed {seed}: LB {lb} exceeds OPT {opt}");
         }
     }
 

@@ -35,7 +35,10 @@ impl std::fmt::Display for AlgoError {
             AlgoError::Lp(e) => write!(f, "LP solve failed: {e}"),
             AlgoError::UnexpectedLpStatus(s) => write!(f, "unexpected LP status: {s}"),
             AlgoError::RoundingUnsaturated { demanded, routed } => {
-                write!(f, "rounding flow unsaturated: routed {routed} of {demanded}")
+                write!(
+                    f,
+                    "rounding flow unsaturated: routed {routed} of {demanded}"
+                )
             }
             AlgoError::BadInput(msg) => write!(f, "bad input: {msg}"),
         }

@@ -20,7 +20,11 @@
 //! | LP-based lower bounds (Lemma 1 / Lemma 5 style) | [`bounds`] |
 //!
 //! All schedule implementations are [`suu_sim::Policy`]s, so a single
-//! engine executes and compares everything.
+//! engine executes and compares everything — and all of them (plus the
+//! executable exact optimum, [`OptPolicy`]) are registered by name into
+//! the unified policy registry via [`registry::standard_registry`], which
+//! is how the scenario suite, the experiment binaries and the examples
+//! construct schedules.
 
 pub mod baselines;
 pub mod bounds;
@@ -28,6 +32,7 @@ mod error;
 pub mod lp1;
 pub mod lp2;
 pub mod opt;
+pub mod registry;
 pub mod rounding;
 pub mod suu_c;
 pub mod suu_i_obl;
@@ -35,6 +40,8 @@ pub mod suu_i_sem;
 pub mod suu_t;
 
 pub use error::AlgoError;
+pub use opt::OptPolicy;
+pub use registry::{register_standard, standard_registry};
 pub use suu_c::{ChainConfig, ChainPolicy};
 pub use suu_i_obl::OblPolicy;
 pub use suu_i_sem::SemPolicy;

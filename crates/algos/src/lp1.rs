@@ -172,13 +172,9 @@ mod tests {
     #[test]
     fn zero_ell_machines_excluded() {
         // Machine 1 has q = 1 for all jobs: never used.
-        let inst = suu_core::SuuInstance::new(
-            2,
-            2,
-            vec![0.5, 0.5, 1.0, 1.0],
-            Precedence::Independent,
-        )
-        .unwrap();
+        let inst =
+            suu_core::SuuInstance::new(2, 2, vec![0.5, 0.5, 1.0, 1.0], Precedence::Independent)
+                .unwrap();
         let sol = solve_lp1(&inst, &[0, 1], 1.0).unwrap();
         for p in 0..2 {
             for &(i, _) in sol.x_for(p) {

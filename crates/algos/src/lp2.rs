@@ -225,7 +225,8 @@ mod tests {
             let mut rng = SmallRng::seed_from_u64(seed);
             let n = 4 + (seed % 6) as usize;
             let m = 2 + (seed % 4) as usize;
-            let inst = workload::uniform_unrelated(m, n, 0.1, 0.98, Precedence::Independent, &mut rng);
+            let inst =
+                workload::uniform_unrelated(m, n, 0.1, 0.98, Precedence::Independent, &mut rng);
             // One chain with everything plus a couple singletons.
             let main: Vec<u32> = (0..(n as u32 - 2)).collect();
             let chains = vec![main, vec![n as u32 - 2], vec![n as u32 - 1]];

@@ -39,10 +39,27 @@ impl Default for OptLimits {
 
 /// Exact `E[T_OPT]`, or `None` if the instance exceeds `limits`.
 pub fn exact_opt(inst: &SuuInstance, limits: OptLimits) -> Option<f64> {
+    solve_dp(inst, limits, false).map(|dp| dp.value)
+}
+
+/// The Bellman solve's output: the optimal value, plus (when requested)
+/// the argmax action per reachable remaining-set state.
+struct DpSolution {
+    /// `V(J)` — the optimal expected makespan.
+    value: f64,
+    /// For each remaining-set mask: one job choice per machine. Only
+    /// populated when actions were recorded.
+    actions: std::collections::HashMap<u32, Vec<Option<usize>>>,
+}
+
+fn solve_dp(inst: &SuuInstance, limits: OptLimits, record_actions: bool) -> Option<DpSolution> {
     let n = inst.num_jobs();
     let m = inst.num_machines();
     if n == 0 {
-        return Some(0.0);
+        return Some(DpSolution {
+            value: 0.0,
+            actions: Default::default(),
+        });
     }
     if n > limits.max_jobs || n > 24 {
         return None;
@@ -68,6 +85,7 @@ pub fn exact_opt(inst: &SuuInstance, limits: OptLimits) -> Option<f64> {
     let full: u32 = if n == 32 { u32::MAX } else { (1 << n) - 1 };
     let mut value = vec![f64::INFINITY; (full as usize) + 1];
     value[0] = 0.0;
+    let mut actions: std::collections::HashMap<u32, Vec<Option<usize>>> = Default::default();
 
     // States sorted by popcount so dependencies are ready.
     let mut states: Vec<u32> = (1..=full)
@@ -116,6 +134,7 @@ pub fn exact_opt(inst: &SuuInstance, limits: OptLimits) -> Option<f64> {
         // Mixed-radix enumeration of actions.
         let mut counter = vec![0usize; active.len()];
         let mut best = f64::INFINITY;
+        let mut best_counter: Vec<usize> = counter.clone();
         loop {
             // Failure probability per touched job under this action.
             let mut fail: Vec<(usize, f64)> = Vec::with_capacity(active.len());
@@ -152,7 +171,10 @@ pub fn exact_opt(inst: &SuuInstance, limits: OptLimits) -> Option<f64> {
             }
             if p_nothing < 1.0 {
                 let v = (1.0 + expectation) / (1.0 - p_nothing);
-                best = best.min(v);
+                if v < best {
+                    best = v;
+                    best_counter.copy_from_slice(&counter);
+                }
             }
 
             // Increment counter.
@@ -173,9 +195,74 @@ pub fn exact_opt(inst: &SuuInstance, limits: OptLimits) -> Option<f64> {
             }
         }
         value[mask as usize] = best;
+        if record_actions && best.is_finite() {
+            let mut row: Vec<Option<usize>> = vec![None; m];
+            for (slot, &i) in active.iter().enumerate() {
+                row[i] = Some(choices[i][best_counter[slot]]);
+            }
+            actions.insert(mask, row);
+        }
     }
 
-    Some(value[full as usize])
+    Some(DpSolution {
+        value: value[full as usize],
+        actions,
+    })
+}
+
+/// The optimal schedule itself, executable: a stationary policy replaying
+/// the Bellman DP's argmax action for every reachable remaining-set state.
+///
+/// Only available where [`exact_opt`] is (tiny instances). This is what
+/// the registry exposes as `"exact-opt"`, letting the Monte-Carlo harness
+/// race approximation algorithms against the true optimum — and letting
+/// tests cross-check the simulated mean against the DP's closed-form
+/// [`OptPolicy::expected_makespan`].
+pub struct OptPolicy {
+    actions: std::collections::HashMap<u32, Vec<Option<usize>>>,
+    expected: f64,
+    m: usize,
+}
+
+impl OptPolicy {
+    /// Solve the MDP and capture its optimal actions, or `None` if the
+    /// instance exceeds `limits`.
+    pub fn build(inst: &SuuInstance, limits: OptLimits) -> Option<Self> {
+        let dp = solve_dp(inst, limits, true)?;
+        Some(OptPolicy {
+            actions: dp.actions,
+            expected: dp.value,
+            m: inst.num_machines(),
+        })
+    }
+
+    /// The DP's exact `E[T_OPT]` for the instance this policy was built on.
+    pub fn expected_makespan(&self) -> f64 {
+        self.expected
+    }
+}
+
+impl suu_sim::Policy for OptPolicy {
+    fn name(&self) -> &str {
+        "exact-opt"
+    }
+
+    fn reset(&mut self) {}
+
+    fn assign(&mut self, view: &suu_sim::StateView<'_>) -> Vec<Option<JobId>> {
+        let mut mask = 0u32;
+        for j in view.remaining.iter() {
+            mask |= 1 << j;
+        }
+        match self.actions.get(&mask) {
+            Some(row) => row
+                .iter()
+                .map(|slot| slot.map(|j| JobId(j as u32)))
+                .collect(),
+            // Unreachable for states the engine can produce; idle safely.
+            None => vec![None; self.m],
+        }
+    }
 }
 
 /// Exact expected makespan of a **stationary** policy: one whose machine
@@ -342,8 +429,7 @@ mod tests {
     fn useless_machine_is_ignored() {
         // Machine 1 never helps (q = 1); OPT must equal the single-machine
         // value.
-        let inst =
-            SuuInstance::new(2, 1, vec![0.5, 1.0], Precedence::Independent).unwrap();
+        let inst = SuuInstance::new(2, 1, vec![0.5, 1.0], Precedence::Independent).unwrap();
         assert!((opt(&inst) - 2.0).abs() < 1e-9);
     }
 
@@ -368,7 +454,9 @@ mod tests {
         // jobs on 2 identical machines is one machine per job.
         let inst = workload::homogeneous(2, 2, 0.5, Precedence::Independent);
         let v = evaluate_stationary(&inst, OptLimits::default(), |_, eligible| {
-            (0..2).map(|i| eligible.get(i % eligible.len().max(1)).copied()).collect()
+            (0..2)
+                .map(|i| eligible.get(i % eligible.len().max(1)).copied())
+                .collect()
         })
         .unwrap();
         let opt = exact_opt(&inst, OptLimits::default()).unwrap();
@@ -394,6 +482,55 @@ mod tests {
         .unwrap();
         let opt = exact_opt(&inst, OptLimits::default()).unwrap();
         assert!(lazy > opt + 0.5, "lazy {lazy} vs opt {opt}");
+    }
+
+    #[test]
+    fn opt_policy_replays_the_dp_exactly() {
+        // Feeding OptPolicy's stationary action table back through the
+        // noise-free evaluator must reproduce E[T_OPT] to the bit.
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(11);
+        use rand::SeedableRng;
+        let inst = workload::uniform_unrelated(2, 5, 0.3, 0.9, Precedence::Independent, &mut rng);
+        let mut policy = OptPolicy::build(&inst, OptLimits::default()).expect("tiny");
+        let opt = exact_opt(&inst, OptLimits::default()).unwrap();
+        assert!((policy.expected_makespan() - opt).abs() < 1e-12);
+
+        use suu_sim::Policy as _;
+        let m = inst.num_machines();
+        let v = evaluate_stationary(&inst, OptLimits::default(), |mask, _| {
+            let mut bits = suu_core::BitSet::new(5);
+            for j in (0..5u32).filter(|j| mask >> j & 1 == 1) {
+                bits.insert(j);
+            }
+            let view = suu_sim::StateView {
+                time: 0,
+                remaining: &bits,
+                eligible: &bits,
+                n: 5,
+                m,
+            };
+            policy
+                .assign(&view)
+                .into_iter()
+                .map(|s| s.map(|j| j.index()))
+                .collect()
+        })
+        .unwrap();
+        assert!((v - opt).abs() < 1e-9, "policy value {v} vs OPT {opt}");
+    }
+
+    #[test]
+    fn opt_policy_respects_precedence_on_chains() {
+        let cs = ChainSet::new(4, vec![vec![0, 1], vec![2, 3]]).unwrap();
+        let inst = workload::homogeneous(2, 4, 0.5, Precedence::Chains(cs));
+        let policy = OptPolicy::build(&inst, OptLimits::default()).expect("tiny");
+        // In the initial state only chain heads are eligible; the optimal
+        // action must not touch jobs 1 or 3.
+        let mask = 0b1111u32;
+        let row = policy.actions.get(&mask).expect("initial state solved");
+        for slot in row.iter().flatten() {
+            assert!([0usize, 2].contains(slot), "assigned non-head job {slot}");
+        }
     }
 
     #[test]

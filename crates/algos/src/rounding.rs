@@ -203,7 +203,8 @@ fn try_round_at_scale(
     let mut net = FlowNetwork::new(sink + 1);
 
     let mut demanded = 0u64;
-    let mut group_machine_edges: Vec<Vec<(u32, suu_flow::EdgeId)>> = Vec::with_capacity(groups.len());
+    let mut group_machine_edges: Vec<Vec<(u32, suu_flow::EdgeId)>> =
+        Vec::with_capacity(groups.len());
     for (g, group) in groups.iter().enumerate() {
         demanded += group.cap;
         net.add_edge(source, first_group + g, group.cap);
@@ -213,7 +214,10 @@ fn try_round_at_scale(
         };
         let mut edges = Vec::with_capacity(group.members.len());
         for &i in &group.members {
-            edges.push((i, net.add_edge(first_group + g, first_machine + i as usize, d_cap)));
+            edges.push((
+                i,
+                net.add_edge(first_group + g, first_machine + i as usize, d_cap),
+            ));
         }
         group_machine_edges.push(edges);
     }
@@ -334,9 +338,7 @@ mod tests {
     fn heterogeneous_with_strong_machines() {
         // One super-reliable machine (q = 0.01 -> ell ≈ 6.6) and weak ones.
         let mut q = vec![0.9; 3 * 4];
-        for j in 0..4 {
-            q[j] = 0.01;
-        }
+        q[..4].fill(0.01);
         let inst = SuuInstance::new(3, 4, q, Precedence::Independent).unwrap();
         check_guarantees(&inst, &[0, 1, 2, 3], 0.5);
         check_guarantees(&inst, &[0, 1, 2, 3], 4.0);
@@ -348,7 +350,8 @@ mod tests {
             let mut rng = SmallRng::seed_from_u64(seed);
             let n = 3 + (seed % 8) as usize;
             let m = 2 + (seed % 5) as usize;
-            let inst = workload::uniform_unrelated(m, n, 0.05, 0.99, Precedence::Independent, &mut rng);
+            let inst =
+                workload::uniform_unrelated(m, n, 0.05, 0.99, Precedence::Independent, &mut rng);
             let jobs: Vec<u32> = (0..n as u32).collect();
             for target in [0.5, 1.0, 3.0] {
                 check_guarantees(&inst, &jobs, target);

@@ -34,7 +34,7 @@ use crate::lp2::{round_lp2, solve_lp2};
 use crate::suu_i_sem::SemPolicy;
 use crate::AlgoError;
 use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 use suu_core::{Assignment, JobId, MachineId, SuuInstance};
 use suu_sim::{Policy, StateView};
@@ -176,8 +176,10 @@ impl ChainPolicy {
         }
 
         let h_range = assignment.max_load();
-        let fallback_budget =
-            1_000 + cfg.fallback_factor * (t_star.ceil() as u64 + gamma + h_range + 1) * (nm_log.ceil() as u64 + 1);
+        let fallback_budget = 1_000
+            + cfg.fallback_factor
+                * (t_star.ceil() as u64 + gamma + h_range + 1)
+                * (nm_log.ceil() as u64 + 1);
 
         let num_chains = chains.len();
         Ok(ChainPolicy {
@@ -317,7 +319,10 @@ impl ChainPolicy {
     }
 
     fn my_jobs_done(&self, remaining: &suu_core::BitSet) -> bool {
-        self.chains.iter().flatten().all(|&j| !remaining.contains(j))
+        self.chains
+            .iter()
+            .flatten()
+            .all(|&j| !remaining.contains(j))
     }
 }
 
@@ -355,6 +360,12 @@ fn coarsen_assignment(inst: &SuuInstance, assignment: &mut Assignment, t_star: f
 impl Policy for ChainPolicy {
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn reseed(&mut self, seed: u64) {
+        // Mix the configured base seed so two specs with different `seed`
+        // parameters stay distinguishable under the same trial stream.
+        self.rng = SmallRng::seed_from_u64(seed ^ self.cfg.seed.rotate_left(32));
     }
 
     fn reset(&mut self) {
@@ -403,7 +414,11 @@ impl Policy for ChainPolicy {
                         self.mode = Mode::Supersteps;
                         continue;
                     }
-                    return self.long_sub.as_mut().expect("sub-policy present").assign(view);
+                    return self
+                        .long_sub
+                        .as_mut()
+                        .expect("sub-policy present")
+                        .assign(view);
                 }
                 Mode::Supersteps => {
                     if self.plan_pos < self.plan.len() {
@@ -418,7 +433,7 @@ impl Policy for ChainPolicy {
                     }
                     // Segment boundary: run this segment's long jobs.
                     if self.superstep > 0
-                        && self.superstep % self.gamma == 0
+                        && self.superstep.is_multiple_of(self.gamma)
                         && !self.seg_long_jobs.is_empty()
                     {
                         let batch: Vec<u32> = std::mem::take(&mut self.seg_long_jobs)
@@ -450,7 +465,12 @@ mod tests {
     use suu_dag::{generators, ChainSet};
     use suu_sim::{execute, ExecConfig};
 
-    fn chain_instance(seed: u64, m: usize, n: usize, num_chains: usize) -> (Arc<SuuInstance>, Vec<Vec<u32>>) {
+    fn chain_instance(
+        seed: u64,
+        m: usize,
+        n: usize,
+        num_chains: usize,
+    ) -> (Arc<SuuInstance>, Vec<Vec<u32>>) {
         let mut rng = SmallRng::seed_from_u64(seed);
         let cs = generators::random_chain_set(n, num_chains, &mut rng);
         let chains = cs.chains().to_vec();
@@ -462,7 +482,8 @@ mod tests {
     fn completes_random_chain_instances() {
         for seed in 0..5u64 {
             let (inst, chains) = chain_instance(seed, 3, 10, 3);
-            let mut policy = ChainPolicy::build(inst.clone(), chains, ChainConfig::default()).unwrap();
+            let mut policy =
+                ChainPolicy::build(inst.clone(), chains, ChainConfig::default()).unwrap();
             let mut erng = StdRng::seed_from_u64(seed + 100);
             let out = execute(&inst, &mut policy, &ExecConfig::default(), &mut erng);
             assert!(out.completed, "seed {seed}");

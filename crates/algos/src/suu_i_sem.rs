@@ -115,7 +115,11 @@ impl SemPolicy {
     fn my_remaining(&self, remaining: &BitSet) -> Vec<u32> {
         match &self.subset {
             None => remaining.iter().collect(),
-            Some(jobs) => jobs.iter().copied().filter(|&j| remaining.contains(j)).collect(),
+            Some(jobs) => jobs
+                .iter()
+                .copied()
+                .filter(|&j| remaining.contains(j))
+                .collect(),
         }
     }
 
@@ -253,7 +257,7 @@ mod tests {
         assert_eq!(k_rounds(16, 100), 5); // log log 16 = 2
         assert_eq!(k_rounds(256, 300), 6); // log log 256 = 3
         assert_eq!(k_rounds(1, 1), 4); // clamped
-        // K depends on min(m, n).
+                                       // K depends on min(m, n).
         assert_eq!(k_rounds(1_000_000, 4), 4);
     }
 

@@ -26,7 +26,11 @@ pub struct ForestPolicy {
 
 impl ForestPolicy {
     /// Build `SUU-T` for an instance whose precedence is the given forest.
-    pub fn build(inst: Arc<SuuInstance>, forest: &Forest, cfg: ChainConfig) -> Result<Self, AlgoError> {
+    pub fn build(
+        inst: Arc<SuuInstance>,
+        forest: &Forest,
+        cfg: ChainConfig,
+    ) -> Result<Self, AlgoError> {
         if forest.num_vertices() != inst.num_jobs() {
             return Err(AlgoError::BadInput(format!(
                 "forest covers {} vertices, instance has {} jobs",
@@ -81,6 +85,13 @@ impl Policy for ForestPolicy {
         }
     }
 
+    fn reseed(&mut self, seed: u64) {
+        // Distinct stream per block, all pinned by the trial seed.
+        for (i, b) in self.blocks.iter_mut().enumerate() {
+            b.reseed(seed.wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+        }
+    }
+
     fn assign(&mut self, view: &StateView<'_>) -> Vec<Option<JobId>> {
         while self.current < self.blocks.len() && self.block_done(self.current, view.remaining) {
             self.current += 1;
@@ -101,7 +112,12 @@ mod tests {
     use suu_dag::generators;
     use suu_sim::{execute, ExecConfig};
 
-    fn forest_instance(seed: u64, m: usize, n: usize, in_forest: bool) -> (Arc<SuuInstance>, Forest) {
+    fn forest_instance(
+        seed: u64,
+        m: usize,
+        n: usize,
+        in_forest: bool,
+    ) -> (Arc<SuuInstance>, Forest) {
         let mut rng = SmallRng::seed_from_u64(seed);
         let forest = if in_forest {
             generators::random_in_forest(n, 2.min(n), &mut rng)
@@ -123,7 +139,8 @@ mod tests {
     fn completes_out_forests() {
         for seed in 0..4u64 {
             let (inst, forest) = forest_instance(seed, 3, 12, false);
-            let mut policy = ForestPolicy::build(inst.clone(), &forest, ChainConfig::default()).unwrap();
+            let mut policy =
+                ForestPolicy::build(inst.clone(), &forest, ChainConfig::default()).unwrap();
             assert!(policy.num_blocks() <= 5); // log2(12)+1
             let mut erng = StdRng::seed_from_u64(seed + 50);
             let out = execute(&inst, &mut policy, &ExecConfig::default(), &mut erng);
@@ -136,7 +153,8 @@ mod tests {
     fn completes_in_forests() {
         for seed in 0..4u64 {
             let (inst, forest) = forest_instance(seed, 3, 12, true);
-            let mut policy = ForestPolicy::build(inst.clone(), &forest, ChainConfig::default()).unwrap();
+            let mut policy =
+                ForestPolicy::build(inst.clone(), &forest, ChainConfig::default()).unwrap();
             let mut erng = StdRng::seed_from_u64(seed + 70);
             let out = execute(&inst, &mut policy, &ExecConfig::default(), &mut erng);
             assert!(out.completed, "seed {seed}");
@@ -167,7 +185,8 @@ mod tests {
     #[test]
     fn reset_replays_from_first_block() {
         let (inst, forest) = forest_instance(9, 2, 8, false);
-        let mut policy = ForestPolicy::build(inst.clone(), &forest, ChainConfig::default()).unwrap();
+        let mut policy =
+            ForestPolicy::build(inst.clone(), &forest, ChainConfig::default()).unwrap();
         for seed in 0..3 {
             let mut erng = StdRng::seed_from_u64(seed);
             let out = execute(&inst, &mut policy, &ExecConfig::default(), &mut erng);

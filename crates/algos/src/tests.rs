@@ -16,7 +16,6 @@ use suu_core::{workload, Precedence};
 use suu_dag::generators;
 use suu_sim::{run_trials, ExecConfig, MonteCarloConfig, Semantics};
 
-
 fn mc(trials: usize, seed: u64) -> MonteCarloConfig {
     MonteCarloConfig {
         trials,
@@ -83,7 +82,10 @@ fn sem_vs_exact_opt_small() {
             sem <= 12.0 * opt + 2.0,
             "seed {seed}: SEM {sem:.2} vs OPT {opt:.2}"
         );
-        assert!(sem >= opt - 0.35, "seed {seed}: SEM {sem:.2} below OPT {opt:.2}?");
+        assert!(
+            sem >= opt - 0.35,
+            "seed {seed}: SEM {sem:.2} below OPT {opt:.2}?"
+        );
     }
 }
 

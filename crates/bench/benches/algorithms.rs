@@ -1,18 +1,20 @@
-//! Criterion bench: end-to-end schedule construction cost (LP + rounding +
+//! Bench: end-to-end schedule construction cost (LP + rounding +
 //! timetable) for each algorithm family.
+//!
+//! ```sh
+//! cargo bench -p suu-bench --bench algorithms
+//! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use std::hint::black_box;
 use std::sync::Arc;
 use suu_algos::{ChainConfig, ChainPolicy, ForestPolicy, OblPolicy, SemPolicy};
+use suu_bench::harness::{black_box, Bench};
 use suu_core::{workload, Precedence};
 use suu_dag::generators::{random_chain_set, random_out_forest};
 
-fn bench_build(c: &mut Criterion) {
-    let mut group = c.benchmark_group("schedule_construction");
-    group.sample_size(10);
+fn main() {
+    let bench = Bench::group("schedule_construction").sample_size(10);
     for &(n, m) in &[(32usize, 8usize), (64, 8)] {
         let mut rng = SmallRng::seed_from_u64(n as u64);
         let ind = Arc::new(workload::uniform_unrelated(
@@ -23,16 +25,12 @@ fn bench_build(c: &mut Criterion) {
             Precedence::Independent,
             &mut rng,
         ));
-        group.bench_with_input(
-            BenchmarkId::new("suu_i_obl", format!("n{n}_m{m}")),
-            &ind,
-            |b, inst| b.iter(|| black_box(OblPolicy::build(inst).unwrap().period())),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("suu_i_sem", format!("n{n}_m{m}")),
-            &ind,
-            |b, inst| b.iter(|| black_box(SemPolicy::build(inst.clone()).unwrap().k_max())),
-        );
+        bench.bench(&format!("suu_i_obl/n{n}_m{m}"), || {
+            black_box(OblPolicy::build(&ind).unwrap().period())
+        });
+        bench.bench(&format!("suu_i_sem/n{n}_m{m}"), || {
+            black_box(SemPolicy::build(ind.clone()).unwrap().k_max())
+        });
 
         let mut rng = SmallRng::seed_from_u64(n as u64 + 1);
         let cs = random_chain_set(n, n / 4, &mut rng);
@@ -45,19 +43,13 @@ fn bench_build(c: &mut Criterion) {
             Precedence::Chains(cs),
             &mut rng,
         ));
-        group.bench_with_input(
-            BenchmarkId::new("suu_c", format!("n{n}_m{m}")),
-            &(chained, chains),
-            |b, (inst, chains)| {
-                b.iter(|| {
-                    black_box(
-                        ChainPolicy::build(inst.clone(), chains.clone(), ChainConfig::default())
-                            .unwrap()
-                            .gamma(),
-                    )
-                })
-            },
-        );
+        bench.bench(&format!("suu_c/n{n}_m{m}"), || {
+            black_box(
+                ChainPolicy::build(chained.clone(), chains.clone(), ChainConfig::default())
+                    .unwrap()
+                    .gamma(),
+            )
+        });
 
         let mut rng = SmallRng::seed_from_u64(n as u64 + 2);
         let forest = random_out_forest(n, 2, &mut rng);
@@ -69,22 +61,12 @@ fn bench_build(c: &mut Criterion) {
             Precedence::Forest(forest.clone()),
             &mut rng,
         ));
-        group.bench_with_input(
-            BenchmarkId::new("suu_t", format!("n{n}_m{m}")),
-            &(forested, forest),
-            |b, (inst, forest)| {
-                b.iter(|| {
-                    black_box(
-                        ForestPolicy::build(inst.clone(), forest, ChainConfig::default())
-                            .unwrap()
-                            .num_blocks(),
-                    )
-                })
-            },
-        );
+        bench.bench(&format!("suu_t/n{n}_m{m}"), || {
+            black_box(
+                ForestPolicy::build(forested.clone(), &forest, ChainConfig::default())
+                    .unwrap()
+                    .num_blocks(),
+            )
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_build);
-criterion_main!(benches);

@@ -1,40 +1,33 @@
-//! Criterion bench: execution-engine throughput under both semantics.
+//! Bench: execution-engine throughput under both semantics.
+//!
+//! ```sh
+//! cargo bench -p suu-bench --bench engine
+//! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::{SmallRng, StdRng};
 use rand::SeedableRng;
-use std::hint::black_box;
 use suu_algos::baselines::RoundRobinPolicy;
+use suu_bench::harness::{black_box, Bench};
 use suu_core::{workload, Precedence};
 use suu_sim::{execute, ExecConfig, Semantics};
 
-fn bench_engine(c: &mut Criterion) {
-    let mut group = c.benchmark_group("engine_execute");
+fn main() {
+    let bench = Bench::group("engine_execute");
     for &(n, m) in &[(32usize, 8usize), (128, 16), (512, 32)] {
         let mut rng = SmallRng::seed_from_u64(n as u64);
         let inst = workload::uniform_unrelated(m, n, 0.4, 0.95, Precedence::Independent, &mut rng);
         for (label, semantics) in [("suu", Semantics::Suu), ("suustar", Semantics::SuuStar)] {
-            group.bench_with_input(
-                BenchmarkId::new(label, format!("n{n}_m{m}")),
-                &(&inst, semantics),
-                |b, (inst, semantics)| {
-                    let cfg = ExecConfig {
-                        semantics: *semantics,
-                        max_steps: 1_000_000,
-                    };
-                    let mut policy = RoundRobinPolicy::new();
-                    let mut seed = 0u64;
-                    b.iter(|| {
-                        seed += 1;
-                        let mut rng = StdRng::seed_from_u64(seed);
-                        black_box(execute(inst, &mut policy, &cfg, &mut rng).makespan)
-                    })
-                },
-            );
+            let cfg = ExecConfig {
+                semantics,
+                max_steps: 1_000_000,
+            };
+            let mut policy = RoundRobinPolicy::new();
+            let mut seed = 0u64;
+            bench.bench(&format!("{label}/n{n}_m{m}"), || {
+                seed += 1;
+                let mut rng = StdRng::seed_from_u64(seed);
+                black_box(execute(&inst, &mut policy, &cfg, &mut rng).makespan)
+            });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_engine);
-criterion_main!(benches);

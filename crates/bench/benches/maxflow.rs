@@ -1,9 +1,12 @@
-//! Criterion bench: Dinic max-flow and Hopcroft–Karp matching.
+//! Bench: Dinic max-flow and Hopcroft–Karp matching.
+//!
+//! ```sh
+//! cargo bench -p suu-bench --bench maxflow
+//! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
-use std::hint::black_box;
+use rand::{Rng, SeedableRng};
+use suu_bench::harness::{black_box, Bench};
 use suu_flow::{BipartiteMatcher, FlowNetwork};
 
 fn layered_network(layers: usize, width: usize, seed: u64) -> (FlowNetwork, usize, usize) {
@@ -27,46 +30,31 @@ fn layered_network(layers: usize, width: usize, seed: u64) -> (FlowNetwork, usiz
     (net, s, t)
 }
 
-fn bench_dinic(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dinic_max_flow");
+fn main() {
+    let bench = Bench::group("dinic_max_flow");
     for &(layers, width) in &[(4usize, 8usize), (6, 16), (8, 32)] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{layers}x{width}")),
-            &(layers, width),
-            |b, &(layers, width)| {
-                b.iter_batched(
-                    || layered_network(layers, width, 42),
-                    |(mut net, s, t)| black_box(net.max_flow(s, t)),
-                    criterion::BatchSize::SmallInput,
-                )
-            },
+        bench.bench_batched(
+            &format!("{layers}x{width}"),
+            || layered_network(layers, width, 42),
+            |(mut net, s, t)| black_box(net.max_flow(s, t)),
         );
     }
-    group.finish();
-}
 
-fn bench_matching(c: &mut Criterion) {
-    let mut group = c.benchmark_group("hopcroft_karp");
+    let bench = Bench::group("hopcroft_karp");
     for &n in &[32usize, 128, 512] {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter_batched(
-                || {
-                    let mut rng = SmallRng::seed_from_u64(7);
-                    let mut m = BipartiteMatcher::new(n, n);
-                    for u in 0..n {
-                        for _ in 0..4 {
-                            m.add_edge(u, rng.random_range(0..n));
-                        }
+        bench.bench_batched(
+            &n.to_string(),
+            || {
+                let mut rng = SmallRng::seed_from_u64(7);
+                let mut m = BipartiteMatcher::new(n, n);
+                for u in 0..n {
+                    for _ in 0..4 {
+                        m.add_edge(u, rng.random_range(0..n));
                     }
-                    m
-                },
-                |mut m| black_box(m.solve()),
-                criterion::BatchSize::SmallInput,
-            )
-        });
+                }
+                m
+            },
+            |mut m| black_box(m.solve()),
+        );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_dinic, bench_matching);
-criterion_main!(benches);

@@ -1,32 +1,30 @@
-//! Criterion bench: Lemma 2 rounding (grouping + integral flow).
+//! Bench: Lemma 2 rounding (grouping + integral flow).
+//!
+//! ```sh
+//! cargo bench -p suu-bench --bench rounding
+//! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use std::hint::black_box;
 use suu_algos::lp1::solve_lp1;
 use suu_algos::rounding::{round_lp1_with, ScaleMode};
+use suu_bench::harness::{black_box, Bench};
 use suu_core::{workload, Precedence};
 
-fn bench_rounding(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lemma2_rounding");
+fn main() {
+    let bench = Bench::group("lemma2_rounding");
     for &(n, m) in &[(32usize, 8usize), (128, 16), (256, 32)] {
         let mut rng = SmallRng::seed_from_u64(n as u64);
         let inst = workload::uniform_unrelated(m, n, 0.1, 0.95, Precedence::Independent, &mut rng);
         let jobs: Vec<u32> = (0..n as u32).collect();
         let sol = solve_lp1(&inst, &jobs, 0.5).unwrap();
-        for (label, mode) in [("adaptive", ScaleMode::Adaptive), ("paper6x", ScaleMode::PaperExact)] {
-            group.bench_with_input(
-                BenchmarkId::new(label, format!("n{n}_m{m}")),
-                &(&inst, &sol, mode),
-                |b, (inst, sol, mode)| {
-                    b.iter(|| black_box(round_lp1_with(inst, sol, *mode).unwrap().1.max_load))
-                },
-            );
+        for (label, mode) in [
+            ("adaptive", ScaleMode::Adaptive),
+            ("paper6x", ScaleMode::PaperExact),
+        ] {
+            bench.bench(&format!("{label}/n{n}_m{m}"), || {
+                black_box(round_lp1_with(&inst, &sol, mode).unwrap().1.max_load)
+            });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_rounding);
-criterion_main!(benches);

@@ -1,46 +1,36 @@
-//! Criterion bench: simplex solve cost on the paper's LP shapes.
+//! Bench: simplex solve cost on the paper's LP shapes.
+//!
+//! ```sh
+//! cargo bench -p suu-bench --bench simplex
+//! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use std::hint::black_box;
 use suu_algos::lp1::solve_lp1;
 use suu_algos::lp2::solve_lp2;
+use suu_bench::harness::{black_box, Bench};
 use suu_core::{workload, Precedence};
 use suu_dag::generators::random_chain_set;
 
-fn bench_lp1(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lp1_solve");
-    group.sample_size(10);
+fn main() {
+    let bench = Bench::group("lp1_solve").sample_size(10);
     for &(n, m) in &[(16usize, 4usize), (64, 8), (128, 16)] {
         let mut rng = SmallRng::seed_from_u64(n as u64);
         let inst = workload::uniform_unrelated(m, n, 0.1, 0.95, Precedence::Independent, &mut rng);
         let jobs: Vec<u32> = (0..n as u32).collect();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("n{n}_m{m}")),
-            &(inst, jobs),
-            |b, (inst, jobs)| b.iter(|| black_box(solve_lp1(inst, jobs, 0.5).unwrap().t_star)),
-        );
+        bench.bench(&format!("n{n}_m{m}"), || {
+            black_box(solve_lp1(&inst, &jobs, 0.5).unwrap().t_star)
+        });
     }
-    group.finish();
-}
 
-fn bench_lp2(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lp2_solve");
-    group.sample_size(10);
+    let bench = Bench::group("lp2_solve").sample_size(10);
     for &(n, m) in &[(16usize, 4usize), (32, 6), (64, 8)] {
         let mut rng = SmallRng::seed_from_u64(n as u64);
         let cs = random_chain_set(n, n / 4, &mut rng);
         let chains = cs.chains().to_vec();
         let inst = workload::uniform_unrelated(m, n, 0.1, 0.95, Precedence::Chains(cs), &mut rng);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("n{n}_m{m}")),
-            &(inst, chains),
-            |b, (inst, chains)| b.iter(|| black_box(solve_lp2(inst, chains, 1.0).unwrap().t_star)),
-        );
+        bench.bench(&format!("n{n}_m{m}"), || {
+            black_box(solve_lp2(&inst, &chains, 1.0).unwrap().t_star)
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_lp1, bench_lp2);
-criterion_main!(benches);

@@ -1,10 +1,13 @@
-//! Criterion bench: Lawler–Labetoulle LP + Birkhoff timetable pipeline and
-//! whole STC-I executions.
+//! Bench: Lawler–Labetoulle LP + Birkhoff timetable pipeline and whole
+//! STC-I executions.
+//!
+//! ```sh
+//! cargo bench -p suu-bench --bench stoch
+//! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::{SmallRng, StdRng};
-use rand::{RngExt, SeedableRng};
-use std::hint::black_box;
+use rand::{Rng, SeedableRng};
+use suu_bench::harness::{black_box, Bench};
 use suu_stoch::{solve_ll, StcI, StochInstance};
 
 fn random_instance(seed: u64, m: usize, n: usize) -> StochInstance {
@@ -14,45 +17,26 @@ fn random_instance(seed: u64, m: usize, n: usize) -> StochInstance {
     StochInstance::new(m, n, lambda, v).expect("valid")
 }
 
-fn bench_ll(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lawler_labetoulle");
-    group.sample_size(10);
+fn main() {
+    let bench = Bench::group("lawler_labetoulle").sample_size(10);
     for &(n, m) in &[(8usize, 3usize), (24, 6), (48, 8)] {
         let inst = random_instance(n as u64, m, n);
         let jobs: Vec<u32> = (0..n as u32).collect();
         let p: Vec<f64> = (0..n).map(|j| 1.0 + (j % 5) as f64 * 0.5).collect();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("n{n}_m{m}")),
-            &(&inst, &jobs, &p),
-            |b, (inst, jobs, p)| {
-                b.iter(|| black_box(solve_ll(inst, jobs, p).unwrap().slices.len()))
-            },
-        );
+        bench.bench(&format!("n{n}_m{m}"), || {
+            black_box(solve_ll(&inst, &jobs, &p).unwrap().slices.len())
+        });
     }
-    group.finish();
-}
 
-fn bench_stc(c: &mut Criterion) {
-    let mut group = c.benchmark_group("stc_i_execution");
-    group.sample_size(10);
+    let bench = Bench::group("stc_i_execution").sample_size(10);
     for &(n, m) in &[(8usize, 3usize), (16, 4)] {
         let inst = random_instance(100 + n as u64, m, n);
         let stc = StcI::new(&inst);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("n{n}_m{m}")),
-            &(&inst, &stc),
-            |b, (inst, stc)| {
-                let mut seed = 0u64;
-                b.iter(|| {
-                    seed += 1;
-                    let mut rng = StdRng::seed_from_u64(seed);
-                    black_box(stc.run(inst, &mut rng).unwrap().makespan)
-                })
-            },
-        );
+        let mut seed = 0u64;
+        bench.bench(&format!("n{n}_m{m}"), || {
+            seed += 1;
+            let mut rng = StdRng::seed_from_u64(seed);
+            black_box(stc.run(&inst, &mut rng).unwrap().makespan)
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_ll, bench_stc);
-criterion_main!(benches);

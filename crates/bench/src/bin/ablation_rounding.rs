@@ -3,8 +3,9 @@
 //! rounding adaptively tries 1/2/3 first and verifies the identical
 //! guarantees. This ablation measures what that buys end-to-end.
 //!
-//! Also ablates the `SUU-C` options: random delays and the
-//! nonpolynomial-`t_LP2` coarsening.
+//! Also ablates the `SUU-C` options through registry parameter specs —
+//! the option toggles are just different policy columns of one race:
+//! `suu-c`, `suu-c(delay=false)`, `suu-c(coarsen=true)`.
 //!
 //! ```sh
 //! cargo run --release -p suu-bench --bin ablation_rounding
@@ -12,20 +13,25 @@
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use std::sync::Arc;
 use suu_algos::lp1::solve_lp1;
 use suu_algos::rounding::{round_lp1_with, ScaleMode};
-use suu_algos::{ChainConfig, ChainPolicy};
-use suu_bench::{mean_makespan, print_header, Stopwatch};
+use suu_bench::runner::{run_race, Race};
+use suu_bench::scenario::Scenario;
+use suu_bench::{print_header, Stopwatch};
 use suu_core::{workload, Precedence};
-use suu_dag::generators::random_chain_set;
-use suu_sim::{run_trials, MonteCarloConfig};
 
 fn main() {
     let watch = Stopwatch::start();
     println!("== Ablation: adaptive vs paper-exact rounding scale ==\n");
     println!("--- schedule length (timetable period) for LP1(J, 1/2) ---");
-    print_header(&[("n", 5), ("m", 4), ("t*", 8), ("paper(6x)", 10), ("adaptive", 9), ("saving", 7)]);
+    print_header(&[
+        ("n", 5),
+        ("m", 4),
+        ("t*", 8),
+        ("paper(6x)", 10),
+        ("adaptive", 9),
+        ("saving", 7),
+    ]);
     for &(n, m) in &[(16usize, 4usize), (32, 8), (64, 8), (128, 16)] {
         let mut rng = SmallRng::seed_from_u64(9000 + n as u64);
         let inst = workload::uniform_unrelated(m, n, 0.15, 0.95, Precedence::Independent, &mut rng);
@@ -45,50 +51,20 @@ fn main() {
         );
     }
 
-    println!("\n--- SUU-C end-to-end makespan under option toggles ---");
-    print_header(&[("config", 26), ("E[T]", 8)]);
-    let (m, n, z) = (6usize, 36usize, 9usize);
-    let mut rng = SmallRng::seed_from_u64(9999);
-    let cs = random_chain_set(n, z, &mut rng);
-    let chains = cs.chains().to_vec();
-    let inst = Arc::new(workload::uniform_unrelated(
-        m,
-        n,
-        0.2,
-        0.8,
-        Precedence::Chains(cs),
-        &mut rng,
-    ));
-    let mc = MonteCarloConfig {
+    println!("\n--- SUU-C end-to-end makespan under option toggles ---\n");
+    run_race(Race {
+        title: String::new(),
+        generated_by: "ablation_rounding".to_string(),
+        scenarios: vec![Scenario::chains(6, 36, 9, 9999)],
+        policies: ["suu-c", "suu-c(delay=false)", "suu-c(coarsen=true)"]
+            .map(String::from)
+            .to_vec(),
         trials: 60,
-        base_seed: 4,
-        ..Default::default()
-    };
-    let configs = [
-        ("default (delay, no coarsen)", ChainConfig::default()),
-        (
-            "no random delay",
-            ChainConfig {
-                use_random_delay: false,
-                ..Default::default()
-            },
-        ),
-        (
-            "with coarsening",
-            ChainConfig {
-                coarsen: true,
-                ..Default::default()
-            },
-        ),
-    ];
-    for (label, cfg) in configs {
-        let mk = mean_makespan(&run_trials(
-            &inst,
-            || ChainPolicy::build(inst.clone(), chains.clone(), cfg).unwrap(),
-            &mc,
-        ));
-        println!("{label:>26} {mk:>8.1}");
-    }
+        master_seed: 4,
+        ratios_to_lower_bound: false,
+        json_path: Some("target/results/ablation_rounding.json".into()),
+        ..Race::default()
+    });
 
     println!("\nexpected: adaptive rounding shortens periods ~2-4x with identical");
     println!("guarantees; disabling delays helps small instances (congestion is");

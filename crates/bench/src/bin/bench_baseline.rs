@@ -1,0 +1,116 @@
+//! **bench_baseline** — the perf-trajectory anchor: runs the standard
+//! six-family [`suu_bench::scenario::ScenarioSuite`] across every
+//! registry policy that fits each scenario, measures a parallel-vs-serial
+//! evaluator speedup on a 1000-trial workload, and writes the whole thing
+//! as `BENCH_baseline.json` (schema `suu-results/v1`, with an extra
+//! `"evaluator"` block).
+//!
+//! Later scaling PRs re-run this binary and diff the JSON: makespan means
+//! are quality regressions, `wall_clock_s` per cell is the perf
+//! trajectory.
+//!
+//! ```sh
+//! cargo run --release -p suu-bench --bin bench_baseline [out.json]
+//! ```
+
+use suu_bench::runner::{run_race_with, Race};
+use suu_bench::scenario::{Scenario, ScenarioSuite};
+use suu_bench::Stopwatch;
+use suu_core::json::Json;
+use suu_sim::{Evaluator, PolicySpec};
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_baseline.json".to_string());
+    let watch = Stopwatch::start();
+    let registry = suu_algos::standard_registry();
+
+    // 1. Quality + per-cell wall clock across the standard suite.
+    let suite = ScenarioSuite::standard(42);
+    let mut doc = run_race_with(
+        Race {
+            title: "BENCH baseline: standard suite × registry policies".to_string(),
+            generated_by: "bench_baseline".to_string(),
+            scenarios: suite.scenarios,
+            policies: [
+                "gang-sequential",
+                "round-robin",
+                "best-machine",
+                "greedy-lr",
+                "suu-i-obl",
+                "suu-i-sem",
+                "suu-c",
+                "suu-t",
+            ]
+            .map(String::from)
+            .to_vec(),
+            trials: 200,
+            master_seed: 0xBA5E,
+            ratios_to_lower_bound: true,
+            json_path: None,
+            ..Race::default()
+        },
+        &registry,
+    );
+
+    // 2. Evaluator speedup: 1000 trials of a registry policy, serial vs
+    //    all-cores, identical outcomes required.
+    println!("\n-- evaluator speedup (1000 trials, greedy-lr on uniform-12x192) --");
+    let sc = Scenario::uniform(12, 192, 0.35, 0.97, 77);
+    let inst = sc.instantiate();
+    let spec = PolicySpec::new("greedy-lr");
+    let eval = Evaluator::seeded(1000, 0xFA57);
+
+    let serial = {
+        let e = eval.with_threads(1);
+        let probe = registry.build(&inst, &spec).expect("builds");
+        drop(probe);
+        e.run_serial(&inst, || registry.build(&inst, &spec).expect("builds"))
+    };
+    let parallel = eval
+        .with_threads(0)
+        .run(&inst, || registry.build(&inst, &spec).expect("builds"));
+
+    let identical = serial
+        .outcomes
+        .iter()
+        .zip(&parallel.outcomes)
+        .all(|(a, b)| a.makespan == b.makespan);
+    let speedup = serial.wall_clock.as_secs_f64() / parallel.wall_clock.as_secs_f64().max(1e-9);
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    println!(
+        "serial {:.3}s  parallel {:.3}s  speedup {speedup:.2}x on {cores} core(s)  outcomes identical: {identical}",
+        serial.wall_clock.as_secs_f64(),
+        parallel.wall_clock.as_secs_f64(),
+    );
+    if cores == 1 {
+        println!("(single-core host: the parallel path degenerates to one worker;");
+        println!(" re-run on a multicore machine for the real speedup number)");
+    }
+    assert!(
+        identical,
+        "parallel evaluator diverged from serial reference"
+    );
+
+    doc = doc.field(
+        "evaluator",
+        Json::obj()
+            .field("workload", sc.id.as_str())
+            .field("policy", "greedy-lr")
+            .field("trials", 1000u64)
+            .field("serial_wall_clock_s", serial.wall_clock.as_secs_f64())
+            .field("parallel_wall_clock_s", parallel.wall_clock.as_secs_f64())
+            .field("speedup", speedup)
+            .field("threads", cores)
+            .field("outcomes_identical", identical),
+    );
+
+    std::fs::write(&out_path, doc.to_pretty()).expect("write baseline JSON");
+    println!(
+        "\nbaseline written to {out_path}  [{:.1}s total]",
+        watch.secs()
+    );
+}

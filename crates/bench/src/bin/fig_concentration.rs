@@ -11,7 +11,7 @@
 //! ```
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use suu_bench::{print_header, Stopwatch};
 
 /// Geometric(1/2) on {1, 2, 3, …}: number of block repetitions until a

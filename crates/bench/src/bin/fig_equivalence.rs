@@ -1,49 +1,21 @@
 //! **F-EQUIV — Theorem 10 / Corollary 11**: the SUU and SUU* semantics
 //! induce the same makespan distribution for any schedule.
 //!
-//! Runs the same policies under both engine semantics on a spread of
-//! instances and applies a two-sample chi-square test to the makespan
-//! histograms. Statistics below the 0.001 critical value ⇒ the empirical
-//! distributions are indistinguishable, as the theorem demands.
+//! Runs registry-built policies under both engine semantics through the
+//! parallel evaluator and applies a two-sample chi-square test to the
+//! makespan histograms. Statistics below the 0.001 critical value ⇒ the
+//! empirical distributions are indistinguishable, as the theorem demands.
 //!
 //! ```sh
 //! cargo run --release -p suu-bench --bin fig_equivalence
 //! ```
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-use std::sync::Arc;
-use suu_algos::baselines::{LrGreedyPolicy, RoundRobinPolicy};
-use suu_algos::SemPolicy;
+use suu_bench::report::ResultsBuilder;
+use suu_bench::scenario::Scenario;
 use suu_bench::{print_header, Stopwatch};
-use suu_core::{workload, Precedence};
-use suu_dag::generators::random_chain_set;
+use suu_core::json::Json;
 use suu_sim::stats::{chi_square_critical_001, chi_square_two_sample, histogram_pair};
-use suu_sim::{run_trials, ExecConfig, MonteCarloConfig, Semantics};
-
-fn collect(
-    inst: &Arc<suu_core::SuuInstance>,
-    which: &str,
-    semantics: Semantics,
-    trials: usize,
-) -> Vec<u64> {
-    let mc = MonteCarloConfig {
-        trials,
-        base_seed: 31337,
-        threads: 0,
-        exec: ExecConfig {
-            semantics,
-            max_steps: 5_000_000,
-        },
-    };
-    let outcomes = match which {
-        "round-robin" => run_trials(inst, RoundRobinPolicy::new, &mc),
-        "greedy-lr" => run_trials(inst, || LrGreedyPolicy::new(inst.clone()), &mc),
-        "SUU-I-SEM" => run_trials(inst, || SemPolicy::build(inst.clone()).unwrap(), &mc),
-        other => unreachable!("unknown policy {other}"),
-    };
-    outcomes.into_iter().map(|o| o.makespan).collect()
-}
+use suu_sim::{EvalConfig, Evaluator, ExecConfig, PolicySpec, Semantics};
 
 fn main() {
     let watch = Stopwatch::start();
@@ -51,69 +23,87 @@ fn main() {
     let trials = 4000;
     println!("{trials} trials per semantics; chi-square @ 0.001\n");
     print_header(&[
-        ("instance", 22),
+        ("instance", 24),
         ("policy", 12),
         ("chi2", 8),
         ("crit", 8),
         ("verdict", 8),
     ]);
 
-    let mut grng = SmallRng::seed_from_u64(7000);
-    let independent = Arc::new(workload::uniform_unrelated(
-        3,
-        6,
-        0.3,
-        0.9,
-        Precedence::Independent,
-        &mut grng,
-    ));
-    let cs = random_chain_set(6, 2, &mut grng);
-    let chained = Arc::new(workload::uniform_unrelated(
-        3,
-        6,
-        0.3,
-        0.9,
-        Precedence::Chains(cs),
-        &mut grng,
-    ));
-    let bimodal = Arc::new(workload::volunteer_grid(
-        4,
-        5,
-        0.5,
-        0.2,
-        0.9,
-        Precedence::Independent,
-        &mut grng,
-    ));
-
-    let cases: Vec<(&str, &Arc<suu_core::SuuInstance>, &str)> = vec![
-        ("uniform/independent", &independent, "round-robin"),
-        ("uniform/independent", &independent, "SUU-I-SEM"),
-        ("uniform/chains", &chained, "round-robin"),
-        ("uniform/chains", &chained, "greedy-lr"),
-        ("bimodal/independent", &bimodal, "greedy-lr"),
-        ("bimodal/independent", &bimodal, "SUU-I-SEM"),
+    let registry = suu_algos::standard_registry();
+    let scenarios = [
+        (
+            Scenario::uniform(3, 6, 0.3, 0.9, 7001),
+            vec!["round-robin", "suu-i-sem"],
+        ),
+        (
+            Scenario::chains(3, 6, 2, 7002),
+            vec!["round-robin", "greedy-lr"],
+        ),
+        (
+            Scenario::adversarial(4, 5, 7003),
+            vec!["greedy-lr", "best-machine"],
+        ),
     ];
 
+    let mut builder = ResultsBuilder::new("fig_equivalence");
     let mut all_pass = true;
-    for (label, inst, policy) in cases {
-        let a = collect(inst, policy, Semantics::Suu, trials);
-        let b = collect(inst, policy, Semantics::SuuStar, trials);
-        let (ha, hb) = histogram_pair(&a, &b);
-        let (chi2, dof) = chi_square_two_sample(&ha, &hb);
-        let crit = chi_square_critical_001(dof);
-        let pass = chi2 <= crit;
-        all_pass &= pass;
-        println!(
-            "{label:>22} {policy:>12} {chi2:>8.2} {crit:>8.2} {:>8}",
-            if pass { "match" } else { "DIFFER" }
-        );
+    for (sc, policies) in scenarios {
+        builder.add_scenario(&sc);
+        let inst = sc.instantiate();
+        for policy in policies {
+            let spec = PolicySpec::parse(policy).expect("valid spec");
+            let run = |semantics| {
+                Evaluator::new(EvalConfig {
+                    trials,
+                    master_seed: 31337,
+                    threads: 0,
+                    exec: ExecConfig {
+                        semantics,
+                        max_steps: 5_000_000,
+                    },
+                })
+                .run_spec(&registry, &inst, &spec)
+                .expect("policy builds")
+            };
+            let a = run(Semantics::Suu);
+            let b = run(Semantics::SuuStar);
+            let ma: Vec<u64> = a.outcomes.iter().map(|o| o.makespan).collect();
+            let mb: Vec<u64> = b.outcomes.iter().map(|o| o.makespan).collect();
+            let (ha, hb) = histogram_pair(&ma, &mb);
+            let (chi2, dof) = chi_square_two_sample(&ha, &hb);
+            let crit = chi_square_critical_001(dof);
+            let pass = chi2 <= crit;
+            all_pass &= pass;
+            builder.add_cell(
+                &sc.id,
+                policy,
+                &b,
+                &[
+                    ("chi2", Json::Num(chi2)),
+                    ("chi2_dof", Json::UInt(dof as u64)),
+                    ("chi2_critical_001", Json::Num(crit)),
+                    ("suu_mean", Json::Num(a.mean_makespan())),
+                    ("distributions_match", Json::Bool(pass)),
+                ],
+            );
+            println!(
+                "{:>24} {policy:>12} {chi2:>8.2} {crit:>8.2} {:>8}",
+                sc.id,
+                if pass { "match" } else { "DIFFER" }
+            );
+        }
     }
+
+    let doc = builder.finish();
+    std::fs::create_dir_all("target/results").ok();
+    std::fs::write("target/results/fig_equivalence.json", doc.to_pretty()).ok();
 
     println!(
         "\nexpected: every row 'match' — the Principle of Deferred Decisions\n\
          reformulation (Appendix A) is distribution-preserving. {}",
         if all_pass { "OK." } else { "VIOLATION!" }
     );
+    println!("results written to target/results/fig_equivalence.json");
     println!("[{:.1}s]", watch.secs());
 }

@@ -47,7 +47,8 @@ fn main() {
         let reps = 40;
         for seed in 0..reps {
             let mut rng = SmallRng::seed_from_u64(seed * 31 + n as u64);
-            let inst = workload::uniform_unrelated(m, n, 0.1, 0.97, Precedence::Independent, &mut rng);
+            let inst =
+                workload::uniform_unrelated(m, n, 0.1, 0.97, Precedence::Independent, &mut rng);
             let jobs: Vec<u32> = (0..n as u32).collect();
             let sol = solve_lp1(&inst, &jobs, target).unwrap();
             let (_, report) = round_lp1(&inst, &sol).unwrap();
@@ -85,7 +86,8 @@ fn main() {
             let mut rng = SmallRng::seed_from_u64(seed * 13 + n as u64);
             let cs = random_chain_set(n, z, &mut rng);
             let chains = cs.chains().to_vec();
-            let inst = workload::uniform_unrelated(m, n, 0.15, 0.9, Precedence::Chains(cs), &mut rng);
+            let inst =
+                workload::uniform_unrelated(m, n, 0.15, 0.9, Precedence::Chains(cs), &mut rng);
             let sol = solve_lp2(&inst, &chains, 1.0).unwrap();
             let (asg, report) = round_lp2(&inst, &sol).unwrap();
             mass_ok += (report.min_clamped_mass >= 1.0 - 1e-9) as u32;
@@ -100,7 +102,9 @@ fn main() {
         }
         println!(
             "{n:>5} {z:>7} {:>7}/{reps} {:>7}/{reps} {:>7}/{reps} {:>11.2}",
-            mass_ok, load_ok, len_ok,
+            mass_ok,
+            load_ok,
+            len_ok,
             blowups / reps as f64,
         );
     }

@@ -1,83 +1,38 @@
 //! **F-OPT — approximation ratios against the exact optimum** on tiny
-//! instances, where `E[T_OPT]` is computable by the MDP subset DP.
+//! instances, where `E[T_OPT]` is computable by the MDP subset DP — and,
+//! since the registry exposes the DP's argmax as the executable
+//! `exact-opt` policy, the optimum appears as just another column.
 //!
-//! This grounds the LP-ratio experiments: on instances small enough to
-//! solve exactly, the measured `E[T_alg]/E[T_OPT]` of `SUU-I-SEM` should
-//! be a small constant (the paper proves `O(log log min(m,n))`, which is
-//! ≤ 4-ish rounds at this scale).
+//! The reproducible claim: `SUU-I-SEM`'s measured mean stays within a
+//! small constant of `exact-opt`'s (the paper proves
+//! `O(log log min(m,n))`, ≤ 4-ish rounds at this scale), while the naive
+//! baselines drift away.
 //!
 //! ```sh
 //! cargo run --release -p suu-bench --bin fig_opt_small
 //! ```
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-use std::sync::Arc;
-use suu_algos::baselines::{GangSequentialPolicy, LrGreedyPolicy};
-use suu_algos::opt::{exact_opt, OptLimits};
-use suu_algos::SemPolicy;
-use suu_bench::{mean_makespan, print_header, Stopwatch};
-use suu_core::{workload, Precedence};
-use suu_sim::{run_trials, MonteCarloConfig};
+use suu_bench::runner::{run_race, Race};
+use suu_bench::scenario::Scenario;
 
 fn main() {
-    let watch = Stopwatch::start();
-    println!("== F-OPT: measured E[T]/E[T_OPT], exact optimum by subset DP ==\n");
-    println!("10 random instances per (n, m); 300 trials per policy per instance\n");
-    print_header(&[
-        ("n", 4),
-        ("m", 4),
-        ("SEM mean", 9),
-        ("SEM max", 9),
-        ("greedy", 9),
-        ("gang", 9),
-    ]);
-
-    for &(n, m) in &[(4usize, 2usize), (5, 2), (6, 3), (7, 3)] {
-        let mut sem_ratios = Vec::new();
-        let mut greedy_ratios = Vec::new();
-        let mut gang_ratios = Vec::new();
-        for seed in 0..10u64 {
-            let mut rng = SmallRng::seed_from_u64(seed * 97 + n as u64);
-            let inst = Arc::new(workload::uniform_unrelated(
-                m,
-                n,
-                0.2,
-                0.95,
-                Precedence::Independent,
-                &mut rng,
-            ));
-            let opt = exact_opt(&inst, OptLimits::default()).expect("tiny instance solvable");
-            let mc = MonteCarloConfig {
-                trials: 300,
-                base_seed: seed,
-                ..Default::default()
-            };
-            let sem = mean_makespan(&run_trials(
-                &inst,
-                || SemPolicy::build(inst.clone()).unwrap(),
-                &mc,
-            ));
-            let greedy = mean_makespan(&run_trials(&inst, || LrGreedyPolicy::new(inst.clone()), &mc));
-            let gang = mean_makespan(&run_trials(&inst, GangSequentialPolicy::new, &mc));
-            sem_ratios.push(sem / opt);
-            greedy_ratios.push(greedy / opt);
-            gang_ratios.push(gang / opt);
-        }
-        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
-        let max = |v: &[f64]| v.iter().fold(0.0f64, |a, &b| a.max(b));
-        println!(
-            "{n:>4} {m:>4} {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
-            mean(&sem_ratios),
-            max(&sem_ratios),
-            mean(&greedy_ratios),
-            mean(&gang_ratios),
-        );
-    }
-
-    println!("\nexpected: SEM's ratio is a small constant (its worst case is");
-    println!("O(log log min(m,n)) ≈ 4 rounds at this scale). the greedy is");
-    println!("fully adaptive and can be near 1 here — its *worst case* is what");
-    println!("degrades with n (see table1_independent).");
-    println!("[{:.1}s]", watch.secs());
+    run_race(Race {
+        title: "F-OPT: mean makespans incl. the exact optimum (tiny instances)".to_string(),
+        generated_by: "fig_opt_small".to_string(),
+        scenarios: [(2usize, 4usize), (2, 6), (3, 8), (3, 10), (4, 12)]
+            .into_iter()
+            .map(|(m, n)| Scenario::uniform(m, n, 0.25, 0.9, 5000 + n as u64))
+            .collect(),
+        policies: ["exact-opt", "suu-i-sem", "greedy-lr", "gang-sequential"]
+            .map(String::from)
+            .to_vec(),
+        trials: 400,
+        master_seed: 0x74,
+        ratios_to_lower_bound: false,
+        json_path: Some("target/results/fig_opt_small.json".into()),
+        ..Race::default()
+    });
+    println!("\nexact-opt replays the DP's optimal actions; every other column");
+    println!("is an approximation, so its mean must not beat exact-opt's by");
+    println!("more than sampling noise.");
 }

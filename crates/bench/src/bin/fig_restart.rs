@@ -12,7 +12,7 @@
 //! ```
 
 use rand::rngs::{SmallRng, StdRng};
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use suu_bench::{print_header, Stopwatch};
 use suu_stoch::{solve_ll, RestartI, StcI, StochInstance};
 
@@ -44,7 +44,9 @@ fn main() {
         for seed in 0..trials {
             // Same hidden lengths for both schedulers: identical seeds.
             let out_p = stc.run(&inst, &mut StdRng::seed_from_u64(seed)).unwrap();
-            let out_r = restart.run(&inst, &mut StdRng::seed_from_u64(seed)).unwrap();
+            let out_r = restart
+                .run(&inst, &mut StdRng::seed_from_u64(seed))
+                .unwrap();
             // Clairvoyant LB from the same draws (recompute).
             let mut rng = StdRng::seed_from_u64(seed);
             let p: Vec<f64> = (0..n)

@@ -10,7 +10,7 @@
 //! ```
 
 use rand::rngs::{SmallRng, StdRng};
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use suu_bench::{print_header, Stopwatch};
 use suu_stoch::{StcI, StochInstance};
 

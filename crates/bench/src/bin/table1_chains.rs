@@ -7,98 +7,30 @@
 //! sequential baseline's ratio grows with `n/m` — it can only exploit one
 //! job's worth of parallelism per step.
 //!
-//! Machines scale with jobs (`m = n/4`) so the sweep stays in the regime
-//! the chains algorithm targets (parallelism available, sequential
-//! baselines waste it).
-//!
 //! ```sh
 //! cargo run --release -p suu-bench --bin table1_chains
 //! ```
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
-use suu_algos::baselines::{GangSequentialPolicy, LrGreedyPolicy};
-use suu_algos::bounds::lower_bound;
-use suu_algos::lp2::{round_lp2, solve_lp2};
-use suu_algos::{ChainConfig, ChainPolicy};
-use suu_bench::{mean_makespan, print_header, Stopwatch};
-use suu_core::{workload, Precedence};
-use suu_dag::generators::equal_chains;
-use suu_sim::{run_trials, MonteCarloConfig};
+use suu_bench::runner::{run_race, Race};
+use suu_bench::scenario::Scenario;
 
 fn main() {
-    let watch = Stopwatch::start();
-    println!("== T1-C: Table 1 (Disjoint chains) — E[T]/LB vs n ==\n");
-    println!("workload: n/8 chains of exactly 8 jobs, q ~ U[0.2,0.85), m = n/4,");
-    println!("40 trials/point\n");
-    print_header(&[
-        ("n", 5),
-        ("m", 4),
-        ("chains", 7),
-        ("LB", 8),
-        ("gang", 8),
-        ("greedy", 8),
-        ("SUU-C", 8),
-        ("gang/SUU-C", 11),
-    ]);
-
-    for &n in &[16usize, 32, 64, 96] {
-        let m = (n / 4).max(4);
-        let z = (n / 8).max(2);
-        let mut rng = SmallRng::seed_from_u64(2000 + n as u64);
-        let cs = equal_chains(n, 8);
-        let chains = cs.chains().to_vec();
-        let inst = Arc::new(workload::uniform_unrelated(
-            m,
-            n,
-            0.2,
-            0.85,
-            Precedence::Chains(cs),
-            &mut rng,
-        ));
-        let lb = lower_bound(&inst).expect("lower bound");
-        let mc = MonteCarloConfig {
-            trials: 40,
-            base_seed: n as u64,
-            ..Default::default()
-        };
-        // Amortize the LP2 solve + rounding across all trials/workers.
-        let sol = solve_lp2(&inst, &chains, 1.0).expect("LP2");
-        let (assignment, _) = round_lp2(&inst, &sol).expect("rounding");
-        let seed_ctr = AtomicU64::new(0);
-
-        let gang = mean_makespan(&run_trials(&inst, GangSequentialPolicy::new, &mc)) / lb;
-        let greedy =
-            mean_makespan(&run_trials(&inst, || LrGreedyPolicy::new(inst.clone()), &mc)) / lb;
-        let suu_c = mean_makespan(&run_trials(
-            &inst,
-            || {
-                let cfg = ChainConfig {
-                    seed: 0xC4A1 + seed_ctr.fetch_add(1, Ordering::Relaxed),
-                    ..ChainConfig::default()
-                };
-                ChainPolicy::from_parts(
-                    inst.clone(),
-                    chains.clone(),
-                    assignment.clone(),
-                    sol.t_star,
-                    cfg,
-                )
-                .unwrap()
-            },
-            &mc,
-        )) / lb;
-        println!(
-            "{n:>5} {m:>4} {z:>7} {lb:>8.2} {gang:>8.2} {greedy:>8.2} {suu_c:>8.2} {:>11.2}",
-            gang / suu_c
-        );
-    }
-
-    println!("\npaper: prior best O(log m log n log(n+m)/log log(n+m)) vs this");
-    println!("work O(log(n+m) log log min(m,n)). expected shape: SUU-C's ratio");
-    println!("grows slowly while the sequential baseline scales with n/m, so");
-    println!("gang/SUU-C widens as n grows.");
-    println!("[{:.1}s]", watch.secs());
+    run_race(Race {
+        title: "T1-C: Table 1 (Disjoint chains) — E[T]/LB vs n".to_string(),
+        generated_by: "table1_chains".to_string(),
+        scenarios: [12usize, 24, 48, 96]
+            .into_iter()
+            .map(|n| Scenario::chains((n / 4).max(3), n, (n / 4).max(2), 2000 + n as u64))
+            .collect(),
+        policies: ["gang-sequential", "greedy-lr", "suu-c"]
+            .map(String::from)
+            .to_vec(),
+        trials: 30,
+        master_seed: 0x72,
+        ratios_to_lower_bound: true,
+        json_path: Some("target/results/table1_chains.json".into()),
+        ..Race::default()
+    });
+    println!("\nexpected shape: SUU-C's ratio grows slowly; gang-sequential's");
+    println!("ratio grows with n/m as it wastes the available parallelism.");
 }

@@ -6,75 +6,28 @@
 //! cargo run --release -p suu-bench --bin table1_forests
 //! ```
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-use std::sync::Arc;
-use suu_algos::baselines::{GangSequentialPolicy, LrGreedyPolicy};
-use suu_algos::bounds::lower_bound;
-use suu_algos::{ChainConfig, ForestPolicy};
-use suu_bench::{mean_makespan, print_header, Stopwatch};
-use suu_core::{workload, Precedence};
-use suu_dag::generators::{random_in_forest, random_out_forest};
-use suu_sim::{run_trials, MonteCarloConfig};
+use suu_bench::runner::{run_race, Race};
+use suu_bench::scenario::Scenario;
 
 fn main() {
-    let watch = Stopwatch::start();
-    println!("== T1-T: Table 1 (Directed forests) — E[T]/LB vs n ==\n");
-    println!("workload: 3-root random forests, q ~ U[0.2,0.85), m = 6, 30 trials\n");
-    print_header(&[
-        ("kind", 5),
-        ("n", 5),
-        ("blocks", 7),
-        ("LB", 8),
-        ("gang", 8),
-        ("greedy", 8),
-        ("SUU-T", 8),
-    ]);
-
-    let m = 6;
-    for &n in &[15usize, 31, 63] {
-        for out in [true, false] {
-            let mut rng = SmallRng::seed_from_u64(3000 + n as u64 + out as u64);
-            let forest = if out {
-                random_out_forest(n, 3, &mut rng)
-            } else {
-                random_in_forest(n, 3, &mut rng)
-            };
-            let inst = Arc::new(workload::uniform_unrelated(
-                m,
-                n,
-                0.2,
-                0.85,
-                Precedence::Forest(forest.clone()),
-                &mut rng,
-            ));
-            let lb = lower_bound(&inst).expect("lower bound");
-            let mc = MonteCarloConfig {
-                trials: 30,
-                base_seed: n as u64,
-                ..Default::default()
-            };
-            let gang = mean_makespan(&run_trials(&inst, GangSequentialPolicy::new, &mc)) / lb;
-            let greedy =
-                mean_makespan(&run_trials(&inst, || LrGreedyPolicy::new(inst.clone()), &mc)) / lb;
-            let policy_blocks = ForestPolicy::build(inst.clone(), &forest, ChainConfig::default())
-                .unwrap()
-                .num_blocks();
-            let suu_t = mean_makespan(&run_trials(
-                &inst,
-                || ForestPolicy::build(inst.clone(), &forest, ChainConfig::default()).unwrap(),
-                &mc,
-            )) / lb;
-            println!(
-                "{:>5} {n:>5} {policy_blocks:>7} {lb:>8.2} {gang:>8.2} {greedy:>8.2} {suu_t:>8.2}",
-                if out { "out" } else { "in" }
-            );
-        }
+    let mut scenarios = Vec::new();
+    for n in [14usize, 28, 56] {
+        scenarios.push(Scenario::forest(6, n, 3, 3000 + n as u64));
+        scenarios.push(Scenario::in_forest(6, n, 3, 4000 + n as u64));
     }
-
-    println!("\npaper: O(log n log(n+m) log log min(m,n)) via ≤ log2(n)+1 blocks");
-    println!("of disjoint chains (Appendix B). blocks column confirms the");
-    println!("decomposition size; ratios should track the chains experiment");
-    println!("within the extra O(log n) block factor.");
-    println!("[{:.1}s]", watch.secs());
+    run_race(Race {
+        title: "T1-T: Table 1 (Directed forests) — E[T]/LB vs n".to_string(),
+        generated_by: "table1_forests".to_string(),
+        scenarios,
+        policies: ["gang-sequential", "greedy-lr", "suu-t"]
+            .map(String::from)
+            .to_vec(),
+        trials: 30,
+        master_seed: 0x73,
+        ratios_to_lower_bound: true,
+        json_path: Some("target/results/table1_forests.json".into()),
+        ..Race::default()
+    });
+    println!("\nexpected shape: SUU-T tracks the bound on both orientations;");
+    println!("the naive baselines degrade as the forests deepen.");
 }

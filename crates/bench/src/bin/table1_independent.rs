@@ -4,75 +4,34 @@
 //!
 //! The paper's Table 1 is a table of *asymptotic bounds*; the reproducible
 //! claim is the growth *shape*: `SUU-I-OBL`'s measured ratio (the
-//! `O(log n)` repeated-timetable approach, here standing in for Lin &
+//! `O(log n)` repeated-timetable approach, standing in for Lin &
 //! Rajaraman's bound) grows markedly with `n`, while `SUU-I-SEM`'s stays
-//! near-flat. Ratios are reported against the Lemma-1 LP lower bound
-//! `t_LP1(J,1/2)/2`, so absolute values overstate the true ratio by the
-//! bound's slack; the *trend across `n`* is the result.
+//! near-flat. Ratios are against the Lemma-1 LP lower bound.
 //!
 //! ```sh
 //! cargo run --release -p suu-bench --bin table1_independent
 //! ```
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-use std::sync::Arc;
-use suu_algos::baselines::{GangSequentialPolicy, LrGreedyPolicy};
-use suu_algos::bounds::lower_bound;
-use suu_algos::{OblPolicy, SemPolicy};
-use suu_bench::{mean_makespan, print_header, Stopwatch};
-use suu_core::{workload, Precedence};
-use suu_sim::{run_trials, MonteCarloConfig};
+use suu_bench::runner::{run_race, Race};
+use suu_bench::scenario::Scenario;
 
 fn main() {
-    let watch = Stopwatch::start();
-    println!("== T1-I: Table 1 (Independent jobs) — E[T]/LB vs n ==\n");
-    println!("workload: q_ij ~ U[0.15,0.95), m = max(4, n/4), 60 trials/point\n");
-    print_header(&[
-        ("n", 5),
-        ("m", 4),
-        ("LB", 8),
-        ("gang", 8),
-        ("greedy", 8),
-        ("OBL", 8),
-        ("SEM", 8),
-        ("OBL/SEM", 9),
-    ]);
-
-    for &n in &[8usize, 16, 32, 64, 128] {
-        let m = (n / 4).max(4);
-        let mut rng = SmallRng::seed_from_u64(1000 + n as u64);
-        let inst = Arc::new(workload::uniform_unrelated(
-            m,
-            n,
-            0.15,
-            0.95,
-            Precedence::Independent,
-            &mut rng,
-        ));
-        let lb = lower_bound(&inst).expect("lower bound");
-        let mc = MonteCarloConfig {
-            trials: 60,
-            base_seed: n as u64,
-            ..Default::default()
-        };
-        let gang = mean_makespan(&run_trials(&inst, GangSequentialPolicy::new, &mc)) / lb;
-        let greedy =
-            mean_makespan(&run_trials(&inst, || LrGreedyPolicy::new(inst.clone()), &mc)) / lb;
-        let obl = mean_makespan(&run_trials(&inst, || OblPolicy::build(&inst).unwrap(), &mc)) / lb;
-        let sem = mean_makespan(&run_trials(
-            &inst,
-            || SemPolicy::build(inst.clone()).unwrap(),
-            &mc,
-        )) / lb;
-        println!(
-            "{n:>5} {m:>4} {lb:>8.2} {gang:>8.2} {greedy:>8.2} {obl:>8.2} {sem:>8.2} {:>9.2}",
-            obl / sem
-        );
-    }
-
+    run_race(Race {
+        title: "T1-I: Table 1 (Independent jobs) — E[T]/LB vs n".to_string(),
+        generated_by: "table1_independent".to_string(),
+        scenarios: [8usize, 16, 32, 64, 128]
+            .into_iter()
+            .map(|n| Scenario::uniform((n / 4).max(4), n, 0.15, 0.95, 1000 + n as u64))
+            .collect(),
+        policies: ["gang-sequential", "greedy-lr", "suu-i-obl", "suu-i-sem"]
+            .map(String::from)
+            .to_vec(),
+        trials: 60,
+        master_seed: 0x71,
+        ratios_to_lower_bound: true,
+        json_path: Some("target/results/table1_independent.json".into()),
+        ..Race::default()
+    });
     println!("\npaper: prior best O(log n) vs this work O(log log min(m,n)).");
-    println!("expected shape: OBL ratio grows with n; SEM ratio stays near-flat,");
-    println!("so OBL/SEM widens as n grows.");
-    println!("[{:.1}s]", watch.secs());
+    println!("expected shape: OBL ratio grows with n; SEM ratio stays near-flat.");
 }

@@ -1,0 +1,94 @@
+//! Dependency-free micro-benchmark harness (criterion-lite).
+//!
+//! The workspace cannot vendor criterion offline, so `cargo bench` targets
+//! are plain `harness = false` binaries built on this module: warmup, a
+//! configurable number of timed samples, and a one-line
+//! min / median / mean report per benchmark id. Numbers are comparable
+//! run-to-run on the same machine; there is no statistical outlier
+//! rejection.
+
+use std::hint::black_box as hint_black_box;
+use std::time::Instant;
+
+/// Re-export so benches write `harness::black_box` symmetrical to
+/// criterion's.
+pub fn black_box<T>(x: T) -> T {
+    hint_black_box(x)
+}
+
+/// A named group of benchmarks sharing a sample count.
+pub struct Bench {
+    group: String,
+    samples: usize,
+    warmup: usize,
+}
+
+impl Bench {
+    /// New group; default 20 samples, 2 warmup runs per benchmark.
+    pub fn group(name: impl Into<String>) -> Self {
+        let group = name.into();
+        println!("== bench group: {group} ==");
+        Bench {
+            group,
+            samples: 20,
+            warmup: 2,
+        }
+    }
+
+    /// Set timed samples per benchmark (criterion's `sample_size`).
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        self.samples = samples.max(1);
+        self
+    }
+
+    /// Time `f` and print one report line under `id`.
+    pub fn bench<T>(&self, id: &str, mut f: impl FnMut() -> T) {
+        for _ in 0..self.warmup {
+            hint_black_box(f());
+        }
+        let mut nanos: Vec<u128> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            hint_black_box(f());
+            nanos.push(t.elapsed().as_nanos());
+        }
+        nanos.sort_unstable();
+        let min = nanos[0];
+        let median = nanos[nanos.len() / 2];
+        let mean = nanos.iter().sum::<u128>() / nanos.len() as u128;
+        println!(
+            "{group}/{id:<28} min {min:>12}  median {median:>12}  mean {mean:>12}  (ns, {s} samples)",
+            group = self.group,
+            s = self.samples,
+        );
+    }
+
+    /// Time `f` on fresh state from `setup` each sample (setup excluded
+    /// from the measurement) — criterion's `iter_batched`.
+    pub fn bench_batched<S, T>(
+        &self,
+        id: &str,
+        mut setup: impl FnMut() -> S,
+        mut f: impl FnMut(S) -> T,
+    ) {
+        for _ in 0..self.warmup {
+            hint_black_box(f(setup()));
+        }
+        let mut nanos: Vec<u128> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let state = setup();
+            let t = Instant::now();
+            hint_black_box(f(state));
+            nanos.push(t.elapsed().as_nanos());
+        }
+        nanos.sort_unstable();
+        let min = nanos[0];
+        let median = nanos[nanos.len() / 2];
+        let mean = nanos.iter().sum::<u128>() / nanos.len() as u128;
+        println!(
+            "{group}/{id:<28} min {min:>12}  median {median:>12}  mean {mean:>12}  (ns, {s} samples)",
+            group = self.group,
+            s = self.samples,
+        );
+    }
+}

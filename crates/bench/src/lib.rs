@@ -18,10 +18,27 @@
 //! | `fig_stoch` | Appendix C, Theorem 13 |
 //! | `fig_restart` | Appendix C "other results" (`R|restart|`) |
 //! | `ablation_rounding` | adaptive vs paper-exact rounding scale |
+//! | `bench_baseline` | standard-suite perf/quality baseline (`BENCH_baseline.json`) |
 //!
-//! Criterion micro-benches (`cargo bench`) cover the substrate costs:
-//! simplex, max-flow, rounding, engine throughput, end-to-end schedule
-//! construction, and the stochastic timetable pipeline.
+//! The Monte-Carlo experiment path is layered:
+//!
+//! * [`scenario`] — named, seeded workload recipes and the standard
+//!   six-family [`scenario::ScenarioSuite`];
+//! * [`runner`] — the [`runner::Race`] declaration and its one evaluation
+//!   path (registry build → capability gate → parallel
+//!   [`suu_sim::Evaluator`] → table + JSON);
+//! * [`report`] — the shared `suu-results/v1` JSON schema every binary
+//!   and example emits.
+//!
+//! Micro-benches (`cargo bench`, via the offline [`harness`]) cover the
+//! substrate costs: simplex, max-flow, rounding, engine throughput,
+//! end-to-end schedule construction, and the stochastic timetable
+//! pipeline.
+
+pub mod harness;
+pub mod report;
+pub mod runner;
+pub mod scenario;
 
 use std::time::Instant;
 use suu_sim::engine::ExecOutcome;

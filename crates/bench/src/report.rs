@@ -1,0 +1,202 @@
+//! The shared JSON results schema (`suu-results/v1`).
+//!
+//! Every experiment binary and example emits one document shape, so
+//! downstream tooling (plots, regression tracking, the perf trajectory in
+//! `BENCH_baseline.json`) can consume any of them:
+//!
+//! ```json
+//! {
+//!   "schema": "suu-results/v1",
+//!   "generated_by": "bench_baseline",
+//!   "suite": "standard",
+//!   "scenarios": [
+//!     {"id": "...", "description": "...", "structure": "chains",
+//!      "m": 4, "n": 24, "seed": 42}
+//!   ],
+//!   "policies": ["suu-c", "greedy-lr"],
+//!   "cells": [
+//!     {"scenario": "...", "policy": "...", "trials": 200,
+//!      "master_seed": 7, "semantics": "suu-star",
+//!      "mean_makespan": 31.4, "std_err": 0.4, "min": 24.0,
+//!      "median": 31.0, "p95": 40.0, "max": 48.0,
+//!      "completion_rate": 1.0, "wall_clock_s": 0.031,
+//!      "lower_bound": 12.5, "ratio_to_lb": 2.51}
+//!   ]
+//! }
+//! ```
+//!
+//! `cells` may also carry `"error"` (policy failed to build — e.g.
+//! `exact-opt` past its limits) or `"skipped"` (capability below the
+//! scenario's structure class); such cells have no statistics.
+
+use crate::scenario::{Scenario, ScenarioSuite};
+use suu_core::json::Json;
+use suu_sim::{EvalReport, Semantics};
+
+/// Schema identifier stamped on every document.
+pub const SCHEMA: &str = "suu-results/v1";
+
+/// Incrementally builds a `suu-results/v1` document.
+pub struct ResultsBuilder {
+    generated_by: String,
+    suite: Option<String>,
+    scenarios: Vec<Json>,
+    scenario_ids: Vec<String>,
+    policies: Vec<String>,
+    cells: Vec<Json>,
+}
+
+impl ResultsBuilder {
+    /// New document attributed to `generated_by` (binary/example name).
+    pub fn new(generated_by: impl Into<String>) -> Self {
+        ResultsBuilder {
+            generated_by: generated_by.into(),
+            suite: None,
+            scenarios: Vec::new(),
+            scenario_ids: Vec::new(),
+            policies: Vec::new(),
+            cells: Vec::new(),
+        }
+    }
+
+    /// Record the suite name.
+    pub fn suite(mut self, suite: &ScenarioSuite) -> Self {
+        self.suite = Some(suite.name.clone());
+        self
+    }
+
+    /// Register a scenario (idempotent per id).
+    pub fn add_scenario(&mut self, sc: &Scenario) {
+        if self.scenario_ids.contains(&sc.id) {
+            return;
+        }
+        self.scenario_ids.push(sc.id.clone());
+        self.scenarios.push(
+            Json::obj()
+                .field("id", sc.id.as_str())
+                .field("description", sc.description.as_str())
+                .field("structure", sc.structure.name())
+                .field("m", sc.m)
+                .field("n", sc.n)
+                .field("seed", sc.seed),
+        );
+    }
+
+    fn register_policy(&mut self, policy: &str) {
+        if !self.policies.iter().any(|p| p == policy) {
+            self.policies.push(policy.to_string());
+        }
+    }
+
+    /// Record one `(scenario, policy)` evaluation with optional extra
+    /// fields (e.g. `lower_bound`).
+    pub fn add_cell(
+        &mut self,
+        scenario_id: &str,
+        policy: &str,
+        report: &EvalReport,
+        extra: &[(&str, Json)],
+    ) {
+        self.register_policy(policy);
+        let summary = report.summary();
+        let semantics = match report.config.exec.semantics {
+            Semantics::Suu => "suu",
+            Semantics::SuuStar => "suu-star",
+        };
+        let mut cell = Json::obj()
+            .field("scenario", scenario_id)
+            .field("policy", policy)
+            .field("trials", report.config.trials)
+            .field("master_seed", report.config.master_seed)
+            .field("semantics", semantics)
+            .field("mean_makespan", summary.mean)
+            .field("std_err", summary.std_err)
+            .field("min", summary.min)
+            .field("median", summary.median)
+            .field("p95", summary.p95)
+            .field("max", summary.max)
+            .field("completion_rate", report.completion_rate())
+            .field("wall_clock_s", report.wall_clock.as_secs_f64());
+        for (key, value) in extra {
+            cell = cell.field(*key, value.clone());
+        }
+        self.cells.push(cell);
+    }
+
+    /// Record a `(scenario, policy)` pair that could not run.
+    pub fn add_failure(&mut self, scenario_id: &str, policy: &str, kind: &str, detail: String) {
+        self.register_policy(policy);
+        self.cells.push(
+            Json::obj()
+                .field("scenario", scenario_id)
+                .field("policy", policy)
+                .field(kind, detail),
+        );
+    }
+
+    /// Assemble the document.
+    pub fn finish(self) -> Json {
+        let mut doc = Json::obj()
+            .field("schema", SCHEMA)
+            .field("generated_by", self.generated_by);
+        if let Some(suite) = self.suite {
+            doc = doc.field("suite", suite);
+        }
+        doc.field("scenarios", Json::Arr(self.scenarios))
+            .field(
+                "policies",
+                Json::Arr(self.policies.into_iter().map(Json::Str).collect()),
+            )
+            .field("cells", Json::Arr(self.cells))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use suu_sim::{Evaluator, Policy, StateView};
+
+    struct Gang;
+    impl Policy for Gang {
+        fn name(&self) -> &str {
+            "gang"
+        }
+        fn reset(&mut self) {}
+        fn assign(&mut self, view: &StateView<'_>) -> Vec<Option<suu_core::JobId>> {
+            match view.eligible.first() {
+                Some(j) => vec![Some(suu_core::JobId(j)); view.m],
+                None => vec![None; view.m],
+            }
+        }
+    }
+
+    #[test]
+    fn document_shape_roundtrips() {
+        let sc = Scenario::uniform(2, 4, 0.2, 0.8, 1);
+        let inst = sc.instantiate();
+        let report = Evaluator::seeded(20, 9).run(&inst, || Gang);
+
+        let suite = ScenarioSuite::smoke(1);
+        let mut builder = ResultsBuilder::new("report-test").suite(&suite);
+        builder.add_scenario(&sc);
+        builder.add_scenario(&sc); // idempotent
+        builder.add_cell(&sc.id, "gang", &report, &[("lower_bound", Json::Num(2.0))]);
+        builder.add_failure(&sc.id, "exact-opt", "error", "too big".to_string());
+        let doc = builder.finish();
+
+        let parsed = suu_core::json::parse(&doc.to_pretty()).unwrap();
+        assert_eq!(parsed.get("schema").unwrap().as_str(), Some(SCHEMA));
+        assert_eq!(
+            parsed.get("scenarios").unwrap().as_array().unwrap().len(),
+            1
+        );
+        let cells = parsed.get("cells").unwrap().as_array().unwrap();
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].get("trials").unwrap().as_u64(), Some(20));
+        assert!(cells[0].get("mean_makespan").unwrap().as_f64().unwrap() >= 1.0);
+        assert_eq!(cells[0].get("lower_bound").unwrap().as_f64(), Some(2.0));
+        assert_eq!(cells[1].get("error").unwrap().as_str(), Some("too big"));
+        let policies = parsed.get("policies").unwrap().as_array().unwrap();
+        assert_eq!(policies.len(), 2);
+    }
+}

@@ -1,0 +1,271 @@
+//! The scenario × policy race runner — the one evaluation path every
+//! experiment binary goes through.
+//!
+//! A [`Race`] declares *what* to compare (scenarios, policy specs, trial
+//! budget); this module handles *how*: registry construction through
+//! [`suu_algos::standard_registry`], capability-aware skipping, parallel
+//! evaluation via [`suu_sim::Evaluator`], optional LP lower bounds, the
+//! human-readable table, and the shared JSON results document. The
+//! table1/figure binaries are now a `Race` literal plus a `main`.
+
+use crate::report::ResultsBuilder;
+use crate::scenario::Scenario;
+use suu_algos::bounds::lower_bound;
+use suu_core::json::Json;
+use suu_sim::{EvalConfig, Evaluator, ExecConfig, PolicyRegistry, PolicySpec, RegistryError};
+
+/// Declarative description of a policy race.
+pub struct Race {
+    /// Title line printed before the table.
+    pub title: String,
+    /// Name stamped into the JSON document.
+    pub generated_by: String,
+    /// Scenarios to sweep (rows).
+    pub scenarios: Vec<Scenario>,
+    /// Policy specs to race (columns), in textual form.
+    pub policies: Vec<String>,
+    /// Trials per cell.
+    pub trials: usize,
+    /// Master seed (per-cell seeds derive from it).
+    pub master_seed: u64,
+    /// Engine configuration.
+    pub exec: ExecConfig,
+    /// Compute the LP lower bound per scenario and report `E[T]/LB`.
+    pub ratios_to_lower_bound: bool,
+    /// Write the JSON document here (in addition to returning it).
+    pub json_path: Option<std::path::PathBuf>,
+}
+
+impl Default for Race {
+    fn default() -> Self {
+        Race {
+            title: String::new(),
+            generated_by: "race".to_string(),
+            scenarios: Vec::new(),
+            policies: Vec::new(),
+            trials: 60,
+            master_seed: 0x5EED,
+            exec: ExecConfig::default(),
+            ratios_to_lower_bound: false,
+            json_path: None,
+        }
+    }
+}
+
+/// One evaluated `(scenario, policy)` cell.
+#[derive(Debug)]
+pub enum CellOutcome {
+    /// Ran; mean makespan and the ratio to the scenario lower bound (when
+    /// requested).
+    Ran {
+        /// Mean makespan across trials.
+        mean: f64,
+        /// `mean / lower_bound`, when a bound was computed.
+        ratio: Option<f64>,
+    },
+    /// The policy's capability is below the scenario's structure class.
+    Skipped,
+    /// Construction failed (limits, LP errors…).
+    Failed(String),
+}
+
+/// Run the race: print the table, write/return the JSON document.
+pub fn run_race(race: Race) -> Json {
+    let registry = suu_algos::standard_registry();
+    run_race_with(race, &registry)
+}
+
+/// [`run_race`] against a caller-supplied registry (tests, custom
+/// policies).
+pub fn run_race_with(race: Race, registry: &PolicyRegistry) -> Json {
+    let specs: Vec<PolicySpec> = race
+        .policies
+        .iter()
+        .map(|p| PolicySpec::parse(p).unwrap_or_else(|e| panic!("bad policy spec {p:?}: {e}")))
+        .collect();
+
+    if !race.title.is_empty() {
+        println!("== {} ==", race.title);
+        println!(
+            "   {} trials/cell, master seed {:#x}\n",
+            race.trials, race.master_seed
+        );
+    }
+
+    let mut header = format!("{:<24} {:>6} {:>6}", "scenario", "m", "n");
+    if race.ratios_to_lower_bound {
+        header.push_str(&format!(" {:>8}", "LB"));
+    }
+    for spec in &specs {
+        header.push_str(&format!(" {:>14}", truncate(&spec.to_string(), 14)));
+    }
+    println!("{header}");
+    println!("{:-<width$}", "", width = header.len());
+
+    let mut builder = ResultsBuilder::new(race.generated_by.clone());
+    let mut doc_cells: Vec<(String, String, CellOutcome)> = Vec::new();
+
+    for sc in &race.scenarios {
+        builder.add_scenario(sc);
+        let inst = sc.instantiate();
+        let lb = if race.ratios_to_lower_bound {
+            lower_bound(&inst).ok()
+        } else {
+            None
+        };
+
+        let mut row = format!("{:<24} {:>6} {:>6}", truncate(&sc.id, 24), sc.m, sc.n);
+        if race.ratios_to_lower_bound {
+            match lb {
+                Some(lb) => row.push_str(&format!(" {:>8.2}", lb)),
+                None => row.push_str(&format!(" {:>8}", "—")),
+            }
+        }
+
+        let evaluator = Evaluator::new(EvalConfig {
+            trials: race.trials,
+            // Scenario-specific stream so adding a scenario never shifts
+            // another's randomness.
+            master_seed: suu_sim::derive_seed(race.master_seed, sc.seed, 0xC311),
+            threads: 0,
+            exec: race.exec,
+        });
+
+        for spec in &specs {
+            let outcome = evaluate_cell(registry, &evaluator, sc, &inst, spec, lb, &mut builder);
+            match &outcome {
+                CellOutcome::Ran { mean, ratio } => match ratio {
+                    Some(r) => row.push_str(&format!(" {:>13.2}x", r)),
+                    None => row.push_str(&format!(" {:>14.2}", mean)),
+                },
+                CellOutcome::Skipped => row.push_str(&format!(" {:>14}", "—")),
+                CellOutcome::Failed(_) => row.push_str(&format!(" {:>14}", "error")),
+            }
+            doc_cells.push((sc.id.clone(), spec.to_string(), outcome));
+        }
+        println!("{row}");
+    }
+
+    let doc = builder.finish();
+    if let Some(path) = &race.json_path {
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        let text = doc.to_pretty();
+        match std::fs::write(path, &text) {
+            Ok(()) => println!("\nresults written to {}", path.display()),
+            Err(e) => eprintln!("\nfailed to write {}: {e}", path.display()),
+        }
+    }
+    doc
+}
+
+fn evaluate_cell(
+    registry: &PolicyRegistry,
+    evaluator: &Evaluator,
+    sc: &Scenario,
+    inst: &std::sync::Arc<suu_core::SuuInstance>,
+    spec: &PolicySpec,
+    lb: Option<f64>,
+    builder: &mut ResultsBuilder,
+) -> CellOutcome {
+    match evaluator.run_spec(registry, inst, spec) {
+        Ok(report) => {
+            let mean = report.mean_makespan();
+            let ratio = lb.map(|lb| mean / lb);
+            let mut extra: Vec<(&str, Json)> = Vec::new();
+            if let Some(lb) = lb {
+                extra.push(("lower_bound", Json::Num(lb)));
+            }
+            if let Some(r) = ratio {
+                extra.push(("ratio_to_lb", Json::Num(r)));
+            }
+            builder.add_cell(&sc.id, &spec.to_string(), &report, &extra);
+            CellOutcome::Ran { mean, ratio }
+        }
+        Err(e @ RegistryError::UnsupportedStructure { .. }) => {
+            builder.add_failure(&sc.id, &spec.to_string(), "skipped", e.to_string());
+            CellOutcome::Skipped
+        }
+        Err(e) => {
+            let msg = e.to_string();
+            builder.add_failure(&sc.id, &spec.to_string(), "error", msg.clone());
+            CellOutcome::Failed(msg)
+        }
+    }
+}
+
+fn truncate(s: &str, width: usize) -> String {
+    if s.chars().count() <= width {
+        s.to_string()
+    } else {
+        let head: String = s.chars().take(width.saturating_sub(1)).collect();
+        format!("{head}…")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioSuite;
+
+    #[test]
+    fn race_covers_scenarios_and_skips_by_capability() {
+        let doc = run_race(Race {
+            title: String::new(),
+            generated_by: "runner-test".to_string(),
+            scenarios: ScenarioSuite::smoke(3).scenarios,
+            policies: vec![
+                "gang-sequential".to_string(),
+                "suu-i-sem".to_string(),
+                "suu-c".to_string(),
+            ],
+            trials: 4,
+            master_seed: 11,
+            ..Race::default()
+        });
+        let cells = doc.get("cells").unwrap().as_array().unwrap();
+        assert_eq!(cells.len(), 9, "3 scenarios x 3 policies");
+        // suu-i-sem must skip the chains and forest scenarios, and suu-c
+        // (capability: chains) must skip the forest scenario.
+        let skipped: Vec<(&str, &str)> = cells
+            .iter()
+            .filter(|c| c.get("skipped").is_some())
+            .map(|c| {
+                (
+                    c.get("policy").unwrap().as_str().unwrap(),
+                    c.get("scenario").unwrap().as_str().unwrap(),
+                )
+            })
+            .collect();
+        assert_eq!(skipped.len(), 3, "{skipped:?}");
+        assert_eq!(skipped.iter().filter(|(p, _)| *p == "suu-i-sem").count(), 2);
+        assert!(skipped
+            .iter()
+            .any(|(p, s)| *p == "suu-c" && s.starts_with("forest")));
+        // Every run cell carries statistics.
+        for c in cells.iter().filter(|c| c.get("skipped").is_none()) {
+            assert!(c.get("mean_makespan").unwrap().as_f64().unwrap() >= 1.0);
+            assert_eq!(c.get("trials").unwrap().as_u64(), Some(4));
+        }
+    }
+
+    #[test]
+    fn lower_bound_ratio_cells() {
+        let doc = run_race(Race {
+            generated_by: "runner-lb-test".to_string(),
+            scenarios: vec![crate::scenario::Scenario::uniform(3, 6, 0.2, 0.9, 5)],
+            policies: vec!["greedy-lr".to_string()],
+            trials: 6,
+            master_seed: 2,
+            ratios_to_lower_bound: true,
+            ..Race::default()
+        });
+        let cell = &doc.get("cells").unwrap().as_array().unwrap()[0];
+        let lb = cell.get("lower_bound").unwrap().as_f64().unwrap();
+        let ratio = cell.get("ratio_to_lb").unwrap().as_f64().unwrap();
+        let mean = cell.get("mean_makespan").unwrap().as_f64().unwrap();
+        assert!(lb > 0.0);
+        assert!((ratio - mean / lb).abs() < 1e-12);
+    }
+}

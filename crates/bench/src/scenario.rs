@@ -1,0 +1,316 @@
+//! Named, seeded workload scenarios and the standard scenario suite.
+//!
+//! A [`Scenario`] is a reproducible instance recipe: an id, a structure
+//! class, sizes, a seed, and a generator closure. The
+//! [`ScenarioSuite::standard`] suite covers the regimes the paper (and its
+//! motivating applications) care about:
+//!
+//! * `uniform` — i.i.d. unrelated machines, the default testbed;
+//! * `power-law` — Pareto job difficulties stressing the semioblivious
+//!   rounds (a few jobs far harder than the rest);
+//! * `chains` — disjoint chains for the SUU-C family;
+//! * `forest` — random out-forests for the SUU-T family;
+//! * `mapreduce` — complete-bipartite two-phase DAGs with data-locality
+//!   failure structure (§1's motivating example);
+//! * `adversarial` — near-certain-failure instances where every job has
+//!   exactly one helpful machine hidden among useless ones, punishing
+//!   affinity-blind schedules and stressing the LP matching.
+
+use rand::prelude::*;
+use std::sync::Arc;
+use suu_core::{workload, Precedence, SuuInstance};
+use suu_dag::generators;
+use suu_sim::StructureClass;
+
+/// A reproducible workload recipe.
+pub struct Scenario {
+    /// Stable identifier (used in tables and the JSON schema).
+    pub id: String,
+    /// One-line description.
+    pub description: String,
+    /// Machines.
+    pub m: usize,
+    /// Jobs.
+    pub n: usize,
+    /// Generator seed.
+    pub seed: u64,
+    /// Structure class of the generated precedence.
+    pub structure: StructureClass,
+    build: Box<dyn Fn(u64) -> SuuInstance + Send + Sync>,
+}
+
+impl Scenario {
+    /// Generate the instance (deterministic per scenario).
+    pub fn instantiate(&self) -> Arc<SuuInstance> {
+        Arc::new((self.build)(self.seed))
+    }
+
+    /// Fully custom scenario from a generator closure. `structure` must
+    /// match what the closure produces (checked by the suite tests for
+    /// built-ins; custom callers own the invariant).
+    pub fn custom(
+        id: impl Into<String>,
+        description: impl Into<String>,
+        m: usize,
+        n: usize,
+        seed: u64,
+        structure: StructureClass,
+        build: impl Fn(u64) -> SuuInstance + Send + Sync + 'static,
+    ) -> Scenario {
+        Scenario {
+            id: id.into(),
+            description: description.into(),
+            m,
+            n,
+            seed,
+            structure,
+            build: Box::new(build),
+        }
+    }
+
+    /// Uniform unrelated machines, `q ~ U[lo, hi)`.
+    pub fn uniform(m: usize, n: usize, lo: f64, hi: f64, seed: u64) -> Scenario {
+        Scenario {
+            id: format!("uniform-m{m}-n{n}-s{seed}"),
+            description: format!("independent jobs, q ~ U[{lo},{hi})"),
+            m,
+            n,
+            seed,
+            structure: StructureClass::Independent,
+            build: Box::new(move |s| {
+                let mut rng = SmallRng::seed_from_u64(s);
+                workload::uniform_unrelated(m, n, lo, hi, Precedence::Independent, &mut rng)
+            }),
+        }
+    }
+
+    /// Pareto-difficulty jobs (`q_ij = q_base^(1/w_j)`, `w ~ Pareto(alpha)`).
+    pub fn power_law(m: usize, n: usize, q_base: f64, alpha: f64, seed: u64) -> Scenario {
+        Scenario {
+            id: format!("power-law-m{m}-n{n}-s{seed}"),
+            description: format!("power-law difficulties, base {q_base}, alpha {alpha}"),
+            m,
+            n,
+            seed,
+            structure: StructureClass::Independent,
+            build: Box::new(move |s| {
+                let mut rng = SmallRng::seed_from_u64(s);
+                workload::power_law_difficulty(
+                    m,
+                    n,
+                    q_base,
+                    alpha,
+                    Precedence::Independent,
+                    &mut rng,
+                )
+            }),
+        }
+    }
+
+    /// Random disjoint chains over uniform machines.
+    pub fn chains(m: usize, n: usize, num_chains: usize, seed: u64) -> Scenario {
+        Scenario {
+            id: format!("chains-m{m}-n{n}-c{num_chains}-s{seed}"),
+            description: format!("{num_chains} random disjoint chains, q ~ U[0.2,0.9)"),
+            m,
+            n,
+            seed,
+            structure: StructureClass::Chains,
+            build: Box::new(move |s| {
+                let mut rng = SmallRng::seed_from_u64(s);
+                let cs = generators::random_chain_set(n, num_chains, &mut rng);
+                workload::uniform_unrelated(m, n, 0.2, 0.9, Precedence::Chains(cs), &mut rng)
+            }),
+        }
+    }
+
+    /// Random out-forest over uniform machines.
+    pub fn forest(m: usize, n: usize, roots: usize, seed: u64) -> Scenario {
+        Scenario {
+            id: format!("forest-m{m}-n{n}-r{roots}-s{seed}"),
+            description: format!("random out-forest with {roots} roots, q ~ U[0.2,0.85)"),
+            m,
+            n,
+            seed,
+            structure: StructureClass::Forest,
+            build: Box::new(move |s| {
+                let mut rng = SmallRng::seed_from_u64(s);
+                let forest = generators::random_out_forest(n, roots, &mut rng);
+                workload::uniform_unrelated(m, n, 0.2, 0.85, Precedence::Forest(forest), &mut rng)
+            }),
+        }
+    }
+
+    /// Random in-forest (leaves-to-root precedence) over uniform machines.
+    pub fn in_forest(m: usize, n: usize, roots: usize, seed: u64) -> Scenario {
+        Scenario {
+            id: format!("in-forest-m{m}-n{n}-r{roots}-s{seed}"),
+            description: format!("random in-forest with {roots} roots, q ~ U[0.2,0.85)"),
+            m,
+            n,
+            seed,
+            structure: StructureClass::Forest,
+            build: Box::new(move |s| {
+                let mut rng = SmallRng::seed_from_u64(s);
+                let forest = generators::random_in_forest(n, roots, &mut rng);
+                workload::uniform_unrelated(m, n, 0.2, 0.85, Precedence::Forest(forest), &mut rng)
+            }),
+        }
+    }
+
+    /// MapReduce-style complete bipartite DAG with data locality: job `j`'s
+    /// shard lives on machine `j mod m`; off-shard execution mostly fails.
+    pub fn mapreduce(maps: usize, reduces: usize, m: usize, seed: u64) -> Scenario {
+        let n = maps + reduces;
+        Scenario {
+            id: format!("mapreduce-{maps}x{reduces}-m{m}-s{seed}"),
+            description: format!("{maps} maps -> {reduces} reduces, shard-local reliability"),
+            m,
+            n,
+            seed,
+            structure: StructureClass::Dag,
+            build: Box::new(move |s| {
+                let mut rng = SmallRng::seed_from_u64(s);
+                let dag = generators::mapreduce_bipartite(maps, reduces);
+                let mut q = Vec::with_capacity(m * n);
+                for i in 0..m {
+                    for j in 0..n {
+                        let local = j % m == i;
+                        let base: f64 = if local { 0.15 } else { 0.93 };
+                        q.push((base + rng.random_range(-0.05..0.05)).clamp(0.01, 0.99));
+                    }
+                }
+                SuuInstance::new(m, n, q, Precedence::Dag(dag)).expect("valid mapreduce instance")
+            }),
+        }
+    }
+
+    /// Adversarial near-certain failure: every `q_ij` is nearly 1 except
+    /// one secretly assigned good machine per job. Affinity-blind policies
+    /// waste almost every machine-step.
+    pub fn adversarial(m: usize, n: usize, seed: u64) -> Scenario {
+        Scenario {
+            id: format!("adversarial-m{m}-n{n}-s{seed}"),
+            description: "near-certain failure; one hidden helpful machine per job".to_string(),
+            m,
+            n,
+            seed,
+            structure: StructureClass::Independent,
+            build: Box::new(move |s| {
+                let mut rng = SmallRng::seed_from_u64(s);
+                let mut q = vec![0.0; m * n];
+                for cell in q.iter_mut() {
+                    *cell = rng.random_range(0.985..0.999);
+                }
+                for j in 0..n {
+                    let good = rng.random_range(0..m);
+                    q[good * n + j] = rng.random_range(0.05..0.3);
+                }
+                SuuInstance::new(m, n, q, Precedence::Independent).expect("valid instance")
+            }),
+        }
+    }
+}
+
+impl std::fmt::Debug for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scenario")
+            .field("id", &self.id)
+            .field("structure", &self.structure)
+            .field("m", &self.m)
+            .field("n", &self.n)
+            .field("seed", &self.seed)
+            .finish()
+    }
+}
+
+/// A named collection of scenarios.
+#[derive(Debug)]
+pub struct ScenarioSuite {
+    /// Suite name (lands in the JSON document).
+    pub name: String,
+    /// The scenarios, in run order.
+    pub scenarios: Vec<Scenario>,
+}
+
+impl ScenarioSuite {
+    /// The six-family standard suite at benchmark scale.
+    pub fn standard(seed: u64) -> ScenarioSuite {
+        ScenarioSuite {
+            name: "standard".to_string(),
+            scenarios: vec![
+                Scenario::uniform(6, 24, 0.15, 0.95, seed),
+                Scenario::power_law(6, 24, 0.5, 1.2, seed + 1),
+                Scenario::chains(4, 24, 6, seed + 2),
+                Scenario::forest(4, 24, 3, seed + 3),
+                Scenario::mapreduce(16, 8, 6, seed + 4),
+                Scenario::adversarial(6, 18, seed + 5),
+            ],
+        }
+    }
+
+    /// A miniature copy of the standard suite for tests (tiny sizes, so
+    /// LP-heavy policies build fast).
+    pub fn smoke(seed: u64) -> ScenarioSuite {
+        ScenarioSuite {
+            name: "smoke".to_string(),
+            scenarios: vec![
+                Scenario::uniform(3, 8, 0.2, 0.9, seed),
+                Scenario::chains(3, 8, 3, seed + 1),
+                Scenario::forest(3, 8, 2, seed + 2),
+            ],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_are_deterministic_and_well_sized() {
+        for sc in ScenarioSuite::standard(42).scenarios {
+            let a = sc.instantiate();
+            let b = sc.instantiate();
+            assert_eq!(a.num_jobs(), sc.n, "{}", sc.id);
+            assert_eq!(a.num_machines(), sc.m, "{}", sc.id);
+            assert_eq!(
+                StructureClass::of(a.precedence()),
+                sc.structure,
+                "{}",
+                sc.id
+            );
+            for i in 0..sc.m as u32 {
+                for j in 0..sc.n as u32 {
+                    assert_eq!(
+                        a.q(suu_core::MachineId(i), suu_core::JobId(j)),
+                        b.q(suu_core::MachineId(i), suu_core::JobId(j)),
+                        "{} not deterministic",
+                        sc.id
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adversarial_has_one_good_machine_per_job() {
+        let sc = Scenario::adversarial(5, 12, 7);
+        let inst = sc.instantiate();
+        for j in 0..12u32 {
+            let good = (0..5u32)
+                .filter(|&i| inst.q(suu_core::MachineId(i), suu_core::JobId(j)) < 0.5)
+                .count();
+            assert!(good >= 1, "job {j} has no good machine");
+        }
+    }
+
+    #[test]
+    fn suite_ids_are_unique() {
+        let suite = ScenarioSuite::standard(1);
+        let mut ids: Vec<&str> = suite.scenarios.iter().map(|s| s.id.as_str()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), suite.scenarios.len());
+    }
+}

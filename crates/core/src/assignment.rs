@@ -46,7 +46,10 @@ impl Assignment {
 
     /// Add `steps` of machine `i` to job `j` (accumulates).
     pub fn add(&mut self, i: MachineId, j: JobId, steps: u64) {
-        assert!(i.index() < self.m && j.index() < self.n, "index out of range");
+        assert!(
+            i.index() < self.m && j.index() < self.n,
+            "index out of range"
+        );
         if steps == 0 {
             return;
         }
@@ -100,7 +103,11 @@ impl Assignment {
 
     /// Length `d_j = max_i x_ij` of job `j`'s oblivious block.
     pub fn length(&self, j: JobId) -> u64 {
-        self.per_job[j.index()].iter().map(|&(_, s)| s).max().unwrap_or(0)
+        self.per_job[j.index()]
+            .iter()
+            .map(|&(_, s)| s)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Log mass `Σ_i ℓ_ij · x_ij` that this assignment gives job `j`.

@@ -19,6 +19,9 @@
 //!   power-law difficulties).
 //! * [`BitSet`] — a small fixed-capacity bitset used for remaining/eligible
 //!   job sets in simulation hot loops.
+//! * [`json`] — dependency-free JSON values, writer and parser: the
+//!   substrate of the experiment pipeline's shared results schema and the
+//!   instance wire form ([`SuuInstance::to_json`]).
 //!
 //! Everything is deterministic given the generator seeds, which keeps
 //! experiments reproducible.
@@ -27,6 +30,7 @@ mod assignment;
 mod bitset;
 mod ids;
 mod instance;
+pub mod json;
 pub mod logmass;
 mod precedence;
 #[cfg(test)]

@@ -174,7 +174,10 @@ mod tests {
     fn deterministic_is_all_zero() {
         let inst = deterministic(2, 2, Precedence::Independent);
         assert_eq!(inst.q(crate::MachineId(1), crate::JobId(1)), 0.0);
-        assert_eq!(inst.ell(crate::MachineId(0), crate::JobId(0)), crate::logmass::L_MAX);
+        assert_eq!(
+            inst.ell(crate::MachineId(0), crate::JobId(0)),
+            crate::logmass::L_MAX
+        );
     }
 
     #[test]

@@ -60,7 +60,11 @@ impl ChainSet {
         if let Some(j) = seen.iter().position(|&s| !s) {
             return Err(ChainSetError::MissingJob(j as u32));
         }
-        Ok(ChainSet { n, chains, position })
+        Ok(ChainSet {
+            n,
+            chains,
+            position,
+        })
     }
 
     /// `n` singleton chains — the independent-jobs special case.

@@ -36,7 +36,10 @@ impl Dag {
 
     /// Add the precedence edge `u -> v` (`u` precedes `v`).
     pub fn add_edge(&mut self, u: u32, v: u32) {
-        assert!((u as usize) < self.n && (v as usize) < self.n, "vertex out of range");
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "vertex out of range"
+        );
         assert_ne!(u, v, "self-loop");
         self.succ[u as usize].push(v);
         self.pred[v as usize].push(u);
@@ -70,7 +73,9 @@ impl Dag {
     /// Kahn topological order, or `None` if the graph has a cycle.
     pub fn topo_order(&self) -> Option<Vec<u32>> {
         let mut indeg = self.indegrees();
-        let mut queue: Vec<u32> = (0..self.n as u32).filter(|&v| indeg[v as usize] == 0).collect();
+        let mut queue: Vec<u32> = (0..self.n as u32)
+            .filter(|&v| indeg[v as usize] == 0)
+            .collect();
         let mut order = Vec::with_capacity(self.n);
         let mut head = 0;
         while head < queue.len() {
@@ -113,7 +118,9 @@ impl Dag {
     pub fn transitive_closure(&self) -> Vec<Vec<u64>> {
         let words = self.n.div_ceil(64);
         let mut closure = vec![vec![0u64; words]; self.n];
-        let order = self.topo_order().expect("transitive_closure on cyclic graph");
+        let order = self
+            .topo_order()
+            .expect("transitive_closure on cyclic graph");
         // Process in reverse topological order: closure[u] = union over
         // successors v of ({v} ∪ closure[v]).
         for &u in order.iter().rev() {
@@ -143,8 +150,7 @@ impl Dag {
     pub fn width(&self) -> usize {
         let closure = self.transitive_closure();
         let mut matcher = BipartiteMatcher::new(self.n, self.n);
-        for u in 0..self.n {
-            let row = &closure[u];
+        for (u, row) in closure.iter().enumerate() {
             for v in 0..self.n {
                 if row[v / 64] >> (v % 64) & 1 == 1 {
                     matcher.add_edge(u, v);
@@ -156,11 +162,15 @@ impl Dag {
 
     /// All vertices with no predecessors.
     pub fn sources(&self) -> Vec<u32> {
-        (0..self.n as u32).filter(|&v| self.pred[v as usize].is_empty()).collect()
+        (0..self.n as u32)
+            .filter(|&v| self.pred[v as usize].is_empty())
+            .collect()
     }
 
     /// All vertices with no successors.
     pub fn sinks(&self) -> Vec<u32> {
-        (0..self.n as u32).filter(|&v| self.succ[v as usize].is_empty()).collect()
+        (0..self.n as u32)
+            .filter(|&v| self.succ[v as usize].is_empty())
+            .collect()
     }
 }

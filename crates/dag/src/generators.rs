@@ -59,8 +59,8 @@ pub fn equal_chains(n: usize, len: usize) -> ChainSet {
 pub fn random_out_forest<R: Rng>(n: usize, num_roots: usize, rng: &mut R) -> Forest {
     assert!(num_roots >= 1 || n == 0, "need at least one root");
     let mut parent = vec![None; n];
-    for v in num_roots.min(n)..n {
-        parent[v] = Some(rng.random_range(0..v) as u32);
+    for (v, slot) in parent.iter_mut().enumerate().skip(num_roots.min(n)) {
+        *slot = Some(rng.random_range(0..v) as u32);
     }
     Forest::out_forest(parent).expect("acyclic by construction")
 }
@@ -70,8 +70,8 @@ pub fn random_out_forest<R: Rng>(n: usize, num_roots: usize, rng: &mut R) -> For
 pub fn random_in_forest<R: Rng>(n: usize, num_roots: usize, rng: &mut R) -> Forest {
     assert!(num_roots >= 1 || n == 0, "need at least one root");
     let mut parent = vec![None; n];
-    for v in num_roots.min(n)..n {
-        parent[v] = Some(rng.random_range(0..v) as u32);
+    for (v, slot) in parent.iter_mut().enumerate().skip(num_roots.min(n)) {
+        *slot = Some(rng.random_range(0..v) as u32);
     }
     Forest::in_forest(parent).expect("acyclic by construction")
 }
@@ -80,7 +80,13 @@ pub fn random_in_forest<R: Rng>(n: usize, num_roots: usize, rng: &mut R) -> Fore
 pub fn binary_out_tree(depth: u32) -> Forest {
     let n = (1usize << depth) - 1;
     let parent = (0..n)
-        .map(|v| if v == 0 { None } else { Some(((v - 1) / 2) as u32) })
+        .map(|v| {
+            if v == 0 {
+                None
+            } else {
+                Some(((v - 1) / 2) as u32)
+            }
+        })
         .collect();
     Forest::out_forest(parent).expect("valid binary tree")
 }
@@ -91,8 +97,8 @@ pub fn binary_out_tree(depth: u32) -> Forest {
 pub fn caterpillar(spine: usize, leaves: usize) -> Forest {
     let n = spine + spine * leaves;
     let mut parent = vec![None; n];
-    for s in 1..spine {
-        parent[s] = Some((s - 1) as u32);
+    for (s, slot) in parent.iter_mut().enumerate().take(spine).skip(1) {
+        *slot = Some((s - 1) as u32);
     }
     for s in 0..spine {
         for l in 0..leaves {
@@ -119,7 +125,9 @@ pub fn layered_dag<R: Rng>(n: usize, layers: usize, density: f64, rng: &mut R) -
         if lv == 0 {
             continue;
         }
-        let prev: Vec<u32> = (0..n as u32).filter(|&u| layer_of(u as usize) == lv - 1).collect();
+        let prev: Vec<u32> = (0..n as u32)
+            .filter(|&u| layer_of(u as usize) == lv - 1)
+            .collect();
         if prev.is_empty() {
             continue;
         }

@@ -9,7 +9,9 @@ use rand::rngs::SmallRng;
 fn topo_order_simple() {
     let dag = Dag::from_edges(4, &[(0, 1), (1, 2), (0, 3)]);
     let order = dag.topo_order().unwrap();
-    let pos: Vec<usize> = (0..4u32).map(|v| order.iter().position(|&x| x == v).unwrap()).collect();
+    let pos: Vec<usize> = (0..4u32)
+        .map(|v| order.iter().position(|&x| x == v).unwrap())
+        .collect();
     assert!(pos[0] < pos[1] && pos[1] < pos[2] && pos[0] < pos[3]);
 }
 
@@ -143,7 +145,10 @@ fn check_decomposition(f: &Forest) {
             }
         }
     }
-    assert!(seen.iter().all(|&s| s), "some vertex missing from decomposition");
+    assert!(
+        seen.iter().all(|&s| s),
+        "some vertex missing from decomposition"
+    );
 
     // Precedence edges never point from a later block to an earlier one.
     let dag = f.to_dag();
@@ -170,7 +175,9 @@ fn decomposition_caterpillar() {
 #[test]
 fn decomposition_single_chain_forest() {
     // A path: decomposition must still cover everything.
-    let parent = (0..20).map(|v| if v == 0 { None } else { Some(v as u32 - 1) }).collect();
+    let parent = (0..20)
+        .map(|v| if v == 0 { None } else { Some(v as u32 - 1) })
+        .collect();
     check_decomposition(&Forest::out_forest(parent).unwrap());
 }
 

@@ -61,7 +61,10 @@ impl FlowNetwork {
     /// Returns an [`EdgeId`] usable with [`FlowNetwork::flow_on`] after a
     /// max-flow computation.
     pub fn add_edge(&mut self, from: usize, to: usize, cap: u64) -> EdgeId {
-        assert!(from < self.adj.len() && to < self.adj.len(), "node out of range");
+        assert!(
+            from < self.adj.len() && to < self.adj.len(),
+            "node out of range"
+        );
         assert!(cap <= CAP_INF, "capacity exceeds CAP_INF");
         let id = self.edges.len();
         self.edges.push(Edge { to, cap });
@@ -124,7 +127,10 @@ impl FlowNetwork {
     /// Calling this twice continues from the current residual state (useful
     /// for incremental capacity additions), matching Dinic semantics.
     pub fn max_flow(&mut self, s: usize, t: usize) -> u64 {
-        assert!(s < self.adj.len() && t < self.adj.len(), "node out of range");
+        assert!(
+            s < self.adj.len() && t < self.adj.len(),
+            "node out of range"
+        );
         assert_ne!(s, t, "source equals sink");
         let mut total = 0u64;
         while self.bfs(s, t) {

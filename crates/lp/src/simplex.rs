@@ -190,7 +190,8 @@ pub(crate) fn solve_standard_form(obj: &[f64], rows: &[Row]) -> Result<LpSolutio
 
     // Column layout: [structural 0..nv | slack/surplus nv..nv+nslack].
     // First pass: count slack columns and normalize rhs signs.
-    let mut norm: Vec<(Vec<(usize, f64)>, Cmp, f64)> = Vec::with_capacity(m);
+    type NormRow = (Vec<(usize, f64)>, Cmp, f64);
+    let mut norm: Vec<NormRow> = Vec::with_capacity(m);
     let mut nslack = 0usize;
     for row in rows {
         let mut terms: Vec<(usize, f64)> = row.terms.clone();

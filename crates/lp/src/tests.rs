@@ -123,8 +123,16 @@ fn beale_cycling_example_terminates() {
     let x5 = lp.add_var(150.0);
     let x6 = lp.add_var(-0.02);
     let x7 = lp.add_var(6.0);
-    lp.add_constraint(&[(x4, 0.25), (x5, -60.0), (x6, -0.04), (x7, 9.0)], Cmp::Le, 0.0);
-    lp.add_constraint(&[(x4, 0.5), (x5, -90.0), (x6, -0.02), (x7, 3.0)], Cmp::Le, 0.0);
+    lp.add_constraint(
+        &[(x4, 0.25), (x5, -60.0), (x6, -0.04), (x7, 9.0)],
+        Cmp::Le,
+        0.0,
+    );
+    lp.add_constraint(
+        &[(x4, 0.5), (x5, -90.0), (x6, -0.02), (x7, 3.0)],
+        Cmp::Le,
+        0.0,
+    );
     lp.add_constraint(&[(x6, 1.0)], Cmp::Le, 1.0);
     let s = lp.solve().unwrap();
     assert_eq!(s.status, LpStatus::Optimal);
@@ -189,8 +197,8 @@ fn transportation_problem_known_optimum() {
     // Independent optimum: x11=10 (20), x13=15 (15), x12=? supply1 has 20
     // cap: 10+15=25 > 20, so split. LP answer checked numerically:
     let expected = 150.0; // x11=5? — see brute-force check below.
-    // We don't hard-code a possibly-wrong hand computation; instead check
-    // against a grid search over the 1-degree-of-freedom optimal face.
+                          // We don't hard-code a possibly-wrong hand computation; instead check
+                          // against a grid search over the 1-degree-of-freedom optimal face.
     let mut best = f64::INFINITY;
     // x1j = a,b,c with a+b+c <= 20; x2j = demands - x1j >= 0 and sums <= 30.
     let step = 0.5;
@@ -232,17 +240,17 @@ fn mini_lp1_shape() {
     let mut lp = LpBuilder::minimize();
     let t = lp.add_var(1.0);
     let mut x = [[None; 2]; 2];
-    for i in 0..2 {
-        for j in 0..2 {
-            x[i][j] = Some(lp.add_var(0.0));
+    for row in &mut x {
+        for slot in row.iter_mut() {
+            *slot = Some(lp.add_var(0.0));
         }
     }
     for j in 0..2 {
         let row: Vec<_> = (0..2).map(|i| (x[i][j].unwrap(), l[i][j])).collect();
         lp.add_constraint(&row, Cmp::Ge, big_l);
     }
-    for i in 0..2 {
-        let mut row: Vec<_> = (0..2).map(|j| (x[i][j].unwrap(), 1.0)).collect();
+    for xi in &x {
+        let mut row: Vec<_> = xi.iter().map(|v| (v.unwrap(), 1.0)).collect();
         row.push((t, -1.0));
         lp.add_constraint(&row, Cmp::Le, 0.0);
     }
@@ -302,11 +310,10 @@ fn maximize_reports_original_sign() {
 /// Strategy: random "covering" LPs of the LP1 family — always feasible,
 /// always bounded, with a known feasible reference point.
 fn covering_lp_strategy() -> impl Strategy<Value = (usize, usize, Vec<f64>, f64)> {
-    (1usize..6, 1usize..6)
-        .prop_flat_map(|(nj, nm)| {
-            let coeffs = proptest::collection::vec(0.01f64..4.0, nj * nm);
-            (Just(nj), Just(nm), coeffs, 0.1f64..2.0)
-        })
+    (1usize..6, 1usize..6).prop_flat_map(|(nj, nm)| {
+        let coeffs = proptest::collection::vec(0.01f64..4.0, nj * nm);
+        (Just(nj), Just(nm), coeffs, 0.1f64..2.0)
+    })
 }
 
 proptest! {
@@ -318,9 +325,9 @@ proptest! {
         let mut lp = LpBuilder::minimize();
         let t = lp.add_var(1.0);
         let mut xs = vec![vec![]; nm];
-        for i in 0..nm {
+        for row in xs.iter_mut() {
             for _ in 0..nj {
-                xs[i].push(lp.add_var(0.0));
+                row.push(lp.add_var(0.0));
             }
         }
         for j in 0..nj {

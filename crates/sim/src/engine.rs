@@ -1,7 +1,7 @@
 //! The step-by-step execution loop.
 
 use crate::policy::{Policy, StateView};
-use rand::{Rng, RngExt};
+use rand::Rng;
 use suu_core::{EligibilityTracker, JobId, MachineId, SuuInstance};
 
 /// Which formulation's randomness to simulate.

@@ -1,0 +1,379 @@
+//! The parallel, seed-deterministic Monte-Carlo evaluator.
+//!
+//! One [`Evaluator`] replaces every serial (and the old crossbeam-channel)
+//! `run_trials` loop in the workspace. Trials fan out across a worker pool
+//! (`rayon` data-parallel iterators with worker-local policy state, so an
+//! expensive LP-built policy is constructed once per worker, not once per
+//! trial) while remaining **bitwise deterministic**:
+//!
+//! * trial `k`'s engine randomness comes from an RNG seeded with
+//!   `derive_seed(master_seed, k, ENGINE_DOMAIN)`;
+//! * trial `k`'s *policy-internal* randomness (e.g. `SUU-C`'s Theorem-7
+//!   start delays) is pinned by calling [`crate::Policy::reseed`] with
+//!   `derive_seed(master_seed, k, POLICY_DOMAIN)` before execution.
+//!
+//! Nothing a worker thread did before a trial can leak into it, so the
+//! outcome vector is a pure function of `(instance, policy spec,
+//! master_seed, trials)` — identical on 1 thread or 64. The old
+//! `base_seed + k` scheme is replaced by a SplitMix64 mix so that nearby
+//! master seeds do not share trial streams.
+
+use crate::engine::{execute, ExecConfig, ExecOutcome};
+use crate::policy::Policy;
+use crate::registry::{PolicyRegistry, PolicySpec, RegistryError};
+use crate::stats::{summarize, Summary};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use suu_core::SuuInstance;
+
+/// Domain tag for engine (job-outcome) randomness.
+const ENGINE_DOMAIN: u64 = 0x45;
+/// Domain tag for policy-internal randomness.
+const POLICY_DOMAIN: u64 = 0x50;
+
+/// Statistically independent 64-bit seed for `(master, index, domain)` —
+/// a SplitMix64 finalization over the mixed triple.
+pub fn derive_seed(master: u64, index: u64, domain: u64) -> u64 {
+    let mut z = master
+        ^ domain.wrapping_mul(0xA076_1D64_78BD_642F)
+        ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Evaluation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalConfig {
+    /// Number of independent trials.
+    pub trials: usize,
+    /// Root of every trial's randomness.
+    pub master_seed: u64,
+    /// Worker threads (`0` = one per available core, `1` = serial).
+    pub threads: usize,
+    /// Engine configuration shared by all trials.
+    pub exec: ExecConfig,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig {
+            trials: 100,
+            master_seed: 0x5EED,
+            threads: 0,
+            exec: ExecConfig::default(),
+        }
+    }
+}
+
+/// What an evaluation produced, plus how long it took.
+#[derive(Debug, Clone)]
+pub struct EvalReport {
+    /// Display name of the evaluated policy.
+    pub policy: String,
+    /// Configuration the evaluation ran under.
+    pub config: EvalConfig,
+    /// Per-trial outcomes, in trial order.
+    pub outcomes: Vec<ExecOutcome>,
+    /// Wall-clock time for the whole batch.
+    pub wall_clock: Duration,
+}
+
+impl EvalReport {
+    /// Makespans as `f64`s, in trial order.
+    pub fn makespans(&self) -> Vec<f64> {
+        self.outcomes.iter().map(|o| o.makespan as f64).collect()
+    }
+
+    /// Mean makespan. Panics on zero trials.
+    pub fn mean_makespan(&self) -> f64 {
+        assert!(!self.outcomes.is_empty(), "no outcomes");
+        self.outcomes.iter().map(|o| o.makespan as f64).sum::<f64>() / self.outcomes.len() as f64
+    }
+
+    /// Fraction of trials that completed within the step cap.
+    pub fn completion_rate(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.outcomes.iter().filter(|o| o.completed).count() as f64 / self.outcomes.len() as f64
+    }
+
+    /// `true` when every trial completed within the step cap.
+    pub fn all_completed(&self) -> bool {
+        self.outcomes.iter().all(|o| o.completed)
+    }
+
+    /// Total machine-steps the policy pointed at ineligible jobs (schedule
+    /// bugs; the paper forbids them).
+    pub fn total_ineligible(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.ineligible_assignments).sum()
+    }
+
+    /// Summary statistics of the makespan sample.
+    pub fn summary(&self) -> Summary {
+        summarize(&self.makespans())
+    }
+}
+
+/// The parallel trial runner. See the module docs for the determinism
+/// contract.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Evaluator {
+    /// Evaluation parameters.
+    pub config: EvalConfig,
+}
+
+impl Evaluator {
+    /// Evaluator over the given configuration.
+    pub fn new(config: EvalConfig) -> Self {
+        Evaluator { config }
+    }
+
+    /// Convenience: `trials` trials from `master_seed`, defaults otherwise.
+    pub fn seeded(trials: usize, master_seed: u64) -> Self {
+        Evaluator {
+            config: EvalConfig {
+                trials,
+                master_seed,
+                ..EvalConfig::default()
+            },
+        }
+    }
+
+    /// Builder-style thread override (`0` = all cores, `1` = serial).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Builder-style engine-config override.
+    pub fn with_exec(mut self, exec: ExecConfig) -> Self {
+        self.config.exec = exec;
+        self
+    }
+
+    /// Run the policy produced by `make_policy` for every trial.
+    ///
+    /// `make_policy` is invoked once per worker thread; each trial reseeds
+    /// and resets the worker's policy value, so construction cost (LP
+    /// solves) is amortized without compromising determinism.
+    pub fn run<F, P>(&self, inst: &SuuInstance, make_policy: F) -> EvalReport
+    where
+        F: Fn() -> P + Sync,
+        P: Policy,
+    {
+        let cfg = self.config;
+        let started = Instant::now();
+        let name = std::sync::Mutex::new(None::<String>);
+
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(cfg.threads)
+            .build()
+            .expect("thread pool");
+        let outcomes: Vec<ExecOutcome> = pool.install(|| {
+            (0..cfg.trials)
+                .into_par_iter()
+                .map_init(
+                    || {
+                        let policy = make_policy();
+                        let mut slot = name.lock().expect("name lock");
+                        if slot.is_none() {
+                            *slot = Some(policy.name().to_string());
+                        }
+                        policy
+                    },
+                    |policy, k| self.run_trial(inst, policy, k as u64),
+                )
+                .collect()
+        });
+
+        EvalReport {
+            policy: name
+                .into_inner()
+                .expect("name lock")
+                .unwrap_or_else(|| "unnamed".to_string()),
+            config: cfg,
+            outcomes,
+            wall_clock: started.elapsed(),
+        }
+    }
+
+    /// Reference serial implementation: one policy value, trials in order
+    /// on the calling thread. Exists so tests (and the perf harness) can
+    /// check the parallel path reproduces it bitwise and outruns it.
+    pub fn run_serial<F, P>(&self, inst: &SuuInstance, make_policy: F) -> EvalReport
+    where
+        F: Fn() -> P,
+        P: Policy,
+    {
+        let cfg = self.config;
+        let started = Instant::now();
+        let mut policy = make_policy();
+        let name = policy.name().to_string();
+        let outcomes = (0..cfg.trials)
+            .map(|k| self.run_trial(inst, &mut policy, k as u64))
+            .collect();
+        EvalReport {
+            policy: name,
+            config: cfg,
+            outcomes,
+            wall_clock: started.elapsed(),
+        }
+    }
+
+    /// Build the spec through the registry and evaluate it.
+    ///
+    /// Construction failures surface before any trial runs; each worker
+    /// thread builds its own policy instance from the same spec.
+    pub fn run_spec(
+        &self,
+        registry: &PolicyRegistry,
+        inst: &Arc<SuuInstance>,
+        spec: &PolicySpec,
+    ) -> Result<EvalReport, RegistryError> {
+        // Fail fast (and with the real error) on the calling thread; the
+        // probe is handed to the first worker so expensive construction
+        // (LP solves, the exact-opt DP) is not paid twice.
+        let probe = std::sync::Mutex::new(Some(registry.build(inst, spec)?));
+        let report = self.run(inst, || {
+            probe.lock().expect("probe lock").take().unwrap_or_else(|| {
+                registry
+                    .build(inst, spec)
+                    .expect("spec built once already; instance and spec are unchanged")
+            })
+        });
+        Ok(report)
+    }
+
+    /// One trial, fully determined by `(master_seed, trial index)`.
+    fn run_trial<P: Policy>(&self, inst: &SuuInstance, policy: &mut P, k: u64) -> ExecOutcome {
+        let cfg = &self.config;
+        policy.reseed(derive_seed(cfg.master_seed, k, POLICY_DOMAIN));
+        let mut rng = StdRng::seed_from_u64(derive_seed(cfg.master_seed, k, ENGINE_DOMAIN));
+        execute(inst, policy, &cfg.exec, &mut rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::StateView;
+    use suu_core::{workload, JobId, Precedence};
+
+    /// Gang policy with *internal* randomness: occasionally idles one
+    /// machine based on its own RNG — a miniature of SUU-C's delays,
+    /// to prove `reseed` pins policy randomness per trial.
+    struct JitteryGang {
+        rng: StdRng,
+    }
+
+    impl JitteryGang {
+        fn new() -> Self {
+            JitteryGang {
+                rng: StdRng::seed_from_u64(0),
+            }
+        }
+    }
+
+    impl Policy for JitteryGang {
+        fn name(&self) -> &str {
+            "jittery-gang"
+        }
+        fn reset(&mut self) {}
+        fn reseed(&mut self, seed: u64) {
+            self.rng = StdRng::seed_from_u64(seed);
+        }
+        fn assign(&mut self, view: &StateView<'_>) -> Vec<Option<JobId>> {
+            use rand::Rng;
+            let target = view.eligible.first().map(JobId);
+            (0..view.m)
+                .map(|_| {
+                    if self.rng.random_bool(0.2) {
+                        None
+                    } else {
+                        target
+                    }
+                })
+                .collect()
+        }
+    }
+
+    fn outcomes_with_threads(threads: usize) -> Vec<u64> {
+        let inst = workload::homogeneous(3, 6, 0.5, Precedence::Independent);
+        Evaluator::seeded(64, 99)
+            .with_threads(threads)
+            .run(&inst, JitteryGang::new)
+            .outcomes
+            .iter()
+            .map(|o| o.makespan)
+            .collect()
+    }
+
+    #[test]
+    fn identical_outcomes_for_any_thread_count() {
+        let reference = outcomes_with_threads(1);
+        for threads in [2, 3, 8] {
+            assert_eq!(
+                outcomes_with_threads(threads),
+                reference,
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_reference() {
+        let inst = workload::homogeneous(2, 5, 0.6, Precedence::Independent);
+        let eval = Evaluator::seeded(50, 7);
+        let par: Vec<u64> = eval
+            .run(&inst, JitteryGang::new)
+            .outcomes
+            .iter()
+            .map(|o| o.makespan)
+            .collect();
+        let ser: Vec<u64> = eval
+            .run_serial(&inst, JitteryGang::new)
+            .outcomes
+            .iter()
+            .map(|o| o.makespan)
+            .collect();
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn different_master_seeds_differ() {
+        let inst = workload::homogeneous(2, 6, 0.7, Precedence::Independent);
+        let a = Evaluator::seeded(40, 1).run(&inst, JitteryGang::new);
+        let b = Evaluator::seeded(40, 2).run(&inst, JitteryGang::new);
+        assert_ne!(
+            a.outcomes.iter().map(|o| o.makespan).collect::<Vec<_>>(),
+            b.outcomes.iter().map(|o| o.makespan).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn derive_seed_separates_domains_and_indices() {
+        let s = derive_seed(5, 0, ENGINE_DOMAIN);
+        assert_ne!(s, derive_seed(5, 0, POLICY_DOMAIN));
+        assert_ne!(s, derive_seed(5, 1, ENGINE_DOMAIN));
+        assert_ne!(s, derive_seed(6, 0, ENGINE_DOMAIN));
+    }
+
+    #[test]
+    fn report_accessors() {
+        let inst = workload::deterministic(2, 4, Precedence::Independent);
+        let report = Evaluator::seeded(10, 3).run(&inst, JitteryGang::new);
+        assert_eq!(report.policy, "jittery-gang");
+        assert_eq!(report.outcomes.len(), 10);
+        assert!(report.all_completed());
+        assert_eq!(report.completion_rate(), 1.0);
+        assert_eq!(report.total_ineligible(), 0);
+        assert!(report.mean_makespan() >= 2.0);
+        assert_eq!(report.summary().count, 10);
+    }
+}

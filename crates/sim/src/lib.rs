@@ -19,19 +19,34 @@
 //! distributions; our integration tests verify this empirically with a
 //! chi-square test (see `fig_equivalence` in the bench crate).
 //!
-//! A multi-threaded [`montecarlo`] harness runs many seeded trials
-//! (crossbeam channel for work distribution, parking_lot for aggregation)
-//! and [`stats`] summarizes makespan distributions.
+//! Around the engine sit the two pieces every experiment is built from:
+//!
+//! * [`registry`] — the unified policy registry: schedules are named by a
+//!   [`PolicySpec`] and built by [`PolicyFactory`]s with typed
+//!   [`StructureClass`] capability declarations (independent ⊂ chains ⊂
+//!   forest ⊂ DAG), so any policy can be constructed by name on any
+//!   instance it supports.
+//! * [`evaluate`] — the rayon-parallel, seed-deterministic [`Evaluator`]:
+//!   trials fan out across worker threads with per-trial RNG streams
+//!   derived from one master seed (engine and policy randomness in
+//!   separate domains), producing bitwise-identical outcomes at any
+//!   thread count. [`stats`] summarizes the resulting distributions.
 
 pub mod engine;
+pub mod evaluate;
 pub mod montecarlo;
 pub mod policy;
+pub mod registry;
 pub mod stats;
 pub mod trace;
 
 pub use engine::{execute, ExecConfig, ExecOutcome, Semantics};
+pub use evaluate::{derive_seed, EvalConfig, EvalReport, Evaluator};
 pub use montecarlo::{run_trials, MonteCarloConfig};
 pub use policy::{Policy, StateView};
+pub use registry::{
+    factory, PolicyFactory, PolicyRegistry, PolicySpec, RegistryError, StructureClass,
+};
 pub use stats::Summary;
 pub use trace::{Trace, TraceStep, Tracing};
 

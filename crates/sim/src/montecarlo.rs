@@ -1,88 +1,70 @@
-//! Multi-threaded Monte-Carlo trials.
+//! Legacy Monte-Carlo entry points, now thin wrappers over
+//! [`crate::Evaluator`].
 //!
-//! Estimating `E[T_Σ]` requires many independent executions. Trials are
-//! distributed to worker threads through a crossbeam channel (cheap dynamic
-//! load balancing — LP-heavy policies make trial durations uneven) and
-//! collected under a `parking_lot::Mutex`. Each trial gets a deterministic
-//! seed derived from the base seed, so results are reproducible regardless
-//! of thread interleaving.
+//! The original implementation distributed trials over a crossbeam channel
+//! with `parking_lot` aggregation and seeded trial `k` as `base_seed + k`.
+//! The [`crate::evaluate`] pipeline subsumes all of it — rayon-style
+//! worker pool, SplitMix64-derived per-trial streams, policy reseeding —
+//! so `run_trials` survives only as the convenience spelling used by
+//! long-standing tests and call sites.
 
-use crate::engine::{execute, ExecConfig, ExecOutcome};
+use crate::engine::ExecOutcome;
+use crate::evaluate::{EvalConfig, Evaluator};
 use crate::policy::Policy;
-use parking_lot::Mutex;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use suu_core::SuuInstance;
 
-/// Monte-Carlo parameters.
+/// Monte-Carlo parameters (legacy spelling of [`EvalConfig`]).
 #[derive(Debug, Clone, Copy)]
 pub struct MonteCarloConfig {
     /// Number of independent executions.
     pub trials: usize,
-    /// Base seed; trial `k` uses `base_seed + k`.
+    /// Master seed for the per-trial randomness streams.
     pub base_seed: u64,
     /// Worker threads (`0` = one per available core).
     pub threads: usize,
     /// Engine configuration shared by all trials.
-    pub exec: ExecConfig,
+    pub exec: crate::engine::ExecConfig,
 }
 
 impl Default for MonteCarloConfig {
     fn default() -> Self {
+        let d = EvalConfig::default();
         MonteCarloConfig {
-            trials: 100,
-            base_seed: 0x5EED,
-            threads: 0,
-            exec: ExecConfig::default(),
+            trials: d.trials,
+            base_seed: d.master_seed,
+            threads: d.threads,
+            exec: d.exec,
+        }
+    }
+}
+
+impl From<MonteCarloConfig> for EvalConfig {
+    fn from(cfg: MonteCarloConfig) -> Self {
+        EvalConfig {
+            trials: cfg.trials,
+            master_seed: cfg.base_seed,
+            threads: cfg.threads,
+            exec: cfg.exec,
         }
     }
 }
 
 /// Run `cfg.trials` executions of the policy produced by `make_policy`.
 ///
-/// `make_policy` is invoked once per worker thread; the policy is `reset()`
-/// before every trial by the engine. Outcomes are returned in trial order.
-pub fn run_trials<F, P>(inst: &SuuInstance, make_policy: F, cfg: &MonteCarloConfig) -> Vec<ExecOutcome>
+/// Wrapper over [`Evaluator::run`]; see there for the parallelism and
+/// determinism contract. Outcomes are returned in trial order.
+pub fn run_trials<F, P>(
+    inst: &SuuInstance,
+    make_policy: F,
+    cfg: &MonteCarloConfig,
+) -> Vec<ExecOutcome>
 where
     F: Fn() -> P + Sync,
     P: Policy,
 {
-    let threads = if cfg.threads == 0 {
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
-    } else {
-        cfg.threads
-    }
-    .min(cfg.trials.max(1));
-
-    let (tx, rx) = crossbeam::channel::unbounded::<usize>();
-    for k in 0..cfg.trials {
-        tx.send(k).expect("channel open");
-    }
-    drop(tx);
-
-    let results: Mutex<Vec<Option<ExecOutcome>>> = Mutex::new(vec![None; cfg.trials]);
-
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            let rx = rx.clone();
-            let results = &results;
-            let make_policy = &make_policy;
-            scope.spawn(move || {
-                let mut policy = make_policy();
-                while let Ok(k) = rx.recv() {
-                    let mut rng = StdRng::seed_from_u64(cfg.base_seed.wrapping_add(k as u64));
-                    let outcome = execute(inst, &mut policy, &cfg.exec, &mut rng);
-                    results.lock()[k] = Some(outcome);
-                }
-            });
-        }
-    });
-
-    results
-        .into_inner()
-        .into_iter()
-        .map(|o| o.expect("every trial ran"))
-        .collect()
+    Evaluator::new(EvalConfig::from(*cfg))
+        .run(inst, make_policy)
+        .outcomes
 }
 
 /// Mean makespan of a batch of outcomes (requires all completed).

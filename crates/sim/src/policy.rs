@@ -41,6 +41,13 @@ pub trait Policy: Send {
     /// Re-initialize internal state for a fresh execution.
     fn reset(&mut self);
 
+    /// Re-seed any *internal* randomness (e.g. `SUU-C`'s Theorem-7 start
+    /// delays) from a trial-specific seed. Deterministic policies ignore
+    /// this. The parallel evaluator calls it before every trial so that a
+    /// trial's outcome depends only on the master seed and trial index —
+    /// never on which worker thread previously used the policy value.
+    fn reseed(&mut self, _seed: u64) {}
+
     /// Choose a job (or idle) for every machine at this step.
     ///
     /// The returned vector must have length `view.m`. Entries pointing at
@@ -59,6 +66,10 @@ impl Policy for Box<dyn Policy> {
 
     fn reset(&mut self) {
         (**self).reset()
+    }
+
+    fn reseed(&mut self, seed: u64) {
+        (**self).reseed(seed)
     }
 
     fn assign(&mut self, view: &StateView<'_>) -> Vec<Option<JobId>> {

@@ -194,7 +194,10 @@ mod tests {
         let b = vec![2, 3, 0, 1, 50];
         let (chi2, dof) = chi_square_two_sample(&a, &b);
         assert!(dof >= 1);
-        assert!(chi2 <= chi_square_critical_001(dof), "similar samples accepted");
+        assert!(
+            chi2 <= chi_square_critical_001(dof),
+            "similar samples accepted"
+        );
     }
 
     #[test]

@@ -226,8 +226,14 @@ fn seeded_runs_are_deterministic() {
         threads: 4,
         exec: cfg(Semantics::SuuStar),
     };
-    let a: Vec<u64> = run_trials(&inst, || SpreadPolicy, &mc).iter().map(|o| o.makespan).collect();
-    let b: Vec<u64> = run_trials(&inst, || SpreadPolicy, &mc).iter().map(|o| o.makespan).collect();
+    let a: Vec<u64> = run_trials(&inst, || SpreadPolicy, &mc)
+        .iter()
+        .map(|o| o.makespan)
+        .collect();
+    let b: Vec<u64> = run_trials(&inst, || SpreadPolicy, &mc)
+        .iter()
+        .map(|o| o.makespan)
+        .collect();
     assert_eq!(a, b, "same seeds must give identical outcomes");
 }
 
@@ -241,8 +247,14 @@ fn single_thread_matches_multi_thread() {
         exec: cfg(Semantics::SuuStar),
     };
     let multi = MonteCarloConfig { threads: 8, ..base };
-    let a: Vec<u64> = run_trials(&inst, || SpreadPolicy, &base).iter().map(|o| o.makespan).collect();
-    let b: Vec<u64> = run_trials(&inst, || SpreadPolicy, &multi).iter().map(|o| o.makespan).collect();
+    let a: Vec<u64> = run_trials(&inst, || SpreadPolicy, &base)
+        .iter()
+        .map(|o| o.makespan)
+        .collect();
+    let b: Vec<u64> = run_trials(&inst, || SpreadPolicy, &multi)
+        .iter()
+        .map(|o| o.makespan)
+        .collect();
     assert_eq!(a, b);
 }
 

@@ -113,6 +113,10 @@ impl<P: Policy> Policy for Tracing<P> {
         self.prev_remaining = None;
     }
 
+    fn reseed(&mut self, seed: u64) {
+        self.inner.reseed(seed);
+    }
+
     fn assign(&mut self, view: &StateView<'_>) -> Vec<Option<JobId>> {
         // Completions since the previous step = prev_remaining \ remaining.
         let current: Vec<u32> = view.remaining.iter().collect();

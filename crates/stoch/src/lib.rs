@@ -37,7 +37,7 @@ pub mod stc_i;
 pub use instance::{StochError, StochInstance};
 pub use ll::{solve_ll, PreemptiveTimetable, Slice};
 pub use restart::{solve_r_cmax, NonpreemptiveAssignment, RestartI, RestartOutcome};
-pub use stc_i::{StcOutcome, StcI};
+pub use stc_i::{StcI, StcOutcome};
 
 #[cfg(test)]
 mod tests;

@@ -141,12 +141,18 @@ pub fn solve_ll(
             .collect();
         lp.add_constraint(&terms, Cmp::Ge, p[c].max(0.0));
         // Job elapsed-time constraint.
-        let mut terms: Vec<_> = (0..m).filter_map(|i| x[c][i].map(|var| (var, 1.0))).collect();
+        let mut terms: Vec<_> = (0..m)
+            .filter_map(|i| x[c][i].map(|var| (var, 1.0)))
+            .collect();
         terms.push((t, -1.0));
         lp.add_constraint(&terms, Cmp::Le, 0.0);
     }
+    // `i` walks the second dimension of `x`; an iterator form would hide it.
+    #[allow(clippy::needless_range_loop)]
     for i in 0..m {
-        let mut terms: Vec<_> = (0..k).filter_map(|c| x[c][i].map(|var| (var, 1.0))).collect();
+        let mut terms: Vec<_> = (0..k)
+            .filter_map(|c| x[c][i].map(|var| (var, 1.0)))
+            .collect();
         if terms.is_empty() {
             continue;
         }
@@ -324,8 +330,9 @@ mod tests {
         assert!(tt.find_conflict().is_none());
         for (c, &j) in [0u32, 1].iter().enumerate() {
             let _ = c;
-            let work: f64 =
-                (0..2).map(|i| tt.work_time(i, j) * inst.speed(i, j as usize)).sum();
+            let work: f64 = (0..2)
+                .map(|i| tt.work_time(i, j) * inst.speed(i, j as usize))
+                .sum();
             assert!(work >= 10.0 - 1e-5, "job {j} got {work}");
         }
         // Durations sum to makespan.

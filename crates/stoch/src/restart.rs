@@ -20,7 +20,7 @@
 
 use crate::instance::StochInstance;
 use crate::ll::LlError;
-use rand::{Rng, RngExt};
+use rand::Rng;
 use suu_flow::BipartiteMatcher;
 use suu_lp::{Cmp, LpBuilder, LpStatus};
 
@@ -70,7 +70,8 @@ pub fn solve_r_cmax(
     let mut hi: f64 = best.iter().sum::<f64>().max(lo);
 
     // Feasibility: min λ over the filtered pair set; feasible iff λ* ≤ T.
-    let feasibility = |t: f64| -> Result<Option<Vec<Vec<(usize, f64)>>>, LlError> {
+    type MachineSlices = Vec<Vec<(usize, f64)>>;
+    let feasibility = |t: f64| -> Result<Option<MachineSlices>, LlError> {
         let mut lp = LpBuilder::minimize();
         let lambda = lp.add_var(1.0);
         let mut vars: Vec<Vec<(usize, suu_lp::VarId, f64)>> = Vec::with_capacity(k);
@@ -124,7 +125,9 @@ pub fn solve_r_cmax(
     };
 
     // Bisection (relative precision 1%, ~12 LP solves).
-    let mut best_x = feasibility(hi)?.ok_or(LlError::UnexpectedStatus("R||Cmax infeasible at upper bound"))?;
+    let mut best_x = feasibility(hi)?.ok_or(LlError::UnexpectedStatus(
+        "R||Cmax infeasible at upper bound",
+    ))?;
     let mut best_t = hi;
     for _ in 0..24 {
         if hi - lo <= 0.01 * hi.max(1e-12) {
@@ -195,9 +198,9 @@ pub fn solve_r_cmax(
     }
 
     let mut per_machine = vec![Vec::new(); m];
-    for c in 0..k {
+    for (c, &job) in jobs.iter().enumerate().take(k) {
         let s = matcher.partner_of_left(c).expect("perfect on jobs");
-        per_machine[slots_of_machine[s]].push(jobs[c]);
+        per_machine[slots_of_machine[s]].push(job);
     }
     Ok(NonpreemptiveAssignment {
         per_machine,
@@ -238,7 +241,11 @@ impl RestartI {
     }
 
     /// Execute once with hidden `Exp(λ)` lengths drawn from `rng`.
-    pub fn run<R: Rng>(&self, inst: &StochInstance, rng: &mut R) -> Result<RestartOutcome, LlError> {
+    pub fn run<R: Rng>(
+        &self,
+        inst: &StochInstance,
+        rng: &mut R,
+    ) -> Result<RestartOutcome, LlError> {
         let n = inst.num_jobs();
         let p: Vec<f64> = (0..n)
             .map(|j| {
@@ -273,7 +280,10 @@ impl RestartI {
                     let ji = j as usize;
                     let v = inst.speed(i, ji);
                     debug_assert!(v > 0.0, "assigned to zero-speed machine");
-                    let c = remaining.iter().position(|&r| r == j).expect("assigned job remains");
+                    let c = remaining
+                        .iter()
+                        .position(|&r| r == j)
+                        .expect("assigned job remains");
                     let budget = pretend[c] / v;
                     if p[ji] <= pretend[c] {
                         let finish = cursor + p[ji] / v;
@@ -348,8 +358,13 @@ mod tests {
     #[test]
     fn r_cmax_respects_speeds() {
         // Machine 1 is 10x faster: it should receive most of the work.
-        let inst = StochInstance::new(2, 4, vec![1.0; 4], vec![0.1, 0.1, 0.1, 0.1, 1.0, 1.0, 1.0, 1.0])
-            .unwrap();
+        let inst = StochInstance::new(
+            2,
+            4,
+            vec![1.0; 4],
+            vec![0.1, 0.1, 0.1, 0.1, 1.0, 1.0, 1.0, 1.0],
+        )
+        .unwrap();
         let asg = solve_r_cmax(&inst, &[0, 1, 2, 3], &[1.0; 4]).unwrap();
         assert!(asg.per_machine[1].len() >= 3, "{:?}", asg.per_machine);
     }
@@ -416,7 +431,7 @@ mod tests {
             let mut rng2 = StdRng::seed_from_u64(seed);
             let p: Vec<f64> = (0..6)
                 .map(|_| {
-                    use rand::RngExt;
+                    use rand::Rng;
                     let u: f64 = rng2.random_range(f64::MIN_POSITIVE..1.0);
                     -u.ln() / 1.0
                 })

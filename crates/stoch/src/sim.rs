@@ -3,7 +3,7 @@
 
 use crate::instance::StochInstance;
 use crate::ll::PreemptiveTimetable;
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Mutable execution state across rounds.
 #[derive(Debug, Clone)]
@@ -103,7 +103,7 @@ pub fn run_sequential_fastest(inst: &StochInstance, state: &mut ExecState) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ll::{Slice, solve_ll};
+    use crate::ll::{solve_ll, Slice};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

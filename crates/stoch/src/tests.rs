@@ -6,7 +6,7 @@ use crate::sim::{run_timetable, ExecState};
 use crate::stc_i::StcI;
 use proptest::prelude::*;
 use rand::rngs::{SmallRng, StdRng};
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 fn random_instance(seed: u64, m: usize, n: usize) -> StochInstance {
     let mut rng = SmallRng::seed_from_u64(seed);
@@ -91,10 +91,10 @@ fn execution_is_work_conserving_until_completion() {
     let jobs: Vec<u32> = (0..4).collect();
     let mut state = ExecState::draw(&inst, &mut StdRng::seed_from_u64(5));
     let p = state.p.clone();
-    let tt = solve_ll(&inst, &jobs, &vec![1.0; 4]).unwrap();
+    let tt = solve_ll(&inst, &jobs, &[1.0; 4]).unwrap();
     run_timetable(&inst, &tt, &mut state);
-    for j in 0..4 {
-        assert!(state.progress[j] <= p[j] + 1e-9);
+    for (progress, cap) in state.progress.iter().zip(&p) {
+        assert!(*progress <= cap + 1e-9);
     }
 }
 
@@ -106,7 +106,11 @@ fn stc_mean_tracks_instance_scale() {
     let mean = |inst: &StochInstance| {
         let stc = StcI::new(inst);
         let total: f64 = (0..40u64)
-            .map(|s| stc.run(inst, &mut StdRng::seed_from_u64(s)).unwrap().makespan)
+            .map(|s| {
+                stc.run(inst, &mut StdRng::seed_from_u64(s))
+                    .unwrap()
+                    .makespan
+            })
             .sum();
         total / 40.0
     };

@@ -5,77 +5,30 @@
 //! ```
 //!
 //! A batch of processing pipelines (disjoint chains of dependent stages)
-//! on a small unreliable cluster. Shows the full `SUU-C` machinery —
-//! LP2 rounding, random delays, superstep flattening, long-job segments —
-//! and the effect of disabling the Theorem-7 random delays.
+//! on a small unreliable cluster. Shows the full `SUU-C` machinery — LP2
+//! rounding, random delays, superstep flattening, long-job segments — and
+//! the effect of disabling the Theorem-7 random delays, all as registry
+//! parameter specs. Prints the shared `suu-results/v1` JSON document.
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-use std::sync::Arc;
-use suu::algos::baselines::GangSequentialPolicy;
-use suu::algos::bounds::lower_bound;
-use suu::algos::{ChainConfig, ChainPolicy};
-use suu::core::{workload, Precedence};
-use suu::dag::generators::random_chain_set;
-use suu::sim::{execute, run_trials, ExecConfig, MonteCarloConfig};
-
-fn mean(outcomes: &[suu::sim::engine::ExecOutcome]) -> f64 {
-    assert!(outcomes.iter().all(|o| o.completed));
-    outcomes.iter().map(|o| o.makespan as f64).sum::<f64>() / outcomes.len() as f64
-}
+use suu::bench::runner::{run_race, Race};
+use suu::bench::scenario::Scenario;
 
 fn main() {
-    let (m, n, pipelines) = (6, 48, 12);
-    let mut rng = SmallRng::seed_from_u64(31);
-    let cs = random_chain_set(n, pipelines, &mut rng);
-    let chains = cs.chains().to_vec();
-    let inst = Arc::new(workload::uniform_unrelated(
-        m,
-        n,
-        0.2,
-        0.7,
-        Precedence::Chains(cs),
-        &mut rng,
-    ));
+    let doc = run_race(Race {
+        title: "pipelines: 12 disjoint chains of 48 stages on 6 machines".to_string(),
+        generated_by: "example:pipeline_chains".to_string(),
+        scenarios: vec![Scenario::chains(6, 48, 12, 31)],
+        policies: ["gang-sequential", "suu-c", "suu-c(delay=false)"]
+            .map(String::from)
+            .to_vec(),
+        trials: 60,
+        master_seed: 31,
+        ratios_to_lower_bound: true,
+        ..Race::default()
+    });
 
-    println!("{pipelines} pipelines, {n} stages total, {m} machines");
-    let lb = lower_bound(&inst).expect("lower bound");
-    println!("LP lower bound on E[T_OPT]: {lb:.2}\n");
-
-    let mc = MonteCarloConfig {
-        trials: 100,
-        base_seed: 3,
-        ..Default::default()
-    };
-
-    let suu_c = mean(&run_trials(
-        &inst,
-        || ChainPolicy::build(inst.clone(), chains.clone(), ChainConfig::default()).unwrap(),
-        &mc,
-    ));
-    let gang = mean(&run_trials(&inst, GangSequentialPolicy::new, &mc));
-
-    println!("{:<24} {:>10} {:>10}", "schedule", "E[T]", "ratio/LB");
-    println!("{:-<46}", "");
-    println!("{:<24} {:>10.2} {:>9.2}x", "gang-sequential", gang, gang / lb);
-    println!("{:<24} {:>10.2} {:>9.2}x", "SUU-C (Theorem 9)", suu_c, suu_c / lb);
-
-    // Peek inside one execution: congestion with and without random delay.
-    println!("\n--- Theorem 7 in action (single execution) ---");
-    for use_delay in [false, true] {
-        let cfg = ChainConfig {
-            use_random_delay: use_delay,
-            ..Default::default()
-        };
-        let mut policy = ChainPolicy::build(inst.clone(), chains.clone(), cfg).unwrap();
-        let mut erng = rand::rngs::StdRng::seed_from_u64(42);
-        let out = execute(&inst, &mut policy, &ExecConfig::default(), &mut erng);
-        assert!(out.completed);
-        let st = policy.stats();
-        println!(
-            "random delay {:>5}: max congestion {:>3}, {} supersteps, {} long-job phases",
-            use_delay, st.max_congestion, st.supersteps, st.long_job_phases
-        );
-    }
-    println!("\n(γ = long-job cutoff; delays shear overlapping chains apart, paper §4.)");
+    println!("\nSUU-C follows Theorems 7 & 9: LP2 + rounding, random start");
+    println!("delays against congestion, superstep flattening. The");
+    println!("delay=false column ablates the Theorem-7 delays.\n");
+    println!("{}", doc.to_pretty());
 }

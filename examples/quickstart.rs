@@ -4,63 +4,28 @@
 //! cargo run --release --example quickstart
 //! ```
 //!
-//! Builds a random independent-jobs SUU instance, runs the paper's two
-//! independent-jobs algorithms plus a naive baseline, and prints mean
-//! makespans against the LP lower bound.
+//! Builds a random independent-jobs SUU instance, races the paper's two
+//! independent-jobs algorithms against a naive baseline through the
+//! policy registry, and prints the shared `suu-results/v1` JSON document.
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-use std::sync::Arc;
-use suu::algos::baselines::GangSequentialPolicy;
-use suu::algos::bounds::lower_bound;
-use suu::algos::{OblPolicy, SemPolicy};
-use suu::core::{workload, Precedence};
-use suu::sim::{run_trials, MonteCarloConfig};
-
-fn mean_makespan(outcomes: &[suu::sim::engine::ExecOutcome]) -> f64 {
-    outcomes.iter().map(|o| o.makespan as f64).sum::<f64>() / outcomes.len() as f64
-}
+use suu::bench::runner::{run_race, Race};
+use suu::bench::scenario::Scenario;
 
 fn main() {
-    let (m, n) = (6, 24);
-    let mut rng = SmallRng::seed_from_u64(2024);
-    let inst = Arc::new(workload::uniform_unrelated(
-        m,
-        n,
-        0.1,
-        0.9,
-        Precedence::Independent,
-        &mut rng,
-    ));
-
-    println!("SUU quickstart: {n} independent jobs, {m} unrelated machines");
-    println!("q_ij ~ U[0.1, 0.9); 200 Monte-Carlo trials per schedule\n");
-
-    let mc = MonteCarloConfig {
+    let doc = run_race(Race {
+        title: "quickstart: 24 independent jobs, 6 unrelated machines".to_string(),
+        generated_by: "example:quickstart".to_string(),
+        scenarios: vec![Scenario::uniform(6, 24, 0.1, 0.9, 2024)],
+        policies: ["gang-sequential", "suu-i-obl", "suu-i-sem"]
+            .map(String::from)
+            .to_vec(),
         trials: 200,
-        base_seed: 1,
-        ..Default::default()
-    };
+        master_seed: 1,
+        ratios_to_lower_bound: true,
+        ..Race::default()
+    });
 
-    let lb = lower_bound(&inst).expect("LP lower bound");
-
-    let gang = mean_makespan(&run_trials(&inst, GangSequentialPolicy::new, &mc));
-    let obl = mean_makespan(&run_trials(&inst, || OblPolicy::build(&inst).unwrap(), &mc));
-    let sem = mean_makespan(&run_trials(
-        &inst,
-        || SemPolicy::build(inst.clone()).unwrap(),
-        &mc,
-    ));
-
-    println!("{:<28} {:>10} {:>12}", "schedule", "E[T] (est)", "vs LP bound");
-    println!("{:-<52}", "");
-    for (name, value) in [
-        ("gang-sequential (naive)", gang),
-        ("SUU-I-OBL  (Theorem 3)", obl),
-        ("SUU-I-SEM  (Theorem 4)", sem),
-    ] {
-        println!("{:<28} {:>10.2} {:>11.2}x", name, value, value / lb);
-    }
-    println!("\nLP lower bound on E[T_OPT]: {lb:.2}");
-    println!("SUU-I-SEM is the paper's O(log log min(m,n))-approximation.");
+    println!("\nSUU-I-SEM is the paper's O(log log min(m,n))-approximation;");
+    println!("ratios are E[T]/LB with LB the Lemma-1 LP lower bound.\n");
+    println!("{}", doc.to_pretty());
 }

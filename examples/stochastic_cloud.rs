@@ -7,10 +7,13 @@
 //! Tasks with exponential service times on heterogeneous VMs
 //! (`R|pmtn, p_j~stoch|E[Cmax]`). Runs the paper's `STC-I` and reports the
 //! measured competitive ratio against the clairvoyant Lawler–Labetoulle
-//! bound — the offline optimum that knows every realized length.
+//! bound — the offline optimum that knows every realized length. Emits
+//! the shared `suu-results/v1` JSON document (the stochastic framework is
+//! not a `Policy`, so the document is assembled directly).
 
 use rand::rngs::{SmallRng, StdRng};
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
+use suu::core::json::Json;
 use suu::stoch::{StcI, StochInstance};
 
 fn main() {
@@ -55,13 +58,17 @@ fn main() {
         fallbacks += out.fallback_used as u32;
     }
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let mut sorted = ratios.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let p95_ratio = sorted[(trials * 95) / 100];
 
     println!("trials: {trials}");
     println!("mean makespan:              {:>7.3}", mean(&makespans));
-    println!("mean competitive ratio:     {:>7.3}   (vs clairvoyant LL bound)", mean(&ratios));
-    let mut sorted = ratios.clone();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    println!("p95 competitive ratio:      {:>7.3}", sorted[(trials * 95) / 100]);
+    println!(
+        "mean competitive ratio:     {:>7.3}   (vs clairvoyant LL bound)",
+        mean(&ratios)
+    );
+    println!("p95 competitive ratio:      {:>7.3}", p95_ratio);
     println!("sequential fallbacks used:  {fallbacks:>7}");
     println!("\nrounds used histogram:");
     for (k, &c) in rounds_hist.iter().enumerate() {
@@ -69,6 +76,38 @@ fn main() {
             println!("  {k} rounds: {c:>4} trials");
         }
     }
+
+    let doc = Json::obj()
+        .field("schema", suu::bench::report::SCHEMA)
+        .field("generated_by", "example:stochastic_cloud")
+        .field(
+            "scenarios",
+            Json::Arr(vec![Json::obj()
+                .field("id", "stoch-cloud-5x16")
+                .field(
+                    "description",
+                    "exponential service times, 3 task classes, 2 VM generations",
+                )
+                .field("structure", "independent")
+                .field("m", m)
+                .field("n", n)
+                .field("seed", 404u64)]),
+        )
+        .field("policies", Json::Arr(vec![Json::Str("stc-i".into())]))
+        .field(
+            "cells",
+            Json::Arr(vec![Json::obj()
+                .field("scenario", "stoch-cloud-5x16")
+                .field("policy", "stc-i")
+                .field("trials", trials)
+                .field("master_seed", 0u64)
+                .field("mean_makespan", mean(&makespans))
+                .field("mean_competitive_ratio", mean(&ratios))
+                .field("p95_competitive_ratio", p95_ratio)
+                .field("sequential_fallbacks", fallbacks as u64)]),
+        );
+
     println!("\nTheorem 13: E[T_STC-I] = O(E[T_OPT]) up to the log log factor;");
-    println!("the clairvoyant ratio above bounds the true approximation factor.");
+    println!("the clairvoyant ratio above bounds the true approximation factor.\n");
+    println!("{}", doc.to_pretty());
 }

@@ -5,99 +5,58 @@
 //! ```
 //!
 //! A fleet of volunteer machines: a minority are reliable, the rest are
-//! flaky; job difficulties follow a power law (a few stubborn work units).
-//! Compares all schedules on the same fleet, including the exact optimum
-//! on a downscaled fleet to show absolute approximation quality.
+//! flaky. Every registry policy races on the same fleet; a downscaled
+//! copy of the fleet additionally runs `exact-opt` (the MDP optimum as an
+//! executable policy) to show absolute approximation quality. Prints the
+//! shared `suu-results/v1` JSON document.
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-use std::sync::Arc;
-use suu::algos::baselines::{BestMachinePolicy, GangSequentialPolicy, LrGreedyPolicy};
-use suu::algos::bounds::lower_bound;
-use suu::algos::opt::{exact_opt, OptLimits};
-use suu::algos::{OblPolicy, SemPolicy};
+use suu::bench::runner::{run_race, Race};
+use suu::bench::scenario::Scenario;
 use suu::core::{workload, Precedence};
-use suu::sim::{run_trials, MonteCarloConfig};
+use suu::sim::StructureClass;
 
-fn mean(outcomes: &[suu::sim::engine::ExecOutcome]) -> f64 {
-    assert!(outcomes.iter().all(|o| o.completed));
-    outcomes.iter().map(|o| o.makespan as f64).sum::<f64>() / outcomes.len() as f64
+fn grid(id: &str, m: usize, n: usize, seed: u64) -> Scenario {
+    Scenario::custom(
+        id,
+        "volunteer grid: 30% reliable machines, the rest flaky",
+        m,
+        n,
+        seed,
+        StructureClass::Independent,
+        move |s| {
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(s);
+            use rand::SeedableRng;
+            workload::volunteer_grid(m, n, 0.3, 0.15, 0.92, Precedence::Independent, &mut rng)
+        },
+    )
 }
 
 fn main() {
-    let (m, n) = (10, 30);
-    let mut rng = SmallRng::seed_from_u64(1234);
-    let inst = Arc::new(workload::volunteer_grid(
-        m,
-        n,
-        0.3, // 30% reliable machines
-        0.15,
-        0.92,
-        Precedence::Independent,
-        &mut rng,
-    ));
-
-    println!("Volunteer grid: {n} work units, {m} machines (30% reliable)");
-    let lb = lower_bound(&inst).expect("lower bound");
-    println!("LP lower bound on E[T_OPT]: {lb:.2}\n");
-
-    let mc = MonteCarloConfig {
-        trials: 150,
-        base_seed: 11,
-        ..Default::default()
-    };
-
-    println!("{:<24} {:>10} {:>10}", "schedule", "E[T]", "ratio/LB");
-    println!("{:-<46}", "");
-    let rows: Vec<(&str, f64)> = vec![
-        (
+    let doc = run_race(Race {
+        title: "volunteer grid: full fleet + downscaled fleet with exact-opt".to_string(),
+        generated_by: "example:volunteer_grid".to_string(),
+        scenarios: vec![
+            grid("volunteer-10x30", 10, 30, 1234),
+            // Tiny copy where the MDP optimum is computable.
+            grid("volunteer-4x9", 4, 9, 1234),
+        ],
+        policies: [
             "gang-sequential",
-            mean(&run_trials(&inst, GangSequentialPolicy::new, &mc)),
-        ),
-        (
             "best-machine",
-            mean(&run_trials(&inst, || BestMachinePolicy::new(inst.clone()), &mc)),
-        ),
-        (
             "greedy-lr",
-            mean(&run_trials(&inst, || LrGreedyPolicy::new(inst.clone()), &mc)),
-        ),
-        (
-            "SUU-I-OBL",
-            mean(&run_trials(&inst, || OblPolicy::build(&inst).unwrap(), &mc)),
-        ),
-        (
-            "SUU-I-SEM",
-            mean(&run_trials(&inst, || SemPolicy::build(inst.clone()).unwrap(), &mc)),
-        ),
-    ];
-    for (name, v) in rows {
-        println!("{:<24} {:>10.2} {:>9.2}x", name, v, v / lb);
-    }
+            "suu-i-obl",
+            "suu-i-sem",
+            "exact-opt",
+        ]
+        .map(String::from)
+        .to_vec(),
+        trials: 120,
+        master_seed: 1234,
+        ratios_to_lower_bound: true,
+        ..Race::default()
+    });
 
-    // Downscaled fleet where the exact optimum is computable.
-    println!("\n--- exact-optimum check (downscaled: 6 jobs, 3 machines) ---");
-    let mut rng2 = SmallRng::seed_from_u64(77);
-    let small = Arc::new(workload::volunteer_grid(
-        3,
-        6,
-        0.34,
-        0.15,
-        0.92,
-        Precedence::Independent,
-        &mut rng2,
-    ));
-    let opt = exact_opt(&small, OptLimits::default()).expect("tiny instance");
-    let mc_small = MonteCarloConfig {
-        trials: 400,
-        base_seed: 21,
-        ..Default::default()
-    };
-    let sem_small = mean(&run_trials(
-        &small,
-        || SemPolicy::build(small.clone()).unwrap(),
-        &mc_small,
-    ));
-    println!("exact E[T_OPT] = {opt:.3}");
-    println!("SUU-I-SEM      = {sem_small:.3}  ({:.2}x optimal)", sem_small / opt);
+    println!("\nexact-opt errors on the full fleet (state space 2^30) and runs");
+    println!("on the downscaled one — absolute quality shows up there.\n");
+    println!("{}", doc.to_pretty());
 }

@@ -1,0 +1,453 @@
+//! # rand (offline shim)
+//!
+//! A workspace-local, dependency-free re-implementation of the slice of the
+//! `rand 0.9` API this repository uses. The build environment has no
+//! network access to crates.io, so the real crate cannot be vendored; this
+//! shim keeps the exact import paths (`rand::Rng`, `rand::SeedableRng`,
+//! `rand::rngs::{SmallRng, StdRng}`, `rand::prelude::*`,
+//! `rand::seq::SliceRandom`) so swapping the real dependency back in later
+//! is a one-line `Cargo.toml` change.
+//!
+//! Generators:
+//!
+//! * [`rngs::SmallRng`] — xoshiro256++ (the algorithm the real `SmallRng`
+//!   uses on 64-bit targets), seeded through SplitMix64.
+//! * [`rngs::StdRng`] — xoshiro256** behind a distinct seeding domain, so
+//!   `SmallRng::seed_from_u64(s)` and `StdRng::seed_from_u64(s)` produce
+//!   unrelated streams (the repo seeds both from small integers).
+//!
+//! Both are deterministic, portable, and fast; neither is cryptographic —
+//! which matches how the repo uses them (Monte-Carlo simulation).
+
+#![forbid(unsafe_code)]
+
+/// Low-level entropy source: 64 random bits per call.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 random bits (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from a range (`lo..hi` or `lo..=hi`).
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T: SampleUniform, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`. Panics unless `0 ≤ p ≤ 1`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "random_bool: p = {p} out of range"
+        );
+        unit_f64(self.next_u64()) < p
+    }
+
+    /// A uniformly random value of a primitive type.
+    fn random<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_rng(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types samplable uniformly over their whole domain (`rng.random()`).
+pub trait Standard: Sized {
+    /// Draw one value.
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64())
+    }
+}
+
+/// Uniform `f64` in `[0, 1)` from 53 random mantissa bits.
+#[inline]
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Unbiased uniform integer in `[0, bound)` (Lemire's multiply-shift with
+/// rejection). `bound` must be nonzero.
+#[inline]
+pub(crate) fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (bound as u128);
+        let low = m as u64;
+        if low < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            if low < threshold {
+                continue;
+            }
+        }
+        return (m >> 64) as u64;
+    }
+}
+
+/// Types [`Rng::random_range`] can produce. The per-type sampling logic
+/// lives here so that `SampleRange` has a single blanket impl per range
+/// shape — mirroring the real crate's structure, which is what lets the
+/// compiler unify the range's element type with the result type during
+/// inference (e.g. `base + rng.random_range(-0.02..0.02)`).
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from the half-open range `[lo, hi)`.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    /// Uniform draw from the closed range `[lo, hi]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                assert!(lo < hi, "random_range: empty range");
+                let width = (hi as $u).wrapping_sub(lo as $u) as u64;
+                lo.wrapping_add(uniform_below(rng, width) as $t)
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                assert!(lo <= hi, "random_range: empty range");
+                let width = (hi as $u).wrapping_sub(lo as $u) as u64;
+                if width == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(uniform_below(rng, width + 1) as $t)
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize
+);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                assert!(lo < hi, "random_range: empty range");
+                let u = unit_f64(rng.next_u64()) as $t;
+                let v = lo + u * (hi - lo);
+                // Guard the open upper bound against rounding (measure-zero
+                // event; remapping it to the lower bound keeps uniformity).
+                if v >= hi {
+                    lo
+                } else {
+                    v
+                }
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                assert!(lo <= hi, "random_range: empty range");
+                let u = unit_f64(rng.next_u64()) as $t;
+                lo + u * (hi - lo)
+            }
+        }
+    )*};
+}
+impl_sample_uniform_float!(f32, f64);
+
+/// Ranges that [`Rng::random_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draw one uniform value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+/// RNGs constructible from seeds.
+pub trait SeedableRng: Sized {
+    /// Deterministic construction from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+
+    /// Construction by drawing a seed from another RNG.
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        Self::seed_from_u64(rng.next_u64())
+    }
+}
+
+/// SplitMix64 step — the standard seed expander for xoshiro state.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+fn expand_seed(seed: u64, domain: u64) -> [u64; 4] {
+    let mut s = seed ^ domain;
+    let mut out = [0u64; 4];
+    for slot in &mut out {
+        *slot = splitmix64(&mut s);
+    }
+    // xoshiro must not start from the all-zero state.
+    if out == [0; 4] {
+        out[0] = 0x9E3779B97F4A7C15;
+    }
+    out
+}
+
+/// The shipped generators.
+pub mod rngs {
+    use super::{expand_seed, RngCore, SeedableRng};
+
+    /// xoshiro256++ — small, fast, statistically strong.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            SmallRng {
+                s: expand_seed(seed, 0),
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    /// xoshiro256** behind a distinct seeding domain. Deterministic and
+    /// portable; *not* cryptographic (unlike the real `StdRng`), which is
+    /// fine for simulation workloads.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng {
+                s: expand_seed(seed, 0x5D41_402A_BC4B_2A76),
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Sequence helpers (`shuffle`, `choose`).
+pub mod seq {
+    use super::{uniform_below, RngCore};
+
+    /// In-place random permutation of slices.
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = uniform_below(rng, i as u64 + 1) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+
+    /// Uniform element selection from slices.
+    pub trait IndexedRandom {
+        /// Element type.
+        type Output;
+        /// A uniformly random element, or `None` if empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Output>;
+    }
+
+    impl<T> IndexedRandom for [T] {
+        type Output = T;
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[uniform_below(rng, self.len() as u64) as usize])
+            }
+        }
+    }
+}
+
+/// The glob import the repo's generators use.
+pub mod prelude {
+    pub use crate::rngs::{SmallRng, StdRng};
+    pub use crate::seq::{IndexedRandom, SliceRandom};
+    pub use crate::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn small_and_std_streams_differ() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn int_ranges_stay_in_bounds_and_cover() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v: usize = rng.random_range(2..12);
+            assert!((2..12).contains(&v));
+            seen[v - 2] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of a small range hit");
+        for _ in 0..1000 {
+            let v: u64 = rng.random_range(0..=3);
+            assert!(v <= 3);
+            let w: i32 = rng.random_range(-5..5);
+            assert!((-5..5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            let v: f64 = rng.random_range(0.25..4.0);
+            assert!((0.25..4.0).contains(&v));
+            let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+            assert!((f64::MIN_POSITIVE..1.0).contains(&u));
+            let s: f64 = rng.random_range(-0.02..0.02);
+            assert!((-0.02..0.02).contains(&s));
+        }
+    }
+
+    #[test]
+    fn random_bool_matches_probability() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let hits = (0..100_000).filter(|_| rng.random_bool(0.3)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.3).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn unit_f64_mean_is_half() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mean: f64 = (0..100_000)
+            .map(|_| rng.random_range(0.0..1.0))
+            .sum::<f64>()
+            / 100_000.0;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "astronomically unlikely identity shuffle");
+    }
+
+    #[test]
+    fn choose_is_some_iff_nonempty() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let v = [1, 2, 3];
+        assert!(v.choose(&mut rng).is_some());
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

@@ -1,0 +1,436 @@
+//! # rayon (offline shim)
+//!
+//! The build environment cannot fetch crates.io, so this workspace ships a
+//! small rayon-compatible data-parallelism layer implemented on
+//! `std::thread::scope`: `into_par_iter()` / `par_iter()` → `map` →
+//! `collect()`/`for_each()`, plus [`ThreadPoolBuilder`] /
+//! [`ThreadPool::install`] for pinning the worker count (which the
+//! simulator's determinism tests exercise).
+//!
+//! Work distribution is dynamic — workers pull the next item index from a
+//! shared atomic counter, so uneven item costs (LP-heavy policy builds next
+//! to cheap baselines) balance automatically, exactly like the crossbeam
+//! channel loop this replaces. Output order is always item order, so
+//! results are bitwise independent of the thread count and interleaving.
+//!
+//! The surface is the subset the workspace uses; swapping the real rayon
+//! back in is a one-line `Cargo.toml` change.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+thread_local! {
+    /// Worker-count override installed by [`ThreadPool::install`]
+    /// (0 = use all available cores).
+    static POOL_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of worker threads parallel operations on this thread will use.
+pub fn current_num_threads() -> usize {
+    let installed = POOL_THREADS.with(|c| c.get());
+    if installed != 0 {
+        installed
+    } else {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Builder for a fixed-size [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// New builder (default: all available cores).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pin the worker count (0 = all available cores).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool. Never fails in the shim; the `Result` mirrors the
+    /// real rayon signature.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// Error type mirroring rayon's (the shim never produces it).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A handle that scopes parallel operations to a fixed worker count.
+///
+/// The shim spawns scoped threads per operation rather than keeping
+/// persistent workers; `install` only pins how many are spawned.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `f`; parallel operations inside use this pool's worker count.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        POOL_THREADS.with(|c| {
+            let prev = c.get();
+            c.set(self.num_threads);
+            let out = f();
+            c.set(prev);
+            out
+        })
+    }
+
+    /// The pinned worker count (0 = all available cores).
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads != 0 {
+            self.num_threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// Conversion into a parallel iterator (by value).
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Make the parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+/// Borrowing conversion (`par_iter()` on slices and vectors).
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed element type.
+    type Item: Send + 'a;
+    /// Make the parallel iterator over references.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+macro_rules! impl_into_par_iter_range {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for core::ops::Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+impl_into_par_iter_range!(u32, u64, usize);
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// An eager parallel iterator: the item list is materialized up front and
+/// consumed by worker threads through an atomic cursor.
+pub struct ParIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` if there are no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Map each item through `f` in parallel.
+    pub fn map<O: Send, F: Fn(T) -> O + Sync>(self, f: F) -> ParMap<T, F> {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Run `f` on each item in parallel.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        self.map(|t| {
+            f(t);
+        })
+        .run();
+    }
+
+    /// Map with worker-local state: `init` runs once per worker thread and
+    /// the resulting value is threaded through that worker's calls. Used to
+    /// amortize expensive per-policy construction (LP solves) across the
+    /// trials a worker executes.
+    pub fn map_init<I, O, INIT, F>(self, init: INIT, f: F) -> ParMapInit<T, INIT, F>
+    where
+        I: Send,
+        O: Send,
+        INIT: Fn() -> I + Sync,
+        F: Fn(&mut I, T) -> O + Sync,
+    {
+        ParMapInit {
+            items: self.items,
+            init,
+            f,
+        }
+    }
+}
+
+/// A mapped parallel iterator with worker-local state.
+pub struct ParMapInit<T: Send, INIT, F> {
+    items: Vec<T>,
+    init: INIT,
+    f: F,
+}
+
+impl<T, I, O, INIT, F> ParMapInit<T, INIT, F>
+where
+    T: Send,
+    I: Send,
+    O: Send,
+    INIT: Fn() -> I + Sync,
+    F: Fn(&mut I, T) -> O + Sync,
+{
+    /// Execute and gather outputs **in item order**.
+    pub fn collect<C: FromIterator<O>>(self) -> C {
+        self.run().into_iter().collect()
+    }
+
+    fn run(self) -> Vec<O> {
+        let n = self.items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = current_num_threads().min(n);
+        if workers <= 1 {
+            let mut state = (self.init)();
+            return self
+                .items
+                .into_iter()
+                .map(|t| (self.f)(&mut state, t))
+                .collect();
+        }
+
+        let cells: Vec<Mutex<Option<T>>> = self
+            .items
+            .into_iter()
+            .map(|t| Mutex::new(Some(t)))
+            .collect();
+        let cursor = AtomicUsize::new(0);
+        let init = &self.init;
+        let f = &self.f;
+
+        let mut gathered: Vec<(usize, O)> = Vec::with_capacity(n);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                let cells = &cells;
+                let cursor = &cursor;
+                handles.push(scope.spawn(move || {
+                    let mut state = init();
+                    let mut local: Vec<(usize, O)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= cells.len() {
+                            break;
+                        }
+                        let item = cells[i]
+                            .lock()
+                            .expect("cell lock poisoned")
+                            .take()
+                            .expect("item claimed twice");
+                        local.push((i, f(&mut state, item)));
+                    }
+                    local
+                }));
+            }
+            for h in handles {
+                gathered.extend(h.join().expect("worker panicked"));
+            }
+        });
+
+        gathered.sort_unstable_by_key(|&(i, _)| i);
+        debug_assert_eq!(gathered.len(), n);
+        gathered.into_iter().map(|(_, o)| o).collect()
+    }
+}
+
+/// A mapped parallel iterator; terminal ops execute it.
+pub struct ParMap<T: Send, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, O: Send, F: Fn(T) -> O + Sync> ParMap<T, F> {
+    /// Execute and gather outputs **in item order**, regardless of which
+    /// worker computed them.
+    pub fn collect<C: FromIterator<O>>(self) -> C {
+        self.run().into_iter().collect()
+    }
+
+    /// Execute and sum the outputs.
+    pub fn sum<S: std::iter::Sum<O>>(self) -> S {
+        self.run().into_iter().sum()
+    }
+
+    fn run(self) -> Vec<O> {
+        let n = self.items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = current_num_threads().min(n);
+        if workers <= 1 {
+            return self.items.into_iter().map(self.f).collect();
+        }
+
+        // Items parked in per-index cells so any worker can claim index i;
+        // the mutex is uncontended (each cell is locked exactly once).
+        let cells: Vec<Mutex<Option<T>>> = self
+            .items
+            .into_iter()
+            .map(|t| Mutex::new(Some(t)))
+            .collect();
+        let cursor = AtomicUsize::new(0);
+        let f = &self.f;
+
+        let mut gathered: Vec<(usize, O)> = Vec::with_capacity(n);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                let cells = &cells;
+                let cursor = &cursor;
+                handles.push(scope.spawn(move || {
+                    let mut local: Vec<(usize, O)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= cells.len() {
+                            break;
+                        }
+                        let item = cells[i]
+                            .lock()
+                            .expect("cell lock poisoned")
+                            .take()
+                            .expect("item claimed twice");
+                        local.push((i, f(item)));
+                    }
+                    local
+                }));
+            }
+            for h in handles {
+                gathered.extend(h.join().expect("worker panicked"));
+            }
+        });
+
+        gathered.sort_unstable_by_key(|&(i, _)| i);
+        debug_assert_eq!(gathered.len(), n);
+        gathered.into_iter().map(|(_, o)| o).collect()
+    }
+}
+
+/// The glob import parallel call-sites use.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn order_is_thread_count_invariant() {
+        let run = |threads| {
+            ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap()
+                .install(|| {
+                    (0..257usize)
+                        .into_par_iter()
+                        .map(|i| i.wrapping_mul(0x9E3779B9))
+                        .collect::<Vec<_>>()
+                })
+        };
+        let reference = run(1);
+        for threads in [2, 3, 8] {
+            assert_eq!(run(threads), reference);
+        }
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let data = vec![1u64, 2, 3, 4];
+        let total: u64 = data.par_iter().map(|&x| x).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn install_restores_previous_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        pool.install(|| {
+            assert_eq!(current_num_threads(), 3);
+        });
+        assert_ne!(POOL_THREADS.with(|c| c.get()), 3);
+    }
+
+    #[test]
+    fn uneven_workloads_balance() {
+        let out: Vec<u64> = (0..64u64)
+            .into_par_iter()
+            .map(|i| {
+                // Spin proportional to an uneven cost profile.
+                let mut acc = i;
+                for _ in 0..(i % 7) * 1000 {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+                }
+                acc ^ i
+            })
+            .collect();
+        assert_eq!(out.len(), 64);
+    }
+}

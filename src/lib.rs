@@ -17,11 +17,15 @@
 //!
 //! ## Quick start
 //!
+//! Every schedule — the paper's algorithms, the baselines, the exact
+//! optimum — is constructible by name through the policy registry, and the
+//! parallel [`sim::Evaluator`] runs seed-deterministic Monte-Carlo trials
+//! over it:
+//!
 //! ```
 //! use std::sync::Arc;
 //! use suu::core::{workload, Precedence};
-//! use suu::algos::SemPolicy;
-//! use suu::sim::{run_trials, MonteCarloConfig};
+//! use suu::sim::{Evaluator, PolicySpec};
 //! use rand::rngs::SmallRng;
 //! use rand::SeedableRng;
 //!
@@ -30,29 +34,41 @@
 //! let inst = Arc::new(workload::uniform_unrelated(
 //!     4, 16, 0.2, 0.9, Precedence::Independent, &mut rng));
 //!
-//! // The paper's O(log log min(m,n)) semioblivious schedule.
-//! let outcomes = run_trials(
-//!     &inst,
-//!     || SemPolicy::build(inst.clone()).unwrap(),
-//!     &MonteCarloConfig { trials: 20, ..Default::default() },
-//! );
-//! let mean: f64 = outcomes.iter().map(|o| o.makespan as f64).sum::<f64>() / 20.0;
-//! assert!(mean >= 1.0);
+//! // The paper's O(log log min(m,n)) semioblivious schedule, by name.
+//! let registry = suu::algos::standard_registry();
+//! let report = Evaluator::seeded(20, 1)
+//!     .run_spec(&registry, &inst, &PolicySpec::new("suu-i-sem"))
+//!     .expect("suu-i-sem builds on independent instances");
+//! assert!(report.all_completed());
+//! assert!(report.mean_makespan() >= 1.0);
 //! ```
+//!
+//! Rerunning with the same master seed reproduces the outcome vector
+//! bitwise, regardless of how many worker threads the evaluator uses.
 //!
 //! ## Crate map
 //!
 //! | Re-export | Crate | Contents |
 //! |---|---|---|
-//! | [`core`] | `suu-core` | instances, log-mass, assignments, timetables, workloads |
+//! | [`core`] | `suu-core` | instances, log-mass, assignments, timetables, workloads, JSON |
 //! | [`lp`] | `suu-lp` | two-phase simplex LP solver |
 //! | [`flow`] | `suu-flow` | Dinic max-flow, Hopcroft–Karp matching |
 //! | [`dag`] | `suu-dag` | chains, forests, rank decomposition, DAG queries |
-//! | [`sim`] | `suu-sim` | execution engine (SUU & SUU* semantics), Monte Carlo |
-//! | [`algos`] | `suu-algos` | `SUU-I-OBL`, `SUU-I-SEM`, `SUU-C`, `SUU-T`, baselines, exact OPT, bounds |
+//! | [`sim`] | `suu-sim` | execution engine (SUU & SUU* semantics), the policy registry ([`sim::PolicyRegistry`]), the parallel seed-deterministic [`sim::Evaluator`] |
+//! | [`algos`] | `suu-algos` | `SUU-I-OBL`, `SUU-I-SEM`, `SUU-C`, `SUU-T`, baselines, exact OPT, bounds, and [`algos::standard_registry`] |
 //! | [`stoch`] | `suu-stoch` | Appendix C: Lawler–Labetoulle, `STC-I` |
+//! | [`bench`] | `suu-bench` | scenario suite, `suu-results/v1` JSON schema, race runner, experiment binaries |
+//!
+//! The evaluation pipeline is layered: a
+//! [`sim::PolicySpec`] names a schedule; the registry builds it (with
+//! typed structure-class capability checks); the [`sim::Evaluator`] fans
+//! trials across threads with per-trial RNG streams derived from one
+//! master seed; [`bench::scenario::ScenarioSuite`] ×
+//! [`bench::runner::Race`] sweep policies over workload families and emit
+//! the shared JSON results schema ([`bench::report`]).
 
 pub use suu_algos as algos;
+pub use suu_bench as bench;
 pub use suu_core as core;
 pub use suu_dag as dag;
 pub use suu_flow as flow;

@@ -1,39 +1,45 @@
 //! End-to-end integration: every algorithm family × workload family ×
 //! semantics completes, respects precedence, and never undercuts the
-//! instance's lower bound by more than sampling noise.
+//! instance's lower bound by more than sampling noise — all constructed
+//! by name through the policy registry and executed by the parallel
+//! evaluator.
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::sync::Arc;
-use suu::algos::baselines::{BestMachinePolicy, GangSequentialPolicy, LrGreedyPolicy, RoundRobinPolicy};
 use suu::algos::bounds::lower_bound;
-use suu::algos::{ChainConfig, ChainPolicy, ForestPolicy, OblPolicy, SemPolicy};
+use suu::algos::{standard_registry, SemPolicy};
 use suu::core::{workload, Precedence, SuuInstance};
 use suu::dag::generators;
-use suu::sim::{run_trials, ExecConfig, MonteCarloConfig, Semantics};
+use suu::sim::{EvalConfig, EvalReport, Evaluator, ExecConfig, PolicySpec, Semantics};
 
-fn mc(trials: usize, semantics: Semantics) -> MonteCarloConfig {
-    MonteCarloConfig {
+fn evaluator(trials: usize, semantics: Semantics) -> Evaluator {
+    Evaluator::new(EvalConfig {
         trials,
-        base_seed: 0xE2E,
+        master_seed: 0xE2E,
         threads: 0,
         exec: ExecConfig {
             semantics,
             max_steps: 2_000_000,
         },
-    }
+    })
 }
 
-fn mean(outcomes: &[suu::sim::engine::ExecOutcome]) -> f64 {
+/// Mean makespan with the standing sanity assertions: everything
+/// completed, nothing violated precedence.
+fn checked_mean(report: &EvalReport) -> f64 {
     assert!(
-        outcomes.iter().all(|o| o.completed),
-        "a trial failed to complete"
+        report.all_completed(),
+        "{}: a trial failed to complete",
+        report.policy
     );
-    assert!(
-        outcomes.iter().all(|o| o.ineligible_assignments == 0),
-        "a schedule violated precedence"
+    assert_eq!(
+        report.total_ineligible(),
+        0,
+        "{}: a schedule violated precedence",
+        report.policy
     );
-    outcomes.iter().map(|o| o.makespan as f64).sum::<f64>() / outcomes.len() as f64
+    report.mean_makespan()
 }
 
 fn workloads(seed: u64, m: usize, n: usize, prec: Precedence) -> Vec<(&'static str, SuuInstance)> {
@@ -56,23 +62,28 @@ fn workloads(seed: u64, m: usize, n: usize, prec: Precedence) -> Vec<(&'static s
 
 #[test]
 fn independent_matrix_all_policies_all_semantics() {
+    let registry = standard_registry();
+    let specs = [
+        "gang-sequential",
+        "round-robin",
+        "best-machine",
+        "greedy-lr",
+        "suu-i-obl",
+        "suu-i-sem",
+    ];
     for (name, inst) in workloads(1, 4, 10, Precedence::Independent) {
         let inst = Arc::new(inst);
         let lb = lower_bound(&inst).unwrap();
         for semantics in [Semantics::Suu, Semantics::SuuStar] {
-            let cfg = mc(15, semantics);
-            let means = [
-                mean(&run_trials(&inst, GangSequentialPolicy::new, &cfg)),
-                mean(&run_trials(&inst, RoundRobinPolicy::new, &cfg)),
-                mean(&run_trials(&inst, || BestMachinePolicy::new(inst.clone()), &cfg)),
-                mean(&run_trials(&inst, || LrGreedyPolicy::new(inst.clone()), &cfg)),
-                mean(&run_trials(&inst, || OblPolicy::build(&inst).unwrap(), &cfg)),
-                mean(&run_trials(&inst, || SemPolicy::build(inst.clone()).unwrap(), &cfg)),
-            ];
-            for m in means {
+            let eval = evaluator(15, semantics);
+            for spec in specs {
+                let report = eval
+                    .run_spec(&registry, &inst, &PolicySpec::new(spec))
+                    .unwrap_or_else(|e| panic!("{spec}: {e}"));
+                let mean = checked_mean(&report);
                 assert!(
-                    m >= lb - 1.0,
-                    "{name}/{semantics:?}: mean {m:.2} under LB {lb:.2}"
+                    mean >= lb - 1.0,
+                    "{name}/{semantics:?}/{spec}: mean {mean:.2} under LB {lb:.2}"
                 );
             }
         }
@@ -81,21 +92,28 @@ fn independent_matrix_all_policies_all_semantics() {
 
 #[test]
 fn chains_matrix() {
+    let registry = standard_registry();
     let mut rng = SmallRng::seed_from_u64(2);
     let cs = generators::random_chain_set(12, 4, &mut rng);
-    let chains = cs.chains().to_vec();
     for (name, inst) in workloads(3, 3, 12, Precedence::Chains(cs)) {
         let inst = Arc::new(inst);
         let lb = lower_bound(&inst).unwrap();
         for semantics in [Semantics::Suu, Semantics::SuuStar] {
-            let cfg = mc(10, semantics);
-            let suu_c = mean(&run_trials(
-                &inst,
-                || ChainPolicy::build(inst.clone(), chains.clone(), ChainConfig::default()).unwrap(),
-                &cfg,
-            ));
-            let gang = mean(&run_trials(&inst, GangSequentialPolicy::new, &cfg));
-            assert!(suu_c >= lb - 1.0, "{name}: SUU-C {suu_c:.2} under LB {lb:.2}");
+            let eval = evaluator(10, semantics);
+            let suu_c = checked_mean(
+                &eval
+                    .run_spec(&registry, &inst, &PolicySpec::new("suu-c"))
+                    .unwrap(),
+            );
+            let gang = checked_mean(
+                &eval
+                    .run_spec(&registry, &inst, &PolicySpec::new("gang-sequential"))
+                    .unwrap(),
+            );
+            assert!(
+                suu_c >= lb - 1.0,
+                "{name}: SUU-C {suu_c:.2} under LB {lb:.2}"
+            );
             assert!(gang >= lb - 1.0);
         }
     }
@@ -103,6 +121,7 @@ fn chains_matrix() {
 
 #[test]
 fn forests_matrix() {
+    let registry = standard_registry();
     let mut rng = SmallRng::seed_from_u64(4);
     for out in [true, false] {
         let forest = if out {
@@ -112,12 +131,12 @@ fn forests_matrix() {
         };
         for (name, inst) in workloads(5, 3, 14, Precedence::Forest(forest.clone())) {
             let inst = Arc::new(inst);
-            let cfg = mc(8, Semantics::SuuStar);
-            let suu_t = mean(&run_trials(
-                &inst,
-                || ForestPolicy::build(inst.clone(), &forest, ChainConfig::default()).unwrap(),
-                &cfg,
-            ));
+            let eval = evaluator(8, Semantics::SuuStar);
+            let suu_t = checked_mean(
+                &eval
+                    .run_spec(&registry, &inst, &PolicySpec::new("suu-t"))
+                    .unwrap(),
+            );
             assert!(suu_t >= 1.0, "{name}: degenerate makespan");
         }
     }
@@ -126,7 +145,9 @@ fn forests_matrix() {
 #[test]
 fn general_dags_run_under_baselines() {
     // No approximation algorithm covers general DAGs (paper's conclusion);
-    // the engine and baselines must still handle them.
+    // the engine and the dag-capable registry families must still handle
+    // them — and the structure-specialized families must refuse.
+    let registry = standard_registry();
     let mut rng = SmallRng::seed_from_u64(6);
     let dag = generators::layered_dag(15, 4, 0.3, &mut rng);
     let inst = Arc::new(workload::uniform_unrelated(
@@ -137,10 +158,21 @@ fn general_dags_run_under_baselines() {
         Precedence::Dag(dag),
         &mut rng,
     ));
-    let cfg = mc(10, Semantics::SuuStar);
-    mean(&run_trials(&inst, GangSequentialPolicy::new, &cfg));
-    mean(&run_trials(&inst, RoundRobinPolicy::new, &cfg));
-    mean(&run_trials(&inst, || LrGreedyPolicy::new(inst.clone()), &cfg));
+    let eval = evaluator(10, Semantics::SuuStar);
+    for spec in ["gang-sequential", "round-robin", "greedy-lr"] {
+        checked_mean(
+            &eval
+                .run_spec(&registry, &inst, &PolicySpec::new(spec))
+                .unwrap(),
+        );
+    }
+    for spec in ["suu-i-sem", "suu-c", "suu-t"] {
+        assert!(
+            eval.run_spec(&registry, &inst, &PolicySpec::new(spec))
+                .is_err(),
+            "{spec} must refuse general DAGs"
+        );
+    }
 }
 
 #[test]
@@ -157,7 +189,8 @@ fn mapreduce_bipartite_via_two_phases() {
         Precedence::Dag(dag),
         &mut rng,
     ));
-    // Phase policies via SemPolicy job subsets.
+    // Phase policies via SemPolicy job subsets (custom policy through the
+    // plain evaluator API — no registry needed).
     struct TwoPhase {
         a: SemPolicy,
         b: SemPolicy,
@@ -178,15 +211,10 @@ fn mapreduce_bipartite_via_two_phases() {
             }
         }
     }
-    let cfg = mc(10, Semantics::SuuStar);
-    let outcomes = run_trials(
-        &inst,
-        || TwoPhase {
-            a: SemPolicy::for_jobs(inst.clone(), Some((0..maps as u32).collect())).unwrap(),
-            b: SemPolicy::for_jobs(inst.clone(), Some((maps as u32..n as u32).collect())).unwrap(),
-        },
-        &cfg,
-    );
-    let m = mean(&outcomes);
+    let report = evaluator(10, Semantics::SuuStar).run(&inst, || TwoPhase {
+        a: SemPolicy::for_jobs(inst.clone(), Some((0..maps as u32).collect())).unwrap(),
+        b: SemPolicy::for_jobs(inst.clone(), Some((maps as u32..n as u32).collect())).unwrap(),
+    });
+    let m = checked_mean(&report);
     assert!(m >= 2.0, "two phases cannot finish in under 2 steps");
 }

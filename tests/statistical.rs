@@ -1,39 +1,41 @@
 //! Statistical integration tests: measured expectations vs analytically
 //! known values, semantics equivalence at the workspace level, and
-//! approximation-ratio cross-checks against the exact optimum.
+//! approximation-ratio cross-checks against the exact optimum — all
+//! through the registry + parallel-evaluator pipeline.
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::sync::Arc;
-use suu::algos::baselines::GangSequentialPolicy;
 use suu::algos::opt::{evaluate_stationary, exact_opt, OptLimits};
-use suu::algos::SemPolicy;
+use suu::algos::standard_registry;
 use suu::core::{workload, Precedence};
 use suu::dag::ChainSet;
 use suu::sim::stats::{chi_square_critical_001, chi_square_two_sample, histogram_pair};
-use suu::sim::{run_trials, ExecConfig, MonteCarloConfig, Semantics};
+use suu::sim::{EvalConfig, Evaluator, ExecConfig, PolicySpec, Semantics};
 
-fn mc(trials: usize, semantics: Semantics, seed: u64) -> MonteCarloConfig {
-    MonteCarloConfig {
+fn evaluator(trials: usize, semantics: Semantics, seed: u64) -> Evaluator {
+    Evaluator::new(EvalConfig {
         trials,
-        base_seed: seed,
+        master_seed: seed,
         threads: 0,
         exec: ExecConfig {
             semantics,
             max_steps: 1_000_000,
         },
-    }
+    })
 }
 
 #[test]
 fn chain_of_geometrics_has_known_mean() {
     // One machine, chain of 3 jobs with q = 1/2: E[T] = 3 * 2 = 6.
+    let registry = standard_registry();
     let cs = ChainSet::new(3, vec![vec![0, 1, 2]]).unwrap();
     let inst = Arc::new(workload::homogeneous(1, 3, 0.5, Precedence::Chains(cs)));
     for semantics in [Semantics::Suu, Semantics::SuuStar] {
-        let outcomes = run_trials(&inst, GangSequentialPolicy::new, &mc(6000, semantics, 17));
-        let mean: f64 =
-            outcomes.iter().map(|o| o.makespan as f64).sum::<f64>() / outcomes.len() as f64;
+        let mean = evaluator(6000, semantics, 17)
+            .run_spec(&registry, &inst, &PolicySpec::new("gang-sequential"))
+            .unwrap()
+            .mean_makespan();
         assert!(
             (mean - 6.0).abs() < 0.25,
             "{semantics:?}: mean {mean:.3} != 6"
@@ -45,12 +47,14 @@ fn chain_of_geometrics_has_known_mean() {
 fn gang_mean_matches_exact_policy_value() {
     // Exact value of the gang policy on independent jobs with identical
     // machines: jobs done one at a time, each Geometric(1 - q^m).
+    let registry = standard_registry();
     let (m, n, q) = (3usize, 4usize, 0.6f64);
     let inst = Arc::new(workload::homogeneous(m, n, q, Precedence::Independent));
-    let p = 1.0 - q.powi(m as i32);
-    let expected = n as f64 / p;
-    let outcomes = run_trials(&inst, GangSequentialPolicy::new, &mc(6000, Semantics::SuuStar, 23));
-    let mean: f64 = outcomes.iter().map(|o| o.makespan as f64).sum::<f64>() / outcomes.len() as f64;
+    let expected = n as f64 / (1.0 - q.powi(m as i32));
+    let mean = evaluator(6000, Semantics::SuuStar, 23)
+        .run_spec(&registry, &inst, &PolicySpec::new("gang-sequential"))
+        .unwrap()
+        .mean_makespan();
     assert!(
         (mean - expected).abs() < 0.15,
         "mean {mean:.3} vs expected {expected:.3}"
@@ -62,7 +66,12 @@ fn sem_within_constant_of_exact_opt_across_shapes() {
     // Aggregated check over several tiny shapes: measured SEM within a
     // generous constant of exact OPT (its guarantee is O(log log) with
     // K <= 4 here).
-    let shapes = [(2usize, 4usize, 0.3f64, 0.9f64), (3, 5, 0.2, 0.8), (2, 6, 0.4, 0.95)];
+    let registry = standard_registry();
+    let shapes = [
+        (2usize, 4usize, 0.3f64, 0.9f64),
+        (3, 5, 0.2, 0.8),
+        (2, 6, 0.4, 0.95),
+    ];
     for (idx, &(m, n, lo, hi)) in shapes.iter().enumerate() {
         let mut rng = SmallRng::seed_from_u64(idx as u64 * 13 + 5);
         let inst = Arc::new(workload::uniform_unrelated(
@@ -74,13 +83,10 @@ fn sem_within_constant_of_exact_opt_across_shapes() {
             &mut rng,
         ));
         let opt = exact_opt(&inst, OptLimits::default()).expect("tiny");
-        let outcomes = run_trials(
-            &inst,
-            || SemPolicy::build(inst.clone()).unwrap(),
-            &mc(400, Semantics::SuuStar, idx as u64),
-        );
-        let mean: f64 =
-            outcomes.iter().map(|o| o.makespan as f64).sum::<f64>() / outcomes.len() as f64;
+        let mean = evaluator(400, Semantics::SuuStar, idx as u64)
+            .run_spec(&registry, &inst, &PolicySpec::new("suu-i-sem"))
+            .unwrap()
+            .mean_makespan();
         let ratio = mean / opt;
         assert!(
             ratio < 10.0,
@@ -91,8 +97,37 @@ fn sem_within_constant_of_exact_opt_across_shapes() {
 }
 
 #[test]
+fn simulated_exact_opt_policy_matches_dp_value() {
+    // The registry's exact-opt policy, simulated, must estimate its own
+    // DP value: the loop closes across opt.rs, the registry and the
+    // engine.
+    let registry = standard_registry();
+    let mut rng = SmallRng::seed_from_u64(41);
+    let inst = Arc::new(workload::uniform_unrelated(
+        2,
+        5,
+        0.3,
+        0.9,
+        Precedence::Independent,
+        &mut rng,
+    ));
+    let opt = exact_opt(&inst, OptLimits::default()).unwrap();
+    let report = evaluator(8000, Semantics::SuuStar, 3)
+        .run_spec(&registry, &inst, &PolicySpec::new("exact-opt"))
+        .unwrap();
+    let summary = report.summary();
+    let ci = 4.0 * summary.std_err; // ~4 sigma
+    assert!(
+        (summary.mean - opt).abs() <= ci.max(0.1),
+        "simulated {:.3} vs DP {opt:.3} (ci {ci:.3})",
+        summary.mean
+    );
+}
+
+#[test]
 fn semantics_equivalence_workspace_level() {
-    // Theorem 10 at the integration level: chains + SEM policy.
+    // Theorem 10 at the integration level: chains + the registry pipeline.
+    let registry = standard_registry();
     let cs = ChainSet::new(5, vec![vec![0, 1], vec![2, 3, 4]]).unwrap();
     let mut rng = SmallRng::seed_from_u64(29);
     let inst = Arc::new(workload::uniform_unrelated(
@@ -104,14 +139,13 @@ fn semantics_equivalence_workspace_level() {
         &mut rng,
     ));
     let collect = |semantics| {
-        run_trials(
-            &inst,
-            GangSequentialPolicy::new,
-            &mc(5000, semantics, 1234),
-        )
-        .into_iter()
-        .map(|o| o.makespan)
-        .collect::<Vec<_>>()
+        evaluator(5000, semantics, 1234)
+            .run_spec(&registry, &inst, &PolicySpec::new("gang-sequential"))
+            .unwrap()
+            .outcomes
+            .into_iter()
+            .map(|o| o.makespan)
+            .collect::<Vec<_>>()
     };
     let a = collect(Semantics::Suu);
     let b = collect(Semantics::SuuStar);
@@ -128,6 +162,7 @@ fn monte_carlo_agrees_with_exact_policy_evaluation() {
     // The noise-free check: the DP-based exact value of the gang policy
     // must match its Monte-Carlo estimate within the CI, on a
     // heterogeneous instance with chains (no closed form available).
+    let registry = standard_registry();
     let cs = ChainSet::new(5, vec![vec![0, 1, 2], vec![3, 4]]).unwrap();
     let mut rng = SmallRng::seed_from_u64(31);
     let inst = Arc::new(workload::uniform_unrelated(
@@ -145,14 +180,15 @@ fn monte_carlo_agrees_with_exact_policy_evaluation() {
     })
     .expect("gang makes progress");
 
-    let outcomes = run_trials(&inst, GangSequentialPolicy::new, &mc(8000, Semantics::SuuStar, 9));
-    let makespans: Vec<f64> = outcomes.iter().map(|o| o.makespan as f64).collect();
-    let mean = makespans.iter().sum::<f64>() / makespans.len() as f64;
-    let var = makespans.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (makespans.len() - 1) as f64;
-    let ci = 4.0 * (var / makespans.len() as f64).sqrt(); // ~4 sigma
+    let report = evaluator(8000, Semantics::SuuStar, 9)
+        .run_spec(&registry, &inst, &PolicySpec::new("gang-sequential"))
+        .unwrap();
+    let summary = report.summary();
+    let ci = 4.0 * summary.std_err; // ~4 sigma
     assert!(
-        (mean - exact).abs() <= ci.max(0.1),
-        "Monte-Carlo {mean:.3} vs exact {exact:.3} (ci {ci:.3})"
+        (summary.mean - exact).abs() <= ci.max(0.1),
+        "Monte-Carlo {:.3} vs exact {exact:.3} (ci {ci:.3})",
+        summary.mean
     );
 }
 
@@ -160,9 +196,12 @@ fn monte_carlo_agrees_with_exact_policy_evaluation() {
 fn makespan_distribution_has_geometric_tail() {
     // Single job, single machine q=0.7: P[T > k] = 0.7^k. Check the
     // empirical 90th percentile against the analytic quantile.
+    let registry = standard_registry();
     let inst = Arc::new(workload::homogeneous(1, 1, 0.7, Precedence::Independent));
-    let outcomes = run_trials(&inst, GangSequentialPolicy::new, &mc(8000, Semantics::Suu, 3));
-    let mut makespans: Vec<u64> = outcomes.iter().map(|o| o.makespan).collect();
+    let report = evaluator(8000, Semantics::Suu, 3)
+        .run_spec(&registry, &inst, &PolicySpec::new("gang-sequential"))
+        .unwrap();
+    let mut makespans: Vec<u64> = report.outcomes.iter().map(|o| o.makespan).collect();
     makespans.sort_unstable();
     let p90 = makespans[(makespans.len() * 9) / 10] as f64;
     // Analytic: smallest k with 1 - 0.7^k >= 0.9  =>  k = ceil(ln 0.1 / ln 0.7) = 7.
