@@ -18,7 +18,7 @@
 
 use std::sync::Arc;
 use suu_core::{JobId, MachineId, SuuInstance};
-use suu_sim::{Policy, StateView};
+use suu_sim::{Assignment, Decision, Policy, StateView};
 
 /// All machines gang on the first eligible job (by id), then the next.
 pub struct GangSequentialPolicy {
@@ -45,11 +45,10 @@ impl Policy for GangSequentialPolicy {
         self.name
     }
     fn reset(&mut self) {}
-    fn assign(&mut self, view: &StateView<'_>) -> Vec<Option<JobId>> {
-        match view.eligible.first() {
-            Some(j) => vec![Some(JobId(j)); view.m],
-            None => vec![None; view.m],
-        }
+    fn decide(&mut self, view: &StateView<'_>, out: &mut Assignment) -> Decision {
+        // Pure function of the eligible set: hold until a completion.
+        out.fill(view.eligible.first().map(JobId));
+        Decision::HOLD
     }
 }
 
@@ -79,17 +78,22 @@ impl Policy for RoundRobinPolicy {
         self.name
     }
     fn reset(&mut self) {}
-    fn assign(&mut self, view: &StateView<'_>) -> Vec<Option<JobId>> {
+    fn decide(&mut self, view: &StateView<'_>, out: &mut Assignment) -> Decision {
         let eligible: Vec<u32> = view.eligible.iter().collect();
         if eligible.is_empty() {
-            return vec![None; view.m];
+            return Decision::HOLD;
         }
-        (0..view.m)
-            .map(|i| {
-                let idx = (i as u64 + view.time) as usize % eligible.len();
-                Some(JobId(eligible[idx]))
-            })
-            .collect()
+        for i in 0..view.m {
+            let idx = (i as u64 + view.time) as usize % eligible.len();
+            out.set(i, JobId(eligible[idx]));
+        }
+        if eligible.len() == 1 {
+            // Rotation is a no-op with one target: hold.
+            Decision::HOLD
+        } else {
+            // Genuinely time-varying: degrade to per-step pacing.
+            Decision::step(view)
+        }
     }
 }
 
@@ -115,10 +119,10 @@ impl Policy for BestMachinePolicy {
         self.name
     }
     fn reset(&mut self) {}
-    fn assign(&mut self, view: &StateView<'_>) -> Vec<Option<JobId>> {
+    fn decide(&mut self, view: &StateView<'_>, out: &mut Assignment) -> Decision {
         let mut eligible: Vec<u32> = view.eligible.iter().collect();
         if eligible.is_empty() {
-            return vec![None; view.m];
+            return Decision::HOLD;
         }
         // Hardest jobs (smallest best rate) pick first.
         eligible.sort_by(|&a, &b| {
@@ -127,12 +131,11 @@ impl Policy for BestMachinePolicy {
                 .partial_cmp(&self.inst.best_ell(JobId(b)))
                 .expect("ells are finite")
         });
-        let mut out: Vec<Option<JobId>> = vec![None; view.m];
         for &j in &eligible {
             // Best *free* machine for j.
             let mut best: Option<(usize, f64)> = None;
-            for (i, slot) in out.iter().enumerate() {
-                if slot.is_some() {
+            for i in 0..view.m {
+                if out.get(i).is_some() {
                     continue;
                 }
                 let e = self.inst.ell(MachineId(i as u32), JobId(j));
@@ -141,12 +144,12 @@ impl Policy for BestMachinePolicy {
                 }
             }
             if let Some((i, _)) = best {
-                out[i] = Some(JobId(j));
+                out.set(i, JobId(j));
             }
         }
         // Leftover machines reinforce their individually best eligible job.
-        for (i, slot) in out.iter_mut().enumerate() {
-            if slot.is_some() {
+        for i in 0..view.m {
+            if out.get(i).is_some() {
                 continue;
             }
             let mut best: Option<(u32, f64)> = None;
@@ -156,9 +159,10 @@ impl Policy for BestMachinePolicy {
                     best = Some((j, e));
                 }
             }
-            *slot = best.map(|(j, _)| JobId(j));
+            out.set_slot(i, best.map(|(j, _)| JobId(j)));
         }
-        out
+        // Pure function of the eligible set: hold until a completion.
+        Decision::HOLD
     }
 }
 
@@ -186,15 +190,14 @@ impl Policy for LrGreedyPolicy {
         self.name
     }
     fn reset(&mut self) {}
-    fn assign(&mut self, view: &StateView<'_>) -> Vec<Option<JobId>> {
+    fn decide(&mut self, view: &StateView<'_>, out: &mut Assignment) -> Decision {
         let eligible: Vec<u32> = view.eligible.iter().collect();
         if eligible.is_empty() {
-            return vec![None; view.m];
+            return Decision::HOLD;
         }
         // Accumulated mass planned for each eligible job this step.
         let mut planned = vec![0.0f64; eligible.len()];
-        let mut out = vec![None; view.m];
-        for (i, slot) in out.iter_mut().enumerate() {
+        for i in 0..view.m {
             let mut best: Option<(usize, f64)> = None;
             for (p, &j) in eligible.iter().enumerate() {
                 let e = self.inst.ell(MachineId(i as u32), JobId(j));
@@ -212,28 +215,35 @@ impl Policy for LrGreedyPolicy {
             }
             if let Some((p, _)) = best {
                 planned[p] += self.inst.ell(MachineId(i as u32), JobId(eligible[p]));
-                *slot = Some(JobId(eligible[p]));
+                out.set(i, JobId(eligible[p]));
             }
         }
-        out
+        // Pure function of the eligible set: hold until a completion.
+        Decision::HOLD
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::{SmallRng, StdRng};
+    use rand::rngs::SmallRng;
     use rand::SeedableRng;
     use suu_core::{workload, Precedence};
     use suu_dag::generators;
     use suu_sim::{execute, ExecConfig};
 
     fn check_completes(mut policy: impl Policy, inst: &SuuInstance, seed: u64) -> u64 {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let out = execute(inst, &mut policy, &ExecConfig::default(), &mut rng);
+        let out = execute(inst, &mut policy, &ExecConfig::default(), seed);
         assert!(out.completed, "{} did not complete", policy.name());
         assert_eq!(out.ineligible_assignments, 0, "{}", policy.name());
         out.makespan
+    }
+
+    /// One decide call against a synthetic view; returns the row.
+    fn decide_once(policy: &mut impl Policy, view: &StateView<'_>) -> Vec<Option<JobId>> {
+        let mut out = Assignment::new(view.m);
+        policy.decide(view, &mut out);
+        out.slots().to_vec()
     }
 
     #[test]
@@ -283,12 +293,13 @@ mod tests {
         let remaining = suu_core::BitSet::full(2);
         let view = StateView {
             time: 0,
+            epoch: 0,
             remaining: &remaining,
             eligible: &remaining,
             n: 2,
             m: 2,
         };
-        let row = policy.assign(&view);
+        let row = decide_once(&mut policy, &view);
         assert_ne!(row[1], Some(JobId(0)), "machine 1 cannot help job 0");
     }
 
@@ -302,12 +313,13 @@ mod tests {
         let remaining = suu_core::BitSet::full(2);
         let view = StateView {
             time: 0,
+            epoch: 0,
             remaining: &remaining,
             eligible: &remaining,
             n: 2,
             m: 2,
         };
-        let row = policy.assign(&view);
+        let row = decide_once(&mut policy, &view);
         let jobs: std::collections::HashSet<_> = row.iter().flatten().collect();
         assert_eq!(jobs.len(), 2, "both jobs should be covered: {row:?}");
     }

@@ -221,7 +221,6 @@ fn solve_dp(inst: &SuuInstance, limits: OptLimits, record_actions: bool) -> Opti
 pub struct OptPolicy {
     actions: std::collections::HashMap<u32, Vec<Option<usize>>>,
     expected: f64,
-    m: usize,
 }
 
 impl OptPolicy {
@@ -232,7 +231,6 @@ impl OptPolicy {
         Some(OptPolicy {
             actions: dp.actions,
             expected: dp.value,
-            m: inst.num_machines(),
         })
     }
 
@@ -249,19 +247,24 @@ impl suu_sim::Policy for OptPolicy {
 
     fn reset(&mut self) {}
 
-    fn assign(&mut self, view: &suu_sim::StateView<'_>) -> Vec<Option<JobId>> {
+    fn decide(
+        &mut self,
+        view: &suu_sim::StateView<'_>,
+        out: &mut suu_sim::Assignment,
+    ) -> suu_sim::Decision {
         let mut mask = 0u32;
         for j in view.remaining.iter() {
             mask |= 1 << j;
         }
-        match self.actions.get(&mask) {
-            Some(row) => row
-                .iter()
-                .map(|slot| slot.map(|j| JobId(j as u32)))
-                .collect(),
-            // Unreachable for states the engine can produce; idle safely.
-            None => vec![None; self.m],
+        // Stationary: the action depends only on the remaining set, so
+        // hold it until the next completion. (Unknown states are
+        // unreachable for engine-produced views; idle safely.)
+        if let Some(row) = self.actions.get(&mask) {
+            for (i, slot) in row.iter().enumerate() {
+                out.set_slot(i, slot.map(|j| JobId(j as u32)));
+            }
         }
+        suu_sim::Decision::HOLD
     }
 }
 
@@ -504,16 +507,15 @@ mod tests {
             }
             let view = suu_sim::StateView {
                 time: 0,
+                epoch: 0,
                 remaining: &bits,
                 eligible: &bits,
                 n: 5,
                 m,
             };
-            policy
-                .assign(&view)
-                .into_iter()
-                .map(|s| s.map(|j| j.index()))
-                .collect()
+            let mut row = suu_sim::Assignment::new(m);
+            policy.decide(&view, &mut row);
+            row.slots().iter().map(|s| s.map(|j| j.index())).collect()
         })
         .unwrap();
         assert!((v - opt).abs() < 1e-9, "policy value {v} vs OPT {opt}");

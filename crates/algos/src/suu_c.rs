@@ -37,7 +37,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 use suu_core::{Assignment, JobId, MachineId, SuuInstance};
-use suu_sim::{Policy, StateView};
+use suu_sim::{Assignment as Row, Decision, Policy, StateView};
 
 /// Tuning knobs for [`ChainPolicy`] (defaults follow the paper).
 #[derive(Debug, Clone, Copy)]
@@ -122,7 +122,15 @@ pub struct ChainPolicy {
     plan: Vec<Vec<Option<JobId>>>,
     plan_pos: usize,
     in_flight: bool,
-    real_steps: u64,
+    /// Whether this execution has been consulted yet (anchors
+    /// `start_time` for sub-policies that begin mid-run, e.g. `SUU-T`
+    /// blocks).
+    started: bool,
+    /// Absolute time of the first consultation.
+    start_time: u64,
+    /// Absolute time of the previous consultation (plan progress is
+    /// `time`-driven: the plan cursor advances by the elapsed span).
+    last_time: u64,
     stats: ChainStats,
 }
 
@@ -204,7 +212,9 @@ impl ChainPolicy {
             plan: Vec::new(),
             plan_pos: 0,
             in_flight: false,
-            real_steps: 0,
+            started: false,
+            start_time: 0,
+            last_time: 0,
             stats: ChainStats::default(),
         })
     }
@@ -305,16 +315,32 @@ impl ChainPolicy {
 
     /// Gang-sequential fallback row: all machines on the first eligible
     /// remaining job.
-    fn fallback_row(&self, view: &StateView<'_>) -> Vec<Option<JobId>> {
+    fn fallback_row(&self, view: &StateView<'_>, out: &mut Row) {
         let target = self
             .chains
             .iter()
             .flatten()
             .copied()
             .find(|&j| view.remaining.contains(j) && view.eligible.contains(j));
-        match target {
-            Some(j) => vec![Some(JobId(j)); view.m],
-            None => vec![None; view.m],
+        out.fill(target.map(JobId));
+    }
+
+    /// Absolute time at which the bad-event fallback budget runs out.
+    fn budget_deadline(&self) -> u64 {
+        self.start_time.saturating_add(self.fallback_budget)
+    }
+
+    /// Cap a decision's wake-up at the budget deadline so the switch to
+    /// fallback mode happens at the same absolute step under both the
+    /// dense and the event engine.
+    fn cap_to_budget(&self, d: Decision) -> Decision {
+        if self.mode == Mode::Fallback {
+            return d;
+        }
+        let deadline = self.budget_deadline();
+        match d.next_wakeup {
+            Some(w) => Decision::wake_at(w.min(deadline)),
+            None => Decision::wake_at(deadline),
         }
     }
 
@@ -387,23 +413,48 @@ impl Policy for ChainPolicy {
         self.plan.clear();
         self.plan_pos = 0;
         self.in_flight = false;
-        self.real_steps = 0;
+        self.started = false;
+        self.start_time = 0;
+        self.last_time = 0;
         self.stats = ChainStats::default();
     }
 
-    fn assign(&mut self, view: &StateView<'_>) -> Vec<Option<JobId>> {
-        self.real_steps += 1;
-        if self.my_jobs_done(view.remaining) {
-            return vec![None; view.m];
+    fn decide(&mut self, view: &StateView<'_>, out: &mut Row) -> Decision {
+        let t = view.time;
+        if !self.started {
+            self.started = true;
+            self.start_time = t;
+            self.last_time = t;
         }
-        if self.mode != Mode::Fallback && self.real_steps > self.fallback_budget {
+        let dt = t - self.last_time;
+        self.last_time = t;
+        // Plan progress is time-driven: the steps since the previous
+        // consultation were spent playing the current plan iff we were in
+        // superstep mode (mode changes only happen inside `decide`, so
+        // the whole span belongs to one mode).
+        if self.mode == Mode::Supersteps {
+            self.plan_pos += dt as usize;
+        }
+
+        if self.my_jobs_done(view.remaining) {
+            return Decision::HOLD;
+        }
+        // The Theorem-9 "bad event" budget, at epoch granularity: every
+        // non-fallback decision's wake-up is capped at the budget
+        // deadline (`cap_to_budget`), so both engines consult us at that
+        // exact step and flip together.
+        if self.mode != Mode::Fallback && t >= self.budget_deadline() {
             self.mode = Mode::Fallback;
             self.stats.fallback_triggered = true;
         }
 
         loop {
             match self.mode {
-                Mode::Fallback => return self.fallback_row(view),
+                Mode::Fallback => {
+                    // Pure function of the remaining/eligible sets.
+                    self.fallback_row(view, out);
+                    return Decision::HOLD;
+                }
                 Mode::LongJobs => {
                     let done = self
                         .long_sub
@@ -414,17 +465,26 @@ impl Policy for ChainPolicy {
                         self.mode = Mode::Supersteps;
                         continue;
                     }
-                    return self
+                    let d = self
                         .long_sub
                         .as_mut()
                         .expect("sub-policy present")
-                        .assign(view);
+                        .decide(view, out);
+                    return self.cap_to_budget(d);
                 }
                 Mode::Supersteps => {
                     if self.plan_pos < self.plan.len() {
-                        let row = self.plan[self.plan_pos].clone();
-                        self.plan_pos += 1;
-                        return row;
+                        out.copy_from_row(&self.plan[self.plan_pos]);
+                        // Hold through identical consecutive plan rows;
+                        // the wake-up chain lands us exactly on the next
+                        // distinct row or the superstep boundary.
+                        let mut run = 1;
+                        while self.plan_pos + run < self.plan.len()
+                            && self.plan[self.plan_pos + run] == self.plan[self.plan_pos]
+                        {
+                            run += 1;
+                        }
+                        return self.cap_to_budget(Decision::wake_at(t + run as u64));
                     }
                     // Superstep boundary.
                     if self.in_flight {
@@ -460,7 +520,6 @@ impl Policy for ChainPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
     use suu_core::{workload, Precedence};
     use suu_dag::{generators, ChainSet};
     use suu_sim::{execute, ExecConfig};
@@ -484,8 +543,7 @@ mod tests {
             let (inst, chains) = chain_instance(seed, 3, 10, 3);
             let mut policy =
                 ChainPolicy::build(inst.clone(), chains, ChainConfig::default()).unwrap();
-            let mut erng = StdRng::seed_from_u64(seed + 100);
-            let out = execute(&inst, &mut policy, &ExecConfig::default(), &mut erng);
+            let out = execute(&inst, &mut policy, &ExecConfig::default(), seed + 100);
             assert!(out.completed, "seed {seed}");
             assert_eq!(out.ineligible_assignments, 0, "seed {seed}");
             assert!(policy.stats().supersteps > 0);
@@ -503,8 +561,7 @@ mod tests {
             ..ChainConfig::default()
         };
         let mut policy = ChainPolicy::build(inst.clone(), chains, cfg).unwrap();
-        let mut erng = StdRng::seed_from_u64(1);
-        let out = execute(&inst, &mut policy, &ExecConfig::default(), &mut erng);
+        let out = execute(&inst, &mut policy, &ExecConfig::default(), 1);
         assert!(out.completed);
         assert!(!policy.stats().fallback_triggered);
     }
@@ -521,8 +578,7 @@ mod tests {
                 ..ChainConfig::default()
             };
             let mut policy = ChainPolicy::build(inst.clone(), chains.clone(), cfg).unwrap();
-            let mut erng = StdRng::seed_from_u64(9);
-            let out = execute(&inst, &mut policy, &ExecConfig::default(), &mut erng);
+            let out = execute(&inst, &mut policy, &ExecConfig::default(), 9);
             assert!(out.completed);
             policy.stats().max_congestion
         };
@@ -550,8 +606,7 @@ mod tests {
         let inst = Arc::new(SuuInstance::new(m, n, q, Precedence::Chains(cs)).unwrap());
         let mut policy = ChainPolicy::build(inst.clone(), chains, ChainConfig::default()).unwrap();
         assert!(policy.gamma() >= 1);
-        let mut erng = StdRng::seed_from_u64(3);
-        let out = execute(&inst, &mut policy, &ExecConfig::default(), &mut erng);
+        let out = execute(&inst, &mut policy, &ExecConfig::default(), 3);
         assert!(out.completed);
         assert!(
             policy.stats().long_job_phases > 0,
@@ -568,8 +623,7 @@ mod tests {
             ..ChainConfig::default()
         };
         let mut policy = ChainPolicy::build(inst.clone(), chains, cfg).unwrap();
-        let mut erng = StdRng::seed_from_u64(4);
-        let out = execute(&inst, &mut policy, &ExecConfig::default(), &mut erng);
+        let out = execute(&inst, &mut policy, &ExecConfig::default(), 4);
         assert!(out.completed);
     }
 
@@ -582,15 +636,19 @@ mod tests {
         policy.reset();
         let remaining = suu_core::BitSet::full(6);
         let eligible = suu_core::BitSet::full(6);
+        let mut row = Row::new(2);
         for t in 0..200 {
             let view = StateView {
                 time: t,
+                epoch: 0,
                 remaining: &remaining,
                 eligible: &eligible,
                 n: 6,
                 m: 2,
             };
-            for j in policy.assign(&view).into_iter().flatten() {
+            row.clear();
+            policy.decide(&view, &mut row);
+            for j in row.slots().iter().flatten() {
                 assert!(j.0 < 4, "scheduled job outside chains: {j:?}");
             }
         }
@@ -600,8 +658,7 @@ mod tests {
     fn stats_reset_between_runs() {
         let (inst, chains) = chain_instance(2, 2, 6, 2);
         let mut policy = ChainPolicy::build(inst.clone(), chains, ChainConfig::default()).unwrap();
-        let mut erng = StdRng::seed_from_u64(8);
-        let _ = execute(&inst, &mut policy, &ExecConfig::default(), &mut erng);
+        let _ = execute(&inst, &mut policy, &ExecConfig::default(), 8);
         let first = policy.stats().supersteps;
         assert!(first > 0);
         policy.reset();

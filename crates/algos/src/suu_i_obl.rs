@@ -10,15 +10,22 @@
 use crate::lp1::solve_lp1;
 use crate::rounding::round_lp1;
 use crate::AlgoError;
-use suu_core::{JobId, MachineId, SuuInstance, Timetable};
-use suu_sim::{Policy, StateView};
+use suu_core::{MachineId, SuuInstance, Timetable};
+use suu_sim::{Assignment, Decision, Policy, StateView};
 
 /// The repeated-timetable oblivious policy.
 ///
 /// The timetable is computed once at construction (LP solve + rounding);
-/// per-trial `reset` is free, so Monte-Carlo estimation is cheap.
+/// per-trial `reset` is free, so Monte-Carlo estimation is cheap. Being
+/// oblivious, the row at time `t` is a pure function of `t mod period`,
+/// so under the event engine the policy emits the row and a wake-up at
+/// the next *row change* (precomputed per position) — stacked LP blocks
+/// are long, so whole blocks are fast-forwarded.
 pub struct OblPolicy {
     timetable: Timetable,
+    /// Per position: steps until the (cyclic) row next changes; `None`
+    /// when the whole table is one constant row.
+    change_in: Vec<Option<u64>>,
     name: String,
 }
 
@@ -39,8 +46,11 @@ impl OblPolicy {
     pub fn for_jobs(inst: &SuuInstance, jobs: &[u32]) -> Result<Self, AlgoError> {
         let sol = solve_lp1(inst, jobs, 0.5)?;
         let (assignment, _report) = round_lp1(inst, &sol)?;
+        let timetable = assignment.to_timetable();
+        let change_in = timetable.cyclic_change_distances();
         Ok(OblPolicy {
-            timetable: assignment.to_timetable(),
+            timetable,
+            change_in,
             name: "SUU-I-OBL".to_string(),
         })
     }
@@ -58,21 +68,27 @@ impl Policy for OblPolicy {
 
     fn reset(&mut self) {}
 
-    fn assign(&mut self, view: &StateView<'_>) -> Vec<Option<JobId>> {
+    fn decide(&mut self, view: &StateView<'_>, out: &mut Assignment) -> Decision {
         if self.timetable.is_empty() {
-            return vec![None; view.m];
+            return Decision::HOLD;
         }
-        let t = (view.time % self.timetable.len() as u64) as usize;
-        (0..view.m)
-            .map(|i| self.timetable.get(t, MachineId(i as u32)))
-            .collect()
+        let pos = (view.time % self.timetable.len() as u64) as usize;
+        for i in 0..view.m {
+            out.set_slot(i, self.timetable.get(pos, MachineId(i as u32)));
+        }
+        match self.change_in[pos] {
+            // Wake exactly when the repeated timetable's row changes.
+            Some(d) => Decision::wake_at(view.time + d),
+            // Constant table: the row never changes; hold forever.
+            None => Decision::HOLD,
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::{SmallRng, StdRng};
+    use rand::rngs::SmallRng;
     use rand::SeedableRng;
     use suu_core::{workload, Precedence};
     use suu_sim::{execute, ExecConfig};
@@ -83,8 +99,7 @@ mod tests {
         let inst = workload::uniform_unrelated(3, 6, 0.2, 0.9, Precedence::Independent, &mut rng);
         let mut policy = OblPolicy::build(&inst).unwrap();
         assert!(policy.period() >= 1);
-        let mut erng = StdRng::seed_from_u64(2);
-        let out = execute(&inst, &mut policy, &ExecConfig::default(), &mut erng);
+        let out = execute(&inst, &mut policy, &ExecConfig::default(), 2);
         assert!(out.completed);
         assert_eq!(out.ineligible_assignments, 0);
     }
@@ -95,8 +110,7 @@ mod tests {
         // makespan is at most one timetable period.
         let inst = workload::deterministic(2, 4, Precedence::Independent);
         let mut policy = OblPolicy::build(&inst).unwrap();
-        let mut erng = StdRng::seed_from_u64(3);
-        let out = execute(&inst, &mut policy, &ExecConfig::default(), &mut erng);
+        let out = execute(&inst, &mut policy, &ExecConfig::default(), 3);
         assert!(out.completed);
         assert!(out.makespan <= policy.period() as u64);
     }

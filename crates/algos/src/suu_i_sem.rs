@@ -22,7 +22,7 @@ use crate::AlgoError;
 use std::collections::HashMap;
 use std::sync::Arc;
 use suu_core::{BitSet, JobId, MachineId, SuuInstance, Timetable};
-use suu_sim::{Policy, StateView};
+use suu_sim::{Assignment, Decision, Policy, StateView};
 
 /// Bound on memoized timetables (keyed by round + remaining set) kept per
 /// policy instance. Trials within a worker share the cache.
@@ -60,7 +60,10 @@ pub struct SemPolicy {
     phase: Phase,
     round: u32,
     table: Option<Timetable>,
-    pos: usize,
+    /// Absolute time the current table (or the repeat cycle) began.
+    table_start: u64,
+    /// Cyclic row-change distances of the repeat-fallback table.
+    repeat_change: Vec<Option<u64>>,
     stats: SemStats,
 
     // --- cross-execution memoization ---
@@ -87,7 +90,8 @@ impl SemPolicy {
             phase: Phase::Rounds,
             round: 0,
             table: None,
-            pos: 0,
+            table_start: 0,
+            repeat_change: Vec::new(),
             stats: SemStats::default(),
             cache: HashMap::new(),
         })
@@ -176,22 +180,27 @@ impl Policy for SemPolicy {
         self.phase = Phase::Rounds;
         self.round = 0;
         self.table = None;
-        self.pos = 0;
+        self.table_start = 0;
+        self.repeat_change.clear();
         self.stats = SemStats::default();
     }
 
-    fn assign(&mut self, view: &StateView<'_>) -> Vec<Option<JobId>> {
+    fn decide(&mut self, view: &StateView<'_>, out: &mut Assignment) -> Decision {
         let remaining = self.my_remaining(view.remaining);
         if remaining.is_empty() {
-            return vec![None; view.m];
+            return Decision::HOLD; // idle until someone else's jobs move
         }
 
         loop {
             match self.phase {
                 Phase::Rounds => {
+                    // Progress is anchored to absolute time: the current
+                    // table plays rows `table_start..table_start + len`,
+                    // and the wake-up chain below guarantees we are
+                    // consulted at the exhaustion step exactly.
                     let exhausted = match &self.table {
                         None => true,
-                        Some(t) => self.pos >= t.len(),
+                        Some(t) => view.time >= self.table_start + t.len() as u64,
                     };
                     if exhausted {
                         self.round += 1;
@@ -204,11 +213,14 @@ impl Policy for SemPolicy {
                                 self.phase = Phase::GangFallback;
                             } else {
                                 self.phase = Phase::RepeatFallback;
-                                self.pos = 0;
+                                self.table_start = view.time;
                                 // Keep the round-K table; if it is somehow
                                 // missing/empty, degrade to gang.
-                                if self.table.as_ref().is_none_or(|t| t.is_empty()) {
-                                    self.phase = Phase::GangFallback;
+                                match self.table.as_ref() {
+                                    Some(t) if !t.is_empty() => {
+                                        self.repeat_change = t.cyclic_change_distances();
+                                    }
+                                    _ => self.phase = Phase::GangFallback,
                                 }
                             }
                             continue;
@@ -217,26 +229,33 @@ impl Policy for SemPolicy {
                         let table = self.compute_table(self.round, &remaining);
                         debug_assert!(!table.is_empty(), "round table must be non-empty");
                         self.table = Some(table);
-                        self.pos = 0;
+                        self.table_start = view.time;
                     }
                     let t = self.table.as_ref().expect("table set above");
-                    let row = (0..view.m)
-                        .map(|i| t.get(self.pos, MachineId(i as u32)))
-                        .collect();
-                    self.pos += 1;
-                    return row;
+                    let pos = (view.time - self.table_start) as usize;
+                    for i in 0..view.m {
+                        out.set_slot(i, t.get(pos, MachineId(i as u32)));
+                    }
+                    // Hold through the run of identical rows; the run ends
+                    // at a row change or at the round boundary.
+                    let run = t.run_length_from(pos) as u64;
+                    return Decision::wake_at(view.time + run);
                 }
                 Phase::GangFallback => {
-                    let j = remaining[0];
-                    return vec![Some(JobId(j)); view.m];
+                    // Pure function of the remaining set.
+                    out.fill(Some(JobId(remaining[0])));
+                    return Decision::HOLD;
                 }
                 Phase::RepeatFallback => {
                     let t = self.table.as_ref().expect("round-K table retained");
-                    let row = (0..view.m)
-                        .map(|i| t.get(self.pos % t.len(), MachineId(i as u32)))
-                        .collect();
-                    self.pos += 1;
-                    return row;
+                    let pos = ((view.time - self.table_start) % t.len() as u64) as usize;
+                    for i in 0..view.m {
+                        out.set_slot(i, t.get(pos, MachineId(i as u32)));
+                    }
+                    return match self.repeat_change[pos] {
+                        Some(d) => Decision::wake_at(view.time + d),
+                        None => Decision::HOLD, // constant cycle
+                    };
                 }
             }
         }
@@ -246,7 +265,7 @@ impl Policy for SemPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::{SmallRng, StdRng};
+    use rand::rngs::SmallRng;
     use rand::SeedableRng;
     use suu_core::{workload, Precedence};
     use suu_sim::{execute, ExecConfig, Semantics};
@@ -273,8 +292,7 @@ mod tests {
             &mut rng,
         ));
         let mut policy = SemPolicy::build(inst.clone()).unwrap();
-        let mut erng = StdRng::seed_from_u64(1);
-        let out = execute(&inst, &mut policy, &ExecConfig::default(), &mut erng);
+        let out = execute(&inst, &mut policy, &ExecConfig::default(), 1);
         assert!(out.completed);
         assert!(policy.stats().rounds_used >= 1);
         assert_eq!(out.ineligible_assignments, 0);
@@ -284,8 +302,7 @@ mod tests {
     fn deterministic_completes_in_round_one() {
         let inst = Arc::new(workload::deterministic(3, 3, Precedence::Independent));
         let mut policy = SemPolicy::build(inst.clone()).unwrap();
-        let mut erng = StdRng::seed_from_u64(2);
-        let out = execute(&inst, &mut policy, &ExecConfig::default(), &mut erng);
+        let out = execute(&inst, &mut policy, &ExecConfig::default(), 2);
         assert!(out.completed);
         assert_eq!(policy.stats().rounds_used, 1);
         assert!(!policy.stats().fallback_entered);
@@ -298,16 +315,19 @@ mod tests {
         policy.reset();
         let remaining = BitSet::full(6);
         let eligible = BitSet::full(6);
-        let view = StateView {
-            time: 0,
-            remaining: &remaining,
-            eligible: &eligible,
-            n: 6,
-            m: 2,
-        };
-        let mut p = policy;
-        for _ in 0..50 {
-            for j in p.assign(&view).into_iter().flatten() {
+        let mut row = Assignment::new(2);
+        for t in 0..50 {
+            let view = StateView {
+                time: t,
+                epoch: 0,
+                remaining: &remaining,
+                eligible: &eligible,
+                n: 6,
+                m: 2,
+            };
+            row.clear();
+            policy.decide(&view, &mut row);
+            for j in row.slots().iter().flatten() {
                 assert!(j.0 == 1 || j.0 == 4, "assigned outside subset: {j:?}");
             }
         }
@@ -338,8 +358,7 @@ mod tests {
         let mut policy = SemPolicy::build(inst.clone()).unwrap();
         let mut makespans = Vec::new();
         for seed in 0..5 {
-            let mut erng = StdRng::seed_from_u64(seed);
-            let out = execute(&inst, &mut policy, &ExecConfig::default(), &mut erng);
+            let out = execute(&inst, &mut policy, &ExecConfig::default(), seed);
             assert!(out.completed);
             makespans.push(out.makespan);
         }
@@ -362,15 +381,15 @@ mod tests {
         ));
         for semantics in [Semantics::Suu, Semantics::SuuStar] {
             let mut policy = SemPolicy::build(inst.clone()).unwrap();
-            let mut erng = StdRng::seed_from_u64(3);
             let out = execute(
                 &inst,
                 &mut policy,
                 &ExecConfig {
                     semantics,
                     max_steps: 1_000_000,
+                    ..ExecConfig::default()
                 },
-                &mut erng,
+                3,
             );
             assert!(out.completed, "{semantics:?}");
         }

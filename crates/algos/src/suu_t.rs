@@ -11,9 +11,9 @@
 use crate::suu_c::{ChainConfig, ChainPolicy, ChainStats};
 use crate::AlgoError;
 use std::sync::Arc;
-use suu_core::{JobId, SuuInstance};
+use suu_core::SuuInstance;
 use suu_dag::Forest;
-use suu_sim::{Policy, StateView};
+use suu_sim::{Assignment, Decision, Policy, StateView};
 
 /// The block-sequential forest policy.
 pub struct ForestPolicy {
@@ -92,21 +92,23 @@ impl Policy for ForestPolicy {
         }
     }
 
-    fn assign(&mut self, view: &StateView<'_>) -> Vec<Option<JobId>> {
+    fn decide(&mut self, view: &StateView<'_>, out: &mut Assignment) -> Decision {
+        // Block transitions happen exactly at completion events, so the
+        // engine is guaranteed to consult us when one finishes.
         while self.current < self.blocks.len() && self.block_done(self.current, view.remaining) {
             self.current += 1;
         }
         if self.current >= self.blocks.len() {
-            return vec![None; view.m];
+            return Decision::HOLD;
         }
-        self.blocks[self.current].assign(view)
+        self.blocks[self.current].decide(view, out)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::{SmallRng, StdRng};
+    use rand::rngs::SmallRng;
     use rand::SeedableRng;
     use suu_core::{workload, Precedence};
     use suu_dag::generators;
@@ -142,8 +144,7 @@ mod tests {
             let mut policy =
                 ForestPolicy::build(inst.clone(), &forest, ChainConfig::default()).unwrap();
             assert!(policy.num_blocks() <= 5); // log2(12)+1
-            let mut erng = StdRng::seed_from_u64(seed + 50);
-            let out = execute(&inst, &mut policy, &ExecConfig::default(), &mut erng);
+            let out = execute(&inst, &mut policy, &ExecConfig::default(), seed + 50);
             assert!(out.completed, "seed {seed}");
             assert_eq!(out.ineligible_assignments, 0, "seed {seed}");
         }
@@ -155,8 +156,7 @@ mod tests {
             let (inst, forest) = forest_instance(seed, 3, 12, true);
             let mut policy =
                 ForestPolicy::build(inst.clone(), &forest, ChainConfig::default()).unwrap();
-            let mut erng = StdRng::seed_from_u64(seed + 70);
-            let out = execute(&inst, &mut policy, &ExecConfig::default(), &mut erng);
+            let out = execute(&inst, &mut policy, &ExecConfig::default(), seed + 70);
             assert!(out.completed, "seed {seed}");
             assert_eq!(out.ineligible_assignments, 0, "seed {seed}");
         }
@@ -188,8 +188,7 @@ mod tests {
         let mut policy =
             ForestPolicy::build(inst.clone(), &forest, ChainConfig::default()).unwrap();
         for seed in 0..3 {
-            let mut erng = StdRng::seed_from_u64(seed);
-            let out = execute(&inst, &mut policy, &ExecConfig::default(), &mut erng);
+            let out = execute(&inst, &mut policy, &ExecConfig::default(), seed);
             assert!(out.completed);
         }
     }

@@ -14,23 +14,24 @@ use rand::SeedableRng;
 use std::sync::Arc;
 use suu_core::{workload, Precedence};
 use suu_dag::generators;
-use suu_sim::{run_trials, ExecConfig, MonteCarloConfig, Semantics};
+use suu_sim::{EvalConfig, Evaluator, ExecConfig, Semantics};
 
-fn mc(trials: usize, seed: u64) -> MonteCarloConfig {
-    MonteCarloConfig {
+fn mc(trials: usize, seed: u64) -> Evaluator {
+    Evaluator::new(EvalConfig {
         trials,
-        base_seed: seed,
+        master_seed: seed,
         threads: 4,
         exec: ExecConfig {
             semantics: Semantics::SuuStar,
             max_steps: 5_000_000,
+            ..ExecConfig::default()
         },
-    }
+    })
 }
 
-fn mean(outcomes: &[suu_sim::engine::ExecOutcome]) -> f64 {
-    assert!(outcomes.iter().all(|o| o.completed), "all trials complete");
-    outcomes.iter().map(|o| o.makespan as f64).sum::<f64>() / outcomes.len() as f64
+fn mean(report: &suu_sim::EvalReport) -> f64 {
+    assert!(report.all_completed(), "all trials complete");
+    report.mean_makespan()
 }
 
 #[test]
@@ -46,12 +47,8 @@ fn sem_beats_or_matches_gang_on_parallel_workload() {
         Precedence::Independent,
         &mut rng,
     ));
-    let sem = mean(&run_trials(
-        &inst,
-        || SemPolicy::build(inst.clone()).unwrap(),
-        &mc(40, 1),
-    ));
-    let gang = mean(&run_trials(&inst, GangSequentialPolicy::new, &mc(40, 1)));
+    let sem = mean(&mc(40, 1).run(&inst, || SemPolicy::build(inst.clone()).unwrap()));
+    let gang = mean(&mc(40, 1).run(&inst, GangSequentialPolicy::new));
     assert!(
         sem < gang * 0.6,
         "SEM ({sem:.1}) should clearly beat gang-sequential ({gang:.1})"
@@ -73,11 +70,7 @@ fn sem_vs_exact_opt_small() {
             &mut rng,
         ));
         let opt = exact_opt(&inst, OptLimits::default()).unwrap();
-        let sem = mean(&run_trials(
-            &inst,
-            || SemPolicy::build(inst.clone()).unwrap(),
-            &mc(200, seed),
-        ));
+        let sem = mean(&mc(200, seed).run(&inst, || SemPolicy::build(inst.clone()).unwrap()));
         assert!(
             sem <= 12.0 * opt + 2.0,
             "seed {seed}: SEM {sem:.2} vs OPT {opt:.2}"
@@ -101,16 +94,8 @@ fn obl_vs_sem_consistency() {
         Precedence::Independent,
         &mut rng,
     ));
-    let obl = mean(&run_trials(
-        &inst,
-        || OblPolicy::build(&inst).unwrap(),
-        &mc(60, 2),
-    ));
-    let sem = mean(&run_trials(
-        &inst,
-        || SemPolicy::build(inst.clone()).unwrap(),
-        &mc(60, 2),
-    ));
+    let obl = mean(&mc(60, 2).run(&inst, || OblPolicy::build(&inst).unwrap()));
+    let sem = mean(&mc(60, 2).run(&inst, || SemPolicy::build(inst.clone()).unwrap()));
     assert!(sem <= 3.0 * obl + 5.0, "SEM {sem:.1} vs OBL {obl:.1}");
 }
 
@@ -128,11 +113,9 @@ fn chains_respect_lower_bound() {
         &mut rng,
     ));
     let lb = lower_bound(&inst).unwrap();
-    let measured = mean(&run_trials(
-        &inst,
-        || ChainPolicy::build(inst.clone(), chains.clone(), ChainConfig::default()).unwrap(),
-        &mc(40, 3),
-    ));
+    let measured = mean(&mc(40, 3).run(&inst, || {
+        ChainPolicy::build(inst.clone(), chains.clone(), ChainConfig::default()).unwrap()
+    }));
     assert!(
         measured >= lb - 0.5,
         "measured {measured:.2} below lower bound {lb:.2}"
@@ -153,12 +136,10 @@ fn forest_policy_completes_mapreduce_like_forest() {
         Precedence::Forest(forest.clone()),
         &mut rng,
     ));
-    let outcomes = run_trials(
-        &inst,
-        || ForestPolicy::build(inst.clone(), &forest, ChainConfig::default()).unwrap(),
-        &mc(20, 4),
-    );
-    assert!(outcomes.iter().all(|o| o.completed));
+    let report = mc(20, 4).run(&inst, || {
+        ForestPolicy::build(inst.clone(), &forest, ChainConfig::default()).unwrap()
+    });
+    assert!(report.all_completed());
 }
 
 proptest! {
@@ -193,12 +174,8 @@ proptest! {
         let mut rng = SmallRng::seed_from_u64(seed);
         let inst = Arc::new(workload::uniform_unrelated(
             m, n, 0.1, 0.95, Precedence::Independent, &mut rng));
-        let outcomes = run_trials(
-            &inst,
-            || SemPolicy::build(inst.clone()).unwrap(),
-            &mc(5, seed),
-        );
-        prop_assert!(outcomes.iter().all(|o| o.completed));
+        let report = mc(5, seed).run(&inst, || SemPolicy::build(inst.clone()).unwrap());
+        prop_assert!(report.all_completed());
     }
 }
 
@@ -215,11 +192,7 @@ fn lower_bound_below_every_policy_mean() {
         &mut rng,
     ));
     let lb = lower_bound(&inst).unwrap();
-    let sem = mean(&run_trials(
-        &inst,
-        || SemPolicy::build(inst.clone()).unwrap(),
-        &mc(60, 5),
-    ));
+    let sem = mean(&mc(60, 5).run(&inst, || SemPolicy::build(inst.clone()).unwrap()));
     // Sampling noise allowance.
     assert!(sem >= lb - 0.5, "SEM mean {sem:.2} below LB {lb:.2}");
 }

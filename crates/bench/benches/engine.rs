@@ -1,33 +1,51 @@
-//! Bench: execution-engine throughput under both semantics.
+//! Bench: execution-engine throughput — dense stepper vs. event engine,
+//! under both semantics.
 //!
 //! ```sh
 //! cargo bench -p suu-bench --bench engine
 //! ```
 
-use rand::rngs::{SmallRng, StdRng};
+use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use suu_algos::baselines::RoundRobinPolicy;
+use std::sync::Arc;
+use suu_algos::baselines::{GangSequentialPolicy, LrGreedyPolicy};
 use suu_bench::harness::{black_box, Bench};
 use suu_core::{workload, Precedence};
-use suu_sim::{execute, ExecConfig, Semantics};
+use suu_sim::{execute, EngineKind, ExecConfig, Policy, Semantics};
 
 fn main() {
     let bench = Bench::group("engine_execute");
     for &(n, m) in &[(32usize, 8usize), (128, 16), (512, 32)] {
         let mut rng = SmallRng::seed_from_u64(n as u64);
-        let inst = workload::uniform_unrelated(m, n, 0.4, 0.95, Precedence::Independent, &mut rng);
+        let inst = Arc::new(workload::uniform_unrelated(
+            m,
+            n,
+            0.4,
+            0.95,
+            Precedence::Independent,
+            &mut rng,
+        ));
         for (label, semantics) in [("suu", Semantics::Suu), ("suustar", Semantics::SuuStar)] {
-            let cfg = ExecConfig {
-                semantics,
-                max_steps: 1_000_000,
-            };
-            let mut policy = RoundRobinPolicy::new();
-            let mut seed = 0u64;
-            bench.bench(&format!("{label}/n{n}_m{m}"), || {
-                seed += 1;
-                let mut rng = StdRng::seed_from_u64(seed);
-                black_box(execute(&inst, &mut policy, &cfg, &mut rng).makespan)
-            });
+            for (engine_label, engine) in
+                [("dense", EngineKind::Dense), ("events", EngineKind::Events)]
+            {
+                let cfg = ExecConfig {
+                    semantics,
+                    engine,
+                    max_steps: 1_000_000,
+                };
+                let mut gang = GangSequentialPolicy::new();
+                let mut greedy = LrGreedyPolicy::new(inst.clone());
+                let mut seed = 0u64;
+                bench.bench(&format!("{label}/{engine_label}/gang/n{n}_m{m}"), || {
+                    seed += 1;
+                    black_box(execute(&inst, &mut gang as &mut dyn Policy, &cfg, seed).makespan)
+                });
+                bench.bench(&format!("{label}/{engine_label}/greedy/n{n}_m{m}"), || {
+                    seed += 1;
+                    black_box(execute(&inst, &mut greedy as &mut dyn Policy, &cfg, seed).makespan)
+                });
+            }
         }
     }
 }

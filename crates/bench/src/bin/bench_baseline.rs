@@ -1,36 +1,107 @@
 //! **bench_baseline** — the perf-trajectory anchor: runs the standard
 //! six-family [`suu_bench::scenario::ScenarioSuite`] across every
 //! registry policy that fits each scenario, measures a parallel-vs-serial
-//! evaluator speedup on a 1000-trial workload, and writes the whole thing
-//! as `BENCH_baseline.json` (schema `suu-results/v1`, with an extra
-//! `"evaluator"` block).
+//! evaluator speedup, and races the **dense stepper against the event
+//! engine** (identical outcomes required, wall clocks recorded). Writes:
+//!
+//! * `BENCH_baseline.json` — schema `suu-results/v1` with an extra
+//!   `"evaluator"` block (quality + per-cell wall clock);
+//! * `BENCH_engine_events.json` — dense vs. event engine per scenario
+//!   family (plus a large hard-jobs family where fast-forwarding
+//!   matters most), with `threads` recorded.
 //!
 //! Later scaling PRs re-run this binary and diff the JSON: makespan means
 //! are quality regressions, `wall_clock_s` per cell is the perf
 //! trajectory.
 //!
 //! ```sh
-//! cargo run --release -p suu-bench --bin bench_baseline [out.json]
+//! cargo run --release -p suu-bench --bin bench_baseline [--smoke] [out.json [engine_out.json]]
 //! ```
+//!
+//! `--smoke` shrinks everything (smoke suite, few trials) for CI: it
+//! still asserts dense ≡ events bitwise, so engine regressions that only
+//! manifest under the Race runner fail fast.
 
+use std::sync::Arc;
 use suu_bench::runner::{run_race_with, Race};
 use suu_bench::scenario::{Scenario, ScenarioSuite};
 use suu_bench::Stopwatch;
 use suu_core::json::Json;
-use suu_sim::{Evaluator, PolicySpec};
+use suu_core::SuuInstance;
+use suu_sim::{
+    EngineKind, EvalConfig, Evaluator, ExecConfig, PolicyRegistry, PolicySpec, RegistryError,
+};
+
+/// One dense-vs-events cell: wall clocks, speedup, equality.
+fn engine_cell(
+    registry: &PolicyRegistry,
+    inst: &Arc<SuuInstance>,
+    scenario_id: &str,
+    spec: &PolicySpec,
+    trials: usize,
+) -> Result<Json, RegistryError> {
+    let run = |engine: EngineKind| {
+        Evaluator::new(EvalConfig {
+            trials,
+            master_seed: 0xE7E7,
+            threads: 1, // single worker: wall clocks compare engines, not pools
+            exec: ExecConfig {
+                engine,
+                ..ExecConfig::default()
+            },
+        })
+        .run_spec(registry, inst, spec)
+    };
+    let dense = run(EngineKind::Dense)?;
+    let events = run(EngineKind::Events)?;
+    let identical = dense.outcomes == events.outcomes;
+    assert!(
+        identical,
+        "event engine diverged from dense oracle on {scenario_id}/{spec}"
+    );
+    let d = dense.wall_clock.as_secs_f64();
+    let e = events.wall_clock.as_secs_f64();
+    println!(
+        "  {scenario_id:<28} {spec:<18} dense {d:>8.3}s  events {e:>8.3}s  speedup {:>6.2}x",
+        d / e.max(1e-9)
+    );
+    Ok(Json::obj()
+        .field("scenario", scenario_id)
+        .field("policy", spec.to_string())
+        .field("trials", trials as u64)
+        .field("mean_makespan", events.mean_makespan())
+        .field("dense_wall_clock_s", d)
+        .field("events_wall_clock_s", e)
+        .field("speedup", d / e.max(1e-9))
+        .field("outcomes_identical", identical))
+}
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let out_path = positional
+        .first()
+        .map(|s| s.to_string())
         .unwrap_or_else(|| "BENCH_baseline.json".to_string());
+    let engine_out_path = positional
+        .get(1)
+        .map(|s| s.to_string())
+        .unwrap_or_else(|| "BENCH_engine_events.json".to_string());
+
     let watch = Stopwatch::start();
     let registry = suu_algos::standard_registry();
+    let race_trials = if smoke { 8 } else { 200 };
+    let suite = if smoke {
+        ScenarioSuite::smoke(42)
+    } else {
+        ScenarioSuite::standard(42)
+    };
 
-    // 1. Quality + per-cell wall clock across the standard suite.
-    let suite = ScenarioSuite::standard(42);
+    // 1. Quality + per-cell wall clock across the suite.
     let mut doc = run_race_with(
         Race {
-            title: "BENCH baseline: standard suite × registry policies".to_string(),
+            title: format!("BENCH baseline: {} suite × registry policies", suite.name),
             generated_by: "bench_baseline".to_string(),
             scenarios: suite.scenarios,
             policies: [
@@ -45,7 +116,7 @@ fn main() {
             ]
             .map(String::from)
             .to_vec(),
-            trials: 200,
+            trials: race_trials,
             master_seed: 0xBA5E,
             ratios_to_lower_bound: true,
             json_path: None,
@@ -54,60 +125,101 @@ fn main() {
         &registry,
     );
 
-    // 2. Evaluator speedup: 1000 trials of a registry policy, serial vs
-    //    all-cores, identical outcomes required.
-    println!("\n-- evaluator speedup (1000 trials, greedy-lr on uniform-12x192) --");
-    let sc = Scenario::uniform(12, 192, 0.35, 0.97, 77);
-    let inst = sc.instantiate();
-    let spec = PolicySpec::new("greedy-lr");
-    let eval = Evaluator::seeded(1000, 0xFA57);
-
-    let serial = {
-        let e = eval.with_threads(1);
-        let probe = registry.build(&inst, &spec).expect("builds");
-        drop(probe);
-        e.run_serial(&inst, || registry.build(&inst, &spec).expect("builds"))
-    };
-    let parallel = eval
-        .with_threads(0)
-        .run(&inst, || registry.build(&inst, &spec).expect("builds"));
-
-    let identical = serial
-        .outcomes
-        .iter()
-        .zip(&parallel.outcomes)
-        .all(|(a, b)| a.makespan == b.makespan);
-    let speedup = serial.wall_clock.as_secs_f64() / parallel.wall_clock.as_secs_f64().max(1e-9);
     let cores = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1);
-    println!(
-        "serial {:.3}s  parallel {:.3}s  speedup {speedup:.2}x on {cores} core(s)  outcomes identical: {identical}",
-        serial.wall_clock.as_secs_f64(),
-        parallel.wall_clock.as_secs_f64(),
-    );
-    if cores == 1 {
-        println!("(single-core host: the parallel path degenerates to one worker;");
-        println!(" re-run on a multicore machine for the real speedup number)");
+
+    // 2. Evaluator speedup: serial vs all-cores, identical outcomes
+    //    required (skipped in smoke mode; the engine comparison below
+    //    already covers determinism).
+    if !smoke {
+        println!("\n-- evaluator speedup (1000 trials, greedy-lr on uniform-12x192) --");
+        let sc = Scenario::uniform(12, 192, 0.35, 0.97, 77);
+        let inst = sc.instantiate();
+        let spec = PolicySpec::new("greedy-lr");
+        let eval = Evaluator::seeded(1000, 0xFA57);
+
+        let serial = {
+            let e = eval.with_threads(1);
+            e.run_serial(&inst, || registry.build(&inst, &spec).expect("builds"))
+        };
+        let parallel = eval
+            .with_threads(0)
+            .run(&inst, || registry.build(&inst, &spec).expect("builds"));
+
+        let identical = serial
+            .outcomes
+            .iter()
+            .zip(&parallel.outcomes)
+            .all(|(a, b)| a.makespan == b.makespan);
+        let speedup = serial.wall_clock.as_secs_f64() / parallel.wall_clock.as_secs_f64().max(1e-9);
+        println!(
+            "serial {:.3}s  parallel {:.3}s  speedup {speedup:.2}x on {cores} core(s)  outcomes identical: {identical}",
+            serial.wall_clock.as_secs_f64(),
+            parallel.wall_clock.as_secs_f64(),
+        );
+        if cores == 1 {
+            println!("(single-core host: the parallel path degenerates to one worker;");
+            println!(" re-run on a multicore machine for the real speedup number)");
+        }
+        assert!(
+            identical,
+            "parallel evaluator diverged from serial reference"
+        );
+
+        doc = doc.field(
+            "evaluator",
+            Json::obj()
+                .field("workload", sc.id.as_str())
+                .field("policy", "greedy-lr")
+                .field("trials", 1000u64)
+                .field("serial_wall_clock_s", serial.wall_clock.as_secs_f64())
+                .field("parallel_wall_clock_s", parallel.wall_clock.as_secs_f64())
+                .field("speedup", speedup)
+                .field("threads", cores)
+                .field("outcomes_identical", identical),
+        );
     }
-    assert!(
-        identical,
-        "parallel evaluator diverged from serial reference"
-    );
 
-    doc = doc.field(
-        "evaluator",
-        Json::obj()
-            .field("workload", sc.id.as_str())
-            .field("policy", "greedy-lr")
-            .field("trials", 1000u64)
-            .field("serial_wall_clock_s", serial.wall_clock.as_secs_f64())
-            .field("parallel_wall_clock_s", parallel.wall_clock.as_secs_f64())
-            .field("speedup", speedup)
-            .field("threads", cores)
-            .field("outcomes_identical", identical),
-    );
+    // 3. Dense vs. event engine, per scenario family. The extra
+    //    `uniform-m4-n96` family has near-certain per-step failure
+    //    (q ∈ [0.99, 0.999]): hundreds of unit steps per completion, the
+    //    regime the event engine exists for — and the largest family.
+    println!("\n-- engine comparison: dense stepper vs. event engine --");
+    let engine_trials = if smoke { 4 } else { 60 };
+    let mut engine_scenarios = if smoke {
+        ScenarioSuite::smoke(42).scenarios
+    } else {
+        ScenarioSuite::standard(42).scenarios
+    };
+    if !smoke {
+        engine_scenarios.push(Scenario::uniform(4, 96, 0.99, 0.999, 4242));
+    }
+    let engine_specs = ["gang-sequential", "greedy-lr", "suu-i-obl"];
+    let mut cells: Vec<Json> = Vec::new();
+    for sc in &engine_scenarios {
+        let inst = sc.instantiate();
+        for spec_text in engine_specs {
+            let spec = PolicySpec::new(spec_text);
+            match engine_cell(&registry, &inst, &sc.id, &spec, engine_trials) {
+                Ok(cell) => cells.push(cell),
+                Err(RegistryError::UnsupportedStructure { .. }) => continue,
+                Err(e) => panic!("{}/{spec_text}: {e}", sc.id),
+            }
+        }
+    }
+    let engine_doc = Json::obj()
+        .field("schema", "suu-bench/engine-events/v1")
+        .field("generated_by", "bench_baseline")
+        .field("mode", if smoke { "smoke" } else { "full" })
+        .field("threads", 1u64)
+        .field("host_cores", cores as u64)
+        .field("trials_per_cell", engine_trials as u64)
+        .field("cells", Json::Arr(cells));
+    std::fs::write(&engine_out_path, engine_doc.to_pretty()).expect("write engine JSON");
+    println!("engine comparison written to {engine_out_path}");
 
+    doc = doc.field("engine_comparison_file", engine_out_path.as_str());
     std::fs::write(&out_path, doc.to_pretty()).expect("write baseline JSON");
     println!(
         "\nbaseline written to {out_path}  [{:.1}s total]",

@@ -9,7 +9,7 @@
 //! cargo run --release -p suu-bench --bin fig_congestion
 //! ```
 
-use rand::rngs::{SmallRng, StdRng};
+use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::sync::Arc;
 use suu_algos::{ChainConfig, ChainPolicy};
@@ -53,8 +53,7 @@ fn main() {
                 ..Default::default()
             };
             let mut policy = ChainPolicy::build(inst.clone(), chains.clone(), cfg).unwrap();
-            let mut erng = StdRng::seed_from_u64(seed);
-            let out = execute(&inst, &mut policy, &ExecConfig::default(), &mut erng);
+            let out = execute(&inst, &mut policy, &ExecConfig::default(), seed);
             assert!(out.completed);
             (policy.stats().max_congestion as f64, out.makespan as f64)
         };

@@ -61,6 +61,8 @@ fn main() {
                     exec: ExecConfig {
                         semantics,
                         max_steps: 5_000_000,
+
+                        ..ExecConfig::default()
                     },
                 })
                 .run_spec(&registry, &inst, &spec)

@@ -9,7 +9,7 @@
 //! cargo run --release -p suu-bench --bin fig_rounds
 //! ```
 
-use rand::rngs::{SmallRng, StdRng};
+use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::sync::Arc;
 use suu_algos::SemPolicy;
@@ -45,8 +45,7 @@ fn main() {
         let mut rounds = Vec::with_capacity(trials);
         let mut fallbacks = 0u32;
         for seed in 0..trials as u64 {
-            let mut erng = StdRng::seed_from_u64(seed);
-            let out = execute(&inst, &mut policy, &ExecConfig::default(), &mut erng);
+            let out = execute(&inst, &mut policy, &ExecConfig::default(), seed);
             assert!(out.completed);
             let st = policy.stats();
             rounds.push(st.rounds_used as f64);

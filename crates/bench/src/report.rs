@@ -154,7 +154,7 @@ impl ResultsBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use suu_sim::{Evaluator, Policy, StateView};
+    use suu_sim::{Assignment, Decision, Evaluator, Policy, StateView};
 
     struct Gang;
     impl Policy for Gang {
@@ -162,11 +162,9 @@ mod tests {
             "gang"
         }
         fn reset(&mut self) {}
-        fn assign(&mut self, view: &StateView<'_>) -> Vec<Option<suu_core::JobId>> {
-            match view.eligible.first() {
-                Some(j) => vec![Some(suu_core::JobId(j)); view.m],
-                None => vec![None; view.m],
-            }
+        fn decide(&mut self, view: &StateView<'_>, out: &mut Assignment) -> Decision {
+            out.fill(view.eligible.first().map(suu_core::JobId));
+            Decision::HOLD
         }
     }
 

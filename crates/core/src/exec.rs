@@ -1,0 +1,113 @@
+//! Execution-time machine→job assignment rows.
+//!
+//! [`Assignment`] is the scratch buffer the execution engine hands a
+//! policy at every decision epoch: one slot per machine, each either a
+//! job or idle. The buffer is owned by the caller (the engine) and reused
+//! across epochs and trials, so a policy's `decide` never allocates —
+//! the hot path of a million-trial Monte-Carlo sweep stays allocation-free.
+//!
+//! Not to be confused with [`crate::Assignment`], the *LP* assignment
+//! `{x_ij}` (integral machine-steps per job) output by the paper's
+//! roundings; this type is one instantaneous row of a running schedule.
+
+use crate::JobId;
+
+/// One machine→job assignment row: slot `i` is what machine `i` does.
+///
+/// The engine clears the buffer (all idle) before every `decide` call, so
+/// policies only write the slots they use.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assignment {
+    slots: Vec<Option<JobId>>,
+}
+
+impl Assignment {
+    /// All-idle row for `m` machines.
+    pub fn new(m: usize) -> Self {
+        Assignment {
+            slots: vec![None; m],
+        }
+    }
+
+    /// Number of machines (slots).
+    #[inline]
+    pub fn num_machines(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Reset every slot to idle (keeps capacity).
+    #[inline]
+    pub fn clear(&mut self) {
+        self.slots.iter_mut().for_each(|s| *s = None);
+    }
+
+    /// Point machine `i` at job `j`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: JobId) {
+        self.slots[i] = Some(j);
+    }
+
+    /// Write slot `i` directly (job or idle).
+    #[inline]
+    pub fn set_slot(&mut self, i: usize, slot: Option<JobId>) {
+        self.slots[i] = slot;
+    }
+
+    /// Idle machine `i`.
+    #[inline]
+    pub fn idle(&mut self, i: usize) {
+        self.slots[i] = None;
+    }
+
+    /// Point every machine at `slot` (used by gang schedules).
+    #[inline]
+    pub fn fill(&mut self, slot: Option<JobId>) {
+        self.slots.iter_mut().for_each(|s| *s = slot);
+    }
+
+    /// What machine `i` does.
+    #[inline]
+    pub fn get(&self, i: usize) -> Option<JobId> {
+        self.slots[i]
+    }
+
+    /// The whole row.
+    #[inline]
+    pub fn slots(&self) -> &[Option<JobId>] {
+        &self.slots
+    }
+
+    /// Copy a prebuilt row into the buffer (lengths must match).
+    pub fn copy_from_row(&mut self, row: &[Option<JobId>]) {
+        debug_assert_eq!(row.len(), self.slots.len(), "row width mismatch");
+        self.slots.copy_from_slice(row);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_clear_fill() {
+        let mut a = Assignment::new(3);
+        assert_eq!(a.num_machines(), 3);
+        a.set(1, JobId(7));
+        assert_eq!(a.get(1), Some(JobId(7)));
+        assert_eq!(a.get(0), None);
+        a.fill(Some(JobId(2)));
+        assert_eq!(a.slots(), &[Some(JobId(2)); 3]);
+        a.idle(2);
+        assert_eq!(a.get(2), None);
+        a.clear();
+        assert!(a.slots().iter().all(|s| s.is_none()));
+    }
+
+    #[test]
+    fn copy_from_row_replaces_contents() {
+        let mut a = Assignment::new(2);
+        a.set(0, JobId(1));
+        a.copy_from_row(&[None, Some(JobId(3))]);
+        assert_eq!(a.slots(), &[None, Some(JobId(3))]);
+    }
+}

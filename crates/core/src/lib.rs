@@ -12,6 +12,9 @@
 //! * [`Assignment`] — integral machine-step assignments `{x_ij}` (the
 //!   output shape of the paper's LP roundings) with their *load*, *length*
 //!   (`d_j`) and per-job *log mass*.
+//! * [`exec::Assignment`] — one instantaneous machine→job row, the
+//!   caller-owned scratch buffer the execution engine's `Policy::decide`
+//!   writes into (distinct from the LP assignment above).
 //! * [`Timetable`] — finite oblivious schedules: an explicit
 //!   machine-per-step job table, built from an [`Assignment`] by stacking.
 //! * [`workload`] — seeded random instance generators (uniform unrelated
@@ -28,6 +31,7 @@
 
 mod assignment;
 mod bitset;
+pub mod exec;
 mod ids;
 mod instance;
 pub mod json;

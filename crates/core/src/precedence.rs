@@ -65,6 +65,10 @@ pub struct EligibilityTracker {
     pending_preds: Vec<u32>,
     /// Successor lists.
     succ: Vec<Vec<u32>>,
+    /// Completion events so far (the *decision epoch* counter: the
+    /// eligible set changes exactly when a job completes, so event-driven
+    /// engines and policies key their caches off this).
+    epoch: u64,
 }
 
 impl EligibilityTracker {
@@ -85,6 +89,7 @@ impl EligibilityTracker {
             eligible,
             pending_preds,
             succ,
+            epoch: 0,
         }
     }
 
@@ -112,6 +117,15 @@ impl EligibilityTracker {
         self.remaining.len()
     }
 
+    /// Number of completion events so far. Increments exactly when the
+    /// eligible set changes, so two observations with equal epochs are
+    /// guaranteed to see identical remaining/eligible sets — the hook the
+    /// event-driven engine (and caching policies) build on.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
     /// Mark job `j` complete, unlocking any successors whose predecessors
     /// are now all done. Returns the newly eligible jobs.
     ///
@@ -120,6 +134,7 @@ impl EligibilityTracker {
     pub fn complete(&mut self, j: u32) -> Vec<u32> {
         debug_assert!(self.remaining.contains(j), "job {j} completed twice");
         debug_assert!(self.eligible.contains(j), "ineligible job {j} completed");
+        self.epoch += 1;
         self.remaining.remove(j);
         self.eligible.remove(j);
         let mut unlocked = Vec::new();
@@ -151,9 +166,12 @@ mod tests {
         let dag = Dag::from_edges(3, &[(0, 1), (1, 2)]);
         let mut t = EligibilityTracker::new(&dag);
         assert_eq!(t.eligible().iter().collect::<Vec<_>>(), vec![0]);
+        assert_eq!(t.epoch(), 0);
         assert_eq!(t.complete(0), vec![1]);
+        assert_eq!(t.epoch(), 1);
         assert_eq!(t.complete(1), vec![2]);
         assert_eq!(t.complete(2), Vec::<u32>::new());
+        assert_eq!(t.epoch(), 3);
         assert!(t.all_done());
     }
 

@@ -67,6 +67,49 @@ impl Timetable {
         self.steps.push(row);
     }
 
+    /// Number of consecutive steps starting at `t` whose rows are all
+    /// identical to row `t` (at least 1; scans to the end of the table,
+    /// no wrap-around). Event-driven policies use this to declare how
+    /// long an emitted row can be *held* before they need a wake-up.
+    pub fn run_length_from(&self, t: usize) -> usize {
+        let row = &self.steps[t];
+        let mut len = 1;
+        while t + len < self.steps.len() && self.steps[t + len] == *row {
+            len += 1;
+        }
+        len
+    }
+
+    /// For each step, the number of steps until the row next *changes*,
+    /// scanning cyclically (the table repeats). `None` entries mean the
+    /// table is constant — the row never changes, so a repeating policy
+    /// can hold it forever.
+    pub fn cyclic_change_distances(&self) -> Vec<Option<u64>> {
+        let len = self.steps.len();
+        let mut out = vec![None; len];
+        if len == 0 {
+            return out;
+        }
+        // Two backward walks: the first only establishes the carry-in
+        // distance at position 0 so the second can resolve wrap-arounds;
+        // the second writes every entry.
+        let mut dist: Option<u64> = None;
+        for pass in 0..2 {
+            for t in (0..len).rev() {
+                let next = &self.steps[(t + 1) % len];
+                dist = if self.steps[t] != *next {
+                    Some(1)
+                } else {
+                    dist.map(|d| d + 1)
+                };
+                if pass == 1 {
+                    out[t] = dist.map(|d| d.min(len as u64));
+                }
+            }
+        }
+        out
+    }
+
     /// Total non-idle machine-steps.
     pub fn busy_steps(&self) -> u64 {
         self.steps
@@ -110,6 +153,28 @@ mod tests {
         assert_eq!(a.len(), 3);
         assert_eq!(a.get(0, MachineId(0)), Some(JobId(0)));
         assert_eq!(a.get(2, MachineId(0)), Some(JobId(1)));
+    }
+
+    #[test]
+    fn run_lengths_and_cyclic_distances() {
+        // Rows: A A B A (A = job 0 on machine 0, B = idle).
+        let mut t = Timetable::idle(1, 4);
+        for pos in [0usize, 1, 3] {
+            t.set(pos, MachineId(0), Some(JobId(0)));
+        }
+        assert_eq!(t.run_length_from(0), 2);
+        assert_eq!(t.run_length_from(1), 1);
+        assert_eq!(t.run_length_from(2), 1);
+        assert_eq!(t.run_length_from(3), 1);
+        assert_eq!(
+            t.cyclic_change_distances(),
+            vec![Some(2), Some(1), Some(1), Some(3)],
+            "row 3 == rows 0 and 1, so from 3 the next change is 3 steps away"
+        );
+        // Constant table: the row never changes.
+        let c = Timetable::idle(2, 3);
+        assert_eq!(c.cyclic_change_distances(), vec![None; 3]);
+        assert_eq!(c.run_length_from(0), 3);
     }
 
     #[test]

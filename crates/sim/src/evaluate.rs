@@ -6,8 +6,10 @@
 //! expensive LP-built policy is constructed once per worker, not once per
 //! trial) while remaining **bitwise deterministic**:
 //!
-//! * trial `k`'s engine randomness comes from an RNG seeded with
-//!   `derive_seed(master_seed, k, ENGINE_DOMAIN)`;
+//! * trial `k`'s engine randomness is the seed
+//!   `derive_seed(master_seed, k, ENGINE_DOMAIN)`, from which the engine
+//!   derives counter-based *per-job* streams (so the dense and event
+//!   engines consume identical randomness — see [`crate::engine`]);
 //! * trial `k`'s *policy-internal* randomness (e.g. `SUU-C`'s Theorem-7
 //!   start delays) is pinned by calling [`crate::Policy::reseed`] with
 //!   `derive_seed(master_seed, k, POLICY_DOMAIN)` before execution.
@@ -22,8 +24,6 @@ use crate::engine::{execute, ExecConfig, ExecOutcome};
 use crate::policy::Policy;
 use crate::registry::{PolicyRegistry, PolicySpec, RegistryError};
 use crate::stats::{summarize, Summary};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use rayon::prelude::*;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -254,20 +254,27 @@ impl Evaluator {
     fn run_trial<P: Policy>(&self, inst: &SuuInstance, policy: &mut P, k: u64) -> ExecOutcome {
         let cfg = &self.config;
         policy.reseed(derive_seed(cfg.master_seed, k, POLICY_DOMAIN));
-        let mut rng = StdRng::seed_from_u64(derive_seed(cfg.master_seed, k, ENGINE_DOMAIN));
-        execute(inst, policy, &cfg.exec, &mut rng)
+        execute(
+            inst,
+            policy,
+            &cfg.exec,
+            derive_seed(cfg.master_seed, k, ENGINE_DOMAIN),
+        )
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policy::StateView;
+    use crate::policy::{Assignment, Decision, StateView};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
     use suu_core::{workload, JobId, Precedence};
 
     /// Gang policy with *internal* randomness: occasionally idles one
     /// machine based on its own RNG — a miniature of SUU-C's delays,
-    /// to prove `reseed` pins policy randomness per trial.
+    /// to prove `reseed` pins policy randomness per trial. Its output
+    /// varies every step, so it declares per-step wake-ups.
     struct JitteryGang {
         rng: StdRng,
     }
@@ -288,18 +295,15 @@ mod tests {
         fn reseed(&mut self, seed: u64) {
             self.rng = StdRng::seed_from_u64(seed);
         }
-        fn assign(&mut self, view: &StateView<'_>) -> Vec<Option<JobId>> {
+        fn decide(&mut self, view: &StateView<'_>, out: &mut Assignment) -> Decision {
             use rand::Rng;
             let target = view.eligible.first().map(JobId);
-            (0..view.m)
-                .map(|_| {
-                    if self.rng.random_bool(0.2) {
-                        None
-                    } else {
-                        target
-                    }
-                })
-                .collect()
+            for i in 0..view.m {
+                if !self.rng.random_bool(0.2) {
+                    out.set_slot(i, target);
+                }
+            }
+            Decision::step(view)
         }
     }
 

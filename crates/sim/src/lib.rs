@@ -1,4 +1,4 @@
-//! # suu-sim — discrete-time execution engine for SUU schedules
+//! # suu-sim — event-driven execution core for SUU schedules
 //!
 //! The paper's platform — a set of machines that succeed or fail
 //! probabilistically each unit step — is exactly a discrete-time stochastic
@@ -18,6 +18,16 @@
 //! Theorem 10 of the paper proves the two induce identical history
 //! distributions; our integration tests verify this empirically with a
 //! chi-square test (see `fig_equivalence` in the bench crate).
+//!
+//! Since the paper's schedules may only observe *completions*, execution
+//! is organized around **decision epochs**: policies are consulted via
+//! [`Policy::decide`] only when the eligible set changes or at a wake-up
+//! they declared, and the default [`EngineKind::Events`] engine jumps
+//! straight from event to event — `O(#completions · m)` instead of
+//! `O(makespan · m)`. The dense per-step loop survives as
+//! [`EngineKind::Dense`], the differential-testing oracle that must (and
+//! does, bitwise) agree with the fast path. See [`engine`] for the
+//! fast-forwarding math.
 //!
 //! Around the engine sit the two pieces every experiment is built from:
 //!
@@ -40,10 +50,11 @@ pub mod registry;
 pub mod stats;
 pub mod trace;
 
-pub use engine::{execute, ExecConfig, ExecOutcome, Semantics};
+pub use engine::{execute, EngineKind, ExecConfig, ExecOutcome, Semantics};
 pub use evaluate::{derive_seed, EvalConfig, EvalReport, Evaluator};
+#[allow(deprecated)]
 pub use montecarlo::{run_trials, MonteCarloConfig};
-pub use policy::{Policy, StateView};
+pub use policy::{Assignment, Decision, Policy, StateView};
 pub use registry::{
     factory, PolicyFactory, PolicyRegistry, PolicySpec, RegistryError, StructureClass,
 };

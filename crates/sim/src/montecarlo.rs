@@ -1,12 +1,16 @@
-//! Legacy Monte-Carlo entry points, now thin wrappers over
+//! Legacy Monte-Carlo entry points — **deprecated** thin wrappers over
 //! [`crate::Evaluator`].
 //!
 //! The original implementation distributed trials over a crossbeam channel
 //! with `parking_lot` aggregation and seeded trial `k` as `base_seed + k`.
 //! The [`crate::evaluate`] pipeline subsumes all of it — rayon-style
 //! worker pool, SplitMix64-derived per-trial streams, policy reseeding —
-//! so `run_trials` survives only as the convenience spelling used by
-//! long-standing tests and call sites.
+//! and with the event-driven engine refactor every execution entry point
+//! in the workspace now goes through the registry + [`crate::Evaluator`].
+//! These spellings survive one deprecation cycle for out-of-tree callers
+//! and then disappear.
+
+#![allow(deprecated)]
 
 use crate::engine::ExecOutcome;
 use crate::evaluate::{EvalConfig, Evaluator};
@@ -14,6 +18,7 @@ use crate::policy::Policy;
 use suu_core::SuuInstance;
 
 /// Monte-Carlo parameters (legacy spelling of [`EvalConfig`]).
+#[deprecated(since = "0.2.0", note = "use suu_sim::EvalConfig with Evaluator")]
 #[derive(Debug, Clone, Copy)]
 pub struct MonteCarloConfig {
     /// Number of independent executions.
@@ -53,6 +58,10 @@ impl From<MonteCarloConfig> for EvalConfig {
 ///
 /// Wrapper over [`Evaluator::run`]; see there for the parallelism and
 /// determinism contract. Outcomes are returned in trial order.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Evaluator::run (or Evaluator::run_spec through the registry)"
+)]
 pub fn run_trials<F, P>(
     inst: &SuuInstance,
     make_policy: F,
@@ -68,12 +77,14 @@ where
 }
 
 /// Mean makespan of a batch of outcomes (requires all completed).
+#[deprecated(since = "0.2.0", note = "use EvalReport::mean_makespan")]
 pub fn mean_makespan(outcomes: &[ExecOutcome]) -> f64 {
     assert!(!outcomes.is_empty(), "no outcomes");
     outcomes.iter().map(|o| o.makespan as f64).sum::<f64>() / outcomes.len() as f64
 }
 
 /// Fraction of trials that completed within the step cap.
+#[deprecated(since = "0.2.0", note = "use EvalReport::completion_rate")]
 pub fn completion_rate(outcomes: &[ExecOutcome]) -> f64 {
     if outcomes.is_empty() {
         return 0.0;

@@ -436,8 +436,8 @@ impl fmt::Debug for PolicyRegistry {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policy::StateView;
-    use suu_core::{workload, JobId};
+    use crate::policy::{Assignment, Decision, StateView};
+    use suu_core::workload;
 
     struct Idle;
     impl Policy for Idle {
@@ -445,8 +445,8 @@ mod tests {
             "idle"
         }
         fn reset(&mut self) {}
-        fn assign(&mut self, view: &StateView<'_>) -> Vec<Option<JobId>> {
-            vec![None; view.m]
+        fn decide(&mut self, _view: &StateView<'_>, _out: &mut Assignment) -> Decision {
+            Decision::HOLD
         }
     }
 

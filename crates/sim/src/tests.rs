@@ -1,8 +1,9 @@
-//! Engine and harness tests, including the statistical SUU ≡ SUU* check.
+//! Engine and harness tests, including the statistical SUU ≡ SUU* check
+//! and the machine-step accounting invariant.
 
-use crate::engine::{execute, ExecConfig, Semantics};
-use crate::montecarlo::{completion_rate, mean_makespan, run_trials, MonteCarloConfig};
-use crate::policy::{Policy, StateView};
+use crate::engine::{execute, EngineKind, ExecConfig, ExecOutcome, Semantics};
+use crate::evaluate::{EvalConfig, Evaluator};
+use crate::policy::{Assignment, Decision, Policy, StateView};
 use crate::stats::{chi_square_critical_001, chi_square_two_sample, histogram_pair, summarize};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -11,6 +12,7 @@ use suu_dag::ChainSet;
 
 /// Every machine works on the lowest-id eligible remaining job plus
 /// round-robin spread: machine i takes the (i mod k)-th eligible job.
+/// A pure function of the eligible set, so it holds between events.
 #[derive(Clone)]
 struct SpreadPolicy;
 
@@ -19,14 +21,14 @@ impl Policy for SpreadPolicy {
         "spread"
     }
     fn reset(&mut self) {}
-    fn assign(&mut self, view: &StateView<'_>) -> Vec<Option<JobId>> {
+    fn decide(&mut self, view: &StateView<'_>, out: &mut Assignment) -> Decision {
         let eligible: Vec<u32> = view.eligible.iter().collect();
-        if eligible.is_empty() {
-            return vec![None; view.m];
+        if !eligible.is_empty() {
+            for i in 0..view.m {
+                out.set(i, JobId(eligible[i % eligible.len()]));
+            }
         }
-        (0..view.m)
-            .map(|i| Some(JobId(eligible[i % eligible.len()])))
-            .collect()
+        Decision::HOLD
     }
 }
 
@@ -39,11 +41,9 @@ impl Policy for GangPolicy {
         "gang"
     }
     fn reset(&mut self) {}
-    fn assign(&mut self, view: &StateView<'_>) -> Vec<Option<JobId>> {
-        match view.eligible.first() {
-            Some(j) => vec![Some(JobId(j)); view.m],
-            None => vec![None; view.m],
-        }
+    fn decide(&mut self, view: &StateView<'_>, out: &mut Assignment) -> Decision {
+        out.fill(view.eligible.first().map(JobId));
+        Decision::HOLD
     }
 }
 
@@ -55,8 +55,8 @@ impl Policy for IdlePolicy {
         "idle"
     }
     fn reset(&mut self) {}
-    fn assign(&mut self, view: &StateView<'_>) -> Vec<Option<JobId>> {
-        vec![None; view.m]
+    fn decide(&mut self, _view: &StateView<'_>, _out: &mut Assignment) -> Decision {
+        Decision::HOLD
     }
 }
 
@@ -68,8 +68,9 @@ impl Policy for CheatingPolicy {
         "cheat"
     }
     fn reset(&mut self) {}
-    fn assign(&mut self, view: &StateView<'_>) -> Vec<Option<JobId>> {
-        vec![Some(JobId(view.n as u32 - 1)); view.m]
+    fn decide(&mut self, view: &StateView<'_>, out: &mut Assignment) -> Decision {
+        out.fill(Some(JobId(view.n as u32 - 1)));
+        Decision::HOLD
     }
 }
 
@@ -77,19 +78,38 @@ fn cfg(semantics: Semantics) -> ExecConfig {
     ExecConfig {
         semantics,
         max_steps: 1_000_000,
+        ..ExecConfig::default()
     }
+}
+
+fn eval(trials: usize, seed: u64, semantics: Semantics) -> Evaluator {
+    Evaluator::new(EvalConfig {
+        trials,
+        master_seed: seed,
+        threads: 2,
+        exec: cfg(semantics),
+    })
 }
 
 #[test]
 fn deterministic_independent_one_step() {
     // q = 0 everywhere, n = m: spread policy finishes everything in 1 step.
     let inst = workload::deterministic(4, 4, Precedence::Independent);
-    let mut rng = StdRng::seed_from_u64(1);
-    let out = execute(&inst, &mut SpreadPolicy, &cfg(Semantics::SuuStar), &mut rng);
-    assert!(out.completed);
-    assert_eq!(out.makespan, 1);
-    assert_eq!(out.busy_steps, 4);
-    assert_eq!(out.ineligible_assignments, 0);
+    for engine in [EngineKind::Dense, EngineKind::Events] {
+        let out = execute(
+            &inst,
+            &mut SpreadPolicy,
+            &ExecConfig {
+                engine,
+                ..cfg(Semantics::SuuStar)
+            },
+            1,
+        );
+        assert!(out.completed);
+        assert_eq!(out.makespan, 1);
+        assert_eq!(out.busy_steps, 4);
+        assert_eq!(out.ineligible_assignments, 0);
+    }
 }
 
 #[test]
@@ -97,9 +117,8 @@ fn deterministic_chain_takes_n_steps() {
     // Single chain of 5 jobs, q = 0: must take exactly 5 steps.
     let cs = ChainSet::new(5, vec![vec![0, 1, 2, 3, 4]]).unwrap();
     let inst = workload::deterministic(3, 5, Precedence::Chains(cs));
-    let mut rng = StdRng::seed_from_u64(2);
     for semantics in [Semantics::Suu, Semantics::SuuStar] {
-        let out = execute(&inst, &mut GangPolicy, &cfg(semantics), &mut rng);
+        let out = execute(&inst, &mut GangPolicy, &cfg(semantics), 2);
         assert!(out.completed);
         assert_eq!(out.makespan, 5);
         // Completion times are 1..=5 in chain order.
@@ -114,15 +133,9 @@ fn geometric_single_job_mean_is_two() {
     // One job, one machine, q = 1/2: makespan ~ Geometric(1/2), E = 2.
     let inst = workload::homogeneous(1, 1, 0.5, Precedence::Independent);
     for semantics in [Semantics::Suu, Semantics::SuuStar] {
-        let mc = MonteCarloConfig {
-            trials: 4000,
-            base_seed: 99,
-            threads: 2,
-            exec: cfg(semantics),
-        };
-        let outcomes = run_trials(&inst, || GangPolicy, &mc);
-        assert_eq!(completion_rate(&outcomes), 1.0);
-        let mean = mean_makespan(&outcomes);
+        let report = eval(4000, 99, semantics).run(&inst, || GangPolicy);
+        assert_eq!(report.completion_rate(), 1.0);
+        let mean = report.mean_makespan();
         assert!(
             (mean - 2.0).abs() < 0.12,
             "{semantics:?}: mean {mean} not ~2.0"
@@ -135,14 +148,8 @@ fn two_machines_gang_probability_combines() {
     // One job, two machines with q = 1/2 each: combined failure 1/4,
     // E[T] = 1/(3/4) = 4/3.
     let inst = workload::homogeneous(2, 1, 0.5, Precedence::Independent);
-    let mc = MonteCarloConfig {
-        trials: 4000,
-        base_seed: 7,
-        threads: 2,
-        exec: cfg(Semantics::Suu),
-    };
-    let outcomes = run_trials(&inst, || GangPolicy, &mc);
-    let mean = mean_makespan(&outcomes);
+    let report = eval(4000, 7, Semantics::Suu).run(&inst, || GangPolicy);
+    let mean = report.mean_makespan();
     assert!((mean - 4.0 / 3.0).abs() < 0.08, "mean {mean}");
 }
 
@@ -154,15 +161,10 @@ fn suu_and_suustar_distributions_match() {
     let mut grng = StdRng::seed_from_u64(5);
     let inst = workload::uniform_unrelated(3, 4, 0.3, 0.9, Precedence::Chains(cs), &mut grng);
 
-    let trials = 6000;
     let run = |semantics| {
-        let mc = MonteCarloConfig {
-            trials,
-            base_seed: 1234,
-            threads: 4,
-            exec: cfg(semantics),
-        };
-        run_trials(&inst, || SpreadPolicy, &mc)
+        eval(6000, 1234, semantics)
+            .run(&inst, || SpreadPolicy)
+            .outcomes
             .into_iter()
             .map(|o| o.makespan)
             .collect::<Vec<u64>>()
@@ -181,94 +183,144 @@ fn suu_and_suustar_distributions_match() {
 #[test]
 fn step_cap_reports_incomplete() {
     let inst = workload::homogeneous(1, 1, 0.5, Precedence::Independent);
-    let mut rng = StdRng::seed_from_u64(3);
-    let out = execute(
-        &inst,
-        &mut IdlePolicy,
-        &ExecConfig {
-            semantics: Semantics::SuuStar,
-            max_steps: 50,
-        },
-        &mut rng,
-    );
-    assert!(!out.completed);
-    assert_eq!(out.makespan, 50);
-    assert_eq!(out.completion_time[0], u64::MAX);
+    for engine in [EngineKind::Dense, EngineKind::Events] {
+        let out = execute(
+            &inst,
+            &mut IdlePolicy,
+            &ExecConfig {
+                semantics: Semantics::SuuStar,
+                engine,
+                max_steps: 50,
+            },
+            3,
+        );
+        assert!(!out.completed);
+        assert_eq!(out.makespan, 50);
+        assert_eq!(out.completion_time[0], u64::MAX);
+        assert_eq!(out.idle_steps, 50, "{engine:?}");
+    }
 }
 
 #[test]
 fn ineligible_assignments_are_counted_and_harmless() {
     let cs = ChainSet::new(3, vec![vec![0, 1, 2]]).unwrap();
     let inst = workload::deterministic(2, 3, Precedence::Chains(cs));
-    let mut rng = StdRng::seed_from_u64(4);
-    let out = execute(
-        &inst,
-        &mut CheatingPolicy,
-        &ExecConfig {
-            semantics: Semantics::SuuStar,
-            max_steps: 10,
-        },
-        &mut rng,
-    );
-    // Job 2 never becomes eligible because 0 and 1 never run.
-    assert!(!out.completed);
-    assert!(out.ineligible_assignments > 0);
-    assert_eq!(out.busy_steps, 0);
+    for engine in [EngineKind::Dense, EngineKind::Events] {
+        let out = execute(
+            &inst,
+            &mut CheatingPolicy,
+            &ExecConfig {
+                semantics: Semantics::SuuStar,
+                engine,
+                max_steps: 10,
+            },
+            4,
+        );
+        // Job 2 never becomes eligible because 0 and 1 never run.
+        assert!(!out.completed);
+        assert_eq!(out.ineligible_assignments, 20, "{engine:?}");
+        assert_eq!(out.busy_steps, 0);
+    }
+}
+
+#[test]
+fn machine_step_accounting_partitions_exactly() {
+    // busy + idle + ineligible == m · makespan, complete or not, under
+    // both engines and both semantics.
+    let cs = ChainSet::new(6, vec![vec![0, 1, 2], vec![3, 4, 5]]).unwrap();
+    let mut grng = StdRng::seed_from_u64(8);
+    let inst = workload::uniform_unrelated(3, 6, 0.3, 0.9, Precedence::Chains(cs), &mut grng);
+    for engine in [EngineKind::Dense, EngineKind::Events] {
+        for semantics in [Semantics::Suu, Semantics::SuuStar] {
+            for (policy, max_steps) in [(0, 1_000_000u64), (1, 25)] {
+                let exec = ExecConfig {
+                    semantics,
+                    engine,
+                    max_steps,
+                };
+                let out = if policy == 0 {
+                    execute(&inst, &mut SpreadPolicy, &exec, 11)
+                } else {
+                    execute(&inst, &mut CheatingPolicy, &exec, 11)
+                };
+                assert_eq!(
+                    out.busy_steps + out.idle_steps + out.ineligible_assignments,
+                    3 * out.makespan,
+                    "{engine:?}/{semantics:?}/policy{policy}: accounting leak"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn dense_and_event_engines_agree_bitwise() {
+    // The in-crate miniature of the cross-crate differential suite.
+    let cs = ChainSet::new(5, vec![vec![0, 1], vec![2, 3, 4]]).unwrap();
+    let mut grng = StdRng::seed_from_u64(21);
+    let inst = workload::uniform_unrelated(3, 5, 0.2, 0.95, Precedence::Chains(cs), &mut grng);
+    for semantics in [Semantics::Suu, Semantics::SuuStar] {
+        for seed in 0..40u64 {
+            let run = |engine| -> ExecOutcome {
+                execute(
+                    &inst,
+                    &mut SpreadPolicy,
+                    &ExecConfig {
+                        semantics,
+                        engine,
+                        max_steps: 1_000_000,
+                    },
+                    seed,
+                )
+            };
+            assert_eq!(
+                run(EngineKind::Dense),
+                run(EngineKind::Events),
+                "{semantics:?} seed {seed}"
+            );
+        }
+    }
 }
 
 #[test]
 fn seeded_runs_are_deterministic() {
     let mut grng = StdRng::seed_from_u64(11);
     let inst = workload::uniform_unrelated(3, 5, 0.2, 0.95, Precedence::Independent, &mut grng);
-    let mc = MonteCarloConfig {
-        trials: 50,
-        base_seed: 777,
-        threads: 4,
-        exec: cfg(Semantics::SuuStar),
+    let run = || -> Vec<u64> {
+        eval(50, 777, Semantics::SuuStar)
+            .run(&inst, || SpreadPolicy)
+            .outcomes
+            .iter()
+            .map(|o| o.makespan)
+            .collect()
     };
-    let a: Vec<u64> = run_trials(&inst, || SpreadPolicy, &mc)
-        .iter()
-        .map(|o| o.makespan)
-        .collect();
-    let b: Vec<u64> = run_trials(&inst, || SpreadPolicy, &mc)
-        .iter()
-        .map(|o| o.makespan)
-        .collect();
-    assert_eq!(a, b, "same seeds must give identical outcomes");
+    assert_eq!(run(), run(), "same seeds must give identical outcomes");
 }
 
 #[test]
 fn single_thread_matches_multi_thread() {
     let inst = workload::homogeneous(2, 3, 0.6, Precedence::Independent);
-    let base = MonteCarloConfig {
-        trials: 64,
-        base_seed: 42,
-        threads: 1,
-        exec: cfg(Semantics::SuuStar),
+    let run = |threads: usize| -> Vec<u64> {
+        Evaluator::new(EvalConfig {
+            trials: 64,
+            master_seed: 42,
+            threads,
+            exec: cfg(Semantics::SuuStar),
+        })
+        .run(&inst, || SpreadPolicy)
+        .outcomes
+        .iter()
+        .map(|o| o.makespan)
+        .collect()
     };
-    let multi = MonteCarloConfig { threads: 8, ..base };
-    let a: Vec<u64> = run_trials(&inst, || SpreadPolicy, &base)
-        .iter()
-        .map(|o| o.makespan)
-        .collect();
-    let b: Vec<u64> = run_trials(&inst, || SpreadPolicy, &multi)
-        .iter()
-        .map(|o| o.makespan)
-        .collect();
-    assert_eq!(a, b);
+    assert_eq!(run(1), run(8));
 }
 
 #[test]
 fn summary_of_makespans() {
     let inst = workload::homogeneous(1, 1, 0.5, Precedence::Independent);
-    let mc = MonteCarloConfig {
-        trials: 500,
-        base_seed: 1,
-        threads: 2,
-        exec: cfg(Semantics::SuuStar),
-    };
-    let outcomes = run_trials(&inst, || GangPolicy, &mc);
-    let values: Vec<f64> = outcomes.iter().map(|o| o.makespan as f64).collect();
+    let report = eval(500, 1, Semantics::SuuStar).run(&inst, || GangPolicy);
+    let values: Vec<f64> = report.outcomes.iter().map(|o| o.makespan as f64).collect();
     let s = summarize(&values);
     assert_eq!(s.count, 500);
     assert!(s.min >= 1.0);
@@ -277,14 +329,18 @@ fn summary_of_makespans() {
 }
 
 #[test]
-fn busy_and_idle_steps_account_for_all_machine_time() {
-    let inst = workload::homogeneous(3, 2, 0.5, Precedence::Independent);
-    let mut rng = StdRng::seed_from_u64(12);
-    let out = execute(&inst, &mut SpreadPolicy, &cfg(Semantics::SuuStar), &mut rng);
-    assert!(out.completed);
-    assert_eq!(
-        out.busy_steps + out.idle_steps,
-        out.makespan * 3,
-        "every machine-step is either busy or idle"
-    );
+#[allow(deprecated)]
+fn deprecated_monte_carlo_wrappers_still_route_through_evaluator() {
+    use crate::montecarlo::{mean_makespan, run_trials, MonteCarloConfig};
+    let inst = workload::homogeneous(2, 3, 0.5, Precedence::Independent);
+    let mc = MonteCarloConfig {
+        trials: 20,
+        base_seed: 5,
+        threads: 1,
+        exec: cfg(Semantics::SuuStar),
+    };
+    let legacy = run_trials(&inst, || GangPolicy, &mc);
+    let modern = Evaluator::new(mc.into()).run(&inst, || GangPolicy).outcomes;
+    assert_eq!(legacy, modern);
+    assert!(mean_makespan(&legacy) >= 1.0);
 }

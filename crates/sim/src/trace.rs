@@ -4,7 +4,7 @@
 //! Tracing wraps any [`Policy`] transparently, so the engine itself stays
 //! allocation-lean when tracing is off.
 
-use crate::policy::{Policy, StateView};
+use crate::policy::{Assignment, Decision, Policy, StateView};
 use suu_core::JobId;
 
 /// One recorded timestep.
@@ -74,7 +74,10 @@ impl Trace {
 ///
 /// Completion events are reconstructed by the wrapper from the remaining
 /// set it observes at the *next* step, so it composes with any policy and
-/// needs no engine hooks.
+/// needs no engine hooks. To keep the trace step-accurate, the wrapper
+/// forces per-step wake-ups (capping the inner decision's), so a traced
+/// execution runs at dense pace even under the event engine — tracing is
+/// a debugging tool, not a hot path.
 pub struct Tracing<P> {
     inner: P,
     trace: Trace,
@@ -117,7 +120,7 @@ impl<P: Policy> Policy for Tracing<P> {
         self.inner.reseed(seed);
     }
 
-    fn assign(&mut self, view: &StateView<'_>) -> Vec<Option<JobId>> {
+    fn decide(&mut self, view: &StateView<'_>, out: &mut Assignment) -> Decision {
         // Completions since the previous step = prev_remaining \ remaining.
         let current: Vec<u32> = view.remaining.iter().collect();
         if let Some(prev) = &self.prev_remaining {
@@ -132,21 +135,20 @@ impl<P: Policy> Policy for Tracing<P> {
         }
         self.prev_remaining = Some(current);
 
-        let row = self.inner.assign(view);
+        let _ = self.inner.decide(view, out);
         self.trace.steps.push(TraceStep {
-            assignment: row.clone(),
+            assignment: out.slots().to_vec(),
             completed: Vec::new(), // filled in at the next observation
         });
-        row
+        // Force per-step pacing so every step lands in the trace.
+        Decision::step(view)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::{execute, ExecConfig, Semantics};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::engine::{execute, EngineKind, ExecConfig, Semantics};
     use suu_core::{workload, Precedence};
     use suu_dag::ChainSet;
 
@@ -156,35 +158,35 @@ mod tests {
             "gang"
         }
         fn reset(&mut self) {}
-        fn assign(&mut self, view: &StateView<'_>) -> Vec<Option<JobId>> {
-            match view.eligible.first() {
-                Some(j) => vec![Some(JobId(j)); view.m],
-                None => vec![None; view.m],
-            }
+        fn decide(&mut self, view: &StateView<'_>, out: &mut Assignment) -> Decision {
+            out.fill(view.eligible.first().map(JobId));
+            Decision::HOLD
         }
     }
 
     #[test]
-    fn trace_records_every_step() {
+    fn trace_records_every_step_under_both_engines() {
         let cs = ChainSet::new(3, vec![vec![0, 1, 2]]).unwrap();
         let inst = workload::deterministic(2, 3, Precedence::Chains(cs));
-        let mut traced = Tracing::new(Gang);
-        let mut rng = StdRng::seed_from_u64(1);
-        let out = execute(
-            &inst,
-            &mut traced,
-            &ExecConfig {
-                semantics: Semantics::SuuStar,
-                max_steps: 100,
-            },
-            &mut rng,
-        );
-        assert!(out.completed);
-        assert_eq!(traced.trace().len() as u64, out.makespan);
-        // Each of the 3 jobs gets exactly one step on each machine.
-        for j in 0..3u32 {
-            assert_eq!(traced.trace().machine_steps_on(0, JobId(j)), 1);
-            assert_eq!(traced.trace().machine_steps_on(1, JobId(j)), 1);
+        for engine in [EngineKind::Dense, EngineKind::Events] {
+            let mut traced = Tracing::new(Gang);
+            let out = execute(
+                &inst,
+                &mut traced,
+                &ExecConfig {
+                    semantics: Semantics::SuuStar,
+                    engine,
+                    max_steps: 100,
+                },
+                1,
+            );
+            assert!(out.completed);
+            assert_eq!(traced.trace().len() as u64, out.makespan);
+            // Each of the 3 jobs gets exactly one step on each machine.
+            for j in 0..3u32 {
+                assert_eq!(traced.trace().machine_steps_on(0, JobId(j)), 1);
+                assert_eq!(traced.trace().machine_steps_on(1, JobId(j)), 1);
+            }
         }
     }
 
@@ -197,8 +199,7 @@ mod tests {
         let cs = ChainSet::new(2, vec![vec![0, 1]]).unwrap();
         let inst = workload::deterministic(1, 2, Precedence::Chains(cs));
         let mut traced = Tracing::new(Gang);
-        let mut rng = StdRng::seed_from_u64(2);
-        let out = execute(&inst, &mut traced, &ExecConfig::default(), &mut rng);
+        let out = execute(&inst, &mut traced, &ExecConfig::default(), 2);
         assert!(out.completed);
         let trace = traced.trace();
         assert_eq!(trace.steps[0].completed, vec![JobId(0)]);
@@ -208,8 +209,7 @@ mod tests {
     fn render_produces_rows_per_machine() {
         let inst = workload::deterministic(2, 2, Precedence::Independent);
         let mut traced = Tracing::new(Gang);
-        let mut rng = StdRng::seed_from_u64(3);
-        execute(&inst, &mut traced, &ExecConfig::default(), &mut rng);
+        execute(&inst, &mut traced, &ExecConfig::default(), 3);
         let art = traced.trace().render();
         assert!(art.contains("m0  |"));
         assert!(art.contains("m1  |"));
@@ -220,8 +220,7 @@ mod tests {
     fn reset_clears_trace() {
         let inst = workload::deterministic(1, 1, Precedence::Independent);
         let mut traced = Tracing::new(Gang);
-        let mut rng = StdRng::seed_from_u64(4);
-        execute(&inst, &mut traced, &ExecConfig::default(), &mut rng);
+        execute(&inst, &mut traced, &ExecConfig::default(), 4);
         assert!(!traced.trace().is_empty());
         traced.reset();
         assert!(traced.trace().is_empty());

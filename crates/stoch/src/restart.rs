@@ -217,6 +217,10 @@ pub struct RestartOutcome {
     pub rounds_used: u32,
     /// Whether the sequential fallback ran.
     pub fallback_used: bool,
+    /// Decision-epoch instants: when each restart round (and the
+    /// fallback, if any) began — the wake-up schedule of the adaptive
+    /// outer loop, mirroring the discrete engine's policy wake-ups.
+    pub round_epochs: Vec<f64>,
 }
 
 /// The `RESTART-I` scheduler: `STC-I` with nonpreemptive rounds and
@@ -257,6 +261,7 @@ impl RestartI {
         let mut completion = vec![f64::INFINITY; n];
         let mut now = 0.0f64;
         let mut rounds_used = 0;
+        let mut round_epochs = Vec::new();
 
         for k in 1..=self.k_max {
             let remaining: Vec<u32> = (0..n as u32).filter(|&j| !done[j as usize]).collect();
@@ -264,6 +269,10 @@ impl RestartI {
                 break;
             }
             rounds_used = k;
+            // Each round start is a decision epoch: the scheduler wakes,
+            // observes the remaining set, and commits a nonpreemptive
+            // R||Cmax assignment for the round's span.
+            round_epochs.push(now);
             let pretend: Vec<f64> = remaining
                 .iter()
                 .map(|&j| (2.0f64).powi(k as i32 - 2) / inst.lambda(j as usize))
@@ -301,6 +310,7 @@ impl RestartI {
 
         let fallback_used = done.iter().any(|&d| !d);
         if fallback_used {
+            round_epochs.push(now);
             // Stragglers: fastest machine, sequentially, to completion.
             for j in 0..n {
                 if !done[j] {
@@ -317,6 +327,7 @@ impl RestartI {
             makespan,
             rounds_used,
             fallback_used,
+            round_epochs,
         })
     }
 }
@@ -409,6 +420,10 @@ mod tests {
             let out = sched.run(&inst, &mut StdRng::seed_from_u64(seed)).unwrap();
             assert!(out.makespan.is_finite() && out.makespan > 0.0);
             assert!(out.rounds_used >= 1 && out.rounds_used <= sched.k_max());
+            // One epoch per round (+1 if the fallback engaged), in order.
+            let expected = out.rounds_used as usize + out.fallback_used as usize;
+            assert_eq!(out.round_epochs.len(), expected);
+            assert!(out.round_epochs.windows(2).all(|w| w[0] <= w[1]));
         }
     }
 

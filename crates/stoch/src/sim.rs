@@ -6,6 +6,12 @@ use crate::ll::PreemptiveTimetable;
 use rand::Rng;
 
 /// Mutable execution state across rounds.
+///
+/// The continuous-time executors are event-driven by construction (they
+/// jump between slice boundaries and completion instants); `epochs`
+/// makes the *decision epochs* — the instants at which a scheduler
+/// re-decides, the continuous analogue of the discrete engine's
+/// wake-ups — explicit and inspectable.
 #[derive(Debug, Clone)]
 pub struct ExecState {
     /// Hidden lengths `p_j` (drawn once per execution).
@@ -16,6 +22,9 @@ pub struct ExecState {
     pub completion: Vec<f64>,
     /// Current absolute time.
     pub now: f64,
+    /// Decision-epoch instants: one per oblivious phase start
+    /// ([`run_timetable`] / [`run_sequential_fastest`] invocation).
+    pub epochs: Vec<f64>,
 }
 
 impl ExecState {
@@ -33,6 +42,7 @@ impl ExecState {
             progress: vec![0.0; n],
             completion: vec![f64::INFINITY; n],
             now: 0.0,
+            epochs: Vec::new(),
         }
     }
 
@@ -61,6 +71,7 @@ impl ExecState {
 /// completed jobs idle their machines. Advances `state.now` by the
 /// timetable's span and records exact completion instants.
 pub fn run_timetable(inst: &StochInstance, tt: &PreemptiveTimetable, state: &mut ExecState) {
+    state.epochs.push(state.now);
     for slice in &tt.slices {
         for (i, slot) in slice.assignment.iter().enumerate() {
             let Some(j) = *slot else { continue };
@@ -89,6 +100,7 @@ pub fn run_timetable(inst: &StochInstance, tt: &PreemptiveTimetable, state: &mut
 /// Run each remaining job to completion, one at a time, on its fastest
 /// machine (the post-K fallback of `STC-I`).
 pub fn run_sequential_fastest(inst: &StochInstance, state: &mut ExecState) {
+    state.epochs.push(state.now);
     for j in state.remaining() {
         let j = j as usize;
         let (_, v) = inst.fastest_machine(j);
@@ -133,6 +145,7 @@ mod tests {
             }],
         };
         run_timetable(&inst, &tt, &mut state);
+        assert_eq!(state.epochs, vec![0.0], "one decision epoch per phase");
         assert!((state.completion[0] - 1.0).abs() < 1e-12);
         assert!((state.completion[1] - 2.0).abs() < 1e-12);
         assert!((state.now - 3.0).abs() < 1e-12);

@@ -16,8 +16,8 @@ use std::sync::Arc;
 use suu::algos::SemPolicy;
 use suu::bench::runner::{run_race_with, Race};
 use suu::bench::scenario::Scenario;
-use suu::core::{JobId, SuuInstance};
-use suu::sim::{factory, Policy, RegistryError, StateView, StructureClass};
+use suu::core::SuuInstance;
+use suu::sim::{factory, Assignment, Decision, Policy, RegistryError, StateView, StructureClass};
 
 /// Phase-aware schedule: `SUU-I-SEM` on the maps, then on the reduces.
 struct TwoPhaseSem {
@@ -45,11 +45,13 @@ impl Policy for TwoPhaseSem {
         self.maps.reset();
         self.reduces.reset();
     }
-    fn assign(&mut self, view: &StateView<'_>) -> Vec<Option<JobId>> {
+    fn decide(&mut self, view: &StateView<'_>, out: &mut Assignment) -> Decision {
+        // The phase switch happens at a completion event, so the engine
+        // is guaranteed to consult us exactly when the maps finish.
         if !self.maps.is_done(view.remaining) {
-            self.maps.assign(view)
+            self.maps.decide(view, out)
         } else {
-            self.reduces.assign(view)
+            self.reduces.decide(view, out)
         }
     }
 }

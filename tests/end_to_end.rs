@@ -21,6 +21,7 @@ fn evaluator(trials: usize, semantics: Semantics) -> Evaluator {
         exec: ExecConfig {
             semantics,
             max_steps: 2_000_000,
+            ..ExecConfig::default()
         },
     })
 }
@@ -203,11 +204,17 @@ fn mapreduce_bipartite_via_two_phases() {
             self.a.reset();
             self.b.reset();
         }
-        fn assign(&mut self, view: &suu::sim::StateView<'_>) -> Vec<Option<suu::core::JobId>> {
+        fn decide(
+            &mut self,
+            view: &suu::sim::StateView<'_>,
+            out: &mut suu::sim::Assignment,
+        ) -> suu::sim::Decision {
+            // The phase switch happens at a completion event, so the
+            // engine is guaranteed to consult us then.
             if !self.a.is_done(view.remaining) {
-                self.a.assign(view)
+                self.a.decide(view, out)
             } else {
-                self.b.assign(view)
+                self.b.decide(view, out)
             }
         }
     }

@@ -109,7 +109,11 @@ proptest! {
                 trials: 1500,
                 master_seed: seed ^ 0xD15,
                 threads: 0,
-                exec: ExecConfig { semantics, max_steps: 1_000_000 },
+                exec: ExecConfig {
+                    semantics,
+                    max_steps: 1_000_000,
+                    ..ExecConfig::default()
+                },
             })
             .run_spec(&registry, &inst, &PolicySpec::new("gang-sequential"))
             .unwrap()
