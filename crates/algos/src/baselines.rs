@@ -50,6 +50,12 @@ impl Policy for GangSequentialPolicy {
         out.fill(view.eligible.first().map(JobId));
         Decision::HOLD
     }
+
+    /// Stateless, time-invariant, always HOLD: the batched engine may
+    /// share one decision per remaining set across a whole trial batch.
+    fn is_stationary(&self) -> bool {
+        true
+    }
 }
 
 /// Machine `i` serves eligible job `(i + t) mod k` — uniform spread with
@@ -164,6 +170,12 @@ impl Policy for BestMachinePolicy {
         // Pure function of the eligible set: hold until a completion.
         Decision::HOLD
     }
+
+    /// The matching depends only on the eligible set and the (fixed)
+    /// instance rates, so the batched engine may share decisions.
+    fn is_stationary(&self) -> bool {
+        true
+    }
 }
 
 /// Per-step greedy marginal-mass maximization (Lin–Rajaraman-style).
@@ -220,6 +232,12 @@ impl Policy for LrGreedyPolicy {
         }
         // Pure function of the eligible set: hold until a completion.
         Decision::HOLD
+    }
+
+    /// The greedy row depends only on the eligible set and the (fixed)
+    /// instance rates, so the batched engine may share decisions.
+    fn is_stationary(&self) -> bool {
+        true
     }
 }
 

@@ -266,6 +266,13 @@ impl suu_sim::Policy for OptPolicy {
         }
         suu_sim::Decision::HOLD
     }
+
+    /// The MDP's optimal action is a pure function of the remaining set
+    /// (that *is* the DP state), so the batched engine may share one
+    /// lookup per distinct remaining set across a whole trial batch.
+    fn is_stationary(&self) -> bool {
+        true
+    }
 }
 
 /// Exact expected makespan of a **stationary** policy: one whose machine

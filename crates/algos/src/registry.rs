@@ -1,17 +1,21 @@
 //! Registration of every schedule this crate knows into the unified
 //! [`suu_sim::PolicyRegistry`].
 //!
-//! | registry name | family | capability | parameters |
-//! |---|---|---|---|
-//! | `gang-sequential` | naive `O(n)` fallback | dag | — |
-//! | `round-robin` | naive spread | dag | — |
-//! | `best-machine` | greedy matching | dag | — |
-//! | `greedy-lr` | Lin–Rajaraman-style greedy \[11\] | dag | `target` (f64, 1.0) |
-//! | `suu-i-obl` | Theorem 3 oblivious `O(log n)` | independent | — |
-//! | `suu-i-sem` | Theorem 4 semioblivious `O(log log)` | independent | — |
-//! | `suu-c` | Theorems 7/9 chain schedule | chains | `delay`, `coarsen` (bool), `seed`, `fallback` (u64) |
-//! | `suu-t` | Theorem 12 forest schedule | forest | same as `suu-c` |
-//! | `exact-opt` | MDP optimum (tiny instances) | dag | `max_jobs`, `max_ops` (u64) |
+//! | registry name | family | capability | stationary | parameters |
+//! |---|---|---|---|---|
+//! | `gang-sequential` | naive `O(n)` fallback | dag | yes | — |
+//! | `round-robin` | naive spread | dag | no | — |
+//! | `best-machine` | greedy matching | dag | yes | — |
+//! | `greedy-lr` | Lin–Rajaraman-style greedy \[11\] | dag | yes | `target` (f64, 1.0) |
+//! | `suu-i-obl` | Theorem 3 oblivious `O(log n)` | independent | no | — |
+//! | `suu-i-sem` | Theorem 4 semioblivious `O(log log)` | independent | no | — |
+//! | `suu-c` | Theorems 7/9 chain schedule | chains | no | `delay`, `coarsen` (bool), `seed`, `fallback` (u64) |
+//! | `suu-t` | Theorem 12 forest schedule | forest | no | same as `suu-c` |
+//! | `exact-opt` | MDP optimum (tiny instances) | dag | yes | `max_jobs`, `max_ops` (u64) |
+//!
+//! *Stationary* ([`Policy::is_stationary`]) marks schedules whose row is
+//! a pure function of the remaining set; the batched trial engine shares
+//! one decision per remaining set across a whole batch for them.
 //!
 //! Structure is derived from the instance: `suu-c` on an independent
 //! instance schedules singleton chains, `suu-t` accepts chains or
@@ -233,6 +237,29 @@ mod tests {
             Precedence::Independent,
             &mut rng,
         ))
+    }
+
+    #[test]
+    fn stationary_annotations_match_the_table() {
+        // The batched engine trusts these flags for decision sharing, so
+        // pin them: only the remaining-set-pure families may claim
+        // stationarity.
+        let reg = standard_registry();
+        let inst = independent(5);
+        for (name, stationary) in [
+            ("gang-sequential", true),
+            ("round-robin", false),
+            ("best-machine", true),
+            ("greedy-lr", true),
+            ("suu-i-obl", false),
+            ("suu-i-sem", false),
+            ("suu-c", false),
+            ("suu-t", false),
+            ("exact-opt", true),
+        ] {
+            let policy = reg.build_named(&inst, name).unwrap();
+            assert_eq!(policy.is_stationary(), stationary, "{name}");
+        }
     }
 
     #[test]

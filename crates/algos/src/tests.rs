@@ -26,6 +26,7 @@ fn mc(trials: usize, seed: u64) -> Evaluator {
             max_steps: 5_000_000,
             ..ExecConfig::default()
         },
+        ..EvalConfig::default()
     })
 }
 

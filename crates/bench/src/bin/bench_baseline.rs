@@ -1,26 +1,36 @@
 //! **bench_baseline** — the perf-trajectory anchor: runs the standard
-//! six-family [`suu_bench::scenario::ScenarioSuite`] across every
-//! registry policy that fits each scenario, measures a parallel-vs-serial
-//! evaluator speedup, and races the **dense stepper against the event
-//! engine** (identical outcomes required, wall clocks recorded). Writes:
+//! nine-family [`suu_bench::scenario::ScenarioSuite`] across every
+//! registry policy that fits each scenario (on the streaming batched
+//! evaluator), measures a parallel-vs-serial evaluator speedup, races the
+//! **dense stepper against the event engine**, and races the **per-trial
+//! event engine against the batched SoA engine** (identical outcomes
+//! required everywhere, wall clocks recorded). Writes:
 //!
 //! * `BENCH_baseline.json` — schema `suu-results/v1` with an extra
 //!   `"evaluator"` block (quality + per-cell wall clock);
 //! * `BENCH_engine_events.json` — dense vs. event engine per scenario
 //!   family (plus a large hard-jobs family where fast-forwarding
-//!   matters most), with `threads` recorded.
+//!   matters most), with `threads` recorded;
+//! * `BENCH_engine_batch.json` — per-trial vs. batched engine per
+//!   scenario family plus the same hard-jobs family (the largest), with
+//!   `threads`/`host_cores`/`batch_size` recorded and a `stationary`
+//!   flag per cell (stationary policies take the shared-decision SoA
+//!   fast path; the rest measure the fallback's overhead).
 //!
 //! Later scaling PRs re-run this binary and diff the JSON: makespan means
 //! are quality regressions, `wall_clock_s` per cell is the perf
 //! trajectory.
 //!
 //! ```sh
-//! cargo run --release -p suu-bench --bin bench_baseline [--smoke] [out.json [engine_out.json]]
+//! cargo run --release -p suu-bench --bin bench_baseline \
+//!     [--smoke] [out.json [engine_out.json [batch_out.json]]]
 //! ```
 //!
 //! `--smoke` shrinks everything (smoke suite, few trials) for CI: it
-//! still asserts dense ≡ events bitwise, so engine regressions that only
-//! manifest under the Race runner fail fast.
+//! still asserts dense ≡ events and per-trial ≡ batched bitwise, so
+//! engine regressions that only manifest under the Race runner fail
+//! fast; CI additionally greps both engine artifacts for any
+//! `"outcomes_identical": false` cell.
 
 use std::sync::Arc;
 use suu_bench::runner::{run_race_with, Race};
@@ -49,6 +59,7 @@ fn engine_cell(
                 engine,
                 ..ExecConfig::default()
             },
+            ..EvalConfig::default()
         })
         .run_spec(registry, inst, spec)
     };
@@ -76,6 +87,63 @@ fn engine_cell(
         .field("outcomes_identical", identical))
 }
 
+/// One per-trial-vs-batched cell: wall clocks, speedup, equality, and a
+/// streaming-statistics cross-check.
+fn batch_cell(
+    registry: &PolicyRegistry,
+    inst: &Arc<SuuInstance>,
+    scenario_id: &str,
+    spec: &PolicySpec,
+    trials: usize,
+    batch: usize,
+) -> Result<Json, RegistryError> {
+    let evaluator = Evaluator::new(EvalConfig {
+        trials,
+        master_seed: 0xBA7C,
+        threads: 1, // single worker: wall clocks compare engines, not pools
+        batch,
+        exec: ExecConfig::default(),
+    });
+    // One up-front build serves both the `stationary` flag and the
+    // batched run (run_spec/run_stats_spec construct their own workers).
+    let policy = registry.build(inst, spec)?;
+    let stationary = policy.is_stationary();
+    let per_trial = evaluator.run_spec(registry, inst, spec)?;
+    let batched = evaluator.run_batched(inst, move || policy);
+    let identical = per_trial.outcomes == batched.outcomes;
+    assert!(
+        identical,
+        "batched engine diverged from per-trial engine on {scenario_id}/{spec}"
+    );
+    // Streaming cross-check: the O(1)-memory stats path folds the very
+    // same outcomes in the same order, so its Welford mean must equal
+    // the collected report's (also Welford, via to_stats) **bitwise**.
+    let stats = evaluator.run_stats_spec(registry, inst, spec)?;
+    let mean = batched.to_stats().mean_makespan();
+    assert!(
+        stats.mean_makespan().to_bits() == mean.to_bits(),
+        "streaming stats diverged on {scenario_id}/{spec}"
+    );
+    let p = per_trial.wall_clock.as_secs_f64();
+    let b = batched.wall_clock.as_secs_f64();
+    println!(
+        "  {scenario_id:<28} {spec:<14} {} per-trial {p:>7.3}s  batched {b:>7.3}s  speedup {:>6.2}x",
+        if stationary { "[stationary]" } else { "[fallback]  " },
+        p / b.max(1e-9)
+    );
+    Ok(Json::obj()
+        .field("scenario", scenario_id)
+        .field("policy", spec.to_string())
+        .field("trials", trials as u64)
+        .field("stationary", stationary)
+        .field("mean_makespan", mean)
+        .field("per_trial_wall_clock_s", p)
+        .field("batched_wall_clock_s", b)
+        .field("streaming_wall_clock_s", stats.wall_clock.as_secs_f64())
+        .field("speedup", p / b.max(1e-9))
+        .field("outcomes_identical", identical))
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -88,6 +156,10 @@ fn main() {
         .get(1)
         .map(|s| s.to_string())
         .unwrap_or_else(|| "BENCH_engine_events.json".to_string());
+    let batch_out_path = positional
+        .get(2)
+        .map(|s| s.to_string())
+        .unwrap_or_else(|| "BENCH_engine_batch.json".to_string());
 
     let watch = Stopwatch::start();
     let registry = suu_algos::standard_registry();
@@ -219,7 +291,45 @@ fn main() {
     std::fs::write(&engine_out_path, engine_doc.to_pretty()).expect("write engine JSON");
     println!("engine comparison written to {engine_out_path}");
 
+    // 4. Per-trial vs. batched engine. Stationary policies take the SoA
+    //    shared-decision fast path; suu-i-obl measures the per-trial
+    //    fallback. The hard-jobs family `uniform-m4-n96` (largest, near-
+    //    certain per-step failure) is the satellite speedup table.
+    println!("\n-- engine comparison: per-trial event engine vs. batched SoA engine --");
+    let batch_size = 256usize;
+    let batch_specs = ["gang-sequential", "best-machine", "greedy-lr", "suu-i-obl"];
+    let mut batch_cells: Vec<Json> = Vec::new();
+    for sc in &engine_scenarios {
+        let inst = sc.instantiate();
+        for spec_text in batch_specs {
+            let spec = PolicySpec::new(spec_text);
+            match batch_cell(&registry, &inst, &sc.id, &spec, engine_trials, batch_size) {
+                Ok(cell) => batch_cells.push(cell),
+                Err(RegistryError::UnsupportedStructure { .. }) => continue,
+                Err(e) => panic!("{}/{spec_text}: {e}", sc.id),
+            }
+        }
+    }
+    let batch_doc = Json::obj()
+        .field("schema", "suu-bench/engine-batch/v1")
+        .field("generated_by", "bench_baseline")
+        .field("mode", if smoke { "smoke" } else { "full" })
+        .field("threads", 1u64)
+        .field("host_cores", cores as u64)
+        .field("batch_size", batch_size as u64)
+        .field("trials_per_cell", engine_trials as u64)
+        .field(
+            "note",
+            "wall clocks measured on a single worker thread; engine speedups are \
+             thread-independent, but on a 1-core host re-run on multicore before \
+             quoting evaluator-level numbers",
+        )
+        .field("cells", Json::Arr(batch_cells));
+    std::fs::write(&batch_out_path, batch_doc.to_pretty()).expect("write batch JSON");
+    println!("batch comparison written to {batch_out_path}");
+
     doc = doc.field("engine_comparison_file", engine_out_path.as_str());
+    doc = doc.field("batch_comparison_file", batch_out_path.as_str());
     std::fs::write(&out_path, doc.to_pretty()).expect("write baseline JSON");
     println!(
         "\nbaseline written to {out_path}  [{:.1}s total]",

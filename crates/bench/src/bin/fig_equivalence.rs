@@ -64,6 +64,7 @@ fn main() {
 
                         ..ExecConfig::default()
                     },
+                    ..EvalConfig::default()
                 })
                 .run_spec(&registry, &inst, &spec)
                 .expect("policy builds")
@@ -80,7 +81,7 @@ fn main() {
             builder.add_cell(
                 &sc.id,
                 policy,
-                &b,
+                &b.to_stats(),
                 &[
                     ("chi2", Json::Num(chi2)),
                     ("chi2_dof", Json::UInt(dof as u64)),

@@ -23,7 +23,7 @@
 //! The Monte-Carlo experiment path is layered:
 //!
 //! * [`scenario`] — named, seeded workload recipes and the standard
-//!   six-family [`scenario::ScenarioSuite`];
+//!   nine-family [`scenario::ScenarioSuite`];
 //! * [`runner`] — the [`runner::Race`] declaration and its one evaluation
 //!   path (registry build → capability gate → parallel
 //!   [`suu_sim::Evaluator`] → table + JSON);

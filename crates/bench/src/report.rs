@@ -19,19 +19,24 @@
 //!      "master_seed": 7, "semantics": "suu-star",
 //!      "mean_makespan": 31.4, "std_err": 0.4, "min": 24.0,
 //!      "median": 31.0, "p95": 40.0, "max": 48.0,
+//!      "quantile_mode": "exact",
 //!      "completion_rate": 1.0, "wall_clock_s": 0.031,
 //!      "lower_bound": 12.5, "ratio_to_lb": 2.51}
 //!   ]
 //! }
 //! ```
 //!
-//! `cells` may also carry `"error"` (policy failed to build — e.g.
-//! `exact-opt` past its limits) or `"skipped"` (capability below the
-//! scenario's structure class); such cells have no statistics.
+//! Cells are fed from streaming [`EvalStats`] (the evaluator never
+//! buffers per-trial outcomes for reporting): `quantile_mode` is
+//! `"exact"` while the sample fits the accumulator's exact cap and
+//! `"p2-sketch"` once median/p95 come from the P² sketches. `cells` may
+//! also carry `"error"` (policy failed to build — e.g. `exact-opt` past
+//! its limits) or `"skipped"` (capability below the scenario's structure
+//! class); such cells have no statistics.
 
 use crate::scenario::{Scenario, ScenarioSuite};
 use suu_core::json::Json;
-use suu_sim::{EvalReport, Semantics};
+use suu_sim::{EvalStats, Semantics};
 
 /// Schema identifier stamped on every document.
 pub const SCHEMA: &str = "suu-results/v1";
@@ -88,35 +93,46 @@ impl ResultsBuilder {
         }
     }
 
-    /// Record one `(scenario, policy)` evaluation with optional extra
-    /// fields (e.g. `lower_bound`).
+    /// Record one `(scenario, policy)` evaluation from streaming
+    /// statistics, with optional extra fields (e.g. `lower_bound`).
     pub fn add_cell(
         &mut self,
         scenario_id: &str,
         policy: &str,
-        report: &EvalReport,
+        stats: &EvalStats,
         extra: &[(&str, Json)],
     ) {
         self.register_policy(policy);
-        let summary = report.summary();
-        let semantics = match report.config.exec.semantics {
+        let semantics = match stats.config.exec.semantics {
             Semantics::Suu => "suu",
             Semantics::SuuStar => "suu-star",
         };
         let mut cell = Json::obj()
             .field("scenario", scenario_id)
             .field("policy", policy)
-            .field("trials", report.config.trials)
-            .field("master_seed", report.config.master_seed)
-            .field("semantics", semantics)
-            .field("mean_makespan", summary.mean)
-            .field("std_err", summary.std_err)
-            .field("min", summary.min)
-            .field("median", summary.median)
-            .field("p95", summary.p95)
-            .field("max", summary.max)
-            .field("completion_rate", report.completion_rate())
-            .field("wall_clock_s", report.wall_clock.as_secs_f64());
+            .field("trials", stats.config.trials)
+            .field("master_seed", stats.config.master_seed)
+            .field("semantics", semantics);
+        if let Some(summary) = stats.summary() {
+            cell = cell
+                .field("mean_makespan", summary.mean)
+                .field("std_err", summary.std_err)
+                .field("min", summary.min)
+                .field("median", summary.median)
+                .field("p95", summary.p95)
+                .field("max", summary.max)
+                .field(
+                    "quantile_mode",
+                    if summary.exact_quantiles {
+                        "exact"
+                    } else {
+                        "p2-sketch"
+                    },
+                );
+        }
+        cell = cell
+            .field("completion_rate", stats.completion_rate())
+            .field("wall_clock_s", stats.wall_clock.as_secs_f64());
         for (key, value) in extra {
             cell = cell.field(*key, value.clone());
         }
@@ -172,13 +188,13 @@ mod tests {
     fn document_shape_roundtrips() {
         let sc = Scenario::uniform(2, 4, 0.2, 0.8, 1);
         let inst = sc.instantiate();
-        let report = Evaluator::seeded(20, 9).run(&inst, || Gang);
+        let stats = Evaluator::seeded(20, 9).run_stats(&inst, || Gang);
 
         let suite = ScenarioSuite::smoke(1);
         let mut builder = ResultsBuilder::new("report-test").suite(&suite);
         builder.add_scenario(&sc);
         builder.add_scenario(&sc); // idempotent
-        builder.add_cell(&sc.id, "gang", &report, &[("lower_bound", Json::Num(2.0))]);
+        builder.add_cell(&sc.id, "gang", &stats, &[("lower_bound", Json::Num(2.0))]);
         builder.add_failure(&sc.id, "exact-opt", "error", "too big".to_string());
         let doc = builder.finish();
 
@@ -192,6 +208,10 @@ mod tests {
         assert_eq!(cells.len(), 2);
         assert_eq!(cells[0].get("trials").unwrap().as_u64(), Some(20));
         assert!(cells[0].get("mean_makespan").unwrap().as_f64().unwrap() >= 1.0);
+        assert_eq!(
+            cells[0].get("quantile_mode").unwrap().as_str(),
+            Some("exact")
+        );
         assert_eq!(cells[0].get("lower_bound").unwrap().as_f64(), Some(2.0));
         assert_eq!(cells[1].get("error").unwrap().as_str(), Some("too big"));
         let policies = parsed.get("policies").unwrap().as_array().unwrap();

@@ -4,7 +4,9 @@
 //! A [`Race`] declares *what* to compare (scenarios, policy specs, trial
 //! budget); this module handles *how*: registry construction through
 //! [`suu_algos::standard_registry`], capability-aware skipping, parallel
-//! evaluation via [`suu_sim::Evaluator`], optional LP lower bounds, the
+//! evaluation via [`suu_sim::Evaluator`]'s **streaming** path (batched
+//! engine + [`suu_sim::OutcomeAccumulator`], so a cell's memory is
+//! independent of its trial count), optional LP lower bounds, the
 //! human-readable table, and the shared JSON results document. The
 //! table1/figure binaries are now a `Race` literal plus a `main`.
 
@@ -129,6 +131,7 @@ pub fn run_race_with(race: Race, registry: &PolicyRegistry) -> Json {
             master_seed: suu_sim::derive_seed(race.master_seed, sc.seed, 0xC311),
             threads: 0,
             exec: race.exec,
+            ..EvalConfig::default()
         });
 
         for spec in &specs {
@@ -169,9 +172,9 @@ fn evaluate_cell(
     lb: Option<f64>,
     builder: &mut ResultsBuilder,
 ) -> CellOutcome {
-    match evaluator.run_spec(registry, inst, spec) {
-        Ok(report) => {
-            let mean = report.mean_makespan();
+    match evaluator.run_stats_spec(registry, inst, spec) {
+        Ok(stats) => {
+            let mean = stats.mean_makespan();
             let ratio = lb.map(|lb| mean / lb);
             let mut extra: Vec<(&str, Json)> = Vec::new();
             if let Some(lb) = lb {
@@ -180,7 +183,7 @@ fn evaluate_cell(
             if let Some(r) = ratio {
                 extra.push(("ratio_to_lb", Json::Num(r)));
             }
-            builder.add_cell(&sc.id, &spec.to_string(), &report, &extra);
+            builder.add_cell(&sc.id, &spec.to_string(), &stats, &extra);
             CellOutcome::Ran { mean, ratio }
         }
         Err(e @ RegistryError::UnsupportedStructure { .. }) => {
@@ -225,9 +228,9 @@ mod tests {
             ..Race::default()
         });
         let cells = doc.get("cells").unwrap().as_array().unwrap();
-        assert_eq!(cells.len(), 9, "3 scenarios x 3 policies");
-        // suu-i-sem must skip the chains and forest scenarios, and suu-c
-        // (capability: chains) must skip the forest scenario.
+        assert_eq!(cells.len(), 12, "4 scenarios x 3 policies");
+        // suu-i-sem must skip the chains, forest and layered scenarios;
+        // suu-c (capability: chains) must skip forest and layered.
         let skipped: Vec<(&str, &str)> = cells
             .iter()
             .filter(|c| c.get("skipped").is_some())
@@ -238,11 +241,14 @@ mod tests {
                 )
             })
             .collect();
-        assert_eq!(skipped.len(), 3, "{skipped:?}");
-        assert_eq!(skipped.iter().filter(|(p, _)| *p == "suu-i-sem").count(), 2);
+        assert_eq!(skipped.len(), 5, "{skipped:?}");
+        assert_eq!(skipped.iter().filter(|(p, _)| *p == "suu-i-sem").count(), 3);
         assert!(skipped
             .iter()
             .any(|(p, s)| *p == "suu-c" && s.starts_with("forest")));
+        assert!(skipped
+            .iter()
+            .any(|(p, s)| *p == "suu-c" && s.starts_with("layered")));
         // Every run cell carries statistics.
         for c in cells.iter().filter(|c| c.get("skipped").is_none()) {
             assert!(c.get("mean_makespan").unwrap().as_f64().unwrap() >= 1.0);

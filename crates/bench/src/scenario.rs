@@ -14,7 +14,18 @@
 //!   failure structure (§1's motivating example);
 //! * `adversarial` — near-certain-failure instances where every job has
 //!   exactly one helpful machine hidden among useless ones, punishing
-//!   affinity-blind schedules and stressing the LP matching.
+//!   affinity-blind schedules and stressing the LP matching;
+//! * `layered` — random layered DAGs (each job depends on a random subset
+//!   of the previous layer): wider precedence than chains/forests, with
+//!   eligibility frontiers that widen and narrow — many distinct
+//!   remaining sets per execution, stressing the batched engine's
+//!   decision cache;
+//! * `bimodal` — per-pair bimodal success probabilities (reliable or
+//!   near-useless, mixed within every machine row), yielding bimodal
+//!   makespans that separate quantile sketches from means;
+//! * `hetero-pareto` — per-job reliability drawn from a power law on
+//!   near-interchangeable machines: schedules win by budgeting steps
+//!   across jobs, not by machine matching.
 
 use rand::prelude::*;
 use std::sync::Arc;
@@ -185,6 +196,72 @@ impl Scenario {
         }
     }
 
+    /// Random layered DAG over uniform machines: `layers` ranks, each job
+    /// wired to a random subset of the previous layer with edge
+    /// probability `density`.
+    pub fn layered(m: usize, n: usize, layers: usize, density: f64, seed: u64) -> Scenario {
+        Scenario {
+            id: format!("layered-m{m}-n{n}-l{layers}-s{seed}"),
+            description: format!("random {layers}-layer DAG, density {density}, q ~ U[0.2,0.9)"),
+            m,
+            n,
+            seed,
+            structure: StructureClass::Dag,
+            build: Box::new(move |s| {
+                let mut rng = SmallRng::seed_from_u64(s);
+                let dag = generators::layered_dag(n, layers, density, &mut rng);
+                workload::uniform_unrelated(m, n, 0.2, 0.9, Precedence::Dag(dag), &mut rng)
+            }),
+        }
+    }
+
+    /// Bimodal per-pair success probabilities: each `(machine, job)` pair
+    /// independently reliable (`q ~ U[0.05,0.25)`) or near-useless
+    /// (`q ~ U[0.85,0.99)`).
+    pub fn bimodal(m: usize, n: usize, frac_good: f64, seed: u64) -> Scenario {
+        Scenario {
+            id: format!("bimodal-m{m}-n{n}-s{seed}"),
+            description: format!(
+                "bimodal success probabilities, {:.0}% reliable pairs",
+                frac_good * 100.0
+            ),
+            m,
+            n,
+            seed,
+            structure: StructureClass::Independent,
+            build: Box::new(move |s| {
+                let mut rng = SmallRng::seed_from_u64(s);
+                workload::bimodal(
+                    m,
+                    n,
+                    frac_good,
+                    (0.05, 0.25),
+                    (0.85, 0.99),
+                    Precedence::Independent,
+                    &mut rng,
+                )
+            }),
+        }
+    }
+
+    /// Heterogeneous per-job reliability from a power law
+    /// (`q_j = q_floor^(1/w_j)`, `w ~ Pareto(alpha)`), machines nearly
+    /// interchangeable.
+    pub fn hetero_pareto(m: usize, n: usize, q_floor: f64, alpha: f64, seed: u64) -> Scenario {
+        Scenario {
+            id: format!("hetero-pareto-m{m}-n{n}-s{seed}"),
+            description: format!("per-job q from a power law, floor {q_floor}, alpha {alpha}"),
+            m,
+            n,
+            seed,
+            structure: StructureClass::Independent,
+            build: Box::new(move |s| {
+                let mut rng = SmallRng::seed_from_u64(s);
+                workload::pareto_job_q(m, n, q_floor, alpha, Precedence::Independent, &mut rng)
+            }),
+        }
+    }
+
     /// Adversarial near-certain failure: every `q_ij` is nearly 1 except
     /// one secretly assigned good machine per job. Affinity-blind policies
     /// waste almost every machine-step.
@@ -234,7 +311,7 @@ pub struct ScenarioSuite {
 }
 
 impl ScenarioSuite {
-    /// The six-family standard suite at benchmark scale.
+    /// The nine-family standard suite at benchmark scale.
     pub fn standard(seed: u64) -> ScenarioSuite {
         ScenarioSuite {
             name: "standard".to_string(),
@@ -245,12 +322,16 @@ impl ScenarioSuite {
                 Scenario::forest(4, 24, 3, seed + 3),
                 Scenario::mapreduce(16, 8, 6, seed + 4),
                 Scenario::adversarial(6, 18, seed + 5),
+                Scenario::layered(5, 24, 4, 0.35, seed + 6),
+                Scenario::bimodal(6, 20, 0.5, seed + 7),
+                Scenario::hetero_pareto(6, 24, 0.3, 1.5, seed + 8),
             ],
         }
     }
 
     /// A miniature copy of the standard suite for tests (tiny sizes, so
-    /// LP-heavy policies build fast).
+    /// LP-heavy policies build fast). Includes a layered-DAG family so
+    /// smoke runs exercise general-DAG eligibility too.
     pub fn smoke(seed: u64) -> ScenarioSuite {
         ScenarioSuite {
             name: "smoke".to_string(),
@@ -258,6 +339,7 @@ impl ScenarioSuite {
                 Scenario::uniform(3, 8, 0.2, 0.9, seed),
                 Scenario::chains(3, 8, 3, seed + 1),
                 Scenario::forest(3, 8, 2, seed + 2),
+                Scenario::layered(3, 8, 3, 0.4, seed + 3),
             ],
         }
     }
@@ -312,5 +394,43 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), suite.scenarios.len());
+    }
+
+    #[test]
+    fn standard_suite_has_nine_families_across_all_classes() {
+        let suite = ScenarioSuite::standard(2);
+        assert_eq!(suite.scenarios.len(), 9);
+        for class in [
+            StructureClass::Independent,
+            StructureClass::Chains,
+            StructureClass::Forest,
+            StructureClass::Dag,
+        ] {
+            assert!(
+                suite.scenarios.iter().any(|s| s.structure == class),
+                "no {class} scenario in the standard suite"
+            );
+        }
+    }
+
+    #[test]
+    fn layered_scenario_has_real_precedence() {
+        let sc = Scenario::layered(4, 16, 4, 0.4, 9);
+        let inst = sc.instantiate();
+        assert_eq!(StructureClass::of(inst.precedence()), StructureClass::Dag);
+        let dag = inst.precedence().to_dag(16);
+        assert!(dag.num_edges() > 0, "layered DAG degenerated to edgeless");
+    }
+
+    #[test]
+    fn bimodal_scenario_has_no_middle_ground() {
+        let sc = Scenario::bimodal(4, 10, 0.5, 3);
+        let inst = sc.instantiate();
+        for i in 0..4u32 {
+            for j in 0..10u32 {
+                let q = inst.q(suu_core::MachineId(i), suu_core::JobId(j));
+                assert!(!(0.25..0.85).contains(&q), "q {q} falls between the modes");
+            }
+        }
     }
 }

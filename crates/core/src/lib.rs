@@ -46,5 +46,5 @@ pub use assignment::Assignment;
 pub use bitset::BitSet;
 pub use ids::{JobId, MachineId};
 pub use instance::{InstanceError, SuuInstance};
-pub use precedence::{EligibilityTracker, Precedence};
+pub use precedence::{EligibilityState, EligibilityTopology, EligibilityTracker, Precedence};
 pub use schedule::Timetable;

@@ -53,46 +53,83 @@ impl Precedence {
     }
 }
 
-/// Incremental eligibility: a job is *eligible* when all its predecessors
-/// have completed (paper §2). `O(1)` amortized per completion event.
+/// The immutable half of eligibility tracking: successor lists and initial
+/// indegrees of the precedence DAG.
+///
+/// Batched trial execution runs many simultaneous executions of one
+/// instance; each needs its own remaining/eligible sets but they all share
+/// this topology, which is computed (and allocated) once per batch rather
+/// than once per trial. [`EligibilityTracker`] is the single-trial
+/// convenience wrapper bundling a topology with one [`EligibilityState`].
 #[derive(Debug, Clone)]
-pub struct EligibilityTracker {
+pub struct EligibilityTopology {
+    /// Successor lists per job.
+    succ: Vec<Vec<u32>>,
+    /// Indegree per job (pending-predecessor count of a fresh state).
+    indegrees: Vec<u32>,
+    /// Jobs with no predecessors (the initial eligible set).
+    initial_eligible: BitSet,
+    /// Number of jobs.
+    n: usize,
+}
+
+impl EligibilityTopology {
+    /// Topology of `dag`. Panics if `dag` is cyclic.
+    pub fn new(dag: &Dag) -> Self {
+        assert!(dag.is_acyclic(), "precedence graph has a cycle");
+        let n = dag.num_vertices();
+        let indegrees = dag.indegrees();
+        let mut initial_eligible = BitSet::new(n);
+        for j in 0..n as u32 {
+            if indegrees[j as usize] == 0 {
+                initial_eligible.insert(j);
+            }
+        }
+        let succ = (0..n as u32).map(|v| dag.successors(v).to_vec()).collect();
+        EligibilityTopology {
+            succ,
+            indegrees,
+            initial_eligible,
+            n,
+        }
+    }
+
+    /// Number of jobs.
+    #[inline]
+    pub fn num_jobs(&self) -> usize {
+        self.n
+    }
+
+    /// A fresh per-trial state: every job uncompleted, sources eligible.
+    pub fn new_state(&self) -> EligibilityState {
+        EligibilityState {
+            remaining: BitSet::full(self.n),
+            eligible: self.initial_eligible.clone(),
+            pending_preds: self.indegrees.clone(),
+            epoch: 0,
+        }
+    }
+}
+
+/// The mutable half of eligibility tracking: one trial's remaining and
+/// eligible sets plus pending-predecessor counts. Operations take the
+/// shared [`EligibilityTopology`] explicitly, so a batch of trials holds
+/// B states against one topology.
+#[derive(Debug, Clone)]
+pub struct EligibilityState {
     /// Remaining (uncompleted) jobs.
     remaining: BitSet,
     /// Eligible and uncompleted jobs.
     eligible: BitSet,
     /// Outstanding predecessor count per job.
     pending_preds: Vec<u32>,
-    /// Successor lists.
-    succ: Vec<Vec<u32>>,
     /// Completion events so far (the *decision epoch* counter: the
     /// eligible set changes exactly when a job completes, so event-driven
     /// engines and policies key their caches off this).
     epoch: u64,
 }
 
-impl EligibilityTracker {
-    /// Tracker with every job uncompleted. Panics if `dag` is cyclic.
-    pub fn new(dag: &Dag) -> Self {
-        assert!(dag.is_acyclic(), "precedence graph has a cycle");
-        let n = dag.num_vertices();
-        let pending_preds = dag.indegrees();
-        let mut eligible = BitSet::new(n);
-        for j in 0..n as u32 {
-            if pending_preds[j as usize] == 0 {
-                eligible.insert(j);
-            }
-        }
-        let succ = (0..n as u32).map(|v| dag.successors(v).to_vec()).collect();
-        EligibilityTracker {
-            remaining: BitSet::full(n),
-            eligible,
-            pending_preds,
-            succ,
-            epoch: 0,
-        }
-    }
-
+impl EligibilityState {
     /// Jobs not yet completed.
     #[inline]
     pub fn remaining(&self) -> &BitSet {
@@ -126,26 +163,99 @@ impl EligibilityTracker {
         self.epoch
     }
 
+    /// Mark job `j` complete under `topo`, unlocking any successors whose
+    /// predecessors are now all done. Allocation-free (batch hot path);
+    /// use [`EligibilityTracker::complete`] to collect the unlocked jobs.
+    ///
+    /// Panics (debug) if `j` was already complete or not eligible — the
+    /// engine never completes an ineligible job.
+    pub fn complete(&mut self, topo: &EligibilityTopology, j: u32) {
+        self.complete_impl(topo, j, |_| {});
+    }
+
+    /// The one copy of the completion/unlock rule; `on_unlock` is called
+    /// for each newly eligible successor (a no-op on the allocation-free
+    /// path, a collector in [`EligibilityTracker::complete`]).
+    fn complete_impl(
+        &mut self,
+        topo: &EligibilityTopology,
+        j: u32,
+        mut on_unlock: impl FnMut(u32),
+    ) {
+        debug_assert!(self.remaining.contains(j), "job {j} completed twice");
+        debug_assert!(self.eligible.contains(j), "ineligible job {j} completed");
+        self.epoch += 1;
+        self.remaining.remove(j);
+        self.eligible.remove(j);
+        for &v in &topo.succ[j as usize] {
+            self.pending_preds[v as usize] -= 1;
+            if self.pending_preds[v as usize] == 0 {
+                self.eligible.insert(v);
+                on_unlock(v);
+            }
+        }
+    }
+}
+
+/// Incremental eligibility: a job is *eligible* when all its predecessors
+/// have completed (paper §2). `O(1)` amortized per completion event.
+///
+/// One topology + one state, for single-trial execution. Batched execution
+/// holds many [`EligibilityState`]s against one shared
+/// [`EligibilityTopology`] instead.
+#[derive(Debug, Clone)]
+pub struct EligibilityTracker {
+    topo: EligibilityTopology,
+    state: EligibilityState,
+}
+
+impl EligibilityTracker {
+    /// Tracker with every job uncompleted. Panics if `dag` is cyclic.
+    pub fn new(dag: &Dag) -> Self {
+        let topo = EligibilityTopology::new(dag);
+        let state = topo.new_state();
+        EligibilityTracker { topo, state }
+    }
+
+    /// Jobs not yet completed.
+    #[inline]
+    pub fn remaining(&self) -> &BitSet {
+        self.state.remaining()
+    }
+
+    /// Jobs eligible to run right now.
+    #[inline]
+    pub fn eligible(&self) -> &BitSet {
+        self.state.eligible()
+    }
+
+    /// `true` once every job has completed.
+    #[inline]
+    pub fn all_done(&self) -> bool {
+        self.state.all_done()
+    }
+
+    /// Number of uncompleted jobs.
+    #[inline]
+    pub fn num_remaining(&self) -> usize {
+        self.state.num_remaining()
+    }
+
+    /// Number of completion events so far; see [`EligibilityState::epoch`].
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.state.epoch()
+    }
+
     /// Mark job `j` complete, unlocking any successors whose predecessors
     /// are now all done. Returns the newly eligible jobs.
     ///
     /// Panics (debug) if `j` was already complete or not eligible — the
     /// engine never completes an ineligible job.
     pub fn complete(&mut self, j: u32) -> Vec<u32> {
-        debug_assert!(self.remaining.contains(j), "job {j} completed twice");
-        debug_assert!(self.eligible.contains(j), "ineligible job {j} completed");
-        self.epoch += 1;
-        self.remaining.remove(j);
-        self.eligible.remove(j);
         let mut unlocked = Vec::new();
-        for k in 0..self.succ[j as usize].len() {
-            let v = self.succ[j as usize][k];
-            self.pending_preds[v as usize] -= 1;
-            if self.pending_preds[v as usize] == 0 {
-                self.eligible.insert(v);
-                unlocked.push(v);
-            }
-        }
+        self.state
+            .complete_impl(&self.topo, j, |v| unlocked.push(v));
         unlocked
     }
 }
@@ -194,6 +304,35 @@ mod tests {
         let mut t = EligibilityTracker::new(&Dag::new(2));
         t.complete(0);
         t.complete(0);
+    }
+
+    #[test]
+    fn shared_topology_runs_independent_trial_states() {
+        // Two trials over one topology complete in different orders; each
+        // state evolves exactly as a dedicated tracker would.
+        let dag = Dag::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let topo = EligibilityTopology::new(&dag);
+        assert_eq!(topo.num_jobs(), 4);
+        let mut a = topo.new_state();
+        let mut b = topo.new_state();
+        let mut reference = EligibilityTracker::new(&dag);
+
+        a.complete(&topo, 0);
+        a.complete(&topo, 1);
+        reference.complete(0);
+        reference.complete(1);
+        assert_eq!(a.remaining(), reference.remaining());
+        assert_eq!(a.eligible(), reference.eligible());
+        assert_eq!(a.epoch(), reference.epoch());
+
+        // Trial b is untouched by trial a's progress.
+        assert_eq!(b.num_remaining(), 4);
+        assert_eq!(b.epoch(), 0);
+        b.complete(&topo, 0);
+        b.complete(&topo, 2);
+        assert!(b.eligible().contains(1));
+        assert!(!b.eligible().contains(3), "3 still blocked by 1 in b");
+        assert!(!a.eligible().contains(1), "1 already done in a");
     }
 
     #[test]

@@ -105,6 +105,78 @@ pub fn power_law_difficulty<R: Rng>(
     SuuInstance::new(m, n, q, precedence).expect("generated instance valid")
 }
 
+/// Bimodal success probabilities: each `(machine, job)` pair is
+/// independently either *reliable* (`q ~ U[good_lo, good_hi)`) with
+/// probability `frac_good`, or *near-useless* (`q ~ U[bad_lo, bad_hi)`).
+///
+/// Unlike [`volunteer_grid`] (whole machines are good or flaky), the
+/// modes mix per pair, so the success-probability matrix has no low-rank
+/// structure a matching can exploit globally — policies must find the
+/// reliable pairs job by job. The makespan distribution inherits the
+/// bimodality, which is exactly the shape that separates a quantile
+/// sketch from a mean.
+pub fn bimodal<R: Rng>(
+    m: usize,
+    n: usize,
+    frac_good: f64,
+    (good_lo, good_hi): (f64, f64),
+    (bad_lo, bad_hi): (f64, f64),
+    precedence: Precedence,
+    rng: &mut R,
+) -> SuuInstance {
+    assert!((0.0..=1.0).contains(&frac_good));
+    assert!(0.0 <= good_lo && good_lo < good_hi && good_hi <= bad_lo);
+    assert!(bad_lo < bad_hi && bad_hi <= 1.0);
+    let q = (0..m * n)
+        .map(|_| {
+            if rng.random_range(0.0..1.0) < frac_good {
+                rng.random_range(good_lo..good_hi)
+            } else {
+                rng.random_range(bad_lo..bad_hi)
+            }
+        })
+        .map(|v| v.clamp(1e-9, 1.0 - 1e-9))
+        .collect();
+    SuuInstance::new(m, n, q, precedence).expect("generated instance valid")
+}
+
+/// Heterogeneous per-job reliability drawn from a power law: job `j` has
+/// a base failure probability `q_j = q_floor^(1/w_j)` with
+/// `w_j ~ Pareto(alpha)`, shared by every machine up to a small
+/// multiplicative jitter.
+///
+/// The complement of [`power_law_difficulty`]'s regime: there the tail
+/// jobs are *hard everywhere and machines matter*; here machines are
+/// nearly interchangeable and the heterogeneity is purely across jobs —
+/// most jobs are easy (`q_j` near `q_floor`), a Pareto tail is
+/// near-impossible everywhere. Schedules win by budgeting machine-steps
+/// across jobs, not by matching jobs to machines.
+pub fn pareto_job_q<R: Rng>(
+    m: usize,
+    n: usize,
+    q_floor: f64,
+    alpha: f64,
+    precedence: Precedence,
+    rng: &mut R,
+) -> SuuInstance {
+    assert!(alpha > 0.0 && (0.0..1.0).contains(&q_floor));
+    let base: Vec<f64> = (0..n)
+        .map(|_| {
+            let u: f64 = rng.random_range(1e-9..1.0);
+            let w = u.powf(-1.0 / alpha); // Pareto(1, alpha)
+            q_floor.powf(1.0 / w)
+        })
+        .collect();
+    let mut q = Vec::with_capacity(m * n);
+    for _ in 0..m {
+        for &qj in &base {
+            let jitter: f64 = rng.random_range(0.97..1.03);
+            q.push((qj * jitter).clamp(1e-9, 1.0 - 1e-9));
+        }
+    }
+    SuuInstance::new(m, n, q, precedence).expect("generated instance valid")
+}
+
 /// The fully deterministic instance: every machine completes every job
 /// surely (`q = 0`). Useful for tests where the makespan is combinatorial.
 pub fn deterministic(m: usize, n: usize, precedence: Precedence) -> SuuInstance {
@@ -178,6 +250,56 @@ mod tests {
             inst.ell(crate::MachineId(0), crate::JobId(0)),
             crate::logmass::L_MAX
         );
+    }
+
+    #[test]
+    fn bimodal_mixes_modes_per_pair() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let inst = bimodal(
+            6,
+            20,
+            0.5,
+            (0.05, 0.25),
+            (0.85, 0.99),
+            Precedence::Independent,
+            &mut rng,
+        );
+        let (mut good, mut bad) = (0usize, 0usize);
+        for i in 0..6 {
+            for j in 0..20 {
+                let q = inst.q(crate::MachineId(i), crate::JobId(j));
+                assert!((0.05..0.99).contains(&q));
+                assert!(!(0.25..0.85).contains(&q), "value {q} between the modes");
+                if q < 0.25 {
+                    good += 1;
+                } else {
+                    bad += 1;
+                }
+            }
+        }
+        assert!(good > 20 && bad > 20, "both modes present ({good}/{bad})");
+    }
+
+    #[test]
+    fn pareto_job_q_is_heterogeneous_across_jobs_not_machines() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let inst = pareto_job_q(4, 40, 0.3, 1.5, Precedence::Independent, &mut rng);
+        let job_q: Vec<f64> = (0..40)
+            .map(|j| inst.q(crate::MachineId(0), crate::JobId(j)))
+            .collect();
+        // Machines nearly interchangeable: per-job spread across machines
+        // is within the jitter band.
+        for j in 0..40u32 {
+            for i in 1..4u32 {
+                let a = inst.q(crate::MachineId(0), crate::JobId(j));
+                let b = inst.q(crate::MachineId(i), crate::JobId(j));
+                assert!((a / b).abs() < 1.1 && (b / a).abs() < 1.1, "job {j}");
+            }
+        }
+        // Jobs genuinely heterogeneous: the Pareto tail spreads them.
+        let min = job_q.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = job_q.iter().cloned().fold(0.0f64, f64::max);
+        assert!(max / min > 1.5, "job qs too uniform: {min}..{max}");
     }
 
     #[test]

@@ -1,0 +1,437 @@
+//! The batched trial engine: B executions of one `(instance, policy)`
+//! pair in a single lockstep pass over structure-of-arrays state.
+//!
+//! The per-trial engines pay the policy and topology costs once *per
+//! trial*: every execution rebuilds the precedence DAG's successor lists,
+//! and every decision epoch of every trial calls `decide`, even though a
+//! stationary policy (gang, greedy matchings, exact OPT — anything whose
+//! row is a pure function of the remaining set) returns the *same* row
+//! for every trial sitting at the same remaining set. This module
+//! amortizes both:
+//!
+//! * **Shared eligibility topology** — the DAG's successor lists and
+//!   indegrees ([`suu_core::EligibilityTopology`]) are built once per
+//!   batch; each trial holds only its own remaining/eligible columns
+//!   ([`suu_core::EligibilityState`]).
+//! * **SoA trial state** — accrued log-mass, SUU* thresholds, SUU coin
+//!   counters and completion times live in flat `B × n` columns, advanced
+//!   trial-by-trial in a lockstep sweep (every live trial moves one
+//!   decision epoch per pass).
+//! * **Shared decisions** — for stationary policies
+//!   ([`Policy::is_stationary`]) the engine caches, per distinct
+//!   remaining set, the decided row *and* its derived epoch plan (machine
+//!   classification + per-job step mass). One `decide` at epoch 0 serves
+//!   the whole batch; deeper epochs share across every trial that visits
+//!   the same remaining set.
+//!
+//! # Bitwise equality
+//!
+//! For every seed the batched engine produces outcomes **bitwise
+//! identical** to [`super::events::execute_events`] with that seed: the
+//! per-epoch computation (classification order, `star_steps` /
+//! `geometric_steps` expressions, counter updates) is the same code path
+//! evaluated in the same order *within* a trial, and the counter-based
+//! [`JobRandomness`] streams make the interleaving *across* trials
+//! irrelevant. `tests/engine_differential.rs` asserts this across every
+//! scenario family × registry policy × both semantics.
+//!
+//! Non-stationary policies cannot share decisions (their state evolves
+//! within a trial), so for them — and for [`EngineKind::Dense`] — the
+//! batch entry point degrades to per-trial execution, preserving the
+//! equality guarantee trivially while keeping one uniform call site for
+//! the evaluator.
+
+use super::{geometric_steps, star_steps, ExecConfig, ExecOutcome, JobRandomness};
+use super::{EngineKind, Semantics, NEVER};
+use crate::policy::{Assignment, Policy, StateView};
+use std::collections::HashMap;
+use suu_core::{BitSet, EligibilityState, EligibilityTopology, MachineId, SuuInstance};
+
+/// Seeds for one trial of a batch.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchTrial {
+    /// Seed of the engine's per-job randomness streams.
+    pub engine_seed: u64,
+    /// Seed handed to [`Policy::reseed`] before the trial, if any.
+    /// Ignored on the stationary fast path (stationary policies have no
+    /// internal randomness by contract).
+    pub policy_seed: Option<u64>,
+}
+
+/// One decision epoch's shared, remaining-set-keyed work product: the
+/// machine classification and per-job step masses derived from a
+/// stationary policy's row. Everything here is a pure function of the
+/// remaining set, so one plan serves every trial that visits that set.
+struct EpochPlan {
+    /// Machines running an eligible, uncompleted job.
+    busy_m: u64,
+    /// Machines idle or pointed at completed jobs.
+    idle_m: u64,
+    /// Machines pointed at ineligible jobs (violations).
+    inel_m: u64,
+    /// `(job, total per-step mass)` for each distinct running job, in
+    /// first-seen machine order (the per-trial engines' `touched` order).
+    running: Vec<(u32, f64)>,
+}
+
+/// Execute one trial per entry of `trials`, returning outcomes in trial
+/// order.
+///
+/// Dispatch: stationary policy + [`EngineKind::Events`] takes the SoA
+/// lockstep fast path; anything else falls back to per-trial
+/// [`super::execute`] calls (bitwise identical by construction). Memory
+/// is `O(B · n)` for a batch of `B` trials — callers stream chunks of a
+/// larger run through this entry point to keep evaluation memory
+/// independent of the total trial count.
+pub fn execute_batch(
+    inst: &SuuInstance,
+    policy: &mut dyn Policy,
+    cfg: &ExecConfig,
+    trials: &[BatchTrial],
+) -> Vec<ExecOutcome> {
+    if policy.is_stationary() && cfg.engine == EngineKind::Events {
+        execute_batch_stationary(inst, policy, cfg, trials)
+    } else {
+        trials
+            .iter()
+            .map(|trial| {
+                if let Some(seed) = trial.policy_seed {
+                    policy.reseed(seed);
+                }
+                super::execute(inst, policy, cfg, trial.engine_seed)
+            })
+            .collect()
+    }
+}
+
+/// The SoA lockstep fast path. See the module docs for the layout and
+/// the equality argument.
+fn execute_batch_stationary(
+    inst: &SuuInstance,
+    policy: &mut dyn Policy,
+    cfg: &ExecConfig,
+    trials: &[BatchTrial],
+) -> Vec<ExecOutcome> {
+    let n = inst.num_jobs();
+    let m = inst.num_machines();
+    let b_count = trials.len();
+    policy.reset();
+
+    let dag = inst.precedence().to_dag(n);
+    let topo = EligibilityTopology::new(&dag);
+
+    // Per-trial randomness streams and SoA columns (trial-major: the
+    // entry of trial `b`, job `j` lives at `b * n + j`).
+    let rnds: Vec<JobRandomness> = trials
+        .iter()
+        .map(|t| JobRandomness::new(t.engine_seed))
+        .collect();
+    let thresholds: Vec<f64> = match cfg.semantics {
+        Semantics::SuuStar => (0..b_count)
+            .flat_map(|b| (0..n as u32).map(move |j| (b, j)))
+            .map(|(b, j)| rnds[b].threshold(j))
+            .collect(),
+        Semantics::Suu => Vec::new(),
+    };
+    let mut accrued = vec![0.0f64; b_count * n];
+    let mut coin_draws = vec![0u32; b_count * n];
+    let mut completion_time = vec![u64::MAX; b_count * n];
+    let mut t = vec![0u64; b_count];
+    let mut busy_steps = vec![0u64; b_count];
+    let mut idle_steps = vec![0u64; b_count];
+    let mut ineligible = vec![0u64; b_count];
+    let mut states: Vec<EligibilityState> = (0..b_count).map(|_| topo.new_state()).collect();
+
+    // Shared decision cache and scratch for building plans.
+    let mut plans: HashMap<BitSet, EpochPlan> = HashMap::new();
+    let mut out = Assignment::new(m);
+    let mut step_mass = vec![0.0f64; n];
+    let mut seen = vec![false; n];
+    // Per-epoch deadline scratch: only entries for the current plan's
+    // running jobs are ever read, and they are rewritten per trial.
+    let mut deadline = vec![NEVER; n];
+
+    let mut outcomes: Vec<Option<ExecOutcome>> = (0..b_count).map(|_| None).collect();
+    let mut live: Vec<usize> = (0..b_count).collect();
+
+    // Lockstep sweeps: each pass advances every live trial by one
+    // decision epoch (or retires it).
+    while !live.is_empty() {
+        live.retain(|&b| {
+            let base = b * n;
+            let state = &mut states[b];
+            if state.all_done() {
+                outcomes[b] = Some(ExecOutcome {
+                    makespan: t[b],
+                    completed: true,
+                    busy_steps: busy_steps[b],
+                    idle_steps: idle_steps[b],
+                    ineligible_assignments: ineligible[b],
+                    completion_time: completion_time[base..base + n].to_vec(),
+                });
+                return false;
+            }
+            if t[b] >= cfg.max_steps {
+                outcomes[b] = Some(ExecOutcome {
+                    makespan: cfg.max_steps,
+                    completed: false,
+                    busy_steps: busy_steps[b],
+                    idle_steps: idle_steps[b],
+                    ineligible_assignments: ineligible[b],
+                    completion_time: completion_time[base..base + n].to_vec(),
+                });
+                return false;
+            }
+
+            // ---- decision epoch: one shared plan per remaining set ----
+            // Probe by reference first: the common case is a hit (one
+            // miss, B−1 hits per remaining set across a batch), and the
+            // key BitSet is only cloned on the miss path.
+            if !plans.contains_key(state.remaining()) {
+                out.clear();
+                let decision = {
+                    let view = StateView {
+                        time: t[b],
+                        epoch: state.epoch(),
+                        remaining: state.remaining(),
+                        eligible: state.eligible(),
+                        n,
+                        m,
+                    };
+                    policy.decide(&view, &mut out)
+                };
+                // A wake-up request here would make the shared plan
+                // unsound (and silently desync from the per-trial
+                // engines), so treat it as a contract violation.
+                assert!(
+                    decision.next_wakeup.is_none(),
+                    "policy {:?} declared is_stationary but requested a wake-up",
+                    policy.name()
+                );
+                // Classify machines exactly as the event engine does.
+                let mut busy_m = 0u64;
+                let mut idle_m = 0u64;
+                let mut inel_m = 0u64;
+                let mut running: Vec<(u32, f64)> = Vec::new();
+                for i in 0..m {
+                    match out.get(i) {
+                        None => idle_m += 1,
+                        Some(j) => {
+                            let ji = j.index();
+                            debug_assert!(ji < n, "policy assigned out-of-range job");
+                            if !state.remaining().contains(j.0) {
+                                idle_m += 1;
+                            } else if !state.eligible().contains(j.0) {
+                                inel_m += 1;
+                            } else {
+                                if !seen[ji] {
+                                    seen[ji] = true;
+                                    running.push((j.0, 0.0));
+                                }
+                                step_mass[ji] += inst.ell(MachineId(i as u32), j);
+                                busy_m += 1;
+                            }
+                        }
+                    }
+                }
+                for (j, mass) in running.iter_mut() {
+                    let ji = *j as usize;
+                    *mass = step_mass[ji];
+                    step_mass[ji] = 0.0;
+                    seen[ji] = false;
+                }
+                plans.insert(
+                    state.remaining().clone(),
+                    EpochPlan {
+                        busy_m,
+                        idle_m,
+                        inel_m,
+                        running,
+                    },
+                );
+            }
+            let plan = &plans[state.remaining()];
+
+            // ---- sample this trial's next completion under the plan ----
+            let mut next_completion = NEVER;
+            for &(j, mass) in &plan.running {
+                let ji = j as usize;
+                if mass <= 0.0 {
+                    deadline[ji] = NEVER; // only q=1 machines: no progress
+                    continue;
+                }
+                let steps = match cfg.semantics {
+                    Semantics::SuuStar => {
+                        star_steps(accrued[base + ji], thresholds[base + ji], mass)
+                    }
+                    Semantics::Suu => {
+                        let u = rnds[b].coin(j, coin_draws[base + ji]);
+                        coin_draws[base + ji] += 1;
+                        geometric_steps(u, mass)
+                    }
+                };
+                deadline[ji] = t[b].saturating_add(steps);
+                next_completion = next_completion.min(deadline[ji]);
+            }
+
+            // Stationary policies never wake up, so the next event is the
+            // next completion (or the step cap).
+            if next_completion > cfg.max_steps {
+                let span = cfg.max_steps - t[b];
+                busy_steps[b] += plan.busy_m * span;
+                idle_steps[b] += plan.idle_m * span;
+                ineligible[b] += plan.inel_m * span;
+                t[b] = cfg.max_steps;
+                return true; // retired as incomplete on the next sweep
+            }
+
+            // ---- fast-forward this trial to the event ----
+            let event_t = next_completion;
+            let span = event_t - t[b];
+            busy_steps[b] += plan.busy_m * span;
+            idle_steps[b] += plan.idle_m * span;
+            ineligible[b] += plan.inel_m * span;
+            for &(j, mass) in &plan.running {
+                let ji = j as usize;
+                if mass <= 0.0 {
+                    continue;
+                }
+                if cfg.semantics == Semantics::SuuStar {
+                    accrued[base + ji] += span as f64 * mass;
+                }
+                if deadline[ji] == event_t {
+                    completion_time[base + ji] = event_t;
+                    state.complete(&topo, j);
+                }
+            }
+            t[b] = event_t;
+            true
+        });
+    }
+
+    outcomes
+        .into_iter()
+        .map(|o| o.expect("every trial retired with an outcome"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::execute;
+    use crate::policy::Decision;
+    use suu_core::{workload, JobId, Precedence};
+
+    /// Stationary: machines spread over the eligible set by rank.
+    struct Spread;
+    impl Policy for Spread {
+        fn name(&self) -> &str {
+            "spread"
+        }
+        fn reset(&mut self) {}
+        fn decide(&mut self, view: &StateView<'_>, out: &mut Assignment) -> Decision {
+            let eligible: Vec<u32> = view.eligible.iter().collect();
+            if !eligible.is_empty() {
+                for i in 0..view.m {
+                    out.set(i, JobId(eligible[i % eligible.len()]));
+                }
+            }
+            Decision::HOLD
+        }
+        fn is_stationary(&self) -> bool {
+            true
+        }
+    }
+
+    /// Non-stationary: rotates assignments every step.
+    struct Rotate;
+    impl Policy for Rotate {
+        fn name(&self) -> &str {
+            "rotate"
+        }
+        fn reset(&mut self) {}
+        fn decide(&mut self, view: &StateView<'_>, out: &mut Assignment) -> Decision {
+            let eligible: Vec<u32> = view.eligible.iter().collect();
+            if !eligible.is_empty() {
+                for i in 0..view.m {
+                    let idx = (i as u64 + view.time) as usize % eligible.len();
+                    out.set(i, JobId(eligible[idx]));
+                }
+            }
+            Decision::step(view)
+        }
+    }
+
+    fn seeds(count: usize, base: u64) -> Vec<BatchTrial> {
+        (0..count)
+            .map(|k| BatchTrial {
+                engine_seed: crate::evaluate::derive_seed(base, k as u64, 0x45),
+                policy_seed: None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn stationary_batch_matches_per_trial_events_bitwise() {
+        use rand::SeedableRng;
+        let mut grng = rand::rngs::SmallRng::seed_from_u64(3);
+        let dag = suu_dag::Dag::from_edges(7, &[(0, 2), (1, 2), (2, 5), (3, 6)]);
+        let inst = workload::uniform_unrelated(3, 7, 0.2, 0.95, Precedence::Dag(dag), &mut grng);
+        for semantics in [Semantics::Suu, Semantics::SuuStar] {
+            let cfg = ExecConfig {
+                semantics,
+                ..ExecConfig::default()
+            };
+            let trials = seeds(32, 0xBA7C);
+            let batched = execute_batch(&inst, &mut Spread, &cfg, &trials);
+            let reference: Vec<ExecOutcome> = trials
+                .iter()
+                .map(|t| execute(&inst, &mut Spread, &cfg, t.engine_seed))
+                .collect();
+            assert_eq!(batched, reference, "{semantics:?}");
+        }
+    }
+
+    #[test]
+    fn non_stationary_fallback_matches_per_trial() {
+        let inst = workload::homogeneous(2, 5, 0.5, Precedence::Independent);
+        let cfg = ExecConfig::default();
+        let trials = seeds(16, 0xF0);
+        let batched = execute_batch(&inst, &mut Rotate, &cfg, &trials);
+        let reference: Vec<ExecOutcome> = trials
+            .iter()
+            .map(|t| execute(&inst, &mut Rotate, &cfg, t.engine_seed))
+            .collect();
+        assert_eq!(batched, reference);
+    }
+
+    #[test]
+    fn step_cap_trials_report_incomplete() {
+        // One job making ~1e-8 mass per step: no trial can complete
+        // within 50 steps, so every trial must hit the cap with identical
+        // accounting to the per-trial engine.
+        let inst = workload::homogeneous(2, 1, 0.999_999_99, Precedence::Independent);
+        let cfg = ExecConfig {
+            max_steps: 50,
+            ..ExecConfig::default()
+        };
+        let trials = seeds(4, 7);
+        let batched = execute_batch(&inst, &mut Spread, &cfg, &trials);
+        let reference: Vec<ExecOutcome> = trials
+            .iter()
+            .map(|t| execute(&inst, &mut Spread, &cfg, t.engine_seed))
+            .collect();
+        assert_eq!(batched, reference);
+        for o in &batched {
+            assert!(!o.completed);
+            assert_eq!(o.makespan, 50);
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let inst = workload::homogeneous(2, 2, 0.5, Precedence::Independent);
+        let out = execute_batch(&inst, &mut Spread, &ExecConfig::default(), &[]);
+        assert!(out.is_empty());
+    }
+}

@@ -42,6 +42,7 @@
 //! the foundation of the bitwise-equality guarantee and of
 //! `suu-results/v1` reproducibility.
 
+pub mod batch;
 pub mod dense;
 pub mod events;
 

@@ -1,29 +1,42 @@
 //! The parallel, seed-deterministic Monte-Carlo evaluator.
 //!
-//! One [`Evaluator`] replaces every serial (and the old crossbeam-channel)
-//! `run_trials` loop in the workspace. Trials fan out across a worker pool
-//! (`rayon` data-parallel iterators with worker-local policy state, so an
-//! expensive LP-built policy is constructed once per worker, not once per
-//! trial) while remaining **bitwise deterministic**:
+//! One [`Evaluator`] is the single trial-running entry point in the
+//! workspace. Trials fan out across a worker pool (with worker-local
+//! policy state, so an expensive LP-built policy is constructed once per
+//! worker, not once per trial) while remaining **bitwise deterministic**:
 //!
 //! * trial `k`'s engine randomness is the seed
 //!   `derive_seed(master_seed, k, ENGINE_DOMAIN)`, from which the engine
-//!   derives counter-based *per-job* streams (so the dense and event
-//!   engines consume identical randomness — see [`crate::engine`]);
+//!   derives counter-based *per-job* streams (so the dense, event and
+//!   batched engines consume identical randomness — see
+//!   [`crate::engine`]);
 //! * trial `k`'s *policy-internal* randomness (e.g. `SUU-C`'s Theorem-7
 //!   start delays) is pinned by calling [`crate::Policy::reseed`] with
 //!   `derive_seed(master_seed, k, POLICY_DOMAIN)` before execution.
 //!
 //! Nothing a worker thread did before a trial can leak into it, so the
 //! outcome vector is a pure function of `(instance, policy spec,
-//! master_seed, trials)` — identical on 1 thread or 64. The old
-//! `base_seed + k` scheme is replaced by a SplitMix64 mix so that nearby
-//! master seeds do not share trial streams.
+//! master_seed, trials)` — identical on 1 thread or 64. A SplitMix64 mix
+//! (rather than `base_seed + k`) keeps nearby master seeds from sharing
+//! trial streams.
+//!
+//! Two result shapes:
+//!
+//! * [`Evaluator::run`] / [`Evaluator::run_batched`] collect every
+//!   [`ExecOutcome`] into an [`EvalReport`] — for differential tests and
+//!   histogram experiments that need the raw sample;
+//! * [`Evaluator::run_stats`] (the default for the bench harness) folds
+//!   trials from the batched engine straight into an
+//!   [`OutcomeAccumulator`], returning [`EvalStats`] — `O(threads ·
+//!   batch)` peak memory, independent of the trial count, with chunk
+//!   folding pinned to trial order so even the order-sensitive P²
+//!   sketches are bitwise identical at any thread count.
 
+use crate::engine::batch::{execute_batch, BatchTrial};
 use crate::engine::{execute, ExecConfig, ExecOutcome};
 use crate::policy::Policy;
 use crate::registry::{PolicyRegistry, PolicySpec, RegistryError};
-use crate::stats::{summarize, Summary};
+use crate::stats::{OutcomeAccumulator, Summary};
 use rayon::prelude::*;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -55,9 +68,18 @@ pub struct EvalConfig {
     pub master_seed: u64,
     /// Worker threads (`0` = one per available core, `1` = serial).
     pub threads: usize,
+    /// Trials per batch handed to the batched engine by the streaming
+    /// paths ([`Evaluator::run_stats`], [`Evaluator::run_batched`]);
+    /// bounds their peak memory at `O(threads · batch)` outcomes. `0`
+    /// means the default (256). The collecting [`Evaluator::run`] path
+    /// ignores it.
+    pub batch: usize,
     /// Engine configuration shared by all trials.
     pub exec: ExecConfig,
 }
+
+/// Default [`EvalConfig::batch`] size.
+pub const DEFAULT_BATCH: usize = 256;
 
 impl Default for EvalConfig {
     fn default() -> Self {
@@ -65,6 +87,7 @@ impl Default for EvalConfig {
             trials: 100,
             master_seed: 0x5EED,
             threads: 0,
+            batch: DEFAULT_BATCH,
             exec: ExecConfig::default(),
         }
     }
@@ -114,9 +137,75 @@ impl EvalReport {
         self.outcomes.iter().map(|o| o.ineligible_assignments).sum()
     }
 
-    /// Summary statistics of the makespan sample.
-    pub fn summary(&self) -> Summary {
-        summarize(&self.makespans())
+    /// Summary statistics of the makespan sample (`None` on zero trials).
+    pub fn summary(&self) -> Option<Summary> {
+        self.to_stats().summary()
+    }
+
+    /// Collapse the buffered outcomes into streaming statistics (fed in
+    /// trial order, so the result is bitwise what [`Evaluator::run_stats`]
+    /// produces for the same configuration).
+    pub fn to_stats(&self) -> EvalStats {
+        let mut acc = OutcomeAccumulator::new();
+        for o in &self.outcomes {
+            acc.push(o);
+        }
+        EvalStats {
+            policy: self.policy.clone(),
+            config: self.config,
+            acc,
+            wall_clock: self.wall_clock,
+        }
+    }
+}
+
+/// Streaming evaluation result: everything [`EvalReport`] can tell the
+/// report layer, in memory independent of the trial count — no retained
+/// per-trial outcomes, just an [`OutcomeAccumulator`].
+#[derive(Debug, Clone)]
+pub struct EvalStats {
+    /// Display name of the evaluated policy.
+    pub policy: String,
+    /// Configuration the evaluation ran under.
+    pub config: EvalConfig,
+    /// Folded trial statistics.
+    pub acc: OutcomeAccumulator,
+    /// Wall-clock time for the whole run.
+    pub wall_clock: Duration,
+}
+
+impl EvalStats {
+    /// Trials folded in.
+    pub fn trials(&self) -> u64 {
+        self.acc.count()
+    }
+
+    /// Mean makespan — `O(1)`, straight from the Welford state (bitwise
+    /// the value [`EvalStats::summary`] reports, without its quantile
+    /// sort). Panics on zero trials (mirrors
+    /// [`EvalReport::mean_makespan`]).
+    pub fn mean_makespan(&self) -> f64 {
+        self.acc.makespan().mean().expect("no outcomes")
+    }
+
+    /// Fraction of trials that completed within the step cap.
+    pub fn completion_rate(&self) -> f64 {
+        self.acc.completion_rate()
+    }
+
+    /// `true` when every trial completed within the step cap.
+    pub fn all_completed(&self) -> bool {
+        self.acc.all_completed()
+    }
+
+    /// Total machine-steps the policy pointed at ineligible jobs.
+    pub fn total_ineligible(&self) -> u64 {
+        self.acc.total_ineligible()
+    }
+
+    /// Summary statistics of the makespan sample (`None` on zero trials).
+    pub fn summary(&self) -> Option<Summary> {
+        self.acc.summary()
     }
 }
 
@@ -155,6 +244,37 @@ impl Evaluator {
     pub fn with_exec(mut self, exec: ExecConfig) -> Self {
         self.config.exec = exec;
         self
+    }
+
+    /// Builder-style batch-size override for the streaming paths.
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.config.batch = batch;
+        self
+    }
+
+    /// Effective batch size (`0` in the config means the default).
+    fn batch_size(&self) -> usize {
+        if self.config.batch == 0 {
+            DEFAULT_BATCH
+        } else {
+            self.config.batch
+        }
+    }
+
+    /// Seeds for the trials of chunk `chunk` (chunks partition `0..trials`
+    /// into runs of `batch` consecutive indices), derived exactly as
+    /// [`Evaluator::run_trial`] derives them — the foundation of the
+    /// batched-vs-per-trial bitwise-equality guarantee.
+    fn chunk_trials(&self, chunk: usize, batch: usize) -> Vec<BatchTrial> {
+        let cfg = &self.config;
+        let lo = chunk * batch;
+        let hi = (lo + batch).min(cfg.trials);
+        (lo..hi)
+            .map(|k| BatchTrial {
+                engine_seed: derive_seed(cfg.master_seed, k as u64, ENGINE_DOMAIN),
+                policy_seed: Some(derive_seed(cfg.master_seed, k as u64, POLICY_DOMAIN)),
+            })
+            .collect()
     }
 
     /// Run the policy produced by `make_policy` for every trial.
@@ -248,6 +368,190 @@ impl Evaluator {
             })
         });
         Ok(report)
+    }
+
+    /// Run every trial through the batched engine, collecting outcomes.
+    ///
+    /// Serial (one policy value on the calling thread), chunked in trial
+    /// order. Buffers all outcomes — this is the *verification* spelling
+    /// of the batched path, existing so differential tests and the bench
+    /// harness can assert batched ≡ per-trial bitwise; production sweeps
+    /// use the O(1)-memory [`Evaluator::run_stats`] instead.
+    pub fn run_batched<F, P>(&self, inst: &SuuInstance, make_policy: F) -> EvalReport
+    where
+        F: FnOnce() -> P,
+        P: Policy,
+    {
+        let cfg = self.config;
+        let batch = self.batch_size();
+        let started = Instant::now();
+        let mut policy = make_policy();
+        let name = policy.name().to_string();
+        let mut outcomes = Vec::with_capacity(cfg.trials);
+        for chunk in 0..cfg.trials.div_ceil(batch) {
+            let trials = self.chunk_trials(chunk, batch);
+            outcomes.extend(execute_batch(inst, &mut policy, &cfg.exec, &trials));
+        }
+        EvalReport {
+            policy: name,
+            config: cfg,
+            outcomes,
+            wall_clock: started.elapsed(),
+        }
+    }
+
+    /// Build the spec through the registry and run it batched (see
+    /// [`Evaluator::run_batched`]).
+    pub fn run_batched_spec(
+        &self,
+        registry: &PolicyRegistry,
+        inst: &Arc<SuuInstance>,
+        spec: &PolicySpec,
+    ) -> Result<EvalReport, RegistryError> {
+        let policy = registry.build(inst, spec)?;
+        Ok(self.run_batched(inst, move || policy))
+    }
+
+    /// The default evaluation path: every trial through the batched
+    /// engine, folded straight into an [`OutcomeAccumulator`] — peak
+    /// memory is `O(threads · batch)` outcomes, independent of the trial
+    /// count.
+    ///
+    /// Parallelism is a bounded pipeline: workers pull chunk indices from
+    /// a shared counter and send `(index, outcomes)` through a bounded
+    /// channel; the calling thread folds chunks strictly in index order.
+    /// The accumulator therefore sees the trials in trial order no matter
+    /// how many workers run, so the statistics (including the
+    /// order-sensitive P² sketches) are **bitwise identical at any thread
+    /// count** — the same determinism contract as [`Evaluator::run`].
+    pub fn run_stats<F, P>(&self, inst: &SuuInstance, make_policy: F) -> EvalStats
+    where
+        F: Fn() -> P + Sync,
+        P: Policy,
+    {
+        let cfg = self.config;
+        let batch = self.batch_size();
+        let started = Instant::now();
+        let chunks = cfg.trials.div_ceil(batch);
+        let workers = {
+            let t = if cfg.threads == 0 {
+                std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(1)
+            } else {
+                cfg.threads
+            };
+            t.min(chunks.max(1))
+        };
+
+        let mut acc = OutcomeAccumulator::new();
+        let policy_name;
+        if workers <= 1 {
+            let mut policy = make_policy();
+            policy_name = policy.name().to_string();
+            for chunk in 0..chunks {
+                let trials = self.chunk_trials(chunk, batch);
+                for outcome in execute_batch(inst, &mut policy, &cfg.exec, &trials) {
+                    acc.push(&outcome);
+                }
+            }
+        } else {
+            use std::sync::atomic::{AtomicUsize, Ordering};
+            let name = std::sync::Mutex::new(None::<String>);
+            let next = AtomicUsize::new(0);
+            // Chunks folded into the accumulator so far. Workers refuse to
+            // *execute* a chunk more than `window` ahead of it, which is
+            // what actually bounds the chunks in flight (the channel alone
+            // cannot: the fold loop drains it eagerly while waiting for
+            // the next in-order chunk, so a slow early chunk would
+            // otherwise let the reorder buffer grow to O(trials)).
+            let folded = AtomicUsize::new(0);
+            let window = 2 * workers;
+            let (tx, rx) = std::sync::mpsc::sync_channel::<(usize, Vec<ExecOutcome>)>(window);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    let tx = tx.clone();
+                    let (next, folded, name, make_policy) = (&next, &folded, &name, &make_policy);
+                    scope.spawn(move || {
+                        let mut policy = make_policy();
+                        {
+                            let mut slot = name.lock().expect("name lock");
+                            if slot.is_none() {
+                                *slot = Some(policy.name().to_string());
+                            }
+                        }
+                        loop {
+                            let chunk = next.fetch_add(1, Ordering::Relaxed);
+                            if chunk >= chunks {
+                                break;
+                            }
+                            // Backpressure: chunks are claimed in index
+                            // order, so the worker holding the next
+                            // in-order chunk is always within the window
+                            // and progresses — no deadlock.
+                            while chunk >= folded.load(Ordering::Acquire) + window {
+                                std::thread::yield_now();
+                            }
+                            let trials = self.chunk_trials(chunk, batch);
+                            let outcomes = execute_batch(inst, &mut policy, &cfg.exec, &trials);
+                            if tx.send((chunk, outcomes)).is_err() {
+                                break; // receiver gone: nothing left to do
+                            }
+                        }
+                    });
+                }
+                drop(tx);
+                // Fold strictly in chunk order; out-of-order arrivals wait
+                // in `pending`, bounded by the execution window above.
+                let mut pending = std::collections::BTreeMap::new();
+                let mut want = 0usize;
+                for (chunk, outcomes) in rx {
+                    pending.insert(chunk, outcomes);
+                    while let Some(outcomes) = pending.remove(&want) {
+                        for outcome in &outcomes {
+                            acc.push(outcome);
+                        }
+                        want += 1;
+                        folded.store(want, Ordering::Release);
+                    }
+                }
+                debug_assert!(pending.is_empty(), "chunk lost in the pipeline");
+            });
+            policy_name = name
+                .into_inner()
+                .expect("name lock")
+                .unwrap_or_else(|| "unnamed".to_string());
+        }
+
+        EvalStats {
+            policy: policy_name,
+            config: cfg,
+            acc,
+            wall_clock: started.elapsed(),
+        }
+    }
+
+    /// Build the spec through the registry and evaluate it on the
+    /// streaming path (see [`Evaluator::run_stats`]).
+    ///
+    /// Construction failures surface before any trial runs; as in
+    /// [`Evaluator::run_spec`], the probe policy is handed to the first
+    /// worker so expensive construction is not paid twice.
+    pub fn run_stats_spec(
+        &self,
+        registry: &PolicyRegistry,
+        inst: &Arc<SuuInstance>,
+        spec: &PolicySpec,
+    ) -> Result<EvalStats, RegistryError> {
+        let probe = std::sync::Mutex::new(Some(registry.build(inst, spec)?));
+        let stats = self.run_stats(inst, || {
+            probe.lock().expect("probe lock").take().unwrap_or_else(|| {
+                registry
+                    .build(inst, spec)
+                    .expect("spec built once already; instance and spec are unchanged")
+            })
+        });
+        Ok(stats)
     }
 
     /// One trial, fully determined by `(master_seed, trial index)`.
@@ -378,6 +682,10 @@ mod tests {
         assert_eq!(report.completion_rate(), 1.0);
         assert_eq!(report.total_ineligible(), 0);
         assert!(report.mean_makespan() >= 2.0);
-        assert_eq!(report.summary().count, 10);
+        assert_eq!(report.summary().expect("nonempty").count, 10);
+        let stats = report.to_stats();
+        assert_eq!(stats.trials(), 10);
+        assert_eq!(stats.policy, "jittery-gang");
+        assert!(stats.all_completed());
     }
 }

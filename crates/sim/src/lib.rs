@@ -36,29 +36,32 @@
 //!   [`StructureClass`] capability declarations (independent ⊂ chains ⊂
 //!   forest ⊂ DAG), so any policy can be constructed by name on any
 //!   instance it supports.
-//! * [`evaluate`] — the rayon-parallel, seed-deterministic [`Evaluator`]:
+//! * [`evaluate`] — the parallel, seed-deterministic [`Evaluator`]:
 //!   trials fan out across worker threads with per-trial RNG streams
 //!   derived from one master seed (engine and policy randomness in
 //!   separate domains), producing bitwise-identical outcomes at any
-//!   thread count. [`stats`] summarizes the resulting distributions.
+//!   thread count. Its default [`Evaluator::run_stats`] path runs trials
+//!   through the **batched SoA engine** ([`engine::batch`]) — stationary
+//!   policies share one `decide` per distinct remaining set across a
+//!   whole batch — and folds them into the streaming [`stats`] layer
+//!   (Welford moments + P² quantile sketches with an exact small-sample
+//!   fallback), so evaluation memory is independent of the trial count.
 
 pub mod engine;
 pub mod evaluate;
-pub mod montecarlo;
 pub mod policy;
 pub mod registry;
 pub mod stats;
 pub mod trace;
 
+pub use engine::batch::{execute_batch, BatchTrial};
 pub use engine::{execute, EngineKind, ExecConfig, ExecOutcome, Semantics};
-pub use evaluate::{derive_seed, EvalConfig, EvalReport, Evaluator};
-#[allow(deprecated)]
-pub use montecarlo::{run_trials, MonteCarloConfig};
+pub use evaluate::{derive_seed, EvalConfig, EvalReport, EvalStats, Evaluator};
 pub use policy::{Assignment, Decision, Policy, StateView};
 pub use registry::{
     factory, PolicyFactory, PolicyRegistry, PolicySpec, RegistryError, StructureClass,
 };
-pub use stats::Summary;
+pub use stats::{summarize, OutcomeAccumulator, P2Quantile, Streaming, Summary};
 pub use trace::{Trace, TraceStep, Tracing};
 
 #[cfg(test)]

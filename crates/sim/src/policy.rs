@@ -123,6 +123,22 @@ pub trait Policy: Send {
     /// counted as violations in the execution outcome, since the paper
     /// forbids running ineligible jobs.
     fn decide(&mut self, view: &StateView<'_>, out: &mut Assignment) -> Decision;
+
+    /// Capability flag: `true` if this schedule is **stationary** — its
+    /// `decide` is a pure function of the remaining/eligible sets (no
+    /// dependence on `view.time`/`view.epoch`, no internal state evolving
+    /// across epochs, no internal randomness) and it always returns
+    /// [`Decision::HOLD`].
+    ///
+    /// The batched trial engine uses this to share one `decide` across
+    /// every trial of a batch that observes the same remaining set (one
+    /// call at epoch 0 serves the whole batch), which is only sound under
+    /// exactly this contract. Declaring it falsely silently breaks the
+    /// batched-vs-per-trial bitwise-equality guarantee, so leave the
+    /// default `false` unless all three conditions hold.
+    fn is_stationary(&self) -> bool {
+        false
+    }
 }
 
 /// Blanket impl so `Box<dyn Policy>` is itself a policy.
@@ -141,5 +157,9 @@ impl Policy for Box<dyn Policy> {
 
     fn decide(&mut self, view: &StateView<'_>, out: &mut Assignment) -> Decision {
         (**self).decide(view, out)
+    }
+
+    fn is_stationary(&self) -> bool {
+        (**self).is_stationary()
     }
 }

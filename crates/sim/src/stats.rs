@@ -1,9 +1,18 @@
-//! Summary statistics and a two-sample chi-square test.
+//! Streaming statistics: Welford moments, a P²-style quantile sketch, and
+//! the [`OutcomeAccumulator`] the evaluation pipeline folds trials into —
+//! plus the two-sample chi-square test used by the equivalence checks.
 //!
-//! Just enough statistics for the experiment harness: mean/variance with a
-//! normal-approximation confidence interval, quantiles, and a chi-square
-//! homogeneity test used to check the SUU ≡ SUU* equivalence (Theorem 10)
-//! empirically.
+//! The evaluator used to buffer every trial outcome and summarize at the
+//! end, so memory grew linearly with the trial count. Everything here is
+//! `O(1)` per sample and per accumulator: mean/variance via Welford's
+//! update, min/max directly, and median/p95 through the P² marker sketch
+//! — with an **exact small-sample fallback**: below
+//! [`OutcomeAccumulator::DEFAULT_EXACT_CAP`] samples the accumulator
+//! retains the raw values and reports exact interpolated quantiles
+//! (bitwise what the old sort-based `summarize` reported), switching to
+//! the sketch only when the sample outgrows the cap.
+
+use crate::engine::ExecOutcome;
 
 /// Summary of a sample of makespans (or any non-negative metric).
 #[derive(Debug, Clone)]
@@ -26,32 +35,378 @@ pub struct Summary {
     pub p95: f64,
     /// Maximum.
     pub max: f64,
+    /// `true` when `median`/`p95` come from the retained exact sample,
+    /// `false` when they are P² sketch estimates (sample outgrew the
+    /// accumulator's exact cap).
+    pub exact_quantiles: bool,
 }
 
-/// Summarize a sample. Panics on an empty sample.
-pub fn summarize(values: &[f64]) -> Summary {
-    assert!(!values.is_empty(), "empty sample");
-    let count = values.len();
-    let mean = values.iter().sum::<f64>() / count as f64;
-    let var = if count > 1 {
-        values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (count - 1) as f64
-    } else {
-        0.0
-    };
-    let std_dev = var.sqrt();
-    let std_err = std_dev / (count as f64).sqrt();
-    let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in sample"));
-    Summary {
-        count,
-        mean,
-        std_dev,
-        std_err,
-        ci95: 1.96 * std_err,
-        min: sorted[0],
-        median: quantile_sorted(&sorted, 0.5),
-        p95: quantile_sorted(&sorted, 0.95),
-        max: sorted[count - 1],
+/// Summarize a sample, or `None` if it is empty.
+///
+/// Routed through [`OutcomeAccumulator`]'s exact path (the sample is
+/// retained whole, so quantiles are exact regardless of length); the
+/// one sort happens here rather than once per repeated call on a stored
+/// report.
+pub fn summarize(values: &[f64]) -> Option<Summary> {
+    let mut acc = OutcomeAccumulator::with_exact_cap(usize::MAX);
+    for &v in values {
+        acc.push_makespan(v, true, 0);
+    }
+    acc.summary()
+}
+
+/// Welford's online mean/variance, plus min/max.
+///
+/// One pass, `O(1)` state, numerically stable; the proptests in this
+/// module pin it against the exact two-pass computation to `1e-9`.
+#[derive(Debug, Clone, Default)]
+pub struct Streaming {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Streaming {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold in one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        if self.count == 1 {
+            self.min = x;
+            self.max = x;
+        } else {
+            self.min = self.min.min(x);
+            self.max = self.max.max(x);
+        }
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Observations so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.mean)
+    }
+
+    /// Unbiased sample variance (0 for a single observation).
+    pub fn variance(&self) -> Option<f64> {
+        match self.count {
+            0 => None,
+            1 => Some(0.0),
+            c => Some(self.m2 / (c - 1) as f64),
+        }
+    }
+
+    /// Unbiased sample standard deviation.
+    pub fn std_dev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+
+    /// Minimum observation.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Maximum observation.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+}
+
+/// The P² (piecewise-parabolic) streaming quantile estimator of Jain &
+/// Chlamtac: five markers tracking `(min, q/2, q, (1+q)/2, max)` heights,
+/// adjusted per observation with a parabolic (or linear) interpolation.
+/// `O(1)` memory; exact for the first five observations.
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    q: f64,
+    /// Marker heights (estimates of the tracked quantiles).
+    heights: [f64; 5],
+    /// Actual marker positions (1-based ranks).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Per-observation increments of the desired positions.
+    increment: [f64; 5],
+    /// Observations so far (first five buffer into `heights`).
+    count: usize,
+}
+
+impl P2Quantile {
+    /// Estimator for quantile `q ∈ (0, 1)`.
+    pub fn new(q: f64) -> Self {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        P2Quantile {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increment: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+        }
+    }
+
+    /// Fold in one observation.
+    pub fn push(&mut self, x: f64) {
+        if self.count < 5 {
+            self.heights[self.count] = x;
+            self.count += 1;
+            if self.count == 5 {
+                self.heights
+                    .sort_by(|a, b| a.partial_cmp(b).expect("no NaN in sample"));
+            }
+            return;
+        }
+        self.count += 1;
+
+        // Find the cell k with heights[k] <= x < heights[k+1], updating
+        // the extreme markers on the way.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            // One of the three middle cells.
+            (1..4).find(|&i| x < self.heights[i]).unwrap_or(4) - 1
+        };
+
+        for i in (k + 1)..5 {
+            self.positions[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.desired[i] += self.increment[i];
+        }
+
+        // Adjust the three interior markers toward their desired
+        // positions.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let below = self.positions[i] - self.positions[i - 1];
+            let above = self.positions[i + 1] - self.positions[i];
+            if (d >= 1.0 && above > 1.0) || (d <= -1.0 && below > 1.0) {
+                let s = d.signum();
+                let candidate = self.parabolic(i, s);
+                let new_h = if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
+                    candidate
+                } else {
+                    self.linear(i, s)
+                };
+                self.heights[i] = new_h;
+                self.positions[i] += s;
+            }
+        }
+    }
+
+    /// Piecewise-parabolic height prediction for marker `i` moved by `s`.
+    fn parabolic(&self, i: usize, s: f64) -> f64 {
+        let p = &self.positions;
+        let h = &self.heights;
+        h[i] + s / (p[i + 1] - p[i - 1])
+            * ((p[i] - p[i - 1] + s) * (h[i + 1] - h[i]) / (p[i + 1] - p[i])
+                + (p[i + 1] - p[i] - s) * (h[i] - h[i - 1]) / (p[i] - p[i - 1]))
+    }
+
+    /// Linear fallback when the parabola overshoots a neighbor.
+    fn linear(&self, i: usize, s: f64) -> f64 {
+        let j = (i as f64 + s) as usize;
+        self.heights[i]
+            + s * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// Current estimate (`None` when empty). Exact below five
+    /// observations (interpolated from the sorted buffer).
+    pub fn estimate(&self) -> Option<f64> {
+        match self.count {
+            0 => None,
+            c if c < 5 => {
+                let mut buf = self.heights[..c].to_vec();
+                buf.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in sample"));
+                Some(quantile_sorted(&buf, self.q))
+            }
+            _ => Some(self.heights[2]),
+        }
+    }
+}
+
+/// Streaming accumulator over trial outcomes: everything the report layer
+/// needs — makespan moments, min/max, median/p95, completion and
+/// violation counts — in memory independent of the trial count.
+///
+/// Trials must be pushed **in trial order**: the P² sketch (unlike the
+/// moments) is order-sensitive, and the evaluator's determinism contract
+/// (same master seed ⇒ identical statistics at any thread count) holds
+/// because its pipeline folds chunks in index order.
+#[derive(Debug, Clone)]
+pub struct OutcomeAccumulator {
+    makespan: Streaming,
+    median: P2Quantile,
+    p95: P2Quantile,
+    /// Raw makespans, retained while `count <= exact_cap` for exact
+    /// quantiles; dropped (switching to the sketches) beyond the cap.
+    exact: Option<Vec<f64>>,
+    exact_cap: usize,
+    completed: u64,
+    ineligible: u64,
+}
+
+impl Default for OutcomeAccumulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OutcomeAccumulator {
+    /// Samples up to which quantiles are computed exactly from the
+    /// retained values; beyond it the P² sketches take over. Sized so
+    /// that every historical experiment (≤ 500 trials per cell) keeps
+    /// bitwise-identical summary statistics.
+    pub const DEFAULT_EXACT_CAP: usize = 512;
+
+    /// Accumulator with the default exact-quantile cap.
+    pub fn new() -> Self {
+        Self::with_exact_cap(Self::DEFAULT_EXACT_CAP)
+    }
+
+    /// Accumulator retaining up to `cap` raw samples for exact quantiles
+    /// (`usize::MAX` ⇒ always exact, memory proportional to the sample).
+    pub fn with_exact_cap(cap: usize) -> Self {
+        OutcomeAccumulator {
+            makespan: Streaming::new(),
+            median: P2Quantile::new(0.5),
+            p95: P2Quantile::new(0.95),
+            exact: Some(Vec::new()),
+            exact_cap: cap,
+            completed: 0,
+            ineligible: 0,
+        }
+    }
+
+    /// Fold in one trial outcome.
+    pub fn push(&mut self, outcome: &ExecOutcome) {
+        self.push_makespan(
+            outcome.makespan as f64,
+            outcome.completed,
+            outcome.ineligible_assignments,
+        );
+    }
+
+    /// Fold in one trial as raw fields (used by [`summarize`] and tests).
+    ///
+    /// While the exact sample is retained the sketches are not updated
+    /// (their estimates could never be consulted); on outgrowing the cap
+    /// the retained values are replayed into the sketches in arrival
+    /// order, so the sketch state — and every later estimate — is
+    /// identical to having fed them from the start. An always-exact
+    /// accumulator ([`summarize`]'s `usize::MAX` cap) never pays for the
+    /// sketches at all.
+    pub fn push_makespan(&mut self, makespan: f64, completed: bool, ineligible: u64) {
+        self.makespan.push(makespan);
+        match &mut self.exact {
+            Some(exact) if exact.len() < self.exact_cap => exact.push(makespan),
+            Some(_) => {
+                // Outgrew the cap: sketches take over from here.
+                let exact = self.exact.take().expect("checked Some");
+                for &v in &exact {
+                    self.median.push(v);
+                    self.p95.push(v);
+                }
+                self.median.push(makespan);
+                self.p95.push(makespan);
+            }
+            None => {
+                self.median.push(makespan);
+                self.p95.push(makespan);
+            }
+        }
+        if completed {
+            self.completed += 1;
+        }
+        self.ineligible += ineligible;
+    }
+
+    /// Trials folded in so far.
+    pub fn count(&self) -> u64 {
+        self.makespan.count()
+    }
+
+    /// The makespan moments/extrema (`O(1)` access, no quantile work).
+    pub fn makespan(&self) -> &Streaming {
+        &self.makespan
+    }
+
+    /// Fraction of trials that completed within the step cap (0 when
+    /// empty).
+    pub fn completion_rate(&self) -> f64 {
+        match self.count() {
+            0 => 0.0,
+            c => self.completed as f64 / c as f64,
+        }
+    }
+
+    /// `true` when every folded trial completed.
+    pub fn all_completed(&self) -> bool {
+        self.completed == self.count()
+    }
+
+    /// Total machine-steps pointed at ineligible jobs across all trials.
+    pub fn total_ineligible(&self) -> u64 {
+        self.ineligible
+    }
+
+    /// `true` while quantiles are exact (sample within the cap).
+    pub fn exact_quantiles(&self) -> bool {
+        self.exact.is_some()
+    }
+
+    /// Summary of the makespan sample, or `None` if no trial was folded.
+    pub fn summary(&self) -> Option<Summary> {
+        let count = self.count() as usize;
+        if count == 0 {
+            return None;
+        }
+        let std_dev = self.makespan.std_dev().expect("nonempty");
+        let std_err = std_dev / (count as f64).sqrt();
+        let (median, p95, exact_quantiles) = match &self.exact {
+            Some(values) => {
+                let mut sorted = values.clone();
+                sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in sample"));
+                (
+                    quantile_sorted(&sorted, 0.5),
+                    quantile_sorted(&sorted, 0.95),
+                    true,
+                )
+            }
+            None => (
+                self.median.estimate().expect("nonempty"),
+                self.p95.estimate().expect("nonempty"),
+                false,
+            ),
+        };
+        Some(Summary {
+            count,
+            mean: self.makespan.mean().expect("nonempty"),
+            std_dev,
+            std_err,
+            ci95: 1.96 * std_err,
+            min: self.makespan.min().expect("nonempty"),
+            median,
+            p95,
+            max: self.makespan.max().expect("nonempty"),
+            exact_quantiles,
+        })
     }
 }
 
@@ -146,23 +501,171 @@ pub fn histogram_pair(a: &[u64], b: &[u64]) -> (Vec<u64>, Vec<u64>) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn summary_of_constant_sample() {
-        let s = summarize(&[4.0; 10]);
+        let s = summarize(&[4.0; 10]).expect("nonempty");
         assert_eq!(s.mean, 4.0);
         assert_eq!(s.std_dev, 0.0);
         assert_eq!(s.median, 4.0);
         assert_eq!(s.min, 4.0);
         assert_eq!(s.max, 4.0);
+        assert!(s.exact_quantiles);
     }
 
     #[test]
     fn summary_basic_moments() {
-        let s = summarize(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0, 5.0]).expect("nonempty");
         assert!((s.mean - 3.0).abs() < 1e-12);
         assert!((s.std_dev - (2.5f64).sqrt()).abs() < 1e-12);
         assert_eq!(s.median, 3.0);
+    }
+
+    #[test]
+    fn empty_sample_is_none_not_panic() {
+        assert!(summarize(&[]).is_none());
+        assert!(OutcomeAccumulator::new().summary().is_none());
+    }
+
+    /// Exact two-pass reference for the streaming moments.
+    fn exact_moments(values: &[f64]) -> (f64, f64, f64, f64) {
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = if values.len() > 1 {
+            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1.0)
+        } else {
+            0.0
+        };
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        (mean, var.sqrt(), min, max)
+    }
+
+    fn exact_quantile(values: &[f64], q: f64) -> f64 {
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        quantile_sorted(&sorted, q)
+    }
+
+    #[test]
+    fn accumulator_switches_to_sketch_past_the_cap() {
+        let mut acc = OutcomeAccumulator::with_exact_cap(8);
+        for i in 0..8 {
+            acc.push_makespan(i as f64, true, 0);
+        }
+        assert!(acc.exact_quantiles());
+        assert!(acc.summary().unwrap().exact_quantiles);
+        acc.push_makespan(8.0, true, 0);
+        assert!(!acc.exact_quantiles());
+        let s = acc.summary().unwrap();
+        assert!(!s.exact_quantiles);
+        // Moments stay exact regardless of the quantile mode.
+        assert!((s.mean - 4.0).abs() < 1e-12);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 8.0);
+    }
+
+    #[test]
+    fn accumulator_counts_completion_and_violations() {
+        let mut acc = OutcomeAccumulator::new();
+        acc.push_makespan(3.0, true, 0);
+        acc.push_makespan(9.0, false, 4);
+        acc.push_makespan(5.0, true, 1);
+        assert_eq!(acc.count(), 3);
+        assert!((acc.completion_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert!(!acc.all_completed());
+        assert_eq!(acc.total_ineligible(), 5);
+    }
+
+    #[test]
+    fn p2_sketch_tracks_adversarial_shapes() {
+        // Sorted ascending, sorted descending, constant, and bimodal
+        // inputs: the sketch's median/p95 must stay within a tolerance of
+        // the exact quantiles even on these worst cases.
+        let n = 4000;
+        let ascending: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let descending: Vec<f64> = (0..n).map(|i| (n - i) as f64).collect();
+        let constant = vec![13.5; n];
+        let bimodal: Vec<f64> = (0..n)
+            .map(|i| if i % 10 < 7 { 10.0 } else { 1000.0 })
+            .collect();
+        for (name, values) in [
+            ("ascending", ascending),
+            ("descending", descending),
+            ("constant", constant),
+            ("bimodal", bimodal),
+        ] {
+            for q in [0.5, 0.95] {
+                let mut sketch = P2Quantile::new(q);
+                for &v in &values {
+                    sketch.push(v);
+                }
+                let got = sketch.estimate().unwrap();
+                let want = exact_quantile(&values, q);
+                let spread = exact_quantile(&values, 1.0) - exact_quantile(&values, 0.0);
+                let tol = (spread * 0.05).max(1e-9);
+                assert!(
+                    (got - want).abs() <= tol,
+                    "{name} q{q}: sketch {got} vs exact {want} (tol {tol})"
+                );
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Streaming mean/std/min/max match the exact two-pass batch
+        /// computation to 1e-9 (relative to the sample scale).
+        #[test]
+        fn streaming_moments_match_exact(
+            values in proptest::collection::vec(-1.0e6f64..1.0e6, 1..400),
+        ) {
+            let mut s = Streaming::new();
+            for &v in &values {
+                s.push(v);
+            }
+            let (mean, std_dev, min, max) = exact_moments(&values);
+            let scale = 1.0 + values.iter().fold(0.0f64, |a, v| a.max(v.abs()));
+            prop_assert!((s.mean().unwrap() - mean).abs() <= 1e-9 * scale);
+            prop_assert!((s.std_dev().unwrap() - std_dev).abs() <= 1e-9 * scale);
+            prop_assert_eq!(s.min().unwrap(), min);
+            prop_assert_eq!(s.max().unwrap(), max);
+            prop_assert_eq!(s.count(), values.len() as u64);
+        }
+
+        /// Within the exact cap the accumulator's summary is bitwise the
+        /// sort-based computation (the small-sample fallback).
+        #[test]
+        fn small_samples_stay_exact(
+            values in proptest::collection::vec(0.0f64..1.0e4, 1..64),
+        ) {
+            let s = summarize(&values).unwrap();
+            prop_assert!(s.exact_quantiles);
+            prop_assert_eq!(s.median, exact_quantile(&values, 0.5));
+            prop_assert_eq!(s.p95, exact_quantile(&values, 0.95));
+            prop_assert_eq!(s.min, exact_quantile(&values, 0.0));
+            prop_assert_eq!(s.max, exact_quantile(&values, 1.0));
+        }
+
+        /// The P² sketch stays within a coarse tolerance of the exact
+        /// quantile on random inputs well past the exact cap.
+        #[test]
+        fn sketch_tracks_random_inputs(
+            values in proptest::collection::vec(0.0f64..1000.0, 1000..3000),
+        ) {
+            let mut sketch = P2Quantile::new(0.5);
+            for &v in &values {
+                sketch.push(v);
+            }
+            let got = sketch.estimate().unwrap();
+            let want = exact_quantile(&values, 0.5);
+            prop_assert!(
+                (got - want).abs() <= 50.0,
+                "sketch {} vs exact {}", got, want
+            );
+        }
     }
 
     #[test]

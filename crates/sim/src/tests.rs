@@ -30,6 +30,9 @@ impl Policy for SpreadPolicy {
         }
         Decision::HOLD
     }
+    fn is_stationary(&self) -> bool {
+        true
+    }
 }
 
 /// All machines gang on the single lowest eligible job.
@@ -44,6 +47,9 @@ impl Policy for GangPolicy {
     fn decide(&mut self, view: &StateView<'_>, out: &mut Assignment) -> Decision {
         out.fill(view.eligible.first().map(JobId));
         Decision::HOLD
+    }
+    fn is_stationary(&self) -> bool {
+        true
     }
 }
 
@@ -88,6 +94,7 @@ fn eval(trials: usize, seed: u64, semantics: Semantics) -> Evaluator {
         master_seed: seed,
         threads: 2,
         exec: cfg(semantics),
+        ..EvalConfig::default()
     })
 }
 
@@ -306,6 +313,7 @@ fn single_thread_matches_multi_thread() {
             master_seed: 42,
             threads,
             exec: cfg(Semantics::SuuStar),
+            ..EvalConfig::default()
         })
         .run(&inst, || SpreadPolicy)
         .outcomes
@@ -321,7 +329,7 @@ fn summary_of_makespans() {
     let inst = workload::homogeneous(1, 1, 0.5, Precedence::Independent);
     let report = eval(500, 1, Semantics::SuuStar).run(&inst, || GangPolicy);
     let values: Vec<f64> = report.outcomes.iter().map(|o| o.makespan as f64).collect();
-    let s = summarize(&values);
+    let s = summarize(&values).expect("nonempty");
     assert_eq!(s.count, 500);
     assert!(s.min >= 1.0);
     assert!(s.mean > 1.0 && s.mean < 3.0);
@@ -329,18 +337,63 @@ fn summary_of_makespans() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn deprecated_monte_carlo_wrappers_still_route_through_evaluator() {
-    use crate::montecarlo::{mean_makespan, run_trials, MonteCarloConfig};
-    let inst = workload::homogeneous(2, 3, 0.5, Precedence::Independent);
-    let mc = MonteCarloConfig {
-        trials: 20,
-        base_seed: 5,
-        threads: 1,
-        exec: cfg(Semantics::SuuStar),
-    };
-    let legacy = run_trials(&inst, || GangPolicy, &mc);
-    let modern = Evaluator::new(mc.into()).run(&inst, || GangPolicy).outcomes;
-    assert_eq!(legacy, modern);
-    assert!(mean_makespan(&legacy) >= 1.0);
+fn batched_run_matches_per_trial_run_bitwise() {
+    // GangPolicy declares stationary, so run_batched goes through the SoA
+    // fast path; its outcome vector must equal the per-trial engine's.
+    let mut grng = StdRng::seed_from_u64(9);
+    let inst = workload::uniform_unrelated(3, 7, 0.25, 0.95, Precedence::Independent, &mut grng);
+    for semantics in [Semantics::Suu, Semantics::SuuStar] {
+        let evaluator = eval(70, 123, semantics).with_threads(1).with_batch(16);
+        let per_trial = evaluator.run(&inst, || GangPolicy);
+        let batched = evaluator.run_batched(&inst, || GangPolicy);
+        assert_eq!(per_trial.outcomes, batched.outcomes, "{semantics:?}");
+    }
+}
+
+#[test]
+fn run_stats_matches_collected_report_and_any_thread_count() {
+    let inst = workload::homogeneous(3, 6, 0.6, Precedence::Independent);
+    let evaluator = eval(300, 77, Semantics::SuuStar).with_batch(32);
+    let reference = evaluator
+        .with_threads(1)
+        .run(&inst, || SpreadPolicy)
+        .to_stats();
+    let ref_summary = reference.summary().expect("nonempty");
+    for threads in [1, 2, 5] {
+        let stats = evaluator
+            .with_threads(threads)
+            .run_stats(&inst, || SpreadPolicy);
+        assert_eq!(stats.policy, "spread");
+        assert_eq!(stats.trials(), 300);
+        let s = stats.summary().expect("nonempty");
+        // Bitwise: the streaming pipeline folds chunks in trial order at
+        // any worker count, so even the order-sensitive statistics agree.
+        assert_eq!(s.mean.to_bits(), ref_summary.mean.to_bits(), "{threads}");
+        assert_eq!(s.std_dev.to_bits(), ref_summary.std_dev.to_bits());
+        assert_eq!(s.median.to_bits(), ref_summary.median.to_bits());
+        assert_eq!(s.p95.to_bits(), ref_summary.p95.to_bits());
+        assert_eq!(s.min, ref_summary.min);
+        assert_eq!(s.max, ref_summary.max);
+        assert_eq!(s.count, 300);
+        assert!(s.exact_quantiles, "300 <= default exact cap");
+    }
+}
+
+#[test]
+fn run_stats_switches_to_sketch_on_large_samples() {
+    let inst = workload::homogeneous(2, 2, 0.5, Precedence::Independent);
+    let stats = eval(1500, 5, Semantics::SuuStar)
+        .with_batch(128)
+        .run_stats(&inst, || GangPolicy);
+    let s = stats.summary().expect("nonempty");
+    assert_eq!(s.count, 1500);
+    assert!(!s.exact_quantiles, "1500 > exact cap: sketch quantiles");
+    // Sketch sanity against the exact quantiles of a collected run.
+    let exact = eval(1500, 5, Semantics::SuuStar)
+        .run(&inst, || GangPolicy)
+        .to_stats();
+    let exact_mean = exact.summary().unwrap().mean;
+    assert_eq!(s.mean.to_bits(), exact_mean.to_bits(), "moments are exact");
+    assert!(s.median >= s.min && s.median <= s.max);
+    assert!(s.p95 >= s.median - 1.0);
 }

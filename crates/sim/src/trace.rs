@@ -120,6 +120,10 @@ impl<P: Policy> Policy for Tracing<P> {
         self.inner.reseed(seed);
     }
 
+    // No `is_stationary` delegation, deliberately: the wrapper records
+    // per-step rows and forces per-step wake-ups, so a traced policy is
+    // never stationary even when the wrapped one is.
+
     fn decide(&mut self, view: &StateView<'_>, out: &mut Assignment) -> Decision {
         // Completions since the previous step = prev_remaining \ remaining.
         let current: Vec<u32> = view.remaining.iter().collect();

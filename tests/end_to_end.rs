@@ -23,6 +23,7 @@ fn evaluator(trials: usize, semantics: Semantics) -> Evaluator {
             max_steps: 2_000_000,
             ..ExecConfig::default()
         },
+        ..EvalConfig::default()
     })
 }
 

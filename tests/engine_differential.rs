@@ -1,11 +1,17 @@
-//! Differential proof of the event engine: for every scenario family of
-//! the standard suite, every capable registry policy, and both
-//! randomness semantics, the dense per-step oracle and the event-driven
-//! fast path must produce **bitwise-identical** `ExecOutcome`s from the
-//! same master seed — makespans, machine-step counters and per-job
-//! completion times. Since every `suu-results/v1` statistic is a pure
-//! function of the outcome vector, this also proves the recorded JSON
-//! results are engine-independent.
+//! Differential proof of the execution engines: for every scenario
+//! family of the standard suite, every capable registry policy, and both
+//! randomness semantics,
+//!
+//! * the dense per-step oracle and the event-driven fast path, and
+//! * the per-trial event engine and the **batched SoA engine**
+//!   (`Evaluator::run_batched`, including the stationary shared-decision
+//!   fast path),
+//!
+//! must produce **bitwise-identical** `ExecOutcome`s from the same
+//! master seed — makespans, machine-step counters and per-job completion
+//! times. Since every `suu-results/v1` statistic is a pure function of
+//! the outcome vector, this also proves the recorded JSON results are
+//! engine-independent.
 //!
 //! Plus: the machine-step accounting invariant
 //! `busy + idle + ineligible == m · makespan`, and a proptest sweep over
@@ -53,6 +59,7 @@ fn outcomes(
             engine,
             max_steps: 2_000_000,
         },
+        ..EvalConfig::default()
     });
     Ok(evaluator.run_spec(&registry, inst, spec)?.outcomes)
 }
@@ -87,6 +94,114 @@ fn dense_and_event_engines_agree_on_every_scenario_family() {
                     );
                 }
             }
+        }
+    }
+}
+
+/// The batched engine must reproduce the per-trial event engine bitwise
+/// for **every** standard scenario family (including the layered /
+/// bimodal / hetero-pareto additions) × every registry policy that can
+/// run there × both semantics. Stationary policies (gang, best-machine,
+/// greedy-lr, exact-opt) take the shared-decision SoA fast path; the
+/// rest exercise the per-trial fallback — both must be invisible in the
+/// outcomes.
+#[test]
+fn batched_engine_matches_per_trial_engine_on_every_scenario_family() {
+    let registry = standard_registry();
+    for sc in ScenarioSuite::standard(42).scenarios {
+        let inst = sc.instantiate();
+        for name in registry.names() {
+            let spec = PolicySpec::new(name);
+            for semantics in [Semantics::Suu, Semantics::SuuStar] {
+                let evaluator = Evaluator::new(EvalConfig {
+                    trials: 6,
+                    master_seed: 0xBA7C4,
+                    threads: 0,
+                    batch: 4, // force multiple chunks per run
+                    exec: ExecConfig {
+                        semantics,
+                        engine: EngineKind::Events,
+                        max_steps: 2_000_000,
+                    },
+                });
+                let per_trial = match evaluator.run_spec(&registry, &inst, &spec) {
+                    Ok(report) => report,
+                    // Capability mismatches and size limits (exact-opt on
+                    // 20+ jobs) are the registry's business, not this
+                    // test's.
+                    Err(RegistryError::UnsupportedStructure { .. }) => continue,
+                    Err(RegistryError::BuildFailed { .. }) => continue,
+                    Err(e) => panic!("{}/{name}: {e}", sc.id),
+                };
+                let batched = evaluator.run_batched_spec(&registry, &inst, &spec).unwrap();
+                assert_eq!(
+                    per_trial.outcomes, batched.outcomes,
+                    "batched engine diverges on {}/{name}/{semantics:?}",
+                    sc.id
+                );
+                // The streaming path folds the same outcomes, so its
+                // moments must equal the collected report's bitwise.
+                let stats = evaluator.run_stats_spec(&registry, &inst, &spec).unwrap();
+                let collected = per_trial.to_stats();
+                assert_eq!(
+                    stats.summary().unwrap().mean.to_bits(),
+                    collected.summary().unwrap().mean.to_bits(),
+                    "streaming stats diverge on {}/{name}/{semantics:?}",
+                    sc.id
+                );
+            }
+        }
+    }
+}
+
+/// `exact-opt` is the one stationary policy the suite-wide batched test
+/// cannot reach (its MDP limit is 14 jobs; the smallest standard family
+/// has 18), yet `fig_opt_small` runs it through the stationary
+/// shared-decision fast path in production — so pin it here on instances
+/// it accepts, across structure classes and both semantics.
+#[test]
+fn batched_engine_matches_per_trial_engine_for_exact_opt() {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    let registry = standard_registry();
+    let spec = PolicySpec::new("exact-opt");
+    let mut rng = SmallRng::seed_from_u64(0x0707);
+    let independent = Arc::new(workload::uniform_unrelated(
+        3,
+        6,
+        0.2,
+        0.9,
+        Precedence::Independent,
+        &mut rng,
+    ));
+    let dag = suu::dag::Dag::from_edges(5, &[(0, 2), (1, 2), (2, 4), (3, 4)]);
+    let dagged = Arc::new(workload::uniform_unrelated(
+        2,
+        5,
+        0.3,
+        0.9,
+        Precedence::Dag(dag),
+        &mut rng,
+    ));
+    for inst in [&independent, &dagged] {
+        for semantics in [Semantics::Suu, Semantics::SuuStar] {
+            let evaluator = Evaluator::new(EvalConfig {
+                trials: 12,
+                master_seed: 0x0707,
+                threads: 0,
+                batch: 5,
+                exec: ExecConfig {
+                    semantics,
+                    engine: EngineKind::Events,
+                    max_steps: 2_000_000,
+                },
+            });
+            let per_trial = evaluator.run_spec(&registry, inst, &spec).unwrap();
+            let batched = evaluator.run_batched_spec(&registry, inst, &spec).unwrap();
+            assert_eq!(
+                per_trial.outcomes, batched.outcomes,
+                "exact-opt diverges batched ({semantics:?})"
+            );
         }
     }
 }

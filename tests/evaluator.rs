@@ -114,6 +114,7 @@ proptest! {
                     max_steps: 1_000_000,
                     ..ExecConfig::default()
                 },
+                ..EvalConfig::default()
             })
             .run_spec(&registry, &inst, &PolicySpec::new("gang-sequential"))
             .unwrap()

@@ -23,6 +23,7 @@ fn evaluator(trials: usize, semantics: Semantics, seed: u64) -> Evaluator {
             max_steps: 1_000_000,
             ..ExecConfig::default()
         },
+        ..EvalConfig::default()
     })
 }
 
@@ -116,7 +117,7 @@ fn simulated_exact_opt_policy_matches_dp_value() {
     let report = evaluator(8000, Semantics::SuuStar, 3)
         .run_spec(&registry, &inst, &PolicySpec::new("exact-opt"))
         .unwrap();
-    let summary = report.summary();
+    let summary = report.summary().expect("nonempty");
     let ci = 4.0 * summary.std_err; // ~4 sigma
     assert!(
         (summary.mean - opt).abs() <= ci.max(0.1),
@@ -184,7 +185,7 @@ fn monte_carlo_agrees_with_exact_policy_evaluation() {
     let report = evaluator(8000, Semantics::SuuStar, 9)
         .run_spec(&registry, &inst, &PolicySpec::new("gang-sequential"))
         .unwrap();
-    let summary = report.summary();
+    let summary = report.summary().expect("nonempty");
     let ci = 4.0 * summary.std_err; // ~4 sigma
     assert!(
         (summary.mean - exact).abs() <= ci.max(0.1),
