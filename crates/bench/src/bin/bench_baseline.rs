@@ -6,8 +6,11 @@
 //! event engine against the batched SoA engine** (identical outcomes
 //! required everywhere, wall clocks recorded). Writes:
 //!
-//! * `BENCH_baseline.json` — schema `suu-results/v1` with an extra
-//!   `"evaluator"` block (quality + per-cell wall clock);
+//! * `BENCH_baseline.json` — schema `suu-results/v2` with an extra
+//!   `"evaluator"` block (quality + per-cell wall clock) and an
+//!   `"adaptive_vs_fixed"` block: fixed-budget vs adaptive-precision
+//!   total trial counts at equal CI half-width on high-variance
+//!   families;
 //! * `BENCH_engine_events.json` — dense vs. event engine per scenario
 //!   family (plus a large hard-jobs family where fast-forwarding
 //!   matters most), with `threads` recorded;
@@ -26,21 +29,44 @@
 //!     [--smoke] [out.json [engine_out.json [batch_out.json]]]
 //! ```
 //!
-//! `--smoke` shrinks everything (smoke suite, few trials) for CI: it
-//! still asserts dense ≡ events and per-trial ≡ batched bitwise, so
-//! engine regressions that only manifest under the Race runner fail
-//! fast; CI additionally greps both engine artifacts for any
-//! `"outcomes_identical": false` cell.
+//! `--smoke` shrinks everything (smoke suite, few trials) for CI — and
+//! runs the race **adaptively** (`Precision::TargetCi`), so the
+//! sequential-stopping path is exercised end to end. It still asserts
+//! dense ≡ events and per-trial ≡ batched bitwise, so engine regressions
+//! that only manifest under the Race runner fail fast; CI additionally
+//! validates every artifact with the `validate_results` gate (schema
+//! shape, `outcomes_identical`, counted-but-tolerated null speedups).
 
 use std::sync::Arc;
-use suu_bench::runner::{run_race_with, Race};
+use suu_bench::runner::{run_race_with, scenario_master_seed, Race};
 use suu_bench::scenario::{Scenario, ScenarioSuite};
 use suu_bench::Stopwatch;
 use suu_core::json::Json;
 use suu_core::SuuInstance;
 use suu_sim::{
-    EngineKind, EvalConfig, Evaluator, ExecConfig, PolicyRegistry, PolicySpec, RegistryError,
+    EngineKind, EvalConfig, Evaluator, ExecConfig, PolicyRegistry, PolicySpec, Precision,
+    RegistryError,
 };
+
+/// Smallest wall clock a speedup ratio is trusted at: sub-millisecond
+/// cells are timer-noise dominated, and a ~0 denominator used to emit
+/// `inf`/NaN that the JSON writer silently turned into `null`.
+const MIN_MEASURABLE_WALL_CLOCK_S: f64 = 1e-3;
+
+/// Attach the `speedup` field: the ratio when both clocks are
+/// measurable, otherwise an **explicit** `"speedup": null` plus a
+/// `speedup_note` saying why. The CI gate (`validate_results`) tolerates
+/// — but counts — null-speedup cells.
+fn with_speedup(cell: Json, baseline_s: f64, contender_s: f64) -> Json {
+    if baseline_s < MIN_MEASURABLE_WALL_CLOCK_S || contender_s < MIN_MEASURABLE_WALL_CLOCK_S {
+        cell.field("speedup", Json::Null).field(
+            "speedup_note",
+            "wall clock under 1ms; the ratio would be timer noise",
+        )
+    } else {
+        cell.field("speedup", baseline_s / contender_s)
+    }
+}
 
 /// One dense-vs-events cell: wall clocks, speedup, equality.
 fn engine_cell(
@@ -76,15 +102,18 @@ fn engine_cell(
         "  {scenario_id:<28} {spec:<18} dense {d:>8.3}s  events {e:>8.3}s  speedup {:>6.2}x",
         d / e.max(1e-9)
     );
-    Ok(Json::obj()
-        .field("scenario", scenario_id)
-        .field("policy", spec.to_string())
-        .field("trials", trials as u64)
-        .field("mean_makespan", events.mean_makespan())
-        .field("dense_wall_clock_s", d)
-        .field("events_wall_clock_s", e)
-        .field("speedup", d / e.max(1e-9))
-        .field("outcomes_identical", identical))
+    Ok(with_speedup(
+        Json::obj()
+            .field("scenario", scenario_id)
+            .field("policy", spec.to_string())
+            .field("trials", trials as u64)
+            .field("mean_makespan", events.mean_makespan())
+            .field("dense_wall_clock_s", d)
+            .field("events_wall_clock_s", e)
+            .field("outcomes_identical", identical),
+        d,
+        e,
+    ))
 }
 
 /// One per-trial-vs-batched cell: wall clocks, speedup, equality, and a
@@ -131,17 +160,20 @@ fn batch_cell(
         if stationary { "[stationary]" } else { "[fallback]  " },
         p / b.max(1e-9)
     );
-    Ok(Json::obj()
-        .field("scenario", scenario_id)
-        .field("policy", spec.to_string())
-        .field("trials", trials as u64)
-        .field("stationary", stationary)
-        .field("mean_makespan", mean)
-        .field("per_trial_wall_clock_s", p)
-        .field("batched_wall_clock_s", b)
-        .field("streaming_wall_clock_s", stats.wall_clock.as_secs_f64())
-        .field("speedup", p / b.max(1e-9))
-        .field("outcomes_identical", identical))
+    Ok(with_speedup(
+        Json::obj()
+            .field("scenario", scenario_id)
+            .field("policy", spec.to_string())
+            .field("trials", trials as u64)
+            .field("stationary", stationary)
+            .field("mean_makespan", mean)
+            .field("per_trial_wall_clock_s", p)
+            .field("batched_wall_clock_s", b)
+            .field("streaming_wall_clock_s", stats.wall_clock.as_secs_f64())
+            .field("outcomes_identical", identical),
+        p,
+        b,
+    ))
 }
 
 fn main() {
@@ -170,7 +202,17 @@ fn main() {
         ScenarioSuite::standard(42)
     };
 
-    // 1. Quality + per-cell wall clock across the suite.
+    // 1. Quality + per-cell wall clock across the suite. Smoke mode runs
+    //    the race **adaptively** (CI exercises the sequential-stopping
+    //    path end to end and the schema gate validates its fields); the
+    //    full run keeps the fixed 200-trial budget so the perf/quality
+    //    trajectory stays comparable across PRs.
+    let race_precision = smoke.then_some(Precision::TargetCi {
+        half_width: 0.10,
+        relative: true,
+        min_trials: 4,
+        max_trials: 16,
+    });
     let mut doc = run_race_with(
         Race {
             title: format!("BENCH baseline: {} suite × registry policies", suite.name),
@@ -189,6 +231,7 @@ fn main() {
             .map(String::from)
             .to_vec(),
             trials: race_trials,
+            precision: race_precision,
             master_seed: 0xBA5E,
             ratios_to_lower_bound: true,
             json_path: None,
@@ -241,15 +284,18 @@ fn main() {
 
         doc = doc.field(
             "evaluator",
-            Json::obj()
-                .field("workload", sc.id.as_str())
-                .field("policy", "greedy-lr")
-                .field("trials", 1000u64)
-                .field("serial_wall_clock_s", serial.wall_clock.as_secs_f64())
-                .field("parallel_wall_clock_s", parallel.wall_clock.as_secs_f64())
-                .field("speedup", speedup)
-                .field("threads", cores)
-                .field("outcomes_identical", identical),
+            with_speedup(
+                Json::obj()
+                    .field("workload", sc.id.as_str())
+                    .field("policy", "greedy-lr")
+                    .field("trials", 1000u64)
+                    .field("serial_wall_clock_s", serial.wall_clock.as_secs_f64())
+                    .field("parallel_wall_clock_s", parallel.wall_clock.as_secs_f64())
+                    .field("threads", cores)
+                    .field("outcomes_identical", identical),
+                serial.wall_clock.as_secs_f64(),
+                parallel.wall_clock.as_secs_f64(),
+            ),
         );
     }
 
@@ -327,6 +373,99 @@ fn main() {
         .field("cells", Json::Arr(batch_cells));
     std::fs::write(&batch_out_path, batch_doc.to_pretty()).expect("write batch JSON");
     println!("batch comparison written to {batch_out_path}");
+
+    // 5. Fixed vs adaptive trial budgets at equal precision, on
+    //    high-variance scenario families. The fixed pass spends N trials
+    //    on every cell; the loosest (largest) ci95 it achieves is the
+    //    precision a fixed budget actually *guarantees* across the
+    //    board. The adaptive pass targets exactly that half-width per
+    //    cell — low-variance cells stop early, only the worst cell pays
+    //    the full price — so the race reaches equal precision on fewer
+    //    total trials. Deterministic: same master seed ⇒ same stopping
+    //    points.
+    println!("\n-- adaptive precision: fixed vs adaptive budgets at equal CI --");
+    let fixed_trials = if smoke { 24 } else { 200 };
+    let (av_m, av_n) = if smoke { (3, 8) } else { (4, 24) };
+    let av_scenarios = vec![
+        Scenario::bimodal(av_m, av_n, 0.6, 9091),
+        Scenario::power_law(av_m, av_n, 0.5, 1.1, 9092),
+        Scenario::uniform(av_m, av_n, 0.2, 0.95, 9093),
+    ];
+    let av_specs = ["greedy-lr", "best-machine"];
+    let av_evaluator = |sc: &Scenario, trials: usize| {
+        Evaluator::new(EvalConfig {
+            trials,
+            master_seed: scenario_master_seed(0xADA7, sc),
+            threads: 0,
+            ..EvalConfig::default()
+        })
+    };
+    // Pass 1: fixed budgets; find the guaranteed (loosest) precision.
+    let mut fixed_cis: Vec<f64> = Vec::new();
+    for sc in &av_scenarios {
+        let inst = sc.instantiate();
+        for spec_text in av_specs {
+            let stats = av_evaluator(sc, fixed_trials)
+                .run_stats_spec(&registry, &inst, &PolicySpec::new(spec_text))
+                .unwrap_or_else(|e| panic!("{}/{spec_text}: {e}", sc.id));
+            fixed_cis.push(stats.summary().expect("trials > 0").ci95);
+        }
+    }
+    let target_ci = fixed_cis.iter().cloned().fold(0.0f64, f64::max);
+    // Pass 2: every cell adaptively targets that guaranteed precision.
+    let adaptive_rule = Precision::TargetCi {
+        half_width: target_ci,
+        relative: false,
+        min_trials: if smoke { 4 } else { 16 },
+        max_trials: 4 * fixed_trials,
+    };
+    let mut av_cells: Vec<Json> = Vec::new();
+    let mut adaptive_total = 0u64;
+    let mut cell_idx = 0;
+    for sc in &av_scenarios {
+        let inst = sc.instantiate();
+        for spec_text in av_specs {
+            let adaptive = av_evaluator(sc, fixed_trials)
+                .run_adaptive_spec(&registry, &inst, &PolicySpec::new(spec_text), adaptive_rule)
+                .unwrap_or_else(|e| panic!("{}/{spec_text}: {e}", sc.id));
+            let used = adaptive.trials_used();
+            adaptive_total += used;
+            let ci = adaptive.stats.summary().expect("trials > 0").ci95;
+            println!(
+                "  {:<24} {spec_text:<14} fixed {fixed_trials:>4} trials (ci95 {:>7.3})  \
+                 adaptive {used:>4} trials (ci95 {ci:>7.3}, {})",
+                sc.id,
+                fixed_cis[cell_idx],
+                adaptive.stop_reason.as_str(),
+            );
+            av_cells.push(
+                Json::obj()
+                    .field("scenario", sc.id.as_str())
+                    .field("policy", spec_text)
+                    .field("fixed_trials", fixed_trials as u64)
+                    .field("fixed_ci95", fixed_cis[cell_idx])
+                    .field("adaptive_trials_used", used)
+                    .field("adaptive_ci95", ci)
+                    .field("stop_reason", adaptive.stop_reason.as_str()),
+            );
+            cell_idx += 1;
+        }
+    }
+    let fixed_total = (fixed_trials * av_cells.len()) as u64;
+    println!(
+        "equal precision (ci95 <= {target_ci:.3}): fixed {fixed_total} total trials, \
+         adaptive {adaptive_total} total trials ({:.0}% of fixed)",
+        100.0 * adaptive_total as f64 / fixed_total.max(1) as f64
+    );
+    doc = doc.field(
+        "adaptive_vs_fixed",
+        Json::obj()
+            .field("target_ci95", target_ci)
+            .field("fixed_trials_per_cell", fixed_trials as u64)
+            .field("fixed_total_trials", fixed_total)
+            .field("adaptive_total_trials", adaptive_total)
+            .field("cells", Json::Arr(av_cells)),
+    );
 
     doc = doc.field("engine_comparison_file", engine_out_path.as_str());
     doc = doc.field("batch_comparison_file", batch_out_path.as_str());

@@ -13,6 +13,7 @@
 
 use suu_bench::runner::{run_race, Race};
 use suu_bench::scenario::Scenario;
+use suu_sim::Precision;
 
 fn main() {
     run_race(Race {
@@ -25,7 +26,14 @@ fn main() {
         policies: ["gang-sequential", "greedy-lr", "suu-c"]
             .map(String::from)
             .to_vec(),
-        trials: 30,
+        // Adaptive stopping at 2% relative CI (old fixed budget: 30).
+        precision: Some(Precision::TargetCi {
+            half_width: 0.02,
+            relative: true,
+            min_trials: 16,
+            max_trials: 120,
+        }),
+        paired: vec![("suu-c".to_string(), "greedy-lr".to_string())],
         master_seed: 0x72,
         ratios_to_lower_bound: true,
         json_path: Some("target/results/table1_chains.json".into()),

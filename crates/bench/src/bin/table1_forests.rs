@@ -8,6 +8,7 @@
 
 use suu_bench::runner::{run_race, Race};
 use suu_bench::scenario::Scenario;
+use suu_sim::Precision;
 
 fn main() {
     let mut scenarios = Vec::new();
@@ -22,7 +23,14 @@ fn main() {
         policies: ["gang-sequential", "greedy-lr", "suu-t"]
             .map(String::from)
             .to_vec(),
-        trials: 30,
+        // Adaptive stopping at 2% relative CI (old fixed budget: 30).
+        precision: Some(Precision::TargetCi {
+            half_width: 0.02,
+            relative: true,
+            min_trials: 16,
+            max_trials: 120,
+        }),
+        paired: vec![("suu-t".to_string(), "greedy-lr".to_string())],
         master_seed: 0x73,
         ratios_to_lower_bound: true,
         json_path: Some("target/results/table1_forests.json".into()),

@@ -1,0 +1,156 @@
+//! **validate_results** — the CI schema gate over emitted JSON
+//! artifacts.
+//!
+//! ```sh
+//! cargo run --release -p suu-bench --bin validate_results -- FILE...
+//! ```
+//!
+//! Dispatches on the document's `schema` field:
+//!
+//! * `suu-results/v2` — structural validation: required top-level arrays
+//!   (`scenarios`, `policies`, `cells`, `paired`), and per run cell the
+//!   adaptive-precision fields (`trials_used` ≥ 1, a known
+//!   `stop_reason`, numeric `mean_makespan`/`ci95`); `skipped`/`error`
+//!   cells are exempt. Paired entries need both policy names and either
+//!   an `error` or the delta statistics.
+//! * `suu-bench/engine-events/v1` / `suu-bench/engine-batch/v1` — fails
+//!   on any `outcomes_identical: false`; **tolerates but counts**
+//!   `"speedup": null` cells (sub-millisecond wall clocks; each must
+//!   carry a `speedup_note`).
+//!
+//! Exits nonzero on the first violation, so it can gate CI directly.
+
+use suu_core::json::{parse, Json};
+
+fn fail(msg: String) -> ! {
+    eprintln!("validate_results: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn require_str<'a>(obj: &'a Json, key: &str, ctx: &str) -> &'a str {
+    obj.get(key)
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| fail(format!("{ctx}: missing string '{key}'")))
+}
+
+fn require_arr<'a>(obj: &'a Json, key: &str, ctx: &str) -> &'a [Json] {
+    obj.get(key)
+        .and_then(Json::as_array)
+        .unwrap_or_else(|| fail(format!("{ctx}: missing array '{key}'")))
+}
+
+const STOP_REASONS: [&str; 3] = ["fixed-budget", "ci-reached", "max-trials"];
+
+fn validate_results_v2(doc: &Json, path: &str) {
+    require_str(doc, "generated_by", path);
+    require_arr(doc, "scenarios", path);
+    require_arr(doc, "policies", path);
+    let cells = require_arr(doc, "cells", path);
+    let paired = require_arr(doc, "paired", path);
+
+    let (mut run, mut unrun) = (0usize, 0usize);
+    for (i, cell) in cells.iter().enumerate() {
+        let ctx = format!("{path}: cells[{i}]");
+        require_str(cell, "scenario", &ctx);
+        require_str(cell, "policy", &ctx);
+        if cell.get("skipped").is_some() || cell.get("error").is_some() {
+            unrun += 1;
+            continue;
+        }
+        run += 1;
+        let used = cell
+            .get("trials_used")
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| fail(format!("{ctx}: missing integer 'trials_used'")));
+        if used == 0 {
+            fail(format!("{ctx}: run cell with zero trials_used"));
+        }
+        let reason = require_str(cell, "stop_reason", &ctx);
+        if !STOP_REASONS.contains(&reason) {
+            fail(format!("{ctx}: unknown stop_reason {reason:?}"));
+        }
+        for key in ["mean_makespan", "ci95", "completion_rate"] {
+            if cell.get(key).and_then(Json::as_f64).is_none() {
+                fail(format!("{ctx}: missing numeric '{key}'"));
+            }
+        }
+    }
+    for (i, pair) in paired.iter().enumerate() {
+        let ctx = format!("{path}: paired[{i}]");
+        require_str(pair, "scenario", &ctx);
+        require_str(pair, "policy_a", &ctx);
+        require_str(pair, "policy_b", &ctx);
+        if pair.get("error").is_some() {
+            continue;
+        }
+        let reason = require_str(pair, "stop_reason", &ctx);
+        if !STOP_REASONS.contains(&reason) {
+            fail(format!("{ctx}: unknown stop_reason {reason:?}"));
+        }
+        for key in ["delta_mean", "delta_ci95"] {
+            if pair.get(key).and_then(Json::as_f64).is_none() {
+                fail(format!("{ctx}: missing numeric '{key}'"));
+            }
+        }
+        if pair.get("significant").and_then(Json::as_bool).is_none() {
+            fail(format!("{ctx}: missing bool 'significant'"));
+        }
+    }
+    println!(
+        "OK {path}: suu-results/v2, {} cells ({run} run, {unrun} skipped/error), {} paired",
+        cells.len(),
+        paired.len()
+    );
+}
+
+/// Returns the number of tolerated null-speedup cells.
+fn validate_engine(doc: &Json, path: &str) -> usize {
+    let cells = require_arr(doc, "cells", path);
+    let mut null_speedups = 0usize;
+    for (i, cell) in cells.iter().enumerate() {
+        let ctx = format!("{path}: cells[{i}]");
+        match cell.get("outcomes_identical").and_then(Json::as_bool) {
+            Some(true) => {}
+            Some(false) => fail(format!("{ctx}: outcomes_identical is false")),
+            None => fail(format!("{ctx}: missing bool 'outcomes_identical'")),
+        }
+        match cell.get("speedup") {
+            Some(Json::Null) => {
+                // Tolerated (sub-millisecond cell), but it must say why
+                // and it is counted below.
+                require_str(cell, "speedup_note", &ctx);
+                null_speedups += 1;
+            }
+            Some(v) if v.as_f64().is_some() => {}
+            _ => fail(format!("{ctx}: 'speedup' must be a number or null")),
+        }
+    }
+    println!(
+        "OK {path}: {} engine cells, {null_speedups} null-speedup cell(s) tolerated",
+        cells.len()
+    );
+    null_speedups
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        fail("usage: validate_results FILE...".to_string());
+    }
+    let mut tolerated = 0usize;
+    for path in &args {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| fail(format!("{path}: {e}")));
+        let doc = parse(&text).unwrap_or_else(|e| fail(format!("{path}: {e}")));
+        match doc.get("schema").and_then(Json::as_str) {
+            Some("suu-results/v2") => validate_results_v2(&doc, path),
+            Some(s) if s.starts_with("suu-bench/engine-") => {
+                tolerated += validate_engine(&doc, path);
+            }
+            other => fail(format!("{path}: unsupported schema {other:?}")),
+        }
+    }
+    println!(
+        "all {} artifact(s) valid ({tolerated} null-speedup cell(s) across engine docs)",
+        args.len()
+    );
+}

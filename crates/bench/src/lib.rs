@@ -27,7 +27,7 @@
 //! * [`runner`] — the [`runner::Race`] declaration and its one evaluation
 //!   path (registry build → capability gate → parallel
 //!   [`suu_sim::Evaluator`] → table + JSON);
-//! * [`report`] — the shared `suu-results/v1` JSON schema every binary
+//! * [`report`] — the shared `suu-results/v2` JSON schema every binary
 //!   and example emits.
 //!
 //! Micro-benches (`cargo bench`, via the offline [`harness`]) cover the

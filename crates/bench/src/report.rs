@@ -1,4 +1,4 @@
-//! The shared JSON results schema (`suu-results/v1`).
+//! The shared JSON results schema (`suu-results/v2`).
 //!
 //! Every experiment binary and example emits one document shape, so
 //! downstream tooling (plots, regression tracking, the perf trajectory in
@@ -6,7 +6,7 @@
 //!
 //! ```json
 //! {
-//!   "schema": "suu-results/v1",
+//!   "schema": "suu-results/v2",
 //!   "generated_by": "bench_baseline",
 //!   "suite": "standard",
 //!   "scenarios": [
@@ -16,15 +16,30 @@
 //!   "policies": ["suu-c", "greedy-lr"],
 //!   "cells": [
 //!     {"scenario": "...", "policy": "...", "trials": 200,
+//!      "trials_used": 128, "stop_reason": "ci-reached",
 //!      "master_seed": 7, "semantics": "suu-star",
-//!      "mean_makespan": 31.4, "std_err": 0.4, "min": 24.0,
-//!      "median": 31.0, "p95": 40.0, "max": 48.0,
+//!      "mean_makespan": 31.4, "std_err": 0.4, "ci95": 0.79,
+//!      "min": 24.0, "median": 31.0, "p95": 40.0, "max": 48.0,
 //!      "quantile_mode": "exact",
 //!      "completion_rate": 1.0, "wall_clock_s": 0.031,
 //!      "lower_bound": 12.5, "ratio_to_lb": 2.51}
+//!   ],
+//!   "paired": [
+//!     {"scenario": "...", "policy_a": "suu-c", "policy_b": "greedy-lr",
+//!      "trials_used": 64, "stop_reason": "ci-reached",
+//!      "delta_mean": -2.4, "delta_ci95": 0.9, "significant": true}
 //!   ]
 //! }
 //! ```
+//!
+//! **v2** (adaptive precision): cells carry `trials_used` (trials
+//! actually executed before the stopping rule fired), `stop_reason`
+//! (`fixed-budget` | `ci-reached` | `max-trials`), and `ci95` (Student-t
+//! 95% half-width of the mean); the document gains a `paired` array of
+//! CRN policy comparisons (per-trial makespan differences under shared
+//! trial seeds: mean, Student-t CI, and whether zero lies outside it).
+//! `wall_clock_s` fields can be omitted (`record_wall_clocks(false)`) to
+//! make documents byte-identical across reruns of the same master seed.
 //!
 //! Cells are fed from streaming [`EvalStats`] (the evaluator never
 //! buffers per-trial outcomes for reporting): `quantile_mode` is
@@ -36,12 +51,12 @@
 
 use crate::scenario::{Scenario, ScenarioSuite};
 use suu_core::json::Json;
-use suu_sim::{EvalStats, Semantics};
+use suu_sim::{EvalStats, PairedStats, Semantics};
 
 /// Schema identifier stamped on every document.
-pub const SCHEMA: &str = "suu-results/v1";
+pub const SCHEMA: &str = "suu-results/v2";
 
-/// Incrementally builds a `suu-results/v1` document.
+/// Incrementally builds a `suu-results/v2` document.
 pub struct ResultsBuilder {
     generated_by: String,
     suite: Option<String>,
@@ -49,6 +64,8 @@ pub struct ResultsBuilder {
     scenario_ids: Vec<String>,
     policies: Vec<String>,
     cells: Vec<Json>,
+    paired: Vec<Json>,
+    record_wall_clocks: bool,
 }
 
 impl ResultsBuilder {
@@ -61,12 +78,22 @@ impl ResultsBuilder {
             scenario_ids: Vec::new(),
             policies: Vec::new(),
             cells: Vec::new(),
+            paired: Vec::new(),
+            record_wall_clocks: true,
         }
     }
 
     /// Record the suite name.
     pub fn suite(mut self, suite: &ScenarioSuite) -> Self {
         self.suite = Some(suite.name.clone());
+        self
+    }
+
+    /// Whether cells record `wall_clock_s` (default `true`). Disable to
+    /// make the document a pure function of the master seed —
+    /// byte-identical across reruns — for determinism pinning.
+    pub fn record_wall_clocks(mut self, record: bool) -> Self {
+        self.record_wall_clocks = record;
         self
     }
 
@@ -111,12 +138,14 @@ impl ResultsBuilder {
             .field("scenario", scenario_id)
             .field("policy", policy)
             .field("trials", stats.config.trials)
+            .field("trials_used", stats.trials())
             .field("master_seed", stats.config.master_seed)
             .field("semantics", semantics);
         if let Some(summary) = stats.summary() {
             cell = cell
                 .field("mean_makespan", summary.mean)
                 .field("std_err", summary.std_err)
+                .field("ci95", summary.ci95)
                 .field("min", summary.min)
                 .field("median", summary.median)
                 .field("p95", summary.p95)
@@ -130,13 +159,65 @@ impl ResultsBuilder {
                     },
                 );
         }
-        cell = cell
-            .field("completion_rate", stats.completion_rate())
-            .field("wall_clock_s", stats.wall_clock.as_secs_f64());
+        cell = cell.field("completion_rate", stats.completion_rate());
+        if self.record_wall_clocks {
+            cell = cell.field("wall_clock_s", stats.wall_clock.as_secs_f64());
+        }
         for (key, value) in extra {
             cell = cell.field(*key, value.clone());
         }
         self.cells.push(cell);
+    }
+
+    /// Record one paired CRN comparison (`suu-results/v2` `paired[]`).
+    pub fn add_paired(
+        &mut self,
+        scenario_id: &str,
+        policy_a: &str,
+        policy_b: &str,
+        paired: &PairedStats,
+    ) {
+        self.register_policy(policy_a);
+        self.register_policy(policy_b);
+        let mut cell = Json::obj()
+            .field("scenario", scenario_id)
+            .field("policy_a", policy_a)
+            .field("policy_b", policy_b)
+            .field("trials_used", paired.trials_used())
+            .field("stop_reason", paired.stop_reason.as_str())
+            .field(
+                "delta_mean",
+                paired.delta_mean().map(Json::Num).unwrap_or(Json::Null),
+            )
+            .field(
+                "delta_ci95",
+                paired.delta_ci95().map(Json::Num).unwrap_or(Json::Null),
+            )
+            .field(
+                "significant",
+                paired.significant().map(Json::Bool).unwrap_or(Json::Null),
+            );
+        if self.record_wall_clocks {
+            cell = cell.field("wall_clock_s", paired.wall_clock.as_secs_f64());
+        }
+        self.paired.push(cell);
+    }
+
+    /// Record a paired comparison that could not run.
+    pub fn add_paired_failure(
+        &mut self,
+        scenario_id: &str,
+        policy_a: &str,
+        policy_b: &str,
+        detail: String,
+    ) {
+        self.paired.push(
+            Json::obj()
+                .field("scenario", scenario_id)
+                .field("policy_a", policy_a)
+                .field("policy_b", policy_b)
+                .field("error", detail),
+        );
     }
 
     /// Record a `(scenario, policy)` pair that could not run.
@@ -164,6 +245,7 @@ impl ResultsBuilder {
                 Json::Arr(self.policies.into_iter().map(Json::Str).collect()),
             )
             .field("cells", Json::Arr(self.cells))
+            .field("paired", Json::Arr(self.paired))
     }
 }
 

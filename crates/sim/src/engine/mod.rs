@@ -40,7 +40,7 @@
 //! per job, SUU one coin per job per *segment*. Segments are delimited by
 //! decision epochs in both engines, so the streams advance in lockstep —
 //! the foundation of the bitwise-equality guarantee and of
-//! `suu-results/v1` reproducibility.
+//! `suu-results/v2` reproducibility.
 
 pub mod batch;
 pub mod dense;

@@ -31,15 +31,28 @@
 //!   batch)` peak memory, independent of the trial count, with chunk
 //!   folding pinned to trial order so even the order-sensitive P²
 //!   sketches are bitwise identical at any thread count.
+//!
+//! Because every trial's randomness is keyed by its **index** (not by
+//! anything a previous trial did), a cell is *resumable*:
+//! [`Evaluator::extend_stats`] folds trials `n..n+k` into a saved
+//! accumulator and is bitwise identical — moments *and* sketch state —
+//! to a fresh `n+k`-trial run at any thread count. That makes
+//! sequential stopping cheap: [`Evaluator::run_adaptive`] grows a cell
+//! in deterministic rounds until a [`Precision`] rule fires, and
+//! [`Evaluator::run_paired`] compares two policies on **common random
+//! numbers** (the same per-trial engine seeds), so the variance of the
+//! per-trial *difference* — not of each mean — drives the budget.
+//! Checkpoints serialize via [`EvalStats::to_json`].
 
 use crate::engine::batch::{execute_batch, BatchTrial};
-use crate::engine::{execute, ExecConfig, ExecOutcome};
+use crate::engine::{execute, EngineKind, ExecConfig, ExecOutcome, Semantics};
 use crate::policy::Policy;
 use crate::registry::{PolicyRegistry, PolicySpec, RegistryError};
-use crate::stats::{OutcomeAccumulator, Summary};
+use crate::stats::{OutcomeAccumulator, PairedDelta, Precision, StopReason, Summary};
 use rayon::prelude::*;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use suu_core::json::Json;
 use suu_core::SuuInstance;
 
 /// Domain tag for engine (job-outcome) randomness.
@@ -207,6 +220,182 @@ impl EvalStats {
     pub fn summary(&self) -> Option<Summary> {
         self.acc.summary()
     }
+
+    /// Schema identifier stamped on [`EvalStats::to_json`] checkpoints.
+    pub const CHECKPOINT_SCHEMA: &'static str = "suu-sim/evalstats/v1";
+
+    /// Serialize a resumable checkpoint: the accumulator snapshot plus
+    /// everything [`Evaluator::extend_stats`] needs to continue the cell
+    /// (master seed, trial count, engine configuration).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("schema", Self::CHECKPOINT_SCHEMA)
+            .field("policy", self.policy.as_str())
+            .field("trials", self.config.trials)
+            .field("master_seed", self.config.master_seed)
+            .field("batch", self.config.batch)
+            .field(
+                "exec",
+                Json::obj()
+                    .field("semantics", semantics_str(self.config.exec.semantics))
+                    .field("engine", engine_str(self.config.exec.engine))
+                    .field("max_steps", self.config.exec.max_steps),
+            )
+            .field("wall_clock_s", self.wall_clock.as_secs_f64())
+            .field("accumulator", self.acc.to_json())
+    }
+
+    /// Restore a checkpoint produced by [`EvalStats::to_json`]. The
+    /// restored accumulator is bitwise the saved one; `threads` is not
+    /// part of the checkpoint (it never affects results) and comes back
+    /// as `0` (all cores).
+    pub fn from_json(json: &Json) -> Result<EvalStats, String> {
+        match json.get("schema").and_then(Json::as_str) {
+            Some(s) if s == Self::CHECKPOINT_SCHEMA => {}
+            other => return Err(format!("unsupported checkpoint schema {other:?}")),
+        }
+        let u64_field = |key: &str| -> Result<u64, String> {
+            json.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("checkpoint missing integer '{key}'"))
+        };
+        let exec_json = json.get("exec").ok_or("checkpoint missing 'exec'")?;
+        let exec = ExecConfig {
+            semantics: parse_semantics(
+                exec_json
+                    .get("semantics")
+                    .and_then(Json::as_str)
+                    .ok_or("checkpoint missing 'exec.semantics'")?,
+            )?,
+            engine: parse_engine(
+                exec_json
+                    .get("engine")
+                    .and_then(Json::as_str)
+                    .ok_or("checkpoint missing 'exec.engine'")?,
+            )?,
+            max_steps: exec_json
+                .get("max_steps")
+                .and_then(Json::as_u64)
+                .ok_or("checkpoint missing 'exec.max_steps'")?,
+        };
+        let acc = OutcomeAccumulator::from_json(
+            json.get("accumulator")
+                .ok_or("checkpoint missing 'accumulator'")?,
+        )?;
+        let trials = u64_field("trials")? as usize;
+        if acc.count() != trials as u64 {
+            return Err("checkpoint trial count disagrees with accumulator".into());
+        }
+        Ok(EvalStats {
+            policy: json
+                .get("policy")
+                .and_then(Json::as_str)
+                .ok_or("checkpoint missing 'policy'")?
+                .to_string(),
+            config: EvalConfig {
+                trials,
+                master_seed: u64_field("master_seed")?,
+                threads: 0,
+                batch: u64_field("batch")? as usize,
+                exec,
+            },
+            acc,
+            wall_clock: Duration::from_secs_f64(
+                json.get("wall_clock_s")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(0.0),
+            ),
+        })
+    }
+}
+
+fn semantics_str(s: Semantics) -> &'static str {
+    match s {
+        Semantics::Suu => "suu",
+        Semantics::SuuStar => "suu-star",
+    }
+}
+
+fn parse_semantics(s: &str) -> Result<Semantics, String> {
+    match s {
+        "suu" => Ok(Semantics::Suu),
+        "suu-star" => Ok(Semantics::SuuStar),
+        other => Err(format!("unknown semantics {other:?}")),
+    }
+}
+
+fn engine_str(e: EngineKind) -> &'static str {
+    match e {
+        EngineKind::Dense => "dense",
+        EngineKind::Events => "events",
+    }
+}
+
+fn parse_engine(s: &str) -> Result<EngineKind, String> {
+    match s {
+        "dense" => Ok(EngineKind::Dense),
+        "events" => Ok(EngineKind::Events),
+        other => Err(format!("unknown engine {other:?}")),
+    }
+}
+
+/// An adaptively-stopped evaluation: the streaming statistics plus why
+/// the cell stopped growing.
+#[derive(Debug, Clone)]
+pub struct AdaptiveStats {
+    /// The cell's statistics; `stats.config.trials` is the trials
+    /// actually used.
+    pub stats: EvalStats,
+    /// Why sampling stopped.
+    pub stop_reason: StopReason,
+}
+
+impl AdaptiveStats {
+    /// Trials actually executed before stopping.
+    pub fn trials_used(&self) -> u64 {
+        self.stats.trials()
+    }
+}
+
+/// A paired CRN comparison of two policies: Welford statistics of the
+/// per-trial makespan difference `A − B` under shared trial seeds.
+#[derive(Debug, Clone)]
+pub struct PairedStats {
+    /// Display name of policy A.
+    pub policy_a: String,
+    /// Display name of policy B.
+    pub policy_b: String,
+    /// Configuration the comparison ran under (`trials` = pairs used).
+    pub config: EvalConfig,
+    /// Per-trial difference accumulator.
+    pub delta: PairedDelta,
+    /// Why sampling stopped.
+    pub stop_reason: StopReason,
+    /// Wall-clock time for the whole comparison (both policies).
+    pub wall_clock: Duration,
+}
+
+impl PairedStats {
+    /// Paired trials executed.
+    pub fn trials_used(&self) -> u64 {
+        self.delta.count()
+    }
+
+    /// Mean per-trial difference `makespan_A − makespan_B` (`None` when
+    /// empty).
+    pub fn delta_mean(&self) -> Option<f64> {
+        self.delta.mean()
+    }
+
+    /// 95% CI half-width of the mean difference (Student-t).
+    pub fn delta_ci95(&self) -> Option<f64> {
+        self.delta.ci95()
+    }
+
+    /// `true` when zero lies outside the difference CI.
+    pub fn significant(&self) -> Option<bool> {
+        self.delta.significant()
+    }
 }
 
 /// The parallel trial runner. See the module docs for the determinism
@@ -261,15 +450,18 @@ impl Evaluator {
         }
     }
 
-    /// Seeds for the trials of chunk `chunk` (chunks partition `0..trials`
-    /// into runs of `batch` consecutive indices), derived exactly as
-    /// [`Evaluator::run_trial`] derives them — the foundation of the
-    /// batched-vs-per-trial bitwise-equality guarantee.
-    fn chunk_trials(&self, chunk: usize, batch: usize) -> Vec<BatchTrial> {
+    /// Seeds for the trials of chunk `chunk` of the range `lo..hi`
+    /// (chunks partition the range into runs of `batch` consecutive
+    /// indices), derived exactly as [`Evaluator::run_trial`] derives them
+    /// — the foundation of the batched-vs-per-trial bitwise-equality
+    /// guarantee. Trial seeds are keyed by absolute trial index, so *how*
+    /// a range is chunked (or where a resumed range starts) never changes
+    /// any trial's randomness.
+    fn chunk_trials(&self, lo: usize, hi: usize, chunk: usize, batch: usize) -> Vec<BatchTrial> {
         let cfg = &self.config;
-        let lo = chunk * batch;
-        let hi = (lo + batch).min(cfg.trials);
-        (lo..hi)
+        let start = lo + chunk * batch;
+        let end = (start + batch).min(hi);
+        (start..end)
             .map(|k| BatchTrial {
                 engine_seed: derive_seed(cfg.master_seed, k as u64, ENGINE_DOMAIN),
                 policy_seed: Some(derive_seed(cfg.master_seed, k as u64, POLICY_DOMAIN)),
@@ -356,18 +548,8 @@ impl Evaluator {
         inst: &Arc<SuuInstance>,
         spec: &PolicySpec,
     ) -> Result<EvalReport, RegistryError> {
-        // Fail fast (and with the real error) on the calling thread; the
-        // probe is handed to the first worker so expensive construction
-        // (LP solves, the exact-opt DP) is not paid twice.
-        let probe = std::sync::Mutex::new(Some(registry.build(inst, spec)?));
-        let report = self.run(inst, || {
-            probe.lock().expect("probe lock").take().unwrap_or_else(|| {
-                registry
-                    .build(inst, spec)
-                    .expect("spec built once already; instance and spec are unchanged")
-            })
-        });
-        Ok(report)
+        let make_policy = probe_factory(registry, inst, spec)?;
+        Ok(self.run(inst, make_policy))
     }
 
     /// Run every trial through the batched engine, collecting outcomes.
@@ -389,7 +571,7 @@ impl Evaluator {
         let name = policy.name().to_string();
         let mut outcomes = Vec::with_capacity(cfg.trials);
         for chunk in 0..cfg.trials.div_ceil(batch) {
-            let trials = self.chunk_trials(chunk, batch);
+            let trials = self.chunk_trials(0, cfg.trials, chunk, batch);
             outcomes.extend(execute_batch(inst, &mut policy, &cfg.exec, &trials));
         }
         EvalReport {
@@ -429,10 +611,240 @@ impl Evaluator {
         F: Fn() -> P + Sync,
         P: Policy,
     {
+        let started = Instant::now();
+        let mut acc = OutcomeAccumulator::new();
+        let policy = self.stream_range(inst, &make_policy, &mut acc, 0, self.config.trials);
+        EvalStats {
+            policy,
+            config: self.config,
+            acc,
+            wall_clock: started.elapsed(),
+        }
+    }
+
+    /// Extend a saved cell from its current trial count to
+    /// `target_trials`, folding trials `n..target` into its accumulator.
+    ///
+    /// Because trial randomness is keyed by absolute trial index and the
+    /// accumulator sees trials strictly in index order, the result is
+    /// **bitwise identical** — moments *and* P² sketch state — to a fresh
+    /// `target_trials` run at any thread count (tested in
+    /// `tests/adaptive.rs`). The caller must resume with the instance,
+    /// policy, master seed and semantics the cell was started with
+    /// (master seed, semantics and step-cap mismatches are caught here;
+    /// the engine kind is result-neutral by the differential guarantee;
+    /// the instance/policy are the caller's contract, exactly as for a
+    /// fresh run). No-op when the cell already has `target_trials`
+    /// trials.
+    pub fn extend_stats<F, P>(
+        &self,
+        inst: &SuuInstance,
+        make_policy: F,
+        stats: &mut EvalStats,
+        target_trials: usize,
+    ) where
+        F: Fn() -> P + Sync,
+        P: Policy,
+    {
+        assert_eq!(
+            stats.config.master_seed, self.config.master_seed,
+            "resume must use the master seed the cell was started with"
+        );
+        assert_eq!(
+            stats.config.exec.semantics, self.config.exec.semantics,
+            "resume must use the semantics the cell was started with"
+        );
+        assert_eq!(
+            stats.config.exec.max_steps, self.config.exec.max_steps,
+            "resume must use the step cap the cell was started with"
+        );
+        let done = stats.trials() as usize;
+        if target_trials <= done {
+            return;
+        }
+        let started = Instant::now();
+        self.stream_range(inst, &make_policy, &mut stats.acc, done, target_trials);
+        stats.config.trials = target_trials;
+        stats.wall_clock += started.elapsed();
+    }
+
+    /// Build the spec through the registry and extend the cell (see
+    /// [`Evaluator::extend_stats`]).
+    pub fn extend_stats_spec(
+        &self,
+        registry: &PolicyRegistry,
+        inst: &Arc<SuuInstance>,
+        spec: &PolicySpec,
+        stats: &mut EvalStats,
+        target_trials: usize,
+    ) -> Result<(), RegistryError> {
+        let make_policy = probe_factory(registry, inst, spec)?;
+        self.extend_stats(inst, make_policy, stats, target_trials);
+        Ok(())
+    }
+
+    /// Grow a cell until `precision` says stop: trials are added in
+    /// deterministic rounds (the round schedule grows 1.5× from the
+    /// rule's `min_trials`, capped at `max_trials` — geometric, so the
+    /// stopping-check cost stays logarithmic, but gentle enough that a
+    /// cell overshoots its stopping point by at most ~50%), with a
+    /// stopping check after each round. Same master seed ⇒ same
+    /// statistics at every check ⇒ same stopping point, at any thread
+    /// count.
+    pub fn run_adaptive<F, P>(
+        &self,
+        inst: &SuuInstance,
+        make_policy: F,
+        precision: Precision,
+    ) -> AdaptiveStats
+    where
+        F: Fn() -> P + Sync,
+        P: Policy,
+    {
+        let started = Instant::now();
+        let mut acc = OutcomeAccumulator::new();
+        let max = precision.max_trials();
+        let mut target = precision.min_trials().min(max);
+        let mut name: Option<String> = None;
+        let mut done = 0usize;
+        let stop_reason = loop {
+            if target > done {
+                let n = self.stream_range(inst, &make_policy, &mut acc, done, target);
+                name.get_or_insert(n);
+                done = target;
+            }
+            let (mean, ci95) = match acc.summary() {
+                Some(s) => (s.mean, s.ci95),
+                None => (0.0, f64::INFINITY),
+            };
+            if let Some(reason) = precision.check(done, mean, ci95) {
+                break reason;
+            }
+            target = done.saturating_add((done / 2).max(1)).min(max);
+        };
+        let mut config = self.config;
+        config.trials = done;
+        AdaptiveStats {
+            stats: EvalStats {
+                policy: name.unwrap_or_else(|| "unnamed".to_string()),
+                config,
+                acc,
+                wall_clock: started.elapsed(),
+            },
+            stop_reason,
+        }
+    }
+
+    /// Build the spec through the registry and evaluate it adaptively
+    /// (see [`Evaluator::run_adaptive`]).
+    pub fn run_adaptive_spec(
+        &self,
+        registry: &PolicyRegistry,
+        inst: &Arc<SuuInstance>,
+        spec: &PolicySpec,
+        precision: Precision,
+    ) -> Result<AdaptiveStats, RegistryError> {
+        let make_policy = probe_factory(registry, inst, spec)?;
+        Ok(self.run_adaptive(inst, make_policy, precision))
+    }
+
+    /// Compare two policies pairwise on **common random numbers**: each
+    /// paired trial runs both policies from the *same* engine seed (the
+    /// seed the marginal cells use for that trial index), and the Welford
+    /// accumulator tracks the per-trial difference `A − B` — under CRN
+    /// its variance is what should drive the budget, so `precision`'s CI
+    /// rule is applied to the **difference**, not to either mean.
+    ///
+    /// Runs on the calling thread, chunk by chunk (both policies per
+    /// chunk, deltas folded in trial order) — paired cells are usually an
+    /// order of magnitude cheaper than the marginal cells that precede
+    /// them, and serial execution keeps the difference stream trivially
+    /// deterministic.
+    pub fn run_paired<FA, PA, FB, PB>(
+        &self,
+        inst: &SuuInstance,
+        make_a: FA,
+        make_b: FB,
+        precision: Precision,
+    ) -> PairedStats
+    where
+        FA: FnOnce() -> PA,
+        PA: Policy,
+        FB: FnOnce() -> PB,
+        PB: Policy,
+    {
         let cfg = self.config;
         let batch = self.batch_size();
         let started = Instant::now();
-        let chunks = cfg.trials.div_ceil(batch);
+        let mut a = make_a();
+        let mut b = make_b();
+        let (name_a, name_b) = (a.name().to_string(), b.name().to_string());
+        let mut delta = PairedDelta::new();
+        let max = precision.max_trials();
+        let mut target = precision.min_trials().min(max);
+        let mut done = 0usize;
+        let stop_reason = loop {
+            for chunk in 0..(target - done).div_ceil(batch.max(1)) {
+                let trials = self.chunk_trials(done, target, chunk, batch);
+                let out_a = execute_batch(inst, &mut a, &cfg.exec, &trials);
+                let out_b = execute_batch(inst, &mut b, &cfg.exec, &trials);
+                for (oa, ob) in out_a.iter().zip(&out_b) {
+                    delta.push(oa.makespan as f64, ob.makespan as f64);
+                }
+            }
+            done = target;
+            let mean = delta.mean().unwrap_or(0.0);
+            let ci95 = delta.ci95().unwrap_or(f64::INFINITY);
+            if let Some(reason) = precision.check(done, mean, ci95) {
+                break reason;
+            }
+            target = done.saturating_add((done / 2).max(1)).min(max);
+        };
+        let mut config = cfg;
+        config.trials = done;
+        PairedStats {
+            policy_a: name_a,
+            policy_b: name_b,
+            config,
+            delta,
+            stop_reason,
+            wall_clock: started.elapsed(),
+        }
+    }
+
+    /// Build both specs through the registry and compare them paired
+    /// (see [`Evaluator::run_paired`]).
+    pub fn run_paired_spec(
+        &self,
+        registry: &PolicyRegistry,
+        inst: &Arc<SuuInstance>,
+        spec_a: &PolicySpec,
+        spec_b: &PolicySpec,
+        precision: Precision,
+    ) -> Result<PairedStats, RegistryError> {
+        let a = registry.build(inst, spec_a)?;
+        let b = registry.build(inst, spec_b)?;
+        Ok(self.run_paired(inst, move || a, move || b, precision))
+    }
+
+    /// The streaming core: execute trials `lo..hi` through the batched
+    /// engine and fold them into `acc` strictly in trial order, returning
+    /// the policy's display name.
+    fn stream_range<F, P>(
+        &self,
+        inst: &SuuInstance,
+        make_policy: &F,
+        acc: &mut OutcomeAccumulator,
+        lo: usize,
+        hi: usize,
+    ) -> String
+    where
+        F: Fn() -> P + Sync,
+        P: Policy,
+    {
+        let cfg = self.config;
+        let batch = self.batch_size();
+        let chunks = hi.saturating_sub(lo).div_ceil(batch);
         let workers = {
             let t = if cfg.threads == 0 {
                 std::thread::available_parallelism()
@@ -444,13 +856,12 @@ impl Evaluator {
             t.min(chunks.max(1))
         };
 
-        let mut acc = OutcomeAccumulator::new();
         let policy_name;
         if workers <= 1 {
             let mut policy = make_policy();
             policy_name = policy.name().to_string();
             for chunk in 0..chunks {
-                let trials = self.chunk_trials(chunk, batch);
+                let trials = self.chunk_trials(lo, hi, chunk, batch);
                 for outcome in execute_batch(inst, &mut policy, &cfg.exec, &trials) {
                     acc.push(&outcome);
                 }
@@ -492,7 +903,7 @@ impl Evaluator {
                             while chunk >= folded.load(Ordering::Acquire) + window {
                                 std::thread::yield_now();
                             }
-                            let trials = self.chunk_trials(chunk, batch);
+                            let trials = self.chunk_trials(lo, hi, chunk, batch);
                             let outcomes = execute_batch(inst, &mut policy, &cfg.exec, &trials);
                             if tx.send((chunk, outcomes)).is_err() {
                                 break; // receiver gone: nothing left to do
@@ -522,13 +933,7 @@ impl Evaluator {
                 .expect("name lock")
                 .unwrap_or_else(|| "unnamed".to_string());
         }
-
-        EvalStats {
-            policy: policy_name,
-            config: cfg,
-            acc,
-            wall_clock: started.elapsed(),
-        }
+        policy_name
     }
 
     /// Build the spec through the registry and evaluate it on the
@@ -543,15 +948,8 @@ impl Evaluator {
         inst: &Arc<SuuInstance>,
         spec: &PolicySpec,
     ) -> Result<EvalStats, RegistryError> {
-        let probe = std::sync::Mutex::new(Some(registry.build(inst, spec)?));
-        let stats = self.run_stats(inst, || {
-            probe.lock().expect("probe lock").take().unwrap_or_else(|| {
-                registry
-                    .build(inst, spec)
-                    .expect("spec built once already; instance and spec are unchanged")
-            })
-        });
-        Ok(stats)
+        let make_policy = probe_factory(registry, inst, spec)?;
+        Ok(self.run_stats(inst, make_policy))
     }
 
     /// One trial, fully determined by `(master_seed, trial index)`.
@@ -565,6 +963,26 @@ impl Evaluator {
             derive_seed(cfg.master_seed, k, ENGINE_DOMAIN),
         )
     }
+}
+
+/// The `*_spec` entry points' shared policy factory: build the spec once
+/// up front — failing fast, with the real error, on the calling thread —
+/// and hand that probe instance to the first worker so expensive
+/// construction (LP solves, the exact-opt DP) is not paid twice; any
+/// further worker rebuilds from the same spec.
+fn probe_factory<'a>(
+    registry: &'a PolicyRegistry,
+    inst: &'a Arc<SuuInstance>,
+    spec: &'a PolicySpec,
+) -> Result<impl Fn() -> Box<dyn Policy> + Sync + 'a, RegistryError> {
+    let probe = std::sync::Mutex::new(Some(registry.build(inst, spec)?));
+    Ok(move || {
+        probe.lock().expect("probe lock").take().unwrap_or_else(|| {
+            registry
+                .build(inst, spec)
+                .expect("spec built once already; instance and spec are unchanged")
+        })
+    })
 }
 
 #[cfg(test)]

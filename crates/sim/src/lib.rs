@@ -46,6 +46,12 @@
 //!   whole batch — and folds them into the streaming [`stats`] layer
 //!   (Welford moments + P² quantile sketches with an exact small-sample
 //!   fallback), so evaluation memory is independent of the trial count.
+//!   Cells are **resumable** ([`Evaluator::extend_stats`]: extending
+//!   `n → n+k` is bitwise a fresh `n+k` run) and grow **adaptively**
+//!   ([`Evaluator::run_adaptive`]: deterministic sequential stopping on
+//!   Student-t confidence intervals); [`Evaluator::run_paired`] compares
+//!   two policies per trial on common random numbers so the variance of
+//!   the difference drives the comparison budget.
 
 pub mod engine;
 pub mod evaluate;
@@ -56,12 +62,17 @@ pub mod trace;
 
 pub use engine::batch::{execute_batch, BatchTrial};
 pub use engine::{execute, EngineKind, ExecConfig, ExecOutcome, Semantics};
-pub use evaluate::{derive_seed, EvalConfig, EvalReport, EvalStats, Evaluator};
+pub use evaluate::{
+    derive_seed, AdaptiveStats, EvalConfig, EvalReport, EvalStats, Evaluator, PairedStats,
+};
 pub use policy::{Assignment, Decision, Policy, StateView};
 pub use registry::{
     factory, PolicyFactory, PolicyRegistry, PolicySpec, RegistryError, StructureClass,
 };
-pub use stats::{summarize, OutcomeAccumulator, P2Quantile, Streaming, Summary};
+pub use stats::{
+    student_t_quantile, summarize, t_ci95_scale, OutcomeAccumulator, P2Quantile, PairedDelta,
+    Precision, StopReason, Streaming, Summary,
+};
 pub use trace::{Trace, TraceStep, Tracing};
 
 #[cfg(test)]

@@ -1,6 +1,8 @@
 //! Streaming statistics: Welford moments, a P²-style quantile sketch, and
 //! the [`OutcomeAccumulator`] the evaluation pipeline folds trials into —
-//! plus the two-sample chi-square test used by the equivalence checks.
+//! plus the confidence machinery behind adaptive-precision evaluation
+//! (Student-t quantiles, [`PairedDelta`], [`Precision`] stopping rules)
+//! and the two-sample chi-square test used by the equivalence checks.
 //!
 //! The evaluator used to buffer every trial outcome and summarize at the
 //! end, so memory grew linearly with the trial count. Everything here is
@@ -11,8 +13,20 @@
 //! retains the raw values and reports exact interpolated quantiles
 //! (bitwise what the old sort-based `summarize` reported), switching to
 //! the sketch only when the sample outgrows the cap.
+//!
+//! Confidence intervals use hand-rolled Student-t quantiles
+//! ([`student_t_quantile`], via log-gamma + the regularized incomplete
+//! beta function): at the small sample sizes adaptive stopping visits
+//! first, the z≈1.96 normal approximation understates the interval badly
+//! (t₀.₉₇₅ is 12.71 at n=2 and 2.78 at n=5). Accumulators can be
+//! **snapshotted** to [`suu_core::json`] ([`OutcomeAccumulator::to_json`])
+//! and later resumed or [merged][`OutcomeAccumulator::merge`], which is
+//! what makes cells resumable: extending a cell replays the same
+//! per-trial values in the same order, so the restored state — moments
+//! *and* sketch markers — is bitwise what a fresh longer run produces.
 
 use crate::engine::ExecOutcome;
+use suu_core::json::Json;
 
 /// Summary of a sample of makespans (or any non-negative metric).
 #[derive(Debug, Clone)]
@@ -25,7 +39,7 @@ pub struct Summary {
     pub std_dev: f64,
     /// Standard error of the mean.
     pub std_err: f64,
-    /// 95% CI half-width (normal approximation).
+    /// 95% CI half-width (Student-t; see [`t_ci95_scale`]).
     pub ci95: f64,
     /// Minimum.
     pub min: f64,
@@ -53,6 +67,343 @@ pub fn summarize(values: &[f64]) -> Option<Summary> {
         acc.push_makespan(v, true, 0);
     }
     acc.summary()
+}
+
+/// Natural log of the gamma function (Lanczos approximation, g = 7).
+///
+/// Accurate to ~15 significant digits for positive arguments; negative
+/// non-integer arguments go through the reflection formula. Only the
+/// beta-function plumbing below needs it, but it is exported because
+/// hand-rolled special functions are scarce in an offline workspace.
+pub fn ln_gamma(x: f64) -> f64 {
+    const COEF: [f64; 8] = [
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection: Γ(x)Γ(1−x) = π / sin(πx).
+        return (std::f64::consts::PI / (std::f64::consts::PI * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let z = x - 1.0;
+    let mut acc = 0.999_999_999_999_809_9;
+    for (i, c) in COEF.iter().enumerate() {
+        acc += c / (z + (i + 1) as f64);
+    }
+    let t = z + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (z + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Continued-fraction core of the incomplete beta function (modified
+/// Lentz's method, Numerical Recipes `betacf`).
+fn beta_cont_frac(a: f64, b: f64, x: f64) -> f64 {
+    const TINY: f64 = 1e-30;
+    const EPS: f64 = 3e-16;
+    let (qab, qap, qam) = (a + b, a + 1.0, a - 1.0);
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=300 {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Regularized incomplete beta function `I_x(a, b)`.
+pub fn reg_inc_beta(a: f64, b: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && b > 0.0, "beta parameters must be positive");
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    // Use the continued fraction on whichever side converges fast.
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cont_frac(a, b, x) / a
+    } else {
+        1.0 - front * beta_cont_frac(b, a, 1.0 - x) / b
+    }
+}
+
+/// CDF of Student's t distribution with `df > 0` degrees of freedom.
+pub fn student_t_cdf(t: f64, df: f64) -> f64 {
+    assert!(df > 0.0, "degrees of freedom must be positive");
+    let x = df / (df + t * t);
+    let tail = 0.5 * reg_inc_beta(0.5 * df, 0.5, x);
+    if t >= 0.0 {
+        1.0 - tail
+    } else {
+        tail
+    }
+}
+
+/// Quantile (inverse CDF) of Student's t distribution: the `t` with
+/// `P(T ≤ t) = p`, for `p ∈ (0, 1)` and `df > 0`.
+///
+/// Deterministic bisection against [`student_t_cdf`] — a fixed iteration
+/// count, no floating-point environment dependence, accurate to ~1e-12.
+/// Not a hot path: it is consulted once per stopping check / summary,
+/// never per trial.
+pub fn student_t_quantile(p: f64, df: f64) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&p) && p > 0.0 && p < 1.0,
+        "p must be in (0,1)"
+    );
+    assert!(df > 0.0, "degrees of freedom must be positive");
+    if p == 0.5 {
+        return 0.0;
+    }
+    if p < 0.5 {
+        return -student_t_quantile(1.0 - p, df);
+    }
+    // Bracket [0, hi] with cdf(hi) >= p, then bisect.
+    let mut hi = 1.0f64;
+    while student_t_cdf(hi, df) < p {
+        hi *= 2.0;
+        if hi > 1e12 {
+            break; // p astronomically close to 1; hi is a fine answer
+        }
+    }
+    let mut lo = 0.0f64;
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if mid == lo || mid == hi {
+            break; // bisection exhausted f64 resolution
+        }
+        if student_t_cdf(mid, df) < p {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// The 95% CI half-width scale for a sample of `count` observations:
+/// `t₀.₉₇₅(count − 1)`, the two-sided Student-t critical value.
+///
+/// `ci95 = t_ci95_scale(n) · std_err`. For `count < 2` the interval is
+/// undefined; `0.0` is returned so a single observation reports a zero
+/// half-width (its `std_err` is zero anyway), matching the old normal-
+/// approximation behavior at the degenerate size.
+pub fn t_ci95_scale(count: usize) -> f64 {
+    if count < 2 {
+        return 0.0;
+    }
+    student_t_quantile(0.975, (count - 1) as f64)
+}
+
+/// When a cell stops growing under adaptive precision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// A fixed trial budget was configured and spent.
+    FixedBudget,
+    /// The target CI half-width was reached.
+    CiReached,
+    /// The trial ceiling was hit before the target half-width.
+    MaxTrials,
+}
+
+impl StopReason {
+    /// Stable wire name (the `stop_reason` field of `suu-results/v2`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            StopReason::FixedBudget => "fixed-budget",
+            StopReason::CiReached => "ci-reached",
+            StopReason::MaxTrials => "max-trials",
+        }
+    }
+}
+
+/// How many trials a cell gets: a fixed budget, or run-until-converged.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Precision {
+    /// Exactly `n` trials, unconditionally (the pre-adaptive behavior).
+    FixedTrials(usize),
+    /// Grow the sample until the 95% CI half-width of the mean drops to
+    /// the target, subject to trial bounds.
+    TargetCi {
+        /// Target half-width — absolute, or a fraction of `|mean|` when
+        /// `relative` is set.
+        half_width: f64,
+        /// Interpret `half_width` relative to the current mean estimate.
+        relative: bool,
+        /// Never stop on the CI rule below this many trials (variance
+        /// estimates are too noisy to trust at tiny `n`).
+        min_trials: usize,
+        /// Hard ceiling; reaching it stops with [`StopReason::MaxTrials`].
+        max_trials: usize,
+    },
+}
+
+impl Precision {
+    /// The most trials this rule can ever spend.
+    pub fn max_trials(&self) -> usize {
+        match self {
+            Precision::FixedTrials(n) => *n,
+            Precision::TargetCi { max_trials, .. } => *max_trials,
+        }
+    }
+
+    /// The fewest trials before a stopping check may fire.
+    pub fn min_trials(&self) -> usize {
+        match self {
+            Precision::FixedTrials(n) => *n,
+            Precision::TargetCi {
+                min_trials,
+                max_trials,
+                ..
+            } => (*min_trials).max(2).min(*max_trials),
+        }
+    }
+
+    /// Stopping check for a sample of `count` observations with the given
+    /// mean and 95% CI half-width. `None` means: keep sampling.
+    pub fn check(&self, count: usize, mean: f64, ci95: f64) -> Option<StopReason> {
+        match self {
+            Precision::FixedTrials(n) => (count >= *n).then_some(StopReason::FixedBudget),
+            Precision::TargetCi {
+                half_width,
+                relative,
+                max_trials,
+                ..
+            } => {
+                let goal = if *relative {
+                    half_width * mean.abs()
+                } else {
+                    *half_width
+                };
+                if count >= self.min_trials() && ci95 <= goal {
+                    Some(StopReason::CiReached)
+                } else if count >= *max_trials {
+                    Some(StopReason::MaxTrials)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+/// Welford accumulator over **per-trial differences** `a − b` of two
+/// policies executed on common random numbers (shared trial seeds).
+///
+/// Under CRN the per-trial difference removes the within-trial noise the
+/// two policies share, so the variance of the *difference* — usually far
+/// smaller than either marginal variance — drives the comparison budget.
+/// Trials must be pushed in trial order with `a` and `b` from the same
+/// trial seed.
+#[derive(Debug, Clone, Default)]
+pub struct PairedDelta {
+    delta: Streaming,
+}
+
+impl PairedDelta {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold in one paired trial: metric of policy A and of policy B under
+    /// the same trial seed.
+    pub fn push(&mut self, a: f64, b: f64) {
+        self.delta.push(a - b);
+    }
+
+    /// Paired trials folded in.
+    pub fn count(&self) -> u64 {
+        self.delta.count()
+    }
+
+    /// Mean of `a − b` (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        self.delta.mean()
+    }
+
+    /// Standard error of the mean difference.
+    pub fn std_err(&self) -> Option<f64> {
+        let n = self.delta.count();
+        self.delta.std_dev().map(|sd| sd / (n as f64).sqrt())
+    }
+
+    /// 95% CI half-width of the mean difference (Student-t).
+    pub fn ci95(&self) -> Option<f64> {
+        self.std_err()
+            .map(|se| t_ci95_scale(self.delta.count() as usize) * se)
+    }
+
+    /// `true` when zero lies outside the 95% CI of the mean difference —
+    /// the policies are statistically distinguishable at this sample.
+    /// `None` when fewer than two pairs were folded.
+    pub fn significant(&self) -> Option<bool> {
+        if self.delta.count() < 2 {
+            return None;
+        }
+        let mean = self.mean().expect("nonempty");
+        let ci = self.ci95().expect("nonempty");
+        Some(mean.abs() > ci)
+    }
+
+    /// The underlying difference moments.
+    pub fn deltas(&self) -> &Streaming {
+        &self.delta
+    }
+
+    /// Snapshot to JSON (see [`OutcomeAccumulator::to_json`] for the
+    /// round-trip contract).
+    pub fn to_json(&self) -> Json {
+        Json::obj().field("delta", self.delta.to_json())
+    }
+
+    /// Restore a snapshot produced by [`PairedDelta::to_json`].
+    pub fn from_json(json: &Json) -> Result<Self, String> {
+        Ok(PairedDelta {
+            delta: Streaming::from_json(
+                json.get("delta").ok_or("paired snapshot missing 'delta'")?,
+            )?,
+        })
+    }
 }
 
 /// Welford's online mean/variance, plus min/max.
@@ -121,6 +472,38 @@ impl Streaming {
     /// Maximum observation.
     pub fn max(&self) -> Option<f64> {
         (self.count > 0).then_some(self.max)
+    }
+
+    /// Snapshot the raw Welford state to JSON. Floats are written in
+    /// Rust's shortest round-trip form, so [`Streaming::from_json`]
+    /// restores them **bitwise** (all state here is finite by
+    /// construction — samples are makespans).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("count", self.count)
+            .field("mean", self.mean)
+            .field("m2", self.m2)
+            .field("min", self.min)
+            .field("max", self.max)
+    }
+
+    /// Restore a snapshot produced by [`Streaming::to_json`].
+    pub fn from_json(json: &Json) -> Result<Self, String> {
+        let field = |key: &str| -> Result<f64, String> {
+            json.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("streaming snapshot missing numeric '{key}'"))
+        };
+        Ok(Streaming {
+            count: json
+                .get("count")
+                .and_then(Json::as_u64)
+                .ok_or("streaming snapshot missing 'count'")?,
+            mean: field("mean")?,
+            m2: field("m2")?,
+            min: field("min")?,
+            max: field("max")?,
+        })
     }
 }
 
@@ -226,6 +609,54 @@ impl P2Quantile {
             + s * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
     }
 
+    /// Snapshot the full marker state to JSON (bitwise round-trip; see
+    /// [`Streaming::to_json`]).
+    pub fn to_json(&self) -> Json {
+        let arr = |v: &[f64; 5]| Json::Arr(v.iter().map(|&x| Json::Num(x)).collect());
+        Json::obj()
+            .field("q", self.q)
+            .field("count", self.count as u64)
+            .field("heights", arr(&self.heights))
+            .field("positions", arr(&self.positions))
+            .field("desired", arr(&self.desired))
+    }
+
+    /// Restore a snapshot produced by [`P2Quantile::to_json`]. The
+    /// per-observation increments are a pure function of `q` and are
+    /// rebuilt rather than stored.
+    pub fn from_json(json: &Json) -> Result<Self, String> {
+        let q = json
+            .get("q")
+            .and_then(Json::as_f64)
+            .ok_or("sketch snapshot missing 'q'")?;
+        let count = json
+            .get("count")
+            .and_then(Json::as_u64)
+            .ok_or("sketch snapshot missing 'count'")? as usize;
+        let arr = |key: &str| -> Result<[f64; 5], String> {
+            let items = json
+                .get(key)
+                .and_then(Json::as_array)
+                .ok_or_else(|| format!("sketch snapshot missing array '{key}'"))?;
+            if items.len() != 5 {
+                return Err(format!("sketch '{key}' must have 5 entries"));
+            }
+            let mut out = [0.0; 5];
+            for (slot, item) in out.iter_mut().zip(items) {
+                *slot = item
+                    .as_f64()
+                    .ok_or_else(|| format!("non-numeric entry in sketch '{key}'"))?;
+            }
+            Ok(out)
+        };
+        let mut sketch = P2Quantile::new(q);
+        sketch.count = count;
+        sketch.heights = arr("heights")?;
+        sketch.positions = arr("positions")?;
+        sketch.desired = arr("desired")?;
+        Ok(sketch)
+    }
+
     /// Current estimate (`None` when empty). Exact below five
     /// observations (interpolated from the sorted buffer).
     pub fn estimate(&self) -> Option<f64> {
@@ -313,6 +744,18 @@ impl OutcomeAccumulator {
     /// accumulator ([`summarize`]'s `usize::MAX` cap) never pays for the
     /// sketches at all.
     pub fn push_makespan(&mut self, makespan: f64, completed: bool, ineligible: u64) {
+        self.fold_value(makespan);
+        if completed {
+            self.completed += 1;
+        }
+        self.ineligible += ineligible;
+    }
+
+    /// The makespan half of a push: moments plus the exact-sample /
+    /// sketch bookkeeping. Shared by [`OutcomeAccumulator::push_makespan`]
+    /// and [`OutcomeAccumulator::merge`], so a merged value goes through
+    /// exactly the state transitions a directly-pushed one does.
+    fn fold_value(&mut self, makespan: f64) {
         self.makespan.push(makespan);
         match &mut self.exact {
             Some(exact) if exact.len() < self.exact_cap => exact.push(makespan),
@@ -331,10 +774,132 @@ impl OutcomeAccumulator {
                 self.p95.push(makespan);
             }
         }
-        if completed {
-            self.completed += 1;
+    }
+
+    /// Fold another accumulator's trials into this one, **in the order
+    /// they were pushed there** — bitwise what pushing them here directly
+    /// would have produced (moments, exact sample, sketch markers, and
+    /// the cap-crossing replay all reuse the single-push code path).
+    ///
+    /// Only works while `other` still retains its exact sample (its
+    /// count is within its cap): once values are collapsed into sketch
+    /// markers the original sequence is gone and no bitwise-faithful
+    /// merge exists. Callers doing distributed accumulation should give
+    /// shard accumulators a cap at least their shard size.
+    pub fn merge(&mut self, other: &OutcomeAccumulator) -> Result<(), String> {
+        let values = other.exact.as_ref().ok_or_else(|| {
+            "merge requires the right-hand accumulator to retain its exact sample \
+             (it outgrew its cap)"
+                .to_string()
+        })?;
+        for &v in values {
+            self.fold_value(v);
         }
-        self.ineligible += ineligible;
+        self.completed += other.completed;
+        self.ineligible += other.ineligible;
+        Ok(())
+    }
+
+    /// Snapshot schema identifier stamped on [`OutcomeAccumulator::to_json`].
+    pub const SNAPSHOT_SCHEMA: &'static str = "suu-sim/accumulator/v1";
+
+    /// Serialize the complete accumulator state to JSON.
+    ///
+    /// Floats round-trip bitwise (shortest-representation formatting), so
+    /// [`OutcomeAccumulator::from_json`] restores an accumulator that is
+    /// indistinguishable from the original: continuing to push the same
+    /// values yields identical moments, quantile-sketch markers, and
+    /// summaries. This is the persistence format behind resumable cells.
+    pub fn to_json(&self) -> Json {
+        let mut doc = Json::obj()
+            .field("schema", Self::SNAPSHOT_SCHEMA)
+            .field("makespan", self.makespan.to_json())
+            .field(
+                "exact_cap",
+                if self.exact_cap == usize::MAX {
+                    Json::Null // "unbounded"; usize::MAX is not portable
+                } else {
+                    Json::UInt(self.exact_cap as u64)
+                },
+            )
+            .field("completed", self.completed)
+            .field("ineligible", self.ineligible);
+        match &self.exact {
+            Some(values) => {
+                // Sketches are untouched while the exact sample is
+                // retained, so the values alone reconstruct everything.
+                doc = doc.field(
+                    "exact",
+                    Json::Arr(values.iter().map(|&v| Json::Num(v)).collect()),
+                );
+            }
+            None => {
+                doc = doc
+                    .field("median_sketch", self.median.to_json())
+                    .field("p95_sketch", self.p95.to_json());
+            }
+        }
+        doc
+    }
+
+    /// Restore a snapshot produced by [`OutcomeAccumulator::to_json`].
+    pub fn from_json(json: &Json) -> Result<Self, String> {
+        match json.get("schema").and_then(Json::as_str) {
+            Some(s) if s == Self::SNAPSHOT_SCHEMA => {}
+            other => return Err(format!("unsupported accumulator snapshot schema {other:?}")),
+        }
+        let makespan = Streaming::from_json(
+            json.get("makespan")
+                .ok_or("accumulator snapshot missing 'makespan'")?,
+        )?;
+        let exact_cap = match json.get("exact_cap") {
+            Some(Json::Null) | None => usize::MAX,
+            Some(v) => v
+                .as_u64()
+                .ok_or("accumulator 'exact_cap' must be an integer or null")?
+                as usize,
+        };
+        let mut acc = OutcomeAccumulator {
+            makespan,
+            median: P2Quantile::new(0.5),
+            p95: P2Quantile::new(0.95),
+            exact: None,
+            exact_cap,
+            completed: json
+                .get("completed")
+                .and_then(Json::as_u64)
+                .ok_or("accumulator snapshot missing 'completed'")?,
+            ineligible: json
+                .get("ineligible")
+                .and_then(Json::as_u64)
+                .ok_or("accumulator snapshot missing 'ineligible'")?,
+        };
+        if let Some(values) = json.get("exact") {
+            let items = values
+                .as_array()
+                .ok_or("accumulator 'exact' must be an array")?;
+            let mut exact = Vec::with_capacity(items.len());
+            for item in items {
+                exact.push(
+                    item.as_f64()
+                        .ok_or("non-numeric entry in accumulator 'exact'")?,
+                );
+            }
+            if exact.len() as u64 != acc.makespan.count() {
+                return Err("accumulator 'exact' length disagrees with 'makespan.count'".into());
+            }
+            acc.exact = Some(exact);
+        } else {
+            acc.median = P2Quantile::from_json(
+                json.get("median_sketch")
+                    .ok_or("accumulator snapshot missing sketches and exact sample")?,
+            )?;
+            acc.p95 = P2Quantile::from_json(
+                json.get("p95_sketch")
+                    .ok_or("accumulator snapshot missing 'p95_sketch'")?,
+            )?;
+        }
+        Ok(acc)
     }
 
     /// Trials folded in so far.
@@ -400,7 +965,7 @@ impl OutcomeAccumulator {
             mean: self.makespan.mean().expect("nonempty"),
             std_dev,
             std_err,
-            ci95: 1.96 * std_err,
+            ci95: t_ci95_scale(count) * std_err,
             min: self.makespan.min().expect("nonempty"),
             median,
             p95,
@@ -484,16 +1049,39 @@ pub fn chi_square_critical_001(dof: usize) -> f64 {
     k * (1.0 - 2.0 / (9.0 * k) + z * (2.0 / (9.0 * k)).sqrt()).powi(3)
 }
 
-/// Build histograms over `0..=max` for two u64 samples (shared binning).
+/// Default bin-count cap for [`histogram_pair`]: plenty of resolution
+/// for a chi-square comparison, bounded memory regardless of the sample
+/// magnitude.
+pub const MAX_HISTOGRAM_BINS: usize = 4096;
+
+/// Build shared-binning histograms for two u64 samples, with at most
+/// [`MAX_HISTOGRAM_BINS`] bins.
+///
+/// Values up to the cap get one bin per value (bitwise the old
+/// value-indexed behavior); beyond that, bins widen uniformly so the bin
+/// *count* stays bounded — a corrupt or sentinel makespan in the
+/// millions costs kilobytes, not a multi-MB (or OOM-ing) allocation.
+/// The chi-square test downstream stays exact on the pooled bins.
 pub fn histogram_pair(a: &[u64], b: &[u64]) -> (Vec<u64>, Vec<u64>) {
-    let max = a.iter().chain(b).copied().max().unwrap_or(0) as usize;
-    let mut ha = vec![0u64; max + 1];
-    let mut hb = vec![0u64; max + 1];
+    histogram_pair_capped(a, b, MAX_HISTOGRAM_BINS)
+}
+
+/// [`histogram_pair`] with an explicit bin-count cap (`cap >= 1`).
+pub fn histogram_pair_capped(a: &[u64], b: &[u64], cap: usize) -> (Vec<u64>, Vec<u64>) {
+    assert!(cap >= 1, "histogram needs at least one bin");
+    let max = a.iter().chain(b).copied().max().unwrap_or(0);
+    // Smallest uniform width keeping `max/width` under the cap:
+    // `ceil((max+1)/cap)`. Width 1 (value-indexed bins) whenever the
+    // range already fits.
+    let width = max / cap as u64 + 1;
+    let bins = (max / width) as usize + 1;
+    let mut ha = vec![0u64; bins];
+    let mut hb = vec![0u64; bins];
     for &v in a {
-        ha[v as usize] += 1;
+        ha[(v / width) as usize] += 1;
     }
     for &v in b {
-        hb[v as usize] += 1;
+        hb[(v / width) as usize] += 1;
     }
     (ha, hb)
 }
@@ -715,5 +1303,245 @@ mod tests {
         let (ha, hb) = histogram_pair(&[0, 2, 2], &[1]);
         assert_eq!(ha, vec![1, 0, 2]);
         assert_eq!(hb, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn histogram_pair_bounds_bins_on_large_magnitudes() {
+        // Regression: value-indexed bins used to allocate max(sample)+1
+        // entries — tens of MB for makespans in the millions, OOM for a
+        // corrupt sentinel. Bins must stay capped with widened ranges.
+        let a = vec![3, 5_000_000, 12_345_678];
+        let b = vec![4, 9_999_999];
+        let (ha, hb) = histogram_pair(&a, &b);
+        assert!(ha.len() <= MAX_HISTOGRAM_BINS, "bins {}", ha.len());
+        assert_eq!(ha.len(), hb.len());
+        assert_eq!(ha.iter().sum::<u64>(), a.len() as u64);
+        assert_eq!(hb.iter().sum::<u64>(), b.len() as u64);
+        // Identical samples still produce a zero statistic on pooled bins.
+        let (hx, hy) = histogram_pair(&a, &a);
+        let (chi2, _) = chi_square_two_sample(&hx, &hy);
+        assert!(chi2 < 1e-9);
+        // Within the cap the binning stays bitwise the old value-indexed
+        // one.
+        let (ha, _) = histogram_pair(&[0, 7, 7], &[1]);
+        assert_eq!(ha.len(), 8);
+        assert_eq!(ha[7], 2);
+    }
+
+    #[test]
+    fn ln_gamma_matches_known_values() {
+        assert!((ln_gamma(1.0)).abs() < 1e-12);
+        assert!((ln_gamma(2.0)).abs() < 1e-12);
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn student_t_quantiles_match_tables() {
+        // Two-sided 95% critical values (t_{0.975, df}) from standard
+        // tables.
+        for (df, want) in [
+            (1.0, 12.7062),
+            (2.0, 4.3027),
+            (3.0, 3.1824),
+            (4.0, 2.7764),
+            (9.0, 2.2622),
+            (29.0, 2.0452),
+            (99.0, 1.9842),
+        ] {
+            let got = student_t_quantile(0.975, df);
+            assert!(
+                (got - want).abs() < 5e-4,
+                "t(0.975, {df}) = {got}, want {want}"
+            );
+        }
+        // Converges to the normal z as df grows.
+        assert!((student_t_quantile(0.975, 1e6) - 1.95996).abs() < 1e-3);
+        // Symmetry and median.
+        assert_eq!(student_t_quantile(0.5, 7.0), 0.0);
+        assert!((student_t_quantile(0.025, 4.0) + student_t_quantile(0.975, 4.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn t_cdf_quantile_roundtrip() {
+        for df in [1.0, 3.0, 10.0, 50.0] {
+            for p in [0.6, 0.9, 0.975, 0.999] {
+                let t = student_t_quantile(p, df);
+                assert!(
+                    (student_t_cdf(t, df) - p).abs() < 1e-9,
+                    "df {df} p {p}: cdf(quantile) = {}",
+                    student_t_cdf(t, df)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ci95_uses_student_t_at_small_n() {
+        // Regression (satellite bugfix): the old z≈1.96 normal
+        // approximation understated small-n intervals. Pin the summary
+        // half-widths to t-based values.
+        // n = 5, std_dev = sqrt(2.5), std_err = sqrt(0.5).
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        let want = 2.7764 * (0.5f64).sqrt();
+        assert!(
+            (s.ci95 - want).abs() < 1e-3,
+            "n=5 ci95 {} want {want}",
+            s.ci95
+        );
+        assert!(s.ci95 > 1.96 * s.std_err, "t must widen past the normal");
+        // n = 2: t_{0.975,1} = 12.706 — the normal approximation was off
+        // by a factor of ~6.5 here.
+        let s2 = summarize(&[1.0, 3.0]).unwrap();
+        assert!((s2.ci95 - 12.7062 * s2.std_err).abs() < 1e-3 * s2.std_err);
+        // n = 1: degenerate, zero half-width (std_err is zero).
+        let s1 = summarize(&[4.0]).unwrap();
+        assert_eq!(s1.ci95, 0.0);
+    }
+
+    #[test]
+    fn paired_delta_crn_basics() {
+        let mut pd = PairedDelta::new();
+        // Policy A always 2 steps slower than B under the same seed.
+        for base in [10.0, 14.0, 9.0, 30.0, 22.0] {
+            pd.push(base + 2.0, base);
+        }
+        assert_eq!(pd.count(), 5);
+        assert_eq!(pd.mean(), Some(2.0));
+        assert_eq!(pd.ci95(), Some(0.0)); // constant difference: zero CI
+        assert_eq!(pd.significant(), Some(true));
+
+        // Self-comparison: never significant.
+        let mut same = PairedDelta::new();
+        for v in [3.0, 8.0, 5.0] {
+            same.push(v, v);
+        }
+        assert_eq!(same.mean(), Some(0.0));
+        assert_eq!(same.significant(), Some(false));
+        assert_eq!(PairedDelta::new().significant(), None);
+
+        // Snapshot round-trip.
+        let restored = PairedDelta::from_json(&pd.to_json()).unwrap();
+        assert_eq!(restored.mean(), pd.mean());
+        assert_eq!(restored.count(), pd.count());
+    }
+
+    #[test]
+    fn precision_stopping_rules() {
+        let fixed = Precision::FixedTrials(10);
+        assert_eq!(fixed.check(9, 5.0, 100.0), None);
+        assert_eq!(fixed.check(10, 5.0, 100.0), Some(StopReason::FixedBudget));
+        assert_eq!(fixed.max_trials(), 10);
+
+        let target = Precision::TargetCi {
+            half_width: 0.5,
+            relative: false,
+            min_trials: 8,
+            max_trials: 64,
+        };
+        // Below min_trials: never stop on CI, however tight.
+        assert_eq!(target.check(4, 5.0, 0.0), None);
+        // CI reached at/past min_trials.
+        assert_eq!(target.check(8, 5.0, 0.4), Some(StopReason::CiReached));
+        // CI not reached, budget not exhausted: keep going.
+        assert_eq!(target.check(16, 5.0, 0.9), None);
+        // Ceiling.
+        assert_eq!(target.check(64, 5.0, 0.9), Some(StopReason::MaxTrials));
+        // CI satisfied exactly at the ceiling counts as converged.
+        assert_eq!(target.check(64, 5.0, 0.4), Some(StopReason::CiReached));
+
+        let relative = Precision::TargetCi {
+            half_width: 0.1,
+            relative: true,
+            min_trials: 2,
+            max_trials: 1000,
+        };
+        assert_eq!(relative.check(50, 20.0, 1.9), Some(StopReason::CiReached));
+        assert_eq!(relative.check(50, 20.0, 2.1), None);
+
+        assert_eq!(StopReason::CiReached.as_str(), "ci-reached");
+        assert_eq!(StopReason::FixedBudget.as_str(), "fixed-budget");
+        assert_eq!(StopReason::MaxTrials.as_str(), "max-trials");
+    }
+
+    /// Push `values[..split]` into one accumulator, snapshot/restore it,
+    /// push the rest into the restored copy, and compare against pushing
+    /// everything into a fresh accumulator — all state bitwise equal.
+    fn snapshot_roundtrip_case(values: &[f64], split: usize, cap: usize) {
+        let mut first = OutcomeAccumulator::with_exact_cap(cap);
+        for &v in &values[..split] {
+            first.push_makespan(v, true, 1);
+        }
+        let snapshot = first.to_json();
+        let mut restored = OutcomeAccumulator::from_json(&snapshot).unwrap();
+        let mut whole = OutcomeAccumulator::with_exact_cap(cap);
+        for &v in values {
+            whole.push_makespan(v, true, 1);
+        }
+        for &v in &values[split..] {
+            restored.push_makespan(v, true, 1);
+        }
+        assert_eq!(
+            restored.to_json().to_compact(),
+            whole.to_json().to_compact(),
+            "split {split} cap {cap}"
+        );
+        let (r, w) = (restored.summary().unwrap(), whole.summary().unwrap());
+        assert_eq!(r.mean.to_bits(), w.mean.to_bits());
+        assert_eq!(r.median.to_bits(), w.median.to_bits());
+        assert_eq!(r.p95.to_bits(), w.p95.to_bits());
+    }
+
+    #[test]
+    fn accumulator_snapshot_roundtrips_bitwise() {
+        let values: Vec<f64> = (0..40).map(|i| ((i * 37 + 11) % 23) as f64).collect();
+        // Exact regime, sketch regime, and a cap crossing that happens
+        // *after* the snapshot.
+        snapshot_roundtrip_case(&values, 10, usize::MAX);
+        snapshot_roundtrip_case(&values, 10, 8); // snapshot after crossing
+        snapshot_roundtrip_case(&values, 5, 8); // crossing after restore
+        snapshot_roundtrip_case(&values, 0, 16);
+        snapshot_roundtrip_case(&values, 40, 16);
+    }
+
+    #[test]
+    fn accumulator_merge_matches_direct_pushes() {
+        let values: Vec<f64> = (0..30).map(|i| ((i * 17 + 3) % 19) as f64).collect();
+        let mut left = OutcomeAccumulator::with_exact_cap(12);
+        let mut right = OutcomeAccumulator::with_exact_cap(usize::MAX);
+        let mut whole = OutcomeAccumulator::with_exact_cap(12);
+        for (i, &v) in values.iter().enumerate() {
+            let completed = i % 3 != 0;
+            whole.push_makespan(v, completed, i as u64);
+            if i < 9 {
+                left.push_makespan(v, completed, i as u64);
+            } else {
+                right.push_makespan(v, completed, i as u64);
+            }
+        }
+        left.merge(&right).unwrap();
+        assert_eq!(left.to_json().to_compact(), whole.to_json().to_compact());
+        assert_eq!(left.completion_rate(), whole.completion_rate());
+        assert_eq!(left.total_ineligible(), whole.total_ineligible());
+
+        // A sketch-collapsed right-hand side cannot merge faithfully.
+        let mut collapsed = OutcomeAccumulator::with_exact_cap(4);
+        for &v in &values[..10] {
+            collapsed.push_makespan(v, true, 0);
+        }
+        assert!(!collapsed.exact_quantiles());
+        assert!(OutcomeAccumulator::new().merge(&collapsed).is_err());
+    }
+
+    #[test]
+    fn snapshot_rejects_garbage() {
+        assert!(OutcomeAccumulator::from_json(&Json::obj()).is_err());
+        assert!(OutcomeAccumulator::from_json(&Json::obj().field("schema", "nope")).is_err());
+        let mut acc = OutcomeAccumulator::new();
+        acc.push_makespan(3.0, true, 0);
+        let good = acc.to_json();
+        assert!(OutcomeAccumulator::from_json(&good).is_ok());
+        let truncated = good.field("exact", Json::Arr(vec![]));
+        assert!(OutcomeAccumulator::from_json(&truncated).is_err());
     }
 }

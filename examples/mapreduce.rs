@@ -10,7 +10,7 @@
 //! phase, via its job-subset mode) into the standard registry — the
 //! extension point any new schedule uses — and races it against the
 //! naive baselines on a data-local MapReduce scenario. Prints the shared
-//! `suu-results/v1` JSON document.
+//! `suu-results/v2` JSON document.
 
 use std::sync::Arc;
 use suu::algos::SemPolicy;

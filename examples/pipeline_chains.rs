@@ -8,7 +8,7 @@
 //! on a small unreliable cluster. Shows the full `SUU-C` machinery — LP2
 //! rounding, random delays, superstep flattening, long-job segments — and
 //! the effect of disabling the Theorem-7 random delays, all as registry
-//! parameter specs. Prints the shared `suu-results/v1` JSON document.
+//! parameter specs. Prints the shared `suu-results/v2` JSON document.
 
 use suu::bench::runner::{run_race, Race};
 use suu::bench::scenario::Scenario;

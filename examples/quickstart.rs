@@ -6,7 +6,7 @@
 //!
 //! Builds a random independent-jobs SUU instance, races the paper's two
 //! independent-jobs algorithms against a naive baseline through the
-//! policy registry, and prints the shared `suu-results/v1` JSON document.
+//! policy registry, and prints the shared `suu-results/v2` JSON document.
 
 use suu::bench::runner::{run_race, Race};
 use suu::bench::scenario::Scenario;

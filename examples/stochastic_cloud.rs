@@ -8,7 +8,7 @@
 //! (`R|pmtn, p_j~stoch|E[Cmax]`). Runs the paper's `STC-I` and reports the
 //! measured competitive ratio against the clairvoyant Lawler–Labetoulle
 //! bound — the offline optimum that knows every realized length. Emits
-//! the shared `suu-results/v1` JSON document (the stochastic framework is
+//! the shared `suu-results/v2` JSON document (the stochastic framework is
 //! not a `Policy`, so the document is assembled directly).
 
 use rand::rngs::{SmallRng, StdRng};

@@ -8,7 +8,7 @@
 //! flaky. Every registry policy races on the same fleet; a downscaled
 //! copy of the fleet additionally runs `exact-opt` (the MDP optimum as an
 //! executable policy) to show absolute approximation quality. Prints the
-//! shared `suu-results/v1` JSON document.
+//! shared `suu-results/v2` JSON document.
 
 use suu::bench::runner::{run_race, Race};
 use suu::bench::scenario::Scenario;

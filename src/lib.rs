@@ -57,7 +57,7 @@
 //! | [`sim`] | `suu-sim` | execution engine (SUU & SUU* semantics), the policy registry ([`sim::PolicyRegistry`]), the parallel seed-deterministic [`sim::Evaluator`] |
 //! | [`algos`] | `suu-algos` | `SUU-I-OBL`, `SUU-I-SEM`, `SUU-C`, `SUU-T`, baselines, exact OPT, bounds, and [`algos::standard_registry`] |
 //! | [`stoch`] | `suu-stoch` | Appendix C: Lawler–Labetoulle, `STC-I` |
-//! | [`bench`] | `suu-bench` | scenario suite, `suu-results/v1` JSON schema, race runner, experiment binaries |
+//! | [`bench`] | `suu-bench` | scenario suite, `suu-results/v2` JSON schema, race runner, experiment binaries |
 //!
 //! The evaluation pipeline is layered: a
 //! [`sim::PolicySpec`] names a schedule; the registry builds it (with

@@ -9,7 +9,7 @@
 //!
 //! must produce **bitwise-identical** `ExecOutcome`s from the same
 //! master seed — makespans, machine-step counters and per-job completion
-//! times. Since every `suu-results/v1` statistic is a pure function of
+//! times. Since every `suu-results/v2` statistic is a pure function of
 //! the outcome vector, this also proves the recorded JSON results are
 //! engine-independent.
 //!
