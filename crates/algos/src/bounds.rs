@@ -129,4 +129,106 @@ mod tests {
         let large = workload::homogeneous(1, 8, 0.5, Precedence::Independent);
         assert!(lp1_half_bound(&large).unwrap() > 2.0 * lp1_half_bound(&small).unwrap());
     }
+
+    /// The full sandwich on tiny chain instances:
+    /// `dilation ≤ lower_bound ≤ E[T_OPT]`. The left inequality is the
+    /// composition contract (the dilation bound participates in the max);
+    /// the right is the point of a lower bound — checked against the
+    /// exact MDP optimum, which no component may exceed individually
+    /// either.
+    #[test]
+    fn dilation_le_lower_bound_le_exact_opt() {
+        for seed in 0..8u64 {
+            let mut rng = SmallRng::seed_from_u64(500 + seed);
+            let n = 3 + (seed % 3) as usize;
+            let cs = generators::random_chain_set(n, 1 + (seed as usize % 3).min(n - 1), &mut rng);
+            let inst =
+                workload::uniform_unrelated(2, n, 0.25, 0.9, Precedence::Chains(cs), &mut rng);
+            let dilation = dilation_bound(&inst);
+            let lb = lower_bound(&inst).unwrap();
+            let opt = exact_opt(&inst, OptLimits::default()).unwrap();
+            assert!(
+                dilation <= lb + 1e-9,
+                "seed {seed}: dilation {dilation} > LB {lb}"
+            );
+            assert!(lb <= opt + 1e-6, "seed {seed}: LB {lb} > OPT {opt}");
+            // Every component respects OPT on its own.
+            assert!(lp1_half_bound(&inst).unwrap() <= opt + 1e-6, "seed {seed}");
+            assert!(gang_rate_bound(&inst) <= opt + 1e-6, "seed {seed}");
+            if let Precedence::Chains(cs) = inst.precedence() {
+                assert!(
+                    lp2_half_bound(&inst, cs.chains()).unwrap() <= opt + 1e-6,
+                    "seed {seed}"
+                );
+            }
+        }
+    }
+
+    /// On singleton chains (every chain one job) the chain LP collapses
+    /// to the independent-jobs LP — same variables, the span constraints
+    /// degenerate to the per-job length constraints — so the two bounds
+    /// must agree; on real chains the extra span constraints can only
+    /// push the chain bound *up*.
+    #[test]
+    fn lp1_and_lp2_agree_on_chain_instances() {
+        for seed in 0..6u64 {
+            let mut rng = SmallRng::seed_from_u64(2_000 + seed);
+            let n = 3 + (seed % 3) as usize;
+            // Singleton chains: exact agreement.
+            let singles: Vec<Vec<u32>> = (0..n as u32).map(|j| vec![j]).collect();
+            let cs = ChainSet::new(n, singles.clone()).unwrap();
+            let inst =
+                workload::uniform_unrelated(2, n, 0.3, 0.9, Precedence::Chains(cs), &mut rng);
+            let lp1 = lp1_half_bound(&inst).unwrap();
+            let lp2 = lp2_half_bound(&inst, &singles).unwrap();
+            assert!(
+                (lp1 - lp2).abs() <= 1e-6 * lp1.max(1.0),
+                "seed {seed}: singleton-chain LP2 {lp2} != LP1 {lp1}"
+            );
+            // One long chain: LP2 sees the span, LP1 does not.
+            let chain: Vec<Vec<u32>> = vec![(0..n as u32).collect()];
+            let cs = ChainSet::new(n, chain.clone()).unwrap();
+            let inst =
+                workload::uniform_unrelated(2, n, 0.3, 0.9, Precedence::Chains(cs), &mut rng);
+            let lp1 = lp1_half_bound(&inst).unwrap();
+            let lp2 = lp2_half_bound(&inst, &chain).unwrap();
+            assert!(
+                lp2 >= lp1 - 1e-6 * lp1.max(1.0),
+                "seed {seed}: chain LP2 {lp2} below LP1 {lp1}"
+            );
+        }
+    }
+
+    /// Adding a job can never *loosen* the bound: every component is
+    /// monotone (LP1 gains demand on the same machines, dilation and the
+    /// gang rate are maxima over a superset).
+    #[test]
+    fn lower_bound_monotone_under_adding_a_job() {
+        for seed in 0..8u64 {
+            let mut rng = SmallRng::seed_from_u64(3_000 + seed);
+            let (m, n) = (2 + (seed % 2) as usize, 3 + (seed % 3) as usize);
+            let small =
+                workload::uniform_unrelated(m, n, 0.2, 0.9, Precedence::Independent, &mut rng);
+            // Same q matrix plus one appended column (row-major by
+            // machine: insert the new job's q at the end of each row).
+            let mut q = Vec::with_capacity(m * (n + 1));
+            for i in 0..m as u32 {
+                for j in 0..n as u32 {
+                    q.push(small.q(suu_core::MachineId(i), JobId(j)));
+                }
+                q.push(0.5);
+            }
+            let big = SuuInstance::new(m, n + 1, q, Precedence::Independent).unwrap();
+            let lb_small = lower_bound(&small).unwrap();
+            let lb_big = lower_bound(&big).unwrap();
+            assert!(
+                lb_big >= lb_small - 1e-9,
+                "seed {seed}: LB dropped from {lb_small} to {lb_big} after adding a job"
+            );
+            assert!(
+                lp1_half_bound(&big).unwrap() >= lp1_half_bound(&small).unwrap() - 1e-9,
+                "seed {seed}: LP1 component not monotone"
+            );
+        }
+    }
 }

@@ -12,7 +12,11 @@
 //!   adaptive-precision fields (`trials_used` ≥ 1, a known
 //!   `stop_reason`, numeric `mean_makespan`/`ci95`); `skipped`/`error`
 //!   cells are exempt. Paired entries need both policy names and either
-//!   an `error` or the delta statistics.
+//!   an `error` or the delta statistics. **Daemon-produced** documents
+//!   (`generated_by: "suud"`) are held to the serving contract on top:
+//!   every run cell must carry a well-formed `cell_key` (16 lowercase
+//!   hex — the content address of its cached evaluation) and no cell
+//!   may record `wall_clock_s` (bodies must replay byte-identically).
 //! * `suu-bench/engine-events/v1` / `suu-bench/engine-batch/v1` — fails
 //!   on any `outcomes_identical: false`; **tolerates but counts**
 //!   `"speedup": null` cells (sub-millisecond wall clocks; each must
@@ -42,20 +46,40 @@ fn require_arr<'a>(obj: &'a Json, key: &str, ctx: &str) -> &'a [Json] {
 const STOP_REASONS: [&str; 3] = ["fixed-budget", "ci-reached", "max-trials"];
 
 fn validate_results_v2(doc: &Json, path: &str) {
-    require_str(doc, "generated_by", path);
+    let generated_by = require_str(doc, "generated_by", path);
+    // The daemon's serving contract: content-addressed cells, no wall
+    // clocks (replay determinism).
+    let daemon = generated_by == "suud";
     require_arr(doc, "scenarios", path);
     require_arr(doc, "policies", path);
     let cells = require_arr(doc, "cells", path);
     let paired = require_arr(doc, "paired", path);
 
-    let (mut run, mut unrun) = (0usize, 0usize);
+    let (mut run, mut unrun, mut addressed) = (0usize, 0usize, 0usize);
     for (i, cell) in cells.iter().enumerate() {
         let ctx = format!("{path}: cells[{i}]");
         require_str(cell, "scenario", &ctx);
         require_str(cell, "policy", &ctx);
+        if let Some(key) = cell.get("cell_key") {
+            let key = key
+                .as_str()
+                .unwrap_or_else(|| fail(format!("{ctx}: 'cell_key' must be a string")));
+            if !suu_core::is_fnv1a_hex(key) {
+                fail(format!("{ctx}: malformed cell_key {key:?}"));
+            }
+            addressed += 1;
+        }
+        if daemon && cell.get("wall_clock_s").is_some() {
+            fail(format!(
+                "{ctx}: daemon cell records wall_clock_s (breaks replay determinism)"
+            ));
+        }
         if cell.get("skipped").is_some() || cell.get("error").is_some() {
             unrun += 1;
             continue;
+        }
+        if daemon && cell.get("cell_key").is_none() {
+            fail(format!("{ctx}: daemon run cell without a cell_key"));
         }
         run += 1;
         let used = cell
@@ -97,7 +121,9 @@ fn validate_results_v2(doc: &Json, path: &str) {
         }
     }
     println!(
-        "OK {path}: suu-results/v2, {} cells ({run} run, {unrun} skipped/error), {} paired",
+        "OK {path}: suu-results/v2{}, {} cells ({run} run, {unrun} skipped/error, \
+         {addressed} content-addressed), {} paired",
+        if daemon { " (daemon)" } else { "" },
         cells.len(),
         paired.len()
     );

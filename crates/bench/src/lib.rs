@@ -28,7 +28,11 @@
 //!   path (registry build → capability gate → parallel
 //!   [`suu_sim::Evaluator`] → table + JSON);
 //! * [`report`] — the shared `suu-results/v2` JSON schema every binary
-//!   and example emits.
+//!   and example emits;
+//! * [`request`] — the wire form of a race (scenarios by family +
+//!   normalized constructor parameters): the `suu-serve` daemon's
+//!   request schema, kept here so the daemon is a *library consumer* of
+//!   the same scenario/runner/report stack the experiment binaries use.
 //!
 //! Micro-benches (`cargo bench`, via the offline [`harness`]) cover the
 //! substrate costs: simplex, max-flow, rounding, engine throughput,
@@ -37,6 +41,7 @@
 
 pub mod harness;
 pub mod report;
+pub mod request;
 pub mod runner;
 pub mod scenario;
 

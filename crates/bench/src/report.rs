@@ -40,6 +40,14 @@
 //! trial seeds: mean, Student-t CI, and whether zero lies outside it).
 //! `wall_clock_s` fields can be omitted (`record_wall_clocks(false)`) to
 //! make documents byte-identical across reruns of the same master seed.
+//! When a scenario's lower bound was requested but failed, its run cells
+//! carry `lower_bound_error` (the error string) in place of
+//! `lower_bound`/`ratio_to_lb`. Cells produced by the `suu-serve` daemon
+//! additionally carry `cell_key` (the content address of the cached
+//! evaluation); cache status (`hit` | `miss` | `extended`) deliberately
+//! lives in the daemon's response *headers*, not the body, so the body
+//! stays a pure function of the cache state and identical requests
+//! replay byte-identically.
 //!
 //! Cells are fed from streaming [`EvalStats`] (the evaluator never
 //! buffers per-trial outcomes for reporting): `quantile_mode` is

@@ -12,7 +12,11 @@
 //! lower bounds, paired policy comparisons on common random numbers, the
 //! human-readable table, and the shared JSON results document
 //! (`suu-results/v2`). The table1/figure binaries are now a `Race`
-//! literal plus a `main`.
+//! literal plus a `main`, and the `suu-serve` daemon consumes the same
+//! stack as a library — [`scenario_master_seed`], the scenario recipes
+//! and [`ResultsBuilder`] are shared between the offline runner and the
+//! served cache path, so a daemon cell and a runner cell with the same
+//! identity are the same numbers.
 
 use crate::report::ResultsBuilder;
 use crate::scenario::Scenario;
@@ -107,18 +111,6 @@ pub enum CellOutcome {
     Failed(String),
 }
 
-/// FNV-1a over arbitrary bytes — cheap, stable across runs and
-/// platforms, and dependency-free. Used to hash scenario identities into
-/// the per-cell seed derivation.
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut hash = 0xCBF2_9CE4_8422_2325u64;
-    for &b in bytes {
-        hash ^= b as u64;
-        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    hash
-}
-
 /// The per-scenario evaluation master seed.
 ///
 /// Mixes the scenario's **identity** (an FNV-1a hash of its id) into the
@@ -131,7 +123,7 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 /// the same scenario — that sharing is load-bearing: it is what makes
 /// paired CRN comparisons (and cross-policy variance reduction) work.
 pub fn scenario_master_seed(race_master: u64, sc: &Scenario) -> u64 {
-    let identity = fnv1a(sc.id.as_bytes());
+    let identity = suu_core::fnv1a(sc.id.as_bytes());
     suu_sim::derive_seed(
         suu_sim::derive_seed(race_master, identity, 0xC312),
         sc.seed,
@@ -207,18 +199,21 @@ pub fn run_race_with(race: Race, registry: &PolicyRegistry) -> Json {
     for sc in &race.scenarios {
         builder.add_scenario(sc);
         let inst = sc.instantiate();
-        let lb = if race.ratios_to_lower_bound {
-            lower_bound(&inst).ok()
-        } else {
-            None
-        };
+        // A failed bound is *surfaced*, not swallowed: the row and every
+        // cell of the scenario say what went wrong (an earlier spelling
+        // used `.ok()` here, so LP failures printed the same `—` as
+        // "bounds not requested" and vanished from the document).
+        let lb_result = race
+            .ratios_to_lower_bound
+            .then(|| lower_bound(&inst).map_err(|e| e.to_string()));
+        let lb = lb_result.as_ref().and_then(|r| r.as_ref().ok()).copied();
+        let lb_error = lb_result.as_ref().and_then(|r| r.as_ref().err()).cloned();
 
         let mut row = format!("{:<24} {:>6} {:>6}", truncate(&sc.id, 24), sc.m, sc.n);
-        if race.ratios_to_lower_bound {
-            match lb {
-                Some(lb) => row.push_str(&format!(" {:>8.2}", lb)),
-                None => row.push_str(&format!(" {:>8}", "—")),
-            }
+        match &lb_result {
+            Some(Ok(lb)) => row.push_str(&format!(" {:>8.2}", lb)),
+            Some(Err(e)) => row.push_str(&format!(" {:>8}", truncate(&format!("LB! {e}"), 8))),
+            None => {}
         }
 
         let evaluator = Evaluator::new(EvalConfig {
@@ -244,6 +239,7 @@ pub fn run_race_with(race: Race, registry: &PolicyRegistry) -> Json {
                 spec,
                 precision,
                 lb,
+                lb_error.as_deref(),
                 &mut builder,
             );
             match &outcome {
@@ -256,6 +252,9 @@ pub fn run_race_with(race: Race, registry: &PolicyRegistry) -> Json {
             }
         }
         println!("{row}");
+        if let Some(e) = &lb_error {
+            println!("    lower-bound error: {e}");
+        }
 
         for (spec_a, spec_b) in &paired_specs {
             run_paired_cell(
@@ -294,6 +293,7 @@ fn evaluate_cell(
     spec: &PolicySpec,
     precision: Precision,
     lb: Option<f64>,
+    lb_error: Option<&str>,
     builder: &mut ResultsBuilder,
 ) -> CellOutcome {
     match evaluator.run_adaptive_spec(registry, inst, spec, precision) {
@@ -311,6 +311,9 @@ fn evaluate_cell(
             }
             if let Some(r) = ratio {
                 extra.push(("ratio_to_lb", Json::Num(r)));
+            }
+            if let Some(e) = lb_error {
+                extra.push(("lower_bound_error", Json::Str(e.to_string())));
             }
             builder.add_cell(&sc.id, &spec.to_string(), &stats, &extra);
             CellOutcome::Ran {
@@ -520,6 +523,46 @@ mod tests {
             ..Race::default()
         });
         assert_eq!(doc.to_pretty(), rerun.to_pretty());
+    }
+
+    #[test]
+    fn lower_bound_errors_surface_in_the_document() {
+        // Regression for the `.ok()` spelling that swallowed bound
+        // failures: a cell evaluated while the scenario's lower bound
+        // errored must carry the error string, distinguishable from
+        // "bounds not requested".
+        let registry = suu_algos::standard_registry();
+        let sc = Scenario::uniform(2, 4, 0.3, 0.9, 3);
+        let inst = sc.instantiate();
+        let evaluator = Evaluator::new(EvalConfig {
+            trials: 4,
+            master_seed: 1,
+            threads: 1,
+            ..EvalConfig::default()
+        });
+        let mut builder = ResultsBuilder::new("runner-lb-error-test");
+        builder.add_scenario(&sc);
+        let spec = PolicySpec::parse("gang-sequential").unwrap();
+        let outcome = evaluate_cell(
+            &registry,
+            &evaluator,
+            &sc,
+            &inst,
+            &spec,
+            Precision::FixedTrials(4),
+            None,
+            Some("synthetic LP failure"),
+            &mut builder,
+        );
+        assert!(matches!(outcome, CellOutcome::Ran { .. }));
+        let doc = builder.finish();
+        let cell = &doc.get("cells").unwrap().as_array().unwrap()[0];
+        assert_eq!(
+            cell.get("lower_bound_error").unwrap().as_str(),
+            Some("synthetic LP failure")
+        );
+        assert!(cell.get("lower_bound").is_none());
+        assert!(cell.get("ratio_to_lb").is_none());
     }
 
     #[test]

@@ -1,0 +1,78 @@
+//! Stable, dependency-free content hashing.
+//!
+//! One hash is used everywhere the workspace needs a *portable* digest —
+//! per-cell seed derivation in `suu-bench`, content-addressed cache keys
+//! in `suu-serve`: 64-bit FNV-1a. It is not cryptographic; it is chosen
+//! because it is tiny, byte-order independent, and its output for a given
+//! byte string never changes across platforms, Rust versions or runs
+//! (unlike `std::hash`, which is randomized and explicitly unstable).
+
+/// 64-bit FNV-1a over arbitrary bytes.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// [`fnv1a`] rendered as the fixed-width lowercase hex form used for
+/// content-addressed file names and URL path segments (always 16 chars).
+pub fn fnv1a_hex(bytes: &[u8]) -> String {
+    format!("{:016x}", fnv1a(bytes))
+}
+
+/// `true` iff `s` has the shape [`fnv1a_hex`] produces (16 lowercase hex
+/// chars) — the one definition of "plausible content address" shared by
+/// the serve daemon's cache and the `validate_results` CI gate, so the
+/// two can never drift apart.
+pub fn is_fnv1a_hex(s: &str) -> bool {
+    s.len() == 16
+        && s.chars()
+            .all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xAF63_DC4C_8601_EC8C);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171F73967E8);
+    }
+
+    #[test]
+    fn hex_form_is_fixed_width() {
+        let hex = fnv1a_hex(b"");
+        assert_eq!(hex.len(), 16);
+        assert_eq!(hex, "cbf29ce484222325");
+        assert!(fnv1a_hex(b"x").chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn hex_predicate_matches_what_fnv1a_hex_produces() {
+        for input in [&b""[..], b"a", b"foobar", b"\x00\xff"] {
+            assert!(is_fnv1a_hex(&fnv1a_hex(input)));
+        }
+        for bad in [
+            "",
+            "cbf29ce48422232",   // 15 chars
+            "cbf29ce4842223255", // 17 chars
+            "CBF29CE484222325",  // uppercase
+            "cbf29ce48422232x",  // non-hex
+            "../../etc/passwd",  // path traversal shapes must not match
+        ] {
+            assert!(!is_fnv1a_hex(bad), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn sensitive_to_every_byte() {
+        assert_ne!(fnv1a(b"ab"), fnv1a(b"ba"));
+        assert_ne!(fnv1a(b"a"), fnv1a(b"a\0"));
+    }
+}

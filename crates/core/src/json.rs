@@ -9,7 +9,14 @@
 //! kept exact up to `u64::MAX`) and `f64`s.
 //!
 //! Writing is deterministic: object keys keep insertion order, floats use
-//! Rust's shortest round-trip formatting. Parsing is strict JSON.
+//! Rust's shortest round-trip formatting. [`Json::to_canonical`] is the
+//! content-addressing form: compact, with object keys sorted bytewise at
+//! every level, so two values that differ only in key order (or
+//! whitespace, once parsed) hash identically. Parsing is strict JSON:
+//! nesting depth is bounded, the number grammar follows RFC 8259 (no
+//! leading zeros, no bare `5.`/`1e`), numbers that overflow `f64` are
+//! errors rather than infinities, and `\u` surrogate pairs combine (lone
+//! surrogates are rejected).
 
 use std::fmt;
 
@@ -118,6 +125,49 @@ impl Json {
         self.write(&mut out, Some(2), 0);
         out.push('\n');
         out
+    }
+
+    /// Canonical serialization for content addressing: compact, with
+    /// object keys sorted **bytewise** at every nesting level (arrays
+    /// keep their order — it is meaningful). Values that differ only in
+    /// object key order produce identical canonical bytes, so hashing
+    /// this form (e.g. with [`crate::fnv1a`]) yields a stable content
+    /// address. Duplicate keys (possible in parsed input) are kept in
+    /// first-occurrence order among themselves.
+    pub fn to_canonical(&self) -> String {
+        let mut out = String::new();
+        self.write_canonical(&mut out);
+        out
+    }
+
+    fn write_canonical(&self, out: &mut String) {
+        match self {
+            Json::Obj(fields) => {
+                let mut order: Vec<usize> = (0..fields.len()).collect();
+                order.sort_by(|&a, &b| fields[a].0.as_bytes().cmp(fields[b].0.as_bytes()));
+                out.push('{');
+                for (pos, &i) in order.iter().enumerate() {
+                    if pos > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, &fields[i].0);
+                    out.push(':');
+                    fields[i].1.write_canonical(out);
+                }
+                out.push('}');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_canonical(out);
+                }
+                out.push(']');
+            }
+            other => other.write(out, None, 0),
+        }
     }
 
     fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
@@ -275,11 +325,18 @@ impl fmt::Display for JsonError {
 
 impl std::error::Error for JsonError {}
 
+/// Maximum container nesting depth [`parse`] accepts. The recursive
+/// descent otherwise turns adversarially deep inputs (`[[[[…`) into a
+/// stack-overflow abort instead of an `Err` — found by the round-trip
+/// fuzz in `proptests.rs`.
+pub const MAX_PARSE_DEPTH: usize = 128;
+
 /// Parse a strict-JSON document (one value, trailing whitespace allowed).
 pub fn parse(input: &str) -> Result<Json, JsonError> {
     let mut p = Parser {
         bytes: input.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let value = p.value()?;
@@ -293,6 +350,7 @@ pub fn parse(input: &str) -> Result<Json, JsonError> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -345,12 +403,22 @@ impl<'a> Parser<'a> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), JsonError> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            return Err(self.err(format!("nesting deeper than {MAX_PARSE_DEPTH}")));
+        }
+        Ok(())
+    }
+
     fn array(&mut self) -> Result<Json, JsonError> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -361,6 +429,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(self.err("expected ',' or ']'")),
@@ -370,10 +439,12 @@ impl<'a> Parser<'a> {
 
     fn object(&mut self) -> Result<Json, JsonError> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(fields));
         }
         loop {
@@ -388,6 +459,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(fields));
                 }
                 _ => return Err(self.err("expected ',' or '}'")),
@@ -417,17 +489,37 @@ impl<'a> Parser<'a> {
                         Some(b'r') => out.push('\r'),
                         Some(b't') => out.push('\t'),
                         Some(b'u') => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos + 1..self.pos + 5)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .ok_or_else(|| self.err("bad \\u escape"))?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| self.err("bad \\u escape"))?;
-                            // Surrogate pairs are not needed by the schema;
-                            // map lone surrogates to the replacement char.
-                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                            self.pos += 4;
+                            let code = self.hex_escape()?;
+                            match code {
+                                // High surrogate: a low surrogate escape
+                                // must follow; the pair combines into one
+                                // supplementary-plane scalar.
+                                0xD800..=0xDBFF => {
+                                    if self.bytes.get(self.pos + 1) != Some(&b'\\')
+                                        || self.bytes.get(self.pos + 2) != Some(&b'u')
+                                    {
+                                        return Err(self.err("unpaired high surrogate"));
+                                    }
+                                    self.pos += 2;
+                                    let low = self.hex_escape()?;
+                                    if !(0xDC00..=0xDFFF).contains(&low) {
+                                        return Err(self.err("invalid low surrogate"));
+                                    }
+                                    let combined =
+                                        0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                    out.push(
+                                        char::from_u32(combined)
+                                            .expect("surrogate pair maps to a valid scalar"),
+                                    );
+                                }
+                                0xDC00..=0xDFFF => {
+                                    return Err(self.err("unpaired low surrogate"));
+                                }
+                                _ => out.push(
+                                    char::from_u32(code)
+                                        .expect("non-surrogate BMP code point is a valid scalar"),
+                                ),
+                            }
                         }
                         _ => return Err(self.err("bad escape")),
                     }
@@ -447,20 +539,46 @@ impl<'a> Parser<'a> {
         }
     }
 
+    /// Read the 4 hex digits of a `\uXXXX` escape. On entry `pos` is at
+    /// the `u`; on exit it is at the last hex digit (the caller's shared
+    /// `pos += 1` then steps past it).
+    fn hex_escape(&mut self) -> Result<u32, JsonError> {
+        let hex = self
+            .bytes
+            .get(self.pos + 1..self.pos + 5)
+            .filter(|h| h.iter().all(u8::is_ascii_hexdigit))
+            .and_then(|h| std::str::from_utf8(h).ok())
+            .ok_or_else(|| self.err("bad \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    /// RFC 8259 number grammar: `-?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?`.
+    /// Leading zeros, a bare sign, `5.` and `1e` are rejected; so are
+    /// finite-looking numbers whose `f64` value overflows to infinity
+    /// (JSON has no `Inf`, and silently round-tripping to `null` would
+    /// corrupt content-addressed documents).
     fn number(&mut self) -> Result<Json, JsonError> {
         let start = self.pos;
         if self.peek() == Some(b'-') {
             self.pos += 1;
         }
-        while matches!(self.peek(), Some(b'0'..=b'9')) {
-            self.pos += 1;
+        let int_digits = self.digit_run();
+        match int_digits {
+            0 => return Err(self.err("expected digit")),
+            1 => {}
+            _ if self.bytes[self.pos - int_digits] == b'0' => {
+                return Err(self.err("leading zero in number"))
+            }
+            _ => {}
         }
         let mut integral = true;
         if self.peek() == Some(b'.') {
             integral = false;
             self.pos += 1;
-            while matches!(self.peek(), Some(b'0'..=b'9')) {
-                self.pos += 1;
+            if self.digit_run() == 0 {
+                return Err(self.err("expected digit after decimal point"));
             }
         }
         if matches!(self.peek(), Some(b'e' | b'E')) {
@@ -469,8 +587,8 @@ impl<'a> Parser<'a> {
             if matches!(self.peek(), Some(b'+' | b'-')) {
                 self.pos += 1;
             }
-            while matches!(self.peek(), Some(b'0'..=b'9')) {
-                self.pos += 1;
+            if self.digit_run() == 0 {
+                return Err(self.err("expected digit in exponent"));
             }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
@@ -479,9 +597,21 @@ impl<'a> Parser<'a> {
                 return Ok(Json::UInt(v));
             }
         }
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| self.err(format!("bad number {text:?}")))
+        let value: f64 = text
+            .parse()
+            .map_err(|_| self.err(format!("bad number {text:?}")))?;
+        if !value.is_finite() {
+            return Err(self.err(format!("number {text:?} overflows f64")));
+        }
+        Ok(Json::Num(value))
+    }
+
+    fn digit_run(&mut self) -> usize {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        self.pos - start
     }
 }
 
@@ -564,5 +694,106 @@ mod tests {
         let text = doc.to_compact();
         assert_eq!(parse(&text).unwrap(), doc);
         assert_eq!(parse(r#""A""#).unwrap(), Json::Str("A".to_string()));
+    }
+
+    #[test]
+    fn surrogate_pairs_combine_and_lone_surrogates_error() {
+        // Escaped surrogate pairs combine into one supplementary scalar.
+        assert_eq!(
+            parse(r#""\ud83d\ude00""#).unwrap(),
+            Json::Str("😀".to_string())
+        );
+        assert_eq!(
+            parse(r#""\ud834\udd1e""#).unwrap(),
+            Json::Str("\u{1D11E}".to_string())
+        );
+        // Raw (unescaped) astral characters also pass through.
+        assert_eq!(parse("\"😀\"").unwrap(), Json::Str("😀".to_string()));
+        for bad in [
+            r#""\ud83d""#,       // high with nothing after
+            r#""\ud83dx""#,      // high followed by a plain char
+            r#""\ud83d\n""#,     // high followed by a non-\u escape
+            r#""\ud83d\ud83d""#, // high followed by another high
+            r#""\ude00""#,       // lone low
+            r#""\u12""#,         // truncated hex
+            r#""\uzzzz""#,       // non-hex
+        ] {
+            assert!(parse(bad).is_err(), "accepted {bad}");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        let mut evil = String::new();
+        for _ in 0..100_000 {
+            evil.push('[');
+        }
+        let err = parse(&evil).unwrap_err();
+        assert!(err.message.contains("nesting"), "{err}");
+        // Same guard on objects.
+        let mut evil = String::new();
+        for _ in 0..100_000 {
+            evil.push_str("{\"k\":");
+        }
+        assert!(parse(&evil).is_err());
+        // Depth *within* the limit stays accepted — including after a
+        // deep subtree closed (depth is released on the way out).
+        let depth = MAX_PARSE_DEPTH - 1;
+        let fine = format!("{}1{}", "[".repeat(depth), "]".repeat(depth));
+        assert!(parse(&fine).is_ok());
+        let two_arms = format!(
+            "[{}1{},{}2{}]",
+            "[".repeat(depth - 1),
+            "]".repeat(depth - 1),
+            "[".repeat(depth - 1),
+            "]".repeat(depth - 1)
+        );
+        assert!(parse(&two_arms).is_ok());
+    }
+
+    #[test]
+    fn strict_number_grammar() {
+        for bad in [
+            "-", "5.", ".5", "1e", "1e+", "01", "-01", "00", "1.2e", "+1", "1e309", "-1e309",
+        ] {
+            assert!(parse(bad).is_err(), "accepted {bad}");
+        }
+        for (text, value) in [
+            ("0", Json::UInt(0)),
+            ("-0", Json::Num(-0.0)),
+            ("0.5", Json::Num(0.5)),
+            ("10", Json::UInt(10)),
+            ("1e2", Json::Num(100.0)),
+            ("1E-2", Json::Num(0.01)),
+            ("-3.25e2", Json::Num(-325.0)),
+        ] {
+            assert_eq!(parse(text).unwrap(), value, "{text}");
+        }
+    }
+
+    #[test]
+    fn canonical_sorts_keys_at_every_level() {
+        let a = Json::obj()
+            .field("zeta", 1u64)
+            .field("alpha", Json::obj().field("b", 2u64).field("a", 3u64))
+            .field("mid", vec![Json::obj().field("y", 4u64).field("x", 5u64)]);
+        let b = Json::obj()
+            .field("mid", vec![Json::obj().field("x", 5u64).field("y", 4u64)])
+            .field("alpha", Json::obj().field("a", 3u64).field("b", 2u64))
+            .field("zeta", 1u64);
+        assert_eq!(a.to_canonical(), b.to_canonical());
+        assert_eq!(
+            a.to_canonical(),
+            r#"{"alpha":{"a":3,"b":2},"mid":[{"x":5,"y":4}],"zeta":1}"#
+        );
+        // Canonical text is itself valid JSON that parses to the sorted
+        // tree (and re-canonicalizes to the same bytes).
+        let reparsed = parse(&a.to_canonical()).unwrap();
+        assert_eq!(reparsed.to_canonical(), a.to_canonical());
+        // Arrays keep their order — they are sequences, not sets.
+        assert_ne!(
+            Json::Arr(vec![Json::UInt(1), Json::UInt(2)]).to_canonical(),
+            Json::Arr(vec![Json::UInt(2), Json::UInt(1)]).to_canonical()
+        );
     }
 }

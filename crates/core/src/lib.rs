@@ -24,7 +24,10 @@
 //!   job sets in simulation hot loops.
 //! * [`json`] — dependency-free JSON values, writer and parser: the
 //!   substrate of the experiment pipeline's shared results schema and the
-//!   instance wire form ([`SuuInstance::to_json`]).
+//!   instance wire form ([`SuuInstance::to_json`]). Its canonical
+//!   sorted-key form ([`json::Json::to_canonical`]) plus [`fnv1a`] (the
+//!   [`hash`] module) yield the stable content addresses the `suu-serve`
+//!   daemon keys its result cache by.
 //!
 //! Everything is deterministic given the generator seeds, which keeps
 //! experiments reproducible.
@@ -32,6 +35,7 @@
 mod assignment;
 mod bitset;
 pub mod exec;
+pub mod hash;
 mod ids;
 mod instance;
 pub mod json;
@@ -44,6 +48,7 @@ pub mod workload;
 
 pub use assignment::Assignment;
 pub use bitset::BitSet;
+pub use hash::{fnv1a, fnv1a_hex, is_fnv1a_hex};
 pub use ids::{JobId, MachineId};
 pub use instance::{InstanceError, SuuInstance};
 pub use precedence::{EligibilityState, EligibilityTopology, EligibilityTracker, Precedence};

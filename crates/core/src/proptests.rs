@@ -107,3 +107,146 @@ proptest! {
         }
     }
 }
+
+// ---- JSON writer/parser round-trip fuzz --------------------------------
+//
+// The serve daemon content-addresses cache entries by hashed canonical
+// JSON, so writer/parser fidelity is load-bearing: any value the writer
+// can emit must parse back to an equal tree, and hostile/truncated input
+// must error, never panic. This fuzz found the original parser's
+// unbounded recursion (stack overflow on `[[[[…`), its acceptance of
+// numbers that silently overflow to `Inf` (which the writer then turns
+// into `null` — content drift), and its replacement-char mangling of
+// escaped surrogate pairs; all three are fixed in `json.rs`.
+
+use crate::json::{parse, Json};
+use rand::{Rng, RngCore};
+
+/// Arbitrary finite `f64` drawn uniformly from the *bit* space, so
+/// subnormals, extreme exponents and negative zero all appear.
+fn gen_finite_f64(rng: &mut SmallRng) -> f64 {
+    loop {
+        let v = f64::from_bits(rng.next_u64());
+        if v.is_finite() {
+            return v;
+        }
+    }
+}
+
+/// Arbitrary string mixing control characters, JSON-special characters,
+/// plain ASCII, BMP text and supplementary-plane scalars.
+fn gen_string(rng: &mut SmallRng) -> String {
+    let len: usize = rng.random_range(0..12);
+    (0..len)
+        .map(|_| match rng.random_range(0u32..6) {
+            0 => char::from_u32(rng.random_range(0u32..0x20)).expect("control scalar"),
+            1 => ['"', '\\', '/', '\n', '\r', '\t'][rng.random_range(0usize..6)],
+            2 => char::from_u32(rng.random_range(0x20u32..0x7f)).expect("ascii scalar"),
+            3 => char::from_u32(rng.random_range(0xA0u32..0xD800)).expect("low BMP scalar"),
+            4 => char::from_u32(rng.random_range(0xE000u32..0x1_0000)).expect("high BMP scalar"),
+            _ => char::from_u32(rng.random_range(0x1_0000u32..0x11_0000)).expect("astral scalar"),
+        })
+        .collect()
+}
+
+/// Arbitrary JSON tree, depth-bounded; containers (including duplicate
+/// object keys, which the model permits) only below the given depth.
+fn gen_json(rng: &mut SmallRng, depth: usize) -> Json {
+    let arms = if depth == 0 { 5 } else { 7 };
+    match rng.random_range(0u32..arms) {
+        0 => Json::Null,
+        1 => Json::Bool(rng.random_bool(0.5)),
+        2 => {
+            if rng.random_bool(0.5) {
+                Json::UInt(rng.random_range(0u64..1000))
+            } else {
+                Json::UInt(rng.next_u64())
+            }
+        }
+        3 => Json::Num(gen_finite_f64(rng)),
+        4 => Json::Str(gen_string(rng)),
+        5 => {
+            let len: usize = rng.random_range(0..5);
+            Json::Arr((0..len).map(|_| gen_json(rng, depth - 1)).collect())
+        }
+        _ => {
+            let len: usize = rng.random_range(0..5);
+            Json::Obj(
+                (0..len)
+                    .map(|_| (gen_string(rng), gen_json(rng, depth - 1)))
+                    .collect(),
+            )
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// parse ∘ write is the identity for every writer, and canonical
+    /// bytes are a fixed point of parse ∘ canonicalize.
+    #[test]
+    fn json_roundtrip_all_writers(seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let doc = gen_json(&mut rng, 4);
+        let compact = doc.to_compact();
+        prop_assert_eq!(&parse(&compact).unwrap(), &doc, "compact {}", compact);
+        prop_assert_eq!(&parse(&doc.to_pretty()).unwrap(), &doc);
+        let canonical = doc.to_canonical();
+        prop_assert_eq!(parse(&canonical).unwrap().to_canonical(), canonical);
+    }
+
+    /// Extreme finite numbers round-trip **bitwise**: shortest-repr
+    /// writing plus correctly-rounded parsing is lossless, including
+    /// subnormals and negative zero.
+    #[test]
+    fn json_f64_roundtrips_bitwise(seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..16 {
+            let v = gen_finite_f64(&mut rng);
+            let text = Json::Num(v).to_compact();
+            let back = parse(&text).unwrap().as_f64().expect("number");
+            prop_assert_eq!(back.to_bits(), v.to_bits(), "{}", text);
+        }
+    }
+
+    /// Truncations and single-character mutations of valid documents
+    /// never panic; strict prefixes of container/string documents are
+    /// errors (an unclosed bracket or quote can never be valid JSON).
+    #[test]
+    fn json_parser_is_total_on_corrupt_documents(seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let text = gen_json(&mut rng, 3).to_compact();
+        for _ in 0..8 {
+            let mut cut: usize = rng.random_range(0..=text.len());
+            while !text.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            let prefix = &text[..cut];
+            let result = parse(prefix);
+            if cut < text.len() && text.starts_with(['{', '[', '"']) {
+                prop_assert!(result.is_err(), "prefix {:?} of {:?} accepted", prefix, text);
+            }
+            if !text.is_empty() {
+                let mut chars: Vec<char> = text.chars().collect();
+                let at: usize = rng.random_range(0..chars.len());
+                chars[at] = char::from_u32(rng.random_range(0x20u32..0x7f)).expect("ascii");
+                let mutated: String = chars.into_iter().collect();
+                let _ = parse(&mutated); // must not panic; Ok or Err both fine
+            }
+        }
+    }
+
+    /// Free-form soup over the JSON alphabet (including half-finished
+    /// escapes and surrogate fragments) never panics the parser.
+    #[test]
+    fn json_parser_is_total_on_garbage(seed in any::<u64>()) {
+        const ALPHABET: &[u8] = br#"[]{}",:\0123456789eE+-.truefalsn ud83"#;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let len: usize = rng.random_range(0..48);
+        let soup: String = (0..len)
+            .map(|_| ALPHABET[rng.random_range(0..ALPHABET.len())] as char)
+            .collect();
+        let _ = parse(&soup);
+    }
+}

@@ -1,0 +1,141 @@
+//! **suud** — the SUU evaluation service daemon.
+//!
+//! ```sh
+//! # Serve (prints the bound address; port 0 picks an ephemeral port):
+//! suud --addr 127.0.0.1:8787 --cache-dir ./suud-cache --workers 4
+//!
+//! # One-shot: evaluate a request document through the same cache and
+//! # print the suu-results/v2 response to stdout (CI's schema gate):
+//! suud --oneshot request.json --cache-dir ./suud-cache
+//! ```
+
+use std::sync::Arc;
+use suu_serve::service::ServeError;
+use suu_serve::{http, Service};
+
+struct Args {
+    addr: String,
+    cache_dir: String,
+    workers: usize,
+    oneshot: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: suud [--addr HOST:PORT] [--cache-dir DIR] [--workers N] [--oneshot REQUEST.json]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: "127.0.0.1:8787".to_string(),
+        cache_dir: "./suud-cache".to_string(),
+        workers: 4,
+        oneshot: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("suud: {name} needs a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr"),
+            "--cache-dir" => args.cache_dir = value("--cache-dir"),
+            "--workers" => {
+                args.workers = value("--workers").parse().unwrap_or_else(|_| {
+                    eprintln!("suud: --workers must be a positive integer");
+                    usage()
+                })
+            }
+            "--oneshot" => args.oneshot = Some(value("--oneshot")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("suud: unknown flag {other:?}");
+                usage()
+            }
+        }
+    }
+    if args.workers == 0 {
+        eprintln!("suud: --workers must be at least 1");
+        usage()
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let service = Service::new(&args.cache_dir).unwrap_or_else(|e| {
+        eprintln!("suud: cannot open cache dir {}: {e}", args.cache_dir);
+        std::process::exit(1);
+    });
+
+    if let Some(path) = &args.oneshot {
+        oneshot(&service, path);
+        return;
+    }
+
+    let service = Arc::new(service);
+    let handler = Arc::clone(&service);
+    let server = http::serve(
+        args.addr.as_str(),
+        args.workers,
+        Arc::new(move |req: &http::Request| handler.handle(req)),
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("suud: cannot bind {}: {e}", args.addr);
+        std::process::exit(1);
+    });
+
+    // The e2e harness (and humans with port 0) read the bound address
+    // from this line — keep its shape stable.
+    println!("suud listening on http://{}", server.addr());
+    println!(
+        "suud cache dir {} ({} cells), {} workers",
+        args.cache_dir,
+        service.store().cells_on_disk(),
+        args.workers
+    );
+
+    // Serve until killed. Workers run forever; park the main thread.
+    loop {
+        std::thread::park();
+    }
+}
+
+fn oneshot(service: &Service, path: &str) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("suud: cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let race = suu_core::json::parse(&text)
+        .map_err(|e| e.to_string())
+        .and_then(|json| suu_bench::request::RaceRequest::from_json(&json))
+        .unwrap_or_else(|e| {
+            eprintln!("suud: bad request {path}: {e}");
+            std::process::exit(1);
+        });
+    match service.evaluate(&race) {
+        Ok((doc, counts)) => {
+            eprintln!(
+                "suud oneshot: cache {} ({} hits, {} misses, {} extended)",
+                counts.label(),
+                counts.hits,
+                counts.misses,
+                counts.extends
+            );
+            print!("{}", doc.to_pretty());
+        }
+        Err(ServeError::BadRequest(e)) => {
+            eprintln!("suud: bad request: {e}");
+            std::process::exit(1);
+        }
+        Err(ServeError::Internal(e)) => {
+            eprintln!("suud: error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,441 @@
+//! The content-addressed, resumable result cache.
+//!
+//! A **cell** is one `(scenario, policy, master seed, semantics, step
+//! cap)` evaluation. Its identity is the canonical JSON of those fields
+//! ([`cell_key_fields`]) — note what is *excluded*: engine kind, thread
+//! count, batch size and the stopping rule, none of which affect
+//! results (the engine by the differential guarantee, threads/batch by
+//! the evaluator's determinism contract, the stopping rule because it
+//! only decides *how far* to grow the cell, never what any trial
+//! contains). The FNV-1a hash of the canonical bytes
+//! ([`CellKey::hex`]) is the cell's file name and its `GET
+//! /v1/cell/{key}` address.
+//!
+//! Each cache file stores an [`EvalStats`] checkpoint
+//! (`suu-sim/evalstats/v1`) wrapped in a [`CELL_SCHEMA`] envelope. A
+//! cell is never recomputed: a request the cached trial count already
+//! satisfies replays it byte-identically, and a request for more
+//! precision *extends* it via the evaluator's resume path — bitwise
+//! what a cold run at the final trial count would produce.
+//!
+//! Writes go through a temp file + atomic rename, so a crashed daemon
+//! leaves either the old or the new checkpoint, never a torn one.
+//! In-process, [`InflightTable`] serializes work per key: concurrent
+//! identical requests coalesce onto one computation and the latecomer
+//! reads the winner's checkpoint from disk.
+
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use suu_core::fnv1a_hex;
+use suu_core::json::Json;
+use suu_sim::EvalStats;
+
+/// Schema stamped on every cache file.
+pub const CELL_SCHEMA: &str = "suu-serve/cell/v1";
+/// Schema of the key-fields object that gets hashed.
+pub const CELL_KEY_SCHEMA: &str = "suu-serve/cellkey/v1";
+
+/// The canonical identity of a cell, pre-hash. `scenario_params` must be
+/// the *normalized* parameter object from
+/// [`suu_bench::request::RequestScenario`] so spelling variants
+/// collapse; `master_seed` is the race master (the per-scenario
+/// evaluation seed derives from it deterministically, so hashing either
+/// is equivalent — the race master keeps the key auditable).
+pub fn cell_key_fields(
+    scenario_params: &Json,
+    policy: &str,
+    master_seed: u64,
+    semantics: &str,
+    max_steps: u64,
+) -> Json {
+    Json::obj()
+        .field("schema", CELL_KEY_SCHEMA)
+        .field("scenario", scenario_params.clone())
+        .field("policy", policy)
+        .field("master_seed", master_seed)
+        .field("semantics", semantics)
+        .field("max_steps", max_steps)
+}
+
+/// A computed cell address: the canonical bytes and their hash.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellKey {
+    /// Canonical JSON the hash covers (stored in the cache file for
+    /// auditability and collision detection).
+    pub canonical: String,
+    /// 16-hex-char FNV-1a content address.
+    pub hex: String,
+}
+
+impl CellKey {
+    /// Address a cell.
+    pub fn new(fields: &Json) -> CellKey {
+        let canonical = fields.to_canonical();
+        let hex = fnv1a_hex(canonical.as_bytes());
+        CellKey { canonical, hex }
+    }
+}
+
+/// `true` iff `key` is a plausible cell address — the shared
+/// [`suu_core::is_fnv1a_hex`] shape, so this cache and the
+/// `validate_results` CI gate agree by construction.
+pub fn is_valid_key_hex(key: &str) -> bool {
+    suu_core::is_fnv1a_hex(key)
+}
+
+/// A loaded cache entry.
+#[derive(Debug)]
+pub struct CachedCell {
+    /// The restored, resumable statistics.
+    pub stats: EvalStats,
+    /// Stop reason recorded when the cell last grew.
+    pub stop_reason: String,
+}
+
+/// The on-disk store plus its counters.
+pub struct CellStore {
+    dir: PathBuf,
+    /// Cells served entirely from disk.
+    pub hits: AtomicU64,
+    /// Cells computed from scratch.
+    pub misses: AtomicU64,
+    /// Cells resumed to a higher trial count.
+    pub extends: AtomicU64,
+    /// Requests that waited for an identical in-flight computation.
+    pub coalesced: AtomicU64,
+    inflight: InflightTable,
+}
+
+impl CellStore {
+    /// Open (creating the directory if needed).
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<CellStore> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(CellStore {
+            dir,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            extends: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            inflight: InflightTable::new(),
+        })
+    }
+
+    /// Directory backing the store.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Cells currently on disk (counted fresh; the store is the
+    /// authority, not an in-memory mirror).
+    pub fn cells_on_disk(&self) -> usize {
+        std::fs::read_dir(&self.dir)
+            .map(|entries| {
+                entries
+                    .filter_map(|e| e.ok())
+                    .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    fn path_for(&self, hex: &str) -> PathBuf {
+        self.dir.join(format!("{hex}.json"))
+    }
+
+    /// Raw cache document for `GET /v1/cell/{key}` (None when absent or
+    /// the key is malformed).
+    pub fn raw(&self, hex: &str) -> Option<String> {
+        if !is_valid_key_hex(hex) {
+            return None;
+        }
+        std::fs::read_to_string(self.path_for(hex)).ok()
+    }
+
+    /// Load a cell if cached. A file that exists but fails validation
+    /// (schema drift, truncation despite atomic writes, key collision)
+    /// is reported as an error — the daemon refuses to guess.
+    pub fn load(&self, key: &CellKey) -> Result<Option<CachedCell>, String> {
+        let path = self.path_for(&key.hex);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(format!("cache read {}: {e}", path.display())),
+        };
+        let doc = suu_core::json::parse(&text)
+            .map_err(|e| format!("cache parse {}: {e}", path.display()))?;
+        match doc.get("schema").and_then(Json::as_str) {
+            Some(CELL_SCHEMA) => {}
+            other => return Err(format!("cache {}: bad schema {other:?}", path.display())),
+        }
+        // Detect FNV collisions / foreign files: the stored canonical key
+        // must be exactly ours.
+        match doc.get("cell_key_canonical").and_then(Json::as_str) {
+            Some(canonical) if canonical == key.canonical => {}
+            Some(_) => {
+                return Err(format!(
+                    "cache {}: content-address collision (stored key differs)",
+                    path.display()
+                ))
+            }
+            None => return Err(format!("cache {}: missing canonical key", path.display())),
+        }
+        let stop_reason = doc
+            .get("stop_reason")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("cache {}: missing stop_reason", path.display()))?
+            .to_string();
+        let checkpoint = doc
+            .get("checkpoint")
+            .ok_or_else(|| format!("cache {}: missing checkpoint", path.display()))?;
+        let stats = EvalStats::from_json(checkpoint)
+            .map_err(|e| format!("cache {}: {e}", path.display()))?;
+        Ok(Some(CachedCell { stats, stop_reason }))
+    }
+
+    /// Persist a cell checkpoint (temp file + rename, atomic on POSIX).
+    pub fn store(
+        &self,
+        key: &CellKey,
+        policy: &str,
+        stats: &EvalStats,
+        stop_reason: &str,
+    ) -> Result<(), String> {
+        let doc = Json::obj()
+            .field("schema", CELL_SCHEMA)
+            .field("cell_key", key.hex.as_str())
+            .field("cell_key_canonical", key.canonical.as_str())
+            .field("policy", policy)
+            .field("stop_reason", stop_reason)
+            .field("checkpoint", stats.to_json());
+        let path = self.path_for(&key.hex);
+        let tmp = self
+            .dir
+            .join(format!("{}.tmp.{}", key.hex, std::process::id()));
+        std::fs::write(&tmp, doc.to_pretty())
+            .map_err(|e| format!("cache write {}: {e}", tmp.display()))?;
+        std::fs::rename(&tmp, &path).map_err(|e| format!("cache rename {}: {e}", path.display()))
+    }
+
+    /// Run `work` while holding the per-key in-flight guard: concurrent
+    /// callers with the same key run strictly one at a time (the
+    /// `coalesced` counter records each wait). The caller re-checks the
+    /// store once inside, so a latecomer finds the winner's checkpoint.
+    /// The key is released through a drop guard, so a panicking `work`
+    /// (poisoned checkpoint, evaluator bug) unwinds without wedging
+    /// every future request for the cell.
+    pub fn with_inflight<T>(&self, key: &CellKey, work: impl FnOnce() -> T) -> T {
+        struct Released<'a> {
+            table: &'a InflightTable,
+            key: &'a str,
+        }
+        impl Drop for Released<'_> {
+            fn drop(&mut self) {
+                self.table.release(self.key);
+            }
+        }
+        if self.inflight.acquire(&key.hex) {
+            self.coalesced.fetch_add(1, Ordering::Relaxed);
+        }
+        let _guard = Released {
+            table: &self.inflight,
+            key: &key.hex,
+        };
+        work()
+    }
+
+    /// Keys currently being computed.
+    pub fn inflight_count(&self) -> usize {
+        self.inflight.len()
+    }
+}
+
+/// Per-key mutual exclusion with a single mutex + condvar (the key set
+/// is small: one entry per concurrently-computing cell).
+struct InflightTable {
+    keys: Mutex<HashSet<String>>,
+    freed: Condvar,
+}
+
+impl InflightTable {
+    fn new() -> InflightTable {
+        InflightTable {
+            keys: Mutex::new(HashSet::new()),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// Block until the key is free, then claim it. Returns `true` when
+    /// the caller had to wait (i.e. it coalesced behind another request).
+    fn acquire(&self, key: &str) -> bool {
+        let mut keys = self.keys.lock().expect("inflight lock");
+        let mut waited = false;
+        while keys.contains(key) {
+            waited = true;
+            keys = self.freed.wait(keys).expect("inflight wait");
+        }
+        keys.insert(key.to_string());
+        waited
+    }
+
+    fn release(&self, key: &str) {
+        let mut keys = self.keys.lock().expect("inflight lock");
+        keys.remove(key);
+        drop(keys);
+        self.freed.notify_all();
+    }
+
+    fn len(&self) -> usize {
+        self.keys.lock().expect("inflight lock").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use suu_sim::Evaluator;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("suu-serve-cache-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_stats() -> EvalStats {
+        let sc = suu_bench::scenario::Scenario::uniform(2, 4, 0.3, 0.9, 5);
+        let registry = suu_algos::standard_registry();
+        Evaluator::seeded(8, 42)
+            .run_stats_spec(
+                &registry,
+                &sc.instantiate(),
+                &suu_sim::PolicySpec::new("gang-sequential"),
+            )
+            .unwrap()
+    }
+
+    fn sample_key(seed: u64) -> CellKey {
+        let params = Json::obj()
+            .field("family", "uniform")
+            .field("m", 2u64)
+            .field("n", 4u64)
+            .field("lo", 0.3)
+            .field("hi", 0.9)
+            .field("seed", 5u64);
+        CellKey::new(&cell_key_fields(
+            &params,
+            "gang-sequential",
+            seed,
+            "suu-star",
+            1000,
+        ))
+    }
+
+    #[test]
+    fn key_is_order_insensitive_and_field_sensitive() {
+        let params_a = Json::obj().field("family", "uniform").field("m", 2u64);
+        let params_b = Json::obj().field("m", 2u64).field("family", "uniform");
+        let key = |p: &Json| CellKey::new(&cell_key_fields(p, "x", 1, "suu-star", 10));
+        assert_eq!(key(&params_a), key(&params_b));
+        assert_ne!(
+            key(&params_a),
+            CellKey::new(&cell_key_fields(&params_a, "y", 1, "suu-star", 10))
+        );
+        assert_ne!(
+            key(&params_a),
+            CellKey::new(&cell_key_fields(&params_a, "x", 2, "suu-star", 10))
+        );
+        assert!(is_valid_key_hex(&key(&params_a).hex));
+    }
+
+    #[test]
+    fn store_load_roundtrips_bitwise() {
+        let store = CellStore::open(tempdir("roundtrip")).unwrap();
+        let key = sample_key(42);
+        assert!(store.load(&key).unwrap().is_none());
+        let stats = sample_stats();
+        store
+            .store(&key, "gang-sequential", &stats, "fixed-budget")
+            .unwrap();
+        let cached = store.load(&key).unwrap().expect("stored cell");
+        assert_eq!(cached.stop_reason, "fixed-budget");
+        assert_eq!(
+            cached.stats.acc.to_json().to_compact(),
+            stats.acc.to_json().to_compact(),
+            "restored accumulator must be bitwise the stored one"
+        );
+        assert_eq!(store.cells_on_disk(), 1);
+        assert!(store.raw(&key.hex).unwrap().contains(CELL_SCHEMA));
+        assert!(store.raw("not-a-key").is_none());
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn collision_and_corruption_are_loud() {
+        let store = CellStore::open(tempdir("corrupt")).unwrap();
+        let key_a = sample_key(1);
+        let key_b = sample_key(2);
+        let stats = sample_stats();
+        store
+            .store(&key_a, "gang-sequential", &stats, "fixed-budget")
+            .unwrap();
+        // Simulate a collision: key_b's file containing key_a's content.
+        std::fs::copy(
+            store.dir().join(format!("{}.json", key_a.hex)),
+            store.dir().join(format!("{}.json", key_b.hex)),
+        )
+        .unwrap();
+        let err = store.load(&key_b).unwrap_err();
+        assert!(err.contains("collision"), "{err}");
+        // Truncated file: error, not a panic or a silent miss.
+        std::fs::write(store.dir().join(format!("{}.json", key_a.hex)), "{\"sch").unwrap();
+        assert!(store.load(&key_a).is_err());
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn inflight_serializes_same_key_and_counts_waits() {
+        let store = std::sync::Arc::new(CellStore::open(tempdir("inflight")).unwrap());
+        let key = sample_key(7);
+        let running = std::sync::Arc::new(AtomicU64::new(0));
+        let peak = std::sync::Arc::new(AtomicU64::new(0));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let (store, key, running, peak) =
+                    (store.clone(), key.clone(), running.clone(), peak.clone());
+                scope.spawn(move || {
+                    store.with_inflight(&key, || {
+                        let now = running.fetch_add(1, Ordering::SeqCst) + 1;
+                        peak.fetch_max(now, Ordering::SeqCst);
+                        std::thread::sleep(std::time::Duration::from_millis(10));
+                        running.fetch_sub(1, Ordering::SeqCst);
+                    });
+                });
+            }
+        });
+        assert_eq!(peak.load(Ordering::SeqCst), 1, "same key must serialize");
+        assert_eq!(store.coalesced.load(Ordering::SeqCst), 3);
+        assert_eq!(store.inflight_count(), 0);
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn inflight_key_is_released_even_when_work_panics() {
+        let store = CellStore::open(tempdir("panic")).unwrap();
+        let key = sample_key(9);
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            store.with_inflight(&key, || panic!("poisoned checkpoint"))
+        }));
+        assert!(unwound.is_err());
+        assert_eq!(
+            store.inflight_count(),
+            0,
+            "a panicking computation must not wedge the key"
+        );
+        // The next request for the same cell proceeds immediately.
+        assert_eq!(store.with_inflight(&key, || 42), 42);
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+}

@@ -1,0 +1,451 @@
+//! Minimal HTTP/1.1 plumbing over `std::net` — no crates, no async.
+//!
+//! The daemon's traffic is small JSON documents on a loopback or
+//! datacenter-internal port, so the server is deliberately simple: a
+//! fixed pool of worker threads, each blocking on `accept` against its
+//! own clone of one shared [`TcpListener`] (the kernel load-balances
+//! accepts), one request per connection (`Connection: close`). Requests
+//! are parsed strictly enough to be safe against hostile input: the
+//! header block and body are size-capped, `Content-Length` is required
+//! for bodies, and every read runs under a socket timeout so a stalled
+//! client can never wedge a worker for good.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Most bytes accepted for the request line + headers.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Most bytes accepted for a request body.
+pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+/// Per-socket read/write timeout.
+pub const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// A parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, …).
+    pub method: String,
+    /// Path with query string, exactly as sent (e.g. `/v1/healthz`).
+    pub path: String,
+    /// Headers, lowercased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header with the given lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A response under construction.
+#[derive(Debug)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Extra headers (name, value); `Content-Type`, `Content-Length` and
+    /// `Connection: close` are emitted automatically.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: body.into(),
+            content_type: "application/json",
+        }
+    }
+
+    /// A plain-text response (errors).
+    pub fn text(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: body.into(),
+            content_type: "text/plain; charset=utf-8",
+        }
+    }
+
+    /// Attach a header.
+    pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Response {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            413 => "Payload Too Large",
+            500 => "Internal Server Error",
+            _ => "Unknown",
+        }
+    }
+
+    fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        let mut head = format!("HTTP/1.1 {} {}\r\n", self.status, self.reason());
+        head.push_str(&format!("Content-Type: {}\r\n", self.content_type));
+        head.push_str(&format!("Content-Length: {}\r\n", self.body.len()));
+        for (name, value) in &self.headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str("Connection: close\r\n\r\n");
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+/// What went wrong while reading a request (mapped to 4xx).
+#[derive(Debug)]
+pub struct BadRequest {
+    status: u16,
+    message: String,
+}
+
+impl BadRequest {
+    fn new(status: u16, message: impl Into<String>) -> BadRequest {
+        BadRequest {
+            status,
+            message: message.into(),
+        }
+    }
+}
+
+/// Read one head line into `line`, refusing to buffer past `budget`
+/// bytes: an endless unterminated line (hostile input) must produce a
+/// 413, never unbounded allocation — `read_line` alone keeps growing
+/// its buffer until a newline arrives.
+fn read_head_line<R: BufRead>(
+    reader: &mut R,
+    line: &mut String,
+    budget: usize,
+) -> Result<Option<BadRequest>, std::io::Error> {
+    line.clear();
+    let n = reader.take(budget as u64 + 1).read_line(line)?;
+    if n > budget {
+        return Ok(Some(BadRequest::new(413, "headers too large")));
+    }
+    Ok(None)
+}
+
+fn read_request(stream: &mut TcpStream) -> Result<Result<Request, BadRequest>, std::io::Error> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    let mut head_bytes = 0usize;
+
+    if let Some(bad) = read_head_line(&mut reader, &mut line, MAX_HEAD_BYTES)? {
+        return Ok(Err(bad));
+    }
+    head_bytes += line.len();
+    let mut parts = line.split_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) => (m.to_uppercase(), p.to_string(), v),
+        _ => return Ok(Err(BadRequest::new(400, "malformed request line"))),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Ok(Err(BadRequest::new(400, "unsupported HTTP version")));
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        if let Some(bad) = read_head_line(&mut reader, &mut line, MAX_HEAD_BYTES - head_bytes)? {
+            return Ok(Err(bad));
+        }
+        head_bytes += line.len();
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            break;
+        }
+        match trimmed.split_once(':') {
+            Some((name, value)) => {
+                headers.push((name.trim().to_lowercase(), value.trim().to_string()))
+            }
+            None => return Ok(Err(BadRequest::new(400, "malformed header"))),
+        }
+    }
+
+    let mut body = Vec::new();
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| v.parse::<usize>());
+    match content_length {
+        None => {}
+        Some(Err(_)) => return Ok(Err(BadRequest::new(400, "bad Content-Length"))),
+        Some(Ok(len)) if len > MAX_BODY_BYTES => {
+            return Ok(Err(BadRequest::new(413, "body too large")))
+        }
+        Some(Ok(len)) => {
+            body.resize(len, 0);
+            reader.read_exact(&mut body)?;
+        }
+    }
+
+    Ok(Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+    }))
+}
+
+/// The application side of the server: one call per request. Must be
+/// callable from any worker thread.
+pub trait Handler: Send + Sync + 'static {
+    /// Produce the response for one request.
+    fn handle(&self, request: &Request) -> Response;
+}
+
+impl<F> Handler for F
+where
+    F: Fn(&Request) -> Response + Send + Sync + 'static,
+{
+    fn handle(&self, request: &Request) -> Response {
+        self(request)
+    }
+}
+
+/// A running worker-pool server. Dropping the handle does *not* stop the
+/// workers; call [`ServerHandle::shutdown`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, wake every worker, and join the pool.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Each worker is parked in `accept`; poke one connection per
+        // worker to wake them all.
+        for _ in 0..self.workers.len() {
+            let _ = TcpStream::connect(self.addr);
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Bind `addr` and serve it with `workers` threads until
+/// [`ServerHandle::shutdown`].
+pub fn serve(
+    addr: impl ToSocketAddrs,
+    workers: usize,
+    handler: Arc<dyn Handler>,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let workers = workers.max(1);
+    let pool = (0..workers)
+        .map(|worker| {
+            let listener = listener.try_clone()?;
+            let shutdown = Arc::clone(&shutdown);
+            let handler = Arc::clone(&handler);
+            Ok(std::thread::Builder::new()
+                .name(format!("suud-worker-{worker}"))
+                .spawn(move || worker_loop(listener, shutdown, handler))
+                .expect("spawn worker"))
+        })
+        .collect::<std::io::Result<Vec<_>>>()?;
+    Ok(ServerHandle {
+        addr,
+        shutdown,
+        workers: pool,
+    })
+}
+
+fn worker_loop(listener: TcpListener, shutdown: Arc<AtomicBool>, handler: Arc<dyn Handler>) {
+    loop {
+        let (mut stream, _) = match listener.accept() {
+            Ok(conn) => conn,
+            Err(_) => {
+                // Persistent accept failures (fd exhaustion) must not
+                // busy-spin a worker at 100% CPU; back off briefly.
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(50));
+                continue;
+            }
+        };
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+        let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+        let _ = stream.set_nodelay(true);
+        let response = match read_request(&mut stream) {
+            // A panicking handler answers 500 and the worker lives on —
+            // one poisoned request must not shrink the pool forever.
+            Ok(Ok(request)) => {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handler.handle(&request)))
+                    .unwrap_or_else(|_| Response::text(500, "internal error: handler panicked"))
+            }
+            Ok(Err(bad)) => Response::text(bad.status, bad.message),
+            Err(_) => continue, // socket died mid-read; nothing to answer
+        };
+        let _ = response.write_to(&mut stream);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One-shot test client: send raw bytes, return the raw response.
+    fn roundtrip(addr: SocketAddr, raw: &[u8]) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(raw).unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    fn echo_server(workers: usize) -> ServerHandle {
+        serve(
+            "127.0.0.1:0",
+            workers,
+            Arc::new(|req: &Request| {
+                Response::json(
+                    200,
+                    format!(
+                        "{{\"method\":\"{}\",\"path\":\"{}\",\"body_len\":{}}}",
+                        req.method,
+                        req.path,
+                        req.body.len()
+                    ),
+                )
+                .with_header("X-Echo", "yes")
+            }),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn serves_and_shuts_down() {
+        let server = echo_server(2);
+        let addr = server.addr();
+        let reply = roundtrip(addr, b"GET /v1/healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 200 OK\r\n"), "{reply}");
+        assert!(reply.contains("X-Echo: yes"), "{reply}");
+        assert!(reply.contains(r#""path":"/v1/healthz""#), "{reply}");
+        let reply = roundtrip(
+            addr,
+            b"POST /v1/race HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello",
+        );
+        assert!(reply.contains(r#""body_len":5"#), "{reply}");
+        server.shutdown();
+        // The port stops answering (connect may still succeed briefly on
+        // the listener backlog, but a request gets no response).
+        std::thread::sleep(Duration::from_millis(30));
+        if let Ok(mut s) = TcpStream::connect(addr) {
+            let _ = s.set_read_timeout(Some(Duration::from_millis(200)));
+            let _ = s.write_all(b"GET / HTTP/1.1\r\n\r\n");
+            let mut buf = String::new();
+            let _ = s.read_to_string(&mut buf);
+            assert!(buf.is_empty(), "served after shutdown: {buf}");
+        }
+    }
+
+    #[test]
+    fn malformed_requests_get_4xx() {
+        let server = echo_server(1);
+        let addr = server.addr();
+        let reply = roundtrip(addr, b"garbage\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
+        let reply = roundtrip(addr, b"GET / SPDY/9\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
+        let reply = roundtrip(addr, b"GET / HTTP/1.1\r\nContent-Length: nope\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
+        let reply = roundtrip(
+            addr,
+            format!(
+                "GET / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+                MAX_BODY_BYTES + 1
+            )
+            .as_bytes(),
+        );
+        assert!(reply.starts_with("HTTP/1.1 413"), "{reply}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn unterminated_request_line_is_capped_not_buffered_forever() {
+        let server = echo_server(1);
+        // MAX_HEAD_BYTES + change of request line with no newline at all:
+        // the server must answer 413 from the line cap rather than
+        // buffering until the client gives up.
+        let mut raw = b"GET /".to_vec();
+        raw.resize(MAX_HEAD_BYTES + 512, b'a');
+        let reply = roundtrip(server.addr(), &raw);
+        assert!(reply.starts_with("HTTP/1.1 413"), "{reply}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn panicking_handler_answers_500_and_the_worker_survives() {
+        let server = serve(
+            "127.0.0.1:0",
+            1,
+            Arc::new(|req: &Request| {
+                if req.path == "/boom" {
+                    panic!("handler bug");
+                }
+                Response::text(200, "fine")
+            }),
+        )
+        .unwrap();
+        let reply = roundtrip(server.addr(), b"GET /boom HTTP/1.1\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 500"), "{reply}");
+        // The single worker must still be alive to serve this.
+        let reply = roundtrip(server.addr(), b"GET /ok HTTP/1.1\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 200"), "{reply}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_requests_across_the_pool() {
+        let server = echo_server(3);
+        let addr = server.addr();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..6)
+                .map(|i| {
+                    scope.spawn(move || {
+                        roundtrip(addr, format!("GET /req/{i} HTTP/1.1\r\n\r\n").as_bytes())
+                    })
+                })
+                .collect();
+            for (i, handle) in handles.into_iter().enumerate() {
+                let reply = handle.join().unwrap();
+                assert!(reply.contains(&format!("/req/{i}")), "{reply}");
+            }
+        });
+        server.shutdown();
+    }
+}

@@ -1,0 +1,38 @@
+//! # suu-serve — the evaluation service daemon (`suud`)
+//!
+//! The workspace's Monte-Carlo evaluations are deterministic, resumable
+//! and content-addressable — properties PR 1–4 built into the evaluator
+//! ([`suu_sim::Evaluator`]) and its snapshot machinery
+//! ([`suu_sim::EvalStats::to_json`]). This crate puts a long-running
+//! service in front of them: a hand-rolled HTTP/1.1 JSON API
+//! ([`http`]) over a fixed worker-thread pool, serving race evaluations
+//! from a **content-addressed, resumable result cache** ([`cache`]).
+//!
+//! * `POST /v1/race` — a [`suu_bench::request::RaceRequest`] (scenarios
+//!   by family + normalized parameters, policy specs, a stopping rule).
+//!   Every `(scenario, policy)` cell is addressed by the FNV-1a hash of
+//!   its canonical identity JSON; cached cells replay byte-identically,
+//!   tighter-precision requests **extend** the cached cell (`n → n+k`,
+//!   bitwise a cold `n+k` run), and concurrent identical requests
+//!   coalesce onto one computation. Responses are `suu-results/v2`
+//!   documents; cache status rides in `X-Suu-Cache*` headers so the
+//!   body stays replay-deterministic.
+//! * `GET /v1/cell/{key}` — the raw cached checkpoint
+//!   (`suu-serve/cell/v1`: key provenance + the
+//!   `suu-sim/evalstats/v1` accumulator snapshot).
+//! * `GET /v1/healthz`, `GET /v1/stats` — liveness and cache counters
+//!   (hits / misses / extends / coalesced / inflight / cells on disk).
+//!
+//! The `suud` binary serves the API (`--addr`, `--workers`,
+//! `--cache-dir`), or evaluates one request from a file in `--oneshot`
+//! mode (used by CI to gate daemon-produced documents without holding a
+//! port open). See the README's "Serving evaluations" section for curl
+//! examples and the cache-key derivation.
+
+pub mod cache;
+pub mod http;
+pub mod service;
+
+pub use cache::{cell_key_fields, CellKey, CellStore, CELL_KEY_SCHEMA, CELL_SCHEMA};
+pub use http::{serve, Handler, Request, Response, ServerHandle};
+pub use service::{CacheCounts, CacheStatus, ServeError, Service};

@@ -1,0 +1,300 @@
+//! End-to-end socket test: spawn the real `suud` binary on an ephemeral
+//! loopback port and drive it over TCP.
+//!
+//! Proves the PR's cache semantics on the wire:
+//!
+//! * identical `POST /v1/race` twice ⇒ the second response **body is
+//!   byte-identical** and flagged `X-Suu-Cache: hit`;
+//! * the same cell at a larger trial budget ⇒ `X-Suu-Cache: extended`,
+//!   `trials_used` grew, and the cell's moments *and* P² sketch state
+//!   are **bitwise identical** to an equivalent cold run computed
+//!   in-process (same seed derivation, fresh accumulator);
+//! * `GET /v1/cell/{key}`, `/v1/healthz` and `/v1/stats` respond.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+struct Daemon {
+    child: Child,
+    addr: String,
+    cache_dir: PathBuf,
+}
+
+impl Daemon {
+    fn spawn(tag: &str) -> Daemon {
+        let cache_dir = std::env::temp_dir().join(format!("suud-e2e-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&cache_dir);
+        let mut child = Command::new(env!("CARGO_BIN_EXE_suud"))
+            .args([
+                "--addr",
+                "127.0.0.1:0",
+                "--workers",
+                "2",
+                "--cache-dir",
+                cache_dir.to_str().unwrap(),
+            ])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn suud");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut lines = BufReader::new(stdout).lines();
+        let banner = lines
+            .next()
+            .expect("suud prints its address")
+            .expect("readable stdout");
+        let addr = banner
+            .strip_prefix("suud listening on http://")
+            .unwrap_or_else(|| panic!("unexpected banner {banner:?}"))
+            .trim()
+            .to_string();
+        // Keep draining stdout so the daemon never blocks on a full pipe.
+        std::thread::spawn(move || for _ in lines {});
+        Daemon {
+            child,
+            addr,
+            cache_dir,
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+        let _ = std::fs::remove_dir_all(&self.cache_dir);
+    }
+}
+
+struct Reply {
+    status: u16,
+    headers: Vec<(String, String)>,
+    body: String,
+}
+
+impl Reply {
+    fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn json(&self) -> suu_core::json::Json {
+        suu_core::json::parse(&self.body)
+            .unwrap_or_else(|e| panic!("unparsable body ({e}): {}", self.body))
+    }
+}
+
+/// Minimal one-shot HTTP/1.1 client over a fresh connection.
+fn http(addr: &str, method: &str, path: &str, body: Option<&str>) -> Reply {
+    let mut stream = TcpStream::connect(addr).expect("connect to suud");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let mut request = format!("{method} {path} HTTP/1.1\r\nHost: suud\r\n");
+    if let Some(body) = body {
+        request.push_str(&format!("Content-Length: {}\r\n", body.len()));
+    }
+    request.push_str("Connection: close\r\n\r\n");
+    if let Some(body) = body {
+        request.push_str(body);
+    }
+    stream.write_all(request.as_bytes()).unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).unwrap();
+    let raw = String::from_utf8(raw).expect("utf-8 response");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("header/body split");
+    let mut lines = head.lines();
+    let status: u16 = lines
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line in {raw:?}"));
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_string(), v.trim().to_string()))
+        .collect();
+    Reply {
+        status,
+        headers,
+        body: body.to_string(),
+    }
+}
+
+fn race_body(trials: u64) -> String {
+    format!(
+        r#"{{
+            "scenarios": [{{"family": "uniform", "m": 3, "n": 6,
+                            "lo": 0.3, "hi": 0.9, "seed": 7}}],
+            "policies": ["greedy-lr"],
+            "trials": {trials},
+            "master_seed": 21
+        }}"#
+    )
+}
+
+#[test]
+fn daemon_serves_replays_and_extends_over_a_real_socket() {
+    let daemon = Daemon::spawn("main");
+    let addr = daemon.addr.as_str();
+
+    // Liveness first.
+    let health = http(addr, "GET", "/v1/healthz", None);
+    assert_eq!(health.status, 200);
+    assert_eq!(
+        health
+            .json()
+            .get("status")
+            .and_then(|s| s.as_str().map(str::to_string)),
+        Some("ok".to_string())
+    );
+
+    // 1. Cold race: a miss that populates the cache.
+    let first = http(addr, "POST", "/v1/race", Some(&race_body(6)));
+    assert_eq!(first.status, 200, "{}", first.body);
+    assert_eq!(first.header("X-Suu-Cache"), Some("miss"));
+    assert_eq!(first.header("X-Suu-Cache-Misses"), Some("1"));
+    let doc = first.json();
+    assert_eq!(
+        doc.get("schema")
+            .and_then(|s| s.as_str().map(str::to_string)),
+        Some("suu-results/v2".to_string())
+    );
+    let cell = &doc.get("cells").unwrap().as_array().unwrap()[0];
+    assert_eq!(cell.get("trials_used").unwrap().as_u64(), Some(6));
+    assert!(
+        cell.get("wall_clock_s").is_none(),
+        "bodies must be replay-deterministic"
+    );
+    let key = cell.get("cell_key").unwrap().as_str().unwrap().to_string();
+
+    // 2. Identical request: byte-identical body, flagged as a hit.
+    let second = http(addr, "POST", "/v1/race", Some(&race_body(6)));
+    assert_eq!(second.status, 200);
+    assert_eq!(second.header("X-Suu-Cache"), Some("hit"));
+    assert_eq!(second.header("X-Suu-Cache-Hits"), Some("1"));
+    assert_eq!(
+        first.body, second.body,
+        "cache hit must replay the response byte-identically"
+    );
+
+    // 3. Same cell at a tighter precision: extended in place.
+    let third = http(addr, "POST", "/v1/race", Some(&race_body(18)));
+    assert_eq!(third.status, 200);
+    assert_eq!(third.header("X-Suu-Cache"), Some("extended"));
+    let third_doc = third.json();
+    let cell = &third_doc.get("cells").unwrap().as_array().unwrap()[0];
+    assert_eq!(
+        cell.get("trials_used").unwrap().as_u64(),
+        Some(18),
+        "trials must grow to the requested budget"
+    );
+    assert_eq!(
+        cell.get("cell_key").unwrap().as_str(),
+        Some(key.as_str()),
+        "precision is not part of the cell identity"
+    );
+
+    // 4. The extended cell is bitwise an equivalent cold run: same seed
+    // derivation, fresh accumulator, computed in-process.
+    let sc = suu_bench::scenario::Scenario::uniform(3, 6, 0.3, 0.9, 7);
+    let registry = suu_algos::standard_registry();
+    let cold = suu_sim::Evaluator::new(suu_sim::EvalConfig {
+        trials: 18,
+        master_seed: suu_bench::runner::scenario_master_seed(21, &sc),
+        threads: 0,
+        ..suu_sim::EvalConfig::default()
+    })
+    .run_stats_spec(
+        &registry,
+        &sc.instantiate(),
+        &suu_sim::PolicySpec::new("greedy-lr"),
+    )
+    .unwrap();
+    let cold_summary = cold.summary().unwrap();
+    let mean = cell.get("mean_makespan").unwrap().as_f64().unwrap();
+    assert_eq!(
+        mean.to_bits(),
+        cold_summary.mean.to_bits(),
+        "extended mean must be bitwise the cold run's"
+    );
+    assert_eq!(
+        cell.get("median").unwrap().as_f64().unwrap().to_bits(),
+        cold_summary.median.to_bits()
+    );
+    assert_eq!(
+        cell.get("p95").unwrap().as_f64().unwrap().to_bits(),
+        cold_summary.p95.to_bits()
+    );
+
+    // …and the cached checkpoint's whole accumulator (moments, counters,
+    // P² sketch words) matches the cold accumulator exactly.
+    let stored = http(addr, "GET", &format!("/v1/cell/{key}"), None);
+    assert_eq!(stored.status, 200);
+    let stored = stored.json();
+    assert_eq!(
+        stored
+            .get("schema")
+            .and_then(|s| s.as_str().map(str::to_string)),
+        Some("suu-serve/cell/v1".to_string())
+    );
+    let accumulator = stored
+        .get("checkpoint")
+        .and_then(|c| c.get("accumulator"))
+        .expect("checkpoint carries the accumulator snapshot");
+    assert_eq!(
+        accumulator.to_compact(),
+        cold.acc.to_json().to_compact(),
+        "cached accumulator state must be bitwise the cold run's"
+    );
+
+    // 5. Observability: the stats counters saw all of the above.
+    let stats = http(addr, "GET", "/v1/stats", None).json();
+    assert_eq!(stats.get("races").unwrap().as_u64(), Some(3));
+    assert_eq!(stats.get("misses").unwrap().as_u64(), Some(1));
+    assert_eq!(stats.get("hits").unwrap().as_u64(), Some(1));
+    assert_eq!(stats.get("extends").unwrap().as_u64(), Some(1));
+    assert_eq!(stats.get("cells_on_disk").unwrap().as_u64(), Some(1));
+
+    // Unknown cell and bad request are polite errors.
+    assert_eq!(
+        http(addr, "GET", "/v1/cell/0000000000000000", None).status,
+        404
+    );
+    assert_eq!(http(addr, "POST", "/v1/race", Some("{broken")).status, 400);
+}
+
+#[test]
+fn concurrent_identical_races_coalesce_onto_one_computation() {
+    let daemon = Daemon::spawn("coalesce");
+    let addr = daemon.addr.as_str();
+    // A heavier cell so the concurrent requests genuinely overlap.
+    let body = r#"{
+        "scenarios": [{"family": "uniform", "m": 4, "n": 16,
+                        "lo": 0.3, "hi": 0.95, "seed": 3}],
+        "policies": ["greedy-lr"],
+        "trials": 400,
+        "master_seed": 5
+    }"#;
+    let (a, b) = std::thread::scope(|scope| {
+        let ta = scope.spawn(|| http(addr, "POST", "/v1/race", Some(body)));
+        let tb = scope.spawn(|| http(addr, "POST", "/v1/race", Some(body)));
+        (ta.join().unwrap(), tb.join().unwrap())
+    });
+    assert_eq!(a.status, 200);
+    assert_eq!(b.status, 200);
+    assert_eq!(
+        a.body, b.body,
+        "coalesced responses must agree byte-for-byte"
+    );
+    // Exactly one computed; the other either waited for it (hit) or
+    // arrived first — never two misses for one key.
+    let stats = http(addr, "GET", "/v1/stats", None).json();
+    assert_eq!(stats.get("misses").unwrap().as_u64(), Some(1));
+    assert_eq!(stats.get("hits").unwrap().as_u64(), Some(1));
+    assert_eq!(stats.get("cells_on_disk").unwrap().as_u64(), Some(1));
+}

@@ -42,7 +42,11 @@
 //! [`Evaluator::run_paired`] compares two policies on **common random
 //! numbers** (the same per-trial engine seeds), so the variance of the
 //! per-trial *difference* — not of each mean — drives the budget.
-//! Checkpoints serialize via [`EvalStats::to_json`].
+//! Checkpoints serialize via [`EvalStats::to_json`] and resume through
+//! [`Evaluator::extend_stats`] (grow to an explicit target) or
+//! [`Evaluator::resume_adaptive`] (keep growing under a [`Precision`]
+//! rule) — the machinery the `suu-serve` daemon's content-addressed
+//! result cache is built on.
 
 use crate::engine::batch::{execute_batch, BatchTrial};
 use crate::engine::{execute, EngineKind, ExecConfig, ExecOutcome, Semantics};
@@ -646,18 +650,7 @@ impl Evaluator {
         F: Fn() -> P + Sync,
         P: Policy,
     {
-        assert_eq!(
-            stats.config.master_seed, self.config.master_seed,
-            "resume must use the master seed the cell was started with"
-        );
-        assert_eq!(
-            stats.config.exec.semantics, self.config.exec.semantics,
-            "resume must use the semantics the cell was started with"
-        );
-        assert_eq!(
-            stats.config.exec.max_steps, self.config.exec.max_steps,
-            "resume must use the step cap the cell was started with"
-        );
+        self.assert_resumable(stats);
         let done = stats.trials() as usize;
         if target_trials <= done {
             return;
@@ -703,25 +696,9 @@ impl Evaluator {
     {
         let started = Instant::now();
         let mut acc = OutcomeAccumulator::new();
-        let max = precision.max_trials();
-        let mut target = precision.min_trials().min(max);
-        let mut name: Option<String> = None;
         let mut done = 0usize;
-        let stop_reason = loop {
-            if target > done {
-                let n = self.stream_range(inst, &make_policy, &mut acc, done, target);
-                name.get_or_insert(n);
-                done = target;
-            }
-            let (mean, ci95) = match acc.summary() {
-                Some(s) => (s.mean, s.ci95),
-                None => (0.0, f64::INFINITY),
-            };
-            if let Some(reason) = precision.check(done, mean, ci95) {
-                break reason;
-            }
-            target = done.saturating_add((done / 2).max(1)).min(max);
-        };
+        let (name, stop_reason) =
+            self.adaptive_rounds(inst, &make_policy, &mut acc, &mut done, precision);
         let mut config = self.config;
         config.trials = done;
         AdaptiveStats {
@@ -733,6 +710,120 @@ impl Evaluator {
             },
             stop_reason,
         }
+    }
+
+    /// Resume a saved cell (e.g. an [`EvalStats::from_json`] checkpoint)
+    /// and keep growing it until `precision` says stop — the sequential
+    /// half of [`Evaluator::extend_stats`]: the round schedule and
+    /// stopping checks are exactly [`Evaluator::run_adaptive`]'s, but
+    /// execution starts from the cell's current trial count instead of
+    /// zero.
+    ///
+    /// Whatever trial count `N` the resumed cell ends at, its moments and
+    /// P² sketch state are **bitwise identical** to a fresh `N`-trial run
+    /// (the [`Evaluator::extend_stats`] guarantee). When the cell's whole
+    /// history was grown under the same round discipline (same
+    /// `min_trials`, as the serve daemon arranges), the *stopping point*
+    /// itself also matches a cold [`Evaluator::run_adaptive`] at the
+    /// tighter target: every checkpoint the cold run visits below the
+    /// cell's current count already failed a looser-or-equal check, so
+    /// neither run stops there. A cell grown under a different discipline
+    /// (say a fixed budget) still resumes correctly but may stop at a
+    /// different count than a cold adaptive run would.
+    ///
+    /// The same resume preconditions as [`Evaluator::extend_stats`] apply
+    /// (asserted: master seed, semantics, step cap; caller contract:
+    /// instance and policy).
+    pub fn resume_adaptive<F, P>(
+        &self,
+        inst: &SuuInstance,
+        make_policy: F,
+        mut stats: EvalStats,
+        precision: Precision,
+    ) -> AdaptiveStats
+    where
+        F: Fn() -> P + Sync,
+        P: Policy,
+    {
+        self.assert_resumable(&stats);
+        let started = Instant::now();
+        let mut done = stats.trials() as usize;
+        let (name, stop_reason) =
+            self.adaptive_rounds(inst, &make_policy, &mut stats.acc, &mut done, precision);
+        if stats.policy.is_empty() {
+            stats.policy = name.unwrap_or_else(|| "unnamed".to_string());
+        }
+        stats.config.trials = done;
+        stats.wall_clock += started.elapsed();
+        AdaptiveStats { stats, stop_reason }
+    }
+
+    /// Build the spec through the registry and resume the cell
+    /// adaptively (see [`Evaluator::resume_adaptive`]).
+    pub fn resume_adaptive_spec(
+        &self,
+        registry: &PolicyRegistry,
+        inst: &Arc<SuuInstance>,
+        spec: &PolicySpec,
+        stats: EvalStats,
+        precision: Precision,
+    ) -> Result<AdaptiveStats, RegistryError> {
+        let make_policy = probe_factory(registry, inst, spec)?;
+        Ok(self.resume_adaptive(inst, make_policy, stats, precision))
+    }
+
+    /// The shared sequential-stopping loop: grow `acc` from `done` trials
+    /// in deterministic 1.5× rounds anchored at `precision.min_trials()`,
+    /// checking the stopping rule after each round. The schedule is a
+    /// pure function of the current count, so resumed and cold runs walk
+    /// identical checkpoints once their counts coincide.
+    fn adaptive_rounds<F, P>(
+        &self,
+        inst: &SuuInstance,
+        make_policy: &F,
+        acc: &mut OutcomeAccumulator,
+        done: &mut usize,
+        precision: Precision,
+    ) -> (Option<String>, StopReason)
+    where
+        F: Fn() -> P + Sync,
+        P: Policy,
+    {
+        let max = precision.max_trials();
+        let mut target = precision.min_trials().min(max);
+        let mut name: Option<String> = None;
+        let stop_reason = loop {
+            if target > *done {
+                let n = self.stream_range(inst, make_policy, acc, *done, target);
+                name.get_or_insert(n);
+                *done = target;
+            }
+            let (mean, ci95) = match acc.summary() {
+                Some(s) => (s.mean, s.ci95),
+                None => (0.0, f64::INFINITY),
+            };
+            if let Some(reason) = precision.check(*done, mean, ci95) {
+                break reason;
+            }
+            target = done.saturating_add((*done / 2).max(1)).min(max);
+        };
+        (name, stop_reason)
+    }
+
+    /// Shared resume precondition checks (see [`Evaluator::extend_stats`]).
+    fn assert_resumable(&self, stats: &EvalStats) {
+        assert_eq!(
+            stats.config.master_seed, self.config.master_seed,
+            "resume must use the master seed the cell was started with"
+        );
+        assert_eq!(
+            stats.config.exec.semantics, self.config.exec.semantics,
+            "resume must use the semantics the cell was started with"
+        );
+        assert_eq!(
+            stats.config.exec.max_steps, self.config.exec.max_steps,
+            "resume must use the step cap the cell was started with"
+        );
     }
 
     /// Build the spec through the registry and evaluate it adaptively

@@ -57,7 +57,8 @@
 //! | [`sim`] | `suu-sim` | execution engine (SUU & SUU* semantics), the policy registry ([`sim::PolicyRegistry`]), the parallel seed-deterministic [`sim::Evaluator`] |
 //! | [`algos`] | `suu-algos` | `SUU-I-OBL`, `SUU-I-SEM`, `SUU-C`, `SUU-T`, baselines, exact OPT, bounds, and [`algos::standard_registry`] |
 //! | [`stoch`] | `suu-stoch` | Appendix C: Lawler–Labetoulle, `STC-I` |
-//! | [`bench`] | `suu-bench` | scenario suite, `suu-results/v2` JSON schema, race runner, experiment binaries |
+//! | [`bench`] | `suu-bench` | scenario suite, `suu-results/v2` JSON schema, race runner, request wire form, experiment binaries |
+//! | [`serve`] | `suu-serve` | the `suud` evaluation daemon: HTTP/1.1 JSON API over a content-addressed, resumable result cache |
 //!
 //! The evaluation pipeline is layered: a
 //! [`sim::PolicySpec`] names a schedule; the registry builds it (with
@@ -73,5 +74,6 @@ pub use suu_core as core;
 pub use suu_dag as dag;
 pub use suu_flow as flow;
 pub use suu_lp as lp;
+pub use suu_serve as serve;
 pub use suu_sim as sim;
 pub use suu_stoch as stoch;

@@ -152,6 +152,85 @@ fn adaptive_stopping_is_deterministic_across_thread_counts() {
 }
 
 #[test]
+fn resume_adaptive_matches_cold_run_at_tighter_precision() {
+    // The serve daemon's cache-extend path: a cell stopped under a loose
+    // CI target is resumed under a tighter one. Because the round
+    // schedule is a pure function of the trial count (anchored at the
+    // rule's min_trials), the resumed cell must stop at *exactly* the
+    // trial count a cold run at the tighter target stops at, with a
+    // bitwise-identical accumulator (moments and P² sketch state).
+    let registry = standard_registry();
+    let sc = Scenario::bimodal(3, 8, 0.6, 31);
+    let inst = sc.instantiate();
+    let spec = PolicySpec::new("greedy-lr");
+    let rule = |half_width: f64| Precision::TargetCi {
+        half_width,
+        relative: true,
+        min_trials: 8,
+        max_trials: 400,
+    };
+    let loose = evaluator(0, 1, EngineKind::Events)
+        .run_adaptive_spec(&registry, &inst, &spec, rule(0.10))
+        .unwrap();
+    let cold = evaluator(0, 2, EngineKind::Events)
+        .run_adaptive_spec(&registry, &inst, &spec, rule(0.03))
+        .unwrap();
+    assert!(
+        cold.trials_used() > loose.trials_used(),
+        "tighter target must need more trials ({} vs {})",
+        cold.trials_used(),
+        loose.trials_used()
+    );
+    // Round-trip the loose cell through its JSON checkpoint first, as
+    // the daemon's on-disk cache does.
+    let wire = loose.stats.to_json().to_compact();
+    let restored = EvalStats::from_json(&suu::core::json::parse(&wire).unwrap()).unwrap();
+    let resumed = evaluator(0, 3, EngineKind::Events)
+        .resume_adaptive_spec(&registry, &inst, &spec, restored, rule(0.03))
+        .unwrap();
+    assert_eq!(resumed.trials_used(), cold.trials_used());
+    assert_eq!(resumed.stop_reason, cold.stop_reason);
+    assert_eq!(
+        resumed.stats.acc.to_json().to_compact(),
+        cold.stats.acc.to_json().to_compact(),
+        "resumed cell diverged from the cold tighter-precision run"
+    );
+    // A target the cell already satisfies adds no trials and returns the
+    // accumulator untouched.
+    let before = resumed.stats.acc.to_json().to_compact();
+    let rerun = evaluator(0, 1, EngineKind::Events)
+        .resume_adaptive_spec(&registry, &inst, &spec, resumed.stats, rule(0.10))
+        .unwrap();
+    assert_eq!(rerun.trials_used(), cold.trials_used());
+    assert_eq!(rerun.stats.acc.to_json().to_compact(), before);
+}
+
+#[test]
+fn resume_adaptive_under_fixed_budget_matches_plain_extension() {
+    // FixedTrials(n) through resume_adaptive is exactly extend_stats to
+    // n — the daemon uses one code path for both request shapes.
+    let registry = standard_registry();
+    let sc = Scenario::uniform(3, 8, 0.3, 0.9, 17);
+    let inst = sc.instantiate();
+    let spec = PolicySpec::new("gang-sequential");
+    let base = evaluator(12, 1, EngineKind::Events)
+        .run_stats_spec(&registry, &inst, &spec)
+        .unwrap();
+    let resumed = evaluator(12, 1, EngineKind::Events)
+        .resume_adaptive_spec(&registry, &inst, &spec, base, Precision::FixedTrials(40))
+        .unwrap();
+    let fresh = evaluator(40, 2, EngineKind::Events)
+        .run_stats_spec(&registry, &inst, &spec)
+        .unwrap();
+    assert_eq!(resumed.trials_used(), 40);
+    assert_eq!(resumed.stop_reason, suu::sim::StopReason::FixedBudget);
+    assert_eq!(
+        resumed.stats.acc.to_json().to_compact(),
+        fresh.acc.to_json().to_compact()
+    );
+}
+
+#[test]
 fn fixed_precision_matches_run_stats() {
     // FixedTrials(n) through the adaptive path is the plain streaming
     // run plus a stop reason.
