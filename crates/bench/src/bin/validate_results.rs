@@ -21,6 +21,15 @@
 //!   on any `outcomes_identical: false`; **tolerates but counts**
 //!   `"speedup": null` cells (sub-millisecond wall clocks; each must
 //!   carry a `speedup_note`).
+//! * `suu-bench/engine-batch/v2` — everything v1 checks, plus the
+//!   profile-guided rebuild's per-cell fields: a known `semantics`
+//!   label, a `stationary` flag, a `timing_reps` object (min-of-k
+//!   repeated timing), a `cache` object with integer
+//!   hits/misses/evictions/entries counters, and — when present — a
+//!   well-formed `profile` phase breakdown. With `--min-speedup X`,
+//!   additionally fails if any **timed** v2 cell reports a speedup below
+//!   `X` (null cells stay tolerated-and-counted) — the CI smoke perf
+//!   sanity gate.
 //!
 //! Exits nonzero on the first violation, so it can gate CI directly.
 
@@ -129,27 +138,35 @@ fn validate_results_v2(doc: &Json, path: &str) {
     );
 }
 
+/// Shared engine-cell core: `outcomes_identical` must be true and
+/// `speedup` a number or an explained null. Returns `(speedup,
+/// null_counted)` for the caller's extra checks.
+fn check_engine_cell(cell: &Json, ctx: &str) -> (Option<f64>, bool) {
+    match cell.get("outcomes_identical").and_then(Json::as_bool) {
+        Some(true) => {}
+        Some(false) => fail(format!("{ctx}: outcomes_identical is false")),
+        None => fail(format!("{ctx}: missing bool 'outcomes_identical'")),
+    }
+    match cell.get("speedup") {
+        Some(Json::Null) => {
+            // Tolerated (unmeasurably fast cell), but it must say why
+            // and it is counted by the caller.
+            require_str(cell, "speedup_note", ctx);
+            (None, true)
+        }
+        Some(v) if v.as_f64().is_some() => (v.as_f64(), false),
+        _ => fail(format!("{ctx}: 'speedup' must be a number or null")),
+    }
+}
+
 /// Returns the number of tolerated null-speedup cells.
 fn validate_engine(doc: &Json, path: &str) -> usize {
     let cells = require_arr(doc, "cells", path);
     let mut null_speedups = 0usize;
     for (i, cell) in cells.iter().enumerate() {
         let ctx = format!("{path}: cells[{i}]");
-        match cell.get("outcomes_identical").and_then(Json::as_bool) {
-            Some(true) => {}
-            Some(false) => fail(format!("{ctx}: outcomes_identical is false")),
-            None => fail(format!("{ctx}: missing bool 'outcomes_identical'")),
-        }
-        match cell.get("speedup") {
-            Some(Json::Null) => {
-                // Tolerated (sub-millisecond cell), but it must say why
-                // and it is counted below.
-                require_str(cell, "speedup_note", &ctx);
-                null_speedups += 1;
-            }
-            Some(v) if v.as_f64().is_some() => {}
-            _ => fail(format!("{ctx}: 'speedup' must be a number or null")),
-        }
+        let (_, nulled) = check_engine_cell(cell, &ctx);
+        null_speedups += nulled as usize;
     }
     println!(
         "OK {path}: {} engine cells, {null_speedups} null-speedup cell(s) tolerated",
@@ -158,10 +175,104 @@ fn validate_engine(doc: &Json, path: &str) -> usize {
     null_speedups
 }
 
+const SEMANTICS_LABELS: [&str; 2] = ["suu-star", "suu"];
+
+/// The `suu-bench/engine-batch/v2` gate: v1's checks plus the
+/// profile-guided rebuild's fields, and an optional perf sanity floor on
+/// every *timed* cell's speedup.
+fn validate_engine_batch_v2(doc: &Json, path: &str, min_speedup: Option<f64>) -> usize {
+    let cells = require_arr(doc, "cells", path);
+    let mut null_speedups = 0usize;
+    for (i, cell) in cells.iter().enumerate() {
+        let ctx = format!("{path}: cells[{i}]");
+        require_str(cell, "scenario", &ctx);
+        require_str(cell, "policy", &ctx);
+        let sem = require_str(cell, "semantics", &ctx);
+        if !SEMANTICS_LABELS.contains(&sem) {
+            fail(format!("{ctx}: unknown semantics {sem:?}"));
+        }
+        if cell.get("stationary").and_then(Json::as_bool).is_none() {
+            fail(format!("{ctx}: missing bool 'stationary'"));
+        }
+        let reps = cell
+            .get("timing_reps")
+            .unwrap_or_else(|| fail(format!("{ctx}: missing object 'timing_reps'")));
+        for key in ["per_trial", "batched"] {
+            match reps.get(key).and_then(Json::as_u64) {
+                Some(r) if r >= 1 => {}
+                _ => fail(format!("{ctx}: timing_reps.{key} must be an integer >= 1")),
+            }
+        }
+        let cache = cell
+            .get("cache")
+            .unwrap_or_else(|| fail(format!("{ctx}: missing object 'cache'")));
+        for key in ["hits", "misses", "evictions", "entries"] {
+            if cache.get(key).and_then(Json::as_u64).is_none() {
+                fail(format!("{ctx}: cache.{key} must be a non-negative integer"));
+            }
+        }
+        if let Some(profile) = cell.get("profile") {
+            require_str(profile, "mode", &ctx);
+            let phases = require_arr(profile, "phases", &ctx);
+            for (p, phase) in phases.iter().enumerate() {
+                let pctx = format!("{ctx}: profile.phases[{p}]");
+                require_str(phase, "phase", &pctx);
+                for key in ["wall_clock_s", "share"] {
+                    if phase.get(key).and_then(Json::as_f64).is_none() {
+                        fail(format!("{pctx}: missing numeric '{key}'"));
+                    }
+                }
+                if phase.get("enters").and_then(Json::as_u64).is_none() {
+                    fail(format!("{pctx}: missing integer 'enters'"));
+                }
+            }
+        }
+        let (speedup, nulled) = check_engine_cell(cell, &ctx);
+        null_speedups += nulled as usize;
+        if let (Some(s), Some(floor)) = (speedup, min_speedup) {
+            if s < floor {
+                fail(format!(
+                    "{ctx}: timed speedup {s:.3} below the --min-speedup floor {floor}"
+                ));
+            }
+        }
+    }
+    println!(
+        "OK {path}: {} engine-batch v2 cells{}, {null_speedups} null-speedup cell(s) tolerated",
+        cells.len(),
+        match min_speedup {
+            Some(floor) => format!(" (all timed cells >= {floor}x)"),
+            None => String::new(),
+        }
+    );
+    null_speedups
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut min_speedup: Option<f64> = None;
+    let mut args: Vec<String> = Vec::new();
+    let mut it = raw.iter();
+    while let Some(a) = it.next() {
+        if a == "--min-speedup" {
+            let v = it
+                .next()
+                .unwrap_or_else(|| fail("--min-speedup requires a value".to_string()));
+            min_speedup = Some(
+                v.parse()
+                    .unwrap_or_else(|_| fail(format!("--min-speedup: not a number: {v:?}"))),
+            );
+        } else if let Some(v) = a.strip_prefix("--min-speedup=") {
+            min_speedup = Some(
+                v.parse()
+                    .unwrap_or_else(|_| fail(format!("--min-speedup: not a number: {v:?}"))),
+            );
+        } else {
+            args.push(a.clone());
+        }
+    }
     if args.is_empty() {
-        fail("usage: validate_results FILE...".to_string());
+        fail("usage: validate_results [--min-speedup X] FILE...".to_string());
     }
     let mut tolerated = 0usize;
     for path in &args {
@@ -169,6 +280,9 @@ fn main() {
         let doc = parse(&text).unwrap_or_else(|e| fail(format!("{path}: {e}")));
         match doc.get("schema").and_then(Json::as_str) {
             Some("suu-results/v2") => validate_results_v2(&doc, path),
+            Some("suu-bench/engine-batch/v2") => {
+                tolerated += validate_engine_batch_v2(&doc, path, min_speedup);
+            }
             Some(s) if s.starts_with("suu-bench/engine-") => {
                 tolerated += validate_engine(&doc, path);
             }

@@ -89,6 +89,34 @@ impl BitSet {
         self.words.iter_mut().for_each(|w| *w = 0);
     }
 
+    /// Insert every value in `0..capacity` (the in-place spelling of
+    /// [`BitSet::full`], for reusing allocations in batch hot loops).
+    pub fn fill_all(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = u64::MAX);
+        let tail = self.capacity % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Overwrite this set with `other`'s contents without reallocating
+    /// (capacities must match).
+    pub fn copy_from(&mut self, other: &BitSet) {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        self.words.copy_from_slice(&other.words);
+    }
+
+    /// The backing `u64` words, least-significant first. Bits beyond
+    /// `capacity` are always zero, so two sets of equal capacity are equal
+    /// iff their word slices are — the invariant the word-keyed decision
+    /// cache ([`crate::WordMap`]) relies on.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// Iterate elements in increasing order.
     pub fn iter(&self) -> BitSetIter<'_> {
         BitSetIter {
@@ -234,5 +262,42 @@ mod tests {
         s.clear();
         assert!(s.is_empty());
         assert_eq!(s.first(), None);
+    }
+
+    #[test]
+    fn fill_all_matches_full() {
+        for cap in [0usize, 1, 63, 64, 65, 70, 128, 130] {
+            let mut s = BitSet::new(cap);
+            if cap > 0 {
+                s.insert((cap / 2) as u32);
+            }
+            s.fill_all();
+            assert_eq!(s, BitSet::full(cap), "cap {cap}");
+            assert_eq!(s.words(), BitSet::full(cap).words());
+        }
+        // Idempotent after mutation.
+        let mut s = BitSet::full(70);
+        s.remove(69);
+        s.fill_all();
+        assert_eq!(s.len(), 70);
+    }
+
+    #[test]
+    fn copy_from_reuses_without_realloc() {
+        let mut dst = BitSet::new(100);
+        dst.insert(7);
+        let mut src = BitSet::new(100);
+        src.insert(64);
+        src.insert(99);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+        assert!(!dst.contains(7));
+    }
+
+    #[test]
+    fn words_expose_tail_invariant() {
+        let s = BitSet::full(70);
+        assert_eq!(s.words().len(), 2);
+        assert_eq!(s.words()[1], (1u64 << 6) - 1, "tail bits zeroed");
     }
 }

@@ -17,6 +17,25 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
     hash
 }
 
+/// 64-bit FNV-1a over a `u64` word slice: identical to [`fnv1a`] of the
+/// words' little-endian byte concatenation, without materializing the
+/// bytes. This is the probe hash of [`crate::WordMap`], where the keys
+/// (bitset words) already live as `u64`s and the lookup sits on the batch
+/// engine's per-epoch hot path.
+#[inline]
+pub fn fnv1a_u64s(words: &[u64]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &word in words {
+        let mut w = word;
+        for _ in 0..8 {
+            hash ^= w & 0xFF;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            w >>= 8;
+        }
+    }
+    hash
+}
+
 /// [`fnv1a`] rendered as the fixed-width lowercase hex form used for
 /// content-addressed file names and URL path segments (always 16 chars).
 pub fn fnv1a_hex(bytes: &[u8]) -> String {
@@ -67,6 +86,21 @@ mod tests {
             "../../etc/passwd",  // path traversal shapes must not match
         ] {
             assert!(!is_fnv1a_hex(bad), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn word_hash_equals_byte_hash_of_le_concat() {
+        for words in [
+            &[][..],
+            &[0u64][..],
+            &[u64::MAX][..],
+            &[0x0123_4567_89AB_CDEF][..],
+            &[1, 2, 3][..],
+            &[u64::MAX, 0, 0xDEAD_BEEF][..],
+        ] {
+            let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+            assert_eq!(fnv1a_u64s(words), fnv1a(&bytes), "{words:?}");
         }
     }
 

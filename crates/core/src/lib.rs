@@ -41,15 +41,18 @@ mod instance;
 pub mod json;
 pub mod logmass;
 mod precedence;
+pub mod profile;
 #[cfg(test)]
 mod proptests;
 mod schedule;
+mod wordmap;
 pub mod workload;
 
 pub use assignment::Assignment;
 pub use bitset::BitSet;
-pub use hash::{fnv1a, fnv1a_hex, is_fnv1a_hex};
+pub use hash::{fnv1a, fnv1a_hex, fnv1a_u64s, is_fnv1a_hex};
 pub use ids::{JobId, MachineId};
 pub use instance::{InstanceError, SuuInstance};
 pub use precedence::{EligibilityState, EligibilityTopology, EligibilityTracker, Precedence};
 pub use schedule::Timetable;
+pub use wordmap::WordMap;

@@ -109,6 +109,22 @@ impl EligibilityTopology {
             epoch: 0,
         }
     }
+
+    /// Reset `state` to exactly what [`EligibilityTopology::new_state`]
+    /// returns, reusing its allocations — the batch engine recycles trial
+    /// states across chunks so steady-state execution allocates nothing.
+    /// `state` must have been created by this topology (same job count).
+    pub fn reset_state(&self, state: &mut EligibilityState) {
+        assert_eq!(
+            state.pending_preds.len(),
+            self.n,
+            "state belongs to a different topology"
+        );
+        state.remaining.fill_all();
+        state.eligible.copy_from(&self.initial_eligible);
+        state.pending_preds.copy_from_slice(&self.indegrees);
+        state.epoch = 0;
+    }
 }
 
 /// The mutable half of eligibility tracking: one trial's remaining and
@@ -333,6 +349,24 @@ mod tests {
         assert!(b.eligible().contains(1));
         assert!(!b.eligible().contains(3), "3 still blocked by 1 in b");
         assert!(!a.eligible().contains(1), "1 already done in a");
+    }
+
+    #[test]
+    fn reset_state_equals_new_state() {
+        let dag = Dag::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let topo = EligibilityTopology::new(&dag);
+        let mut s = topo.new_state();
+        s.complete(&topo, 0);
+        s.complete(&topo, 1);
+        topo.reset_state(&mut s);
+        let fresh = topo.new_state();
+        assert_eq!(s.remaining(), fresh.remaining());
+        assert_eq!(s.eligible(), fresh.eligible());
+        assert_eq!(s.pending_preds, fresh.pending_preds);
+        assert_eq!(s.epoch(), 0);
+        // A reset state evolves identically to a fresh one.
+        s.complete(&topo, 0);
+        assert!(s.eligible().contains(1) && s.eligible().contains(2));
     }
 
     #[test]

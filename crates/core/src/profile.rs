@@ -1,0 +1,322 @@
+//! An in-tree phase profiler for simulation hot loops: scoped phase
+//! counters plus a signal-free sampling wall-clock timer.
+//!
+//! The sanctioned dependency list has no profiler crate, and `perf` is
+//! not assumed on experiment hosts, so the batch engine carries its own
+//! instrumentation. The model is a tiny state machine: the instrumented
+//! loop declares which *phase* it is entering (`decide`, `cache-lookup`,
+//! `sampling`, `state-update`, …) and the profiler attributes the wall
+//! time between transitions to the phase that was current.
+//!
+//! * [`ProfileMode::Exact`] reads the monotonic clock at every
+//!   transition — exact scoped timing, for coarse-grained transition
+//!   points (the batch engine transitions per sweep/group, not per
+//!   trial, so even exact mode costs well under a percent).
+//! * [`ProfileMode::Sampled`]`(k)` reads the clock only on every k-th
+//!   transition and attributes the whole elapsed interval to the phase
+//!   current at the read — classic sampling-profiler attribution,
+//!   without signals, extra threads or OS timers. Phase *entry counts*
+//!   stay exact in both modes; only the time attribution is sampled.
+//! * [`ProfileMode::Off`] makes [`PhaseProfiler::enter`] a single
+//!   predictable branch, so the instrumentation stays compiled into the
+//!   hot loop permanently (measured at <1% on the differential-test
+//!   suite).
+//!
+//! Enable via the `SUU_PROFILE` environment variable (read by
+//! [`ProfileMode::from_env`]): `1`/`on` samples every
+//! [`DEFAULT_SAMPLE_EVERY`] transitions, `exact` times every transition,
+//! an integer `k ≥ 2` samples every k-th, and `0`/`off`/unset disables.
+
+use crate::json::Json;
+use std::time::Instant;
+
+/// Hard cap on distinct phases (fixed arrays keep the hot path flat).
+pub const MAX_PHASES: usize = 8;
+
+/// Sampling stride used by `SUU_PROFILE=1`.
+pub const DEFAULT_SAMPLE_EVERY: u32 = 8;
+
+/// How (and whether) a [`PhaseProfiler`] attributes wall time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProfileMode {
+    /// No clock reads; `enter` is one branch.
+    Off,
+    /// Read the clock on every k-th phase transition.
+    Sampled(u32),
+    /// Read the clock on every phase transition.
+    Exact,
+}
+
+impl ProfileMode {
+    /// Mode requested by the `SUU_PROFILE` environment variable (see the
+    /// module docs for the accepted values). Unset means [`Off`].
+    ///
+    /// [`Off`]: ProfileMode::Off
+    pub fn from_env() -> ProfileMode {
+        match std::env::var("SUU_PROFILE") {
+            Ok(v) => ProfileMode::parse(&v),
+            Err(_) => ProfileMode::Off,
+        }
+    }
+
+    /// Parse a `SUU_PROFILE` value; unrecognized strings disable.
+    pub fn parse(value: &str) -> ProfileMode {
+        match value.trim() {
+            "" | "0" | "off" => ProfileMode::Off,
+            "1" | "on" => ProfileMode::Sampled(DEFAULT_SAMPLE_EVERY),
+            "exact" => ProfileMode::Exact,
+            other => match other.parse::<u32>() {
+                Ok(k) if k >= 2 => ProfileMode::Sampled(k),
+                Ok(_) => ProfileMode::Exact,
+                Err(_) => ProfileMode::Off,
+            },
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        match self {
+            ProfileMode::Off => "off",
+            ProfileMode::Sampled(_) => "sampled",
+            ProfileMode::Exact => "exact",
+        }
+    }
+}
+
+/// Phase-bucketed wall time and entry counts for one instrumented loop.
+/// See the module docs for the attribution model.
+#[derive(Debug, Clone)]
+pub struct PhaseProfiler {
+    mode: ProfileMode,
+    names: &'static [&'static str],
+    current: usize,
+    since_sample: u32,
+    last: Option<Instant>,
+    nanos: [u64; MAX_PHASES],
+    enters: [u64; MAX_PHASES],
+}
+
+impl PhaseProfiler {
+    /// Profiler over the given phase names (index = phase id).
+    pub fn new(names: &'static [&'static str], mode: ProfileMode) -> Self {
+        assert!(
+            !names.is_empty() && names.len() <= MAX_PHASES,
+            "1..={MAX_PHASES} phases required"
+        );
+        PhaseProfiler {
+            mode,
+            names,
+            current: 0,
+            since_sample: 0,
+            last: None,
+            nanos: [0; MAX_PHASES],
+            enters: [0; MAX_PHASES],
+        }
+    }
+
+    /// `true` unless the mode is [`ProfileMode::Off`].
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.mode != ProfileMode::Off
+    }
+
+    /// The configured mode.
+    #[inline]
+    pub fn mode(&self) -> ProfileMode {
+        self.mode
+    }
+
+    /// Declare that phase `phase` starts now. Disabled, this is a single
+    /// branch — the hot loop keeps its instrumentation unconditionally.
+    #[inline]
+    pub fn enter(&mut self, phase: usize) {
+        if self.mode == ProfileMode::Off {
+            return;
+        }
+        self.enter_enabled(phase);
+    }
+
+    fn enter_enabled(&mut self, phase: usize) {
+        debug_assert!(phase < self.names.len(), "unknown phase {phase}");
+        self.enters[phase] += 1;
+        let read_clock = match self.mode {
+            ProfileMode::Exact => true,
+            ProfileMode::Sampled(k) => {
+                self.since_sample += 1;
+                if self.since_sample >= k {
+                    self.since_sample = 0;
+                    true
+                } else {
+                    false
+                }
+            }
+            ProfileMode::Off => unreachable!(),
+        };
+        if read_clock {
+            let now = Instant::now();
+            if let Some(last) = self.last {
+                self.nanos[self.current] += now.duration_since(last).as_nanos() as u64;
+            }
+            self.last = Some(now);
+        }
+        self.current = phase;
+    }
+
+    /// Close the open interval, attributing it to the current phase.
+    /// Call when the instrumented region ends (e.g. end of a batch run);
+    /// the profiler is then ready for the next region.
+    pub fn finish(&mut self) {
+        if self.mode == ProfileMode::Off {
+            return;
+        }
+        if let Some(last) = self.last.take() {
+            self.nanos[self.current] += last.elapsed().as_nanos() as u64;
+        }
+        self.since_sample = 0;
+    }
+
+    /// Snapshot of the accumulated phase breakdown.
+    pub fn report(&self) -> ProfileReport {
+        ProfileReport {
+            mode: self.mode,
+            phases: self
+                .names
+                .iter()
+                .enumerate()
+                .map(|(i, &name)| PhaseStat {
+                    name,
+                    nanos: self.nanos[i],
+                    enters: self.enters[i],
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One phase's share of a [`ProfileReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseStat {
+    /// Phase name as registered with [`PhaseProfiler::new`].
+    pub name: &'static str,
+    /// Wall nanoseconds attributed to the phase (sampled or exact,
+    /// per the report's mode).
+    pub nanos: u64,
+    /// Exact number of `enter` transitions into the phase.
+    pub enters: u64,
+}
+
+/// Snapshot of a profiler's phase breakdown, JSON-renderable for bench
+/// artifacts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileReport {
+    /// Mode the profiler ran under.
+    pub mode: ProfileMode,
+    /// Per-phase totals, in registration order.
+    pub phases: Vec<PhaseStat>,
+}
+
+impl ProfileReport {
+    /// Total attributed nanoseconds across all phases.
+    pub fn total_nanos(&self) -> u64 {
+        self.phases.iter().map(|p| p.nanos).sum()
+    }
+
+    /// Render for embedding in a bench artifact cell: mode, per-phase
+    /// seconds/entry counts, and each phase's share of attributed time.
+    pub fn to_json(&self) -> Json {
+        let total = self.total_nanos().max(1) as f64;
+        let phases: Vec<Json> = self
+            .phases
+            .iter()
+            .map(|p| {
+                Json::obj()
+                    .field("phase", p.name)
+                    .field("wall_clock_s", p.nanos as f64 * 1e-9)
+                    .field("share", p.nanos as f64 / total)
+                    .field("enters", p.enters)
+            })
+            .collect();
+        let mut json = Json::obj().field("mode", self.mode.label());
+        if let ProfileMode::Sampled(k) = self.mode {
+            json = json.field("sample_every", k);
+        }
+        json.field("phases", Json::Arr(phases))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_parsing() {
+        assert_eq!(ProfileMode::parse(""), ProfileMode::Off);
+        assert_eq!(ProfileMode::parse("0"), ProfileMode::Off);
+        assert_eq!(ProfileMode::parse("off"), ProfileMode::Off);
+        assert_eq!(
+            ProfileMode::parse("1"),
+            ProfileMode::Sampled(DEFAULT_SAMPLE_EVERY)
+        );
+        assert_eq!(ProfileMode::parse("on"), ProfileMode::Sampled(8));
+        assert_eq!(ProfileMode::parse("exact"), ProfileMode::Exact);
+        assert_eq!(ProfileMode::parse("16"), ProfileMode::Sampled(16));
+        assert_eq!(ProfileMode::parse(" 4 "), ProfileMode::Sampled(4));
+        assert_eq!(ProfileMode::parse("garbage"), ProfileMode::Off);
+    }
+
+    #[test]
+    fn disabled_profiler_counts_nothing() {
+        let mut p = PhaseProfiler::new(&["a", "b"], ProfileMode::Off);
+        for _ in 0..100 {
+            p.enter(0);
+            p.enter(1);
+        }
+        p.finish();
+        let r = p.report();
+        assert_eq!(r.total_nanos(), 0);
+        assert!(r.phases.iter().all(|ph| ph.enters == 0));
+    }
+
+    #[test]
+    fn exact_mode_counts_enters_and_attributes_time() {
+        let mut p = PhaseProfiler::new(&["work", "rest"], ProfileMode::Exact);
+        for _ in 0..10 {
+            p.enter(0);
+            std::hint::black_box((0..500).sum::<u64>());
+            p.enter(1);
+        }
+        p.finish();
+        let r = p.report();
+        assert_eq!(r.phases[0].enters, 10);
+        assert_eq!(r.phases[1].enters, 10);
+        assert!(r.phases[0].nanos > 0, "work phase saw wall time");
+    }
+
+    #[test]
+    fn sampled_mode_keeps_exact_enters() {
+        let mut p = PhaseProfiler::new(&["a", "b"], ProfileMode::Sampled(7));
+        for _ in 0..100 {
+            p.enter(0);
+            p.enter(1);
+        }
+        p.finish();
+        let r = p.report();
+        assert_eq!(r.phases[0].enters, 100);
+        assert_eq!(r.phases[1].enters, 100);
+    }
+
+    #[test]
+    fn report_json_shape() {
+        let mut p = PhaseProfiler::new(&["a"], ProfileMode::Sampled(4));
+        p.enter(0);
+        p.finish();
+        let json = p.report().to_json();
+        assert_eq!(json.get("mode").and_then(|m| m.as_str()), Some("sampled"));
+        assert_eq!(json.get("sample_every").and_then(|s| s.as_u64()), Some(4));
+        let phases = json.get("phases").and_then(|p| p.as_array()).unwrap();
+        assert_eq!(phases.len(), 1);
+        assert_eq!(phases[0].get("phase").and_then(|n| n.as_str()), Some("a"));
+        assert!(phases[0].get("enters").is_some());
+        assert!(phases[0].get("wall_clock_s").is_some());
+        assert!(phases[0].get("share").is_some());
+    }
+}

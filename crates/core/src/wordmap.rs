@@ -1,0 +1,256 @@
+//! An open-addressed hash map keyed on fixed-width `u64` word slices.
+//!
+//! The batch engine caches one decision plan per distinct remaining set.
+//! Keying a `HashMap` by [`crate::BitSet`] pays SipHash over the set plus
+//! a clone of it on every insert — measurable per-epoch costs on cells
+//! where the cache is consulted millions of times. A remaining set is
+//! already a short `&[u64]` (its backing words, tail bits zero), so this
+//! map hashes those words directly with the workspace's stable FNV-1a
+//! ([`crate::hash::fnv1a_u64s`]), probes linearly through a
+//! power-of-two slot array, and compares candidate keys by an inline
+//! word-slice compare — no key objects are ever constructed, and the hit
+//! path allocates nothing.
+//!
+//! Keys are stored once, contiguously, in an arena (`words_per_key`
+//! words each); slots hold `(hash, entry index)` so a probe rejects
+//! non-matching entries on one `u64` compare before touching the arena.
+//! Entries cannot be removed individually — the engine's cache only ever
+//! grows and is wiped wholesale ([`WordMap::clear`]) — which keeps the
+//! probe sequences canonical and the implementation small.
+
+use crate::hash::fnv1a_u64s;
+
+const EMPTY: u32 = u32::MAX;
+/// Initial slot count on first insert (power of two).
+const INITIAL_SLOTS: usize = 16;
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    hash: u64,
+    idx: u32,
+}
+
+/// Hash map from fixed-width `&[u64]` keys to `V`. See the module docs.
+#[derive(Debug, Clone)]
+pub struct WordMap<V> {
+    /// Words per key; every key slice must have exactly this length.
+    words: usize,
+    /// Power-of-two probe table (empty until the first insert).
+    slots: Vec<Slot>,
+    /// Key arena: entry `i` owns `keys[i*words .. (i+1)*words]`.
+    keys: Vec<u64>,
+    vals: Vec<V>,
+}
+
+impl<V> WordMap<V> {
+    /// Empty map whose keys are `words_per_key` words wide.
+    pub fn new(words_per_key: usize) -> Self {
+        WordMap {
+            words: words_per_key,
+            slots: Vec::new(),
+            keys: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// `true` if the map holds no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.vals.is_empty()
+    }
+
+    /// Key width this map was built for.
+    #[inline]
+    pub fn words_per_key(&self) -> usize {
+        self.words
+    }
+
+    /// Drop every entry, keeping all allocations for reuse.
+    pub fn clear(&mut self) {
+        self.slots.iter_mut().for_each(|s| s.idx = EMPTY);
+        self.keys.clear();
+        self.vals.clear();
+    }
+
+    #[inline]
+    fn key_at(&self, idx: u32) -> &[u64] {
+        let start = idx as usize * self.words;
+        &self.keys[start..start + self.words]
+    }
+
+    /// Look up `key`. Allocation- and construction-free: one FNV-1a over
+    /// the words, then linear probing with an inline word compare.
+    #[inline]
+    pub fn get(&self, key: &[u64]) -> Option<&V> {
+        debug_assert_eq!(key.len(), self.words, "key width mismatch");
+        if self.slots.is_empty() {
+            return None;
+        }
+        let hash = fnv1a_u64s(key);
+        let mask = self.slots.len() - 1;
+        let mut i = hash as usize & mask;
+        loop {
+            let slot = self.slots[i];
+            if slot.idx == EMPTY {
+                return None;
+            }
+            if slot.hash == hash && self.key_at(slot.idx) == key {
+                return Some(&self.vals[slot.idx as usize]);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Insert `key → value`, returning the previous value if the key was
+    /// present. The key words are copied into the arena only on fresh
+    /// inserts.
+    pub fn insert(&mut self, key: &[u64], value: V) -> Option<V> {
+        debug_assert_eq!(key.len(), self.words, "key width mismatch");
+        self.reserve_one();
+        let hash = fnv1a_u64s(key);
+        let mask = self.slots.len() - 1;
+        let mut i = hash as usize & mask;
+        loop {
+            let slot = self.slots[i];
+            if slot.idx == EMPTY {
+                let idx = self.vals.len() as u32;
+                assert!(idx != EMPTY, "WordMap entry count overflow");
+                self.keys.extend_from_slice(key);
+                self.vals.push(value);
+                self.slots[i] = Slot { hash, idx };
+                return None;
+            }
+            if slot.hash == hash && self.key_at(slot.idx) == key {
+                return Some(std::mem::replace(&mut self.vals[slot.idx as usize], value));
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Grow the probe table before an insert if load would exceed 7/8 —
+    /// linear probing degrades sharply past that.
+    fn reserve_one(&mut self) {
+        if self.slots.is_empty() {
+            self.slots = vec![
+                Slot {
+                    hash: 0,
+                    idx: EMPTY
+                };
+                INITIAL_SLOTS
+            ];
+            return;
+        }
+        if (self.vals.len() + 1) * 8 <= self.slots.len() * 7 {
+            return;
+        }
+        let new_len = self.slots.len() * 2;
+        let mut slots = vec![
+            Slot {
+                hash: 0,
+                idx: EMPTY
+            };
+            new_len
+        ];
+        let mask = new_len - 1;
+        for idx in 0..self.vals.len() as u32 {
+            let hash = fnv1a_u64s(self.key_at(idx));
+            let mut i = hash as usize & mask;
+            while slots[i].idx != EMPTY {
+                i = (i + 1) & mask;
+            }
+            slots[i] = Slot { hash, idx };
+        }
+        self.slots = slots;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_update() {
+        let mut m = WordMap::new(2);
+        assert!(m.is_empty());
+        assert_eq!(m.get(&[1, 2]), None);
+        assert_eq!(m.insert(&[1, 2], "a"), None);
+        assert_eq!(m.insert(&[2, 1], "b"), None);
+        assert_eq!(m.get(&[1, 2]), Some(&"a"));
+        assert_eq!(m.get(&[2, 1]), Some(&"b"));
+        assert_eq!(m.get(&[1, 3]), None);
+        assert_eq!(m.insert(&[1, 2], "c"), Some("a"));
+        assert_eq!(m.get(&[1, 2]), Some(&"c"));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn survives_growth_past_many_resizes() {
+        // Sequential keys collide heavily in low bits; push through
+        // several doublings and verify every entry afterwards.
+        let mut m = WordMap::new(1);
+        for k in 0..1000u64 {
+            assert_eq!(m.insert(&[k], k * 3), None);
+        }
+        assert_eq!(m.len(), 1000);
+        for k in 0..1000u64 {
+            assert_eq!(m.get(&[k]), Some(&(k * 3)), "key {k}");
+        }
+        assert_eq!(m.get(&[1000]), None);
+    }
+
+    #[test]
+    fn clear_keeps_capacity_and_empties() {
+        let mut m = WordMap::new(1);
+        for k in 0..100u64 {
+            m.insert(&[k], k);
+        }
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.get(&[5]), None);
+        // Reusable after clear.
+        assert_eq!(m.insert(&[5], 7), None);
+        assert_eq!(m.get(&[5]), Some(&7));
+    }
+
+    #[test]
+    fn zero_width_keys_collapse_to_one_entry() {
+        let mut m = WordMap::new(0);
+        assert_eq!(m.insert(&[], 1), None);
+        assert_eq!(m.insert(&[], 2), Some(1));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get(&[]), Some(&2));
+    }
+
+    #[test]
+    fn matches_std_hashmap_on_random_ops() {
+        use std::collections::HashMap;
+        // Deterministic pseudo-random op stream (SplitMix64).
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut m = WordMap::new(3);
+        let mut oracle: HashMap<[u64; 3], u64> = HashMap::new();
+        for _ in 0..4000 {
+            // Small key space so hits, misses and updates all occur.
+            let key = [next() % 7, next() % 5, next() % 3];
+            if next() % 4 == 0 {
+                let v = next();
+                assert_eq!(m.insert(&key, v), oracle.insert(key, v));
+            } else {
+                assert_eq!(m.get(&key), oracle.get(&key));
+            }
+        }
+        assert_eq!(m.len(), oracle.len());
+    }
+}

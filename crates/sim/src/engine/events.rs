@@ -17,11 +17,58 @@
 //! counters and completion times — to what the dense oracle produces
 //! from the same seed, at `O(#events · m)` instead of
 //! `O(makespan · m)` cost.
+//!
+//! All per-trial working memory lives in an [`EventsScratch`]: the
+//! one-shot [`execute_events`] builds a fresh one, while the batch
+//! engine's non-stationary fallback keeps a single scratch across every
+//! trial of a cell ([`execute_events_in`]), so the precedence DAG,
+//! eligibility topology and per-job columns are built once instead of
+//! once per trial.
 
 use super::{clamp_wake, geometric_steps, star_steps, ExecConfig, ExecOutcome, JobRandomness};
 use super::{Semantics, NEVER};
 use crate::policy::{Assignment, Policy, StateView};
-use suu_core::{EligibilityTracker, MachineId, SuuInstance};
+use suu_core::{EligibilityState, EligibilityTopology, MachineId, SuuInstance};
+
+/// Reusable per-trial working state of the event engine: the shared
+/// eligibility topology plus every per-job column and scratch buffer one
+/// execution needs. Constructing it is the expensive part of a trial on
+/// small instances (DAG materialization, successor lists, allocations);
+/// resetting it is a handful of `fill`s.
+pub(crate) struct EventsScratch {
+    topo: EligibilityTopology,
+    state: EligibilityState,
+    thresholds: Vec<f64>,
+    accrued: Vec<f64>,
+    coin_draws: Vec<u32>,
+    step_mass: Vec<f64>,
+    seen: Vec<bool>,
+    deadline: Vec<u64>,
+    touched: Vec<u32>,
+    out: Assignment,
+}
+
+impl EventsScratch {
+    pub(crate) fn new(inst: &SuuInstance) -> Self {
+        let n = inst.num_jobs();
+        let m = inst.num_machines();
+        let dag = inst.precedence().to_dag(n);
+        let topo = EligibilityTopology::new(&dag);
+        let state = topo.new_state();
+        EventsScratch {
+            topo,
+            state,
+            thresholds: Vec::with_capacity(n),
+            accrued: vec![0.0; n],
+            coin_draws: vec![0; n],
+            step_mass: vec![0.0; n],
+            seen: vec![false; n],
+            deadline: vec![NEVER; n],
+            touched: Vec::with_capacity(m),
+            out: Assignment::new(m),
+        }
+    }
+}
 
 /// Execute `policy` on `inst`, fast-forwarding between decision epochs.
 pub fn execute_events(
@@ -30,37 +77,45 @@ pub fn execute_events(
     cfg: &ExecConfig,
     seed: u64,
 ) -> ExecOutcome {
+    execute_events_in(inst, policy, cfg, seed, &mut EventsScratch::new(inst))
+}
+
+/// [`execute_events`] against caller-owned scratch. `scratch` must have
+/// been built from this `inst`; it is fully reset here, so reuse across
+/// trials is invisible in the outcome (bitwise).
+pub(crate) fn execute_events_in(
+    inst: &SuuInstance,
+    policy: &mut dyn Policy,
+    cfg: &ExecConfig,
+    seed: u64,
+    s: &mut EventsScratch,
+) -> ExecOutcome {
     let n = inst.num_jobs();
     let m = inst.num_machines();
+    debug_assert_eq!(s.topo.num_jobs(), n, "scratch built for another instance");
     policy.reset();
 
-    let dag = inst.precedence().to_dag(n);
-    let mut tracker = EligibilityTracker::new(&dag);
+    s.topo.reset_state(&mut s.state);
     let rnd = JobRandomness::new(seed);
 
-    let thresholds: Vec<f64> = match cfg.semantics {
-        Semantics::SuuStar => (0..n as u32).map(|j| rnd.threshold(j)).collect(),
-        Semantics::Suu => Vec::new(),
-    };
-    let mut accrued = vec![0.0f64; n];
-    let mut coin_draws = vec![0u32; n];
+    s.thresholds.clear();
+    if cfg.semantics == Semantics::SuuStar {
+        s.thresholds.extend((0..n as u32).map(|j| rnd.threshold(j)));
+    }
+    s.accrued.fill(0.0);
+    s.coin_draws.fill(0);
+    // `step_mass`/`seen` hold their all-zero/false invariant across
+    // epochs *and* trials (every epoch resets what it touched), and
+    // `deadline` entries are written before any read — no reset needed.
     let mut completion_time = vec![u64::MAX; n];
 
     let mut busy_steps = 0u64;
     let mut idle_steps = 0u64;
     let mut ineligible = 0u64;
 
-    // Scratch, reused across epochs: per-job mass under the held
-    // assignment, absolute completion deadlines, and the touched set.
-    let mut step_mass = vec![0.0f64; n];
-    let mut seen = vec![false; n];
-    let mut deadline = vec![NEVER; n];
-    let mut touched: Vec<u32> = Vec::with_capacity(m);
-    let mut out = Assignment::new(m);
-
     let mut t = 0u64;
     loop {
-        if tracker.all_done() {
+        if s.state.all_done() {
             return ExecOutcome {
                 makespan: t,
                 completed: true,
@@ -82,17 +137,17 @@ pub fn execute_events(
         }
 
         // ---- decision epoch ----
-        out.clear();
+        s.out.clear();
         let decision = {
             let view = StateView {
                 time: t,
-                epoch: tracker.epoch(),
-                remaining: tracker.remaining(),
-                eligible: tracker.eligible(),
+                epoch: s.state.epoch(),
+                remaining: s.state.remaining(),
+                eligible: s.state.eligible(),
                 n,
                 m,
             };
-            policy.decide(&view, &mut out)
+            policy.decide(&view, &mut s.out)
         };
         let wake = clamp_wake(decision.next_wakeup, t);
 
@@ -100,23 +155,23 @@ pub fn execute_events(
         let mut busy_m = 0u64;
         let mut idle_m = 0u64;
         let mut inel_m = 0u64;
-        touched.clear();
+        s.touched.clear();
         for i in 0..m {
-            match out.get(i) {
+            match s.out.get(i) {
                 None => idle_m += 1,
                 Some(j) => {
                     let ji = j.index();
                     debug_assert!(ji < n, "policy assigned out-of-range job");
-                    if !tracker.remaining().contains(j.0) {
+                    if !s.state.remaining().contains(j.0) {
                         idle_m += 1;
-                    } else if !tracker.eligible().contains(j.0) {
+                    } else if !s.state.eligible().contains(j.0) {
                         inel_m += 1;
                     } else {
-                        if !seen[ji] {
-                            seen[ji] = true;
-                            touched.push(j.0);
+                        if !s.seen[ji] {
+                            s.seen[ji] = true;
+                            s.touched.push(j.0);
                         }
-                        step_mass[ji] += inst.ell(MachineId(i as u32), j);
+                        s.step_mass[ji] += inst.ell(MachineId(i as u32), j);
                         busy_m += 1;
                     }
                 }
@@ -125,23 +180,23 @@ pub fn execute_events(
 
         // Sample/compute each running job's completion deadline.
         let mut next_completion = NEVER;
-        for &j in &touched {
+        for &j in &s.touched {
             let ji = j as usize;
-            let mass = step_mass[ji];
+            let mass = s.step_mass[ji];
             if mass <= 0.0 {
-                deadline[ji] = NEVER; // only q=1 machines: no progress
+                s.deadline[ji] = NEVER; // only q=1 machines: no progress
                 continue;
             }
             let steps = match cfg.semantics {
-                Semantics::SuuStar => star_steps(accrued[ji], thresholds[ji], mass),
+                Semantics::SuuStar => star_steps(s.accrued[ji], s.thresholds[ji], mass),
                 Semantics::Suu => {
-                    let u = rnd.coin(j, coin_draws[ji]);
-                    coin_draws[ji] += 1;
+                    let u = rnd.coin(j, s.coin_draws[ji]);
+                    s.coin_draws[ji] += 1;
                     geometric_steps(u, mass)
                 }
             };
-            deadline[ji] = t.saturating_add(steps);
-            next_completion = next_completion.min(deadline[ji]);
+            s.deadline[ji] = t.saturating_add(steps);
+            next_completion = next_completion.min(s.deadline[ji]);
         }
 
         let event_t = next_completion.min(wake.unwrap_or(NEVER));
@@ -153,9 +208,9 @@ pub fn execute_events(
             busy_steps += busy_m * span;
             idle_steps += idle_m * span;
             ineligible += inel_m * span;
-            for &j in &touched {
-                step_mass[j as usize] = 0.0;
-                seen[j as usize] = false;
+            for &j in &s.touched {
+                s.step_mass[j as usize] = 0.0;
+                s.seen[j as usize] = false;
             }
             t = cfg.max_steps;
             continue;
@@ -167,22 +222,22 @@ pub fn execute_events(
         idle_steps += idle_m * span;
         ineligible += inel_m * span;
 
-        for &j in &touched {
+        for &j in &s.touched {
             let ji = j as usize;
-            let mass = step_mass[ji];
-            step_mass[ji] = 0.0;
-            seen[ji] = false;
+            let mass = s.step_mass[ji];
+            s.step_mass[ji] = 0.0;
+            s.seen[ji] = false;
             if mass <= 0.0 {
                 continue;
             }
             if cfg.semantics == Semantics::SuuStar {
                 // Same expression as the dense stepper's final value for
                 // this segment: base + k·µ with one multiply.
-                accrued[ji] += span as f64 * mass;
+                s.accrued[ji] += span as f64 * mass;
             }
-            if deadline[ji] == event_t {
+            if s.deadline[ji] == event_t {
                 completion_time[ji] = event_t;
-                tracker.complete(j);
+                s.state.complete(&s.topo, j);
             }
             // Survivors re-sample at the next epoch (geometric
             // memorylessness keeps SUU exact; SUU* just re-bases).

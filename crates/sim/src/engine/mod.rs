@@ -45,6 +45,9 @@
 pub mod batch;
 pub mod dense;
 pub mod events;
+pub mod sampling;
+
+pub(crate) use sampling::{geometric_steps, star_steps, NEVER};
 
 use crate::evaluate::derive_seed;
 use crate::policy::Policy;
@@ -185,62 +188,6 @@ impl JobRandomness {
         );
         (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
-}
-
-/// Sampled sub-run length that never completes within any reachable
-/// horizon (stands in for "+∞").
-pub(crate) const NEVER: u64 = u64::MAX;
-
-/// SUU: steps until success for a job receiving constant per-step mass
-/// `mass > 0`, from one uniform draw `u ∈ [0, 1)` by inversion.
-/// `P(T > k) = fail^k` with `fail = 2^(−mass)`, so
-/// `T = 1 + ⌊ln(1−u) / ln(fail)⌋`.
-pub(crate) fn geometric_steps(u: f64, mass: f64) -> u64 {
-    let fail = (-mass).exp2();
-    if fail <= 0.0 {
-        return 1; // infinite mass: certain completion
-    }
-    if fail >= 1.0 {
-        return NEVER; // mass underflowed to zero progress
-    }
-    let t = ((1.0 - u).ln() / fail.ln()).floor() + 1.0;
-    if !t.is_finite() || t >= 4.0e18 {
-        NEVER
-    } else if t < 1.0 {
-        1
-    } else {
-        t as u64
-    }
-}
-
-/// SUU*: smallest `k ≥ 1` with `base + k·mass ≥ threshold`, evaluated
-/// with **exactly** the expression the dense engine uses per step, so the
-/// crossing step is bitwise identical. A closed-form guess via division
-/// is fixed up by at most a couple of neighbor checks (float rounding).
-pub(crate) fn star_steps(base: f64, threshold: f64, mass: f64) -> u64 {
-    debug_assert!(mass > 0.0);
-    if !mass.is_finite() {
-        return 1;
-    }
-    let guess = ((threshold - base) / mass).ceil();
-    let mut k = if guess.is_finite() && guess >= 1.0 {
-        if guess >= 4.0e18 {
-            return NEVER;
-        }
-        guess as u64
-    } else {
-        1
-    };
-    while k > 1 && base + ((k - 1) as f64) * mass >= threshold {
-        k -= 1;
-    }
-    while base + (k as f64) * mass < threshold {
-        k += 1;
-        if k >= 1 << 62 {
-            return NEVER;
-        }
-    }
-    k
 }
 
 /// Normalize a policy's requested wake-up: values `≤ now` mean "next

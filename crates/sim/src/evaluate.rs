@@ -48,7 +48,7 @@
 //! rule) — the machinery the `suu-serve` daemon's content-addressed
 //! result cache is built on.
 
-use crate::engine::batch::{execute_batch, BatchTrial};
+use crate::engine::batch::{BatchRunner, BatchTrial};
 use crate::engine::{execute, EngineKind, ExecConfig, ExecOutcome, Semantics};
 use crate::policy::Policy;
 use crate::registry::{PolicyRegistry, PolicySpec, RegistryError};
@@ -473,6 +473,14 @@ impl Evaluator {
             .collect()
     }
 
+    /// Seeds of trials `lo..hi` as one batch — exactly the seeds every
+    /// evaluation path derives for those trial indices, exposed so
+    /// external harnesses (the bench binaries) can drive the engines
+    /// directly while staying on the evaluator's randomness contract.
+    pub fn trial_batch(&self, lo: usize, hi: usize) -> Vec<BatchTrial> {
+        self.chunk_trials(lo, hi, 0, hi.saturating_sub(lo))
+    }
+
     /// Run the policy produced by `make_policy` for every trial.
     ///
     /// `make_policy` is invoked once per worker thread; each trial reseeds
@@ -573,10 +581,11 @@ impl Evaluator {
         let started = Instant::now();
         let mut policy = make_policy();
         let name = policy.name().to_string();
+        let mut runner = BatchRunner::new(inst, &cfg.exec);
         let mut outcomes = Vec::with_capacity(cfg.trials);
         for chunk in 0..cfg.trials.div_ceil(batch) {
             let trials = self.chunk_trials(0, cfg.trials, chunk, batch);
-            outcomes.extend(execute_batch(inst, &mut policy, &cfg.exec, &trials));
+            outcomes.extend(runner.run(&mut policy, &trials));
         }
         EvalReport {
             policy: name,
@@ -870,6 +879,10 @@ impl Evaluator {
         let mut a = make_a();
         let mut b = make_b();
         let (name_a, name_b) = (a.name().to_string(), b.name().to_string());
+        // One warm runner per policy for the whole comparison: decision
+        // caches are per-policy, scratch is reused across rounds.
+        let mut runner_a = BatchRunner::new(inst, &cfg.exec);
+        let mut runner_b = BatchRunner::new(inst, &cfg.exec);
         let mut delta = PairedDelta::new();
         let max = precision.max_trials();
         let mut target = precision.min_trials().min(max);
@@ -877,8 +890,8 @@ impl Evaluator {
         let stop_reason = loop {
             for chunk in 0..(target - done).div_ceil(batch.max(1)) {
                 let trials = self.chunk_trials(done, target, chunk, batch);
-                let out_a = execute_batch(inst, &mut a, &cfg.exec, &trials);
-                let out_b = execute_batch(inst, &mut b, &cfg.exec, &trials);
+                let out_a = runner_a.run(&mut a, &trials);
+                let out_b = runner_b.run(&mut b, &trials);
                 for (oa, ob) in out_a.iter().zip(&out_b) {
                     delta.push(oa.makespan as f64, ob.makespan as f64);
                 }
@@ -951,9 +964,10 @@ impl Evaluator {
         if workers <= 1 {
             let mut policy = make_policy();
             policy_name = policy.name().to_string();
+            let mut runner = BatchRunner::new(inst, &cfg.exec);
             for chunk in 0..chunks {
                 let trials = self.chunk_trials(lo, hi, chunk, batch);
-                for outcome in execute_batch(inst, &mut policy, &cfg.exec, &trials) {
+                for outcome in runner.run(&mut policy, &trials) {
                     acc.push(&outcome);
                 }
             }
@@ -982,6 +996,10 @@ impl Evaluator {
                                 *slot = Some(policy.name().to_string());
                             }
                         }
+                        // Worker-local runner: decision cache and SoA
+                        // scratch stay warm across every chunk this
+                        // worker claims.
+                        let mut runner = BatchRunner::new(inst, &cfg.exec);
                         loop {
                             let chunk = next.fetch_add(1, Ordering::Relaxed);
                             if chunk >= chunks {
@@ -995,7 +1013,7 @@ impl Evaluator {
                                 std::thread::yield_now();
                             }
                             let trials = self.chunk_trials(lo, hi, chunk, batch);
-                            let outcomes = execute_batch(inst, &mut policy, &cfg.exec, &trials);
+                            let outcomes = runner.run(&mut policy, &trials);
                             if tx.send((chunk, outcomes)).is_err() {
                                 break; // receiver gone: nothing left to do
                             }

@@ -60,7 +60,7 @@ pub mod registry;
 pub mod stats;
 pub mod trace;
 
-pub use engine::batch::{execute_batch, BatchTrial};
+pub use engine::batch::{execute_batch, BatchMetrics, BatchRunner, BatchTrial};
 pub use engine::{execute, EngineKind, ExecConfig, ExecOutcome, Semantics};
 pub use evaluate::{
     derive_seed, AdaptiveStats, EvalConfig, EvalReport, EvalStats, Evaluator, PairedStats,

@@ -243,6 +243,100 @@ impl Policy for Rotate {
     }
 }
 
+/// Satellite of the profile-guided batch-engine rebuild: the wide
+/// sampling kernels the batched engine runs per plan group must be
+/// **bitwise** the scalar samplers, lane for lane — including at the
+/// numeric edges the standard suite's instances never reach: `u → 1`
+/// boundaries, `mass → 0` through the denormal range, `mass = ∞`, and
+/// denormal / infinite SUU\* thresholds.
+#[test]
+fn wide_sampling_kernels_match_scalar_on_edge_inputs() {
+    use suu::sim::engine::sampling::{
+        geometric_steps, star_steps, star_steps_wide, GeomSegment, LANES, NEVER,
+    };
+
+    // SUU (geometric inversion). Denormal masses underflow the per-step
+    // failure probability to exactly 1.0 (no progress → NEVER); huge
+    // masses overflow it to 0.0 (certain completion in one step).
+    const MASSES: [f64; 10] = [
+        5e-324,
+        1e-320,
+        1e-17,
+        1e-3,
+        0.5,
+        1.0,
+        64.0,
+        1024.0,
+        1e308,
+        f64::INFINITY,
+    ];
+    const US: [f64; 7] = [0.0, 5e-324, 1e-16, 0.25, 0.5, 0.875, 1.0 - 1e-16];
+    for mass in MASSES {
+        let seg = GeomSegment::new(mass);
+        for rot in 0..US.len() {
+            // Rotate the u list through the lanes so every (mass, u)
+            // pair appears in every lane position.
+            let us: [f64; LANES] = core::array::from_fn(|l| US[(l + rot) % US.len()]);
+            let mut wide = [0u64; LANES];
+            seg.steps_wide(&us, &mut wide);
+            for l in 0..LANES {
+                assert_eq!(wide[l], seg.steps(us[l]), "geom mass {mass} u {}", us[l]);
+                assert_eq!(
+                    wide[l],
+                    geometric_steps(us[l], mass),
+                    "free fn diverges, mass {mass} u {}",
+                    us[l]
+                );
+            }
+        }
+    }
+    assert_eq!(
+        geometric_steps(0.5, 5e-324),
+        NEVER,
+        "denormal mass must sample as 'never completes'"
+    );
+    assert_eq!(
+        geometric_steps(0.5, f64::INFINITY),
+        1,
+        "infinite mass must complete in one step"
+    );
+    let near_one = geometric_steps(1.0 - 1e-16, 1e-3);
+    assert!(
+        near_one > 1_000 && near_one < NEVER,
+        "u → 1 with small mass must stay finite: {near_one}"
+    );
+
+    // SUU* (threshold crossing). A denormal threshold is crossed on the
+    // first step by any ordinary mass; a denormal mass (or an infinite
+    // threshold, the r = 0 draw) never crosses — and must return NEVER
+    // fast instead of crawling the fix-up loop there.
+    const BASES: [f64; 5] = [0.0, 0.37, 1.0, 1e6, 1e16];
+    const THRESHOLDS: [f64; 7] = [5e-324, 1e-310, 1e-3, 1.0, 64.0, 1e6, f64::INFINITY];
+    const STAR_MASSES: [f64; 6] = [5e-324, 1e-320, 1e-3, 0.5, 64.0, f64::INFINITY];
+    for mass in STAR_MASSES {
+        for rot in 0..(BASES.len() * THRESHOLDS.len()) {
+            let bases: [f64; LANES] = core::array::from_fn(|l| BASES[(l + rot) % BASES.len()]);
+            let thresholds: [f64; LANES] =
+                core::array::from_fn(|l| THRESHOLDS[(l + rot / BASES.len()) % THRESHOLDS.len()]);
+            let mut wide = [0u64; LANES];
+            star_steps_wide(&bases, &thresholds, mass, &mut wide);
+            for l in 0..LANES {
+                assert_eq!(
+                    wide[l],
+                    star_steps(bases[l], thresholds[l], mass),
+                    "star mass {mass} base {} threshold {}",
+                    bases[l],
+                    thresholds[l]
+                );
+            }
+        }
+    }
+    assert_eq!(star_steps(0.0, 5e-324, 0.5), 1);
+    assert_eq!(star_steps(0.0, 1e-310, 64.0), 1);
+    assert_eq!(star_steps(0.0, 1.0, 5e-324), NEVER);
+    assert_eq!(star_steps(0.37, f64::INFINITY, 64.0), NEVER);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -281,6 +375,53 @@ proptest! {
                     m as u64 * events.makespan
                 );
             }
+        }
+    }
+
+    /// The batch engine's decision cache is a `WordMap` keyed on the raw
+    /// `u64` words of the remaining-set bitset (FNV-1a over words,
+    /// open-addressed, no `BitSet` clone on hit). Oracle differential:
+    /// driven by a random walk of get/insert over random remaining sets,
+    /// it must behave exactly like `HashMap<BitSet, u32>` — same hits,
+    /// same misses, same final size, every entry retrievable by words.
+    #[test]
+    fn word_keyed_cache_matches_bitset_hashmap_oracle(
+        seed in 0u64..1_000_000,
+        capacity in 1usize..200, // crosses 1-, 2- and 3-word keys
+        ops in 8u32..160,
+    ) {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        use std::collections::HashMap;
+        use suu::core::{BitSet, WordMap};
+
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut map: WordMap<u32> = WordMap::new(capacity.div_ceil(64));
+        let mut oracle: HashMap<BitSet, u32> = HashMap::new();
+        let mut current = BitSet::new(capacity);
+        for op in 0..ops {
+            // Random walk over remaining sets: flip a few bits, with an
+            // occasional jump back to the empty set so keys repeat.
+            if rng.random_bool(0.05) {
+                current.clear();
+            }
+            for _ in 0..rng.random_range(0usize..4) {
+                let v = rng.random_range(0..capacity as u32);
+                if !current.insert(v) {
+                    current.remove(v);
+                }
+            }
+            let got = map.get(current.words()).copied();
+            let want = oracle.get(&current).copied();
+            prop_assert_eq!(got, want);
+            if want.is_none() {
+                prop_assert_eq!(map.insert(current.words(), op), None);
+                oracle.insert(current.clone(), op);
+            }
+        }
+        prop_assert_eq!(map.len(), oracle.len());
+        for (bits, id) in &oracle {
+            prop_assert_eq!(map.get(bits.words()).copied(), Some(*id));
         }
     }
 }
