@@ -30,6 +30,11 @@
 //!   additionally fails if any **timed** v2 cell reports a speedup below
 //!   `X` (null cells stay tolerated-and-counted) — the CI smoke perf
 //!   sanity gate.
+//! * `suu-serve/loadgen/v1` — the serving-benchmark gate: request
+//!   accounting adds up, **zero failed requests and zero replay
+//!   mismatches**, latency percentiles are non-negative and ordered
+//!   (p50 ≤ p95 ≤ p99 ≤ max) for every class, and throughput is
+//!   positive.
 //!
 //! Exits nonzero on the first violation, so it can gate CI directly.
 
@@ -248,6 +253,69 @@ fn validate_engine_batch_v2(doc: &Json, path: &str, min_speedup: Option<f64>) ->
     null_speedups
 }
 
+/// The `suu-serve/loadgen/v1` gate: a serving-benchmark document is
+/// only credible with zero failures, zero replay mismatches, and
+/// internally consistent latency summaries.
+fn validate_loadgen_v1(doc: &Json, path: &str) {
+    let mode = require_str(doc, "mode", path);
+    if !["full", "smoke"].contains(&mode) {
+        fail(format!("{path}: unknown loadgen mode {mode:?}"));
+    }
+    let require_u64 = |obj: &Json, key: &str, ctx: &str| -> u64 {
+        obj.get(key)
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| fail(format!("{ctx}: missing non-negative integer '{key}'")))
+    };
+    let requests = doc
+        .get("requests")
+        .unwrap_or_else(|| fail(format!("{path}: missing object 'requests'")));
+    let total = require_u64(requests, "total", path);
+    let classed: u64 = ["primed", "hit", "miss", "extend", "storm"]
+        .iter()
+        .map(|k| require_u64(requests, k, path))
+        .sum();
+    if total == 0 || total != classed {
+        fail(format!(
+            "{path}: request accounting broken (total {total}, classes sum {classed})"
+        ));
+    }
+    for key in ["failed", "replay_mismatches"] {
+        let n = require_u64(doc, key, path);
+        if n != 0 {
+            fail(format!("{path}: {n} {key} — a clean run is required"));
+        }
+    }
+    match doc.get("throughput_rps").and_then(Json::as_f64) {
+        Some(rps) if rps > 0.0 => {}
+        _ => fail(format!("{path}: 'throughput_rps' must be positive")),
+    }
+    let latency = doc
+        .get("latency")
+        .unwrap_or_else(|| fail(format!("{path}: missing object 'latency'")));
+    for class in ["all", "hit", "miss", "extend", "storm"] {
+        let ctx = format!("{path}: latency.{class}");
+        let summary = latency
+            .get(class)
+            .unwrap_or_else(|| fail(format!("{ctx}: missing")));
+        // An empty class (e.g. a smoke run that rolled no extends) is
+        // legitimately all-zero; a non-empty one must be ordered.
+        let count = require_u64(summary, "count", &ctx);
+        let pct = |key: &str| -> f64 {
+            match summary.get(key).and_then(Json::as_f64) {
+                Some(v) if v >= 0.0 => v,
+                _ => fail(format!("{ctx}: '{key}' must be a non-negative number")),
+            }
+        };
+        let (p50, p95, p99, max) = (pct("p50_ms"), pct("p95_ms"), pct("p99_ms"), pct("max_ms"));
+        if count > 0 && !(p50 <= p95 && p95 <= p99 && p99 <= max) {
+            fail(format!(
+                "{ctx}: percentiles out of order (p50 {p50}, p95 {p95}, p99 {p99}, max {max})"
+            ));
+        }
+    }
+    println!("OK {path}: suu-serve/loadgen/v1 ({mode}), {total} requests, 0 failed, 0 mismatches");
+}
+
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let mut min_speedup: Option<f64> = None;
@@ -286,6 +354,7 @@ fn main() {
             Some(s) if s.starts_with("suu-bench/engine-") => {
                 tolerated += validate_engine(&doc, path);
             }
+            Some("suu-serve/loadgen/v1") => validate_loadgen_v1(&doc, path),
             other => fail(format!("{path}: unsupported schema {other:?}")),
         }
     }

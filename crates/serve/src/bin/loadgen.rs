@@ -1,0 +1,501 @@
+//! **suu-loadgen** — deterministic load generator for the `suud` daemon.
+//!
+//! Spawns a fresh daemon (sibling `suud` binary, ephemeral port, private
+//! cache dir) and replays a seeded mix of traffic over keep-alive
+//! connections:
+//!
+//! * **hits** (~84%) — requests whose cells a prime phase already
+//!   cached; every hit body is byte-compared against the primed body,
+//!   so the run *proves* replay determinism, not just speed;
+//! * **misses** (~8%) — unique seeds, each computing a fresh cell;
+//! * **extends** (~8%) — a per-connection cell requested at escalating
+//!   trial counts, exercising the resume path;
+//! * **coalescing storms** — barrier-synchronized rounds where every
+//!   connection posts the *same* new request at once; all responses
+//!   must be byte-identical (one computes, the rest coalesce).
+//!
+//! The schedule is pure splitmix64 — same flags, same traffic. Latency
+//! percentiles (exact, from the sorted sample) and throughput land in a
+//! `suu-serve/loadgen/v1` document (default `BENCH_serve.json`),
+//! which CI gates through `validate_results`. Exit is nonzero on any
+//! failed request or replay mismatch.
+//!
+//! ```sh
+//! suu-loadgen                  # full run (~5k requests), BENCH_serve.json
+//! suu-loadgen --smoke --out smoke.json   # CI-sized run
+//! ```
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::sync::{Barrier, Mutex};
+use std::time::{Duration, Instant};
+use suu_core::json::Json;
+
+/// Benchmark document schema.
+const SCHEMA: &str = "suu-serve/loadgen/v1";
+
+struct Config {
+    smoke: bool,
+    out: String,
+    /// Keep-alive client connections.
+    conns: usize,
+    /// Scheduled requests per connection (before storms).
+    per_conn: usize,
+    /// Coalescing-storm rounds (each is one request per connection).
+    storm_rounds: usize,
+    /// Cells created by the prime phase (the hot set).
+    hot_set: usize,
+}
+
+fn parse_args() -> Config {
+    let mut smoke = false;
+    let mut out = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => {
+                out = Some(it.next().unwrap_or_else(|| {
+                    eprintln!("suu-loadgen: --out needs a value");
+                    std::process::exit(2);
+                }))
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: suu-loadgen [--smoke] [--out FILE]");
+                std::process::exit(2);
+            }
+            other => {
+                eprintln!("suu-loadgen: unknown flag {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if smoke {
+        Config {
+            smoke,
+            out: out.unwrap_or_else(|| "BENCH_serve_smoke.json".to_string()),
+            conns: 2,
+            per_conn: 14,
+            storm_rounds: 2,
+            hot_set: 3,
+        }
+    } else {
+        // 8 × 640 + 6 prime + 2 × 8 storm = 5,150 requests ≥ the 5k floor.
+        Config {
+            smoke,
+            out: out.unwrap_or_else(|| "BENCH_serve.json".to_string()),
+            conns: 8,
+            per_conn: 640,
+            storm_rounds: 2,
+            hot_set: 6,
+        }
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The race body for one cell: tiny scenario so a miss costs
+/// milliseconds, unique per `seed`, deterministic per `trials`.
+fn race_body(seed: u64, trials: u64) -> String {
+    format!(
+        r#"{{"scenarios":[{{"family":"uniform","m":2,"n":4,"lo":0.3,"hi":0.9,"seed":{seed}}}],"policies":["greedy-lr"],"trials":{trials},"master_seed":1}}"#
+    )
+}
+
+// ---------------------------------------------------------------------
+// Minimal keep-alive HTTP client
+// ---------------------------------------------------------------------
+
+struct Client {
+    reader: BufReader<TcpStream>,
+}
+
+struct Reply {
+    status: u16,
+    body: Vec<u8>,
+}
+
+impl Client {
+    fn connect(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+        })
+    }
+
+    fn request(&mut self, method: &str, path: &str, body: Option<&str>) -> std::io::Result<Reply> {
+        let mut req = format!("{method} {path} HTTP/1.1\r\nHost: loadgen\r\n");
+        if let Some(body) = body {
+            req.push_str(&format!("Content-Length: {}\r\n", body.len()));
+        }
+        req.push_str("\r\n");
+        if let Some(body) = body {
+            req.push_str(body);
+        }
+        self.reader.get_mut().write_all(req.as_bytes())?;
+        self.read_reply()
+    }
+
+    fn read_reply(&mut self) -> std::io::Result<Reply> {
+        let bad =
+            |what: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, what.to_string());
+        let mut line = String::new();
+        self.reader.read_line(&mut line)?;
+        let status: u16 = line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad("bad status line"))?;
+        let mut content_length = None;
+        loop {
+            let mut line = String::new();
+            self.reader.read_line(&mut line)?;
+            let trimmed = line.trim_end_matches(['\r', '\n']);
+            if trimmed.is_empty() {
+                break;
+            }
+            if let Some((k, v)) = trimmed.split_once(':') {
+                if k.trim().eq_ignore_ascii_case("content-length") {
+                    content_length = v.trim().parse::<usize>().ok();
+                }
+            }
+        }
+        let len = content_length.ok_or_else(|| bad("missing Content-Length"))?;
+        let mut body = vec![0u8; len];
+        self.reader.read_exact(&mut body)?;
+        Ok(Reply { status, body })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Daemon under test
+// ---------------------------------------------------------------------
+
+/// The spawned daemon; killed (and its cache dir removed) on drop, so a
+/// panicking run doesn't leak processes.
+struct Daemon {
+    child: Child,
+    addr: String,
+    cache_dir: std::path::PathBuf,
+    /// Keeps the daemon's stdout pipe open for its whole life — closing
+    /// it early would hand the daemon an EPIPE on its next print.
+    _stdout: BufReader<std::process::ChildStdout>,
+}
+
+impl Daemon {
+    fn spawn() -> Daemon {
+        let suud = std::env::current_exe()
+            .expect("own path")
+            .with_file_name("suud");
+        let cache_dir =
+            std::env::temp_dir().join(format!("suu-loadgen-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&cache_dir);
+        let mut child = Command::new(&suud)
+            .args([
+                "--addr",
+                "127.0.0.1:0",
+                "--cache-dir",
+                cache_dir.to_str().expect("utf-8 temp dir"),
+                "--workers",
+                "4",
+                "--queue-depth",
+                "256",
+                // No idle reaping / 429s during a latency measurement:
+                // those paths have their own e2e tests.
+                "--idle-timeout-ms",
+                "120000",
+            ])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .unwrap_or_else(|e| {
+                eprintln!("suu-loadgen: cannot spawn {}: {e}", suud.display());
+                std::process::exit(1);
+            });
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut reader = BufReader::new(stdout);
+        let mut banner = String::new();
+        if reader.read_line(&mut banner).unwrap_or(0) == 0 {
+            eprintln!("suu-loadgen: daemon produced no banner");
+            std::process::exit(1);
+        }
+        let addr = banner
+            .rsplit("http://")
+            .next()
+            .unwrap_or("")
+            .trim()
+            .to_string();
+        if addr.is_empty() {
+            eprintln!("suu-loadgen: unparsable banner {banner:?}");
+            std::process::exit(1);
+        }
+        Daemon {
+            child,
+            addr,
+            cache_dir,
+            _stdout: reader,
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+        let _ = std::fs::remove_dir_all(&self.cache_dir);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Measurement
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Class {
+    Hit,
+    Miss,
+    Extend,
+    Storm,
+}
+
+struct Sample {
+    class: Class,
+    latency: Duration,
+    ok: bool,
+    mismatch: bool,
+}
+
+/// Exact percentile of a sorted sample (nearest-rank).
+fn percentile_ms(sorted: &[Duration], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1].as_secs_f64() * 1e3
+}
+
+fn latency_obj(samples: &[&Sample]) -> Json {
+    let mut sorted: Vec<Duration> = samples.iter().map(|s| s.latency).collect();
+    sorted.sort_unstable();
+    Json::obj()
+        .field("count", sorted.len())
+        .field("p50_ms", percentile_ms(&sorted, 0.50))
+        .field("p95_ms", percentile_ms(&sorted, 0.95))
+        .field("p99_ms", percentile_ms(&sorted, 0.99))
+        .field(
+            "max_ms",
+            sorted.last().map_or(0.0, |d| d.as_secs_f64() * 1e3),
+        )
+}
+
+fn main() {
+    let cfg = parse_args();
+    let daemon = Daemon::spawn();
+    eprintln!(
+        "suu-loadgen: daemon at {} ({} conns × {} requests + {} storm rounds)",
+        daemon.addr, cfg.conns, cfg.per_conn, cfg.storm_rounds
+    );
+
+    // ---- Prime the hot set (its responses are the replay oracle). ----
+    let mut prime = Client::connect(&daemon.addr).unwrap_or_else(|e| {
+        eprintln!("suu-loadgen: connect failed: {e}");
+        std::process::exit(1);
+    });
+    let mut hot_bodies: Vec<Vec<u8>> = Vec::with_capacity(cfg.hot_set);
+    let mut prime_failed = 0u64;
+    for i in 0..cfg.hot_set {
+        let body = race_body(1000 + i as u64, 6);
+        let reply = prime
+            .request("POST", "/v1/race", Some(&body))
+            .expect("prime request");
+        if reply.status != 200 {
+            prime_failed += 1;
+        }
+        hot_bodies.push(reply.body);
+    }
+    let hot_bodies = &hot_bodies;
+
+    // ---- Timed phase: per-connection deterministic schedules. ----
+    let storm_bodies: Vec<Mutex<Vec<Vec<u8>>>> = (0..cfg.storm_rounds)
+        .map(|_| Mutex::new(Vec::new()))
+        .collect();
+    let storm_bodies = &storm_bodies;
+    let barrier = Barrier::new(cfg.conns);
+    let barrier = &barrier;
+    let addr = daemon.addr.clone();
+    let addr = &addr;
+    let cfg_ref = &cfg;
+
+    let started = Instant::now();
+    let per_thread: Vec<Vec<Sample>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.conns)
+            .map(|thread| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("client connect");
+                    let mut rng: u64 = 0xC0FF_EE00 + thread as u64;
+                    let mut samples = Vec::with_capacity(cfg_ref.per_conn + cfg_ref.storm_rounds);
+                    // This connection's private extend cell grows a
+                    // little with every extend request.
+                    let extend_seed = 3000 + thread as u64;
+                    let mut extend_trials = 4u64;
+                    let mut miss_counter = 0u64;
+                    for _ in 0..cfg_ref.per_conn {
+                        let roll = splitmix64(&mut rng) % 100;
+                        let (class, body) = if roll < 84 {
+                            let pick = splitmix64(&mut rng) as usize % cfg_ref.hot_set;
+                            (Class::Hit, (race_body(1000 + pick as u64, 6), pick))
+                        } else if roll < 92 {
+                            miss_counter += 1;
+                            let seed = 2_000_000 + thread as u64 * 100_000 + miss_counter;
+                            (Class::Miss, (race_body(seed, 4), usize::MAX))
+                        } else {
+                            extend_trials += 2;
+                            (
+                                Class::Extend,
+                                (race_body(extend_seed, extend_trials), usize::MAX),
+                            )
+                        };
+                        let (body, hot_idx) = body;
+                        let t0 = Instant::now();
+                        let reply = client
+                            .request("POST", "/v1/race", Some(&body))
+                            .expect("race request");
+                        let latency = t0.elapsed();
+                        let ok = reply.status == 200;
+                        // Replay proof: a hit must be byte-identical to
+                        // the primed response body.
+                        let mismatch =
+                            class == Class::Hit && ok && reply.body != hot_bodies[hot_idx];
+                        samples.push(Sample {
+                            class,
+                            latency,
+                            ok,
+                            mismatch,
+                        });
+                    }
+                    // Coalescing storms: everyone posts the same fresh
+                    // cell at the same instant.
+                    for (round, bucket) in
+                        storm_bodies.iter().enumerate().take(cfg_ref.storm_rounds)
+                    {
+                        let body = race_body(4_000_000 + round as u64, 6);
+                        barrier.wait();
+                        let t0 = Instant::now();
+                        let reply = client
+                            .request("POST", "/v1/race", Some(&body))
+                            .expect("storm request");
+                        samples.push(Sample {
+                            class: Class::Storm,
+                            latency: t0.elapsed(),
+                            ok: reply.status == 200,
+                            mismatch: false,
+                        });
+                        bucket.lock().expect("storm lock").push(reply.body);
+                    }
+                    samples
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let elapsed = started.elapsed();
+
+    // ---- Aggregate. ----
+    let samples: Vec<Sample> = per_thread.into_iter().flatten().collect();
+    let mut failed = prime_failed;
+    let mut mismatches = 0u64;
+    for s in &samples {
+        if !s.ok {
+            failed += 1;
+        }
+        if s.mismatch {
+            mismatches += 1;
+        }
+    }
+    // Cross-connection coalescing proof: within a storm round every
+    // response body is identical.
+    for (round, bodies) in storm_bodies.iter().enumerate() {
+        let bodies = bodies.lock().expect("storm lock");
+        if let Some(first) = bodies.first() {
+            let diverged = bodies.iter().filter(|b| *b != first).count() as u64;
+            if diverged > 0 {
+                eprintln!("suu-loadgen: storm round {round}: {diverged} divergent bodies");
+            }
+            mismatches += diverged;
+        }
+    }
+
+    let count = |class: Class| samples.iter().filter(|s| s.class == class).count();
+    let of =
+        |class: Class| -> Vec<&Sample> { samples.iter().filter(|s| s.class == class).collect() };
+    let total = samples.len() + cfg.hot_set;
+    let throughput = samples.len() as f64 / elapsed.as_secs_f64();
+
+    let mut final_stats = Json::Null;
+    if let Ok(mut client) = Client::connect(&daemon.addr) {
+        if let Ok(reply) = client.request("GET", "/v1/stats", None) {
+            if let Ok(doc) = suu_core::json::parse(&String::from_utf8_lossy(&reply.body)) {
+                final_stats = doc;
+            }
+        }
+    }
+    drop(daemon);
+
+    let doc = Json::obj()
+        .field("schema", SCHEMA)
+        .field("mode", if cfg.smoke { "smoke" } else { "full" })
+        .field("connections", cfg.conns)
+        .field(
+            "requests",
+            Json::obj()
+                .field("total", total)
+                .field("primed", cfg.hot_set)
+                .field("hit", count(Class::Hit))
+                .field("miss", count(Class::Miss))
+                .field("extend", count(Class::Extend))
+                .field("storm", count(Class::Storm)),
+        )
+        .field("failed", failed)
+        .field("replay_mismatches", mismatches)
+        .field("elapsed_ms", elapsed.as_secs_f64() * 1e3)
+        .field("throughput_rps", throughput)
+        .field(
+            "latency",
+            Json::obj()
+                .field("all", latency_obj(&samples.iter().collect::<Vec<_>>()))
+                .field("hit", latency_obj(&of(Class::Hit)))
+                .field("miss", latency_obj(&of(Class::Miss)))
+                .field("extend", latency_obj(&of(Class::Extend)))
+                .field("storm", latency_obj(&of(Class::Storm))),
+        )
+        .field("daemon_stats", final_stats);
+    if let Err(e) = std::fs::write(&cfg.out, doc.to_pretty()) {
+        eprintln!("suu-loadgen: cannot write {}: {e}", cfg.out);
+        std::process::exit(1);
+    }
+
+    eprintln!(
+        "suu-loadgen: {} requests in {:.1}s ({:.0} rps), {} failed, {} mismatches → {}",
+        total,
+        elapsed.as_secs_f64(),
+        throughput,
+        failed,
+        mismatches,
+        cfg.out
+    );
+    if failed > 0 || mismatches > 0 {
+        std::process::exit(1);
+    }
+}

@@ -10,19 +10,25 @@
 //! ```
 
 use std::sync::Arc;
+use std::time::Duration;
 use suu_serve::service::ServeError;
-use suu_serve::{http, Service};
+use suu_serve::{http, serve_with, ServerConfig, ServerMetrics, Service};
 
 struct Args {
     addr: String,
     cache_dir: String,
     workers: usize,
+    queue_depth: usize,
+    idle_timeout_ms: u64,
+    max_cache_bytes: Option<u64>,
     oneshot: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: suud [--addr HOST:PORT] [--cache-dir DIR] [--workers N] [--oneshot REQUEST.json]"
+        "usage: suud [--addr HOST:PORT] [--cache-dir DIR] [--workers N] \
+         [--queue-depth N] [--idle-timeout-ms MS] [--max-cache-bytes BYTES] \
+         [--oneshot REQUEST.json]"
     );
     std::process::exit(2);
 }
@@ -32,6 +38,9 @@ fn parse_args() -> Args {
         addr: "127.0.0.1:8787".to_string(),
         cache_dir: "./suud-cache".to_string(),
         workers: 4,
+        queue_depth: 64,
+        idle_timeout_ms: 10_000,
+        max_cache_bytes: None,
         oneshot: None,
     };
     let mut it = std::env::args().skip(1);
@@ -42,14 +51,22 @@ fn parse_args() -> Args {
                 usage()
             })
         };
+        fn number<T: std::str::FromStr>(name: &str, raw: String) -> T {
+            raw.parse().unwrap_or_else(|_| {
+                eprintln!("suud: {name} must be a non-negative integer");
+                usage()
+            })
+        }
         match flag.as_str() {
             "--addr" => args.addr = value("--addr"),
             "--cache-dir" => args.cache_dir = value("--cache-dir"),
-            "--workers" => {
-                args.workers = value("--workers").parse().unwrap_or_else(|_| {
-                    eprintln!("suud: --workers must be a positive integer");
-                    usage()
-                })
+            "--workers" => args.workers = number("--workers", value("--workers")),
+            "--queue-depth" => args.queue_depth = number("--queue-depth", value("--queue-depth")),
+            "--idle-timeout-ms" => {
+                args.idle_timeout_ms = number("--idle-timeout-ms", value("--idle-timeout-ms"))
+            }
+            "--max-cache-bytes" => {
+                args.max_cache_bytes = Some(number("--max-cache-bytes", value("--max-cache-bytes")))
             }
             "--oneshot" => args.oneshot = Some(value("--oneshot")),
             "--help" | "-h" => usage(),
@@ -63,12 +80,16 @@ fn parse_args() -> Args {
         eprintln!("suud: --workers must be at least 1");
         usage()
     }
+    if args.queue_depth == 0 || args.idle_timeout_ms == 0 {
+        eprintln!("suud: --queue-depth and --idle-timeout-ms must be at least 1");
+        usage()
+    }
     args
 }
 
 fn main() {
     let args = parse_args();
-    let service = Service::new(&args.cache_dir).unwrap_or_else(|e| {
+    let service = Service::with_budget(&args.cache_dir, args.max_cache_bytes).unwrap_or_else(|e| {
         eprintln!("suud: cannot open cache dir {}: {e}", args.cache_dir);
         std::process::exit(1);
     });
@@ -80,10 +101,18 @@ fn main() {
 
     let service = Arc::new(service);
     let handler = Arc::clone(&service);
-    let server = http::serve(
+    let metrics = Arc::new(ServerMetrics::default());
+    service.attach_server_metrics(Arc::clone(&metrics));
+    let server = serve_with(
         args.addr.as_str(),
-        args.workers,
+        ServerConfig {
+            workers: args.workers,
+            queue_depth: args.queue_depth,
+            idle_timeout: Duration::from_millis(args.idle_timeout_ms),
+            ..ServerConfig::default()
+        },
         Arc::new(move |req: &http::Request| handler.handle(req)),
+        Arc::clone(&metrics),
     )
     .unwrap_or_else(|e| {
         eprintln!("suud: cannot bind {}: {e}", args.addr);
@@ -91,9 +120,18 @@ fn main() {
     });
 
     // The e2e harness (and humans with port 0) read the bound address
-    // from this line — keep its shape stable.
-    println!("suud listening on http://{}", server.addr());
-    println!(
+    // from this line — keep its shape stable. Writes are EPIPE-tolerant:
+    // a supervisor that stops reading our stdout must not kill the
+    // daemon (Rust turns SIGPIPE into a write error, and a plain
+    // `println!` would panic the main thread on it).
+    use std::io::Write as _;
+    let _ = writeln!(
+        std::io::stdout(),
+        "suud listening on http://{}",
+        server.addr()
+    );
+    let _ = writeln!(
+        std::io::stdout(),
         "suud cache dir {} ({} cells), {} workers",
         args.cache_dir,
         service.store().cells_on_disk(),

@@ -23,8 +23,21 @@
 //! In-process, [`InflightTable`] serializes work per key: concurrent
 //! identical requests coalesce onto one computation and the latecomer
 //! reads the winner's checkpoint from disk.
+//!
+//! ## Size budget and LRU eviction
+//!
+//! A store opened with [`CellStore::open_with_budget`] keeps total cell
+//! bytes under the budget: every `store` that would exceed it evicts
+//! least-recently-*used* cells first (loads count as use, not just
+//! writes). Recency survives restarts through `index.json` — an
+//! [`INDEX_SCHEMA`] document rewritten atomically on every access, so a
+//! crash leaves at worst slightly-stale recency, never a torn index.
+//! Cells whose key is currently in flight are never evicted (a resume
+//! in progress must find its checkpoint), and the cell just written is
+//! always kept even when it alone exceeds the budget — a budget too
+//! small for one cell degrades to "cache of one", not a failure.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
@@ -36,6 +49,8 @@ use suu_sim::EvalStats;
 pub const CELL_SCHEMA: &str = "suu-serve/cell/v1";
 /// Schema of the key-fields object that gets hashed.
 pub const CELL_KEY_SCHEMA: &str = "suu-serve/cellkey/v1";
+/// Schema of the persisted LRU recency index (`index.json`).
+pub const INDEX_SCHEMA: &str = "suu-serve/index/v1";
 
 /// The canonical identity of a cell, pre-hash. `scenario_params` must be
 /// the *normalized* parameter object from
@@ -105,21 +120,60 @@ pub struct CellStore {
     pub extends: AtomicU64,
     /// Requests that waited for an identical in-flight computation.
     pub coalesced: AtomicU64,
+    /// Cells deleted to stay under the size budget.
+    pub evictions: AtomicU64,
     inflight: InflightTable,
+    /// Total-cell-bytes ceiling (`None` = unbounded).
+    budget: Option<u64>,
+    lru: Mutex<LruState>,
+}
+
+/// In-memory mirror of cell recency and sizes, persisted to
+/// `index.json`. `order` runs least- to most-recently-used.
+#[derive(Debug, Default)]
+struct LruState {
+    order: Vec<String>,
+    sizes: HashMap<String, u64>,
+}
+
+impl LruState {
+    fn total_bytes(&self) -> u64 {
+        self.sizes.values().sum()
+    }
+
+    /// Move (or insert) `hex` at the most-recently-used end.
+    fn touch(&mut self, hex: &str) {
+        self.order.retain(|k| k != hex);
+        self.order.push(hex.to_string());
+    }
 }
 
 impl CellStore {
-    /// Open (creating the directory if needed).
+    /// Open (creating the directory if needed) with no size budget.
     pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<CellStore> {
+        CellStore::open_with_budget(dir, None)
+    }
+
+    /// Open with an optional total-cell-bytes budget. Recency is seeded
+    /// from `index.json` when present (keys no longer on disk are
+    /// dropped; cells the index missed count as least recently used).
+    pub fn open_with_budget(
+        dir: impl Into<PathBuf>,
+        budget: Option<u64>,
+    ) -> std::io::Result<CellStore> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
+        let lru = load_lru(&dir);
         Ok(CellStore {
             dir,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             extends: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
             inflight: InflightTable::new(),
+            budget,
+            lru: Mutex::new(lru),
         })
     }
 
@@ -128,17 +182,92 @@ impl CellStore {
         &self.dir
     }
 
+    /// The configured size budget, if any.
+    pub fn budget(&self) -> Option<u64> {
+        self.budget
+    }
+
+    /// Total bytes of cached cells (from the in-memory size mirror).
+    pub fn cache_bytes(&self) -> u64 {
+        self.lru.lock().expect("lru lock").total_bytes()
+    }
+
     /// Cells currently on disk (counted fresh; the store is the
-    /// authority, not an in-memory mirror).
+    /// authority, not an in-memory mirror). `index.json` and temp files
+    /// don't count — only valid content addresses.
     pub fn cells_on_disk(&self) -> usize {
         std::fs::read_dir(&self.dir)
             .map(|entries| {
                 entries
                     .filter_map(|e| e.ok())
-                    .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+                    .filter(|e| {
+                        let path = e.path();
+                        path.extension().is_some_and(|x| x == "json")
+                            && path
+                                .file_stem()
+                                .and_then(|s| s.to_str())
+                                .is_some_and(is_valid_key_hex)
+                    })
                     .count()
             })
             .unwrap_or(0)
+    }
+
+    /// Rewrite `index.json` (temp + rename) from the current LRU state.
+    /// Best-effort: recency is an optimization, losing it must never
+    /// fail a request.
+    fn persist_index(&self, lru: &LruState) {
+        let doc = Json::obj().field("schema", INDEX_SCHEMA).field(
+            "order",
+            Json::Arr(lru.order.iter().map(|k| Json::Str(k.clone())).collect()),
+        );
+        let tmp = self.dir.join(format!("index.tmp.{}", std::process::id()));
+        if std::fs::write(&tmp, doc.to_pretty()).is_ok() {
+            let _ = std::fs::rename(&tmp, self.dir.join("index.json"));
+        }
+    }
+
+    /// Record a use of `hex` (cache hit / extend base).
+    fn lru_touch(&self, hex: &str) {
+        let mut lru = self.lru.lock().expect("lru lock");
+        lru.touch(hex);
+        self.persist_index(&lru);
+    }
+
+    /// Record a write of `hex` at `size` bytes, then evict LRU-first
+    /// until the budget holds. In-flight keys and the cell just written
+    /// are exempt.
+    fn lru_record(&self, hex: &str, size: u64) {
+        let mut lru = self.lru.lock().expect("lru lock");
+        lru.sizes.insert(hex.to_string(), size);
+        lru.touch(hex);
+        if let Some(budget) = self.budget {
+            let mut idx = 0;
+            while lru.total_bytes() > budget && idx < lru.order.len() {
+                let victim = lru.order[idx].clone();
+                if victim == hex || self.inflight.contains(&victim) {
+                    idx += 1; // exempt; try the next-least-recent
+                    continue;
+                }
+                // Remove the file first: an eviction that fails to
+                // delete must not be forgotten by the index.
+                match std::fs::remove_file(self.path_for(&victim)) {
+                    Ok(()) => {
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                    // Already gone (external cleanup): reconcile the
+                    // index, but it wasn't our eviction.
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                    Err(_) => {
+                        idx += 1;
+                        continue;
+                    }
+                }
+                lru.order.remove(idx);
+                lru.sizes.remove(&victim);
+            }
+        }
+        self.persist_index(&lru);
     }
 
     fn path_for(&self, hex: &str) -> PathBuf {
@@ -192,6 +321,9 @@ impl CellStore {
             .ok_or_else(|| format!("cache {}: missing checkpoint", path.display()))?;
         let stats = EvalStats::from_json(checkpoint)
             .map_err(|e| format!("cache {}: {e}", path.display()))?;
+        // A read is a use: hits must refresh recency or a hot cell gets
+        // evicted under write pressure.
+        self.lru_touch(&key.hex);
         Ok(Some(CachedCell { stats, stop_reason }))
     }
 
@@ -214,9 +346,13 @@ impl CellStore {
         let tmp = self
             .dir
             .join(format!("{}.tmp.{}", key.hex, std::process::id()));
-        std::fs::write(&tmp, doc.to_pretty())
-            .map_err(|e| format!("cache write {}: {e}", tmp.display()))?;
-        std::fs::rename(&tmp, &path).map_err(|e| format!("cache rename {}: {e}", path.display()))
+        let bytes = doc.to_pretty();
+        let size = bytes.len() as u64;
+        std::fs::write(&tmp, bytes).map_err(|e| format!("cache write {}: {e}", tmp.display()))?;
+        std::fs::rename(&tmp, &path)
+            .map_err(|e| format!("cache rename {}: {e}", path.display()))?;
+        self.lru_record(&key.hex, size);
+        Ok(())
     }
 
     /// Run `work` while holding the per-key in-flight guard: concurrent
@@ -290,6 +426,51 @@ impl InflightTable {
     fn len(&self) -> usize {
         self.keys.lock().expect("inflight lock").len()
     }
+
+    fn contains(&self, key: &str) -> bool {
+        self.keys.lock().expect("inflight lock").contains(key)
+    }
+}
+
+/// Seed the LRU mirror: sizes from a directory scan (the disk is the
+/// authority), recency from `index.json` where it has an opinion.
+/// Unindexed cells sort first (least recent) by key for determinism.
+fn load_lru(dir: &Path) -> LruState {
+    let mut sizes = HashMap::new();
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.filter_map(|e| e.ok()) {
+            let path = entry.path();
+            let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
+                continue;
+            };
+            if path.extension().is_some_and(|x| x == "json") && is_valid_key_hex(stem) {
+                if let Ok(meta) = entry.metadata() {
+                    sizes.insert(stem.to_string(), meta.len());
+                }
+            }
+        }
+    }
+    let indexed: Vec<String> = std::fs::read_to_string(dir.join("index.json"))
+        .ok()
+        .and_then(|text| suu_core::json::parse(&text).ok())
+        .filter(|doc| doc.get("schema").and_then(Json::as_str) == Some(INDEX_SCHEMA))
+        .and_then(|doc| {
+            doc.get("order").and_then(Json::as_array).map(|keys| {
+                keys.iter()
+                    .filter_map(Json::as_str)
+                    .map(str::to_string)
+                    .collect()
+            })
+        })
+        .unwrap_or_default();
+    let mut order: Vec<String> = sizes
+        .keys()
+        .filter(|k| !indexed.contains(k))
+        .cloned()
+        .collect();
+    order.sort();
+    order.extend(indexed.into_iter().filter(|k| sizes.contains_key(k)));
+    LruState { order, sizes }
 }
 
 #[cfg(test)]
@@ -418,6 +599,108 @@ mod tests {
         assert_eq!(peak.load(Ordering::SeqCst), 1, "same key must serialize");
         assert_eq!(store.coalesced.load(Ordering::SeqCst), 3);
         assert_eq!(store.inflight_count(), 0);
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    /// Store cells for seeds, returning their keys in store order.
+    fn fill(store: &CellStore, seeds: std::ops::Range<u64>) -> Vec<CellKey> {
+        let stats = sample_stats();
+        seeds
+            .map(|seed| {
+                let key = sample_key(seed);
+                store
+                    .store(&key, "gang-sequential", &stats, "fixed-budget")
+                    .unwrap();
+                key
+            })
+            .collect()
+    }
+
+    #[test]
+    fn budget_evicts_least_recently_used_first() {
+        // Measure one cell to size a budget that fits exactly two.
+        let probe = CellStore::open(tempdir("lru-probe")).unwrap();
+        let keys = fill(&probe, 0..1);
+        let cell_bytes = probe.cache_bytes();
+        assert!(cell_bytes > 0);
+        assert_eq!(probe.cells_on_disk(), 1, "index.json must not count");
+        let _ = std::fs::remove_dir_all(probe.dir());
+        drop(keys);
+
+        let store = CellStore::open_with_budget(tempdir("lru"), Some(2 * cell_bytes + 16)).unwrap();
+        let keys = fill(&store, 0..2);
+        assert_eq!(store.evictions.load(Ordering::SeqCst), 0);
+        // Touch cell 0 (a hit), then add cell 2: cell 1 is now LRU and
+        // must be the victim.
+        assert!(store.load(&keys[0]).unwrap().is_some());
+        let key2 = fill(&store, 2..3).remove(0);
+        assert_eq!(store.evictions.load(Ordering::SeqCst), 1);
+        assert!(store.load(&keys[0]).unwrap().is_some(), "MRU kept");
+        assert!(store.load(&key2).unwrap().is_some(), "new cell kept");
+        assert!(store.load(&keys[1]).unwrap().is_none(), "LRU evicted");
+        assert_eq!(store.cells_on_disk(), 2);
+        assert!(store.cache_bytes() <= 2 * cell_bytes + 16);
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn a_cell_larger_than_the_budget_is_still_kept() {
+        let store = CellStore::open_with_budget(tempdir("lru-tiny"), Some(8)).unwrap();
+        let keys = fill(&store, 0..2);
+        // Each store evicts everything *else*, but never the newcomer.
+        assert_eq!(store.cells_on_disk(), 1);
+        assert!(store.load(&keys[1]).unwrap().is_some());
+        assert_eq!(store.evictions.load(Ordering::SeqCst), 1);
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn recency_survives_a_restart_via_the_index() {
+        let dir = tempdir("lru-restart");
+        let (keys, total) = {
+            let store = CellStore::open(&dir).unwrap();
+            let keys = fill(&store, 0..3);
+            let total = store.cache_bytes();
+            // Leave cell 0 most recently used.
+            assert!(store.load(&keys[0]).unwrap().is_some());
+            (keys, total)
+        };
+        // Reopen with room for the current three cells but not a fourth:
+        // storing one more must evict cell 1 (LRU per the persisted
+        // index), not the recently-touched cell 0.
+        let store = CellStore::open_with_budget(&dir, Some(total + 64)).unwrap();
+        assert_eq!(store.cache_bytes(), total, "sizes reseeded from disk");
+        let key3 = fill(&store, 3..4).remove(0);
+        assert!(store.load(&keys[0]).unwrap().is_some(), "recent cell kept");
+        assert!(
+            store.load(&keys[1]).unwrap().is_none(),
+            "stale cell evicted"
+        );
+        assert!(store.load(&key3).unwrap().is_some());
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn inflight_cells_are_never_evicted() {
+        let stats = sample_stats();
+        let probe = CellStore::open(tempdir("lru-inflight-probe")).unwrap();
+        fill(&probe, 0..1);
+        let cell_bytes = probe.cache_bytes();
+        let _ = std::fs::remove_dir_all(probe.dir());
+
+        let store =
+            CellStore::open_with_budget(tempdir("lru-inflight"), Some(cell_bytes + 8)).unwrap();
+        let keys = fill(&store, 0..1);
+        // Key 0 is LRU but in flight (an extend is reading it): storing
+        // key 1 must evict nothing and run over budget instead.
+        store.with_inflight(&keys[0], || {
+            let key1 = sample_key(1);
+            store
+                .store(&key1, "gang-sequential", &stats, "fixed-budget")
+                .unwrap();
+            assert_eq!(store.evictions.load(Ordering::SeqCst), 0);
+            assert_eq!(store.cells_on_disk(), 2);
+        });
         let _ = std::fs::remove_dir_all(store.dir());
     }
 

@@ -1,27 +1,26 @@
-//! Minimal HTTP/1.1 plumbing over `std::net` — no crates, no async.
+//! HTTP/1.1 message types and an **incremental** request parser.
 //!
-//! The daemon's traffic is small JSON documents on a loopback or
-//! datacenter-internal port, so the server is deliberately simple: a
-//! fixed pool of worker threads, each blocking on `accept` against its
-//! own clone of one shared [`TcpListener`] (the kernel load-balances
-//! accepts), one request per connection (`Connection: close`). Requests
-//! are parsed strictly enough to be safe against hostile input: the
-//! header block and body are size-capped, `Content-Length` is required
-//! for bodies, and every read runs under a socket timeout so a stalled
-//! client can never wedge a worker for good.
-
-use std::io::{BufRead, BufReader, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
+//! This module is pure — bytes in, [`Request`] out — so the transport
+//! can be anything; the nonblocking event loop in [`crate::server`]
+//! feeds it the per-connection input buffer and acts on the verdict:
+//!
+//! * [`Parsed::Incomplete`] — keep reading; nothing is consumed.
+//! * [`Parsed::Complete`] — one full request; `consumed` bytes are
+//!   done, and the rest of the buffer may already hold the next
+//!   **pipelined** request.
+//! * [`Parsed::Bad`] — the byte stream is poisoned (malformed head,
+//!   oversized declared body, …); answer the 4xx and close, because
+//!   resynchronizing a framing error is guesswork.
+//!
+//! Parsing is strict enough to be safe against hostile input: the head
+//! is capped at [`MAX_HEAD_BYTES`] even when no terminator ever
+//! arrives, bodies need a `Content-Length` no larger than
+//! [`MAX_BODY_BYTES`], and nothing is buffered beyond those caps.
 
 /// Most bytes accepted for the request line + headers.
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
 /// Most bytes accepted for a request body.
 pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
-/// Per-socket read/write timeout.
-pub const IO_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// A parsed request.
 #[derive(Debug)]
@@ -44,6 +43,14 @@ impl Request {
             .find(|(k, _)| k == name)
             .map(|(_, v)| v.as_str())
     }
+
+    /// Did the client ask for this to be the connection's last request
+    /// (`Connection: close`)? Anything else keeps the connection alive —
+    /// HTTP/1.1's default.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.to_ascii_lowercase().contains("close"))
+    }
 }
 
 /// A response under construction.
@@ -52,7 +59,7 @@ pub struct Response {
     /// Status code.
     pub status: u16,
     /// Extra headers (name, value); `Content-Type`, `Content-Length` and
-    /// `Connection: close` are emitted automatically.
+    /// `Connection` are emitted automatically.
     pub headers: Vec<(String, String)>,
     /// Body bytes.
     pub body: Vec<u8>,
@@ -94,117 +101,166 @@ impl Response {
             404 => "Not Found",
             405 => "Method Not Allowed",
             413 => "Payload Too Large",
+            429 => "Too Many Requests",
             500 => "Internal Server Error",
             _ => "Unknown",
         }
     }
 
-    fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
-        let mut head = format!("HTTP/1.1 {} {}\r\n", self.status, self.reason());
-        head.push_str(&format!("Content-Type: {}\r\n", self.content_type));
-        head.push_str(&format!("Content-Length: {}\r\n", self.body.len()));
+    /// Serialize the full wire form. `keep_alive` decides the
+    /// `Connection` header — the event loop passes `false` for the last
+    /// response before it closes the connection.
+    pub fn to_bytes(&self, keep_alive: bool) -> Vec<u8> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
+            self.status,
+            self.reason(),
+            self.content_type,
+            self.body.len()
+        );
         for (name, value) in &self.headers {
             head.push_str(&format!("{name}: {value}\r\n"));
         }
-        head.push_str("Connection: close\r\n\r\n");
-        stream.write_all(head.as_bytes())?;
-        stream.write_all(&self.body)?;
-        stream.flush()
+        head.push_str(if keep_alive {
+            "Connection: keep-alive\r\n\r\n"
+        } else {
+            "Connection: close\r\n\r\n"
+        });
+        let mut bytes = head.into_bytes();
+        bytes.extend_from_slice(&self.body);
+        bytes
     }
 }
 
-/// What went wrong while reading a request (mapped to 4xx).
+/// What went wrong while parsing a request (mapped to 4xx).
 #[derive(Debug)]
 pub struct BadRequest {
     status: u16,
-    message: String,
+    message: &'static str,
 }
 
 impl BadRequest {
-    fn new(status: u16, message: impl Into<String>) -> BadRequest {
-        BadRequest {
-            status,
-            message: message.into(),
+    fn new(status: u16, message: &'static str) -> BadRequest {
+        BadRequest { status, message }
+    }
+
+    /// The HTTP status to answer with.
+    pub fn status(&self) -> u16 {
+        self.status
+    }
+
+    /// Human-readable reason (the response body).
+    pub fn message(&self) -> &'static str {
+        self.message
+    }
+}
+
+/// Verdict of one [`parse_request`] attempt.
+#[derive(Debug)]
+pub enum Parsed {
+    /// Not enough bytes yet; read more and retry with the grown buffer.
+    Incomplete,
+    /// One complete request; the first `consumed` buffer bytes are its
+    /// wire form (pipelined successors may follow them).
+    Complete {
+        /// The parsed request.
+        request: Request,
+        /// Bytes of the buffer this request occupied.
+        consumed: usize,
+    },
+    /// The byte stream is malformed; answer and close.
+    Bad(BadRequest),
+}
+
+/// Index one past the blank line terminating the head, accepting both
+/// `\r\n` and bare `\n` line endings (the blocking parser this replaces
+/// was `read_line`-based and equally lenient).
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    for (i, &b) in buf.iter().enumerate() {
+        if b != b'\n' {
+            continue;
+        }
+        if buf[i + 1..].starts_with(b"\r\n") {
+            return Some(i + 3);
+        }
+        if buf.get(i + 1) == Some(&b'\n') {
+            return Some(i + 2);
         }
     }
+    None
 }
 
-/// Read one head line into `line`, refusing to buffer past `budget`
-/// bytes: an endless unterminated line (hostile input) must produce a
-/// 413, never unbounded allocation — `read_line` alone keeps growing
-/// its buffer until a newline arrives.
-fn read_head_line<R: BufRead>(
-    reader: &mut R,
-    line: &mut String,
-    budget: usize,
-) -> Result<Option<BadRequest>, std::io::Error> {
-    line.clear();
-    let n = reader.take(budget as u64 + 1).read_line(line)?;
-    if n > budget {
-        return Ok(Some(BadRequest::new(413, "headers too large")));
-    }
-    Ok(None)
-}
+/// Try to parse one request from the front of `buf`.
+pub fn parse_request(buf: &[u8]) -> Parsed {
+    let head_end = match find_head_end(buf) {
+        Some(end) if end > MAX_HEAD_BYTES => {
+            return Parsed::Bad(BadRequest::new(413, "headers too large"))
+        }
+        Some(end) => end,
+        // An endless unterminated head (hostile input) must produce a
+        // 413, never unbounded buffering.
+        None if buf.len() > MAX_HEAD_BYTES => {
+            return Parsed::Bad(BadRequest::new(413, "headers too large"))
+        }
+        None => return Parsed::Incomplete,
+    };
 
-fn read_request(stream: &mut TcpStream) -> Result<Result<Request, BadRequest>, std::io::Error> {
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    let mut head_bytes = 0usize;
+    let head = match std::str::from_utf8(&buf[..head_end]) {
+        Ok(head) => head,
+        Err(_) => return Parsed::Bad(BadRequest::new(400, "head is not UTF-8")),
+    };
+    let mut lines = head.split('\n').map(|l| l.trim_end_matches('\r'));
 
-    if let Some(bad) = read_head_line(&mut reader, &mut line, MAX_HEAD_BYTES)? {
-        return Ok(Err(bad));
-    }
-    head_bytes += line.len();
-    let mut parts = line.split_whitespace();
+    let mut parts = lines.next().unwrap_or("").split_whitespace();
     let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
-        (Some(m), Some(p), Some(v)) => (m.to_uppercase(), p.to_string(), v),
-        _ => return Ok(Err(BadRequest::new(400, "malformed request line"))),
+        (Some(m), Some(p), Some(v)) => (m, p, v),
+        _ => return Parsed::Bad(BadRequest::new(400, "malformed request line")),
     };
     if !version.starts_with("HTTP/1.") {
-        return Ok(Err(BadRequest::new(400, "unsupported HTTP version")));
+        return Parsed::Bad(BadRequest::new(400, "unsupported HTTP version"));
     }
 
     let mut headers = Vec::new();
-    loop {
-        if let Some(bad) = read_head_line(&mut reader, &mut line, MAX_HEAD_BYTES - head_bytes)? {
-            return Ok(Err(bad));
+    for line in lines {
+        // Only the head terminator (and the split's trailing remnant)
+        // can be empty: `find_head_end` stopped at the FIRST blank line.
+        if line.is_empty() {
+            continue;
         }
-        head_bytes += line.len();
-        let trimmed = line.trim_end_matches(['\r', '\n']);
-        if trimmed.is_empty() {
-            break;
-        }
-        match trimmed.split_once(':') {
+        match line.split_once(':') {
             Some((name, value)) => {
                 headers.push((name.trim().to_lowercase(), value.trim().to_string()))
             }
-            None => return Ok(Err(BadRequest::new(400, "malformed header"))),
+            None => return Parsed::Bad(BadRequest::new(400, "malformed header")),
         }
     }
 
-    let mut body = Vec::new();
-    let content_length = headers
+    let body_len = match headers
         .iter()
         .find(|(k, _)| k == "content-length")
-        .map(|(_, v)| v.parse::<usize>());
-    match content_length {
-        None => {}
-        Some(Err(_)) => return Ok(Err(BadRequest::new(400, "bad Content-Length"))),
+        .map(|(_, v)| v.parse::<usize>())
+    {
+        None => 0,
+        Some(Err(_)) => return Parsed::Bad(BadRequest::new(400, "bad Content-Length")),
         Some(Ok(len)) if len > MAX_BODY_BYTES => {
-            return Ok(Err(BadRequest::new(413, "body too large")))
+            return Parsed::Bad(BadRequest::new(413, "body too large"))
         }
-        Some(Ok(len)) => {
-            body.resize(len, 0);
-            reader.read_exact(&mut body)?;
-        }
+        Some(Ok(len)) => len,
+    };
+    let total = head_end + body_len;
+    if buf.len() < total {
+        return Parsed::Incomplete;
     }
 
-    Ok(Ok(Request {
-        method,
-        path,
-        headers,
-        body,
-    }))
+    Parsed::Complete {
+        request: Request {
+            method: method.to_uppercase(),
+            path: path.to_string(),
+            headers,
+            body: buf[head_end..total].to_vec(),
+        },
+        consumed: total,
+    }
 }
 
 /// The application side of the server: one call per request. Must be
@@ -223,229 +279,125 @@ where
     }
 }
 
-/// A running worker-pool server. Dropping the handle does *not* stop the
-/// workers; call [`ServerHandle::shutdown`].
-pub struct ServerHandle {
-    addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
-    workers: Vec<std::thread::JoinHandle<()>>,
-}
-
-impl ServerHandle {
-    /// The bound address (useful with port 0).
-    pub fn addr(&self) -> SocketAddr {
-        self.addr
-    }
-
-    /// Stop accepting, wake every worker, and join the pool.
-    pub fn shutdown(mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        // Each worker is parked in `accept`; poke one connection per
-        // worker to wake them all.
-        for _ in 0..self.workers.len() {
-            let _ = TcpStream::connect(self.addr);
-        }
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
-        }
-    }
-}
-
-/// Bind `addr` and serve it with `workers` threads until
-/// [`ServerHandle::shutdown`].
-pub fn serve(
-    addr: impl ToSocketAddrs,
-    workers: usize,
-    handler: Arc<dyn Handler>,
-) -> std::io::Result<ServerHandle> {
-    let listener = TcpListener::bind(addr)?;
-    let addr = listener.local_addr()?;
-    let shutdown = Arc::new(AtomicBool::new(false));
-    let workers = workers.max(1);
-    let pool = (0..workers)
-        .map(|worker| {
-            let listener = listener.try_clone()?;
-            let shutdown = Arc::clone(&shutdown);
-            let handler = Arc::clone(&handler);
-            Ok(std::thread::Builder::new()
-                .name(format!("suud-worker-{worker}"))
-                .spawn(move || worker_loop(listener, shutdown, handler))
-                .expect("spawn worker"))
-        })
-        .collect::<std::io::Result<Vec<_>>>()?;
-    Ok(ServerHandle {
-        addr,
-        shutdown,
-        workers: pool,
-    })
-}
-
-fn worker_loop(listener: TcpListener, shutdown: Arc<AtomicBool>, handler: Arc<dyn Handler>) {
-    loop {
-        let (mut stream, _) = match listener.accept() {
-            Ok(conn) => conn,
-            Err(_) => {
-                // Persistent accept failures (fd exhaustion) must not
-                // busy-spin a worker at 100% CPU; back off briefly.
-                if shutdown.load(Ordering::SeqCst) {
-                    return;
-                }
-                std::thread::sleep(Duration::from_millis(50));
-                continue;
-            }
-        };
-        if shutdown.load(Ordering::SeqCst) {
-            return;
-        }
-        let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
-        let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
-        let _ = stream.set_nodelay(true);
-        let response = match read_request(&mut stream) {
-            // A panicking handler answers 500 and the worker lives on —
-            // one poisoned request must not shrink the pool forever.
-            Ok(Ok(request)) => {
-                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handler.handle(&request)))
-                    .unwrap_or_else(|_| Response::text(500, "internal error: handler panicked"))
-            }
-            Ok(Err(bad)) => Response::text(bad.status, bad.message),
-            Err(_) => continue, // socket died mid-read; nothing to answer
-        };
-        let _ = response.write_to(&mut stream);
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    /// One-shot test client: send raw bytes, return the raw response.
-    fn roundtrip(addr: SocketAddr, raw: &[u8]) -> String {
-        let mut stream = TcpStream::connect(addr).unwrap();
-        stream.write_all(raw).unwrap();
-        let mut out = String::new();
-        stream.read_to_string(&mut out).unwrap();
-        out
+    fn complete(buf: &[u8]) -> (Request, usize) {
+        match parse_request(buf) {
+            Parsed::Complete { request, consumed } => (request, consumed),
+            other => panic!("expected Complete, got {other:?}"),
+        }
     }
 
-    fn echo_server(workers: usize) -> ServerHandle {
-        serve(
-            "127.0.0.1:0",
-            workers,
-            Arc::new(|req: &Request| {
-                Response::json(
-                    200,
-                    format!(
-                        "{{\"method\":\"{}\",\"path\":\"{}\",\"body_len\":{}}}",
-                        req.method,
-                        req.path,
-                        req.body.len()
-                    ),
-                )
-                .with_header("X-Echo", "yes")
-            }),
-        )
-        .unwrap()
-    }
-
-    #[test]
-    fn serves_and_shuts_down() {
-        let server = echo_server(2);
-        let addr = server.addr();
-        let reply = roundtrip(addr, b"GET /v1/healthz HTTP/1.1\r\nHost: x\r\n\r\n");
-        assert!(reply.starts_with("HTTP/1.1 200 OK\r\n"), "{reply}");
-        assert!(reply.contains("X-Echo: yes"), "{reply}");
-        assert!(reply.contains(r#""path":"/v1/healthz""#), "{reply}");
-        let reply = roundtrip(
-            addr,
-            b"POST /v1/race HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello",
-        );
-        assert!(reply.contains(r#""body_len":5"#), "{reply}");
-        server.shutdown();
-        // The port stops answering (connect may still succeed briefly on
-        // the listener backlog, but a request gets no response).
-        std::thread::sleep(Duration::from_millis(30));
-        if let Ok(mut s) = TcpStream::connect(addr) {
-            let _ = s.set_read_timeout(Some(Duration::from_millis(200)));
-            let _ = s.write_all(b"GET / HTTP/1.1\r\n\r\n");
-            let mut buf = String::new();
-            let _ = s.read_to_string(&mut buf);
-            assert!(buf.is_empty(), "served after shutdown: {buf}");
+    fn bad(buf: &[u8]) -> BadRequest {
+        match parse_request(buf) {
+            Parsed::Bad(bad) => bad,
+            other => panic!("expected Bad, got {other:?}"),
         }
     }
 
     #[test]
-    fn malformed_requests_get_4xx() {
-        let server = echo_server(1);
-        let addr = server.addr();
-        let reply = roundtrip(addr, b"garbage\r\n\r\n");
-        assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
-        let reply = roundtrip(addr, b"GET / SPDY/9\r\n\r\n");
-        assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
-        let reply = roundtrip(addr, b"GET / HTTP/1.1\r\nContent-Length: nope\r\n\r\n");
-        assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
-        let reply = roundtrip(
-            addr,
-            format!(
-                "GET / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
-                MAX_BODY_BYTES + 1
-            )
-            .as_bytes(),
+    fn parses_a_request_with_body_and_reports_consumed() {
+        let raw = b"POST /v1/race HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhelloGET /next";
+        let (req, consumed) = complete(raw);
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/race");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"hello");
+        assert_eq!(&raw[consumed..], b"GET /next");
+    }
+
+    #[test]
+    fn pipelined_requests_parse_one_at_a_time() {
+        let raw: Vec<u8> =
+            b"GET /a HTTP/1.1\r\n\r\nPOST /b HTTP/1.1\r\nContent-Length: 2\r\n\r\nokGET /c HTTP/1.1\r\n\r\n"
+                .to_vec();
+        let (first, n1) = complete(&raw);
+        assert_eq!(first.path, "/a");
+        let (second, n2) = complete(&raw[n1..]);
+        assert_eq!(second.path, "/b");
+        assert_eq!(second.body, b"ok");
+        let (third, n3) = complete(&raw[n1 + n2..]);
+        assert_eq!(third.path, "/c");
+        assert_eq!(n1 + n2 + n3, raw.len());
+    }
+
+    #[test]
+    fn incomplete_until_the_last_byte_arrives() {
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 3\r\n\r\nabc";
+        for cut in 0..raw.len() {
+            assert!(
+                matches!(parse_request(&raw[..cut]), Parsed::Incomplete),
+                "prefix of {cut} bytes should be incomplete"
+            );
+        }
+        let (req, consumed) = complete(raw);
+        assert_eq!(req.body, b"abc");
+        assert_eq!(consumed, raw.len());
+    }
+
+    #[test]
+    fn bare_newline_line_endings_are_accepted() {
+        let (req, _) = complete(b"GET /x HTTP/1.1\nHost: y\n\n");
+        assert_eq!(req.path, "/x");
+        assert_eq!(req.header("host"), Some("y"));
+    }
+
+    #[test]
+    fn malformed_inputs_are_bad_not_incomplete() {
+        assert_eq!(bad(b"garbage\r\n\r\n").status(), 400);
+        assert_eq!(bad(b"GET / SPDY/9\r\n\r\n").status(), 400);
+        assert_eq!(
+            bad(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n").status(),
+            400
         );
-        assert!(reply.starts_with("HTTP/1.1 413"), "{reply}");
-        server.shutdown();
+        assert_eq!(
+            bad(b"GET / HTTP/1.1\r\nContent-Length: nope\r\n\r\n").status(),
+            400
+        );
+        let oversized = format!(
+            "GET / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert_eq!(bad(oversized.as_bytes()).status(), 413);
     }
 
     #[test]
-    fn unterminated_request_line_is_capped_not_buffered_forever() {
-        let server = echo_server(1);
-        // MAX_HEAD_BYTES + change of request line with no newline at all:
-        // the server must answer 413 from the line cap rather than
-        // buffering until the client gives up.
+    fn unterminated_head_is_capped_not_buffered_forever() {
         let mut raw = b"GET /".to_vec();
-        raw.resize(MAX_HEAD_BYTES + 512, b'a');
-        let reply = roundtrip(server.addr(), &raw);
-        assert!(reply.starts_with("HTTP/1.1 413"), "{reply}");
-        server.shutdown();
+        raw.resize(MAX_HEAD_BYTES + 1, b'a');
+        assert_eq!(bad(&raw).status(), 413);
+        // A terminated head that is simply too big also 413s.
+        let mut raw = b"GET / HTTP/1.1\r\nX-Pad: ".to_vec();
+        raw.resize(MAX_HEAD_BYTES + 8, b'b');
+        raw.extend_from_slice(b"\r\n\r\n");
+        assert_eq!(bad(&raw).status(), 413);
     }
 
     #[test]
-    fn panicking_handler_answers_500_and_the_worker_survives() {
-        let server = serve(
-            "127.0.0.1:0",
-            1,
-            Arc::new(|req: &Request| {
-                if req.path == "/boom" {
-                    panic!("handler bug");
-                }
-                Response::text(200, "fine")
-            }),
-        )
-        .unwrap();
-        let reply = roundtrip(server.addr(), b"GET /boom HTTP/1.1\r\n\r\n");
-        assert!(reply.starts_with("HTTP/1.1 500"), "{reply}");
-        // The single worker must still be alive to serve this.
-        let reply = roundtrip(server.addr(), b"GET /ok HTTP/1.1\r\n\r\n");
-        assert!(reply.starts_with("HTTP/1.1 200"), "{reply}");
-        server.shutdown();
+    fn wants_close_reads_the_connection_header() {
+        let (req, _) = complete(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(req.wants_close());
+        let (req, _) = complete(b"GET / HTTP/1.1\r\nConnection: Keep-Alive\r\n\r\n");
+        assert!(!req.wants_close());
+        let (req, _) = complete(b"GET / HTTP/1.1\r\n\r\n");
+        assert!(!req.wants_close());
     }
 
     #[test]
-    fn concurrent_requests_across_the_pool() {
-        let server = echo_server(3);
-        let addr = server.addr();
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..6)
-                .map(|i| {
-                    scope.spawn(move || {
-                        roundtrip(addr, format!("GET /req/{i} HTTP/1.1\r\n\r\n").as_bytes())
-                    })
-                })
-                .collect();
-            for (i, handle) in handles.into_iter().enumerate() {
-                let reply = handle.join().unwrap();
-                assert!(reply.contains(&format!("/req/{i}")), "{reply}");
-            }
-        });
-        server.shutdown();
+    fn to_bytes_frames_and_labels_the_connection() {
+        let resp = Response::json(200, "{}").with_header("X-Extra", "1");
+        let keep = String::from_utf8(resp.to_bytes(true)).unwrap();
+        assert!(keep.starts_with("HTTP/1.1 200 OK\r\n"), "{keep}");
+        assert!(keep.contains("Content-Length: 2\r\n"), "{keep}");
+        assert!(keep.contains("X-Extra: 1\r\n"), "{keep}");
+        assert!(keep.contains("Connection: keep-alive\r\n\r\n{}"), "{keep}");
+        let close = String::from_utf8(resp.to_bytes(false)).unwrap();
+        assert!(close.contains("Connection: close\r\n\r\n{}"), "{close}");
+        let busy = Response::text(429, "busy").to_bytes(true);
+        assert!(String::from_utf8(busy)
+            .unwrap()
+            .starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
     }
 }

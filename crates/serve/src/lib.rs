@@ -5,8 +5,16 @@
 //! ([`suu_sim::Evaluator`]) and its snapshot machinery
 //! ([`suu_sim::EvalStats::to_json`]). This crate puts a long-running
 //! service in front of them: a hand-rolled HTTP/1.1 JSON API
-//! ([`http`]) over a fixed worker-thread pool, serving race evaluations
-//! from a **content-addressed, resumable result cache** ([`cache`]).
+//! ([`http`]) behind an epoll readiness loop ([`server`], built on the
+//! workspace `mio` shim), serving race evaluations from a
+//! **content-addressed, resumable result cache** ([`cache`]).
+//!
+//! The front end is a single nonblocking event-loop thread that owns
+//! every connection: keep-alive by default, pipelined requests answered
+//! strictly in order, compute handed to a worker pool through a
+//! **bounded queue** (overflow → immediate `429` + `Retry-After`), idle
+//! connections reaped on a deadline, and an optional LRU **cache size
+//! budget** with recency persisted in `index.json`.
 //!
 //! * `POST /v1/race` — a [`suu_bench::request::RaceRequest`] (scenarios
 //!   by family + normalized parameters, policy specs, a stopping rule).
@@ -20,19 +28,27 @@
 //! * `GET /v1/cell/{key}` — the raw cached checkpoint
 //!   (`suu-serve/cell/v1`: key provenance + the
 //!   `suu-sim/evalstats/v1` accumulator snapshot).
-//! * `GET /v1/healthz`, `GET /v1/stats` — liveness and cache counters
-//!   (hits / misses / extends / coalesced / inflight / cells on disk).
+//! * `GET /v1/healthz`, `GET /v1/stats` — liveness, cache counters
+//!   (hits / misses / extends / coalesced / inflight / cells on disk)
+//!   and serving counters (evictions / cache_bytes / queue_depth /
+//!   rejected_429).
 //!
 //! The `suud` binary serves the API (`--addr`, `--workers`,
+//! `--queue-depth`, `--idle-timeout-ms`, `--max-cache-bytes`,
 //! `--cache-dir`), or evaluates one request from a file in `--oneshot`
 //! mode (used by CI to gate daemon-produced documents without holding a
-//! port open). See the README's "Serving evaluations" section for curl
-//! examples and the cache-key derivation.
+//! port open). The `suu-loadgen` binary spawns a daemon and drives a
+//! deterministic mixed workload against it, proving byte-identical
+//! replay under load and emitting the `suu-serve/loadgen/v1` benchmark
+//! document (`BENCH_serve.json`). See the README's "Serving
+//! evaluations" section for curl examples and the cache-key derivation.
 
 pub mod cache;
 pub mod http;
+pub mod server;
 pub mod service;
 
 pub use cache::{cell_key_fields, CellKey, CellStore, CELL_KEY_SCHEMA, CELL_SCHEMA};
-pub use http::{serve, Handler, Request, Response, ServerHandle};
+pub use http::{Handler, Request, Response};
+pub use server::{serve, serve_with, ServerConfig, ServerHandle, ServerMetrics};
 pub use service::{CacheCounts, CacheStatus, ServeError, Service};

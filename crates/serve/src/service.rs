@@ -19,8 +19,10 @@
 
 use crate::cache::{cell_key_fields, CellKey, CellStore};
 use crate::http::{Request, Response};
+use crate::server::ServerMetrics;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 use suu_algos::bounds::lower_bound;
 use suu_bench::report::ResultsBuilder;
 use suu_bench::request::RaceRequest;
@@ -91,16 +93,37 @@ pub struct Service {
     registry: PolicyRegistry,
     /// Total `POST /v1/race` requests accepted.
     pub races: AtomicU64,
+    /// Front-end counters (queue depth, 429s), attached once the event
+    /// loop exists — `/v1/stats` reports zeros until then (oneshot mode,
+    /// in-process tests).
+    server_metrics: OnceLock<Arc<ServerMetrics>>,
 }
 
 impl Service {
-    /// Open the cache directory and build the standard policy registry.
+    /// Open the cache directory and build the standard policy registry
+    /// (no cache size budget).
     pub fn new(cache_dir: impl Into<PathBuf>) -> std::io::Result<Service> {
+        Service::with_budget(cache_dir, None)
+    }
+
+    /// Like [`Service::new`] with an optional cache size budget in
+    /// bytes (LRU eviction — see [`crate::cache`]).
+    pub fn with_budget(
+        cache_dir: impl Into<PathBuf>,
+        max_cache_bytes: Option<u64>,
+    ) -> std::io::Result<Service> {
         Ok(Service {
-            store: CellStore::open(cache_dir)?,
+            store: CellStore::open_with_budget(cache_dir, max_cache_bytes)?,
             registry: suu_algos::standard_registry(),
             races: AtomicU64::new(0),
+            server_metrics: OnceLock::new(),
         })
+    }
+
+    /// Wire the event loop's counters into `/v1/stats`. Later calls are
+    /// ignored (there is one front end per daemon).
+    pub fn attach_server_metrics(&self, metrics: Arc<ServerMetrics>) {
+        let _ = self.server_metrics.set(metrics);
     }
 
     /// The backing store (tests, stats).
@@ -154,8 +177,20 @@ impl Service {
     }
 
     /// The `/v1/stats` document (live counters; `cells_on_disk` is
-    /// counted from the store each call).
+    /// counted from the store each call). The original v1 fields keep
+    /// their exact names and order — the budget/backpressure fields are
+    /// strictly appended, so pre-existing consumers parse unchanged.
     pub fn stats_json(&self) -> Json {
+        let (queue_depth, rejected_429) = self
+            .server_metrics
+            .get()
+            .map(|m| {
+                (
+                    m.queue_depth.load(Ordering::Relaxed),
+                    m.rejected_429.load(Ordering::Relaxed),
+                )
+            })
+            .unwrap_or((0, 0));
         Json::obj()
             .field("schema", "suu-serve/stats/v1")
             .field("races", self.races.load(Ordering::Relaxed))
@@ -165,6 +200,10 @@ impl Service {
             .field("coalesced", self.store.coalesced.load(Ordering::Relaxed))
             .field("inflight", self.store.inflight_count())
             .field("cells_on_disk", self.store.cells_on_disk())
+            .field("evictions", self.store.evictions.load(Ordering::Relaxed))
+            .field("cache_bytes", self.store.cache_bytes())
+            .field("queue_depth", queue_depth)
+            .field("rejected_429", rejected_429)
     }
 
     /// Evaluate a parsed race through the cache, producing the
@@ -493,6 +532,15 @@ mod tests {
         assert_eq!(stats.get("misses").unwrap().as_u64(), Some(1));
         assert_eq!(stats.get("hits").unwrap().as_u64(), Some(1));
         assert_eq!(stats.get("cells_on_disk").unwrap().as_u64(), Some(1));
+        // Appended budget/backpressure fields (zeros until a budget or a
+        // front end exists, except cache_bytes which mirrors the store).
+        assert_eq!(stats.get("evictions").unwrap().as_u64(), Some(0));
+        assert!(stats.get("cache_bytes").unwrap().as_u64().unwrap() > 0);
+        assert_eq!(stats.get("queue_depth").unwrap().as_u64(), Some(0));
+        assert_eq!(stats.get("rejected_429").unwrap().as_u64(), Some(0));
+        service.attach_server_metrics(std::sync::Arc::new(crate::server::ServerMetrics::default()));
+        let stats = service.handle(&req("GET", "/v1/stats", ""));
+        assert_eq!(stats.status, 200);
 
         assert_eq!(service.handle(&req("GET", "/nope", "")).status, 404);
         assert_eq!(service.handle(&req("DELETE", "/v1/race", "")).status, 405);

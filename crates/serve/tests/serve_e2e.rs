@@ -10,6 +10,17 @@
 //!   are **bitwise identical** to an equivalent cold run computed
 //!   in-process (same seed derivation, fresh accumulator);
 //! * `GET /v1/cell/{key}`, `/v1/healthz` and `/v1/stats` respond.
+//!
+//! And the event-loop front end's behavior:
+//!
+//! * keep-alive connections serve many requests with bodies
+//!   byte-identical to fresh-connection responses;
+//! * pipelined requests are answered strictly in request order;
+//! * a saturated compute queue answers `429` + `Retry-After` and
+//!   recovers;
+//! * a tiny `--max-cache-bytes` budget evicts LRU cells, keeps the MRU
+//!   ones replaying byte-identically, and recomputes evicted cells
+//!   deterministically.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -25,6 +36,12 @@ struct Daemon {
 
 impl Daemon {
     fn spawn(tag: &str) -> Daemon {
+        Daemon::spawn_with(tag, &[])
+    }
+
+    /// Spawn with extra flags on a fresh cache dir named after `tag`
+    /// (tests reusing a tag share — and must clean — that dir).
+    fn spawn_with(tag: &str, extra_args: &[&str]) -> Daemon {
         let cache_dir = std::env::temp_dir().join(format!("suud-e2e-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&cache_dir);
         let mut child = Command::new(env!("CARGO_BIN_EXE_suud"))
@@ -36,6 +53,7 @@ impl Daemon {
                 "--cache-dir",
                 cache_dir.to_str().unwrap(),
             ])
+            .args(extra_args)
             .stdout(Stdio::piped())
             .stderr(Stdio::null())
             .spawn()
@@ -297,4 +315,281 @@ fn concurrent_identical_races_coalesce_onto_one_computation() {
     assert_eq!(stats.get("misses").unwrap().as_u64(), Some(1));
     assert_eq!(stats.get("hits").unwrap().as_u64(), Some(1));
     assert_eq!(stats.get("cells_on_disk").unwrap().as_u64(), Some(1));
+}
+
+// ---------------------------------------------------------------------
+// Keep-alive client (framed reads, so one connection can carry many
+// responses).
+// ---------------------------------------------------------------------
+
+struct KeepAlive {
+    reader: BufReader<TcpStream>,
+}
+
+impl KeepAlive {
+    fn connect(addr: &str) -> KeepAlive {
+        let stream = TcpStream::connect(addr).expect("connect to suud");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .unwrap();
+        KeepAlive {
+            reader: BufReader::new(stream),
+        }
+    }
+
+    fn send(&mut self, method: &str, path: &str, body: Option<&str>) {
+        let mut request = format!("{method} {path} HTTP/1.1\r\nHost: suud\r\n");
+        if let Some(body) = body {
+            request.push_str(&format!("Content-Length: {}\r\n", body.len()));
+        }
+        request.push_str("\r\n");
+        if let Some(body) = body {
+            request.push_str(body);
+        }
+        self.reader.get_mut().write_all(request.as_bytes()).unwrap();
+    }
+
+    /// Read exactly one Content-Length-framed response.
+    fn read_reply(&mut self) -> Reply {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).unwrap();
+        let status: u16 = line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("bad status line {line:?}"));
+        let mut headers: Vec<(String, String)> = Vec::new();
+        loop {
+            let mut line = String::new();
+            self.reader.read_line(&mut line).unwrap();
+            let trimmed = line.trim_end_matches(['\r', '\n']);
+            if trimmed.is_empty() {
+                break;
+            }
+            if let Some((k, v)) = trimmed.split_once(':') {
+                headers.push((k.trim().to_string(), v.trim().to_string()));
+            }
+        }
+        let len: usize = headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+            .and_then(|(_, v)| v.parse().ok())
+            .expect("framed response needs Content-Length");
+        let mut body = vec![0u8; len];
+        self.reader.read_exact(&mut body).unwrap();
+        Reply {
+            status,
+            headers,
+            body: String::from_utf8(body).expect("utf-8 body"),
+        }
+    }
+
+    fn request(&mut self, method: &str, path: &str, body: Option<&str>) -> Reply {
+        self.send(method, path, body);
+        self.read_reply()
+    }
+}
+
+#[test]
+fn keep_alive_bodies_are_byte_identical_to_fresh_connection_bodies() {
+    let daemon = Daemon::spawn("keepalive");
+    let addr = daemon.addr.as_str();
+
+    // Populate the cell over a throwaway connection.
+    let fresh = http(addr, "POST", "/v1/race", Some(&race_body(6)));
+    assert_eq!(fresh.status, 200, "{}", fresh.body);
+
+    // One connection, many requests: every response must be flagged
+    // keep-alive and every body must equal the fresh-connection body.
+    let mut conn = KeepAlive::connect(addr);
+    for round in 0..4 {
+        let reply = conn.request("POST", "/v1/race", Some(&race_body(6)));
+        assert_eq!(reply.status, 200, "round {round}");
+        assert_eq!(reply.header("Connection"), Some("keep-alive"));
+        assert_eq!(reply.header("X-Suu-Cache"), Some("hit"));
+        assert_eq!(
+            reply.body, fresh.body,
+            "round {round}: keep-alive replay must be byte-identical"
+        );
+    }
+    // Interleaved different endpoints on the same connection still work.
+    assert_eq!(conn.request("GET", "/v1/healthz", None).status, 200);
+    let stats = conn.request("GET", "/v1/stats", None);
+    assert_eq!(stats.status, 200);
+    assert_eq!(stats.json().get("hits").unwrap().as_u64(), Some(4));
+}
+
+#[test]
+fn pipelined_requests_are_answered_in_request_order() {
+    let daemon = Daemon::spawn("pipeline");
+    let addr = daemon.addr.as_str();
+    // Prime the race cell so pipelined hits are fast.
+    assert_eq!(
+        http(addr, "POST", "/v1/race", Some(&race_body(6))).status,
+        200
+    );
+
+    // Send four requests back-to-back without reading, in one burst:
+    // race (json with cells), healthz, race again, stats. The responses
+    // must come back in exactly that order.
+    let mut conn = KeepAlive::connect(addr);
+    conn.send("POST", "/v1/race", Some(&race_body(6)));
+    conn.send("GET", "/v1/healthz", None);
+    conn.send("POST", "/v1/race", Some(&race_body(6)));
+    conn.send("GET", "/v1/stats", None);
+
+    let first = conn.read_reply();
+    assert_eq!(first.status, 200);
+    assert!(first.json().get("cells").is_some(), "1st must be the race");
+    let second = conn.read_reply();
+    assert_eq!(
+        second
+            .json()
+            .get("schema")
+            .and_then(|s| s.as_str().map(str::to_string)),
+        Some("suu-serve/health/v1".to_string()),
+        "2nd must be healthz"
+    );
+    let third = conn.read_reply();
+    assert_eq!(
+        third.body, first.body,
+        "3rd must be the race again, byte-identical"
+    );
+    let fourth = conn.read_reply();
+    assert_eq!(
+        fourth
+            .json()
+            .get("schema")
+            .and_then(|s| s.as_str().map(str::to_string)),
+        Some("suu-serve/stats/v1".to_string()),
+        "4th must be stats"
+    );
+}
+
+#[test]
+fn saturated_queue_answers_429_with_retry_after_and_recovers() {
+    // One worker, a one-slot queue: the third concurrent request must
+    // be turned away.
+    let daemon = Daemon::spawn_with("saturate", &["--workers", "1", "--queue-depth", "1"]);
+    let addr = daemon.addr.as_str();
+
+    // A deliberately heavy race: ~1 s of compute in release, several in
+    // debug — far above the 300 ms send gap below, so the schedule is
+    // deterministic whatever the build profile. Distinct seeds keep
+    // every request a full-cost miss (no hit or coalescing shortcuts).
+    let heavy = |seed: u64| {
+        format!(
+            r#"{{
+                "scenarios": [{{"family": "uniform", "m": 4, "n": 16,
+                                "lo": 0.3, "hi": 0.95, "seed": {seed}}}],
+                "policies": ["greedy-lr"],
+                "trials": 400000,
+                "master_seed": 5
+            }}"#
+        )
+    };
+
+    let mut conn = KeepAlive::connect(addr);
+    // r1 occupies the single worker…
+    conn.send("POST", "/v1/race", Some(&heavy(3)));
+    std::thread::sleep(Duration::from_millis(300));
+    // …r2 fills the queue, r3 and r4 overflow it.
+    conn.send("POST", "/v1/race", Some(&heavy(4)));
+    conn.send("POST", "/v1/race", Some(&heavy(5)));
+    conn.send("POST", "/v1/race", Some(&heavy(6)));
+
+    let statuses: Vec<(u16, Option<String>)> = (0..4)
+        .map(|_| {
+            let r = conn.read_reply();
+            (r.status, r.header("Retry-After").map(str::to_string))
+        })
+        .collect();
+    assert_eq!(statuses[0].0, 200, "the computing request finishes");
+    assert_eq!(statuses[1].0, 200, "the queued request runs next");
+    for (status, retry_after) in &statuses[2..] {
+        assert_eq!(*status, 429, "overflow must be rejected");
+        assert_eq!(
+            retry_after.as_deref(),
+            Some("1"),
+            "429 must carry Retry-After"
+        );
+    }
+
+    // The rejection is backpressure, not a failure state: the very next
+    // request (now a cache hit) succeeds on the same connection.
+    let after = conn.request("POST", "/v1/race", Some(&heavy(3)));
+    assert_eq!(after.status, 200);
+    assert_eq!(after.header("X-Suu-Cache"), Some("hit"));
+    let stats = conn.request("GET", "/v1/stats", None).json();
+    assert_eq!(stats.get("rejected_429").unwrap().as_u64(), Some(2));
+}
+
+#[test]
+fn tiny_cache_budget_evicts_lru_and_keeps_mru_replaying_byte_identically() {
+    fn seeded_race(seed: u64) -> String {
+        format!(
+            r#"{{
+                "scenarios": [{{"family": "uniform", "m": 3, "n": 6,
+                                "lo": 0.3, "hi": 0.9, "seed": {seed}}}],
+                "policies": ["greedy-lr"],
+                "trials": 6,
+                "master_seed": 21
+            }}"#
+        )
+    }
+
+    // Phase 1: measure one cell's size with an unbudgeted daemon.
+    let cell_bytes = {
+        let probe = Daemon::spawn("evict-probe");
+        let addr = probe.addr.as_str();
+        assert_eq!(
+            http(addr, "POST", "/v1/race", Some(&seeded_race(1))).status,
+            200
+        );
+        let stats = http(addr, "GET", "/v1/stats", None).json();
+        stats.get("cache_bytes").unwrap().as_u64().unwrap()
+    };
+    assert!(cell_bytes > 0);
+
+    // Phase 2: a budget that fits two cells (plus slack for per-seed
+    // size jitter) but never three.
+    let budget = cell_bytes * 2 + cell_bytes / 2;
+    let daemon = Daemon::spawn_with("evict", &["--max-cache-bytes", &budget.to_string()]);
+    let addr = daemon.addr.as_str();
+
+    let first_a = http(addr, "POST", "/v1/race", Some(&seeded_race(1)));
+    let first_b = http(addr, "POST", "/v1/race", Some(&seeded_race(2)));
+    assert_eq!(first_a.header("X-Suu-Cache"), Some("miss"));
+    assert_eq!(first_b.header("X-Suu-Cache"), Some("miss"));
+
+    // Touch A (now MRU), then add C: B is LRU and must be evicted.
+    let touched_a = http(addr, "POST", "/v1/race", Some(&seeded_race(1)));
+    assert_eq!(touched_a.header("X-Suu-Cache"), Some("hit"));
+    assert_eq!(
+        touched_a.body, first_a.body,
+        "budgeted cache hits still replay byte-identically"
+    );
+    assert_eq!(
+        http(addr, "POST", "/v1/race", Some(&seeded_race(3))).status,
+        200
+    );
+
+    let stats = http(addr, "GET", "/v1/stats", None).json();
+    assert_eq!(stats.get("evictions").unwrap().as_u64(), Some(1));
+    assert_eq!(stats.get("cells_on_disk").unwrap().as_u64(), Some(2));
+    assert!(stats.get("cache_bytes").unwrap().as_u64().unwrap() <= budget);
+
+    // The survivor (A, recently used) still replays byte-identically…
+    let again_a = http(addr, "POST", "/v1/race", Some(&seeded_race(1)));
+    assert_eq!(again_a.header("X-Suu-Cache"), Some("hit"));
+    assert_eq!(again_a.body, first_a.body);
+
+    // …and the evicted cell (B) is recomputed deterministically: a
+    // miss, but byte-identical to its pre-eviction response.
+    let recomputed_b = http(addr, "POST", "/v1/race", Some(&seeded_race(2)));
+    assert_eq!(recomputed_b.header("X-Suu-Cache"), Some("miss"));
+    assert_eq!(
+        recomputed_b.body, first_b.body,
+        "recomputed cells are bitwise their evicted selves"
+    );
 }
