@@ -35,6 +35,14 @@
 //!   mismatches**, latency percentiles are non-negative and ordered
 //!   (p50 ≤ p95 ≤ p99 ≤ max) for every class, and throughput is
 //!   positive.
+//! * `suu-serve/loadgen/v2` — the sharded-serving scaling gate: a
+//!   positive `host_cores`, one entry per distinct shard count, and for
+//!   every entry the v1 checks plus **zero router-vs-direct
+//!   mismatches** (the scatter/gather merge stayed byte-identical to a
+//!   single daemon), at least one identity probe, a tracked
+//!   `rejected_429` counter, and an aggregated `suu-serve/stats/v1`
+//!   fleet document whose per-shard breakdown matches the entry's
+//!   shard count.
 //!
 //! Exits nonzero on the first violation, so it can gate CI directly.
 
@@ -253,6 +261,40 @@ fn validate_engine_batch_v2(doc: &Json, path: &str, min_speedup: Option<f64>) ->
     null_speedups
 }
 
+fn require_u64_field(obj: &Json, key: &str, ctx: &str) -> u64 {
+    obj.get(key)
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| fail(format!("{ctx}: missing non-negative integer '{key}'")))
+}
+
+/// The shared latency-summary check: every class present, percentiles
+/// non-negative, and ordered (p50 ≤ p95 ≤ p99 ≤ max) unless the class
+/// is legitimately empty.
+fn check_latency_block(holder: &Json, classes: &[&str], ctx: &str) {
+    let latency = holder
+        .get("latency")
+        .unwrap_or_else(|| fail(format!("{ctx}: missing object 'latency'")));
+    for class in classes {
+        let cctx = format!("{ctx}: latency.{class}");
+        let summary = latency
+            .get(class)
+            .unwrap_or_else(|| fail(format!("{cctx}: missing")));
+        let count = require_u64_field(summary, "count", &cctx);
+        let pct = |key: &str| -> f64 {
+            match summary.get(key).and_then(Json::as_f64) {
+                Some(v) if v >= 0.0 => v,
+                _ => fail(format!("{cctx}: '{key}' must be a non-negative number")),
+            }
+        };
+        let (p50, p95, p99, max) = (pct("p50_ms"), pct("p95_ms"), pct("p99_ms"), pct("max_ms"));
+        if count > 0 && !(p50 <= p95 && p95 <= p99 && p99 <= max) {
+            fail(format!(
+                "{cctx}: percentiles out of order (p50 {p50}, p95 {p95}, p99 {p99}, max {max})"
+            ));
+        }
+    }
+}
+
 /// The `suu-serve/loadgen/v1` gate: a serving-benchmark document is
 /// only credible with zero failures, zero replay mismatches, and
 /// internally consistent latency summaries.
@@ -289,31 +331,92 @@ fn validate_loadgen_v1(doc: &Json, path: &str) {
         Some(rps) if rps > 0.0 => {}
         _ => fail(format!("{path}: 'throughput_rps' must be positive")),
     }
-    let latency = doc
-        .get("latency")
-        .unwrap_or_else(|| fail(format!("{path}: missing object 'latency'")));
-    for class in ["all", "hit", "miss", "extend", "storm"] {
-        let ctx = format!("{path}: latency.{class}");
-        let summary = latency
-            .get(class)
-            .unwrap_or_else(|| fail(format!("{ctx}: missing")));
-        // An empty class (e.g. a smoke run that rolled no extends) is
-        // legitimately all-zero; a non-empty one must be ordered.
-        let count = require_u64(summary, "count", &ctx);
-        let pct = |key: &str| -> f64 {
-            match summary.get(key).and_then(Json::as_f64) {
-                Some(v) if v >= 0.0 => v,
-                _ => fail(format!("{ctx}: '{key}' must be a non-negative number")),
-            }
-        };
-        let (p50, p95, p99, max) = (pct("p50_ms"), pct("p95_ms"), pct("p99_ms"), pct("max_ms"));
-        if count > 0 && !(p50 <= p95 && p95 <= p99 && p99 <= max) {
+    // An empty class (e.g. a smoke run that rolled no extends) is
+    // legitimately all-zero; a non-empty one must be ordered.
+    check_latency_block(doc, &["all", "hit", "miss", "extend", "storm"], path);
+    println!("OK {path}: suu-serve/loadgen/v1 ({mode}), {total} requests, 0 failed, 0 mismatches");
+}
+
+/// The `suu-serve/loadgen/v2` gate: per-shard-count scaling entries,
+/// each held to the v1 bar *plus* the sharding contract — the merged
+/// responses stayed byte-identical to a single daemon's.
+fn validate_loadgen_v2(doc: &Json, path: &str) {
+    let mode = require_str(doc, "mode", path);
+    if !["full", "smoke"].contains(&mode) {
+        fail(format!("{path}: unknown loadgen mode {mode:?}"));
+    }
+    let host_cores = require_u64_field(doc, "host_cores", path);
+    if host_cores == 0 {
+        fail(format!("{path}: 'host_cores' must be positive"));
+    }
+    let entries = require_arr(doc, "entries", path);
+    if entries.is_empty() {
+        fail(format!("{path}: 'entries' must not be empty"));
+    }
+    let mut shard_counts: Vec<u64> = Vec::with_capacity(entries.len());
+    let mut total_requests = 0u64;
+    for (i, entry) in entries.iter().enumerate() {
+        let ctx = format!("{path}: entries[{i}]");
+        let shards = require_u64_field(entry, "shards", &ctx);
+        if shards == 0 {
+            fail(format!("{ctx}: 'shards' must be positive"));
+        }
+        if shard_counts.contains(&shards) {
+            fail(format!("{ctx}: duplicate entry for {shards} shard(s)"));
+        }
+        shard_counts.push(shards);
+        let requests = entry
+            .get("requests")
+            .unwrap_or_else(|| fail(format!("{ctx}: missing object 'requests'")));
+        let total = require_u64_field(requests, "total", &ctx);
+        let classed: u64 = ["primed", "hit", "miss", "extend", "storm", "identity"]
+            .iter()
+            .map(|k| require_u64_field(requests, k, &ctx))
+            .sum();
+        if total == 0 || total != classed {
             fail(format!(
-                "{ctx}: percentiles out of order (p50 {p50}, p95 {p95}, p99 {p99}, max {max})"
+                "{ctx}: request accounting broken (total {total}, classes sum {classed})"
+            ));
+        }
+        if require_u64_field(requests, "identity", &ctx) == 0 {
+            fail(format!(
+                "{ctx}: no identity probes — the run never compared router vs direct"
+            ));
+        }
+        total_requests += total;
+        for key in ["failed", "replay_mismatches", "router_vs_direct_mismatches"] {
+            let n = require_u64_field(entry, key, &ctx);
+            if n != 0 {
+                fail(format!("{ctx}: {n} {key} — a clean run is required"));
+            }
+        }
+        // Load shedding is legitimate under saturation, but must be
+        // accounted for, not silently swallowed.
+        require_u64_field(entry, "rejected_429", &ctx);
+        match entry.get("throughput_rps").and_then(Json::as_f64) {
+            Some(rps) if rps > 0.0 => {}
+            _ => fail(format!("{ctx}: 'throughput_rps' must be positive")),
+        }
+        check_latency_block(entry, &["all", "hit", "miss", "extend", "storm"], &ctx);
+        let stats = entry
+            .get("stats")
+            .unwrap_or_else(|| fail(format!("{ctx}: missing object 'stats'")));
+        let schema = require_str(stats, "schema", &ctx);
+        if schema != "suu-serve/stats/v1" {
+            fail(format!("{ctx}: aggregated stats schema {schema:?}"));
+        }
+        let breakdown = require_arr(stats, "shards", &ctx);
+        if breakdown.len() as u64 != shards {
+            fail(format!(
+                "{ctx}: stats.shards has {} entries for a {shards}-shard fleet",
+                breakdown.len()
             ));
         }
     }
-    println!("OK {path}: suu-serve/loadgen/v1 ({mode}), {total} requests, 0 failed, 0 mismatches");
+    println!(
+        "OK {path}: suu-serve/loadgen/v2 ({mode}, {host_cores} core(s)), \
+         shard counts {shard_counts:?}, {total_requests} requests, all clean"
+    );
 }
 
 fn main() {
@@ -355,6 +458,7 @@ fn main() {
                 tolerated += validate_engine(&doc, path);
             }
             Some("suu-serve/loadgen/v1") => validate_loadgen_v1(&doc, path),
+            Some("suu-serve/loadgen/v2") => validate_loadgen_v2(&doc, path),
             other => fail(format!("{path}: unsupported schema {other:?}")),
         }
     }

@@ -177,6 +177,17 @@ impl ResultsBuilder {
         self.cells.push(cell);
     }
 
+    /// Record one already-rendered cell **verbatim** (registering its
+    /// policy in first-use order, like [`ResultsBuilder::add_cell`]).
+    /// This is the reassembly path for a scatter/gather proxy: cell
+    /// JSON produced by a backend daemon is spliced into the merged
+    /// document byte-for-byte, so the merge of single-cell sub-responses
+    /// is indistinguishable from a single-process run.
+    pub fn add_cell_json(&mut self, policy: &str, cell: Json) {
+        self.register_policy(policy);
+        self.cells.push(cell);
+    }
+
     /// Record one paired CRN comparison (`suu-results/v2` `paired[]`).
     pub fn add_paired(
         &mut self,
@@ -306,5 +317,33 @@ mod tests {
         assert_eq!(cells[1].get("error").unwrap().as_str(), Some("too big"));
         let policies = parsed.get("policies").unwrap().as_array().unwrap();
         assert_eq!(policies.len(), 2);
+    }
+
+    #[test]
+    fn raw_cell_splicing_reassembles_byte_identically() {
+        // The scatter/gather foundation: a document rebuilt from its own
+        // parsed-and-re-emitted cells is bytewise the original.
+        let sc = Scenario::uniform(2, 4, 0.2, 0.8, 1);
+        let inst = sc.instantiate();
+        let stats = Evaluator::seeded(20, 9).run_stats(&inst, || Gang);
+        let mut direct = ResultsBuilder::new("suud").record_wall_clocks(false);
+        direct.add_scenario(&sc);
+        direct.add_cell(
+            &sc.id,
+            "gang",
+            &stats,
+            &[("lower_bound", Json::Num(0.1 + 0.2))],
+        );
+        direct.add_failure(&sc.id, "exact-opt", "error", "too big".to_string());
+        let original = direct.finish().to_pretty();
+
+        let parsed = suu_core::json::parse(&original).unwrap();
+        let cells = parsed.get("cells").unwrap().as_array().unwrap();
+        let mut merged = ResultsBuilder::new("suud").record_wall_clocks(false);
+        merged.add_scenario(&sc);
+        for (cell, policy) in cells.iter().zip(["gang", "exact-opt"]) {
+            merged.add_cell_json(policy, cell.clone());
+        }
+        assert_eq!(merged.finish().to_pretty(), original);
     }
 }

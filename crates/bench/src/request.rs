@@ -384,6 +384,81 @@ impl RaceRequest {
             ratios_to_lower_bound,
         })
     }
+
+    /// Re-emit the parsed request in wire form. Every execution field is
+    /// spelled out explicitly (even where it matches a default), so the
+    /// emitted document re-parses to an identical request regardless of
+    /// how future defaults drift — the property a proxy needs to forward
+    /// requests to backends without changing their meaning (or their
+    /// content-addressed cell keys).
+    pub fn to_json(&self) -> Json {
+        let scenario_refs: Vec<&RequestScenario> = self.scenarios.iter().collect();
+        let policy_refs: Vec<&str> = self.policies.iter().map(String::as_str).collect();
+        self.wire_json(&scenario_refs, &policy_refs)
+    }
+
+    /// The wire form of the **single-cell sub-request** for
+    /// `(scenarios[scenario], policies[policy])`: same stopping rule,
+    /// master seed, and execution context as the whole request, so the
+    /// cell a backend computes for it is bit-identical to the one it
+    /// would compute inside the full request (per-scenario seeds derive
+    /// only from `master_seed` and the scenario itself).
+    pub fn cell_request_json(&self, scenario: usize, policy: usize) -> Json {
+        self.wire_json(
+            &[&self.scenarios[scenario]],
+            &[self.policies[policy].as_str()],
+        )
+    }
+
+    fn wire_json(&self, scenarios: &[&RequestScenario], policies: &[&str]) -> Json {
+        let mut doc = Json::obj()
+            .field(
+                "scenarios",
+                Json::Arr(scenarios.iter().map(|rs| rs.params.clone()).collect()),
+            )
+            .field(
+                "policies",
+                Json::Arr(
+                    policies
+                        .iter()
+                        .map(|p| Json::Str((*p).to_string()))
+                        .collect(),
+                ),
+            );
+        doc = match self.precision {
+            Precision::FixedTrials(n) => doc.field("trials", n as u64),
+            Precision::TargetCi {
+                half_width,
+                relative,
+                min_trials,
+                max_trials,
+            } => doc.field(
+                "precision",
+                Json::obj()
+                    .field("half_width", half_width)
+                    .field("relative", relative)
+                    .field("min_trials", min_trials as u64)
+                    .field("max_trials", max_trials as u64),
+            ),
+        };
+        doc.field("master_seed", self.master_seed)
+            .field(
+                "semantics",
+                match self.exec.semantics {
+                    Semantics::Suu => "suu",
+                    Semantics::SuuStar => "suu-star",
+                },
+            )
+            .field(
+                "engine",
+                match self.exec.engine {
+                    EngineKind::Events => "events",
+                    EngineKind::Dense => "dense",
+                },
+            )
+            .field("max_steps", self.exec.max_steps)
+            .field("ratios_to_lower_bound", self.ratios_to_lower_bound)
+    }
 }
 
 #[cfg(test)]
@@ -566,6 +641,54 @@ mod tests {
                 "{text}: error {err:?} lacks {needle:?}"
             );
         }
+    }
+
+    #[test]
+    fn wire_form_round_trips_exactly() {
+        for text in [
+            // Fixed trials, defaults everywhere.
+            r#"{"scenarios":[{"family":"uniform","m":3,"n":8,"lo":0.2,"hi":0.9,"seed":7},
+                             {"family":"chains","m":3,"n":9,"chains":3,"seed":11}],
+                "policies":["greedy-lr","suu-c"],"trials":24}"#,
+            // Adaptive precision + every explicit knob.
+            r#"{"scenarios":[{"family":"adversarial","m":2,"n":4,"seed":1}],
+                "policies":["best-machine"],
+                "precision":{"half_width":0.05,"relative":true,"min_trials":8,"max_trials":128},
+                "master_seed":99,"semantics":"suu-star","engine":"dense",
+                "max_steps":5000,"ratios_to_lower_bound":true}"#,
+        ] {
+            let first = req(text).unwrap();
+            let emitted = first.to_json();
+            let second = RaceRequest::from_json(&emitted).expect("wire form re-parses");
+            // Emit → parse → emit is a fixed point (bytewise).
+            assert_eq!(emitted.to_canonical(), second.to_json().to_canonical());
+            assert_eq!(first.master_seed, second.master_seed);
+            assert_eq!(first.policies, second.policies);
+            for (a, b) in first.scenarios.iter().zip(&second.scenarios) {
+                assert_eq!(a.params.to_canonical(), b.params.to_canonical());
+            }
+        }
+    }
+
+    #[test]
+    fn cell_request_preserves_the_cell_identity_fields() {
+        let race = req(r#"{
+            "scenarios":[{"family":"uniform","m":3,"n":8,"lo":0.2,"hi":0.9,"seed":7},
+                         {"family":"chains","m":3,"n":9,"chains":3,"seed":11}],
+            "policies":["greedy-lr","suu-c"],
+            "trials":24,"master_seed":99,"semantics":"suu-star"}"#)
+        .unwrap();
+        let sub = RaceRequest::from_json(&race.cell_request_json(1, 0)).unwrap();
+        assert_eq!(sub.scenarios.len(), 1);
+        assert_eq!(sub.policies, vec!["greedy-lr"]);
+        assert_eq!(
+            sub.scenarios[0].params.to_canonical(),
+            race.scenarios[1].params.to_canonical()
+        );
+        assert_eq!(sub.master_seed, race.master_seed);
+        assert_eq!(sub.exec.semantics, race.exec.semantics);
+        assert_eq!(sub.exec.max_steps, race.exec.max_steps);
+        assert!(matches!(sub.precision, Precision::FixedTrials(24)));
     }
 
     #[test]

@@ -1,43 +1,63 @@
-//! **suu-loadgen** — deterministic load generator for the `suud` daemon.
+//! **suu-loadgen** — deterministic load generator and scaling harness
+//! for the sharded serving stack.
 //!
-//! Spawns a fresh daemon (sibling `suud` binary, ephemeral port, private
-//! cache dir) and replays a seeded mix of traffic over keep-alive
-//! connections:
+//! For each shard count in the run plan, spawns a fresh `suu-router`
+//! fleet (sibling binaries, ephemeral ports, private cache dirs) plus a
+//! *direct* single `suud` as the byte-identity oracle, and replays a
+//! seeded mix of traffic over keep-alive connections:
 //!
 //! * **hits** (~84%) — requests whose cells a prime phase already
 //!   cached; every hit body is byte-compared against the primed body,
-//!   so the run *proves* replay determinism, not just speed;
+//!   so the run *proves* replay determinism through the router, not
+//!   just speed;
 //! * **misses** (~8%) — unique seeds, each computing a fresh cell;
 //! * **extends** (~8%) — a per-connection cell requested at escalating
 //!   trial counts, exercising the resume path;
 //! * **coalescing storms** — barrier-synchronized rounds where every
 //!   connection posts the *same* new request at once; all responses
-//!   must be byte-identical (one computes, the rest coalesce).
+//!   must be byte-identical (one shard computes, the rest coalesce);
+//! * **identity probes** — multi-cell races (2 scenarios × 2 policies,
+//!   so the cells scatter across shards) posted to both the router and
+//!   the direct daemon; the merged document must be **byte-identical**
+//!   to the single-daemon one.
+//!
+//! A `429 Too Many Requests` is not a failure: the generator honors
+//! `Retry-After` with bounded backoff, retries, and reports the count
+//! as `rejected_429` (the latency sample is the successful attempt).
 //!
 //! The schedule is pure splitmix64 — same flags, same traffic. Latency
-//! percentiles (exact, from the sorted sample) and throughput land in a
-//! `suu-serve/loadgen/v1` document (default `BENCH_serve.json`),
-//! which CI gates through `validate_results`. Exit is nonzero on any
-//! failed request or replay mismatch.
+//! percentiles (exact, from the sorted sample) and throughput land as
+//! one entry per shard count in a `suu-serve/loadgen/v2` document
+//! (default `BENCH_serve.json`) together with `host_cores`, which CI
+//! gates through `validate_results`. Exit is nonzero on any failed
+//! request, replay mismatch, or router-vs-direct divergence.
 //!
 //! ```sh
-//! suu-loadgen                  # full run (~5k requests), BENCH_serve.json
-//! suu-loadgen --smoke --out smoke.json   # CI-sized run
+//! suu-loadgen                  # full scaling run (shards 1, 2, 4)
+//! suu-loadgen --smoke          # CI-sized run (shards 1)
+//! suu-loadgen --smoke --shards 2 --out smoke.json   # one topology
 //! ```
 
-use std::io::{BufRead, BufReader, Read, Write};
-use std::net::TcpStream;
+use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
 use std::sync::{Barrier, Mutex};
 use std::time::{Duration, Instant};
 use suu_core::json::Json;
+use suu_serve::client::{Client, Reply};
 
 /// Benchmark document schema.
-const SCHEMA: &str = "suu-serve/loadgen/v1";
+const SCHEMA: &str = "suu-serve/loadgen/v2";
+/// Upstream read timeout for generator connections.
+const READ_TIMEOUT: Duration = Duration::from_secs(120);
+/// Most retries one request spends on 429 backoff before counting as
+/// failed.
+const MAX_RETRIES_429: u32 = 50;
 
 struct Config {
     smoke: bool,
     out: String,
+    /// Shard counts to measure, one document entry each.
+    shard_counts: Vec<usize>,
     /// Keep-alive client connections.
     conns: usize,
     /// Scheduled requests per connection (before storms).
@@ -46,23 +66,39 @@ struct Config {
     storm_rounds: usize,
     /// Cells created by the prime phase (the hot set).
     hot_set: usize,
+    /// Multi-cell router-vs-direct byte-identity probes.
+    identity_probes: usize,
 }
 
 fn parse_args() -> Config {
     let mut smoke = false;
     let mut out = None;
+    let mut shards = None;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("suu-loadgen: {name} needs a value");
+                std::process::exit(2);
+            })
+        };
         match flag.as_str() {
             "--smoke" => smoke = true,
-            "--out" => {
-                out = Some(it.next().unwrap_or_else(|| {
-                    eprintln!("suu-loadgen: --out needs a value");
-                    std::process::exit(2);
-                }))
+            "--out" => out = Some(value("--out")),
+            "--shards" => {
+                let raw = value("--shards");
+                shards = Some(
+                    raw.parse::<usize>()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .unwrap_or_else(|| {
+                            eprintln!("suu-loadgen: --shards must be a positive integer");
+                            std::process::exit(2);
+                        }),
+                )
             }
             "--help" | "-h" => {
-                eprintln!("usage: suu-loadgen [--smoke] [--out FILE]");
+                eprintln!("usage: suu-loadgen [--smoke] [--shards N] [--out FILE]");
                 std::process::exit(2);
             }
             other => {
@@ -71,24 +107,36 @@ fn parse_args() -> Config {
             }
         }
     }
+    let shard_counts = match shards {
+        Some(n) => vec![n],
+        // The scaling curve: full runs sweep the shard counts the
+        // committed BENCH_serve.json documents; smoke stays tiny.
+        None if smoke => vec![1],
+        None => vec![1, 2, 4],
+    };
     if smoke {
         Config {
             smoke,
             out: out.unwrap_or_else(|| "BENCH_serve_smoke.json".to_string()),
+            shard_counts,
             conns: 2,
             per_conn: 14,
             storm_rounds: 2,
             hot_set: 3,
+            identity_probes: 2,
         }
     } else {
-        // 8 × 640 + 6 prime + 2 × 8 storm = 5,150 requests ≥ the 5k floor.
+        // Per entry: 8 × 256 + 6 prime + 2 × 8 storm + 3 probes ≈ 2.1k
+        // requests; the default three-entry sweep is ~6.3k total.
         Config {
             smoke,
             out: out.unwrap_or_else(|| "BENCH_serve.json".to_string()),
+            shard_counts,
             conns: 8,
-            per_conn: 640,
+            per_conn: 256,
             storm_rounds: 2,
             hot_set: 6,
+            identity_probes: 3,
         }
     }
 }
@@ -109,97 +157,69 @@ fn race_body(seed: u64, trials: u64) -> String {
     )
 }
 
-// ---------------------------------------------------------------------
-// Minimal keep-alive HTTP client
-// ---------------------------------------------------------------------
-
-struct Client {
-    reader: BufReader<TcpStream>,
+/// A multi-cell race (2 scenarios × 2 policies = 4 cells) whose cells
+/// hash to different shards — the scatter/gather identity probe.
+fn multi_cell_body(seed: u64) -> String {
+    format!(
+        r#"{{"scenarios":[{{"family":"uniform","m":2,"n":4,"lo":0.3,"hi":0.9,"seed":{seed}}},{{"family":"uniform","m":2,"n":5,"lo":0.2,"hi":0.8,"seed":{}}}],"policies":["greedy-lr","round-robin"],"trials":5,"master_seed":7}}"#,
+        seed + 1
+    )
 }
 
-struct Reply {
-    status: u16,
-    body: Vec<u8>,
-}
-
-impl Client {
-    fn connect(addr: &str) -> std::io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_read_timeout(Some(Duration::from_secs(120)))?;
-        stream.set_nodelay(true)?;
-        Ok(Client {
-            reader: BufReader::new(stream),
-        })
-    }
-
-    fn request(&mut self, method: &str, path: &str, body: Option<&str>) -> std::io::Result<Reply> {
-        let mut req = format!("{method} {path} HTTP/1.1\r\nHost: loadgen\r\n");
-        if let Some(body) = body {
-            req.push_str(&format!("Content-Length: {}\r\n", body.len()));
+/// POST a race with bounded `Retry-After` backoff on 429. Returns the
+/// terminal reply, the latency of the successful attempt, and how many
+/// 429s were absorbed along the way.
+fn post_race(client: &mut Client, body: &str) -> (Reply, Duration, u64) {
+    let mut rejected = 0u64;
+    loop {
+        let t0 = Instant::now();
+        let reply = client
+            .request("POST", "/v1/race", Some(body.as_bytes()))
+            .expect("race request");
+        if reply.status == 429 && rejected < MAX_RETRIES_429 as u64 {
+            rejected += 1;
+            let retry_after_ms = reply
+                .header("retry-after")
+                .and_then(|v| v.parse::<u64>().ok())
+                .map_or(1_000, |secs| secs * 1_000);
+            // Ramp toward the server's suggestion instead of stampeding.
+            std::thread::sleep(Duration::from_millis((25 * rejected).min(retry_after_ms)));
+            continue;
         }
-        req.push_str("\r\n");
-        if let Some(body) = body {
-            req.push_str(body);
-        }
-        self.reader.get_mut().write_all(req.as_bytes())?;
-        self.read_reply()
-    }
-
-    fn read_reply(&mut self) -> std::io::Result<Reply> {
-        let bad =
-            |what: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, what.to_string());
-        let mut line = String::new();
-        self.reader.read_line(&mut line)?;
-        let status: u16 = line
-            .split_whitespace()
-            .nth(1)
-            .and_then(|s| s.parse().ok())
-            .ok_or_else(|| bad("bad status line"))?;
-        let mut content_length = None;
-        loop {
-            let mut line = String::new();
-            self.reader.read_line(&mut line)?;
-            let trimmed = line.trim_end_matches(['\r', '\n']);
-            if trimmed.is_empty() {
-                break;
-            }
-            if let Some((k, v)) = trimmed.split_once(':') {
-                if k.trim().eq_ignore_ascii_case("content-length") {
-                    content_length = v.trim().parse::<usize>().ok();
-                }
-            }
-        }
-        let len = content_length.ok_or_else(|| bad("missing Content-Length"))?;
-        let mut body = vec![0u8; len];
-        self.reader.read_exact(&mut body)?;
-        Ok(Reply { status, body })
+        return (reply, t0.elapsed(), rejected);
     }
 }
 
 // ---------------------------------------------------------------------
-// Daemon under test
+// Servers under test
 // ---------------------------------------------------------------------
 
-/// The spawned daemon; killed (and its cache dir removed) on drop, so a
-/// panicking run doesn't leak processes.
-struct Daemon {
+/// A spawned server (a router fleet or a direct daemon); killed (and
+/// its cache dir removed) on drop, so a panicking run doesn't leak
+/// processes. Router shards carry `PDEATHSIG`, so even a kill here
+/// reaps the whole fleet.
+struct ServerProc {
     child: Child,
     addr: String,
-    cache_dir: std::path::PathBuf,
-    /// Keeps the daemon's stdout pipe open for its whole life — closing
-    /// it early would hand the daemon an EPIPE on its next print.
-    _stdout: BufReader<std::process::ChildStdout>,
+    cache_dir: PathBuf,
+    /// Keeps the server's stdout pipe open for its whole life — closing
+    /// it early would hand the server an EPIPE on its next print.
+    _stdout: std::io::BufReader<std::process::ChildStdout>,
 }
 
-impl Daemon {
-    fn spawn() -> Daemon {
-        let suud = std::env::current_exe()
+impl ServerProc {
+    /// Spawn a sibling binary with `--addr 127.0.0.1:0` plus `extra`
+    /// flags, a private cache dir tagged `tag`, and parse the first
+    /// banner line for the bound address.
+    fn spawn(bin: &str, tag: &str, extra: &[&str]) -> ServerProc {
+        use std::io::BufRead as _;
+        let path = std::env::current_exe()
             .expect("own path")
-            .with_file_name("suud");
+            .with_file_name(bin);
         let cache_dir =
-            std::env::temp_dir().join(format!("suu-loadgen-cache-{}", std::process::id()));
+            std::env::temp_dir().join(format!("suu-loadgen-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&cache_dir);
-        let mut child = Command::new(&suud)
+        let mut child = Command::new(&path)
             .args([
                 "--addr",
                 "127.0.0.1:0",
@@ -209,23 +229,24 @@ impl Daemon {
                 "4",
                 "--queue-depth",
                 "256",
-                // No idle reaping / 429s during a latency measurement:
-                // those paths have their own e2e tests.
+                // No idle reaping during a latency measurement: that
+                // path has its own e2e tests.
                 "--idle-timeout-ms",
                 "120000",
             ])
+            .args(extra)
             .stdout(Stdio::piped())
             .stderr(Stdio::inherit())
             .spawn()
             .unwrap_or_else(|e| {
-                eprintln!("suu-loadgen: cannot spawn {}: {e}", suud.display());
+                eprintln!("suu-loadgen: cannot spawn {}: {e}", path.display());
                 std::process::exit(1);
             });
         let stdout = child.stdout.take().expect("piped stdout");
-        let mut reader = BufReader::new(stdout);
+        let mut reader = std::io::BufReader::new(stdout);
         let mut banner = String::new();
         if reader.read_line(&mut banner).unwrap_or(0) == 0 {
-            eprintln!("suu-loadgen: daemon produced no banner");
+            eprintln!("suu-loadgen: {bin} produced no banner");
             std::process::exit(1);
         }
         let addr = banner
@@ -238,16 +259,23 @@ impl Daemon {
             eprintln!("suu-loadgen: unparsable banner {banner:?}");
             std::process::exit(1);
         }
-        Daemon {
+        ServerProc {
             child,
             addr,
             cache_dir,
             _stdout: reader,
         }
     }
+
+    fn client(&self) -> Client {
+        Client::connect(&self.addr, READ_TIMEOUT).unwrap_or_else(|e| {
+            eprintln!("suu-loadgen: connect to {} failed: {e}", self.addr);
+            std::process::exit(1);
+        })
+    }
 }
 
-impl Drop for Daemon {
+impl Drop for ServerProc {
     fn drop(&mut self) {
         let _ = self.child.kill();
         let _ = self.child.wait();
@@ -265,6 +293,7 @@ enum Class {
     Miss,
     Extend,
     Storm,
+    Identity,
 }
 
 struct Sample {
@@ -297,28 +326,40 @@ fn latency_obj(samples: &[&Sample]) -> Json {
         )
 }
 
-fn main() {
-    let cfg = parse_args();
-    let daemon = Daemon::spawn();
+/// One scaling-curve entry: run the whole workload against a fresh
+/// `--shards N` router fleet (plus a direct daemon for the identity
+/// oracle). Returns the document entry and whether it was clean.
+fn run_entry(cfg: &Config, shards: usize) -> (Json, bool) {
+    let shards_flag = shards.to_string();
+    let router = ServerProc::spawn(
+        "suu-router",
+        &format!("router{shards}"),
+        &[
+            "--shards",
+            &shards_flag,
+            "--shard-workers",
+            "2",
+            "--shard-queue-depth",
+            "256",
+        ],
+    );
+    let direct = ServerProc::spawn("suud", &format!("direct{shards}"), &[]);
     eprintln!(
-        "suu-loadgen: daemon at {} ({} conns × {} requests + {} storm rounds)",
-        daemon.addr, cfg.conns, cfg.per_conn, cfg.storm_rounds
+        "suu-loadgen: shards={shards}: router at {} (direct oracle at {}), {} conns × {} requests + {} storm rounds",
+        router.addr, direct.addr, cfg.conns, cfg.per_conn, cfg.storm_rounds
     );
 
     // ---- Prime the hot set (its responses are the replay oracle). ----
-    let mut prime = Client::connect(&daemon.addr).unwrap_or_else(|e| {
-        eprintln!("suu-loadgen: connect failed: {e}");
-        std::process::exit(1);
-    });
+    let mut prime = router.client();
     let mut hot_bodies: Vec<Vec<u8>> = Vec::with_capacity(cfg.hot_set);
-    let mut prime_failed = 0u64;
+    let mut failed_outside = 0u64;
+    let mut rejected_429 = 0u64;
     for i in 0..cfg.hot_set {
         let body = race_body(1000 + i as u64, 6);
-        let reply = prime
-            .request("POST", "/v1/race", Some(&body))
-            .expect("prime request");
+        let (reply, _, rejected) = post_race(&mut prime, &body);
+        rejected_429 += rejected;
         if reply.status != 200 {
-            prime_failed += 1;
+            failed_outside += 1;
         }
         hot_bodies.push(reply.body);
     }
@@ -331,48 +372,45 @@ fn main() {
     let storm_bodies = &storm_bodies;
     let barrier = Barrier::new(cfg.conns);
     let barrier = &barrier;
-    let addr = daemon.addr.clone();
+    let addr = router.addr.clone();
     let addr = &addr;
-    let cfg_ref = &cfg;
 
     let started = Instant::now();
-    let per_thread: Vec<Vec<Sample>> = std::thread::scope(|scope| {
+    let per_thread: Vec<(Vec<Sample>, u64)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..cfg.conns)
             .map(|thread| {
                 scope.spawn(move || {
-                    let mut client = Client::connect(addr).expect("client connect");
+                    let mut client = Client::connect(addr, READ_TIMEOUT).expect("client connect");
                     let mut rng: u64 = 0xC0FF_EE00 + thread as u64;
-                    let mut samples = Vec::with_capacity(cfg_ref.per_conn + cfg_ref.storm_rounds);
+                    let mut samples = Vec::with_capacity(cfg.per_conn + cfg.storm_rounds);
+                    let mut rejected = 0u64;
                     // This connection's private extend cell grows a
                     // little with every extend request.
                     let extend_seed = 3000 + thread as u64;
                     let mut extend_trials = 4u64;
                     let mut miss_counter = 0u64;
-                    for _ in 0..cfg_ref.per_conn {
+                    for _ in 0..cfg.per_conn {
                         let roll = splitmix64(&mut rng) % 100;
-                        let (class, body) = if roll < 84 {
-                            let pick = splitmix64(&mut rng) as usize % cfg_ref.hot_set;
-                            (Class::Hit, (race_body(1000 + pick as u64, 6), pick))
+                        let (class, body, hot_idx) = if roll < 84 {
+                            let pick = splitmix64(&mut rng) as usize % cfg.hot_set;
+                            (Class::Hit, race_body(1000 + pick as u64, 6), pick)
                         } else if roll < 92 {
                             miss_counter += 1;
                             let seed = 2_000_000 + thread as u64 * 100_000 + miss_counter;
-                            (Class::Miss, (race_body(seed, 4), usize::MAX))
+                            (Class::Miss, race_body(seed, 4), usize::MAX)
                         } else {
                             extend_trials += 2;
                             (
                                 Class::Extend,
-                                (race_body(extend_seed, extend_trials), usize::MAX),
+                                race_body(extend_seed, extend_trials),
+                                usize::MAX,
                             )
                         };
-                        let (body, hot_idx) = body;
-                        let t0 = Instant::now();
-                        let reply = client
-                            .request("POST", "/v1/race", Some(&body))
-                            .expect("race request");
-                        let latency = t0.elapsed();
+                        let (reply, latency, r429) = post_race(&mut client, &body);
+                        rejected += r429;
                         let ok = reply.status == 200;
                         // Replay proof: a hit must be byte-identical to
-                        // the primed response body.
+                        // the primed response body — through the router.
                         let mismatch =
                             class == Class::Hit && ok && reply.body != hot_bodies[hot_idx];
                         samples.push(Sample {
@@ -383,25 +421,22 @@ fn main() {
                         });
                     }
                     // Coalescing storms: everyone posts the same fresh
-                    // cell at the same instant.
-                    for (round, bucket) in
-                        storm_bodies.iter().enumerate().take(cfg_ref.storm_rounds)
-                    {
+                    // cell at the same instant (all routed to one
+                    // shard, which must coalesce the computation).
+                    for (round, bucket) in storm_bodies.iter().enumerate() {
                         let body = race_body(4_000_000 + round as u64, 6);
                         barrier.wait();
-                        let t0 = Instant::now();
-                        let reply = client
-                            .request("POST", "/v1/race", Some(&body))
-                            .expect("storm request");
+                        let (reply, latency, r429) = post_race(&mut client, &body);
+                        rejected += r429;
                         samples.push(Sample {
                             class: Class::Storm,
-                            latency: t0.elapsed(),
+                            latency,
                             ok: reply.status == 200,
                             mismatch: false,
                         });
                         bucket.lock().expect("storm lock").push(reply.body);
                     }
-                    samples
+                    (samples, rejected)
                 })
             })
             .collect();
@@ -412,15 +447,53 @@ fn main() {
     });
     let elapsed = started.elapsed();
 
+    // ---- Identity probes: the merged document must be byte-identical
+    // to the direct daemon's, cold and cached. ----
+    let mut router_client = router.client();
+    let mut direct_client = direct.client();
+    let mut identity_samples = Vec::new();
+    let mut identity_mismatches = 0u64;
+    for probe in 0..cfg.identity_probes {
+        // The last probe re-requests the first one's cells, so the
+        // cached-replay path through the router is compared too.
+        let fresh = if probe + 1 == cfg.identity_probes && cfg.identity_probes > 1 {
+            0
+        } else {
+            probe as u64
+        };
+        let body = multi_cell_body(5_000_000 + 10 * fresh);
+        let (via_router, latency, r429) = post_race(&mut router_client, &body);
+        let (via_direct, _, _) = post_race(&mut direct_client, &body);
+        let ok = via_router.status == 200 && via_direct.status == 200;
+        let mismatch = ok && via_router.body != via_direct.body;
+        if !ok {
+            failed_outside += 1;
+        }
+        if mismatch {
+            identity_mismatches += 1;
+            eprintln!("suu-loadgen: shards={shards}: identity probe {probe} diverged from direct");
+        }
+        identity_samples.push(Sample {
+            class: Class::Identity,
+            latency,
+            ok,
+            mismatch,
+        });
+        rejected_429 += r429;
+    }
+
     // ---- Aggregate. ----
-    let samples: Vec<Sample> = per_thread.into_iter().flatten().collect();
-    let mut failed = prime_failed;
+    rejected_429 += per_thread.iter().map(|(_, r)| r).sum::<u64>();
+    let mut samples: Vec<Sample> = per_thread.into_iter().flat_map(|(s, _)| s).collect();
+    let timed_requests = samples.len();
+    samples.extend(identity_samples);
+    let mut failed = failed_outside;
     let mut mismatches = 0u64;
     for s in &samples {
         if !s.ok {
             failed += 1;
         }
-        if s.mismatch {
+        if s.mismatch && s.class != Class::Identity {
             mismatches += 1;
         }
     }
@@ -431,7 +504,9 @@ fn main() {
         if let Some(first) = bodies.first() {
             let diverged = bodies.iter().filter(|b| *b != first).count() as u64;
             if diverged > 0 {
-                eprintln!("suu-loadgen: storm round {round}: {diverged} divergent bodies");
+                eprintln!(
+                    "suu-loadgen: shards={shards}: storm round {round}: {diverged} divergent bodies"
+                );
             }
             mismatches += diverged;
         }
@@ -441,21 +516,20 @@ fn main() {
     let of =
         |class: Class| -> Vec<&Sample> { samples.iter().filter(|s| s.class == class).collect() };
     let total = samples.len() + cfg.hot_set;
-    let throughput = samples.len() as f64 / elapsed.as_secs_f64();
+    let throughput = timed_requests as f64 / elapsed.as_secs_f64();
 
+    // The aggregated fleet stats (sums + per-shard breakdown).
     let mut final_stats = Json::Null;
-    if let Ok(mut client) = Client::connect(&daemon.addr) {
-        if let Ok(reply) = client.request("GET", "/v1/stats", None) {
-            if let Ok(doc) = suu_core::json::parse(&String::from_utf8_lossy(&reply.body)) {
-                final_stats = doc;
-            }
+    if let Ok(reply) = router.client().request("GET", "/v1/stats", None) {
+        if let Ok(doc) = suu_core::json::parse(&String::from_utf8_lossy(&reply.body)) {
+            final_stats = doc;
         }
     }
-    drop(daemon);
+    drop(direct);
+    drop(router);
 
-    let doc = Json::obj()
-        .field("schema", SCHEMA)
-        .field("mode", if cfg.smoke { "smoke" } else { "full" })
+    let entry = Json::obj()
+        .field("shards", shards)
         .field("connections", cfg.conns)
         .field(
             "requests",
@@ -465,37 +539,69 @@ fn main() {
                 .field("hit", count(Class::Hit))
                 .field("miss", count(Class::Miss))
                 .field("extend", count(Class::Extend))
-                .field("storm", count(Class::Storm)),
+                .field("storm", count(Class::Storm))
+                .field("identity", count(Class::Identity)),
         )
         .field("failed", failed)
         .field("replay_mismatches", mismatches)
+        .field("router_vs_direct_mismatches", identity_mismatches)
+        .field("rejected_429", rejected_429)
         .field("elapsed_ms", elapsed.as_secs_f64() * 1e3)
         .field("throughput_rps", throughput)
         .field(
             "latency",
             Json::obj()
-                .field("all", latency_obj(&samples.iter().collect::<Vec<_>>()))
+                // "all" is the timed phase — identity probes run after
+                // the clock stops and would skew the curve.
+                .field(
+                    "all",
+                    latency_obj(
+                        &samples
+                            .iter()
+                            .filter(|s| s.class != Class::Identity)
+                            .collect::<Vec<_>>(),
+                    ),
+                )
                 .field("hit", latency_obj(&of(Class::Hit)))
                 .field("miss", latency_obj(&of(Class::Miss)))
                 .field("extend", latency_obj(&of(Class::Extend)))
                 .field("storm", latency_obj(&of(Class::Storm))),
         )
-        .field("daemon_stats", final_stats);
+        .field("stats", final_stats);
+    eprintln!(
+        "suu-loadgen: shards={shards}: {total} requests in {:.1}s ({throughput:.0} rps), \
+         {failed} failed, {mismatches} replay + {identity_mismatches} identity mismatches, \
+         {rejected_429} × 429",
+        elapsed.as_secs_f64(),
+    );
+    (
+        entry,
+        failed == 0 && mismatches == 0 && identity_mismatches == 0,
+    )
+}
+
+fn main() {
+    let cfg = parse_args();
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut entries = Vec::with_capacity(cfg.shard_counts.len());
+    let mut clean = true;
+    for &shards in &cfg.shard_counts {
+        let (entry, entry_clean) = run_entry(&cfg, shards);
+        entries.push(entry);
+        clean &= entry_clean;
+    }
+
+    let doc = Json::obj()
+        .field("schema", SCHEMA)
+        .field("mode", if cfg.smoke { "smoke" } else { "full" })
+        .field("host_cores", host_cores as u64)
+        .field("entries", Json::Arr(entries));
     if let Err(e) = std::fs::write(&cfg.out, doc.to_pretty()) {
         eprintln!("suu-loadgen: cannot write {}: {e}", cfg.out);
         std::process::exit(1);
     }
-
-    eprintln!(
-        "suu-loadgen: {} requests in {:.1}s ({:.0} rps), {} failed, {} mismatches → {}",
-        total,
-        elapsed.as_secs_f64(),
-        throughput,
-        failed,
-        mismatches,
-        cfg.out
-    );
-    if failed > 0 || mismatches > 0 {
+    eprintln!("suu-loadgen: wrote {}", cfg.out);
+    if !clean {
         std::process::exit(1);
     }
 }

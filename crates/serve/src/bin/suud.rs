@@ -14,6 +14,16 @@ use std::time::Duration;
 use suu_serve::service::ServeError;
 use suu_serve::{http, serve_with, ServerConfig, ServerMetrics, Service};
 
+/// EPIPE-tolerant stderr line: a supervisor (the router, a harness)
+/// that closed our stderr must not kill the daemon mid-serve (Rust maps
+/// SIGPIPE to write errors; a bare `eprintln!` panics on them).
+macro_rules! elog {
+    ($($arg:tt)*) => {{
+        use std::io::Write as _;
+        let _ = writeln!(std::io::stderr(), $($arg)*);
+    }};
+}
+
 struct Args {
     addr: String,
     cache_dir: String,
@@ -25,7 +35,7 @@ struct Args {
 }
 
 fn usage() -> ! {
-    eprintln!(
+    elog!(
         "usage: suud [--addr HOST:PORT] [--cache-dir DIR] [--workers N] \
          [--queue-depth N] [--idle-timeout-ms MS] [--max-cache-bytes BYTES] \
          [--oneshot REQUEST.json]"
@@ -47,13 +57,13 @@ fn parse_args() -> Args {
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
             it.next().unwrap_or_else(|| {
-                eprintln!("suud: {name} needs a value");
+                elog!("suud: {name} needs a value");
                 usage()
             })
         };
         fn number<T: std::str::FromStr>(name: &str, raw: String) -> T {
             raw.parse().unwrap_or_else(|_| {
-                eprintln!("suud: {name} must be a non-negative integer");
+                elog!("suud: {name} must be a non-negative integer");
                 usage()
             })
         }
@@ -71,17 +81,17 @@ fn parse_args() -> Args {
             "--oneshot" => args.oneshot = Some(value("--oneshot")),
             "--help" | "-h" => usage(),
             other => {
-                eprintln!("suud: unknown flag {other:?}");
+                elog!("suud: unknown flag {other:?}");
                 usage()
             }
         }
     }
     if args.workers == 0 {
-        eprintln!("suud: --workers must be at least 1");
+        elog!("suud: --workers must be at least 1");
         usage()
     }
     if args.queue_depth == 0 || args.idle_timeout_ms == 0 {
-        eprintln!("suud: --queue-depth and --idle-timeout-ms must be at least 1");
+        elog!("suud: --queue-depth and --idle-timeout-ms must be at least 1");
         usage()
     }
     args
@@ -90,7 +100,7 @@ fn parse_args() -> Args {
 fn main() {
     let args = parse_args();
     let service = Service::with_budget(&args.cache_dir, args.max_cache_bytes).unwrap_or_else(|e| {
-        eprintln!("suud: cannot open cache dir {}: {e}", args.cache_dir);
+        elog!("suud: cannot open cache dir {}: {e}", args.cache_dir);
         std::process::exit(1);
     });
 
@@ -115,7 +125,7 @@ fn main() {
         Arc::clone(&metrics),
     )
     .unwrap_or_else(|e| {
-        eprintln!("suud: cannot bind {}: {e}", args.addr);
+        elog!("suud: cannot bind {}: {e}", args.addr);
         std::process::exit(1);
     });
 
@@ -146,19 +156,19 @@ fn main() {
 
 fn oneshot(service: &Service, path: &str) {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
-        eprintln!("suud: cannot read {path}: {e}");
+        elog!("suud: cannot read {path}: {e}");
         std::process::exit(1);
     });
     let race = suu_core::json::parse(&text)
         .map_err(|e| e.to_string())
         .and_then(|json| suu_bench::request::RaceRequest::from_json(&json))
         .unwrap_or_else(|e| {
-            eprintln!("suud: bad request {path}: {e}");
+            elog!("suud: bad request {path}: {e}");
             std::process::exit(1);
         });
     match service.evaluate(&race) {
         Ok((doc, counts)) => {
-            eprintln!(
+            elog!(
                 "suud oneshot: cache {} ({} hits, {} misses, {} extended)",
                 counts.label(),
                 counts.hits,
@@ -168,11 +178,11 @@ fn oneshot(service: &Service, path: &str) {
             print!("{}", doc.to_pretty());
         }
         Err(ServeError::BadRequest(e)) => {
-            eprintln!("suud: bad request: {e}");
+            elog!("suud: bad request: {e}");
             std::process::exit(1);
         }
         Err(ServeError::Internal(e)) => {
-            eprintln!("suud: error: {e}");
+            elog!("suud: error: {e}");
             std::process::exit(1);
         }
     }

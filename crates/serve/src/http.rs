@@ -103,6 +103,8 @@ impl Response {
             413 => "Payload Too Large",
             429 => "Too Many Requests",
             500 => "Internal Server Error",
+            502 => "Bad Gateway",
+            503 => "Service Unavailable",
             _ => "Unknown",
         }
     }

@@ -33,22 +33,37 @@
 //!   and serving counters (evictions / cache_bytes / queue_depth /
 //!   rejected_429).
 //!
+//! The service also **shards across processes** ([`router`]): because
+//! every cell is content-addressed by a uniform 64-bit key, the cache
+//! partitions exactly into N contiguous key ranges, each owned by one
+//! daemon. The `suu-router` binary supervises a `--shards N` fleet of
+//! `suud` backends (ephemeral ports, health probes, restart-on-crash
+//! with bounded backoff), scatters each race into per-cell sub-requests
+//! pipelined over persistent upstream connections ([`client`]), and
+//! reassembles the response **byte-identically** to a single-daemon
+//! run, with provenance checked in-binary.
+//!
 //! The `suud` binary serves the API (`--addr`, `--workers`,
 //! `--queue-depth`, `--idle-timeout-ms`, `--max-cache-bytes`,
 //! `--cache-dir`), or evaluates one request from a file in `--oneshot`
 //! mode (used by CI to gate daemon-produced documents without holding a
-//! port open). The `suu-loadgen` binary spawns a daemon and drives a
-//! deterministic mixed workload against it, proving byte-identical
-//! replay under load and emitting the `suu-serve/loadgen/v1` benchmark
-//! document (`BENCH_serve.json`). See the README's "Serving
+//! port open). The `suu-loadgen` binary spawns a daemon — or a router
+//! fleet per shard count — and drives a deterministic mixed workload
+//! against it, proving byte-identical replay under load and emitting
+//! the `suu-serve/loadgen/v2` benchmark document (`BENCH_serve.json`)
+//! with per-shard-count scaling curves. See the README's "Serving
 //! evaluations" section for curl examples and the cache-key derivation.
 
 pub mod cache;
+pub mod client;
 pub mod http;
+pub mod router;
 pub mod server;
 pub mod service;
 
 pub use cache::{cell_key_fields, CellKey, CellStore, CELL_KEY_SCHEMA, CELL_SCHEMA};
+pub use client::{Client, Reply};
 pub use http::{Handler, Request, Response};
+pub use router::{owner_of, shard_ranges, Fleet, FleetConfig, KeyRange, Router};
 pub use server::{serve, serve_with, ServerConfig, ServerHandle, ServerMetrics};
 pub use service::{CacheCounts, CacheStatus, ServeError, Service};

@@ -346,7 +346,26 @@ enum CellError {
     Cache(String),
 }
 
-fn semantics_str(s: Semantics) -> &'static str {
+/// The `suu-serve/stats/v1` field names, in emission order. The router
+/// aggregates shard stats by summing exactly these fields (and appending
+/// its own), and the append-only regression test pins the order.
+pub const STATS_FIELDS: [&str; 12] = [
+    "schema",
+    "races",
+    "hits",
+    "misses",
+    "extends",
+    "coalesced",
+    "inflight",
+    "cells_on_disk",
+    "evictions",
+    "cache_bytes",
+    "queue_depth",
+    "rejected_429",
+];
+
+/// Canonical wire spelling of a [`Semantics`] (cell-key field).
+pub fn semantics_str(s: Semantics) -> &'static str {
     match s {
         Semantics::Suu => "suu",
         Semantics::SuuStar => "suu-star",
