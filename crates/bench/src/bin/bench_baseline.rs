@@ -192,6 +192,7 @@ fn engine_cell(
         std::hint::black_box(run_all(&mut *policy, &events_cfg).len());
     });
     println!(
+        // suu-lint: allow(float-format, "human console progress line; schema'd floats go through the Json shortest-repr writer")
         "  {scenario_id:<28} {spec:<18} dense {:>9.4}s  events {:>9.4}s  speedup {:>6.2}x",
         dense_t.secs,
         events_t.secs,
@@ -315,6 +316,7 @@ fn batch_cell(
         Semantics::Suu => "suu",
     };
     println!(
+        // suu-lint: allow(float-format, "human console progress line; schema'd floats go through the Json shortest-repr writer")
         "  {scenario_id:<28} {spec:<14} {} {sem_label:<8} per-trial {:>8.4}s  batched {:>8.4}s  speedup {:>6.2}x  cache {}h/{}m",
         if stationary { "[stationary]" } else { "[fallback]  " },
         per_trial_t.secs,
@@ -448,6 +450,7 @@ fn main() {
             .all(|(a, b)| a.makespan == b.makespan);
         let speedup = serial.wall_clock.as_secs_f64() / parallel.wall_clock.as_secs_f64().max(1e-9);
         println!(
+            // suu-lint: allow(float-format, "human console progress line; schema'd floats go through the Json shortest-repr writer")
             "serial {:.3}s  parallel {:.3}s  speedup {speedup:.2}x on {cores} core(s)  outcomes identical: {identical}",
             serial.wall_clock.as_secs_f64(),
             parallel.wall_clock.as_secs_f64(),
@@ -506,7 +509,7 @@ fn main() {
         }
     }
     let engine_doc = Json::obj()
-        .field("schema", "suu-bench/engine-events/v1")
+        .field("schema", suu_core::schemas::BENCH_ENGINE_EVENTS_V1)
         .field("generated_by", "bench_baseline")
         .field("mode", if smoke { "smoke" } else { "full" })
         .field("threads", 1u64)
@@ -561,7 +564,7 @@ fn main() {
         }
     }
     let batch_doc = Json::obj()
-        .field("schema", "suu-bench/engine-batch/v2")
+        .field("schema", suu_core::schemas::BENCH_ENGINE_BATCH_V2)
         .field("generated_by", "bench_baseline")
         .field("mode", if smoke { "smoke" } else { "full" })
         .field("threads", 1u64)
@@ -638,6 +641,7 @@ fn main() {
             adaptive_total += used;
             let ci = adaptive.stats.summary().expect("trials > 0").ci95;
             println!(
+                // suu-lint: allow(float-format, "human console progress line; schema'd floats go through the Json shortest-repr writer")
                 "  {:<24} {spec_text:<14} fixed {fixed_trials:>4} trials (ci95 {:>7.3})  \
                  adaptive {used:>4} trials (ci95 {ci:>7.3}, {})",
                 sc.id,
@@ -659,6 +663,7 @@ fn main() {
     }
     let fixed_total = (fixed_trials * av_cells.len()) as u64;
     println!(
+        // suu-lint: allow(float-format, "human console summary line; schema'd floats go through the Json shortest-repr writer")
         "equal precision (ci95 <= {target_ci:.3}): fixed {fixed_total} total trials, \
          adaptive {adaptive_total} total trials ({:.0}% of fixed)",
         100.0 * adaptive_total as f64 / fixed_total.max(1) as f64
@@ -677,6 +682,7 @@ fn main() {
     doc = doc.field("batch_comparison_file", batch_out_path.as_str());
     std::fs::write(&out_path, doc.to_pretty()).expect("write baseline JSON");
     println!(
+        // suu-lint: allow(float-format, "human console summary line; schema'd floats go through the Json shortest-repr writer")
         "\nbaseline written to {out_path}  [{:.1}s total]",
         watch.secs()
     );

@@ -47,6 +47,7 @@
 //! Exits nonzero on the first violation, so it can gate CI directly.
 
 use suu_core::json::{parse, Json};
+use suu_core::schemas;
 
 fn fail(msg: String) -> ! {
     eprintln!("validate_results: FAIL: {msg}");
@@ -245,6 +246,7 @@ fn validate_engine_batch_v2(doc: &Json, path: &str, min_speedup: Option<f64>) ->
         if let (Some(s), Some(floor)) = (speedup, min_speedup) {
             if s < floor {
                 fail(format!(
+                    // suu-lint: allow(float-format, "human gate-failure message; never written into a schema document")
                     "{ctx}: timed speedup {s:.3} below the --min-speedup floor {floor}"
                 ));
             }
@@ -402,7 +404,7 @@ fn validate_loadgen_v2(doc: &Json, path: &str) {
             .get("stats")
             .unwrap_or_else(|| fail(format!("{ctx}: missing object 'stats'")));
         let schema = require_str(stats, "schema", &ctx);
-        if schema != "suu-serve/stats/v1" {
+        if schema != schemas::SERVE_STATS_V1 {
             fail(format!("{ctx}: aggregated stats schema {schema:?}"));
         }
         let breakdown = require_arr(stats, "shards", &ctx);
@@ -450,15 +452,15 @@ fn main() {
         let text = std::fs::read_to_string(path).unwrap_or_else(|e| fail(format!("{path}: {e}")));
         let doc = parse(&text).unwrap_or_else(|e| fail(format!("{path}: {e}")));
         match doc.get("schema").and_then(Json::as_str) {
-            Some("suu-results/v2") => validate_results_v2(&doc, path),
-            Some("suu-bench/engine-batch/v2") => {
+            Some(schemas::RESULTS_V2) => validate_results_v2(&doc, path),
+            Some(schemas::BENCH_ENGINE_BATCH_V2) => {
                 tolerated += validate_engine_batch_v2(&doc, path, min_speedup);
             }
             Some(s) if s.starts_with("suu-bench/engine-") => {
                 tolerated += validate_engine(&doc, path);
             }
-            Some("suu-serve/loadgen/v1") => validate_loadgen_v1(&doc, path),
-            Some("suu-serve/loadgen/v2") => validate_loadgen_v2(&doc, path),
+            Some(schemas::SERVE_LOADGEN_V1) => validate_loadgen_v1(&doc, path),
+            Some(schemas::SERVE_LOADGEN_V2) => validate_loadgen_v2(&doc, path),
             other => fail(format!("{path}: unsupported schema {other:?}")),
         }
     }

@@ -62,7 +62,7 @@ use suu_core::json::Json;
 use suu_sim::{EvalStats, PairedStats, Semantics};
 
 /// Schema identifier stamped on every document.
-pub const SCHEMA: &str = "suu-results/v2";
+pub const SCHEMA: &str = suu_core::schemas::RESULTS_V2;
 
 /// Incrementally builds a `suu-results/v2` document.
 pub struct ResultsBuilder {

@@ -22,6 +22,9 @@
 //!   power-law difficulties).
 //! * [`BitSet`] — a small fixed-capacity bitset used for remaining/eligible
 //!   job sets in simulation hot loops.
+//! * [`schemas`] — the registry of JSON document schema identifiers:
+//!   every `"schema"` field in the workspace cites one of its constants
+//!   (enforced by the `suu-lint` `schema-literal` rule).
 //! * [`json`] — dependency-free JSON values, writer and parser: the
 //!   substrate of the experiment pipeline's shared results schema and the
 //!   instance wire form ([`SuuInstance::to_json`]). Its canonical
@@ -45,6 +48,7 @@ pub mod profile;
 #[cfg(test)]
 mod proptests;
 mod schedule;
+pub mod schemas;
 mod wordmap;
 pub mod workload;
 

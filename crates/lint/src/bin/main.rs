@@ -1,0 +1,131 @@
+//! **suu-lint** — walk the workspace sources and enforce the repo's
+//! determinism & protocol invariants as deny-by-default diagnostics.
+//!
+//! ```sh
+//! suu-lint [ROOT]          # human diagnostics, exit 1 on any finding
+//! suu-lint --json [ROOT]   # machine output (schema suu-lint/v1)
+//! suu-lint --list-rules    # rule registry with scopes
+//! suu-lint --self-test     # prove every rule fires on its seeded-bad
+//!                          # fixture (a broken lexer can't pass as ok)
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use suu_core::json::Json;
+use suu_lint::rules::{Finding, RULES};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: suu-lint [--json] [--list-rules] [--self-test] [ROOT]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut list_rules = false;
+    let mut self_test = false;
+    let mut root: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--list-rules" => list_rules = true,
+            "--self-test" => self_test = true,
+            "--help" | "-h" => return usage(),
+            other if other.starts_with('-') => {
+                eprintln!("suu-lint: unknown flag {other:?}");
+                return usage();
+            }
+            path if root.is_none() => root = Some(PathBuf::from(path)),
+            _ => return usage(),
+        }
+    }
+
+    if list_rules {
+        for rule in RULES {
+            println!("{:<22} {}", rule.name, rule.summary);
+            println!("{:<22} scope: {}", "", rule.scope);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if self_test {
+        let failures = suu_lint::self_test();
+        if failures.is_empty() {
+            println!(
+                "suu-lint self-test: all {} rules fire on their fixtures; clean fixture clean",
+                suu_lint::fixtures().len()
+            );
+            return ExitCode::SUCCESS;
+        }
+        for failure in &failures {
+            eprintln!("suu-lint self-test: {failure}");
+        }
+        return ExitCode::FAILURE;
+    }
+
+    let root = root.unwrap_or_else(|| PathBuf::from("."));
+    let files = match suu_lint::workspace_sources(&root) {
+        Ok(files) => files,
+        Err(e) => {
+            eprintln!("suu-lint: cannot walk {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let mut findings: Vec<Finding> = Vec::new();
+    for (rel, path) in &files {
+        match std::fs::read_to_string(path) {
+            Ok(src) => findings.extend(suu_lint::rules::lint_file(rel, &src)),
+            Err(e) => {
+                eprintln!("suu-lint: cannot read {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let (allowed, denied): (Vec<&Finding>, Vec<&Finding>) =
+        findings.iter().partition(|f| f.allowed.is_some());
+
+    if json {
+        let finding_json = |f: &Finding| {
+            let mut obj = Json::obj()
+                .field("file", f.file.as_str())
+                .field("line", f.line as u64)
+                .field("rule", f.rule)
+                .field("message", f.message.as_str());
+            if let Some(justification) = &f.allowed {
+                obj = obj.field("justification", justification.as_str());
+            }
+            obj
+        };
+        let doc = Json::obj()
+            .field("schema", suu_core::schemas::LINT_V1)
+            .field("files_scanned", files.len() as u64)
+            .field(
+                "rules",
+                Json::Arr(RULES.iter().map(|r| Json::Str(r.name.into())).collect()),
+            )
+            .field(
+                "findings",
+                Json::Arr(denied.iter().map(|f| finding_json(f)).collect()),
+            )
+            .field(
+                "allowed",
+                Json::Arr(allowed.iter().map(|f| finding_json(f)).collect()),
+            );
+        println!("{}", doc.to_pretty());
+    } else {
+        for f in &denied {
+            println!("{}", f.render());
+        }
+        println!(
+            "suu-lint: {} files, {} rules, {} findings ({} allowed)",
+            files.len(),
+            RULES.len(),
+            denied.len(),
+            allowed.len()
+        );
+    }
+    if denied.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,609 @@
+//! A token-level Rust lexer.
+//!
+//! Rules must not fire on `println!` inside a raw string or on
+//! `HashMap` in a doc comment, so naive grep is not an option: the rule
+//! engine needs real token boundaries. This lexer handles the full
+//! literal surface that matters for that job — cooked strings with
+//! escapes, raw (byte) strings with arbitrary `#` fences, byte and char
+//! literals, the `'a` lifetime vs `'a'` char ambiguity, raw
+//! identifiers, line comments and *nested* block comments — while
+//! staying total: it never panics, and on malformed input (unterminated
+//! literal, stray byte) it degrades to best-effort tokens that still
+//! tile the source exactly.
+//!
+//! **Tiling invariant** (pinned by unit tests and a proptest fuzz):
+//! tokens are contiguous and exhaustive — `tokens[0].start == 0`,
+//! `tokens[i].end == tokens[i+1].start`, and the last token ends at
+//! `src.len()`. Concatenating every token's slice reconstructs the
+//! input byte-for-byte, which is what makes diagnostics' line numbers
+//! trustworthy.
+
+/// What a token is, at the granularity the rule engine needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Runs of whitespace (newlines included).
+    Whitespace,
+    /// `// …` to end of line, including `///` and `//!` doc forms.
+    LineComment,
+    /// `/* … */`, nested per Rust rules; unterminated runs to EOF.
+    BlockComment,
+    /// Identifiers and keywords, including raw identifiers (`r#match`).
+    Ident,
+    /// `'static`, `'a` — a quote followed by ident chars with no close.
+    Lifetime,
+    /// Integer and float literals, with suffixes (`1_000u64`, `2.5e-3`).
+    Number,
+    /// `"…"` and `b"…"` cooked strings (escapes understood).
+    Str,
+    /// `r"…"`, `r#"…"#`, `br#"…"#` — raw and raw-byte strings.
+    RawStr,
+    /// `'x'`, `'\n'`, `b'x'`.
+    Char,
+    /// A single punctuation/operator byte (`.`, `:`, `!`, `{`, …).
+    Punct,
+    /// Anything else (non-ASCII outside literals, stray bytes).
+    Unknown,
+}
+
+/// One lexed token: kind plus the byte span and 1-based start line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub start: usize,
+    pub end: usize,
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's slice of the source.
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.start..self.end]
+    }
+}
+
+/// For a `Str`/`RawStr` token, the content between the quotes (prefix,
+/// fences and escapes left as written). `None` for other kinds or if
+/// the literal is too malformed to have an interior.
+pub fn string_content<'s>(token: &Token, src: &'s str) -> Option<&'s str> {
+    let text = token.text(src);
+    match token.kind {
+        TokenKind::Str => {
+            let inner = text.strip_prefix('b').unwrap_or(text);
+            let inner = inner.strip_prefix('"')?;
+            Some(inner.strip_suffix('"').unwrap_or(inner))
+        }
+        TokenKind::RawStr => {
+            let inner = text.strip_prefix('b').unwrap_or(text);
+            let inner = inner.strip_prefix('r')?;
+            let fences = inner.bytes().take_while(|&b| b == b'#').count();
+            let inner = &inner[fences..];
+            let inner = inner.strip_prefix('"')?;
+            let close = format!("\"{}", "#".repeat(fences));
+            Some(inner.strip_suffix(close.as_str()).unwrap_or(inner))
+        }
+        _ => None,
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Lex `src` into a tiling token stream. Total: never panics.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        src: src.as_bytes(),
+        text: src,
+        pos: 0,
+        line: 1,
+        tokens: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'s> {
+    src: &'s [u8],
+    text: &'s str,
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.src.len() {
+            let start = self.pos;
+            let line = self.line;
+            let kind = self.next_kind();
+            debug_assert!(self.pos > start, "lexer must always make progress");
+            self.tokens.push(Token {
+                kind,
+                start,
+                end: self.pos,
+                line,
+            });
+        }
+        self.tokens
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    /// Advance one byte, maintaining the line counter.
+    fn bump(&mut self) {
+        if self.src.get(self.pos) == Some(&b'\n') {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    /// Advance over one full character (multi-byte UTF-8 aware).
+    fn bump_char(&mut self) {
+        match self.text[self.pos..].chars().next() {
+            Some(c) => {
+                if c == '\n' {
+                    self.line += 1;
+                }
+                self.pos += c.len_utf8();
+            }
+            // Mid-codepoint position cannot happen (we only land on
+            // boundaries), but stay total regardless.
+            None => self.pos += 1,
+        }
+    }
+
+    fn next_kind(&mut self) -> TokenKind {
+        let b = self.src[self.pos];
+        if b.is_ascii_whitespace() {
+            while self.peek(0).is_some_and(|b| b.is_ascii_whitespace()) {
+                self.bump();
+            }
+            return TokenKind::Whitespace;
+        }
+        if b == b'/' && self.peek(1) == Some(b'/') {
+            while self.peek(0).is_some_and(|b| b != b'\n') {
+                self.bump_char();
+            }
+            return TokenKind::LineComment;
+        }
+        if b == b'/' && self.peek(1) == Some(b'*') {
+            return self.block_comment();
+        }
+        if let Some(kind) = self.try_string_prefix() {
+            return kind;
+        }
+        if is_ident_start(b) {
+            while self.peek(0).is_some_and(is_ident_continue) {
+                self.bump();
+            }
+            return TokenKind::Ident;
+        }
+        if b.is_ascii_digit() {
+            return self.number();
+        }
+        if b == b'"' {
+            return self.cooked_string();
+        }
+        if b == b'\'' {
+            return self.char_or_lifetime();
+        }
+        if b.is_ascii() {
+            self.bump();
+            return TokenKind::Punct;
+        }
+        self.bump_char();
+        TokenKind::Unknown
+    }
+
+    fn block_comment(&mut self) -> TokenKind {
+        self.bump(); // '/'
+        self.bump(); // '*'
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(_), _) => self.bump_char(),
+                (None, _) => break, // unterminated: runs to EOF
+            }
+        }
+        TokenKind::BlockComment
+    }
+
+    /// At an `r`/`b` that may open a raw string, byte string, byte char
+    /// or raw identifier, consume it and return its kind. `None` means
+    /// "just an ordinary identifier start" and consumes nothing.
+    fn try_string_prefix(&mut self) -> Option<TokenKind> {
+        let b = self.src[self.pos];
+        if b != b'r' && b != b'b' {
+            return None;
+        }
+        // Letters of the prefix: r, b, or br.
+        let raw_at = match (b, self.peek(1)) {
+            (b'r', _) => Some(1),
+            (b'b', Some(b'r')) => Some(2),
+            _ => None,
+        };
+        if let Some(letters) = raw_at {
+            if b == b'r' || letters == 2 {
+                // Possible raw string: letters, then #*, then '"'.
+                let mut fences = 0;
+                while self.peek(letters + fences) == Some(b'#') {
+                    fences += 1;
+                }
+                if self.peek(letters + fences) == Some(b'"') {
+                    for _ in 0..letters + fences + 1 {
+                        self.bump();
+                    }
+                    return Some(self.raw_string_body(fences));
+                }
+                // `r#ident` raw identifier.
+                if b == b'r' && fences == 1 && self.peek(letters + 1).is_some_and(is_ident_start) {
+                    self.bump(); // r
+                    self.bump(); // #
+                    while self.peek(0).is_some_and(is_ident_continue) {
+                        self.bump();
+                    }
+                    return Some(TokenKind::Ident);
+                }
+            }
+        }
+        if b == b'b' {
+            match self.peek(1) {
+                Some(b'"') => {
+                    self.bump();
+                    return Some(self.cooked_string());
+                }
+                Some(b'\'') => {
+                    self.bump();
+                    return Some(self.char_or_lifetime());
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// Body of a raw string after the opening quote; `fences` is the
+    /// number of `#`s that must follow the closing quote.
+    fn raw_string_body(&mut self, fences: usize) -> TokenKind {
+        loop {
+            match self.peek(0) {
+                None => break, // unterminated
+                Some(b'"') => {
+                    let closed = (0..fences).all(|i| self.peek(1 + i) == Some(b'#'));
+                    self.bump();
+                    if closed {
+                        for _ in 0..fences {
+                            self.bump();
+                        }
+                        break;
+                    }
+                }
+                Some(_) => self.bump_char(),
+            }
+        }
+        TokenKind::RawStr
+    }
+
+    /// Cooked string at an opening `"` (any `b` prefix already consumed).
+    fn cooked_string(&mut self) -> TokenKind {
+        self.bump(); // opening quote
+        loop {
+            match self.peek(0) {
+                None => break, // unterminated
+                Some(b'\\') => {
+                    self.bump();
+                    if self.peek(0).is_some() {
+                        self.bump_char();
+                    }
+                }
+                Some(b'"') => {
+                    self.bump();
+                    break;
+                }
+                Some(_) => self.bump_char(),
+            }
+        }
+        TokenKind::Str
+    }
+
+    /// At a `'`: decide char literal vs lifetime.
+    fn char_or_lifetime(&mut self) -> TokenKind {
+        // 'x' is a char when the quote closes right after one (possibly
+        // escaped) character; otherwise 'ident is a lifetime. `'a'`
+        // needs the two-ahead check because `a` alone looks like a
+        // lifetime start.
+        match self.peek(1) {
+            Some(b'\\') => {
+                self.bump(); // '
+                self.bump(); // backslash
+                if self.peek(0).is_some() {
+                    self.bump_char(); // escaped char
+                }
+                // Consume to the closing quote ('\u{1F600}' spans more).
+                while self.peek(0).is_some_and(|b| b != b'\'' && b != b'\n') {
+                    self.bump_char();
+                }
+                if self.peek(0) == Some(b'\'') {
+                    self.bump();
+                }
+                TokenKind::Char
+            }
+            Some(c) if is_ident_start(c) && self.peek(2) != Some(b'\'') => {
+                // Lifetime: quote + ident run, no closing quote.
+                self.bump();
+                while self.peek(0).is_some_and(is_ident_continue) {
+                    self.bump();
+                }
+                TokenKind::Lifetime
+            }
+            Some(_) => {
+                self.bump(); // '
+                if self.peek(0).is_some() {
+                    self.bump_char(); // the character itself
+                }
+                if self.peek(0) == Some(b'\'') {
+                    self.bump();
+                }
+                TokenKind::Char
+            }
+            None => {
+                self.bump();
+                TokenKind::Char // lone trailing quote: still total
+            }
+        }
+    }
+
+    fn number(&mut self) -> TokenKind {
+        if self.peek(0) == Some(b'0')
+            && matches!(self.peek(1), Some(b'x' | b'X' | b'o' | b'O' | b'b' | b'B'))
+        {
+            self.bump();
+            self.bump();
+            while self
+                .peek(0)
+                .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+            {
+                self.bump();
+            }
+            return TokenKind::Number;
+        }
+        while self
+            .peek(0)
+            .is_some_and(|b| b.is_ascii_digit() || b == b'_')
+        {
+            self.bump();
+        }
+        // Fraction only when a digit follows the dot: `1.max(2)` and
+        // `0..n` must leave the dot alone.
+        if self.peek(0) == Some(b'.') && self.peek(1).is_some_and(|b| b.is_ascii_digit()) {
+            self.bump();
+            while self
+                .peek(0)
+                .is_some_and(|b| b.is_ascii_digit() || b == b'_')
+            {
+                self.bump();
+            }
+        }
+        // Exponent.
+        if matches!(self.peek(0), Some(b'e' | b'E')) {
+            let sign = matches!(self.peek(1), Some(b'+' | b'-'));
+            let digits_at = if sign { 2 } else { 1 };
+            if self.peek(digits_at).is_some_and(|b| b.is_ascii_digit()) {
+                for _ in 0..digits_at {
+                    self.bump();
+                }
+                while self
+                    .peek(0)
+                    .is_some_and(|b| b.is_ascii_digit() || b == b'_')
+                {
+                    self.bump();
+                }
+            }
+        }
+        // Type suffix (u64, f32, usize…).
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump();
+        }
+        TokenKind::Number
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src)
+            .iter()
+            .filter(|t| t.kind != TokenKind::Whitespace)
+            .map(|t| (t.kind, t.text(src)))
+            .collect()
+    }
+
+    /// The tiling invariant, asserted everywhere.
+    fn assert_tiles(src: &str) {
+        let tokens = lex(src);
+        let mut pos = 0;
+        for t in &tokens {
+            assert_eq!(t.start, pos, "gap before {t:?} in {src:?}");
+            assert!(t.end > t.start, "empty token {t:?}");
+            pos = t.end;
+        }
+        assert_eq!(pos, src.len(), "lexer did not consume all of {src:?}");
+    }
+
+    #[test]
+    fn raw_string_hides_macro_calls() {
+        let src = r##"let s = r#"println!("hi") /* not a comment */"#; x.unwrap();"##;
+        assert_tiles(src);
+        let toks = kinds(src);
+        // The println! inside the raw string is one RawStr token…
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::RawStr && t.contains("println!")));
+        // …and the only Ident tokens are the real code.
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Ident)
+            .map(|(_, t)| *t)
+            .collect();
+        assert_eq!(idents, vec!["let", "s", "x", "unwrap"]);
+    }
+
+    #[test]
+    fn nested_block_comments_close_at_matching_depth() {
+        let src = "a /* outer /* inner */ still comment */ b";
+        assert_tiles(src);
+        let toks = kinds(src);
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[0], (TokenKind::Ident, "a"));
+        assert_eq!(toks[1].0, TokenKind::BlockComment);
+        assert!(toks[1].1.contains("inner"));
+        assert_eq!(toks[2], (TokenKind::Ident, "b"));
+    }
+
+    #[test]
+    fn lifetime_vs_char_vs_escape() {
+        let src = r"fn f<'a>(x: &'a str) { let c = 'x'; let n = '\n'; let u = '\u{41}'; }";
+        assert_tiles(src);
+        let toks = kinds(src);
+        let lifetimes: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .map(|(_, t)| *t)
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a"]);
+        let chars: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Char)
+            .map(|(_, t)| *t)
+            .collect();
+        assert_eq!(chars, vec!["'x'", r"'\n'", r"'\u{41}'"]);
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let src = r###"let a = b"bytes"; let b = br#"raw "bytes""#; let c = b'x';"###;
+        assert_tiles(src);
+        let toks = kinds(src);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && *t == "b\"bytes\""));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::RawStr && t.starts_with("br#")));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Char && *t == "b'x'"));
+    }
+
+    #[test]
+    fn raw_identifiers_and_bare_r() {
+        let src = "let r#match = r; let r2 = r # 1;";
+        assert_tiles(src);
+        let toks = kinds(src);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && *t == "r#match"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && *t == "r"));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let src = r#"let s = "a \"quoted\" b"; let t = "\\";"#;
+        assert_tiles(src);
+        let strings: Vec<String> = lex(src)
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .map(|t| t.text(src).to_string())
+            .collect();
+        assert_eq!(strings, vec![r#""a \"quoted\" b""#, r#""\\""#]);
+    }
+
+    #[test]
+    fn string_content_strips_delimiters() {
+        let src = r###"("plain", r"raw", r#"fenced"#, b"bytes", br##"double"##)"###;
+        let contents: Vec<&str> = lex(src)
+            .iter()
+            .filter_map(|t| string_content(t, src))
+            .collect();
+        assert_eq!(contents, vec!["plain", "raw", "fenced", "bytes", "double"]);
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges_or_methods() {
+        let src = "0..10; 1.max(2); 2.5e-3f64; 0xff_u8; 1_000_000";
+        assert_tiles(src);
+        let numbers: Vec<&str> = lex(src)
+            .iter()
+            .filter(|t| t.kind == TokenKind::Number)
+            .map(|t| t.text(src))
+            .collect();
+        assert_eq!(
+            numbers,
+            vec!["0", "10", "1", "2", "2.5e-3f64", "0xff_u8", "1_000_000"]
+        );
+    }
+
+    #[test]
+    fn directives_inside_strings_are_not_comments() {
+        let src = r#"let s = "// suu-lint: allow(fake, \"no\")";"#;
+        assert_tiles(src);
+        assert!(lex(src).iter().all(|t| t.kind != TokenKind::LineComment));
+    }
+
+    #[test]
+    fn unterminated_literals_stay_total() {
+        for src in [
+            "let s = \"never closed",
+            "let s = r#\"never closed",
+            "/* never closed",
+            "let c = '",
+            "b\"",
+            "r###\"x\"##",
+        ] {
+            assert_tiles(src);
+        }
+    }
+
+    #[test]
+    fn line_numbers_are_one_based_and_track_newlines() {
+        let src = "a\nbb\n\nccc";
+        let lines: Vec<(String, u32)> = lex(src)
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| (t.text(src).to_string(), t.line))
+            .collect();
+        assert_eq!(
+            lines,
+            vec![("a".into(), 1), ("bb".into(), 2), ("ccc".into(), 4)]
+        );
+    }
+
+    #[test]
+    fn multiline_string_advances_line_counter() {
+        let src = "let s = \"line\none\";\nnext";
+        let next = lex(src)
+            .into_iter()
+            .find(|t| t.text(src) == "next")
+            .expect("token");
+        assert_eq!(next.line, 3);
+    }
+}

@@ -1,0 +1,197 @@
+//! # suu-lint — the workspace's determinism & protocol static-analysis pass
+//!
+//! The repo's central claim — bitwise-identical outcomes across
+//! engines, thread counts, shards and replays — rests on invariants
+//! that tests can only sample but a token walk can check totally:
+//!
+//! * **determinism** — no unordered-map iteration, wall clocks or
+//!   lossy float formatting anywhere near schema'd output;
+//! * **serving robustness** — no bare prints or panic paths in
+//!   `crates/serve`, no blocking reads without a timeout;
+//! * **protocol hygiene** — schema ids only via [`suu_core::schemas`],
+//!   no narrowing casts in key-range math.
+//!
+//! [`lexer`] is a real token-level Rust lexer (raw strings, nested
+//! block comments, char/lifetime disambiguation), [`rules`] the
+//! deny-by-default rule engine with per-line
+//! `allow(<rule>, "<justification>")` escape hatches. The `suu-lint`
+//! binary walks the workspace and exits nonzero on any unallowed
+//! finding; `tests/lint_clean.rs` runs the same walk under `cargo
+//! test`, and the binary's `--self-test` proves every rule still fires
+//! on seeded-bad fixture files (a broken lexer cannot pass as
+//! "0 findings").
+
+pub mod lexer;
+#[cfg(test)]
+mod proptests;
+pub mod rules;
+
+use rules::Finding;
+use std::path::{Path, PathBuf};
+
+/// A seeded-bad fixture: a virtual workspace path (drives rule
+/// scoping), the source, and the rule that must fire on it.
+pub struct Fixture {
+    pub virtual_path: &'static str,
+    pub source: &'static str,
+    pub must_fire: &'static str,
+}
+
+/// One fixture per rule, plus a clean file that must produce zero
+/// findings. `--self-test` and CI assert each rule fires on its
+/// fixture — detection itself is under test, not just "no findings".
+pub fn fixtures() -> Vec<Fixture> {
+    vec![
+        Fixture {
+            virtual_path: "crates/bench/src/report.rs",
+            source: include_str!("../fixtures/unordered_collection.rs.bad"),
+            must_fire: "unordered-collection",
+        },
+        Fixture {
+            virtual_path: "crates/serve/src/cache.rs",
+            source: include_str!("../fixtures/wall_clock.rs.bad"),
+            must_fire: "wall-clock",
+        },
+        Fixture {
+            virtual_path: "crates/bench/src/report.rs",
+            source: include_str!("../fixtures/float_format.rs.bad"),
+            must_fire: "float-format",
+        },
+        Fixture {
+            virtual_path: "crates/serve/src/server.rs",
+            source: include_str!("../fixtures/serve_print.rs.bad"),
+            must_fire: "serve-print",
+        },
+        Fixture {
+            virtual_path: "crates/serve/src/server.rs",
+            source: include_str!("../fixtures/serve_panic.rs.bad"),
+            must_fire: "serve-panic",
+        },
+        Fixture {
+            virtual_path: "crates/serve/src/server.rs",
+            source: include_str!("../fixtures/serve_unwrap.rs.bad"),
+            must_fire: "serve-unwrap",
+        },
+        Fixture {
+            virtual_path: "crates/serve/src/client.rs",
+            source: include_str!("../fixtures/blocking_net_read.rs.bad"),
+            must_fire: "blocking-net-read",
+        },
+        Fixture {
+            virtual_path: "crates/sim/src/evaluate.rs",
+            source: include_str!("../fixtures/schema_literal.rs.bad"),
+            must_fire: "schema-literal",
+        },
+        Fixture {
+            virtual_path: "crates/serve/src/router.rs",
+            source: include_str!("../fixtures/narrowing_cast.rs.bad"),
+            must_fire: "narrowing-cast",
+        },
+        Fixture {
+            virtual_path: "crates/serve/src/server.rs",
+            source: include_str!("../fixtures/allow_syntax.rs.bad"),
+            must_fire: "allow-syntax",
+        },
+        Fixture {
+            virtual_path: "crates/serve/src/server.rs",
+            source: include_str!("../fixtures/allow_justification.rs.bad"),
+            must_fire: "allow-justification",
+        },
+        Fixture {
+            virtual_path: "crates/serve/src/server.rs",
+            source: include_str!("../fixtures/allow_unknown_rule.rs.bad"),
+            must_fire: "allow-unknown-rule",
+        },
+    ]
+}
+
+/// The clean fixture: realistic code on which no rule may fire.
+pub fn clean_fixture() -> Fixture {
+    Fixture {
+        virtual_path: "crates/serve/src/server.rs",
+        source: include_str!("../fixtures/clean.rs.good"),
+        must_fire: "",
+    }
+}
+
+/// Run every fixture; returns human-readable failures (empty = pass).
+pub fn self_test() -> Vec<String> {
+    let mut failures = Vec::new();
+    for fixture in fixtures() {
+        let findings = rules::lint_file(fixture.virtual_path, fixture.source);
+        let fired = findings
+            .iter()
+            .any(|f| f.rule == fixture.must_fire && f.allowed.is_none());
+        if !fired {
+            failures.push(format!(
+                "rule {:?} did not fire on its fixture (as {}): got [{}]",
+                fixture.must_fire,
+                fixture.virtual_path,
+                findings
+                    .iter()
+                    .map(|f| f.rule)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+        }
+    }
+    let clean = clean_fixture();
+    let findings = rules::lint_file(clean.virtual_path, clean.source);
+    let unallowed: Vec<&Finding> = findings.iter().filter(|f| f.allowed.is_none()).collect();
+    if !unallowed.is_empty() {
+        failures.push(format!(
+            "clean fixture produced findings: {}",
+            unallowed
+                .iter()
+                .map(|f| f.render())
+                .collect::<Vec<_>>()
+                .join("; ")
+        ));
+    }
+    failures
+}
+
+/// Workspace `.rs` files under `root`, workspace-relative with forward
+/// slashes, deterministically sorted. Skips `target/`, VCS metadata and
+/// the lint fixtures (which are deliberately bad and not `.rs` anyway).
+pub fn workspace_sources(root: &Path) -> std::io::Result<Vec<(String, PathBuf)>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        entries.sort();
+        for path in entries {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if path.is_dir() {
+                if matches!(name, "target" | ".git" | ".github" | "fixtures") {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                let rel = path
+                    .strip_prefix(root)
+                    .unwrap_or(&path)
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy())
+                    .collect::<Vec<_>>()
+                    .join("/");
+                out.push((rel, path));
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Lint every workspace source under `root`; findings come back in
+/// deterministic (path, line, rule) order, allowed ones included.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for (rel, path) in workspace_sources(root)? {
+        let src = std::fs::read_to_string(&path)?;
+        findings.extend(rules::lint_file(&rel, &src));
+    }
+    Ok(findings)
+}

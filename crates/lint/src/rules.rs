@@ -1,0 +1,792 @@
+//! The rule engine: repo-specific invariants as deny-by-default
+//! diagnostics over the token stream.
+//!
+//! Every rule guards something the test suite can only check
+//! probabilistically but a token walk can check totally: byte-identical
+//! replay (no unordered iteration or wall clocks near schema'd output),
+//! serving robustness (no bare prints or panic paths in the serve
+//! tier), and protocol hygiene (schema ids only from the registry,
+//! no silent narrowing in key-range math).
+//!
+//! ## Suppression
+//!
+//! A finding is suppressed by a directive comment on the same line or
+//! the line above (the marker must start the comment):
+//!
+//! ```text
+//! // <lint-name>: allow(<rule>, "<justification>")
+//! ```
+//!
+//! where `<lint-name>` is `suu-lint`. The justification string is
+//! mandatory — an allow without one is itself a diagnostic
+//! (`allow-justification`), as is a malformed directive
+//! (`allow-syntax`) or one naming a rule that does not exist
+//! (`allow-unknown-rule`). Directive diagnostics cannot be suppressed.
+
+use crate::lexer::{lex, string_content, Token, TokenKind};
+
+/// The directive marker. Built at runtime so the engine's own source
+/// never contains a comment starting with it.
+fn marker() -> String {
+    format!("{}-{}:", "suu", "lint")
+}
+
+/// A rule's identity and documentation, for `--list-rules` and README.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    pub name: &'static str,
+    /// One-line contract, shown by `--list-rules`.
+    pub summary: &'static str,
+    /// Where it applies, shown by `--list-rules`.
+    pub scope: &'static str,
+}
+
+/// Every rule the engine knows, in diagnostic order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        name: "unordered-collection",
+        summary: "HashMap/HashSet (nondeterministic iteration) in a schema-producing file; \
+                  use BTreeMap/BTreeSet/WordMap or sort before emitting",
+        scope: "schema-producing files (registry users + json.rs/report.rs/cache.rs/router.rs), \
+                non-test code",
+    },
+    RuleInfo {
+        name: "wall-clock",
+        summary: "SystemTime/Instant::now in a canonical-JSON or cache-key module; \
+                  clocks must never reach canonical bytes",
+        scope: "core/json.rs, core/hash.rs, serve/cache.rs, bench/report.rs, non-test code",
+    },
+    RuleInfo {
+        name: "float-format",
+        summary: "precision float formatting (fixed-precision or scientific format specs) \
+                  outside the shortest-repr json writer; schema'd floats must round-trip \
+                  bitwise",
+        scope: "schema-producing files except core/json.rs, non-test code",
+    },
+    RuleInfo {
+        name: "serve-print",
+        summary: "bare println!/eprintln!/print!/eprint! in the serve tier; use elog! \
+                  (EPIPE-tolerant) or a framed response",
+        scope: "crates/serve non-test code",
+    },
+    RuleInfo {
+        name: "serve-panic",
+        summary: "panic!/unreachable!/todo!/unimplemented! in the serve tier; return a \
+                  framed error instead",
+        scope: "crates/serve non-test code",
+    },
+    RuleInfo {
+        name: "serve-unwrap",
+        summary: ".unwrap()/.expect() in the serve tier; handle the Result or recover \
+                  (PoisonError::into_inner)",
+        scope: "crates/serve non-test code",
+    },
+    RuleInfo {
+        name: "blocking-net-read",
+        summary: "TcpStream used in a file that never sets a read timeout or nonblocking \
+                  mode; a stalled peer must not wedge the tier",
+        scope: "crates/serve non-test code, per file",
+    },
+    RuleInfo {
+        name: "schema-literal",
+        summary: "schema id string literal outside the registry; cite suu_core::schemas::* \
+                  so version bumps cannot drift",
+        scope: "all files except core/src/schemas.rs",
+    },
+    RuleInfo {
+        name: "narrowing-cast",
+        summary: "`as u64`/`as usize`/`as u32` in key-range/ownership math; use u128 or \
+                  checked conversions",
+        scope: "serve/router.rs and serve/cache.rs, non-test code",
+    },
+    RuleInfo {
+        name: "allow-syntax",
+        summary: "malformed allow directive",
+        scope: "directive comments",
+    },
+    RuleInfo {
+        name: "allow-justification",
+        summary: "allow directive without a justification string",
+        scope: "directive comments",
+    },
+    RuleInfo {
+        name: "allow-unknown-rule",
+        summary: "allow directive naming a rule that does not exist",
+        scope: "directive comments",
+    },
+];
+
+/// `true` iff `name` is a registered rule.
+pub fn rule_exists(name: &str) -> bool {
+    RULES.iter().any(|r| r.name == name)
+}
+
+/// One diagnostic.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Workspace-relative path (forward slashes).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    pub rule: &'static str,
+    pub message: String,
+    /// `Some(justification)` when an allow directive suppressed it.
+    pub allowed: Option<String>,
+}
+
+impl Finding {
+    /// `file:line:rule: message` — the human diagnostic form.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}:{}: {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// A parsed allow directive.
+#[derive(Debug)]
+struct Directive {
+    /// Lines it covers: the comment's own line span plus the next line.
+    first_line: u32,
+    last_line: u32,
+    rule: String,
+    justification: Option<String>,
+}
+
+/// How the path classifies for scoping rules. Paths are
+/// workspace-relative with forward slashes.
+struct FileClass {
+    serve: bool,
+    test: bool,
+    key_math: bool,
+    time_sensitive: bool,
+    registry: bool,
+    /// Fixed members of the schema-producing set; extended at lint time
+    /// by "references the schema registry".
+    schema_listed: bool,
+}
+
+fn classify(path: &str) -> FileClass {
+    let test = path.contains("/tests/")
+        || path.starts_with("tests/")
+        || path.ends_with("/tests.rs")
+        || path.ends_with("/proptests.rs");
+    FileClass {
+        serve: path.starts_with("crates/serve/src/"),
+        test,
+        key_math: path == "crates/serve/src/router.rs" || path == "crates/serve/src/cache.rs",
+        time_sensitive: matches!(
+            path,
+            "crates/core/src/json.rs"
+                | "crates/core/src/hash.rs"
+                | "crates/serve/src/cache.rs"
+                | "crates/bench/src/report.rs"
+        ),
+        registry: path == "crates/core/src/schemas.rs",
+        schema_listed: matches!(
+            path,
+            "crates/core/src/json.rs"
+                | "crates/bench/src/report.rs"
+                | "crates/serve/src/cache.rs"
+                | "crates/serve/src/router.rs"
+                | "crates/serve/src/service.rs"
+        ),
+    }
+}
+
+/// Lint one file. `path` must be workspace-relative with `/` separators.
+pub fn lint_file(path: &str, src: &str) -> Vec<Finding> {
+    let tokens = lex(src);
+    let class = classify(path);
+    let mut directives = Vec::new();
+    let mut findings = Vec::new();
+
+    parse_directives(path, src, &tokens, &mut directives, &mut findings);
+
+    // Significant tokens (code only) with their index into `tokens`.
+    let sig: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| {
+            !matches!(
+                t.kind,
+                TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+            )
+        })
+        .collect();
+    let test_lines = cfg_test_regions(src, &sig);
+    let in_test = |line: u32| class.test || test_lines.iter().any(|r| r.0 <= line && line <= r.1);
+
+    // A file is schema-producing if listed or if it cites the registry
+    // (`schemas::X`), which every producer does after the migration.
+    let cites_registry = sig.windows(3).any(|w| {
+        ident(w[0], src) == Some("schemas") && punct(w[1], ':', src) && punct(w[2], ':', src)
+    });
+    let schema_producing = !class.registry && (class.schema_listed || cites_registry);
+
+    let mut push = |line: u32, rule: &'static str, message: String| {
+        findings.push(Finding {
+            file: path.to_string(),
+            line,
+            rule,
+            message,
+            allowed: None,
+        });
+    };
+
+    // --- token-sequence rules ---
+    for (i, t) in sig.iter().enumerate() {
+        let line = t.line;
+        match t.kind {
+            TokenKind::Ident => {
+                let name = t.text(src);
+                if schema_producing && !in_test(line) && (name == "HashMap" || name == "HashSet") {
+                    push(
+                        line,
+                        "unordered-collection",
+                        format!(
+                            "`{name}` in a schema-producing file: iteration order is \
+                             nondeterministic; use BTreeMap/BTreeSet/WordMap or sort \
+                             before emitting"
+                        ),
+                    );
+                }
+                if class.time_sensitive && !in_test(line) {
+                    let now_call = matches!(name, "SystemTime" | "Instant")
+                        && punct_at(&sig, i + 1, ':', src)
+                        && punct_at(&sig, i + 2, ':', src)
+                        && ident_at(&sig, i + 3, "now", src);
+                    if now_call || name == "SystemTime" {
+                        push(
+                            line,
+                            "wall-clock",
+                            format!(
+                                "`{name}` in a canonical-JSON/cache-key module: wall \
+                                 clocks must never influence canonical bytes"
+                            ),
+                        );
+                    }
+                }
+                if class.serve && !in_test(line) {
+                    if matches!(name, "println" | "eprintln" | "print" | "eprint")
+                        && punct_at(&sig, i + 1, '!', src)
+                    {
+                        push(
+                            line,
+                            "serve-print",
+                            format!(
+                                "bare `{name}!` in the serve tier: a dying consumer \
+                                 (EPIPE) must not panic the process; use elog! or a \
+                                 framed response"
+                            ),
+                        );
+                    }
+                    if matches!(name, "panic" | "unreachable" | "todo" | "unimplemented")
+                        && punct_at(&sig, i + 1, '!', src)
+                    {
+                        push(
+                            line,
+                            "serve-panic",
+                            format!(
+                                "`{name}!` in the serve tier: return a framed error \
+                                 response instead of dying"
+                            ),
+                        );
+                    }
+                    if matches!(name, "unwrap" | "expect")
+                        && i > 0
+                        && punct(sig[i - 1], '.', src)
+                        && punct_at(&sig, i + 1, '(', src)
+                    {
+                        push(
+                            line,
+                            "serve-unwrap",
+                            format!(
+                                "`.{name}(…)` in the serve tier: handle the error \
+                                 (framed response, PoisonError::into_inner, retry) or \
+                                 allow with a written justification"
+                            ),
+                        );
+                    }
+                }
+                if class.key_math
+                    && !in_test(line)
+                    && name == "as"
+                    && sig
+                        .get(i + 1)
+                        .is_some_and(|n| matches!(ident(n, src), Some("u64" | "usize" | "u32")))
+                {
+                    let target = sig[i + 1].text(src);
+                    push(
+                        line,
+                        "narrowing-cast",
+                        format!(
+                            "`as {target}` in key-range/ownership math: narrowing \
+                             silently wraps; use u128 arithmetic or a checked \
+                             conversion"
+                        ),
+                    );
+                }
+            }
+            TokenKind::Str | TokenKind::RawStr => {
+                if let Some(content) = string_content(t, src) {
+                    if !class.registry && suu_core::schemas::is_schema_id(content) {
+                        push(
+                            line,
+                            "schema-literal",
+                            format!(
+                                "schema id {content:?} spelled as a literal: cite the \
+                                 suu_core::schemas registry so version bumps cannot \
+                                 drift"
+                            ),
+                        );
+                    }
+                    if schema_producing && path != "crates/core/src/json.rs" && !in_test(line) {
+                        if let Some(spec) = precision_format(content) {
+                            push(
+                                line,
+                                "float-format",
+                                format!(
+                                    "float format {spec:?} outside the shortest-repr \
+                                     json writer: schema'd floats must round-trip \
+                                     bitwise"
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // --- per-file rule: blocking reads in the serve tier ---
+    if class.serve {
+        let mentions = |word: &str| {
+            sig.iter()
+                .any(|t| t.kind == TokenKind::Ident && t.text(src) == word)
+        };
+        if mentions("TcpStream") && !mentions("set_read_timeout") && !mentions("set_nonblocking") {
+            let first = sig
+                .iter()
+                .find(|t| t.kind == TokenKind::Ident && t.text(src) == "TcpStream")
+                .map(|t| t.line)
+                .unwrap_or(1);
+            if !in_test(first) {
+                push(
+                    first,
+                    "blocking-net-read",
+                    "TcpStream used but this file never sets a read timeout or \
+                     nonblocking mode: a stalled peer would wedge the tier"
+                        .to_string(),
+                );
+            }
+        }
+    }
+
+    apply_directives(&directives, &mut findings);
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    findings
+}
+
+fn ident<'s>(t: &Token, src: &'s str) -> Option<&'s str> {
+    (t.kind == TokenKind::Ident).then(|| t.text(src))
+}
+
+fn punct(t: &Token, c: char, src: &str) -> bool {
+    t.kind == TokenKind::Punct && t.text(src).chars().eq(std::iter::once(c))
+}
+
+fn punct_at(sig: &[&Token], i: usize, c: char, src: &str) -> bool {
+    sig.get(i).is_some_and(|t| punct(t, c, src))
+}
+
+fn ident_at(sig: &[&Token], i: usize, word: &str, src: &str) -> bool {
+    sig.get(i).is_some_and(|t| ident(t, src) == Some(word))
+}
+
+/// `Some(spec)` when a format string contains a float-shaping spec:
+/// `{…:.N…}` (fixed precision) or `{…:e}`/`{…:E}` (scientific).
+fn precision_format(content: &str) -> Option<String> {
+    let bytes = content.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'{' {
+            // `{{` is an escaped literal brace, not a format argument.
+            if bytes.get(i + 1) == Some(&b'{') {
+                i += 2;
+                continue;
+            }
+            let end = content[i..].find('}').map(|e| i + e)?;
+            let inner = &content[i + 1..end];
+            if let Some(colon) = inner.find(':') {
+                let spec = &inner[colon + 1..];
+                let precision = spec
+                    .find('.')
+                    .is_some_and(|d| spec.as_bytes().get(d + 1).is_some_and(u8::is_ascii_digit));
+                if precision || spec.ends_with('e') || spec.ends_with('E') {
+                    return Some(format!("{{{inner}}}"));
+                }
+            }
+            i = end + 1;
+        } else {
+            i += 1;
+        }
+    }
+    None
+}
+
+/// Byte-span line ranges `(first, last)` of `#[cfg(test)] mod … { … }`
+/// items (and other `#[cfg(test)]`-gated items up to their `;` or
+/// closing brace).
+fn cfg_test_regions(src: &str, sig: &[&Token]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i + 5 < sig.len() {
+        let is_attr = punct_at(sig, i, '#', src)
+            && punct_at(sig, i + 1, '[', src)
+            && ident_at(sig, i + 2, "cfg", src)
+            && punct_at(sig, i + 3, '(', src)
+            && ident_at(sig, i + 4, "test", src)
+            && punct_at(sig, i + 5, ')', src)
+            && punct_at(sig, i + 6, ']', src);
+        if !is_attr {
+            i += 1;
+            continue;
+        }
+        let start_line = sig[i].line;
+        // Scan forward to the item body: the first `{` opens a block we
+        // brace-match; a `;` before any `{` ends the item (e.g. a
+        // `#[cfg(test)] mod tests;` or gated `use`).
+        let mut j = i + 7;
+        let mut end_line = start_line;
+        while j < sig.len() {
+            if punct_at(sig, j, ';', src) {
+                end_line = sig[j].line;
+                break;
+            }
+            if punct_at(sig, j, '{', src) {
+                let mut depth = 1usize;
+                j += 1;
+                while j < sig.len() && depth > 0 {
+                    if punct_at(sig, j, '{', src) {
+                        depth += 1;
+                    } else if punct_at(sig, j, '}', src) {
+                        depth -= 1;
+                    }
+                    j += 1;
+                }
+                end_line = sig
+                    .get(j.saturating_sub(1))
+                    .map(|t| t.line)
+                    .unwrap_or(src.lines().count() as u32);
+                break;
+            }
+            j += 1;
+        }
+        if j >= sig.len() {
+            // Unterminated item: gate the rest of the file.
+            end_line = src.lines().count() as u32;
+        }
+        regions.push((start_line, end_line));
+        i = j.max(i + 7);
+    }
+    regions
+}
+
+/// Extract directives from comment tokens; malformed ones become
+/// findings directly.
+fn parse_directives(
+    path: &str,
+    src: &str,
+    tokens: &[Token],
+    directives: &mut Vec<Directive>,
+    findings: &mut Vec<Finding>,
+) {
+    let marker = marker();
+    for t in tokens {
+        let body = match t.kind {
+            TokenKind::LineComment => {
+                let text = t.text(src);
+                let text = text.trim_start_matches('/'); // //, ///, ////…
+                text.strip_prefix('!').unwrap_or(text).trim()
+            }
+            TokenKind::BlockComment => {
+                let text = t.text(src);
+                let text = text.strip_prefix("/*").unwrap_or(text);
+                let text = text.strip_suffix("*/").unwrap_or(text);
+                text.trim_start_matches(['*', '!']).trim()
+            }
+            _ => continue,
+        };
+        let Some(rest) = body.strip_prefix(marker.as_str()) else {
+            continue;
+        };
+        let last_line = t.line + t.text(src).matches('\n').count() as u32;
+        match parse_allow(rest.trim()) {
+            Ok((rule, justification)) => {
+                if !rule_exists(&rule) {
+                    findings.push(Finding {
+                        file: path.to_string(),
+                        line: t.line,
+                        rule: "allow-unknown-rule",
+                        message: format!("allow names unknown rule {rule:?} (see --list-rules)"),
+                        allowed: None,
+                    });
+                    continue;
+                }
+                if justification.as_deref().is_none_or(|j| j.trim().is_empty()) {
+                    findings.push(Finding {
+                        file: path.to_string(),
+                        line: t.line,
+                        rule: "allow-justification",
+                        message: format!(
+                            "allow({rule}) carries no justification; write \
+                             allow({rule}, \"why this is safe\")"
+                        ),
+                        allowed: None,
+                    });
+                    continue;
+                }
+                directives.push(Directive {
+                    first_line: t.line,
+                    last_line,
+                    rule,
+                    justification,
+                });
+            }
+            Err(why) => findings.push(Finding {
+                file: path.to_string(),
+                line: t.line,
+                rule: "allow-syntax",
+                message: format!("malformed directive: {why}"),
+                allowed: None,
+            }),
+        }
+    }
+}
+
+/// Parse `allow(<rule>)` or `allow(<rule>, "<justification>")`.
+fn parse_allow(text: &str) -> Result<(String, Option<String>), String> {
+    let rest = text
+        .strip_prefix("allow")
+        .ok_or("expected `allow(…)` after the marker")?;
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix('(').ok_or("expected `(` after `allow`")?;
+    let rest = rest.strip_suffix(')').ok_or("expected closing `)`")?;
+    let (rule, justification) = match rest.split_once(',') {
+        None => (rest.trim(), None),
+        Some((rule, j)) => {
+            let j = j.trim();
+            let j = j
+                .strip_prefix('"')
+                .and_then(|j| j.strip_suffix('"'))
+                .ok_or("justification must be a double-quoted string")?;
+            (rule.trim(), Some(j.to_string()))
+        }
+    };
+    if rule.is_empty() || !rule.bytes().all(|b| b.is_ascii_lowercase() || b == b'-') {
+        return Err(format!("rule name {rule:?} must be kebab-case"));
+    }
+    Ok((rule.to_string(), justification))
+}
+
+/// Mark findings covered by a directive as allowed (directive
+/// meta-findings are exempt — they cannot be suppressed).
+fn apply_directives(directives: &[Directive], findings: &mut [Finding]) {
+    for f in findings.iter_mut() {
+        if f.rule.starts_with("allow-") {
+            continue;
+        }
+        for d in directives {
+            if d.rule == f.rule && d.first_line <= f.line && f.line <= d.last_line + 1 {
+                f.allowed = d.justification.clone();
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{lint_file, rule_exists, Finding};
+
+    /// Test sources are built here instead of spelled inline so the
+    /// engine, linting its own source, sees only fragments that cannot
+    /// fire (a schema id split across `join`, directives inside string
+    /// literals that only become comments in the synthetic file).
+    fn unallowed(findings: &[Finding]) -> Vec<&Finding> {
+        findings.iter().filter(|f| f.allowed.is_none()).collect()
+    }
+
+    #[test]
+    fn allow_with_justification_suppresses_and_records_it() {
+        let src = "// suu-lint: allow(serve-panic, \"test fixture\")\npanic!(\"boom\");\n";
+        let findings = lint_file("crates/serve/src/server.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "serve-panic");
+        assert_eq!(findings[0].allowed.as_deref(), Some("test fixture"));
+        assert!(unallowed(&findings).is_empty());
+    }
+
+    #[test]
+    fn allow_without_justification_does_not_suppress() {
+        let src = "// suu-lint: allow(serve-panic)\npanic!(\"boom\");\n";
+        let findings = lint_file("crates/serve/src/server.rs", src);
+        let rules: Vec<&str> = unallowed(&findings).iter().map(|f| f.rule).collect();
+        assert_eq!(rules, ["allow-justification", "serve-panic"]);
+    }
+
+    #[test]
+    fn allow_naming_unknown_rule_is_itself_a_finding() {
+        let src = "// suu-lint: allow(no-such-rule, \"why\")\nlet x = 1;\n";
+        let findings = lint_file("crates/serve/src/server.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "allow-unknown-rule");
+        assert!(findings[0].allowed.is_none());
+    }
+
+    #[test]
+    fn malformed_directive_is_an_allow_syntax_finding() {
+        for bad in [
+            "// suu-lint: allow serve-panic\n",
+            "// suu-lint: allow(serve-panic\n",
+            "// suu-lint: allow(serve-panic, unquoted)\n",
+            "// suu-lint: allow(Serve-Panic, \"case\")\n",
+        ] {
+            let findings = lint_file("crates/serve/src/server.rs", bad);
+            assert_eq!(findings.len(), 1, "for {bad:?}");
+            assert_eq!(findings[0].rule, "allow-syntax", "for {bad:?}");
+        }
+    }
+
+    #[test]
+    fn directive_covers_only_its_own_and_the_next_line() {
+        // A blank line between the directive and the violation breaks
+        // adjacency: the finding must survive unallowed.
+        let src = "// suu-lint: allow(serve-panic, \"too far away\")\n\npanic!(\"boom\");\n";
+        let findings = lint_file("crates/serve/src/server.rs", src);
+        let live = unallowed(&findings);
+        assert_eq!(live.len(), 1);
+        assert_eq!(live[0].rule, "serve-panic");
+        assert_eq!(live[0].line, 3);
+    }
+
+    #[test]
+    fn meta_findings_cannot_be_self_allowed() {
+        let src = "// suu-lint: allow(allow-justification, \"nice try\")\n\
+                   // suu-lint: allow(serve-panic)\npanic!(\"boom\");\n";
+        let findings = lint_file("crates/serve/src/server.rs", src);
+        assert!(findings
+            .iter()
+            .any(|f| f.rule == "allow-justification" && f.allowed.is_none()));
+    }
+
+    #[test]
+    fn cfg_test_regions_skip_serve_rules() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f() { panic!(\"fine here\"); }\n}\n";
+        let findings = lint_file("crates/serve/src/server.rs", src);
+        assert!(findings.is_empty(), "got {findings:?}");
+    }
+
+    #[test]
+    fn test_paths_skip_serve_rules_entirely() {
+        let src = "fn f() { x.unwrap(); println!(\"hi\"); }\n";
+        let findings = lint_file("crates/serve/tests/e2e.rs", src);
+        assert!(findings.is_empty(), "got {findings:?}");
+    }
+
+    #[test]
+    fn schema_literal_fires_everywhere_but_the_registry() {
+        // Assembled so this file's own source never contains the id.
+        let id = ["suu-results", "v2"].join("/");
+        let src = format!("fn f() -> &'static str {{ \"{id}\" }}\n");
+        let findings = lint_file("crates/sim/src/evaluate.rs", &src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "schema-literal");
+        // The registry is the one place allowed to spell ids.
+        assert!(lint_file("crates/core/src/schemas.rs", &src).is_empty());
+        // Not test-gated: literals in test files drift just as easily.
+        let in_test = lint_file("crates/core/tests/anything.rs", &src);
+        assert_eq!(in_test.len(), 1);
+        assert_eq!(in_test[0].rule, "schema-literal");
+    }
+
+    #[test]
+    fn wall_clock_is_scoped_to_time_sensitive_modules() {
+        let src = "fn f() { let t = Instant::now(); }\n";
+        let hit = lint_file("crates/core/src/json.rs", src);
+        assert_eq!(hit.len(), 1);
+        assert_eq!(hit[0].rule, "wall-clock");
+        assert!(lint_file("crates/algos/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn serve_print_is_scoped_to_the_serve_tree() {
+        let src = "fn f() { println!(\"hi\"); }\n";
+        let hit = lint_file("crates/serve/src/service.rs", src);
+        assert_eq!(hit.len(), 1);
+        assert_eq!(hit[0].rule, "serve-print");
+        assert!(lint_file("crates/bench/src/bin/bench_baseline.rs", src).is_empty());
+    }
+
+    #[test]
+    fn serve_unwrap_requires_a_method_call_shape() {
+        let fires = lint_file("crates/serve/src/server.rs", "fn f() { x.unwrap(); }\n");
+        assert_eq!(fires.len(), 1);
+        assert_eq!(fires[0].rule, "serve-unwrap");
+        // A free function named `unwrap` or a bare path is not `.unwrap()`.
+        let free = lint_file("crates/serve/src/server.rs", "fn f() { unwrap(x); }\n");
+        assert!(free.is_empty(), "got {free:?}");
+    }
+
+    #[test]
+    fn unordered_collection_requires_a_schema_producing_file() {
+        let src = "fn f() { let m = HashMap::new(); }\n";
+        let hit = lint_file("crates/bench/src/report.rs", src);
+        assert_eq!(hit.len(), 1);
+        assert_eq!(hit[0].rule, "unordered-collection");
+        // Unlisted file with no registry citation: out of scope.
+        assert!(lint_file("crates/algos/src/lib.rs", src).is_empty());
+        // Citing the registry pulls a file into the producing set.
+        let citing = "fn f() { let _ = schemas::RESULTS; let m = HashMap::new(); }\n";
+        let hit = lint_file("crates/algos/src/lib.rs", citing);
+        assert_eq!(hit.len(), 1);
+        assert_eq!(hit[0].rule, "unordered-collection");
+    }
+
+    #[test]
+    fn narrowing_cast_is_scoped_to_key_math_files() {
+        let src = "fn f(x: u128) -> u64 { x as u64 }\n";
+        let hit = lint_file("crates/serve/src/router.rs", src);
+        assert_eq!(hit.len(), 1);
+        assert_eq!(hit[0].rule, "narrowing-cast");
+        assert!(lint_file("crates/serve/src/server.rs", src).is_empty());
+    }
+
+    #[test]
+    fn blocking_net_read_is_silenced_by_a_timeout_anywhere_in_file() {
+        let bare = "fn f() { let s = TcpStream::connect(addr); }\n";
+        let hit = lint_file("crates/serve/src/client.rs", bare);
+        assert_eq!(hit.len(), 1);
+        assert_eq!(hit[0].rule, "blocking-net-read");
+        let timed = "fn f() { let s = TcpStream::connect(addr); s.set_read_timeout(Some(d)); }\n";
+        let calm = lint_file("crates/serve/src/client.rs", timed);
+        assert!(calm.is_empty(), "got {calm:?}");
+    }
+
+    #[test]
+    fn findings_are_sorted_and_name_real_rules() {
+        let src = "fn f() { println!(\"a\"); }\nfn g() { panic!(\"b\"); }\n";
+        let findings = lint_file("crates/serve/src/server.rs", src);
+        let mut sorted = findings.clone();
+        sorted.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+        assert_eq!(
+            findings.iter().map(|f| f.render()).collect::<Vec<_>>(),
+            sorted.iter().map(|f| f.render()).collect::<Vec<_>>()
+        );
+        for f in &findings {
+            assert!(rule_exists(f.rule), "unknown rule {:?}", f.rule);
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Self-application: the workspace must lint clean under `cargo test`,
+//! and the detection machinery itself must still work (`self_test`
+//! proves every rule fires on its seeded-bad fixture — a lexer or
+//! engine regression cannot masquerade as "0 findings").
+
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    // crates/lint/ -> crates/ -> workspace root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint has a workspace root two levels up")
+}
+
+#[test]
+fn workspace_lints_clean() {
+    let findings = suu_lint::lint_workspace(workspace_root()).expect("workspace walk");
+    let unallowed: Vec<String> = findings
+        .iter()
+        .filter(|f| f.allowed.is_none())
+        .map(|f| f.render())
+        .collect();
+    assert!(
+        unallowed.is_empty(),
+        "suu-lint findings in the tree (fix or allow with a justification):\n{}",
+        unallowed.join("\n")
+    );
+}
+
+#[test]
+fn every_rule_still_fires_on_its_fixture() {
+    let failures = suu_lint::self_test();
+    assert!(
+        failures.is_empty(),
+        "self-test failures:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn every_allow_in_the_tree_carries_a_justification() {
+    let findings = suu_lint::lint_workspace(workspace_root()).expect("workspace walk");
+    for f in findings.iter().filter(|f| f.allowed.is_some()) {
+        let j = f.allowed.as_deref().unwrap_or_default();
+        assert!(
+            j.len() >= 15,
+            "{} allows {} with a trivial justification {:?}; say why it is safe",
+            f.file,
+            f.rule,
+            j
+        );
+    }
+}

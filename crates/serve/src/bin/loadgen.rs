@@ -44,9 +44,10 @@ use std::sync::{Barrier, Mutex};
 use std::time::{Duration, Instant};
 use suu_core::json::Json;
 use suu_serve::client::{Client, Reply};
+use suu_serve::elog;
 
 /// Benchmark document schema.
-const SCHEMA: &str = "suu-serve/loadgen/v2";
+const SCHEMA: &str = suu_core::schemas::SERVE_LOADGEN_V2;
 /// Upstream read timeout for generator connections.
 const READ_TIMEOUT: Duration = Duration::from_secs(120);
 /// Most retries one request spends on 429 backoff before counting as
@@ -78,7 +79,7 @@ fn parse_args() -> Config {
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
             it.next().unwrap_or_else(|| {
-                eprintln!("suu-loadgen: {name} needs a value");
+                elog!("suu-loadgen: {name} needs a value");
                 std::process::exit(2);
             })
         };
@@ -92,17 +93,17 @@ fn parse_args() -> Config {
                         .ok()
                         .filter(|&n| n > 0)
                         .unwrap_or_else(|| {
-                            eprintln!("suu-loadgen: --shards must be a positive integer");
+                            elog!("suu-loadgen: --shards must be a positive integer");
                             std::process::exit(2);
                         }),
                 )
             }
             "--help" | "-h" => {
-                eprintln!("usage: suu-loadgen [--smoke] [--shards N] [--out FILE]");
+                elog!("usage: suu-loadgen [--smoke] [--shards N] [--out FILE]");
                 std::process::exit(2);
             }
             other => {
-                eprintln!("suu-loadgen: unknown flag {other:?}");
+                elog!("suu-loadgen: unknown flag {other:?}");
                 std::process::exit(2);
             }
         }
@@ -175,6 +176,7 @@ fn post_race(client: &mut Client, body: &str) -> (Reply, Duration, u64) {
         let t0 = Instant::now();
         let reply = client
             .request("POST", "/v1/race", Some(body.as_bytes()))
+            // suu-lint: allow(serve-unwrap, "benchmark driver: a dead server under test invalidates the run, so aborting loudly is the contract")
             .expect("race request");
         if reply.status == 429 && rejected < MAX_RETRIES_429 as u64 {
             rejected += 1;
@@ -214,6 +216,7 @@ impl ServerProc {
     fn spawn(bin: &str, tag: &str, extra: &[&str]) -> ServerProc {
         use std::io::BufRead as _;
         let path = std::env::current_exe()
+            // suu-lint: allow(serve-unwrap, "benchmark driver startup: no current_exe means no sibling binaries to test; abort loudly")
             .expect("own path")
             .with_file_name(bin);
         let cache_dir =
@@ -224,6 +227,7 @@ impl ServerProc {
                 "--addr",
                 "127.0.0.1:0",
                 "--cache-dir",
+                // suu-lint: allow(serve-unwrap, "the dir name is built from ASCII literals and a pid, so it is always UTF-8")
                 cache_dir.to_str().expect("utf-8 temp dir"),
                 "--workers",
                 "4",
@@ -239,14 +243,15 @@ impl ServerProc {
             .stderr(Stdio::inherit())
             .spawn()
             .unwrap_or_else(|e| {
-                eprintln!("suu-loadgen: cannot spawn {}: {e}", path.display());
+                elog!("suu-loadgen: cannot spawn {}: {e}", path.display());
                 std::process::exit(1);
             });
+        // suu-lint: allow(serve-unwrap, "stdout was set to Stdio::piped() five lines up; take() can only fail on a programming error worth a loud abort")
         let stdout = child.stdout.take().expect("piped stdout");
         let mut reader = std::io::BufReader::new(stdout);
         let mut banner = String::new();
         if reader.read_line(&mut banner).unwrap_or(0) == 0 {
-            eprintln!("suu-loadgen: {bin} produced no banner");
+            elog!("suu-loadgen: {bin} produced no banner");
             std::process::exit(1);
         }
         let addr = banner
@@ -256,7 +261,7 @@ impl ServerProc {
             .trim()
             .to_string();
         if addr.is_empty() {
-            eprintln!("suu-loadgen: unparsable banner {banner:?}");
+            elog!("suu-loadgen: unparsable banner {banner:?}");
             std::process::exit(1);
         }
         ServerProc {
@@ -269,7 +274,7 @@ impl ServerProc {
 
     fn client(&self) -> Client {
         Client::connect(&self.addr, READ_TIMEOUT).unwrap_or_else(|e| {
-            eprintln!("suu-loadgen: connect to {} failed: {e}", self.addr);
+            elog!("suu-loadgen: connect to {} failed: {e}", self.addr);
             std::process::exit(1);
         })
     }
@@ -344,7 +349,7 @@ fn run_entry(cfg: &Config, shards: usize) -> (Json, bool) {
         ],
     );
     let direct = ServerProc::spawn("suud", &format!("direct{shards}"), &[]);
-    eprintln!(
+    elog!(
         "suu-loadgen: shards={shards}: router at {} (direct oracle at {}), {} conns × {} requests + {} storm rounds",
         router.addr, direct.addr, cfg.conns, cfg.per_conn, cfg.storm_rounds
     );
@@ -380,6 +385,7 @@ fn run_entry(cfg: &Config, shards: usize) -> (Json, bool) {
         let handles: Vec<_> = (0..cfg.conns)
             .map(|thread| {
                 scope.spawn(move || {
+                    // suu-lint: allow(serve-unwrap, "benchmark driver: a generator thread that cannot connect invalidates the run; abort loudly")
                     let mut client = Client::connect(addr, READ_TIMEOUT).expect("client connect");
                     let mut rng: u64 = 0xC0FF_EE00 + thread as u64;
                     let mut samples = Vec::with_capacity(cfg.per_conn + cfg.storm_rounds);
@@ -434,6 +440,7 @@ fn run_entry(cfg: &Config, shards: usize) -> (Json, bool) {
                             ok: reply.status == 200,
                             mismatch: false,
                         });
+                        // suu-lint: allow(serve-unwrap, "a poisoned storm bucket means a sibling generator thread already panicked; propagating is the right outcome for the run")
                         bucket.lock().expect("storm lock").push(reply.body);
                     }
                     (samples, rejected)
@@ -442,6 +449,7 @@ fn run_entry(cfg: &Config, shards: usize) -> (Json, bool) {
             .collect();
         handles
             .into_iter()
+            // suu-lint: allow(serve-unwrap, "re-raising a generator thread's panic on the main thread is the benchmark's failure path")
             .map(|h| h.join().expect("client thread"))
             .collect()
     });
@@ -471,7 +479,7 @@ fn run_entry(cfg: &Config, shards: usize) -> (Json, bool) {
         }
         if mismatch {
             identity_mismatches += 1;
-            eprintln!("suu-loadgen: shards={shards}: identity probe {probe} diverged from direct");
+            elog!("suu-loadgen: shards={shards}: identity probe {probe} diverged from direct");
         }
         identity_samples.push(Sample {
             class: Class::Identity,
@@ -500,11 +508,12 @@ fn run_entry(cfg: &Config, shards: usize) -> (Json, bool) {
     // Cross-connection coalescing proof: within a storm round every
     // response body is identical.
     for (round, bodies) in storm_bodies.iter().enumerate() {
+        // suu-lint: allow(serve-unwrap, "a poisoned storm bucket means a generator thread already panicked; propagating is the right outcome for the run")
         let bodies = bodies.lock().expect("storm lock");
         if let Some(first) = bodies.first() {
             let diverged = bodies.iter().filter(|b| *b != first).count() as u64;
             if diverged > 0 {
-                eprintln!(
+                elog!(
                     "suu-loadgen: shards={shards}: storm round {round}: {diverged} divergent bodies"
                 );
             }
@@ -568,7 +577,8 @@ fn run_entry(cfg: &Config, shards: usize) -> (Json, bool) {
                 .field("storm", latency_obj(&of(Class::Storm))),
         )
         .field("stats", final_stats);
-    eprintln!(
+    elog!(
+        // suu-lint: allow(float-format, "human console summary on stderr; never enters a schema document")
         "suu-loadgen: shards={shards}: {total} requests in {:.1}s ({throughput:.0} rps), \
          {failed} failed, {mismatches} replay + {identity_mismatches} identity mismatches, \
          {rejected_429} × 429",
@@ -597,10 +607,10 @@ fn main() {
         .field("host_cores", host_cores as u64)
         .field("entries", Json::Arr(entries));
     if let Err(e) = std::fs::write(&cfg.out, doc.to_pretty()) {
-        eprintln!("suu-loadgen: cannot write {}: {e}", cfg.out);
+        elog!("suu-loadgen: cannot write {}: {e}", cfg.out);
         std::process::exit(1);
     }
-    eprintln!("suu-loadgen: wrote {}", cfg.out);
+    elog!("suu-loadgen: wrote {}", cfg.out);
     if !clean {
         std::process::exit(1);
     }

@@ -18,15 +18,7 @@ use std::time::Duration;
 use suu_serve::router::{Fleet, FleetConfig, Router};
 use suu_serve::{http, serve_with, ServerConfig, ServerMetrics};
 
-/// EPIPE-tolerant stderr line: a supervisor that closed our stderr must
-/// not kill the router (Rust maps SIGPIPE to write errors; a bare
-/// `eprintln!` panics on them).
-macro_rules! elog {
-    ($($arg:tt)*) => {{
-        use std::io::Write as _;
-        let _ = writeln!(std::io::stderr(), $($arg)*);
-    }};
-}
+use suu_serve::elog;
 
 struct Args {
     addr: String,

@@ -14,15 +14,7 @@ use std::time::Duration;
 use suu_serve::service::ServeError;
 use suu_serve::{http, serve_with, ServerConfig, ServerMetrics, Service};
 
-/// EPIPE-tolerant stderr line: a supervisor (the router, a harness)
-/// that closed our stderr must not kill the daemon mid-serve (Rust maps
-/// SIGPIPE to write errors; a bare `eprintln!` panics on them).
-macro_rules! elog {
-    ($($arg:tt)*) => {{
-        use std::io::Write as _;
-        let _ = writeln!(std::io::stderr(), $($arg)*);
-    }};
-}
+use suu_serve::elog;
 
 struct Args {
     addr: String,
@@ -175,6 +167,7 @@ fn oneshot(service: &Service, path: &str) {
                 counts.misses,
                 counts.extends
             );
+            // suu-lint: allow(serve-print, "oneshot mode's contract is the result document on stdout; CI pipes it to a file and cmp's bytes")
             print!("{}", doc.to_pretty());
         }
         Err(ServeError::BadRequest(e)) => {

@@ -37,7 +37,8 @@
 //! always kept even when it alone exceeds the budget — a budget too
 //! small for one cell degrades to "cache of one", not a failure.
 
-use std::collections::{HashMap, HashSet};
+use crate::unpoisoned;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
@@ -46,11 +47,11 @@ use suu_core::json::Json;
 use suu_sim::EvalStats;
 
 /// Schema stamped on every cache file.
-pub const CELL_SCHEMA: &str = "suu-serve/cell/v1";
+pub const CELL_SCHEMA: &str = suu_core::schemas::SERVE_CELL_V1;
 /// Schema of the key-fields object that gets hashed.
-pub const CELL_KEY_SCHEMA: &str = "suu-serve/cellkey/v1";
+pub const CELL_KEY_SCHEMA: &str = suu_core::schemas::SERVE_CELLKEY_V1;
 /// Schema of the persisted LRU recency index (`index.json`).
-pub const INDEX_SCHEMA: &str = "suu-serve/index/v1";
+pub const INDEX_SCHEMA: &str = suu_core::schemas::SERVE_INDEX_V1;
 
 /// The canonical identity of a cell, pre-hash. `scenario_params` must be
 /// the *normalized* parameter object from
@@ -133,7 +134,7 @@ pub struct CellStore {
 #[derive(Debug, Default)]
 struct LruState {
     order: Vec<String>,
-    sizes: HashMap<String, u64>,
+    sizes: BTreeMap<String, u64>,
 }
 
 impl LruState {
@@ -189,7 +190,7 @@ impl CellStore {
 
     /// Total bytes of cached cells (from the in-memory size mirror).
     pub fn cache_bytes(&self) -> u64 {
-        self.lru.lock().expect("lru lock").total_bytes()
+        self.lru_lock().total_bytes()
     }
 
     /// Cells currently on disk (counted fresh; the store is the
@@ -227,9 +228,17 @@ impl CellStore {
         }
     }
 
+    /// The LRU mirror, recovered from poison: a panic elsewhere while
+    /// holding the lock leaves at worst stale recency, which the next
+    /// touch repairs — recency is an optimization, never worth wedging
+    /// the store over.
+    fn lru_lock(&self) -> std::sync::MutexGuard<'_, LruState> {
+        unpoisoned(self.lru.lock())
+    }
+
     /// Record a use of `hex` (cache hit / extend base).
     fn lru_touch(&self, hex: &str) {
-        let mut lru = self.lru.lock().expect("lru lock");
+        let mut lru = self.lru_lock();
         lru.touch(hex);
         self.persist_index(&lru);
     }
@@ -238,7 +247,7 @@ impl CellStore {
     /// until the budget holds. In-flight keys and the cell just written
     /// are exempt.
     fn lru_record(&self, hex: &str, size: u64) {
-        let mut lru = self.lru.lock().expect("lru lock");
+        let mut lru = self.lru_lock();
         lru.sizes.insert(hex.to_string(), size);
         lru.touch(hex);
         if let Some(budget) = self.budget {
@@ -347,7 +356,7 @@ impl CellStore {
             .dir
             .join(format!("{}.tmp.{}", key.hex, std::process::id()));
         let bytes = doc.to_pretty();
-        let size = bytes.len() as u64;
+        let size = u64::try_from(bytes.len()).unwrap_or(u64::MAX);
         std::fs::write(&tmp, bytes).map_err(|e| format!("cache write {}: {e}", tmp.display()))?;
         std::fs::rename(&tmp, &path)
             .map_err(|e| format!("cache rename {}: {e}", path.display()))?;
@@ -391,14 +400,14 @@ impl CellStore {
 /// Per-key mutual exclusion with a single mutex + condvar (the key set
 /// is small: one entry per concurrently-computing cell).
 struct InflightTable {
-    keys: Mutex<HashSet<String>>,
+    keys: Mutex<BTreeSet<String>>,
     freed: Condvar,
 }
 
 impl InflightTable {
     fn new() -> InflightTable {
         InflightTable {
-            keys: Mutex::new(HashSet::new()),
+            keys: Mutex::new(BTreeSet::new()),
             freed: Condvar::new(),
         }
     }
@@ -406,29 +415,29 @@ impl InflightTable {
     /// Block until the key is free, then claim it. Returns `true` when
     /// the caller had to wait (i.e. it coalesced behind another request).
     fn acquire(&self, key: &str) -> bool {
-        let mut keys = self.keys.lock().expect("inflight lock");
+        let mut keys = unpoisoned(self.keys.lock());
         let mut waited = false;
         while keys.contains(key) {
             waited = true;
-            keys = self.freed.wait(keys).expect("inflight wait");
+            keys = unpoisoned(self.freed.wait(keys));
         }
         keys.insert(key.to_string());
         waited
     }
 
     fn release(&self, key: &str) {
-        let mut keys = self.keys.lock().expect("inflight lock");
+        let mut keys = unpoisoned(self.keys.lock());
         keys.remove(key);
         drop(keys);
         self.freed.notify_all();
     }
 
     fn len(&self) -> usize {
-        self.keys.lock().expect("inflight lock").len()
+        unpoisoned(self.keys.lock()).len()
     }
 
     fn contains(&self, key: &str) -> bool {
-        self.keys.lock().expect("inflight lock").contains(key)
+        unpoisoned(self.keys.lock()).contains(key)
     }
 }
 
@@ -436,7 +445,7 @@ impl InflightTable {
 /// authority), recency from `index.json` where it has an opinion.
 /// Unindexed cells sort first (least recent) by key for determinism.
 fn load_lru(dir: &Path) -> LruState {
-    let mut sizes = HashMap::new();
+    let mut sizes = BTreeMap::new();
     if let Ok(entries) = std::fs::read_dir(dir) {
         for entry in entries.filter_map(|e| e.ok()) {
             let path = entry.path();
@@ -463,12 +472,13 @@ fn load_lru(dir: &Path) -> LruState {
             })
         })
         .unwrap_or_default();
+    // BTreeMap keys iterate sorted, so the unindexed prefix is already
+    // in deterministic (key) order.
     let mut order: Vec<String> = sizes
         .keys()
         .filter(|k| !indexed.contains(k))
         .cloned()
         .collect();
-    order.sort();
     order.extend(indexed.into_iter().filter(|k| sizes.contains_key(k)));
     LruState { order, sizes }
 }

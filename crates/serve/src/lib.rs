@@ -54,6 +54,28 @@
 //! with per-shard-count scaling curves. See the README's "Serving
 //! evaluations" section for curl examples and the cache-key derivation.
 
+/// EPIPE-tolerant stderr line: a supervisor (the router, a harness, a
+/// shell pipeline) that closed our stderr must not kill the process
+/// mid-serve (Rust maps SIGPIPE to write errors; a bare `eprintln!`
+/// panics on them). Every serve-tier binary logs through this — the
+/// `serve-print` rule of `suu-lint` enforces it.
+#[macro_export]
+macro_rules! elog {
+    ($($arg:tt)*) => {{
+        use std::io::Write as _;
+        let _ = writeln!(std::io::stderr(), $($arg)*);
+    }};
+}
+
+/// Recover a guard from a poisoned lock. Serving state guarded this way
+/// stays consistent across a panic (every critical section is a single
+/// insert/remove/push/take), and the serving tier must keep answering —
+/// and its drop guards must keep releasing — after one worker panicked;
+/// propagating poison would wedge every future request instead.
+pub(crate) fn unpoisoned<T>(result: Result<T, std::sync::PoisonError<T>>) -> T {
+    result.unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 pub mod cache;
 pub mod client;
 pub mod http;

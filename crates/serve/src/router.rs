@@ -51,6 +51,7 @@ use crate::client::Client;
 use crate::http::{Request, Response};
 use crate::server::ServerMetrics;
 use crate::service::{semantics_str, CacheCounts, STATS_FIELDS};
+use crate::unpoisoned;
 use std::io::{self, BufRead, BufReader};
 use std::path::PathBuf;
 use std::process::{Child, ChildStdout, Command, Stdio};
@@ -101,6 +102,7 @@ pub struct KeyRange {
 pub fn shard_ranges(shards: usize) -> Vec<KeyRange> {
     assert!(shards > 0, "need at least one shard");
     let n = shards as u128;
+    // suu-lint: allow(narrowing-cast, "exact by construction: ceil(i*2^64/n) < 2^64 for every i < n, and the i == n endpoint is never evaluated (the last range is pinned to u64::MAX below)")
     let lo = |i: u128| -> u64 { (i << 64).div_ceil(n) as u64 };
     (0..shards as u128)
         .map(|i| KeyRange {
@@ -114,6 +116,7 @@ pub fn shard_ranges(shards: usize) -> Vec<KeyRange> {
 /// exactly the index whose [`shard_ranges`] range contains `key`.
 pub fn owner_of(key: u64, shards: usize) -> usize {
     assert!(shards > 0, "need at least one shard");
+    // suu-lint: allow(narrowing-cast, "bounded by construction: key*N/2^64 < N <= usize::MAX, so the cast never truncates")
     ((key as u128 * shards as u128) >> 64) as usize
 }
 
@@ -239,7 +242,7 @@ impl Fleet {
 
     /// Shard `i`'s current address and generation, when it is up.
     pub fn shard_addr(&self, index: usize) -> Option<(String, u64)> {
-        let slot = self.slots[index].lock().expect("shard slot");
+        let slot = unpoisoned(self.slots[index].lock());
         slot.addr.clone().map(|a| (a, slot.generation))
     }
 
@@ -247,7 +250,7 @@ impl Fleet {
     pub fn snapshot(&self) -> Vec<ShardInfo> {
         (0..self.cfg.shards)
             .map(|index| {
-                let slot = self.slots[index].lock().expect("shard slot");
+                let slot = unpoisoned(self.slots[index].lock());
                 ShardInfo {
                     index,
                     addr: slot.addr.clone(),
@@ -263,7 +266,7 @@ impl Fleet {
     /// One supervision pass: reap dead shards, respawn past backoff.
     fn tick(&self) {
         for index in 0..self.cfg.shards {
-            let mut slot = self.slots[index].lock().expect("shard slot");
+            let mut slot = unpoisoned(self.slots[index].lock());
             if let Some(child) = slot.child.as_mut() {
                 match child.try_wait() {
                     Ok(None) => continue, // alive
@@ -303,7 +306,7 @@ impl Fleet {
     pub fn shutdown(&self) {
         self.shutdown.store(true, Ordering::Relaxed);
         for slot in &self.slots {
-            let mut slot = slot.lock().expect("shard slot");
+            let mut slot = unpoisoned(slot.lock());
             if let Some(mut child) = slot.child.take() {
                 let _ = child.kill();
                 let _ = child.wait();
@@ -363,7 +366,14 @@ fn spawn_shard(
     }
     let mut child = cmd.spawn()?;
     let pid = child.id();
-    let stdout = child.stdout.take().expect("piped stdout");
+    let Some(stdout) = child.stdout.take() else {
+        let _ = child.kill();
+        let _ = child.wait();
+        return Err(io::Error::new(
+            io::ErrorKind::BrokenPipe,
+            format!("shard {index}: spawned without a piped stdout"),
+        ));
+    };
     let mut reader = BufReader::new(stdout);
     let mut banner = String::new();
     if reader.read_line(&mut banner)? == 0 {
@@ -465,10 +475,13 @@ impl Router {
             ("GET", "/v1/healthz") => Response::json(
                 200,
                 Json::obj()
-                    .field("schema", "suu-serve/health/v1")
+                    .field("schema", suu_core::schemas::SERVE_HEALTH_V1)
                     .field("status", "ok")
                     .field("role", "router")
-                    .field("shards", self.fleet.shards() as u64)
+                    .field(
+                        "shards",
+                        u64::try_from(self.fleet.shards()).unwrap_or(u64::MAX),
+                    )
                     .to_compact(),
             ),
             ("GET", "/v1/stats") => Response::json(200, self.stats_json().to_compact()),
@@ -487,7 +500,7 @@ impl Router {
         let (addr, generation) = self.fleet.shard_addr(shard).ok_or_else(|| {
             GatherError::Unavailable(format!("shard {shard} is down (restarting)"))
         })?;
-        let mut pool = self.pools[shard].lock().expect("upstream pool");
+        let mut pool = unpoisoned(self.pools[shard].lock());
         // Stale generations (pre-restart sockets) are dropped, not reused.
         while let Some(conn) = pool.pop() {
             if conn.generation == generation {
@@ -505,10 +518,7 @@ impl Router {
 
     /// Return a healthy connection to the pool.
     fn checkin(&self, shard: usize, generation: u64, client: Client) {
-        self.pools[shard]
-            .lock()
-            .expect("upstream pool")
-            .push(PooledConn { generation, client });
+        unpoisoned(self.pools[shard].lock()).push(PooledConn { generation, client });
     }
 
     /// `POST /v1/race`: scatter per-cell sub-requests, gather, merge.
@@ -561,6 +571,7 @@ impl Router {
                     semantics_str(race.exec.semantics),
                     race.exec.max_steps,
                 ));
+                // suu-lint: allow(serve-unwrap, "CellKey::hex is fnv1a_hex output — 16 lowercase hex digits by construction — so this parse cannot fail")
                 let routing = key_from_hex(&key.hex).expect("own keys are valid hex");
                 batches[owner_of(routing, shards)].push((si, pi));
             }
@@ -706,7 +717,7 @@ impl Router {
         let mut shard_entries = Vec::with_capacity(self.fleet.shards());
         for info in self.fleet.snapshot() {
             let mut entry = Json::obj()
-                .field("shard", info.index as u64)
+                .field("shard", u64::try_from(info.index).unwrap_or(u64::MAX))
                 .field("range_lo", format!("{:016x}", info.range.lo))
                 .field("range_hi", format!("{:016x}", info.range.hi))
                 .field("restarts", info.restarts);
@@ -726,7 +737,7 @@ impl Router {
             }
             shard_entries.push(entry);
         }
-        let mut doc = Json::obj().field("schema", "suu-serve/stats/v1");
+        let mut doc = Json::obj().field("schema", suu_core::schemas::SERVE_STATS_V1);
         for (i, field) in STATS_FIELDS.iter().enumerate().skip(1) {
             doc = doc.field(*field, sums[i]);
         }

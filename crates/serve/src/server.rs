@@ -37,6 +37,7 @@
 //! worker, the loop, and the connection all survive it.
 
 use crate::http::{parse_request, Handler, Parsed, Request, Response};
+use crate::unpoisoned;
 use mio::{Events, Interest, Poll, Token};
 use std::collections::{BTreeMap, VecDeque};
 use std::io::{Read, Write};
@@ -144,7 +145,7 @@ impl JobQueue {
     }
 
     fn try_push(&self, job: Job) -> bool {
-        let mut st = self.state.lock().expect("queue lock");
+        let mut st = unpoisoned(self.state.lock());
         if st.closed || st.jobs.len() >= self.cap {
             return false;
         }
@@ -158,7 +159,7 @@ impl JobQueue {
     }
 
     fn pop(&self) -> Option<Job> {
-        let mut st = self.state.lock().expect("queue lock");
+        let mut st = unpoisoned(self.state.lock());
         loop {
             if let Some(job) = st.jobs.pop_front() {
                 self.metrics
@@ -169,12 +170,12 @@ impl JobQueue {
             if st.closed {
                 return None;
             }
-            st = self.ready.wait(st).expect("queue wait");
+            st = unpoisoned(self.ready.wait(st));
         }
     }
 
     fn close(&self) {
-        self.state.lock().expect("queue lock").closed = true;
+        unpoisoned(self.state.lock()).closed = true;
         self.ready.notify_all();
     }
 }
@@ -198,7 +199,7 @@ struct Completions {
 
 impl Completions {
     fn push(&self, done: Done) {
-        self.done.lock().expect("completions lock").push(done);
+        unpoisoned(self.done.lock()).push(done);
         self.waker.wake();
     }
 }
@@ -316,17 +317,30 @@ pub fn serve_with(
         waker: Arc::clone(&waker),
     });
 
-    let workers = (0..cfg.workers.max(1))
-        .map(|worker| {
+    // Spawn failures (thread exhaustion) surface as the io::Error they
+    // are; any workers already running are drained via the closed queue
+    // so a failed startup leaks nothing.
+    let mut workers = Vec::with_capacity(cfg.workers.max(1));
+    for worker in 0..cfg.workers.max(1) {
+        let spawned = {
             let queue = Arc::clone(&queue);
             let completions = Arc::clone(&completions);
             let handler = Arc::clone(&handler);
             std::thread::Builder::new()
                 .name(format!("suud-worker-{worker}"))
                 .spawn(move || worker_loop(queue, completions, handler))
-                .expect("spawn worker")
-        })
-        .collect();
+        };
+        match spawned {
+            Ok(handle) => workers.push(handle),
+            Err(e) => {
+                queue.close();
+                for handle in workers {
+                    let _ = handle.join();
+                }
+                return Err(e);
+            }
+        }
+    }
 
     let event_loop = EventLoop {
         poll,
@@ -341,10 +355,19 @@ pub fn serve_with(
         cfg,
         shutdown: Arc::clone(&shutdown),
     };
-    let loop_thread = std::thread::Builder::new()
+    let loop_thread = match std::thread::Builder::new()
         .name("suud-event-loop".to_string())
         .spawn(move || event_loop.run())
-        .expect("spawn event loop");
+    {
+        Ok(handle) => handle,
+        Err(e) => {
+            queue.close();
+            for handle in workers {
+                let _ = handle.join();
+            }
+            return Err(e);
+        }
+    };
 
     Ok(ServerHandle {
         addr,
@@ -655,7 +678,7 @@ impl EventLoop {
 
     fn drain_completions(&mut self) {
         let done: Vec<Done> = {
-            let mut guard = self.completions.done.lock().expect("completions lock");
+            let mut guard = unpoisoned(self.completions.done.lock());
             std::mem::take(&mut *guard)
         };
         let mut touched: Vec<usize> = Vec::with_capacity(done.len());

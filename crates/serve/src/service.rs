@@ -137,7 +137,7 @@ impl Service {
             ("GET", "/v1/healthz") => Response::json(
                 200,
                 Json::obj()
-                    .field("schema", "suu-serve/health/v1")
+                    .field("schema", suu_core::schemas::SERVE_HEALTH_V1)
                     .field("status", "ok")
                     .to_compact(),
             ),
@@ -192,7 +192,7 @@ impl Service {
             })
             .unwrap_or((0, 0));
         Json::obj()
-            .field("schema", "suu-serve/stats/v1")
+            .field("schema", suu_core::schemas::SERVE_STATS_V1)
             .field("races", self.races.load(Ordering::Relaxed))
             .field("hits", self.store.hits.load(Ordering::Relaxed))
             .field("misses", self.store.misses.load(Ordering::Relaxed))

@@ -24,6 +24,7 @@ use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
 use suu_bench::request::RaceRequest;
 use suu_core::json::Json;
+use suu_core::schemas;
 use suu_serve::cache::{cell_key_fields, CellKey};
 use suu_serve::router::{key_from_hex, owner_of};
 use suu_serve::service::semantics_str;
@@ -387,7 +388,7 @@ fn aggregated_stats_keep_v1_field_order_and_sum_the_shards() {
     );
     assert_eq!(
         router_stats.get("schema").and_then(Json::as_str),
-        Some("suu-serve/stats/v1")
+        Some(schemas::SERVE_STATS_V1)
     );
 
     // The sums are really sums: every numeric v1 field equals the total

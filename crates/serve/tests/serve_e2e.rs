@@ -27,6 +27,7 @@ use std::net::TcpStream;
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
 use std::time::Duration;
+use suu_core::schemas;
 
 struct Daemon {
     child: Child,
@@ -180,7 +181,7 @@ fn daemon_serves_replays_and_extends_over_a_real_socket() {
     assert_eq!(
         doc.get("schema")
             .and_then(|s| s.as_str().map(str::to_string)),
-        Some("suu-results/v2".to_string())
+        Some(schemas::RESULTS_V2.to_string())
     );
     let cell = &doc.get("cells").unwrap().as_array().unwrap()[0];
     assert_eq!(cell.get("trials_used").unwrap().as_u64(), Some(6));
@@ -258,7 +259,7 @@ fn daemon_serves_replays_and_extends_over_a_real_socket() {
         stored
             .get("schema")
             .and_then(|s| s.as_str().map(str::to_string)),
-        Some("suu-serve/cell/v1".to_string())
+        Some(schemas::SERVE_CELL_V1.to_string())
     );
     let accumulator = stored
         .get("checkpoint")
@@ -447,7 +448,7 @@ fn pipelined_requests_are_answered_in_request_order() {
             .json()
             .get("schema")
             .and_then(|s| s.as_str().map(str::to_string)),
-        Some("suu-serve/health/v1".to_string()),
+        Some(schemas::SERVE_HEALTH_V1.to_string()),
         "2nd must be healthz"
     );
     let third = conn.read_reply();
@@ -461,7 +462,7 @@ fn pipelined_requests_are_answered_in_request_order() {
             .json()
             .get("schema")
             .and_then(|s| s.as_str().map(str::to_string)),
-        Some("suu-serve/stats/v1".to_string()),
+        Some(schemas::SERVE_STATS_V1.to_string()),
         "4th must be stats"
     );
 }

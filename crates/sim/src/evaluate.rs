@@ -226,7 +226,7 @@ impl EvalStats {
     }
 
     /// Schema identifier stamped on [`EvalStats::to_json`] checkpoints.
-    pub const CHECKPOINT_SCHEMA: &'static str = "suu-sim/evalstats/v1";
+    pub const CHECKPOINT_SCHEMA: &'static str = suu_core::schemas::SIM_EVALSTATS_V1;
 
     /// Serialize a resumable checkpoint: the accumulator snapshot plus
     /// everything [`Evaluator::extend_stats`] needs to continue the cell

@@ -801,7 +801,7 @@ impl OutcomeAccumulator {
     }
 
     /// Snapshot schema identifier stamped on [`OutcomeAccumulator::to_json`].
-    pub const SNAPSHOT_SCHEMA: &'static str = "suu-sim/accumulator/v1";
+    pub const SNAPSHOT_SCHEMA: &'static str = suu_core::schemas::SIM_ACCUMULATOR_V1;
 
     /// Serialize the complete accumulator state to JSON.
     ///
