@@ -30,6 +30,17 @@
 //!   additionally fails if any **timed** v2 cell reports a speedup below
 //!   `X` (null cells stay tolerated-and-counted) — the CI smoke perf
 //!   sanity gate.
+//! * `suu-results/sweep/v1` — the frontier-sweep gate: per-point
+//!   internal consistency (the recorded `winner` is the lowest-mean
+//!   policy entry, the `resolved` flag agrees with the recorded paired
+//!   margin, `trials_total` adds up, every policy entry carries a
+//!   well-formed `cell_key` and a trial count within the declared
+//!   budget), the phase diagram partitions the points exactly (each
+//!   point in its winner's region or in `open`, frontier edges only
+//!   between points with differing winners), the `totals` accounting
+//!   re-derives, and — the point of adaptivity — `trials_adaptive` does
+//!   not exceed `trials_fixed_equivalent`. No cell may record
+//!   `wall_clock_s` (sweep artifacts must replay byte-identically).
 //! * `suu-serve/loadgen/v1` — the serving-benchmark gate: request
 //!   accounting adds up, **zero failed requests and zero replay
 //!   mismatches**, latency percentiles are non-negative and ordered
@@ -263,6 +274,223 @@ fn validate_engine_batch_v2(doc: &Json, path: &str, min_speedup: Option<f64>) ->
     null_speedups
 }
 
+/// The `suu-results/sweep/v1` gate: a frontier-sweep artifact is only
+/// credible when every per-point verdict re-derives from its own
+/// recorded evidence and the global accounting adds up.
+fn validate_sweep_v1(doc: &Json, path: &str) {
+    if require_str(doc, "generated_by", path) != "suu-sweep" {
+        fail(format!(
+            "{path}: sweep artifacts must be generated_by suu-sweep"
+        ));
+    }
+    require_str(doc, "name", path);
+    let policies: Vec<&str> = require_arr(doc, "policies", path)
+        .iter()
+        .map(|p| {
+            p.as_str()
+                .unwrap_or_else(|| fail(format!("{path}: non-string policy")))
+        })
+        .collect();
+    if policies.len() < 2 {
+        fail(format!("{path}: a sweep needs at least two policies"));
+    }
+    let budget = doc
+        .get("budget")
+        .unwrap_or_else(|| fail(format!("{path}: missing object 'budget'")));
+    let budget_initial = require_u64_field(budget, "initial", path);
+    let budget_max = require_u64_field(budget, "max", path);
+    if budget_initial == 0 || budget_initial > budget_max {
+        fail(format!(
+            "{path}: budget {budget_initial}..{budget_max} is not a ladder"
+        ));
+    }
+
+    let cells = require_arr(doc, "cells", path);
+    if cells.is_empty() {
+        fail(format!("{path}: 'cells' must not be empty"));
+    }
+    let mut point_winner: Vec<(&str, &str, bool)> = Vec::with_capacity(cells.len());
+    let (mut sum_trials, mut max_trials, mut resolved_count) = (0u64, 0u64, 0u64);
+    for (i, cell) in cells.iter().enumerate() {
+        let ctx = format!("{path}: cells[{i}]");
+        let point = require_str(cell, "point", &ctx);
+        require_str(cell, "scenario_id", &ctx);
+        if cell.get("params").is_none() {
+            fail(format!("{ctx}: missing 'params'"));
+        }
+        let winner = require_str(cell, "winner", &ctx);
+        if !policies.contains(&winner) {
+            fail(format!("{ctx}: winner {winner:?} is not a sweep policy"));
+        }
+        let resolved = cell
+            .get("resolved")
+            .and_then(Json::as_bool)
+            .unwrap_or_else(|| fail(format!("{ctx}: missing bool 'resolved'")));
+        let margin = |key: &str| -> f64 {
+            cell.get(key)
+                .and_then(Json::as_f64)
+                .unwrap_or_else(|| fail(format!("{ctx}: missing numeric '{key}'")))
+        };
+        let (margin_mean, margin_ci95) = (margin("margin_mean"), margin("margin_ci95"));
+        if resolved != (margin_mean.abs() > margin_ci95) {
+            fail(format!(
+                "{ctx}: 'resolved' disagrees with its own margin \
+                 (|{margin_mean}| vs ci95 {margin_ci95})"
+            ));
+        }
+        let entries = require_arr(cell, "policies", &ctx);
+        if entries.len() != policies.len() {
+            fail(format!(
+                "{ctx}: {} policy entries for {} sweep policies",
+                entries.len(),
+                policies.len()
+            ));
+        }
+        let (mut cell_sum, mut best) = (0u64, None::<(&str, f64)>);
+        for (j, entry) in entries.iter().enumerate() {
+            let ectx = format!("{ctx}: policies[{j}]");
+            let policy = require_str(entry, "policy", &ectx);
+            if policies.get(j).copied() != Some(policy) {
+                fail(format!(
+                    "{ectx}: entry {policy:?} out of declared policy order"
+                ));
+            }
+            let mean = entry
+                .get("mean_makespan")
+                .and_then(Json::as_f64)
+                .unwrap_or_else(|| fail(format!("{ectx}: missing numeric 'mean_makespan'")));
+            if entry.get("ci95").and_then(Json::as_f64).is_none() {
+                fail(format!("{ectx}: missing numeric 'ci95'"));
+            }
+            let used = require_u64_field(entry, "trials_used", &ectx);
+            if used < budget_initial || used > budget_max {
+                fail(format!(
+                    "{ectx}: trials_used {used} outside the {budget_initial}..{budget_max} budget"
+                ));
+            }
+            let key = require_str(entry, "cell_key", &ectx);
+            if !suu_core::is_fnv1a_hex(key) {
+                fail(format!("{ectx}: malformed cell_key {key:?}"));
+            }
+            if entry.get("wall_clock_s").is_some() {
+                fail(format!(
+                    "{ectx}: records wall_clock_s (breaks replay determinism)"
+                ));
+            }
+            cell_sum += used;
+            if best.is_none_or(|(_, b)| mean < b) {
+                best = Some((policy, mean));
+            }
+        }
+        if best.map(|(p, _)| p) != Some(winner) {
+            fail(format!(
+                "{ctx}: winner {winner:?} is not the lowest-mean policy entry"
+            ));
+        }
+        if require_u64_field(cell, "trials_total", &ctx) != cell_sum {
+            fail(format!("{ctx}: trials_total disagrees with its entries"));
+        }
+        sum_trials += cell_sum;
+        max_trials = max_trials.max(
+            entries
+                .iter()
+                .map(|e| e.get("trials_used").and_then(Json::as_u64).unwrap_or(0))
+                .max()
+                .unwrap_or(0),
+        );
+        resolved_count += u64::from(resolved);
+        point_winner.push((point, winner, resolved));
+    }
+
+    // The phase diagram must partition the points: every resolved point
+    // in exactly its winner's region, every open point in 'open'.
+    let diagram = doc
+        .get("phase_diagram")
+        .unwrap_or_else(|| fail(format!("{path}: missing object 'phase_diagram'")));
+    let mut seen = 0usize;
+    for (r, region) in require_arr(diagram, "regions", path).iter().enumerate() {
+        let ctx = format!("{path}: phase_diagram.regions[{r}]");
+        let winner = require_str(region, "winner", &ctx);
+        for pt in require_arr(region, "points", &ctx) {
+            let id = pt
+                .as_str()
+                .unwrap_or_else(|| fail(format!("{ctx}: non-string point")));
+            match point_winner.iter().find(|(p, _, _)| *p == id) {
+                Some((_, w, true)) if *w == winner => seen += 1,
+                Some((_, _, true)) => fail(format!("{ctx}: {id} listed under the wrong winner")),
+                Some((_, _, false)) => fail(format!("{ctx}: open point {id} inside a region")),
+                None => fail(format!("{ctx}: unknown point {id}")),
+            }
+        }
+    }
+    for pt in require_arr(diagram, "open", path) {
+        let id = pt
+            .as_str()
+            .unwrap_or_else(|| fail(format!("{path}: non-string open point")));
+        match point_winner.iter().find(|(p, _, _)| *p == id) {
+            Some((_, _, false)) => seen += 1,
+            Some((_, _, true)) => fail(format!("{path}: resolved point {id} listed as open")),
+            None => fail(format!("{path}: unknown open point {id}")),
+        }
+    }
+    if seen != point_winner.len() {
+        fail(format!(
+            "{path}: phase diagram covers {seen} of {} points",
+            point_winner.len()
+        ));
+    }
+    let frontier = require_arr(diagram, "frontier", path);
+    for (e, edge) in frontier.iter().enumerate() {
+        let ctx = format!("{path}: phase_diagram.frontier[{e}]");
+        for (end, claimed) in [("a", "winner_a"), ("b", "winner_b")] {
+            let id = require_str(edge, end, &ctx);
+            let claimed = require_str(edge, claimed, &ctx);
+            match point_winner.iter().find(|(p, _, _)| *p == id) {
+                Some((_, w, true)) if *w == claimed => {}
+                Some(_) => fail(format!("{ctx}: {id} does not resolve to {claimed:?}")),
+                None => fail(format!("{ctx}: unknown point {id}")),
+            }
+        }
+        if require_str(edge, "winner_a", &ctx) == require_str(edge, "winner_b", &ctx) {
+            fail(format!("{ctx}: frontier edge between same-winner points"));
+        }
+    }
+
+    // Global accounting re-derives, and adaptivity never overspends the
+    // fixed-budget equivalent.
+    let totals = doc
+        .get("totals")
+        .unwrap_or_else(|| fail(format!("{path}: missing object 'totals'")));
+    let expect = |key: &str, want: u64| {
+        let got = require_u64_field(totals, key, path);
+        if got != want {
+            fail(format!("{path}: totals.{key} is {got}, re-derived {want}"));
+        }
+    };
+    expect("points", point_winner.len() as u64);
+    expect("resolved", resolved_count);
+    expect("open", point_winner.len() as u64 - resolved_count);
+    expect("trials_adaptive", sum_trials);
+    expect("max_trials_per_cell", max_trials);
+    expect(
+        "trials_fixed_equivalent",
+        point_winner.len() as u64 * policies.len() as u64 * max_trials,
+    );
+    if sum_trials > point_winner.len() as u64 * policies.len() as u64 * max_trials {
+        fail(format!(
+            "{path}: adaptive sweep spent more than its fixed-budget equivalent"
+        ));
+    }
+    println!(
+        "OK {path}: suu-results/sweep/v1, {} points ({resolved_count} resolved, \
+         {} open, {} frontier edge(s)), trials {sum_trials} adaptive vs {} fixed-equivalent",
+        point_winner.len(),
+        point_winner.len() as u64 - resolved_count,
+        frontier.len(),
+        point_winner.len() as u64 * policies.len() as u64 * max_trials
+    );
+}
+
 fn require_u64_field(obj: &Json, key: &str, ctx: &str) -> u64 {
     obj.get(key)
         .and_then(Json::as_u64)
@@ -453,6 +681,7 @@ fn main() {
         let doc = parse(&text).unwrap_or_else(|e| fail(format!("{path}: {e}")));
         match doc.get("schema").and_then(Json::as_str) {
             Some(schemas::RESULTS_V2) => validate_results_v2(&doc, path),
+            Some(schemas::RESULTS_SWEEP_V1) => validate_sweep_v1(&doc, path),
             Some(schemas::BENCH_ENGINE_BATCH_V2) => {
                 tolerated += validate_engine_batch_v2(&doc, path, min_speedup);
             }

@@ -32,7 +32,12 @@
 //! * [`request`] — the wire form of a race (scenarios by family +
 //!   normalized constructor parameters): the `suu-serve` daemon's
 //!   request schema, kept here so the daemon is a *library consumer* of
-//!   the same scenario/runner/report stack the experiment binaries use.
+//!   the same scenario/runner/report stack the experiment binaries use;
+//! * [`sweep`] — the adaptive frontier sweep: a declarative
+//!   family × m × n × q grid refined until policy rankings resolve,
+//!   emitting the `suu-results/sweep/v1` phase-diagram artifact (driven
+//!   by the `suu-sweep` binary in `suu-serve`, which supplies the cache
+//!   layer underneath).
 //!
 //! Micro-benches (`cargo bench`, via the offline [`harness`]) cover the
 //! substrate costs: simplex, max-flow, rounding, engine throughput,
@@ -44,6 +49,7 @@ pub mod report;
 pub mod request;
 pub mod runner;
 pub mod scenario;
+pub mod sweep;
 
 use std::time::Instant;
 use suu_sim::engine::ExecOutcome;

@@ -59,9 +59,16 @@ pub const BENCH_ENGINE_BATCH_V2: &str = "suu-bench/engine-batch/v2";
 /// Machine output of the `suu-lint` static-analysis pass.
 pub const LINT_V1: &str = "suu-lint/v1";
 
+/// Adaptive frontier-sweep artifact (`BENCH_sweep.json`): per-cell
+/// winners with paired-CRN margins and `cell_key` provenance, plus the
+/// winner-region phase diagram. Producer: `suu-sweep`. Validator:
+/// `validate_results`.
+pub const RESULTS_SWEEP_V1: &str = "suu-results/sweep/v1";
+
 /// Every registered identifier, for exhaustiveness checks.
 pub const ALL: &[&str] = &[
     RESULTS_V2,
+    RESULTS_SWEEP_V1,
     SERVE_CELL_V1,
     SERVE_CELLKEY_V1,
     SERVE_INDEX_V1,

@@ -38,13 +38,12 @@
 //! suu-loadgen --smoke --shards 2 --out smoke.json   # one topology
 //! ```
 
-use std::path::PathBuf;
-use std::process::{Child, Command, Stdio};
 use std::sync::{Barrier, Mutex};
 use std::time::{Duration, Instant};
 use suu_core::json::Json;
-use suu_serve::client::{Client, Reply};
+use suu_serve::client::{retry_after_ms, Client, Reply};
 use suu_serve::elog;
+use suu_serve::spawn::ServerProc;
 
 /// Benchmark document schema.
 const SCHEMA: &str = suu_core::schemas::SERVE_LOADGEN_V2;
@@ -180,12 +179,11 @@ fn post_race(client: &mut Client, body: &str) -> (Reply, Duration, u64) {
             .expect("race request");
         if reply.status == 429 && rejected < MAX_RETRIES_429 as u64 {
             rejected += 1;
-            let retry_after_ms = reply
-                .header("retry-after")
-                .and_then(|v| v.parse::<u64>().ok())
-                .map_or(1_000, |secs| secs * 1_000);
+            // Hardened parse (saturating, capped): the header crosses a
+            // trust boundary and must not overflow or stall the run.
+            let backoff = retry_after_ms(reply.header("retry-after"));
             // Ramp toward the server's suggestion instead of stampeding.
-            std::thread::sleep(Duration::from_millis((25 * rejected).min(retry_after_ms)));
+            std::thread::sleep(Duration::from_millis((25 * rejected).min(backoff)));
             continue;
         }
         return (reply, t0.elapsed(), rejected);
@@ -196,96 +194,22 @@ fn post_race(client: &mut Client, body: &str) -> (Reply, Duration, u64) {
 // Servers under test
 // ---------------------------------------------------------------------
 
-/// A spawned server (a router fleet or a direct daemon); killed (and
-/// its cache dir removed) on drop, so a panicking run doesn't leak
-/// processes. Router shards carry `PDEATHSIG`, so even a kill here
-/// reaps the whole fleet.
-struct ServerProc {
-    child: Child,
-    addr: String,
-    cache_dir: PathBuf,
-    /// Keeps the server's stdout pipe open for its whole life — closing
-    /// it early would hand the server an EPIPE on its next print.
-    _stdout: std::io::BufReader<std::process::ChildStdout>,
+/// Spawn a sibling server through the shared [`suu_serve::spawn`]
+/// helper, exiting loudly on failure — a server that cannot start
+/// invalidates the whole measurement.
+fn spawn_server(bin: &str, tag: &str, extra: &[&str]) -> ServerProc {
+    ServerProc::spawn(bin, tag, extra).unwrap_or_else(|e| {
+        elog!("suu-loadgen: {e}");
+        std::process::exit(1);
+    })
 }
 
-impl ServerProc {
-    /// Spawn a sibling binary with `--addr 127.0.0.1:0` plus `extra`
-    /// flags, a private cache dir tagged `tag`, and parse the first
-    /// banner line for the bound address.
-    fn spawn(bin: &str, tag: &str, extra: &[&str]) -> ServerProc {
-        use std::io::BufRead as _;
-        let path = std::env::current_exe()
-            // suu-lint: allow(serve-unwrap, "benchmark driver startup: no current_exe means no sibling binaries to test; abort loudly")
-            .expect("own path")
-            .with_file_name(bin);
-        let cache_dir =
-            std::env::temp_dir().join(format!("suu-loadgen-{tag}-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&cache_dir);
-        let mut child = Command::new(&path)
-            .args([
-                "--addr",
-                "127.0.0.1:0",
-                "--cache-dir",
-                // suu-lint: allow(serve-unwrap, "the dir name is built from ASCII literals and a pid, so it is always UTF-8")
-                cache_dir.to_str().expect("utf-8 temp dir"),
-                "--workers",
-                "4",
-                "--queue-depth",
-                "256",
-                // No idle reaping during a latency measurement: that
-                // path has its own e2e tests.
-                "--idle-timeout-ms",
-                "120000",
-            ])
-            .args(extra)
-            .stdout(Stdio::piped())
-            .stderr(Stdio::inherit())
-            .spawn()
-            .unwrap_or_else(|e| {
-                elog!("suu-loadgen: cannot spawn {}: {e}", path.display());
-                std::process::exit(1);
-            });
-        // suu-lint: allow(serve-unwrap, "stdout was set to Stdio::piped() five lines up; take() can only fail on a programming error worth a loud abort")
-        let stdout = child.stdout.take().expect("piped stdout");
-        let mut reader = std::io::BufReader::new(stdout);
-        let mut banner = String::new();
-        if reader.read_line(&mut banner).unwrap_or(0) == 0 {
-            elog!("suu-loadgen: {bin} produced no banner");
-            std::process::exit(1);
-        }
-        let addr = banner
-            .rsplit("http://")
-            .next()
-            .unwrap_or("")
-            .trim()
-            .to_string();
-        if addr.is_empty() {
-            elog!("suu-loadgen: unparsable banner {banner:?}");
-            std::process::exit(1);
-        }
-        ServerProc {
-            child,
-            addr,
-            cache_dir,
-            _stdout: reader,
-        }
-    }
-
-    fn client(&self) -> Client {
-        Client::connect(&self.addr, READ_TIMEOUT).unwrap_or_else(|e| {
-            elog!("suu-loadgen: connect to {} failed: {e}", self.addr);
-            std::process::exit(1);
-        })
-    }
-}
-
-impl Drop for ServerProc {
-    fn drop(&mut self) {
-        let _ = self.child.kill();
-        let _ = self.child.wait();
-        let _ = std::fs::remove_dir_all(&self.cache_dir);
-    }
+/// Fresh keep-alive connection to a spawned server, exit-on-failure.
+fn server_client(server: &ServerProc) -> Client {
+    server.client(READ_TIMEOUT).unwrap_or_else(|e| {
+        elog!("suu-loadgen: connect to {} failed: {e}", server.addr());
+        std::process::exit(1);
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -336,9 +260,9 @@ fn latency_obj(samples: &[&Sample]) -> Json {
 /// oracle). Returns the document entry and whether it was clean.
 fn run_entry(cfg: &Config, shards: usize) -> (Json, bool) {
     let shards_flag = shards.to_string();
-    let router = ServerProc::spawn(
+    let router = spawn_server(
         "suu-router",
-        &format!("router{shards}"),
+        &format!("loadgen-router{shards}"),
         &[
             "--shards",
             &shards_flag,
@@ -348,14 +272,14 @@ fn run_entry(cfg: &Config, shards: usize) -> (Json, bool) {
             "256",
         ],
     );
-    let direct = ServerProc::spawn("suud", &format!("direct{shards}"), &[]);
+    let direct = spawn_server("suud", &format!("loadgen-direct{shards}"), &[]);
     elog!(
         "suu-loadgen: shards={shards}: router at {} (direct oracle at {}), {} conns × {} requests + {} storm rounds",
-        router.addr, direct.addr, cfg.conns, cfg.per_conn, cfg.storm_rounds
+        router.addr(), direct.addr(), cfg.conns, cfg.per_conn, cfg.storm_rounds
     );
 
     // ---- Prime the hot set (its responses are the replay oracle). ----
-    let mut prime = router.client();
+    let mut prime = server_client(&router);
     let mut hot_bodies: Vec<Vec<u8>> = Vec::with_capacity(cfg.hot_set);
     let mut failed_outside = 0u64;
     let mut rejected_429 = 0u64;
@@ -377,7 +301,7 @@ fn run_entry(cfg: &Config, shards: usize) -> (Json, bool) {
     let storm_bodies = &storm_bodies;
     let barrier = Barrier::new(cfg.conns);
     let barrier = &barrier;
-    let addr = router.addr.clone();
+    let addr = router.addr().to_string();
     let addr = &addr;
 
     let started = Instant::now();
@@ -457,8 +381,8 @@ fn run_entry(cfg: &Config, shards: usize) -> (Json, bool) {
 
     // ---- Identity probes: the merged document must be byte-identical
     // to the direct daemon's, cold and cached. ----
-    let mut router_client = router.client();
-    let mut direct_client = direct.client();
+    let mut router_client = server_client(&router);
+    let mut direct_client = server_client(&direct);
     let mut identity_samples = Vec::new();
     let mut identity_mismatches = 0u64;
     for probe in 0..cfg.identity_probes {
@@ -529,7 +453,7 @@ fn run_entry(cfg: &Config, shards: usize) -> (Json, bool) {
 
     // The aggregated fleet stats (sums + per-shard breakdown).
     let mut final_stats = Json::Null;
-    if let Ok(reply) = router.client().request("GET", "/v1/stats", None) {
+    if let Ok(reply) = server_client(&router).request("GET", "/v1/stats", None) {
         if let Ok(doc) = suu_core::json::parse(&String::from_utf8_lossy(&reply.body)) {
             final_stats = doc;
         }

@@ -721,10 +721,18 @@ impl Router {
                 .field("range_lo", format!("{:016x}", info.range.lo))
                 .field("range_hi", format!("{:016x}", info.range.hi))
                 .field("restarts", info.restarts);
-            match self.fetch_shard_stats(info.index) {
-                Ok(stats) => {
-                    for (i, field) in STATS_FIELDS.iter().enumerate().skip(1) {
-                        sums[i] += stats.get(field).and_then(Json::as_u64).unwrap_or(0);
+            // A shard reply with a missing or non-numeric counter is a
+            // protocol mismatch, not a zero: folding `unwrap_or(0)` into
+            // the sums silently undercounted the fleet. Treat it exactly
+            // like a fetch failure — `healthy: false` plus an `error`
+            // naming the bad field, nothing folded into the totals.
+            match self
+                .fetch_shard_stats(info.index)
+                .and_then(|stats| Ok((stat_counters(&stats)?, stats)))
+            {
+                Ok((counters, stats)) => {
+                    for (sum, counter) in sums.iter_mut().skip(1).zip(&counters) {
+                        *sum += counter;
                     }
                     entry = entry
                         .field("addr", info.addr.unwrap_or_default())
@@ -782,6 +790,25 @@ impl Router {
     }
 }
 
+/// Strictly extract every `suu-serve/stats/v1` counter (each
+/// [`STATS_FIELDS`] entry after `schema`, in order) from one shard's
+/// stats document. A missing or non-numeric counter is an error naming
+/// the field, so [`Router::stats_json`] marks that shard
+/// `healthy: false` instead of folding a silent zero into the fleet
+/// totals.
+pub fn stat_counters(stats: &Json) -> Result<Vec<u64>, String> {
+    STATS_FIELDS
+        .iter()
+        .skip(1)
+        .map(|field| {
+            stats
+                .get(field)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("stats field {field:?} missing or non-numeric"))
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -832,6 +859,49 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// A well-formed single-daemon stats document, counters valued by
+    /// position so order mistakes would show.
+    fn stub_shard_stats() -> Json {
+        let mut doc = Json::obj().field("schema", suu_core::schemas::SERVE_STATS_V1);
+        for (i, field) in STATS_FIELDS.iter().enumerate().skip(1) {
+            doc = doc.field(*field, 10 + i as u64);
+        }
+        doc
+    }
+
+    #[test]
+    fn stat_counters_extracts_in_field_order() {
+        let counters = stat_counters(&stub_shard_stats()).expect("well-formed stats");
+        let expect: Vec<u64> = (1..STATS_FIELDS.len()).map(|i| 10 + i as u64).collect();
+        assert_eq!(counters, expect);
+    }
+
+    #[test]
+    fn stat_counters_rejects_malformed_shard_replies() {
+        // Regression: each of these used to fold into the sums as a
+        // silent zero; now the shard is reported unhealthy instead.
+        let missing = match stub_shard_stats() {
+            Json::Obj(fields) => {
+                Json::Obj(fields.into_iter().filter(|(k, _)| k != "misses").collect())
+            }
+            other => other,
+        };
+        let err = stat_counters(&missing).expect_err("missing counter");
+        assert!(err.contains("misses"), "error should name the field: {err}");
+
+        let non_numeric = stub_shard_stats().field("extends", "lots");
+        let err = stat_counters(&non_numeric).expect_err("non-numeric counter");
+        assert!(
+            err.contains("extends"),
+            "error should name the field: {err}"
+        );
+
+        let negative = stub_shard_stats().field("races", Json::Num(-3.0));
+        assert!(stat_counters(&negative).is_err(), "non-integer counter");
+
+        assert!(stat_counters(&Json::obj()).is_err(), "empty reply");
     }
 
     #[test]

@@ -1215,4 +1215,47 @@ mod tests {
         assert_eq!(stats.policy, "jittery-gang");
         assert!(stats.all_completed());
     }
+
+    /// Once a cell outgrows the 512-sample exact window its accumulator
+    /// collapses to quantile sketches and can no longer be merged
+    /// ([`crate::stats::MergeError::SketchCollapsed`]) — the supported
+    /// growth route is the extend/replay path. Refine a cell across two
+    /// checkpointed rounds that straddle the collapse and demand the
+    /// final state is bitwise identical to a cold run at that count.
+    #[test]
+    fn sketch_collapsed_cell_refined_in_rounds_matches_cold_run() {
+        let inst = workload::homogeneous(3, 6, 0.5, Precedence::Independent);
+        let eval = Evaluator::seeded(400, 99);
+        let mut warm = eval.run_stats(&inst, JitteryGang::new);
+
+        // Round 1: 400 → 600, crossing the exact-sample cap.
+        eval.extend_stats(&inst, JitteryGang::new, &mut warm, 600);
+        let checkpoint = warm.to_json();
+        let restored = EvalStats::from_json(&checkpoint).expect("restore");
+        assert_eq!(restored.trials(), 600);
+        assert!(
+            checkpoint
+                .get("accumulator")
+                .and_then(|a| a.get("median_sketch"))
+                .is_some(),
+            "600 > 512 trials must have collapsed to sketches"
+        );
+        let mut probe = OutcomeAccumulator::new();
+        assert_eq!(
+            probe.merge(&restored.acc),
+            Err(crate::stats::MergeError::SketchCollapsed { samples: 600 })
+        );
+
+        // Round 2: resume the restored checkpoint 600 → 780.
+        let mut warm = restored;
+        eval.extend_stats(&inst, JitteryGang::new, &mut warm, 780);
+
+        let cold = Evaluator::seeded(780, 99).run_stats(&inst, JitteryGang::new);
+        assert_eq!(warm.trials(), 780);
+        assert_eq!(
+            warm.acc.to_json().to_canonical(),
+            cold.acc.to_json().to_canonical(),
+            "refined-in-rounds cell must be bitwise identical to a cold run"
+        );
+    }
 }

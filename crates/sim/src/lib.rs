@@ -58,6 +58,7 @@ pub mod evaluate;
 pub mod policy;
 pub mod registry;
 pub mod stats;
+pub mod sweep;
 pub mod trace;
 
 pub use engine::batch::{execute_batch, BatchMetrics, BatchRunner, BatchTrial};
@@ -70,9 +71,10 @@ pub use registry::{
     factory, PolicyFactory, PolicyRegistry, PolicySpec, RegistryError, StructureClass,
 };
 pub use stats::{
-    student_t_quantile, summarize, t_ci95_scale, OutcomeAccumulator, P2Quantile, PairedDelta,
-    Precision, StopReason, Streaming, Summary,
+    student_t_quantile, summarize, t_ci95_scale, MergeError, OutcomeAccumulator, P2Quantile,
+    PairedDelta, Precision, StopReason, Streaming, Summary,
 };
+pub use sweep::{BudgetLadder, PairedMargin};
 pub use trace::{Trace, TraceStep, Tracing};
 
 #[cfg(test)]

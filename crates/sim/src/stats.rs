@@ -672,6 +672,37 @@ impl P2Quantile {
     }
 }
 
+/// Why [`OutcomeAccumulator::merge`] refused to fold a right-hand side.
+///
+/// Typed (rather than a bare message) so orchestration layers can branch:
+/// a sketch-collapsed cell is not corrupt, it has simply outlived the
+/// merge contract and must be grown through the replay-safe extend path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MergeError {
+    /// The right-hand accumulator outgrew its exact cap and collapsed to
+    /// P² sketch markers; the original push sequence is gone, so no
+    /// bitwise-faithful merge exists. Carries the RHS sample count.
+    SketchCollapsed {
+        /// Number of samples the collapsed accumulator has folded.
+        samples: u64,
+    },
+}
+
+impl std::fmt::Display for MergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MergeError::SketchCollapsed { samples } => write!(
+                f,
+                "merge requires the right-hand accumulator to retain its exact \
+                 sample; it collapsed to quantile sketches at {samples} samples \
+                 (grow it through the extend/replay path instead)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
 /// Streaming accumulator over trial outcomes: everything the report layer
 /// needs — makespan moments, min/max, median/p95, completion and
 /// violation counts — in memory independent of the trial count.
@@ -784,13 +815,15 @@ impl OutcomeAccumulator {
     /// Only works while `other` still retains its exact sample (its
     /// count is within its cap): once values are collapsed into sketch
     /// markers the original sequence is gone and no bitwise-faithful
-    /// merge exists. Callers doing distributed accumulation should give
-    /// shard accumulators a cap at least their shard size.
-    pub fn merge(&mut self, other: &OutcomeAccumulator) -> Result<(), String> {
-        let values = other.exact.as_ref().ok_or_else(|| {
-            "merge requires the right-hand accumulator to retain its exact sample \
-             (it outgrew its cap)"
-                .to_string()
+    /// merge exists — that case is the typed
+    /// [`MergeError::SketchCollapsed`] so callers can branch on it
+    /// (the sweep orchestrator routes collapsed cells through the
+    /// replay-safe `resume_adaptive`/`extend_stats` path instead).
+    /// Callers doing distributed accumulation should give shard
+    /// accumulators a cap at least their shard size.
+    pub fn merge(&mut self, other: &OutcomeAccumulator) -> Result<(), MergeError> {
+        let values = other.exact.as_ref().ok_or(MergeError::SketchCollapsed {
+            samples: other.makespan.count(),
         })?;
         for &v in values {
             self.fold_value(v);
@@ -1524,13 +1557,18 @@ mod tests {
         assert_eq!(left.completion_rate(), whole.completion_rate());
         assert_eq!(left.total_ineligible(), whole.total_ineligible());
 
-        // A sketch-collapsed right-hand side cannot merge faithfully.
+        // A sketch-collapsed right-hand side cannot merge faithfully; the
+        // refusal is typed so orchestrators can reroute to the extend path.
         let mut collapsed = OutcomeAccumulator::with_exact_cap(4);
         for &v in &values[..10] {
             collapsed.push_makespan(v, true, 0);
         }
         assert!(!collapsed.exact_quantiles());
-        assert!(OutcomeAccumulator::new().merge(&collapsed).is_err());
+        let err = OutcomeAccumulator::new()
+            .merge(&collapsed)
+            .expect_err("collapsed RHS must not merge");
+        assert_eq!(err, MergeError::SketchCollapsed { samples: 10 });
+        assert!(err.to_string().contains("extend/replay"));
     }
 
     #[test]
